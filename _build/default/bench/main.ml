@@ -1,0 +1,157 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Figures 8-14, the dynamic-traffic study) plus the ablations listed
+   in DESIGN.md, printing the same series the paper plots together with
+   shape checks.
+
+   Part 2 runs Bechamel micro-benchmarks of the core algorithmic
+   pieces, one [Test.make] per component, so performance regressions in
+   the library itself are visible. *)
+
+module Experiments = Mdr_experiments.Experiments
+module Workload = Mdr_experiments.Workload
+open Bechamel
+open Toolkit
+
+let run_experiments () =
+  let failures = ref 0 in
+  List.iter
+    (fun (id, f) ->
+      Printf.printf "### %s\n%!" id;
+      let t0 = Unix.gettimeofday () in
+      let outcome = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_endline outcome.Experiments.rendered;
+      List.iter
+        (fun (label, ok) ->
+          if not ok then incr failures;
+          Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") label)
+        outcome.Experiments.checks;
+      Printf.printf "  (%.1fs)\n\n%!" dt)
+    (Experiments.all ());
+  !failures
+
+(* --- Micro-benchmarks -------------------------------------------------- *)
+
+let bench_dijkstra =
+  let w = Workload.cairn ~load:1.0 in
+  let cost (l : Mdr_topology.Graph.link) = 1.0 +. (l.prop_delay *. 1000.0) in
+  Test.make ~name:"dijkstra: CAIRN all-destinations"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun dst ->
+             ignore (Mdr_routing.Dijkstra.distances_to w.Workload.topo ~dst ~cost))
+           (Mdr_topology.Graph.nodes w.Workload.topo)))
+
+let bench_mpda_convergence =
+  let topo = Mdr_topology.Net1.topology () in
+  let cost (l : Mdr_topology.Graph.link) = 1.0 +. (l.prop_delay *. 1000.0) in
+  Test.make ~name:"mpda: NET1 cold-start convergence"
+    (Staged.stage (fun () ->
+         let net = Mdr_routing.Network.create ~topo ~cost () in
+         Mdr_routing.Network.run net;
+         assert (Mdr_routing.Network.quiescent net)))
+
+let bench_fluid_flows =
+  let w = Workload.cairn ~load:1.0 in
+  let model = Workload.model w in
+  let traffic = Workload.traffic w in
+  let params = Mdr_gallager.Gallager.spf_params model w.Workload.topo in
+  Test.make ~name:"fluid: CAIRN flow computation"
+    (Staged.stage (fun () ->
+         ignore (Mdr_fluid.Flows.compute params traffic)))
+
+let bench_opt_iteration =
+  let w = Workload.net1 ~load:1.0 in
+  let model = Workload.model w in
+  let traffic = Workload.traffic w in
+  Test.make ~name:"gallager: NET1 5 iterations"
+    (Staged.stage (fun () ->
+         ignore (Mdr_gallager.Gallager.solve ~max_iters:5 model w.Workload.topo traffic)))
+
+let bench_ah_step =
+  let current = [ (1, 0.4); (2, 0.35); (3, 0.25) ] in
+  let through = function 1 -> 1.0 | 2 -> 1.5 | 3 -> 2.0 | _ -> infinity in
+  Test.make ~name:"heuristics: one AH adjustment"
+    (Staged.stage (fun () ->
+         ignore (Mdr_core.Heuristics.adjust ~current ~through ())))
+
+let bench_packet_sim =
+  let topo = Mdr_topology.Net1.topology () in
+  let flows =
+    List.map
+      (fun (src, dst) -> { Mdr_netsim.Sim.src; dst; rate_bits = 2.0e6; burst = None })
+      (Mdr_topology.Net1.flow_pairs topo)
+  in
+  let cfg =
+    { Mdr_netsim.Sim.default_config with sim_time = 2.0; warmup = 0.5 }
+  in
+  Test.make ~name:"netsim: 2 simulated seconds of NET1"
+    (Staged.stage (fun () -> ignore (Mdr_netsim.Sim.run ~config:cfg topo flows)))
+
+let bench_estimator =
+  Test.make ~name:"estimator: busy-period sample"
+    (Staged.stage (fun () ->
+         let e = Mdr_costs.Estimator.busy_period ~prop_delay:0.001 in
+         for i = 1 to 100 do
+           Mdr_costs.Estimator.on_arrival e ~now:(float_of_int i *. 0.001);
+           Mdr_costs.Estimator.on_departure e
+             ~now:((float_of_int i *. 0.001) +. 0.0005)
+             ~sojourn:0.0005 ~service:0.0004 ~busy:(i mod 3 <> 0)
+         done;
+         ignore (Mdr_costs.Estimator.sample e ~now:1.0)))
+
+let micro_benchmarks () =
+  let tests =
+    [
+      bench_dijkstra;
+      bench_mpda_convergence;
+      bench_fluid_flows;
+      bench_opt_iteration;
+      bench_ah_step;
+      bench_packet_sim;
+      bench_estimator;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None () in
+  let instance = Instance.monotonic_clock in
+  let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"mdr" tests) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols instance results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let per_run =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, per_run) :: !rows)
+    analyzed;
+  let rows = List.sort compare !rows in
+  print_endline "### micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline
+    (Mdr_util.Tab.render
+       ~header:[ "benchmark"; "time per run" ]
+       (List.map
+          (fun (name, ns) ->
+            let cell =
+              if Float.is_nan ns then "n/a"
+              else if ns > 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
+              else if ns > 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
+              else if ns > 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; cell ])
+          rows))
+
+let () =
+  print_endline "=== Reproduction benches: A Simple Approximation to Minimum-Delay Routing ===";
+  print_endline "";
+  let failures = run_experiments () in
+  micro_benchmarks ();
+  Printf.printf "\n=== done: %d shape-check failure(s) ===\n" failures;
+  if failures > 0 then exit 1

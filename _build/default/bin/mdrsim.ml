@@ -1,0 +1,331 @@
+(* mdrsim — command-line driver for the reproduction of "A Simple
+   Approximation to Minimum-Delay Routing" (Vutukury &
+   Garcia-Luna-Aceves, SIGCOMM 1999).
+
+   Subcommands regenerate individual figures, run ad-hoc comparisons on
+   the built-in topologies, or run everything. *)
+
+module Experiments = Mdr_experiments.Experiments
+module Workload = Mdr_experiments.Workload
+
+open Cmdliner
+
+let write_csv path (o : Experiments.outcome) =
+  match o.series with
+  | None -> Printf.eprintf "note: %s has no tabular data; no CSV written\n" o.title
+  | Some series ->
+    let oc = open_out path in
+    output_string oc (Experiments.to_csv series);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let print_outcome ?csv (o : Experiments.outcome) =
+  print_endline o.rendered;
+  List.iter
+    (fun (label, ok) ->
+      Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") label)
+    o.checks;
+  (match csv with Some path -> write_csv path o | None -> ());
+  print_newline ();
+  List.for_all snd o.checks
+
+let seeds_conv = Arg.(list int)
+
+let load_arg ~default =
+  let doc = "Load factor applied to every flow's 2-3 Mb/s nominal rate." in
+  Arg.(value & opt float default & info [ "load" ] ~docv:"FACTOR" ~doc)
+
+let seeds_arg =
+  let doc = "Comma-separated simulation seeds; results are averaged." in
+  Arg.(value & opt seeds_conv [ 1; 2; 3 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+
+let exit_of_ok ok = if ok then 0 else 1
+
+let csv_arg =
+  let doc = "Also write the figure's data as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let simple_cmd name ~doc f =
+  let run csv = exit_of_ok (print_outcome ?csv (f ())) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_arg)
+
+let loaded_cmd name ~doc ~default
+    (f : ?load:float -> ?seeds:int list -> unit -> Experiments.outcome) =
+  let run load seeds csv = exit_of_ok (print_outcome ?csv (f ~load ~seeds ())) in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ load_arg ~default $ seeds_arg $ csv_arg)
+
+let fig9_cmd =
+  let run load csv =
+    exit_of_ok (print_outcome ?csv (Experiments.fig9_cairn_opt_vs_mp ~load ()))
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"OPT vs MP per-flow delays on CAIRN (fluid + packet).")
+    Term.(const run $ load_arg ~default:1.0 $ csv_arg)
+
+let fig10_cmd =
+  let run load csv =
+    exit_of_ok (print_outcome ?csv (Experiments.fig10_net1_opt_vs_mp ~load ()))
+  in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"OPT vs MP per-flow delays on NET1.")
+    Term.(const run $ load_arg ~default:1.0 $ csv_arg)
+
+let topology_cmd =
+  simple_cmd "topology" ~doc:"Print both topologies and their metrics (Figure 8)."
+    Experiments.fig8_topologies
+
+let all_cmd =
+  let csv_dir_arg =
+    let doc = "Write every figure's data as CSV files into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run csv_dir =
+    (match csv_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | Some _ | None -> ());
+    let ok =
+      List.fold_left
+        (fun acc (id, f) ->
+          let csv = Option.map (fun dir -> Filename.concat dir (id ^ ".csv")) csv_dir in
+          print_outcome ?csv (f ()) && acc)
+        true (Experiments.all ())
+    in
+    exit_of_ok ok
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (the full evaluation; minutes).")
+    Term.(const run $ csv_dir_arg)
+
+let compare_cmd =
+  (* Ad-hoc three-way comparison on a chosen topology and load. *)
+  let topo_arg =
+    let doc = "Topology: cairn or net1." in
+    Arg.(value & opt (enum [ ("cairn", `Cairn); ("net1", `Net1) ]) `Cairn
+         & info [ "topology"; "t" ] ~docv:"NAME" ~doc)
+  in
+  let run topo load seeds =
+    let w =
+      match topo with
+      | `Cairn -> Workload.cairn ~load
+      | `Net1 -> Workload.net1 ~load
+    in
+    let module Sim = Mdr_netsim.Sim in
+    let module Gallager = Mdr_gallager.Gallager in
+    let opt = Gallager.solve (Workload.model w) w.Workload.topo (Workload.traffic w) in
+    let avg scheme =
+      let flows = Workload.sim_flows w in
+      let runs =
+        List.map
+          (fun seed ->
+            Sim.run
+              ~config:{ Sim.default_config with scheme; sim_time = 80.0; warmup = 20.0; seed }
+              w.Workload.topo flows)
+          seeds
+      in
+      Mdr_util.Stats.mean_of_list (List.map (fun (r : Sim.result) -> r.avg_delay) runs)
+    in
+    let mp = avg Sim.Mp and sp = avg Sim.Sp in
+    Printf.printf
+      "%s at load %.2f (%d-seed means):\n  OPT (fluid bound) %8.3f ms\n  MP  (measured)    %8.3f ms\n  SP  (measured)    %8.3f ms   (x%.2f vs MP)\n"
+      w.Workload.name load (List.length seeds) (1000.0 *. opt.avg_delay)
+      (1000.0 *. mp) (1000.0 *. sp) (sp /. mp);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare OPT/MP/SP average delays on one topology.")
+    Term.(const run $ topo_arg $ load_arg ~default:1.0 $ seeds_arg)
+
+let routes_cmd =
+  (* Dump the converged MP routing table: per (router, destination),
+     the loop-free successor set with its traffic fractions. *)
+  let topo_arg =
+    let doc = "Topology: cairn or net1." in
+    Arg.(value & opt (enum [ ("cairn", `Cairn); ("net1", `Net1) ]) `Cairn
+         & info [ "topology"; "t" ] ~docv:"NAME" ~doc)
+  in
+  let node_arg =
+    let doc = "Only print entries for this router (by name)." in
+    Arg.(value & opt (some string) None & info [ "router"; "r" ] ~docv:"NAME" ~doc)
+  in
+  let run topo load node_filter =
+    let w =
+      match topo with
+      | `Cairn -> Workload.cairn ~load
+      | `Net1 -> Workload.net1 ~load
+    in
+    let module Graph = Mdr_topology.Graph in
+    let module Fluid = Mdr_fluid in
+    let g = w.Workload.topo in
+    let mp =
+      Mdr_core.Controller.run
+        ~config:{ Mdr_core.Controller.scheme = Mp; rounds = 40; ts_per_tl = 5; damping = 0.5 }
+        (Workload.model w) g (Workload.traffic w)
+    in
+    let keep node =
+      match node_filter with
+      | None -> true
+      | Some name -> ( try Graph.node_of_name g name = node with Not_found -> false)
+    in
+    let n = Graph.node_count g in
+    Printf.printf "%s MP routing table at load %.2f (converged fluid state):\n\n"
+      w.Workload.name load;
+    for node = 0 to n - 1 do
+      if keep node then
+        for dst = 0 to n - 1 do
+          if node <> dst then begin
+            match Fluid.Params.fractions mp.params ~node ~dst with
+            | [] -> ()
+            | entries ->
+              Printf.printf "  %-10s -> %-10s via %s\n" (Graph.name g node)
+                (Graph.name g dst)
+                (String.concat ", "
+                   (List.map
+                      (fun (k, f) ->
+                        Printf.sprintf "%s (%.0f%%)" (Graph.name g k) (100.0 *. f))
+                      entries))
+          end
+        done
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "routes" ~doc:"Print the converged MP multipath routing table.")
+    Term.(const run $ topo_arg $ load_arg ~default:1.0 $ node_arg)
+
+let custom_cmd =
+  (* Run the full three-way comparison on a user-supplied topology and
+     flow set. *)
+  let topo_file =
+    Arg.(required & opt (some file) None
+         & info [ "topo" ] ~docv:"FILE" ~doc:"Topology file (see Mdr_topology.Parser).")
+  in
+  let flow_file =
+    Arg.(required & opt (some file) None
+         & info [ "flows" ] ~docv:"FILE" ~doc:"Flow file: 'flow <src> <dst> <mbps>' lines.")
+  in
+  let damping_arg =
+    let doc =
+      "AH damping in (0,1]. 1.0 is the paper's full step (which flip-flops on \
+       perfectly symmetric two-path splits); 0.5 smooths such cases."
+    in
+    Arg.(value & opt float 1.0 & info [ "damping" ] ~docv:"D" ~doc)
+  in
+  let run topo_path flow_path seeds damping =
+    let module Graph = Mdr_topology.Graph in
+    let module Parser = Mdr_topology.Parser in
+    let module Sim = Mdr_netsim.Sim in
+    try
+      let g = Parser.topology_of_file topo_path in
+      let flows = Parser.flows_of_file g flow_path in
+      if flows = [] then begin
+        Printf.eprintf "no flows in %s\n" flow_path;
+        1
+      end
+      else begin
+        let specs =
+          List.map (fun (src, dst, rate_bits) -> { Sim.src; dst; rate_bits; burst = None }) flows
+        in
+        let pkt = Mdr_experiments.Workload.packet_size in
+        let traffic =
+          Mdr_fluid.Traffic.of_flows ~n:(Graph.node_count g)
+            (List.map
+               (fun (src, dst, rate_bits) ->
+                 { Mdr_fluid.Traffic.src; dst; rate = rate_bits /. pkt })
+               flows)
+        in
+        let model = Mdr_fluid.Evaluate.model g ~packet_size:pkt in
+        let opt = Mdr_gallager.Gallager.solve model g traffic in
+        let avg scheme =
+          Mdr_util.Stats.mean_of_list
+            (List.map
+               (fun seed ->
+                 (Sim.run
+                    ~config:
+                      { Sim.default_config with scheme; sim_time = 60.0; warmup = 15.0; seed; damping }
+                    g specs)
+                   .Sim.avg_delay)
+               seeds)
+        in
+        let mp = avg Sim.Mp and sp = avg Sim.Sp in
+        Printf.printf
+          "%d routers, %d links, %d flows (%d-seed means):\n  OPT (fluid bound) %8.3f ms\n  MP  (measured)    %8.3f ms\n  SP  (measured)    %8.3f ms   (x%.2f vs MP)\n"
+          (Graph.node_count g) (Graph.link_count g) (List.length flows)
+          (List.length seeds) (1000.0 *. opt.avg_delay) (1000.0 *. mp)
+          (1000.0 *. sp) (sp /. mp);
+        0
+      end
+    with Parser.Parse_error { line; message } ->
+      Printf.eprintf "parse error at line %d: %s\n" line message;
+      1
+  in
+  Cmd.v
+    (Cmd.info "custom"
+       ~doc:"Compare OPT/MP/SP on a user-supplied topology and flow set.")
+    Term.(const run $ topo_file $ flow_file $ seeds_arg $ damping_arg)
+
+let dot_cmd =
+  let topo_arg =
+    let doc = "Topology: cairn, net1, or a file path." in
+    Arg.(value & pos 0 string "cairn" & info [] ~docv:"TOPOLOGY" ~doc)
+  in
+  let run name =
+    let module Parser = Mdr_topology.Parser in
+    let g =
+      match name with
+      | "cairn" -> Mdr_topology.Cairn.topology ()
+      | "net1" -> Mdr_topology.Net1.topology ()
+      | path -> Parser.topology_of_file path
+    in
+    print_string (Parser.to_dot g);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of a topology.")
+    Term.(const run $ topo_arg)
+
+let cmds =
+  [
+    topology_cmd;
+    fig9_cmd;
+    fig10_cmd;
+    loaded_cmd "fig11" ~doc:"MP vs SP per-flow delays on CAIRN (packet-level)."
+      ~default:1.05 Experiments.fig11_cairn_mp_vs_sp;
+    loaded_cmd "fig12" ~doc:"MP vs SP per-flow delays on NET1 (packet-level)."
+      ~default:1.5 Experiments.fig12_net1_mp_vs_sp;
+    loaded_cmd "fig13" ~doc:"Effect of the long-term period T_l on CAIRN."
+      ~default:1.1 Experiments.fig13_cairn_tl_effect;
+    loaded_cmd "fig14" ~doc:"Effect of the long-term period T_l on NET1."
+      ~default:1.4 Experiments.fig14_net1_tl_effect;
+    loaded_cmd "dyn" ~doc:"Dynamic (bursty) traffic study on CAIRN."
+      ~default:1.1 Experiments.dyn_bursty_traffic;
+    simple_cmd "abl-eta" ~doc:"Ablation: OPT's global step size."
+      Experiments.abl_eta_step_size;
+    simple_cmd "abl-2nd" ~doc:"Ablation: second-order OPT step scaling."
+      Experiments.abl_second_order;
+    simple_cmd "abl-lb" ~doc:"Ablation: IH+AH vs IH-only vs SP."
+      Experiments.abl_load_balancing;
+    simple_cmd "abl-est" ~doc:"Ablation: marginal-delay estimators."
+      (fun () -> Experiments.abl_estimators ());
+    loaded_cmd "abl-ecmp" ~doc:"Ablation: unequal-cost multipath vs ECMP vs SP."
+      ~default:1.15 Experiments.abl_ecmp;
+    simple_cmd "failover" ~doc:"Trunk failure/recovery under live traffic."
+      (fun () -> Experiments.failover ());
+    simple_cmd "gen" ~doc:"MP vs SP across random topologies."
+      (fun () -> Experiments.generalization ());
+    simple_cmd "scale" ~doc:"Protocol convergence cost vs network size."
+      Experiments.scale_protocol;
+    compare_cmd;
+    routes_cmd;
+    custom_cmd;
+    dot_cmd;
+    all_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "mdrsim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'A Simple Approximation to Minimum-Delay Routing' (SIGCOMM 1999)."
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

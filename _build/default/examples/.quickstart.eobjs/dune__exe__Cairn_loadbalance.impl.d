@@ -1,0 +1,1 @@
+examples/cairn_loadbalance.ml: List Mdr_experiments Mdr_netsim Mdr_topology Printf

@@ -1,0 +1,1 @@
+examples/cairn_loadbalance.mli:

@@ -1,0 +1,1 @@
+examples/distance_vector.ml: Array Float List Mdr_routing Mdr_topology Mdr_util Printf String

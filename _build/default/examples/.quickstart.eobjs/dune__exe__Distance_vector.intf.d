@@ -1,0 +1,1 @@
+examples/distance_vector.mli:

@@ -1,0 +1,1 @@
+examples/dynamic_burst.ml: List Mdr_experiments Mdr_netsim Printf

@@ -1,0 +1,1 @@
+examples/link_failure.ml: List Mdr_eventsim Mdr_routing Mdr_topology Printf String

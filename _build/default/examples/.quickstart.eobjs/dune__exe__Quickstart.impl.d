@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float List Mdr_core Mdr_fluid Mdr_gallager Mdr_topology Printf

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Hashtbl Heuristics List Mdr_fluid Mdr_routing Mdr_topology Mdr_util

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Mdr_fluid Mdr_topology

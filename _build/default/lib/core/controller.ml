@@ -1,0 +1,217 @@
+module Graph = Mdr_topology.Graph
+module Fluid = Mdr_fluid
+module Params = Fluid.Params
+module Flows = Fluid.Flows
+module Traffic = Fluid.Traffic
+module Evaluate = Fluid.Evaluate
+module Delay = Fluid.Delay
+module Dijkstra = Mdr_routing.Dijkstra
+
+type scheme = Mp | Sp | Ecmp
+
+type config = {
+  scheme : scheme;
+  rounds : int;
+  ts_per_tl : int;
+  damping : float;
+}
+
+let default_config = { scheme = Mp; rounds = 30; ts_per_tl = 5; damping = 1.0 }
+
+type result = {
+  params : Params.t;
+  flows : Flows.t;
+  total_cost : float;
+  avg_delay : float;
+  delay_history : float list;
+}
+
+let successor_sets topo ~cost ~dst =
+  let dist = Dijkstra.distances_to topo ~dst ~cost in
+  fun node ->
+    if node = dst then []
+    else List.filter (fun k -> dist.(k) < dist.(node)) (Graph.neighbors topo node)
+
+let link_cost_fn model flows (l : Graph.link) =
+  let f = Flows.link_flow flows ~src:l.src ~dst:l.dst in
+  Delay.marginal (Evaluate.delay_of_link model ~src:l.src ~dst:l.dst) f
+
+(* One long-term (T_l) update: recompute distances and successor sets
+   from the measured marginal costs. IH reseeds the fractions only for
+   pairs whose successor set actually changed — the paper runs IH
+   "when S is computed for the first time or recomputed again due to
+   long-term route changes"; untouched pairs keep the distribution AH
+   has been refining. Returns the per-destination distance tables that
+   the following T_s steps treat as fixed long-term information. *)
+let long_term_update model params flows traffic ~scheme ~long_cost =
+  ignore model;
+  ignore flows;
+  let topo = Params.topology params in
+  let n = Graph.node_count topo in
+  let cost = long_cost in
+  let lcost ~src ~dst = cost (Graph.link_exn topo ~src ~dst) in
+  let distances = Hashtbl.create 8 in
+  List.iter
+    (fun dst ->
+      let dist = Dijkstra.distances_to topo ~dst ~cost in
+      Hashtbl.replace distances dst dist;
+      for node = 0 to n - 1 do
+        if node <> dst then begin
+          let nbrs = Graph.neighbors topo node in
+          let closer = List.filter (fun k -> dist.(k) < dist.(node)) nbrs in
+          let best_of candidates =
+            List.fold_left
+              (fun best k ->
+                let d = dist.(k) +. lcost ~src:node ~dst:k in
+                match best with
+                | Some (_, bd) when bd <= d -> best
+                | _ -> Some (k, d))
+              None candidates
+          in
+          let chosen =
+            match (closer, scheme) with
+            | [], _ -> []
+            | _ :: _, Sp ->
+              (* Single best successor: minimise D_jk + l_ik, ties to
+                 the lower id. *)
+              (match best_of closer with Some (k, _) -> [ k ] | None -> [])
+            | _ :: _, Ecmp -> (
+              (* OSPF-style: only successors whose total cost equals
+                 the best, split evenly (no AH on ECMP entries). *)
+              match best_of closer with
+              | None -> []
+              | Some (_, bd) ->
+                List.filter
+                  (fun k ->
+                    let d = dist.(k) +. lcost ~src:node ~dst:k in
+                    d <= bd *. (1.0 +. 1e-9))
+                  closer)
+            | closer, Mp -> closer
+          in
+          let current = List.sort compare (Params.successors params ~node ~dst) in
+          if chosen <> current then begin
+            match chosen with
+            | [] -> Params.clear params ~node ~dst
+            | [ k ] -> Params.set_single params ~node ~dst ~via:k
+            | _ when scheme = Ecmp ->
+              let even = 1.0 /. float_of_int (List.length chosen) in
+              Params.set_fractions params ~node ~dst
+                (List.map (fun k -> (k, even)) chosen)
+            | _ ->
+              let entries =
+                List.map (fun k -> (k, dist.(k) +. lcost ~src:node ~dst:k)) chosen
+              in
+              Params.set_fractions params ~node ~dst (Heuristics.initial entries)
+          end
+        end
+      done)
+    (Traffic.destinations traffic);
+  distances
+
+(* One short-term (T_s) update: AH on every routed pair. Neighbor
+   distances are the stored long-term values; only the adjacent link
+   cost is re-measured — the split of time scales at the heart of the
+   framework. *)
+let short_term_update model params flows traffic ~damping ~distances =
+  let topo = Params.topology params in
+  let n = Graph.node_count topo in
+  let cost = link_cost_fn model flows in
+  List.iter
+    (fun dst ->
+      match Hashtbl.find_opt distances dst with
+      | None -> ()
+      | Some dist ->
+        for node = 0 to n - 1 do
+          if node <> dst then begin
+            match Params.fractions params ~node ~dst with
+            | [] | [ _ ] -> ()
+            | current ->
+              let through k =
+                dist.(k) +. cost (Graph.link_exn topo ~src:node ~dst:k)
+              in
+              let adjusted = Heuristics.adjust ~damping ~current ~through () in
+              Params.set_fractions params ~node ~dst adjusted
+          end
+        done)
+    (Traffic.destinations traffic)
+
+(* Long-term link costs are the *average* of the short-term marginal
+   samples observed during the previous T_l interval — the paper's
+   "link costs measured over longer intervals T_l" — which damps the
+   route flapping an instantaneous cost snapshot would cause. *)
+module Cost_window = struct
+  type t = {
+    sums : (int * int, float) Hashtbl.t;
+    mutable samples : int;
+  }
+
+  let create () = { sums = Hashtbl.create 64; samples = 0 }
+
+  let record t model flows topo =
+    t.samples <- t.samples + 1;
+    Graph.fold_links topo ~init:() ~f:(fun () l ->
+        let c = link_cost_fn model flows l in
+        let key = (l.Graph.src, l.Graph.dst) in
+        let prev = try Hashtbl.find t.sums key with Not_found -> 0.0 in
+        Hashtbl.replace t.sums key (prev +. c))
+
+  let mean_cost_fn t =
+    let samples = float_of_int (max 1 t.samples) in
+    let sums = Hashtbl.copy t.sums in
+    fun (l : Graph.link) ->
+      match Hashtbl.find_opt sums (l.src, l.dst) with
+      | Some sum -> sum /. samples
+      | None -> infinity
+
+  let reset t =
+    Hashtbl.reset t.sums;
+    t.samples <- 0
+end
+
+let run ?(config = default_config) model topo traffic =
+  if config.rounds < 1 then invalid_arg "Controller.run: rounds < 1";
+  if config.ts_per_tl < 1 then invalid_arg "Controller.run: ts_per_tl < 1";
+  let params = Params.create topo in
+  let history = ref [] in
+  let flows = ref (Flows.compute params traffic) in
+  let window = Cost_window.create () in
+  let record () =
+    history := Evaluate.average_delay model !flows traffic :: !history;
+    Cost_window.record window model !flows topo
+  in
+  for round = 1 to config.rounds do
+    let long_cost =
+      if round = 1 then link_cost_fn model !flows
+      else Cost_window.mean_cost_fn window
+    in
+    Cost_window.reset window;
+    let distances =
+      long_term_update model params !flows traffic ~scheme:config.scheme
+        ~long_cost
+    in
+    flows := Flows.compute params traffic;
+    record ();
+    for _step = 2 to config.ts_per_tl do
+      (* ECMP keeps its even split: OSPF has no load-balancing step. *)
+      if config.scheme <> Ecmp then
+        short_term_update model params !flows traffic ~damping:config.damping
+          ~distances;
+      flows := Flows.compute params traffic;
+      record ()
+    done
+  done;
+  let delay_history = List.rev !history in
+  (* Steady-state figure: time-average over the second half of the run,
+     the analogue of the paper's measured per-flow averages. *)
+  let steady =
+    let k = List.length delay_history in
+    let tail = List.filteri (fun i _ -> i >= k / 2) delay_history in
+    Mdr_util.Stats.mean_of_list tail
+  in
+  {
+    params;
+    flows = !flows;
+    total_cost = Evaluate.total_cost model !flows;
+    avg_delay = steady;
+    delay_history;
+  }

@@ -1,0 +1,38 @@
+(** The paper's flow-allocation heuristics (Section 4.2, Figs. 6-7).
+
+    Both take, for one (router, destination) pair, the successor set
+    and the marginal distance through each successor
+    [a_k = D_jk + l_ik] (neighbor distance plus adjacent link cost),
+    and produce routing fractions satisfying Property 1.
+
+    - {!initial} (IH) runs when the successor set (re)appears: traffic
+      splits so that successors with larger marginal distance get
+      proportionally less.
+    - {!adjust} (AH) runs every short-term interval T_s: it moves
+      traffic away from successors in proportion to how much their
+      marginal distance exceeds the best successor's, and gives all of
+      it to the best successor. The step empties the successor with
+      the smallest fraction-to-excess ratio, so repeated application
+      drives the distribution toward the perfect-load-balancing
+      conditions (Eqs. 10-12) restricted to the successor set. *)
+
+val initial : (int * float) list -> (int * float) list
+(** [initial [(k, a_k); ...]] is the IH distribution over the
+    successors. All [a_k] must be finite and positive.
+    @raise Invalid_argument on an empty successor set. *)
+
+val adjust :
+  ?damping:float ->
+  current:(int * float) list ->
+  through:(int -> float) ->
+  unit ->
+  (int * float) list
+(** [adjust ~current ~through ()] applies one AH step to the current
+    distribution [(successor, fraction)] using marginal distances
+    [through k]. [damping] scales the paper's step (default 1.0, the
+    full step). Fractions that fall to zero are dropped; the result
+    still sums to one. *)
+
+val is_distribution : (int * float) list -> bool
+(** Non-negative, non-empty, sums to 1 within 1e-6 — Property 1
+    restricted to one entry. *)

@@ -1,0 +1,1 @@
+lib/costs/estimator.ml: Mdr_fluid

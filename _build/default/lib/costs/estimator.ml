@@ -1,0 +1,82 @@
+module Delay = Mdr_fluid.Delay
+
+type sample = { arrival_rate : float; mean_sojourn : float; marginal : float }
+
+type kind =
+  | Mm1 of Delay.t
+  | Busy_period
+  | Measured_sojourn
+
+type t = {
+  kind : kind;
+  prop_delay : float;
+  mutable window_start : float;
+  mutable arrivals : int;
+  mutable departures : int;
+  mutable busy_periods : int;
+  mutable sojourn_sum : float;
+  mutable service_sum : float;
+  mutable last_marginal : float;
+}
+
+let make kind ~prop_delay ~initial =
+  {
+    kind;
+    prop_delay;
+    window_start = 0.0;
+    arrivals = 0;
+    departures = 0;
+    busy_periods = 0;
+    sojourn_sum = 0.0;
+    service_sum = 0.0;
+    last_marginal = initial;
+  }
+
+let mm1 ~capacity ~prop_delay =
+  let model = Delay.create ~capacity ~prop_delay () in
+  make (Mm1 model) ~prop_delay ~initial:(Delay.marginal model 0.0)
+
+let busy_period ~prop_delay = make Busy_period ~prop_delay ~initial:prop_delay
+
+let measured_sojourn ~prop_delay = make Measured_sojourn ~prop_delay ~initial:prop_delay
+
+let on_arrival t ~now:_ = t.arrivals <- t.arrivals + 1
+
+let on_departure t ~now:_ ~sojourn ~service ~busy =
+  t.departures <- t.departures + 1;
+  t.sojourn_sum <- t.sojourn_sum +. sojourn;
+  t.service_sum <- t.service_sum +. service;
+  if not busy then t.busy_periods <- t.busy_periods + 1
+
+let reset_window t ~now =
+  t.window_start <- now;
+  t.arrivals <- 0;
+  t.departures <- 0;
+  t.busy_periods <- 0;
+  t.sojourn_sum <- 0.0;
+  t.service_sum <- 0.0
+
+let sample t ~now =
+  let span = now -. t.window_start in
+  let arrival_rate = if span > 0.0 then float_of_int t.arrivals /. span else 0.0 in
+  let mean_sojourn =
+    if t.departures > 0 then t.sojourn_sum /. float_of_int t.departures else 0.0
+  in
+  let marginal =
+    match t.kind with
+    | Mm1 model -> Delay.marginal model arrival_rate
+    | Busy_period ->
+      if t.departures = 0 then t.last_marginal
+      else
+        (* D'(f) = mean sojourn x mean customers served per busy
+           period (exact for M/M/1; see interface). A window ending
+           mid-busy-period counts the open period as one. *)
+        let periods = max 1 t.busy_periods in
+        let customers_per_period = float_of_int t.departures /. float_of_int periods in
+        (mean_sojourn *. customers_per_period) +. t.prop_delay
+    | Measured_sojourn ->
+      if t.departures = 0 then t.last_marginal else mean_sojourn +. t.prop_delay
+  in
+  t.last_marginal <- marginal;
+  reset_window t ~now;
+  { arrival_rate; mean_sojourn; marginal }

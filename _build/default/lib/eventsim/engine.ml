@@ -1,0 +1,78 @@
+module Heap = Mdr_util.Heap
+
+type event_id = int
+
+type event = { time : float; id : event_id; action : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_id : int;
+  mutable live : int;
+}
+
+let create () =
+  {
+    queue = Heap.create ~cmp:(fun a b -> compare a.time b.time);
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_id = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.add t.queue { time; id; action };
+  t.live <- t.live + 1;
+  id
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.add t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = max 0 t.live
+
+(* Drop cancelled entries so the head of the queue is a live event. *)
+let rec drop_cancelled t =
+  match Heap.peek t.queue with
+  | Some ev when Hashtbl.mem t.cancelled ev.id ->
+    ignore (Heap.pop t.queue);
+    Hashtbl.remove t.cancelled ev.id;
+    drop_cancelled t
+  | Some _ | None -> ()
+
+let step t =
+  drop_cancelled t;
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.live <- t.live - 1;
+    ev.action ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      drop_cancelled t;
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev ->
+        if ev.time > limit then continue := false
+        else ignore (step t)
+    done;
+    if t.clock < limit then t.clock <- limit

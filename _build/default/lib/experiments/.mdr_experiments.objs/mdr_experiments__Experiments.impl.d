@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Float List Mdr_core Mdr_eventsim Mdr_fluid Mdr_gallager Mdr_netsim Mdr_routing Mdr_topology Mdr_util Printf String Workload

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: List Mdr_fluid Mdr_netsim Mdr_topology Printf

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Mdr_fluid Mdr_netsim Mdr_topology

@@ -1,0 +1,96 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Every function regenerates one figure of Section 5 (or one
+    ablation DESIGN.md calls out) and returns the rendered series —
+    the same rows the paper plots. Absolute values depend on our
+    simulator and reconstructed CAIRN; the *shape* (who wins, by what
+    factor, how trends move) is the reproduction target recorded in
+    EXPERIMENTS.md.
+
+    All experiments are deterministic given [seeds]; packet-simulator
+    experiments average the per-flow delays over [seeds] runs, which is
+    the analogue of the paper's long measured runs. *)
+
+type series = {
+  x_label : string;
+  columns : string list;
+  rows : (string * float list) list;
+}
+(** The structured data behind a figure: one row per x-axis point. *)
+
+type outcome = {
+  title : string;
+  rendered : string;  (** printable table *)
+  series : series option;  (** structured data, when the experiment is tabular *)
+  checks : (string * bool) list;
+      (** named shape-assertions ("MP within 5% of OPT", ...) evaluated
+          on the generated data *)
+}
+
+val to_csv : series -> string
+(** RFC-4180-ish CSV of a series (header + rows). *)
+
+val fig8_topologies : unit -> outcome
+(** The two topologies with their structural metrics. *)
+
+val fig9_cairn_opt_vs_mp : ?load:float -> unit -> outcome
+(** Per-flow delays: OPT, the 5% envelope, fluid MP (TL:TS = 5) and
+    packet-measured MP-TL-10-TS-2. *)
+
+val fig10_net1_opt_vs_mp : ?load:float -> unit -> outcome
+(** As fig9 on NET1, with the paper's 8% envelope. *)
+
+val fig11_cairn_mp_vs_sp : ?load:float -> ?seeds:int list -> unit -> outcome
+(** Packet-measured per-flow delays of MP-TL-10-TS-10, MP-TL-10-TS-2
+    and SP-TL-10, with fluid OPT as reference. *)
+
+val fig12_net1_mp_vs_sp : ?load:float -> ?seeds:int list -> unit -> outcome
+
+val fig13_cairn_tl_effect : ?load:float -> ?seeds:int list -> unit -> outcome
+(** Average delay of MP and SP as T_l grows from 10 s to 40 s. *)
+
+val fig14_net1_tl_effect : ?load:float -> ?seeds:int list -> unit -> outcome
+
+val dyn_bursty_traffic : ?load:float -> ?seeds:int list -> unit -> outcome
+(** The dynamic-traffic study: on-off sources over CAIRN; MP with two
+    T_s settings versus SP, across burst period lengths. *)
+
+val abl_eta_step_size : unit -> outcome
+(** OPT's global step size: fixed-eta sweep (slow / good / oscillating)
+    versus the adaptive safeguard — the paper's Section 2 critique. *)
+
+val abl_second_order : unit -> outcome
+(** First-order OPT with a tuned eta versus the second-derivative step
+    scaling of Bertsekas-Gallager (cited in the paper's Section 1):
+    same optimum, far fewer iterations, dimensionless step. *)
+
+val abl_load_balancing : unit -> outcome
+(** IH-only versus IH+AH versus SP in the fluid model over a load
+    sweep: how much the short-term heuristic matters. *)
+
+val abl_estimators : ?seeds:int list -> unit -> outcome
+(** The three marginal-delay estimators on the packet simulator. *)
+
+val abl_ecmp : ?load:float -> ?seeds:int list -> unit -> outcome
+(** Unequal-cost multipath (MP) versus OSPF-style equal-cost-only
+    multipath (ECMP) versus SP — the paper's Section 1 claim that
+    equal-length multipath is not enough. *)
+
+val failover : ?seeds:int list -> unit -> outcome
+(** Trunk failure and recovery on CAIRN under live traffic: the delay
+    timeline around the outage for MP and SP, with loss counts. The
+    paper: "in the presence of link failures, MP can only perform
+    better than SP, because of availability of alternate paths". *)
+
+val generalization : ?graphs:int -> ?seeds:int list -> unit -> outcome
+(** MP vs SP across random topologies (not just CAIRN/NET1): per-graph
+    average-delay ratios under matched random workloads — evidence the
+    result is not an artifact of the two hand-built networks. *)
+
+val scale_protocol : unit -> outcome
+(** MPDA convergence cost (messages, time) versus network size on
+    random topologies — the "complexity similar to single-path routing
+    protocols" claim. *)
+
+val all : unit -> (string * (unit -> outcome)) list
+(** Every experiment with its id, in paper order. *)

@@ -1,0 +1,36 @@
+module Graph = Mdr_topology.Graph
+
+type t = {
+  name : string;
+  topo : Graph.t;
+  pairs : (int * int) list;
+  load : float;
+}
+
+let packet_size = 4096.0
+
+let cairn ~load =
+  let topo = Mdr_topology.Cairn.topology () in
+  { name = "CAIRN"; topo; pairs = Mdr_topology.Cairn.flow_pairs topo; load }
+
+let net1 ~load =
+  let topo = Mdr_topology.Net1.topology () in
+  { name = "NET1"; topo; pairs = Mdr_topology.Net1.flow_pairs topo; load }
+
+let rate_bits t i = t.load *. (2.0 +. (0.1 *. float_of_int i)) *. 1.0e6
+
+let traffic t =
+  Mdr_fluid.Traffic.of_pairs_bits ~n:(Graph.node_count t.topo)
+    ~packet_size ~rate_bits:(rate_bits t) t.pairs
+
+let model t = Mdr_fluid.Evaluate.model t.topo ~packet_size
+
+let sim_flows ?(burst = None) t =
+  List.mapi
+    (fun i (src, dst) ->
+      { Mdr_netsim.Sim.src; dst; rate_bits = rate_bits t i; burst })
+    t.pairs
+
+let flow_label t i =
+  let src, dst = List.nth t.pairs i in
+  Printf.sprintf "%d (%s->%s)" i (Graph.name t.topo src) (Graph.name t.topo dst)

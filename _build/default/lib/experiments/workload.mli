@@ -1,0 +1,35 @@
+(** Canonical workloads of the paper's evaluation: the CAIRN and NET1
+    topologies with their source-destination pairs, at a configurable
+    load factor.
+
+    Flow [i] (0-based) offers [load * (2.0 + 0.1 * i)] Mb/s — "flows
+    have bandwidths in the range 2-3 Mb/s" at [load = 1]. The per-
+    figure load factors live with each experiment (see
+    [Experiments]). *)
+
+type t = {
+  name : string;
+  topo : Mdr_topology.Graph.t;
+  pairs : (int * int) list;
+  load : float;
+}
+
+val packet_size : float
+(** Mean packet size, bits (4096 = 512 bytes). *)
+
+val cairn : load:float -> t
+val net1 : load:float -> t
+
+val rate_bits : t -> int -> float
+(** Offered rate of the i-th flow, bits/s. *)
+
+val traffic : t -> Mdr_fluid.Traffic.t
+(** Fluid-model traffic matrix (packets/s). *)
+
+val model : t -> Mdr_fluid.Evaluate.model
+
+val sim_flows : ?burst:(float * float) option -> t -> Mdr_netsim.Sim.flow_spec list
+(** Packet-simulator flow specs; [burst] applies to every flow. *)
+
+val flow_label : t -> int -> string
+(** ["0 (lbl->mci-r)"]-style label for figure rows. *)

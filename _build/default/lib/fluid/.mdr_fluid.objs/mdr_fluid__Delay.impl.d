@@ -1,0 +1,1 @@
+lib/fluid/delay.ml: Float Mdr_topology

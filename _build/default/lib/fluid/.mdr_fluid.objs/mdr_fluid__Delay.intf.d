@@ -1,0 +1,1 @@
+lib/fluid/delay.mli: Mdr_topology

@@ -1,0 +1,1 @@
+lib/fluid/evaluate.ml: Array Delay Flows Hashtbl List Mdr_topology Params Printf Traffic

@@ -1,0 +1,1 @@
+lib/fluid/evaluate.mli: Delay Flows Hashtbl Mdr_topology Params Traffic

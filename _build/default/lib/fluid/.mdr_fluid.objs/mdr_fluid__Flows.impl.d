@@ -1,0 +1,1 @@
+lib/fluid/flows.ml: Array Float Hashtbl List Mdr_topology Params Queue Traffic

@@ -1,0 +1,1 @@
+lib/fluid/flows.mli: Hashtbl Params Traffic

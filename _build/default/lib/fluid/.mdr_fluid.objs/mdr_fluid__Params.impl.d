@@ -1,0 +1,1 @@
+lib/fluid/params.ml: Array Float Hashtbl List Mdr_topology Printf

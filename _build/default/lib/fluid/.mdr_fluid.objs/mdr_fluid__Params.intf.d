@@ -1,0 +1,1 @@
+lib/fluid/params.mli: Mdr_topology

@@ -1,0 +1,1 @@
+lib/fluid/traffic.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/fluid/traffic.mli: Mdr_topology

@@ -1,0 +1,48 @@
+type t = { capacity : float; prop_delay : float; rho_max : float }
+
+let create ?(rho_max = 0.99) ~capacity ~prop_delay () =
+  if capacity <= 0.0 then invalid_arg "Delay.create: capacity <= 0";
+  if prop_delay < 0.0 then invalid_arg "Delay.create: negative prop_delay";
+  if rho_max <= 0.0 || rho_max >= 1.0 then invalid_arg "Delay.create: rho_max not in (0,1)";
+  { capacity; prop_delay; rho_max }
+
+let of_link ?rho_max ~packet_size (l : Mdr_topology.Graph.link) =
+  if packet_size <= 0.0 then invalid_arg "Delay.of_link: packet_size <= 0";
+  create ?rho_max ~capacity:(l.capacity /. packet_size) ~prop_delay:l.prop_delay ()
+
+let knee t = t.rho_max *. t.capacity
+
+(* Exact M/M/1 pieces, valid for f < capacity. *)
+let cost_mm1 t f = (f /. (t.capacity -. f)) +. (t.prop_delay *. f)
+
+let marginal_mm1 t f =
+  (t.capacity /. ((t.capacity -. f) ** 2.0)) +. t.prop_delay
+
+let second_mm1 t f = 2.0 *. t.capacity /. ((t.capacity -. f) ** 3.0)
+
+let cost t f =
+  if f < 0.0 then invalid_arg "Delay.cost: negative flow";
+  let f0 = knee t in
+  if f <= f0 then cost_mm1 t f
+  else
+    let d = f -. f0 in
+    cost_mm1 t f0 +. (marginal_mm1 t f0 *. d) +. (0.5 *. second_mm1 t f0 *. d *. d)
+
+let marginal t f =
+  if f < 0.0 then invalid_arg "Delay.marginal: negative flow";
+  let f0 = knee t in
+  if f <= f0 then marginal_mm1 t f
+  else marginal_mm1 t f0 +. (second_mm1 t f0 *. (f -. f0))
+
+let second t f =
+  if f < 0.0 then invalid_arg "Delay.second: negative flow";
+  let f0 = knee t in
+  second_mm1 t (Float.min f f0)
+
+let sojourn t f =
+  if f < 0.0 then invalid_arg "Delay.sojourn: negative flow";
+  if f = 0.0 then (1.0 /. t.capacity) +. t.prop_delay
+  else if f <= knee t then (1.0 /. (t.capacity -. f)) +. t.prop_delay
+  else cost t f /. f
+
+let utilization t f = f /. t.capacity

@@ -1,0 +1,49 @@
+(** M/M/1 link delay model (paper Eq. 24) with a smooth convex
+    extension beyond a utilisation cap.
+
+    With capacity [c] (packets/s), propagation delay [tau] (s) and flow
+    [f] (packets/s), the paper uses
+
+    - D(f)  = f /(c - f) + tau * f   — expected packets in flight times
+      ... i.e. delay-rate product ("expected number of messages per
+      second transmitted times the expected delay per message");
+    - D'(f) = c /(c - f)^2 + tau     — the marginal delay, the link
+      cost used by all three routing schemes.
+
+    D explodes at [f = c]; transient iterates of OPT and, above all,
+    single-path routing can overload a link, so beyond
+    [f0 = rho_max * c] we continue D with its second-order Taylor
+    expansion. The extension is C^2, strictly convex and finite, the
+    standard flow-deviation device; below [f0] the model is exactly
+    M/M/1. *)
+
+type t = private {
+  capacity : float;  (** packets per second *)
+  prop_delay : float;  (** seconds *)
+  rho_max : float;  (** utilisation where the Taylor extension starts *)
+}
+
+val create : ?rho_max:float -> capacity:float -> prop_delay:float -> unit -> t
+(** [rho_max] defaults to 0.99; must lie in (0, 1). *)
+
+val of_link : ?rho_max:float -> packet_size:float -> Mdr_topology.Graph.link -> t
+(** Convert a topology link (capacity in bits/s) using the mean
+    [packet_size] in bits. *)
+
+val cost : t -> float -> float
+(** [cost t f] is D(f) for [f >= 0]. *)
+
+val marginal : t -> float -> float
+(** [marginal t f] is D'(f); strictly increasing in [f]. *)
+
+val second : t -> float -> float
+(** Second derivative D''(f): 2c/(c-f)^3 below the cap, constant
+    beyond it. Used by second-order (Bertsekas-Gallager style)
+    step scaling. *)
+
+val sojourn : t -> float -> float
+(** Expected per-packet delay at flow [f]: [1/(c-f) + tau] below the
+    cap, continued consistently with [cost] above it (so that
+    [cost t f = f *. sojourn t f] holds in the M/M/1 region). *)
+
+val utilization : t -> float -> float

@@ -1,0 +1,45 @@
+(** Delay evaluation of a routing configuration in the fluid model.
+
+    Computes the paper's objective D_T (Eq. 3), the network-average
+    per-packet delay, per-flow expected delays (what Figures 9-12
+    plot), and the marginal link costs / marginal distances used by the
+    routing algorithms (Eqs. 4-5). *)
+
+type model
+(** Per-link M/M/1 delay models for one topology. *)
+
+val model : ?rho_max:float -> Mdr_topology.Graph.t -> packet_size:float -> model
+(** [packet_size] is the mean packet size in bits used to convert link
+    capacities to packets/s. *)
+
+val packet_size : model -> float
+
+val delay_of_link : model -> src:int -> dst:int -> Delay.t
+
+val total_cost : model -> Flows.t -> float
+(** D_T = sum over links of D_ik(f_ik): total expected delay per
+    message times total message arrival rate. *)
+
+val average_delay : model -> Flows.t -> Traffic.t -> float
+(** D_T / total input rate: expected network delay per packet,
+    seconds (Little's law). *)
+
+val link_cost : model -> Flows.t -> src:int -> dst:int -> float
+(** Marginal delay D'_ik(f_ik) — the link cost l_ik. *)
+
+val link_costs : model -> Flows.t -> (int * int, float) Hashtbl.t
+(** Marginal delay of every link of the topology. *)
+
+val per_flow_delays : model -> Params.t -> Flows.t -> Traffic.t -> (Traffic.flow * float) list
+(** Expected end-to-end delay of each input flow under the current
+    routing: d_dst(i) = sum_k phi_{i,dst,k} (sojourn_ik + d_dst(k)).
+    Order matches [Traffic.flows]. *)
+
+val expected_delay : model -> Params.t -> Flows.t -> src:int -> dst:int -> float
+(** Expected delay from one router to a destination; infinite when
+    (src, dst) is unrouted. *)
+
+val marginal_distances : model -> Params.t -> Flows.t -> dst:int -> float array
+(** The marginal distances dD_T/dr_i(dst) of every router for one
+    destination (Eq. 4): delta_i = sum_k phi_ik (l_ik + delta_k).
+    Unrouted routers get [infinity]. *)

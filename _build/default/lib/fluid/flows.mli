@@ -1,0 +1,37 @@
+(** Traffic flows induced by a routing-parameter table.
+
+    Solves the conservation equations (paper Eqs. 1-2): per
+    destination, node flow [t_i = r_i + sum over predecessors k of
+    t_k * phi_k(i)], then link flow [f_(i,k) = sum over destinations of
+    t_i * phi_i(k)]. Because every scheme keeps the successor graph
+    acyclic, the system is solved exactly in topological order; a
+    damped iterative fallback exists for deliberately cyclic inputs in
+    tests. *)
+
+exception Cyclic_routing of int
+(** Raised with the offending destination when the successor graph has
+    a cycle and no fallback was requested. *)
+
+type t = {
+  node_flows : float array array;
+      (** [node_flows.(i).(j)]: traffic for destination [j] passing
+          through router [i] (the paper's t_ij), packets/s. *)
+  link_flows : (int * int, float) Hashtbl.t;
+      (** flow on directed link (src, dst), packets/s (the paper's
+          f_ik). Links with zero flow may be absent. *)
+}
+
+val compute : ?iterative_fallback:bool -> Params.t -> Traffic.t -> t
+(** [iterative_fallback] (default false) solves cyclic destinations
+    with damped fixed-point iteration instead of raising. *)
+
+val link_flow : t -> src:int -> dst:int -> float
+
+val max_utilization : Params.t -> t -> packet_size:float -> float
+(** Highest link utilisation in packets/s over the topology's
+    capacities converted with [packet_size]. *)
+
+val topological_order : Params.t -> dst:int -> int list
+(** Routers ordered so every router precedes its successors toward
+    [dst] (the destination last if reachable).
+    @raise Cyclic_routing if SG_dst has a cycle. *)

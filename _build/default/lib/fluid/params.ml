@@ -1,0 +1,140 @@
+module Graph = Mdr_topology.Graph
+
+type t = {
+  topo : Graph.t;
+  nbrs : int array array;
+  pos : (int, int) Hashtbl.t array;  (* pos.(i): neighbor node -> slot *)
+  phi : float array array array;  (* phi.(i).(dst).(slot) *)
+}
+
+let tolerance = 1e-9
+
+let create topo =
+  let n = Graph.node_count topo in
+  let nbrs = Array.init n (fun i -> Array.of_list (Graph.neighbors topo i)) in
+  let pos =
+    Array.init n (fun i ->
+        let h = Hashtbl.create (Array.length nbrs.(i)) in
+        Array.iteri (fun slot k -> Hashtbl.replace h k slot) nbrs.(i);
+        h)
+  in
+  let phi =
+    Array.init n (fun i -> Array.init n (fun _ -> Array.make (Array.length nbrs.(i)) 0.0))
+  in
+  { topo; nbrs; pos; phi }
+
+let copy t =
+  { t with phi = Array.map (Array.map Array.copy) t.phi }
+
+let assign t ~from_ =
+  if t.topo != from_.topo && Graph.node_count t.topo <> Graph.node_count from_.topo
+  then invalid_arg "Params.assign: topology mismatch";
+  Array.iteri
+    (fun i rows ->
+      Array.iteri
+        (fun j row -> Array.blit from_.phi.(i).(j) 0 row 0 (Array.length row))
+        rows)
+    t.phi
+
+let topology t = t.topo
+
+let neighbor_array t node = t.nbrs.(node)
+
+let slot_of t ~node ~via = Hashtbl.find_opt t.pos.(node) via
+
+let fraction t ~node ~dst ~via =
+  match slot_of t ~node ~via with
+  | None -> 0.0
+  | Some slot -> t.phi.(node).(dst).(slot)
+
+let fractions t ~node ~dst =
+  let row = t.phi.(node).(dst) in
+  let acc = ref [] in
+  for slot = Array.length row - 1 downto 0 do
+    if row.(slot) > 0.0 then acc := (t.nbrs.(node).(slot), row.(slot)) :: !acc
+  done;
+  !acc
+
+let set_fractions t ~node ~dst entries =
+  if node = dst && entries <> [] then
+    invalid_arg "Params.set_fractions: destination routes to itself";
+  let row = t.phi.(node).(dst) in
+  Array.fill row 0 (Array.length row) 0.0;
+  match entries with
+  | [] -> ()
+  | _ ->
+    let total = ref 0.0 in
+    let apply (via, frac) =
+      if frac < -.tolerance then invalid_arg "Params.set_fractions: negative fraction";
+      match slot_of t ~node ~via with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Params.set_fractions: %s is not a neighbor of %s"
+             (Graph.name t.topo via) (Graph.name t.topo node))
+      | Some slot ->
+        let frac = Float.max 0.0 frac in
+        row.(slot) <- row.(slot) +. frac;
+        total := !total +. frac
+    in
+    List.iter apply entries;
+    if Float.abs (!total -. 1.0) > 1e-6 then begin
+      Array.fill row 0 (Array.length row) 0.0;
+      invalid_arg
+        (Printf.sprintf "Params.set_fractions: fractions sum to %.9f, not 1" !total)
+    end;
+    (* Renormalize away accumulated floating error. *)
+    if !total <> 1.0 then
+      Array.iteri (fun slot v -> row.(slot) <- v /. !total) row
+
+let set_single t ~node ~dst ~via = set_fractions t ~node ~dst [ (via, 1.0) ]
+
+let clear t ~node ~dst =
+  let row = t.phi.(node).(dst) in
+  Array.fill row 0 (Array.length row) 0.0
+
+let successors t ~node ~dst = List.map fst (fractions t ~node ~dst)
+
+let is_routed t ~node ~dst =
+  Array.exists (fun v -> v > 0.0) t.phi.(node).(dst)
+
+let validate t =
+  let n = Graph.node_count t.topo in
+  let problem = ref None in
+  for node = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if !problem = None then begin
+        let row = t.phi.(node).(dst) in
+        let total = Array.fold_left ( +. ) 0.0 row in
+        if Array.exists (fun v -> v < 0.0) row then
+          problem :=
+            Some (Printf.sprintf "negative fraction at (%d, %d)" node dst)
+        else if node = dst && total > tolerance then
+          problem := Some (Printf.sprintf "destination %d routes to itself" dst)
+        else if total > tolerance && Float.abs (total -. 1.0) > 1e-6 then
+          problem :=
+            Some
+              (Printf.sprintf "fractions at (%d, %d) sum to %.9f" node dst total)
+      end
+    done
+  done;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let successor_graph_is_acyclic t ~dst =
+  let n = Graph.node_count t.topo in
+  (* Colors: 0 unvisited, 1 on stack, 2 done. *)
+  let color = Array.make n 0 in
+  let rec visit node =
+    if color.(node) = 1 then false
+    else if color.(node) = 2 then true
+    else begin
+      color.(node) <- 1;
+      let ok =
+        List.for_all
+          (fun succ -> succ = dst || visit succ)
+          (successors t ~node ~dst)
+      in
+      color.(node) <- 2;
+      ok
+    end
+  in
+  List.for_all (fun node -> node = dst || visit node) (Graph.nodes t.topo)

@@ -1,0 +1,55 @@
+(** Routing parameter tables: the fractions phi_{i,dst,k} of router
+    [i]'s traffic for destination [dst] forwarded over link (i, k)
+    (paper Section 2.1, Property 1).
+
+    Property 1 — phi is zero on non-links and at the destination,
+    non-negative, and sums to one over the successor set — is enforced
+    at every mutation; [check_property1] re-validates globally and is
+    exercised by the test-suite after every heuristic step. *)
+
+type t
+
+val create : Mdr_topology.Graph.t -> t
+(** All fractions zero (no destination routed yet). *)
+
+val copy : t -> t
+
+val assign : t -> from_:t -> unit
+(** Overwrite every fraction in the first table with those of
+    [from_]; both must be built over the same topology. *)
+
+val topology : t -> Mdr_topology.Graph.t
+
+val neighbor_array : t -> Mdr_topology.Graph.node -> Mdr_topology.Graph.node array
+(** Out-neighbors of a node in fixed order; fraction vectors index into
+    this array. *)
+
+val fraction : t -> node:int -> dst:int -> via:int -> float
+(** 0 when [via] is not a neighbor of [node]. *)
+
+val fractions : t -> node:int -> dst:int -> (Mdr_topology.Graph.node * float) list
+(** Neighbors with non-zero fraction. *)
+
+val set_fractions : t -> node:int -> dst:int -> (Mdr_topology.Graph.node * float) list -> unit
+(** Replace the distribution for (node, dst). The list must mention
+    only neighbors of [node], with non-negative entries summing to 1
+    (within 1e-9) — or be empty to clear the entry.
+    @raise Invalid_argument otherwise. *)
+
+val set_single : t -> node:int -> dst:int -> via:Mdr_topology.Graph.node -> unit
+(** Route (node, dst) entirely via one neighbor. *)
+
+val clear : t -> node:int -> dst:int -> unit
+
+val successors : t -> node:int -> dst:int -> Mdr_topology.Graph.node list
+(** Neighbors carrying a positive fraction (the successor set S,
+    Eq. 9). *)
+
+val is_routed : t -> node:int -> dst:int -> bool
+
+val validate : t -> (unit, string) result
+(** Check Property 1 for every routed (node, dst) pair. *)
+
+val successor_graph_is_acyclic : t -> dst:int -> bool
+(** Whether the routing graph SG_dst implied by the successor sets is
+    a DAG (paper: required for minimum delays to be approached). *)

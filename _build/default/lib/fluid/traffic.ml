@@ -1,0 +1,52 @@
+type flow = { src : int; dst : int; rate : float }
+
+type t = { n : int; r : float array array }
+
+let empty ~n = { n; r = Array.make_matrix n n 0.0 }
+
+let add t { src; dst; rate } =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Traffic: node out of range";
+  if src = dst then invalid_arg "Traffic: self-flow";
+  if rate < 0.0 then invalid_arg "Traffic: negative rate";
+  t.r.(src).(dst) <- t.r.(src).(dst) +. rate
+
+let of_flows ~n flows =
+  let t = empty ~n in
+  List.iter (add t) flows;
+  t
+
+let of_pairs_bits ~n ~packet_size ~rate_bits pairs =
+  if packet_size <= 0.0 then invalid_arg "Traffic.of_pairs_bits: packet_size <= 0";
+  let flows =
+    List.mapi
+      (fun i (src, dst) -> { src; dst; rate = rate_bits i /. packet_size })
+      pairs
+  in
+  of_flows ~n flows
+
+let node_count t = t.n
+
+let rate t ~src ~dst = t.r.(src).(dst)
+
+let total_rate t =
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 t.r
+
+let flows t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    for dst = t.n - 1 downto 0 do
+      if t.r.(src).(dst) > 0.0 then
+        acc := { src; dst; rate = t.r.(src).(dst) } :: !acc
+    done
+  done;
+  !acc
+
+let destinations t =
+  List.filter
+    (fun dst -> List.exists (fun src -> t.r.(src).(dst) > 0.0) (List.init t.n Fun.id))
+    (List.init t.n Fun.id)
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Traffic.scale: negative factor";
+  { n = t.n; r = Array.map (Array.map (fun x -> x *. k)) t.r }

@@ -1,0 +1,1 @@
+lib/gallager/gallager.ml: Array Float Hashtbl List Mdr_fluid Mdr_routing Mdr_topology

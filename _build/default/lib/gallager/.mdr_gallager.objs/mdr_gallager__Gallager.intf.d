@@ -1,0 +1,1 @@
+lib/gallager/gallager.mli: Mdr_fluid Mdr_topology

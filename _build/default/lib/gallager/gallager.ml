@@ -1,0 +1,269 @@
+module Graph = Mdr_topology.Graph
+module Fluid = Mdr_fluid
+module Params = Fluid.Params
+module Flows = Fluid.Flows
+module Traffic = Fluid.Traffic
+module Evaluate = Fluid.Evaluate
+module Delay = Fluid.Delay
+
+type result = {
+  params : Params.t;
+  flows : Flows.t;
+  total_cost : float;
+  avg_delay : float;
+  iterations : int;
+  history : float list;
+  converged : bool;
+}
+
+let spf_params model topo =
+  let params = Params.create topo in
+  let n = Graph.node_count topo in
+  let zero_flow_cost (l : Graph.link) =
+    Delay.marginal (Evaluate.delay_of_link model ~src:l.src ~dst:l.dst) 0.0
+  in
+  for dst = 0 to n - 1 do
+    let dist = Mdr_routing.Dijkstra.distances_to topo ~dst ~cost:zero_flow_cost in
+    for node = 0 to n - 1 do
+      if node <> dst then begin
+        (* Best next hop: the neighbor minimising link cost + its
+           distance, ties to the lower id (deterministic trees). *)
+        let best =
+          List.fold_left
+            (fun best k ->
+              let link = Graph.link_exn topo ~src:node ~dst:k in
+              let d = zero_flow_cost link +. dist.(k) in
+              match best with
+              | Some (_, bd) when bd <= d -> best
+              | _ -> if Float.is_finite d then Some (k, d) else best)
+            None (Graph.neighbors topo node)
+        in
+        match best with
+        | Some (k, _) -> Params.set_single params ~node ~dst ~via:k
+        | None -> ()
+      end
+    done
+  done;
+  params
+
+(* Improper nodes for a destination: a node is improper when one of its
+   routed links goes uphill in marginal distance, or when some
+   successor is improper. Blocking flow additions toward improper
+   neighbors is Gallager's device for keeping successor graphs acyclic
+   while delta evolves. *)
+let improper_nodes params delta ~dst ~n =
+  let improper = Array.make n false in
+  let order = Flows.topological_order params ~dst in
+  let mark node =
+    if node <> dst then begin
+      let succs = Params.successors params ~node ~dst in
+      let uphill k = delta.(k) >= delta.(node) in
+      if List.exists (fun k -> uphill k || improper.(k)) succs then
+        improper.(node) <- true
+    end
+  in
+  (* Successors resolve before the nodes that use them. *)
+  List.iter mark (List.rev order);
+  improper
+
+let update_destination ?(second_order = false) model params flows ~eta ~dst =
+  let topo = Params.topology params in
+  let n = Graph.node_count topo in
+  let delta = Evaluate.marginal_distances model params flows ~dst in
+  let improper = improper_nodes params delta ~dst ~n in
+  let max_change = ref 0.0 in
+  for node = 0 to n - 1 do
+    if node <> dst then begin
+      let nbrs = Params.neighbor_array params node in
+      if Array.length nbrs > 0 then begin
+        let through k =
+          Evaluate.link_cost model flows ~src:node ~dst:k +. delta.(k)
+        in
+        let phi k = Params.fraction params ~node ~dst ~via:k in
+        let blocked k =
+          phi k = 0.0 && (delta.(k) >= delta.(node) || improper.(k))
+        in
+        let candidates = Array.to_list nbrs in
+        let best =
+          List.fold_left
+            (fun best k ->
+              if blocked k then best
+              else
+                let d = through k in
+                match best with
+                | Some (_, bd) when bd <= d -> best
+                | _ -> if Float.is_finite d then Some (k, d) else best)
+            None candidates
+        in
+        match best with
+        | None -> ()
+        | Some (kmin, dmin) ->
+          let t_node = flows.Flows.node_flows.(node).(dst) in
+          let moved = ref 0.0 in
+          let entries =
+            List.filter_map
+              (fun k ->
+                let p = phi k in
+                if k = kmin || p <= 0.0 then None
+                else begin
+                  let reduction =
+                    if t_node > 0.0 then begin
+                      (* Second-order scaling (Bertsekas-Gallager):
+                         normalise the step by the curvature of the
+                         two links traded against each other, making
+                         eta dimensionless and far less input-
+                         dependent. *)
+                      let scale =
+                        if second_order then begin
+                          (* Newton-style: d2(D_T)/d(phi)^2 ~ t^2 (D''_k
+                             + D''_kmin); the gradient is t a_k, so the
+                             step is a_k / (t (D''_k + D''_kmin)). *)
+                          let second via =
+                            let f =
+                              match Hashtbl.find_opt flows.Flows.link_flows (node, via) with
+                              | Some f -> f
+                              | None -> 0.0
+                            in
+                            Delay.second
+                              (Evaluate.delay_of_link model ~src:node ~dst:via)
+                              f
+                          in
+                          Float.max 1e-12 (second k +. second kmin)
+                        end
+                        else 1.0
+                      in
+                      Float.min p (eta *. (through k -. dmin) /. (t_node *. scale))
+                    end
+                    else p (* no traffic: collapse onto the best hop *)
+                  in
+                  moved := !moved +. reduction;
+                  let remaining = p -. reduction in
+                  if remaining > 1e-12 then Some (k, remaining) else None
+                end)
+              candidates
+          in
+          let best_share = phi kmin +. !moved in
+          let entries = (kmin, best_share) :: entries in
+          (* Guard against drift before writing back. *)
+          let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 entries in
+          let entries = List.map (fun (k, f) -> (k, f /. total)) entries in
+          max_change := Float.max !max_change !moved;
+          Params.set_fractions params ~node ~dst entries
+      end
+    end
+  done;
+  !max_change
+
+let solve ?(eta = 1.0e4) ?(adaptive = true) ?(second_order = false)
+    ?(max_iters = 2000) ?(tol = 1e-9) ?init model topo traffic =
+  if eta <= 0.0 then invalid_arg "Gallager.solve: eta <= 0";
+  let params =
+    match init with Some p -> Params.copy p | None -> spf_params model topo
+  in
+  let n = Graph.node_count topo in
+  let destinations = List.filter (fun d -> d < n) (Traffic.destinations traffic) in
+  let tol_move = Float.max tol 1e-8 in
+  let cost_of p =
+    let flows = Flows.compute ~iterative_fallback:true p traffic in
+    (flows, Evaluate.total_cost model flows)
+  in
+  let apply p flows step =
+    List.fold_left
+      (fun acc dst ->
+        Float.max acc
+          (update_destination ~second_order model p flows ~eta:step ~dst))
+      0.0 destinations
+  in
+  let eta_floor = eta *. 1e-12 in
+  let history = ref [] in
+  let cur_eta = ref eta in
+  let finished = ref false in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while not !finished && !iterations < max_iters do
+    incr iterations;
+    let flows, cost = cost_of params in
+    history := cost :: !history;
+    if adaptive then begin
+      (* Backtracking line search: keep halving the step until the
+         update strictly descends, restoring the parameters between
+         attempts. The objective is convex, so a small enough step
+         always descends unless we are at the optimum. *)
+      let saved = Params.copy params in
+      let rec attempt step =
+        let moved = apply params flows step in
+        if moved < tol_move then begin
+          converged := true;
+          finished := true
+        end
+        else begin
+          let _, new_cost = cost_of params in
+          if new_cost < cost then
+            (* Successful step: let the step size recover. *)
+            cur_eta := Float.min eta (step *. 1.5)
+          else if step <= eta_floor then begin
+            converged := true;
+            finished := true
+          end
+          else begin
+            (* Restore and retry with half the step. *)
+            Params.assign params ~from_:saved;
+            attempt (step /. 2.0)
+          end
+        end
+      in
+      attempt !cur_eta
+    end
+    else begin
+      (* Pure Gallager: fixed global step, no safeguards (ABL-ETA). *)
+      let moved = apply params flows eta in
+      if moved < tol_move then begin
+        converged := true;
+        finished := true
+      end
+    end
+  done;
+  let flows = Flows.compute ~iterative_fallback:true params traffic in
+  {
+    params;
+    flows;
+    total_cost = Evaluate.total_cost model flows;
+    avg_delay = Evaluate.average_delay model flows traffic;
+    iterations = !iterations;
+    history = List.rev !history;
+    converged = !converged;
+  }
+
+let check_optimality model params flows traffic ~tolerance =
+  let topo = Params.topology params in
+  let n = Graph.node_count topo in
+  let ok = ref true in
+  let check_destination dst =
+    let delta = Evaluate.marginal_distances model params flows ~dst in
+    for node = 0 to n - 1 do
+      if node <> dst && flows.Flows.node_flows.(node).(dst) > 1e-9 then begin
+        let through k =
+          Evaluate.link_cost model flows ~src:node ~dst:k +. delta.(k)
+        in
+        let succs = Params.successors params ~node ~dst in
+        let values = List.map through succs in
+        match values with
+        | [] -> ok := false
+        | v0 :: rest ->
+          let lo = List.fold_left Float.min v0 rest in
+          let hi = List.fold_left Float.max v0 rest in
+          (* Successor marginals must agree (Eq. 11)... *)
+          if hi -. lo > tolerance *. Float.max 1.0 lo then ok := false;
+          (* ...and no outside neighbor may beat them (Eq. 12). *)
+          List.iter
+            (fun k ->
+              if not (List.mem k succs) then
+                let v = through k in
+                if Float.is_finite v && v < lo -. (tolerance *. Float.max 1.0 lo)
+                then ok := false)
+            (Array.to_list (Params.neighbor_array params node))
+      end
+    done
+  in
+  List.iter check_destination (Traffic.destinations traffic);
+  !ok

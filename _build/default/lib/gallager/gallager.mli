@@ -1,0 +1,64 @@
+(** OPT — Gallager's distributed minimum-delay routing algorithm
+    (paper Section 2.2), run in the fluid model as the lower-bound
+    baseline.
+
+    Each iteration computes the flows induced by the current routing
+    parameters, the marginal link costs l_ik = D'_ik(f_ik), and the
+    marginal distances delta_ij (Eq. 4); it then shifts, at every
+    router and for every destination, a step-size-(eta) amount of
+    traffic from neighbors with large l_ik + delta_kj toward the best
+    neighbor (Eq. 6). Gallager's blocking rule keeps every successor
+    graph acyclic: flow may only be *added* toward a neighbor whose
+    marginal distance is strictly smaller and which is not "improper"
+    (carrying, directly or downstream, an uphill routed link).
+
+    The global step size [eta] is exactly the constant the paper
+    criticises: too small converges slowly, too large diverges — the
+    [history] field feeds the eta-sweep ablation bench. *)
+
+type result = {
+  params : Mdr_fluid.Params.t;  (** converged routing parameters *)
+  flows : Mdr_fluid.Flows.t;
+  total_cost : float;  (** D_T (Eq. 3) *)
+  avg_delay : float;  (** seconds per packet *)
+  iterations : int;
+  history : float list;  (** D_T after each iteration, oldest first *)
+  converged : bool;  (** relative improvement fell below [tol] *)
+}
+
+val spf_params :
+  Mdr_fluid.Evaluate.model -> Mdr_topology.Graph.t -> Mdr_fluid.Params.t
+(** Single-path routing parameters along the shortest-path trees under
+    zero-flow marginal costs: the initial condition for OPT and the
+    static-SPF reference. *)
+
+val solve :
+  ?eta:float ->
+  ?adaptive:bool ->
+  ?second_order:bool ->
+  ?max_iters:int ->
+  ?tol:float ->
+  ?init:Mdr_fluid.Params.t ->
+  Mdr_fluid.Evaluate.model ->
+  Mdr_topology.Graph.t ->
+  Mdr_fluid.Traffic.t ->
+  result
+(** Defaults: [eta = 1e4], [adaptive = true], [second_order = false],
+    [max_iters = 2000],
+    [tol = 1e-9]. With [adaptive], the step size is halved whenever an
+    iteration increases D_T, which makes the gradient projection a
+    descent method regardless of the initial [eta]; [adaptive:false]
+    reproduces Gallager's fixed global step — including its
+    oscillation/divergence for large [eta] (the ABL-ETA bench).
+    [second_order] scales steps by the traded links' D'' — the
+    Bertsekas-Gallager acceleration the paper's related work cites —
+    making a dimensionless [eta] around 1 appropriate for any input.
+    [init] defaults to {!spf_params}; it must route every (router,
+    destination) pair and be loop-free. *)
+
+val check_optimality :
+  Mdr_fluid.Evaluate.model -> Mdr_fluid.Params.t -> Mdr_fluid.Flows.t ->
+  Mdr_fluid.Traffic.t -> tolerance:float -> bool
+(** Gallager's conditions (Eqs. 10-12) within [tolerance]: over each
+    router's successor set the values l_ik + delta_kj are equal, and no
+    non-successor offers a strictly smaller value. *)

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Mdr_costs Mdr_eventsim Mdr_topology Mdr_util Packet Queue

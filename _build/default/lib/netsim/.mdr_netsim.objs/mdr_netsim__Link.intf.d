@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Mdr_costs Mdr_eventsim Mdr_topology Packet

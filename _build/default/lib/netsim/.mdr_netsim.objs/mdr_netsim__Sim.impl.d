@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Array Float Fun Hashtbl Link List Mdr_core Mdr_costs Mdr_eventsim Mdr_routing Mdr_topology Mdr_util Packet Traffic_gen

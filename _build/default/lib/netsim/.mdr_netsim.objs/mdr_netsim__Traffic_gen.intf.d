@@ -1,0 +1,1 @@
+lib/netsim/traffic_gen.mli: Mdr_eventsim Mdr_util Packet

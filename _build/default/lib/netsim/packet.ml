@@ -1,0 +1,10 @@
+type t = {
+  flow_id : int;
+  src : int;
+  dst : int;
+  size : float;
+  created : float;
+  mutable hops : int;
+}
+
+let hop_limit = 64

@@ -1,0 +1,14 @@
+(** Data packets of the packet-level simulator. *)
+
+type t = {
+  flow_id : int;  (** index into the scenario's flow list; -1 for control *)
+  src : int;
+  dst : int;
+  size : float;  (** bits *)
+  created : float;  (** injection time, seconds *)
+  mutable hops : int;  (** forwarding steps so far, for loop damping *)
+}
+
+val hop_limit : int
+(** Packets are dropped after this many hops (transient routing states
+    of non-loop-free schemes can cycle packets). *)

@@ -1,0 +1,560 @@
+module Graph = Mdr_topology.Graph
+module Engine = Mdr_eventsim.Engine
+module Rng = Mdr_util.Rng
+module Stats = Mdr_util.Stats
+module Router = Mdr_routing.Router
+module Lfi = Mdr_routing.Lfi
+module Estimator = Mdr_costs.Estimator
+module Heuristics = Mdr_core.Heuristics
+
+type scheme = Mp | Sp | Ecmp
+
+type estimator_kind = Mm1 | Busy_period | Sojourn
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  rate_bits : float;
+  burst : (float * float) option;
+}
+
+type config = {
+  scheme : scheme;
+  t_l : float;
+  t_s : float;
+  mean_packet_size : float;
+  sim_time : float;
+  warmup : float;
+  seed : int;
+  estimator : estimator_kind;
+  damping : float;
+  timeline_bucket : float;
+  buffer_packets : int option;
+}
+
+type event =
+  | Fail_duplex of { at : float; a : int; b : int }
+  | Restore_duplex of { at : float; a : int; b : int }
+
+let default_config =
+  {
+    scheme = Mp;
+    t_l = 10.0;
+    t_s = 2.0;
+    mean_packet_size = 4096.0;
+    sim_time = 60.0;
+    warmup = 10.0;
+    seed = 1;
+    estimator = Busy_period;
+    damping = 1.0;
+    timeline_bucket = 1.0;
+    buffer_packets = None;
+  }
+
+type link_stat = {
+  src : int;
+  dst : int;
+  utilization : float;
+  mean_queue : float;
+  packets : int;
+}
+
+type flow_stat = {
+  spec : flow_spec;
+  delivered : int;
+  dropped : int;
+  mean_delay : float;
+  p95_delay : float;
+  mean_hops : float;
+}
+
+type result = {
+  flows : flow_stat list;
+  avg_delay : float;
+  total_delivered : int;
+  total_dropped : int;
+  control_messages : int;
+  max_mean_queue : float;
+  loop_free_violations : int;
+  delay_timeline : (float * float * int) list;
+  links : link_stat list;
+}
+
+type link_state = {
+  link : Link.t;
+  mutable short_cost : float;  (* latest T_s estimate *)
+  mutable long_cost : float;  (* mean of T_s estimates over last T_l *)
+  mutable accum : float;
+  mutable samples : int;
+}
+
+type node_state = {
+  id : int;
+  router : Router.t;
+  out : (int, link_state) Hashtbl.t;  (* neighbor -> adjacent link *)
+  forwarding : (int, (int * float) list) Hashtbl.t;  (* dst -> distribution *)
+  succ_used : (int, int list) Hashtbl.t;  (* dst -> sorted successor set in use *)
+  rng : Rng.t;
+}
+
+type sim = {
+  topo : Graph.t;
+  cfg : config;
+  engine : Engine.t;
+  nodes : node_state array;
+  mutable loop_free_violations : int;
+  flow_delays : float list ref array;
+  delivered : int array;
+  dropped : int array;
+  hops_sum : int array;
+  timeline_sum : float array;
+  timeline_count : int array;
+}
+
+let zero_flow_marginal cfg (l : Graph.link) =
+  let c_pkts = l.capacity /. cfg.mean_packet_size in
+  (1.0 /. c_pkts) +. l.prop_delay
+
+let make_estimator cfg (l : Graph.link) =
+  match cfg.estimator with
+  | Mm1 ->
+    Estimator.mm1 ~capacity:(l.capacity /. cfg.mean_packet_size)
+      ~prop_delay:l.prop_delay
+  | Busy_period -> Estimator.busy_period ~prop_delay:l.prop_delay
+  | Sojourn -> Estimator.measured_sojourn ~prop_delay:l.prop_delay
+
+(* --- Forwarding-table maintenance ----------------------------------- *)
+
+(* Marginal distance through neighbor k for destination [dst], seen
+   from node [ns]: the neighbor's reported distance plus the measured
+   adjacent-link cost (long-term for IH at route changes, short-term
+   for AH). *)
+let through ns ~dst ~cost_of k =
+  Router.neighbor_distance ns.router ~nbr:k ~dst +. cost_of k
+
+let refresh_forwarding sim ns =
+  let n = Graph.node_count sim.topo in
+  let long_cost k =
+    match Hashtbl.find_opt ns.out k with
+    | Some ls -> ls.long_cost
+    | None -> infinity
+  in
+  for dst = 0 to n - 1 do
+    if dst <> ns.id then begin
+      let s = List.sort compare (Router.successors ns.router ~dst) in
+      let best_of candidates =
+        List.fold_left
+          (fun best k ->
+            let d = through ns ~dst ~cost_of:long_cost k in
+            match best with
+            | Some (_, bd) when bd <= d -> best
+            | _ -> if Float.is_finite d then Some (k, d) else best)
+          None candidates
+      in
+      let chosen =
+        match (s, sim.cfg.scheme) with
+        | [], _ -> []
+        | _ :: _, Mp -> s
+        | _ :: _, Sp -> (
+          (* Single path: the successor minimising D_jk + l_k. *)
+          match best_of s with Some (k, _) -> [ k ] | None -> [])
+        | _ :: _, Ecmp -> (
+          (* Equal-cost successors only, OSPF-style. *)
+          match best_of s with
+          | None -> []
+          | Some (_, bd) ->
+            List.filter
+              (fun k ->
+                through ns ~dst ~cost_of:long_cost k <= bd *. (1.0 +. 1e-9))
+              s)
+      in
+      let previous =
+        match Hashtbl.find_opt ns.succ_used dst with Some l -> l | None -> []
+      in
+      if chosen <> previous then begin
+        Hashtbl.replace ns.succ_used dst chosen;
+        match chosen with
+        | [] -> Hashtbl.remove ns.forwarding dst
+        | [ k ] -> Hashtbl.replace ns.forwarding dst [ (k, 1.0) ]
+        | _ when sim.cfg.scheme = Ecmp ->
+          let even = 1.0 /. float_of_int (List.length chosen) in
+          Hashtbl.replace ns.forwarding dst (List.map (fun k -> (k, even)) chosen)
+        | _ ->
+          let entries =
+            List.filter_map
+              (fun k ->
+                let a = through ns ~dst ~cost_of:long_cost k in
+                if Float.is_finite a && a > 0.0 then Some (k, a) else None)
+              chosen
+          in
+          (match entries with
+          | [] -> Hashtbl.remove ns.forwarding dst
+          | [ (k, _) ] -> Hashtbl.replace ns.forwarding dst [ (k, 1.0) ]
+          | _ -> Hashtbl.replace ns.forwarding dst (Heuristics.initial entries))
+      end
+    end
+  done
+
+let adjust_forwarding sim ns =
+  let short_cost k =
+    match Hashtbl.find_opt ns.out k with
+    | Some ls -> ls.short_cost
+    | None -> infinity
+  in
+  Hashtbl.iter
+    (fun dst current ->
+      match current with
+      | [] | [ _ ] -> ()
+      | _ ->
+        let adjusted =
+          Heuristics.adjust ~damping:sim.cfg.damping ~current
+            ~through:(through ns ~dst ~cost_of:short_cost)
+            ()
+        in
+        Hashtbl.replace ns.forwarding dst adjusted)
+    (Hashtbl.copy ns.forwarding)
+
+(* --- Control plane ---------------------------------------------------- *)
+
+let link_up sim ~src ~dst =
+  match Hashtbl.find_opt sim.nodes.(src).out dst with
+  | None -> false
+  | Some ls -> Link.is_up ls.link
+
+let rec dispatch sim ~from_ outputs =
+  List.iter
+    (fun { Router.dst; msg } ->
+      if link_up sim ~src:from_ ~dst then begin
+        let link = Graph.link_exn sim.topo ~src:from_ ~dst in
+        ignore
+          (Engine.schedule sim.engine ~delay:link.prop_delay (fun () ->
+               if link_up sim ~src:from_ ~dst then begin
+                 let ns = sim.nodes.(dst) in
+                 let replies = Router.handle_msg ns.router ~from_ msg in
+                 refresh_forwarding sim ns;
+                 dispatch sim ~from_:dst replies
+               end))
+      end)
+    outputs
+
+let long_term_tick sim ns =
+  (* Fold the T_s samples of the closing interval into long-term costs
+     and flood them through MPDA. *)
+  let updates = ref [] in
+  Hashtbl.iter
+    (fun k ls ->
+      let cost =
+        if ls.samples > 0 then ls.accum /. float_of_int ls.samples
+        else ls.long_cost
+      in
+      ls.long_cost <- cost;
+      ls.accum <- 0.0;
+      ls.samples <- 0;
+      updates := (k, cost) :: !updates)
+    ns.out;
+  List.iter
+    (fun (k, cost) ->
+      let outputs = Router.handle_link_cost ns.router ~nbr:k ~cost in
+      refresh_forwarding sim ns;
+      dispatch sim ~from_:ns.id outputs)
+    (List.sort compare !updates)
+
+let short_term_tick sim ns =
+  Hashtbl.iter
+    (fun _k ls ->
+      let sample = Link.sample_cost ls.link in
+      ls.short_cost <- sample.Estimator.marginal;
+      ls.accum <- ls.accum +. sample.Estimator.marginal;
+      ls.samples <- ls.samples + 1)
+    ns.out;
+  (* ECMP has no short-term balancing; SP entries are singletons so AH
+     is a no-op there anyway. *)
+  if sim.cfg.scheme <> Ecmp then adjust_forwarding sim ns
+
+let check_loop_freedom sim =
+  let n = Graph.node_count sim.topo in
+  let ok =
+    List.for_all
+      (fun dst ->
+        Lfi.successor_graph_acyclic ~n
+          ~successors:(fun ~node ->
+            match Hashtbl.find_opt sim.nodes.(node).succ_used dst with
+            | Some s -> s
+            | None -> [])
+          ~dst)
+      (Graph.nodes sim.topo)
+  in
+  if not ok then sim.loop_free_violations <- sim.loop_free_violations + 1
+
+(* --- Data plane -------------------------------------------------------- *)
+
+let record_delivery sim (p : Packet.t) =
+  let now = Engine.now sim.engine in
+  let bucket = int_of_float (now /. sim.cfg.timeline_bucket) in
+  if bucket >= 0 && bucket < Array.length sim.timeline_sum && p.flow_id >= 0 then begin
+    sim.timeline_sum.(bucket) <- sim.timeline_sum.(bucket) +. (now -. p.created);
+    sim.timeline_count.(bucket) <- sim.timeline_count.(bucket) + 1
+  end;
+  if p.created >= sim.cfg.warmup && p.flow_id >= 0 then begin
+    sim.delivered.(p.flow_id) <- sim.delivered.(p.flow_id) + 1;
+    sim.hops_sum.(p.flow_id) <- sim.hops_sum.(p.flow_id) + p.hops;
+    let delays = sim.flow_delays.(p.flow_id) in
+    delays := (now -. p.created) :: !delays
+  end
+
+let record_drop sim (p : Packet.t) =
+  if p.created >= sim.cfg.warmup && p.flow_id >= 0 then
+    sim.dropped.(p.flow_id) <- sim.dropped.(p.flow_id) + 1
+
+let rec forward sim node (p : Packet.t) =
+  if node = p.dst then record_delivery sim p
+  else if p.hops >= Packet.hop_limit then record_drop sim p
+  else begin
+    let ns = sim.nodes.(node) in
+    match Hashtbl.find_opt ns.forwarding p.dst with
+    | None | Some [] -> record_drop sim p
+    | Some [ (k, _) ] -> transmit sim ns k p
+    | Some entries ->
+      (* Weighted choice per the routing parameters. *)
+      let u = Rng.float ns.rng in
+      let rec pick acc = function
+        | [] -> fst (List.hd entries)
+        | [ (k, _) ] -> k
+        | (k, f) :: rest -> if u < acc +. f then k else pick (acc +. f) rest
+      in
+      transmit sim ns (pick 0.0 entries) p
+  end
+
+and transmit sim ns k p =
+  match Hashtbl.find_opt ns.out k with
+  | None -> record_drop sim p
+  | Some ls ->
+    if Link.is_up ls.link then begin
+      p.hops <- p.hops + 1;
+      Link.send ls.link p
+    end
+    else record_drop sim p
+
+(* --- Assembly ---------------------------------------------------------- *)
+
+let run ?(config = default_config) ?(events = []) topo flow_specs =
+  if config.t_s <= 0.0 || config.t_l < config.t_s then
+    invalid_arg "Sim.run: need 0 < t_s <= t_l";
+  if config.timeline_bucket <= 0.0 then
+    invalid_arg "Sim.run: timeline_bucket <= 0";
+  let n = Graph.node_count topo in
+  let engine = Engine.create () in
+  let master_rng = Rng.create ~seed:config.seed in
+  let nflows = List.length flow_specs in
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          router = Router.create ~mode:Router.Mpda ~id ~n;
+          out = Hashtbl.create 4;
+          forwarding = Hashtbl.create 16;
+          succ_used = Hashtbl.create 16;
+          rng = Rng.split master_rng;
+        })
+  in
+  let buckets = int_of_float (config.sim_time /. config.timeline_bucket) + 1 in
+  let sim =
+    {
+      topo;
+      cfg = config;
+      engine;
+      nodes;
+      loop_free_violations = 0;
+      flow_delays = Array.init nflows (fun _ -> ref []);
+      delivered = Array.make nflows 0;
+      dropped = Array.make nflows 0;
+      hops_sum = Array.make nflows 0;
+      timeline_sum = Array.make buckets 0.0;
+      timeline_count = Array.make buckets 0;
+    }
+  in
+  (* Data-plane links with their estimators. *)
+  List.iter
+    (fun (l : Graph.link) ->
+      let estimator = make_estimator config l in
+      let deliver p = forward sim l.dst p in
+      let ls =
+        {
+          link =
+            Link.create ?buffer_packets:config.buffer_packets ~engine ~link:l
+              ~estimator ~deliver ~drop:(record_drop sim) ();
+          short_cost = zero_flow_marginal config l;
+          long_cost = zero_flow_marginal config l;
+          accum = 0.0;
+          samples = 0;
+        }
+      in
+      Hashtbl.replace nodes.(l.src).out l.dst ls)
+    (Graph.links topo);
+  (* Bring the control plane up at t = 0 with zero-flow costs. *)
+  List.iter
+    (fun (l : Graph.link) ->
+      ignore
+        (Engine.schedule engine ~delay:0.0 (fun () ->
+             let ns = nodes.(l.src) in
+             let outputs =
+               Router.handle_link_up ns.router ~nbr:l.dst
+                 ~cost:(zero_flow_marginal config l)
+             in
+             refresh_forwarding sim ns;
+             dispatch sim ~from_:l.src outputs)))
+    (Graph.links topo);
+  (* Per-node timers, randomly phased. *)
+  Array.iter
+    (fun ns ->
+      let phase_s = Rng.uniform ns.rng ~lo:0.0 ~hi:config.t_s in
+      let phase_l = Rng.uniform ns.rng ~lo:0.0 ~hi:config.t_l in
+      let rec s_tick () =
+        short_term_tick sim ns;
+        if Engine.now engine +. config.t_s <= config.sim_time then
+          ignore (Engine.schedule engine ~delay:config.t_s s_tick)
+      in
+      let rec l_tick () =
+        long_term_tick sim ns;
+        if Engine.now engine +. config.t_l <= config.sim_time then
+          ignore (Engine.schedule engine ~delay:config.t_l l_tick)
+      in
+      ignore (Engine.schedule engine ~delay:phase_s s_tick);
+      ignore (Engine.schedule engine ~delay:phase_l l_tick))
+    nodes;
+  (* Instantaneous loop-freedom audit, twice per T_s. *)
+  let rec audit () =
+    check_loop_freedom sim;
+    if Engine.now engine +. (config.t_s /. 2.0) <= config.sim_time then
+      ignore (Engine.schedule engine ~delay:(config.t_s /. 2.0) audit)
+  in
+  ignore (Engine.schedule engine ~delay:(config.t_s /. 2.0) audit);
+  (* Topology events: data-plane link failures and restorations, with
+     the control plane notified at the endpoints. *)
+  let fail_direction ~src ~dst =
+    match Hashtbl.find_opt nodes.(src).out dst with
+    | None -> ()
+    | Some ls ->
+      Link.fail ls.link;
+      let outputs = Router.handle_link_down nodes.(src).router ~nbr:dst in
+      refresh_forwarding sim nodes.(src);
+      dispatch sim ~from_:src outputs
+  in
+  let restore_direction ~src ~dst =
+    match Hashtbl.find_opt nodes.(src).out dst with
+    | None -> ()
+    | Some ls ->
+      Link.restore ls.link;
+      (* Re-announce with the last known long-term cost. *)
+      let outputs =
+        Router.handle_link_up nodes.(src).router ~nbr:dst ~cost:ls.long_cost
+      in
+      refresh_forwarding sim nodes.(src);
+      dispatch sim ~from_:src outputs
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Fail_duplex { at; a; b } ->
+        ignore
+          (Engine.schedule_at engine ~time:at (fun () ->
+               fail_direction ~src:a ~dst:b;
+               fail_direction ~src:b ~dst:a))
+      | Restore_duplex { at; a; b } ->
+        ignore
+          (Engine.schedule_at engine ~time:at (fun () ->
+               restore_direction ~src:a ~dst:b;
+               restore_direction ~src:b ~dst:a)))
+    events;
+  (* Traffic sources. *)
+  List.iteri
+    (fun flow_id spec ->
+      let rng = Rng.split master_rng in
+      let gen =
+        match spec.burst with
+        | None ->
+          Traffic_gen.poisson ~rng ~rate_bits:spec.rate_bits
+            ~mean_packet_size:config.mean_packet_size
+        | Some (on_mean, off_mean) ->
+          Traffic_gen.on_off ~rng ~rate_bits:spec.rate_bits
+            ~mean_packet_size:config.mean_packet_size ~on_mean ~off_mean
+      in
+      Traffic_gen.start gen ~engine ~flow_id ~src:spec.src ~dst:spec.dst
+        ~inject:(fun p -> forward sim spec.src p)
+        ~until:config.sim_time)
+    flow_specs;
+  Engine.run ~until:config.sim_time engine;
+  (* Collect statistics. *)
+  let flows =
+    List.mapi
+      (fun flow_id spec ->
+        let delays = !(sim.flow_delays.(flow_id)) in
+        {
+          spec;
+          delivered = sim.delivered.(flow_id);
+          dropped = sim.dropped.(flow_id);
+          mean_delay = Stats.mean_of_list delays;
+          p95_delay = (match delays with [] -> 0.0 | _ -> Stats.percentile delays ~p:95.0);
+          mean_hops =
+            (if sim.delivered.(flow_id) = 0 then 0.0
+             else
+               float_of_int sim.hops_sum.(flow_id)
+               /. float_of_int sim.delivered.(flow_id));
+        })
+      flow_specs
+  in
+  let total_delivered = Array.fold_left ( + ) 0 sim.delivered in
+  let total_dropped = Array.fold_left ( + ) 0 sim.dropped in
+  let all_delay_sum =
+    List.fold_left
+      (fun acc fs -> acc +. (fs.mean_delay *. float_of_int fs.delivered))
+      0.0 flows
+  in
+  let max_mean_queue =
+    Array.fold_left
+      (fun acc ns ->
+        Hashtbl.fold (fun _ ls acc -> Float.max acc (Link.mean_queue ls.link)) ns.out acc)
+      0.0 nodes
+  in
+  let links =
+    Array.to_list nodes
+    |> List.concat_map (fun ns ->
+           Hashtbl.fold
+             (fun dst ls acc ->
+               {
+                 src = ns.id;
+                 dst;
+                 utilization = Link.utilization ls.link;
+                 mean_queue = Link.mean_queue ls.link;
+                 packets = Link.packets_sent ls.link;
+               }
+               :: acc)
+             ns.out [])
+    |> List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
+  in
+  let delay_timeline =
+    List.filter_map
+      (fun bucket ->
+        let count = sim.timeline_count.(bucket) in
+        if count = 0 then None
+        else
+          Some
+            ( float_of_int bucket *. config.timeline_bucket,
+              sim.timeline_sum.(bucket) /. float_of_int count,
+              count ))
+      (List.init buckets Fun.id)
+  in
+  {
+    flows;
+    avg_delay =
+      (if total_delivered = 0 then 0.0
+       else all_delay_sum /. float_of_int total_delivered);
+    total_delivered;
+    total_dropped;
+    control_messages =
+      Array.fold_left (fun acc ns -> acc + Router.stats_messages_sent ns.router) 0 nodes;
+    max_mean_queue;
+    loop_free_violations = sim.loop_free_violations;
+    delay_timeline;
+    links;
+  }

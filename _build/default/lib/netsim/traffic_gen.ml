@@ -1,0 +1,89 @@
+module Engine = Mdr_eventsim.Engine
+module Rng = Mdr_util.Rng
+
+type shape =
+  | Poisson
+  | On_off of { on_mean : float; off_mean : float }
+
+type t = {
+  rng : Rng.t;
+  rate_bits : float;
+  mean_packet_size : float;
+  shape : shape;
+}
+
+let poisson ~rng ~rate_bits ~mean_packet_size =
+  if rate_bits <= 0.0 || mean_packet_size <= 0.0 then
+    invalid_arg "Traffic_gen.poisson: non-positive rate or packet size";
+  { rng; rate_bits; mean_packet_size; shape = Poisson }
+
+let on_off ~rng ~rate_bits ~mean_packet_size ~on_mean ~off_mean =
+  if rate_bits <= 0.0 || mean_packet_size <= 0.0 then
+    invalid_arg "Traffic_gen.on_off: non-positive rate or packet size";
+  if on_mean <= 0.0 || off_mean <= 0.0 then
+    invalid_arg "Traffic_gen.on_off: bad period means";
+  { rng; rate_bits; mean_packet_size; shape = On_off { on_mean; off_mean } }
+
+(* Packet sizes are exponential with the configured mean, floored at 64
+   bits so transmission times never degenerate. *)
+let draw_size t = Float.max 64.0 (Rng.exponential t.rng ~rate:(1.0 /. t.mean_packet_size))
+
+let start t ~engine ~flow_id ~src ~dst ~inject ~until =
+  let pkt_rate_of bits = bits /. t.mean_packet_size in
+  match t.shape with
+  | Poisson ->
+    let rate = pkt_rate_of t.rate_bits in
+    let rec arrival () =
+      let gap = Rng.exponential t.rng ~rate in
+      let time = Engine.now engine +. gap in
+      if time <= until then
+        ignore
+          (Engine.schedule engine ~delay:gap (fun () ->
+               inject
+                 {
+                   Packet.flow_id;
+                   src;
+                   dst;
+                   size = draw_size t;
+                   created = Engine.now engine;
+                   hops = 0;
+                 };
+               arrival ()))
+    in
+    ignore (Engine.schedule engine ~delay:0.0 arrival)
+  | On_off { on_mean; off_mean } ->
+    let duty = on_mean /. (on_mean +. off_mean) in
+    let on_rate = pkt_rate_of (t.rate_bits /. duty) in
+    (* State machine: alternate exponential ON and OFF periods; emit
+       Poisson arrivals only while ON. *)
+    let rec on_period () =
+      let span = Rng.exponential t.rng ~rate:(1.0 /. on_mean) in
+      let ends = Engine.now engine +. span in
+      let rec arrival () =
+        let gap = Rng.exponential t.rng ~rate:on_rate in
+        let time = Engine.now engine +. gap in
+        if time <= Float.min ends until then
+          ignore
+            (Engine.schedule engine ~delay:gap (fun () ->
+                 inject
+                   {
+                     Packet.flow_id;
+                     src;
+                     dst;
+                     size = draw_size t;
+                     created = Engine.now engine;
+                     hops = 0;
+                   };
+                 arrival ()))
+        else if ends <= until then
+          ignore
+            (Engine.schedule engine ~delay:(Float.max 0.0 (ends -. Engine.now engine))
+               off_period)
+      in
+      arrival ()
+    and off_period () =
+      let span = Rng.exponential t.rng ~rate:(1.0 /. off_mean) in
+      if Engine.now engine +. span <= until then
+        ignore (Engine.schedule engine ~delay:span on_period)
+    in
+    ignore (Engine.schedule engine ~delay:0.0 on_period)

@@ -1,0 +1,37 @@
+(** Traffic sources for the packet simulator.
+
+    A source injects packets of one flow. [poisson] models the paper's
+    stationary workloads (exponential inter-arrivals, exponential
+    packet sizes, so every link behaves as M/M/1 when utilisation
+    permits). [on_off] adds burstiness for the dynamic-traffic
+    experiments: exponential ON/OFF periods, Poisson arrivals during ON
+    at a rate scaled to preserve the requested mean. *)
+
+type t
+
+val poisson :
+  rng:Mdr_util.Rng.t -> rate_bits:float -> mean_packet_size:float -> t
+(** [rate_bits] is the flow's mean offered load in bits/s. *)
+
+val on_off :
+  rng:Mdr_util.Rng.t ->
+  rate_bits:float ->
+  mean_packet_size:float ->
+  on_mean:float ->
+  off_mean:float ->
+  t
+(** During ON periods the instantaneous rate is
+    [rate_bits * (on_mean + off_mean) / on_mean], so the long-run mean
+    stays [rate_bits]. *)
+
+val start :
+  t ->
+  engine:Mdr_eventsim.Engine.t ->
+  flow_id:int ->
+  src:int ->
+  dst:int ->
+  inject:(Packet.t -> unit) ->
+  until:float ->
+  unit
+(** Schedule the source's packets on [engine] until simulated time
+    [until]. *)

@@ -1,0 +1,1 @@
+lib/routing/bellman_ford.ml: Array Float List Mdr_topology

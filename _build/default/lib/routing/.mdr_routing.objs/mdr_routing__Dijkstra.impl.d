@@ -1,0 +1,1 @@
+lib/routing/dijkstra.ml: Array Float List Mdr_topology Mdr_util Topo_table

@@ -1,0 +1,1 @@
+lib/routing/dijkstra.mli: Mdr_topology Topo_table

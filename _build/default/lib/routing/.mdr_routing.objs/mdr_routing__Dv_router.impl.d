@@ -1,0 +1,1 @@
+lib/routing/dv_router.ml: Array Float Hashtbl List Option

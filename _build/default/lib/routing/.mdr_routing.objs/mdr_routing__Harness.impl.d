@@ -1,0 +1,1 @@
+lib/routing/harness.ml: Array Dv_router Hashtbl Lfi List Mdr_eventsim Mdr_topology

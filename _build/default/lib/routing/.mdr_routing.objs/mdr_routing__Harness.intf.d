@@ -1,0 +1,1 @@
+lib/routing/harness.mli: Dv_router Mdr_eventsim Mdr_topology

@@ -1,0 +1,1 @@
+lib/routing/lfi.ml: Array List

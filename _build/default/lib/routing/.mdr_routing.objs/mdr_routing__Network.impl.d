@@ -1,0 +1,1 @@
+lib/routing/network.ml: Array Hashtbl Lfi List Mdr_eventsim Mdr_topology Router

@@ -1,0 +1,1 @@
+lib/routing/network.mli: Mdr_eventsim Mdr_topology Router

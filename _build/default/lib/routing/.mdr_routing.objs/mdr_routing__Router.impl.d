@@ -1,0 +1,1 @@
+lib/routing/router.ml: Array Dijkstra Float Hashtbl List Option Topo_table

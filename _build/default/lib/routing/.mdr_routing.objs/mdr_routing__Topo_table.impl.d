@@ -1,0 +1,1 @@
+lib/routing/topo_table.ml: Float Hashtbl List

@@ -1,0 +1,29 @@
+module Graph = Mdr_topology.Graph
+
+let relax_until_fixpoint g ~start ~edges =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  dist.(start) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (u, v, w) ->
+        if Float.is_finite w && dist.(u) +. w < dist.(v) then begin
+          dist.(v) <- dist.(u) +. w;
+          changed := true
+        end)
+      edges
+  done;
+  dist
+
+let distances_to g ~dst ~cost =
+  (* Relax reversed edges from the destination. *)
+  let edges = List.map (fun l -> (l.Graph.dst, l.Graph.src, cost l)) (Graph.links g) in
+  relax_until_fixpoint g ~start:dst ~edges
+
+let distances_from g ~src ~cost =
+  let edges = List.map (fun l -> (l.Graph.src, l.Graph.dst, cost l)) (Graph.links g) in
+  relax_until_fixpoint g ~start:src ~edges

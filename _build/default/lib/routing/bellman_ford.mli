@@ -1,0 +1,14 @@
+(** Distributed Bellman-Ford distances (Eq. 13 of the paper), used as
+    an independent cross-check of Dijkstra in the test-suite and as the
+    distance recursion the framework's Eq. 20 is stated with. *)
+
+val distances_to :
+  Mdr_topology.Graph.t -> dst:int ->
+  cost:(Mdr_topology.Graph.link -> float) -> float array
+(** [distances_to g ~dst ~cost].(i) = min over neighbors k of
+    (cost (i,k) + distance k), iterated to fixpoint. Links with
+    infinite cost are absent. *)
+
+val distances_from :
+  Mdr_topology.Graph.t -> src:int ->
+  cost:(Mdr_topology.Graph.link -> float) -> float array

@@ -1,0 +1,85 @@
+module Heap = Mdr_util.Heap
+module Graph = Mdr_topology.Graph
+
+type result = { dist : float array; parent : int array }
+
+let rel_tolerance = 1e-12
+
+let close a b =
+  if Float.is_finite a && Float.is_finite b then
+    let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    Float.abs (a -. b) <= rel_tolerance *. scale
+  else a = b
+
+let run ~n ~root ~succ =
+  if root < 0 || root >= n then invalid_arg "Dijkstra: root out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~cmp:(fun (da, va) (db, vb) -> compare (da, va) (db, vb)) in
+  dist.(root) <- 0.0;
+  Heap.add heap (0.0, root);
+  let rec settle () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) && close d dist.(u) then begin
+        settled.(u) <- true;
+        let relax (v, w) =
+          if w < 0.0 then invalid_arg "Dijkstra: negative link cost";
+          if v >= 0 && v < n && not settled.(v) then begin
+            let nd = d +. w in
+            if nd < dist.(v) && not (close nd dist.(v)) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Heap.add heap (nd, v)
+            end
+            else if close nd dist.(v) && (parent.(v) = -1 || u < parent.(v)) then
+              (* Consistent tie-breaking: smallest-id predecessor. *)
+              parent.(v) <- u
+          end
+        in
+        List.iter relax (succ u)
+      end;
+      settle ()
+  in
+  settle ();
+  { dist; parent }
+
+let on_table ~n ~root table =
+  run ~n ~root ~succ:(fun u -> Topo_table.out_links table ~head:u)
+
+let on_graph g ~root ~cost =
+  let succ u =
+    List.filter_map
+      (fun l ->
+        let w = cost l in
+        if Float.is_finite w then Some (l.Graph.dst, w) else None)
+      (Graph.out_links g u)
+  in
+  run ~n:(Graph.node_count g) ~root ~succ
+
+let tree_of_result ~n ~root result ~cost =
+  let tree = Topo_table.create () in
+  for j = 0 to n - 1 do
+    if j <> root && result.parent.(j) >= 0 && Float.is_finite result.dist.(j) then begin
+      let p = result.parent.(j) in
+      Topo_table.set tree ~head:p ~tail:j ~cost:(cost ~head:p ~tail:j)
+    end
+  done;
+  tree
+
+let distances_to g ~dst ~cost =
+  let succ u =
+    (* Reverse traversal: from [u], step across links that *enter* u.
+       With symmetric topologies this is the reverse link's source. *)
+    List.filter_map
+      (fun l ->
+        match Graph.link g ~src:l.Graph.dst ~dst:u with
+        | None -> None
+        | Some into_u ->
+          let w = cost into_u in
+          if Float.is_finite w then Some (into_u.Graph.src, w) else None)
+      (Graph.out_links g u)
+  in
+  (run ~n:(Graph.node_count g) ~root:dst ~succ).dist

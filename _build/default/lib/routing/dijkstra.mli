@@ -1,0 +1,34 @@
+(** Dijkstra's shortest-path-first algorithm, over either a topology
+    table (as run inside PDA/MPDA on T_i and T_k^i) or a whole
+    topology with an arbitrary link-cost function (as run by the SPF
+    baseline and the fluid-mode controllers).
+
+    Ties between equal-cost paths are broken consistently — the parent
+    of a node is the smallest-id predecessor achieving the minimum
+    distance (within a relative tolerance) — as the paper requires so
+    that all routers agree on trees. *)
+
+type result = {
+  dist : float array;  (** [dist.(j)]: cost from the root to [j]; [infinity] if unreachable. *)
+  parent : int array;  (** [parent.(j)]: predecessor on the canonical shortest path; [-1] for the root and unreachable nodes. *)
+}
+
+val on_table : n:int -> root:int -> Topo_table.t -> result
+(** [n] bounds node ids (they are dense across the simulation). *)
+
+val on_graph :
+  Mdr_topology.Graph.t -> root:int ->
+  cost:(Mdr_topology.Graph.link -> float) -> result
+(** Costs must be non-negative; links with infinite cost are treated as
+    absent. *)
+
+val tree_of_result : n:int -> root:int -> result -> cost:(head:int -> tail:int -> float) -> Topo_table.t
+(** The shortest-path tree as a topology table: one link
+    [(parent j, j)] per reached node [j]. [cost] supplies the link
+    costs (typically lookups in the merged table Dijkstra ran on). *)
+
+val distances_to :
+  Mdr_topology.Graph.t -> dst:int ->
+  cost:(Mdr_topology.Graph.link -> float) -> float array
+(** Distance from every node *to* [dst] (runs Dijkstra on reversed
+    links), as needed for successor-set construction. *)

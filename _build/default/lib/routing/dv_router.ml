@@ -1,0 +1,231 @@
+type msg = {
+  entries : (int * float) list;
+  reset : bool;
+  seq : int option;
+  ack_of : int option;
+}
+
+let horizon = 1.0e4
+
+type t = {
+  id : int;
+  n : int;
+  adjacent : (int, float) Hashtbl.t;
+  nbr_vectors : (int, float array) Hashtbl.t;  (* D_jk as reported by k *)
+  mutable dist : float array;  (* D_j *)
+  mutable advertised : float array;  (* last vector sent to neighbors *)
+  fd : float array;
+  mutable succ : int list array;
+  mutable first_hop : int array;
+  mutable active : bool;
+  pending : (int, int) Hashtbl.t;
+  mutable needs_full : int list;
+  mutable next_seq : int;
+  mutable sent : int;
+}
+
+let fresh_vector n = Array.make n infinity
+
+let create ~id ~n =
+  if id < 0 || id >= n then invalid_arg "Dv_router.create: id out of range";
+  let base () =
+    let d = fresh_vector n in
+    d.(id) <- 0.0;
+    d
+  in
+  {
+    id;
+    n;
+    adjacent = Hashtbl.create 8;
+    nbr_vectors = Hashtbl.create 8;
+    dist = base ();
+    advertised = base ();
+    fd = base ();
+    succ = Array.make n [];
+    first_hop = Array.make n (-1);
+    active = false;
+    pending = Hashtbl.create 8;
+    needs_full = [];
+    next_seq = 0;
+    sent = 0;
+  }
+
+let id t = t.id
+let is_passive t = not t.active
+let distance t ~dst = t.dist.(dst)
+let feasible_distance t ~dst = t.fd.(dst)
+let successors t ~dst = t.succ.(dst)
+let best_successor t ~dst = if t.first_hop.(dst) < 0 then None else Some t.first_hop.(dst)
+
+let neighbor_distance t ~nbr ~dst =
+  match Hashtbl.find_opt t.nbr_vectors nbr with
+  | None -> infinity
+  | Some v -> v.(dst)
+
+let up_neighbors t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.adjacent [] |> List.sort compare
+
+let messages_sent t = t.sent
+
+let link_cost t ~nbr =
+  match Hashtbl.find_opt t.adjacent nbr with Some c -> c | None -> infinity
+
+(* Bellman-Ford step over the stored neighbor vectors; distances past
+   the horizon collapse to infinity to bound counting. *)
+let recompute t =
+  let nbrs = up_neighbors t in
+  for j = 0 to t.n - 1 do
+    if j <> t.id then begin
+      let best = ref infinity and hop = ref (-1) in
+      List.iter
+        (fun k ->
+          let d = neighbor_distance t ~nbr:k ~dst:j +. link_cost t ~nbr:k in
+          if d < !best then begin
+            best := d;
+            hop := k
+          end)
+        nbrs;
+      let d = if !best >= horizon then infinity else !best in
+      t.dist.(j) <- d;
+      t.first_hop.(j) <- (if Float.is_finite d then !hop else -1)
+    end
+  done
+
+let recompute_successors t =
+  let nbrs = up_neighbors t in
+  t.succ <-
+    Array.init t.n (fun j ->
+        if j = t.id then []
+        else List.filter (fun k -> neighbor_distance t ~nbr:k ~dst:j < t.fd.(j)) nbrs)
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let vector_entries t =
+  let acc = ref [] in
+  for j = t.n - 1 downto 0 do
+    if Float.is_finite t.dist.(j) then acc := (j, t.dist.(j)) :: !acc
+  done;
+  !acc
+
+let diff_advertised t =
+  let changes = ref [] in
+  for j = t.n - 1 downto 0 do
+    if t.dist.(j) <> t.advertised.(j) then changes := (j, t.dist.(j)) :: !changes
+  done;
+  !changes
+
+let compose_outputs t ~changes ~ack_to =
+  let nbrs = up_neighbors t in
+  let full_targets = List.filter (fun k -> List.mem k t.needs_full) nbrs in
+  t.needs_full <- [];
+  let data_targets =
+    if changes = [] then full_targets
+    else List.sort_uniq compare (full_targets @ nbrs)
+  in
+  let outputs = ref [] in
+  let ack_consumed = ref false in
+  List.iter
+    (fun k ->
+      let is_full = List.mem k full_targets in
+      let entries = if is_full then vector_entries t else changes in
+      if entries <> [] || is_full then begin
+        let seq = Some (fresh_seq t) in
+        let ack_of =
+          match ack_to with Some (k', s) when k' = k -> Some s | Some _ | None -> None
+        in
+        if ack_of <> None then ack_consumed := true;
+        (match seq with Some s -> Hashtbl.replace t.pending k s | None -> ());
+        outputs := (k, { entries; reset = is_full; seq; ack_of }) :: !outputs
+      end)
+    data_targets;
+  if data_targets <> [] then Array.blit t.dist 0 t.advertised 0 t.n;
+  (match ack_to with
+  | Some (k, s) when (not !ack_consumed) && Hashtbl.mem t.adjacent k ->
+    outputs := (k, { entries = []; reset = false; seq = None; ack_of = Some s }) :: !outputs
+  | Some _ | None -> ());
+  if Hashtbl.length t.pending > 0 then t.active <- true;
+  t.sent <- t.sent + List.length !outputs;
+  List.rev !outputs
+
+let process t ~ack_to ~ack_received =
+  (match ack_received with
+  | Some (nbr, seq) -> (
+    match Hashtbl.find_opt t.pending nbr with
+    | Some expected when expected = seq -> Hashtbl.remove t.pending nbr
+    | Some _ | None -> ())
+  | None -> ());
+  let last_ack = t.active && Hashtbl.length t.pending = 0 in
+  let changes =
+    if not t.active then begin
+      (* PASSIVE: recompute and lower FD toward D (MPDA lines 2a-2b). *)
+      recompute t;
+      for j = 0 to t.n - 1 do
+        t.fd.(j) <- Float.min t.fd.(j) t.dist.(j)
+      done;
+      diff_advertised t
+    end
+    else if last_ack then begin
+      (* All neighbors hold the advertised vector: FD may rise to
+         min(advertised, fresh) — MPDA lines 3a-3c. *)
+      let temp = Array.copy t.advertised in
+      t.active <- false;
+      recompute t;
+      for j = 0 to t.n - 1 do
+        t.fd.(j) <- Float.min temp.(j) t.dist.(j)
+      done;
+      diff_advertised t
+    end
+    else []
+  in
+  recompute_successors t;
+  compose_outputs t ~changes ~ack_to
+
+let handle_link_up t ~nbr ~cost =
+  if not (Float.is_finite cost) || cost < 0.0 then
+    invalid_arg "Dv_router.handle_link_up: bad cost";
+  Hashtbl.replace t.adjacent nbr cost;
+  if not (Hashtbl.mem t.nbr_vectors nbr) then
+    Hashtbl.replace t.nbr_vectors nbr (fresh_vector t.n);
+  if not (List.mem nbr t.needs_full) then t.needs_full <- nbr :: t.needs_full;
+  process t ~ack_to:None ~ack_received:None
+
+let handle_link_down t ~nbr =
+  if Hashtbl.mem t.adjacent nbr then begin
+    Hashtbl.remove t.adjacent nbr;
+    Hashtbl.replace t.nbr_vectors nbr (fresh_vector t.n);
+    t.needs_full <- List.filter (fun k -> k <> nbr) t.needs_full;
+    let ack = Hashtbl.find_opt t.pending nbr |> Option.map (fun s -> (nbr, s)) in
+    process t ~ack_to:None ~ack_received:ack
+  end
+  else []
+
+let handle_link_cost t ~nbr ~cost =
+  if not (Hashtbl.mem t.adjacent nbr) then []
+  else begin
+    Hashtbl.replace t.adjacent nbr cost;
+    process t ~ack_to:None ~ack_received:None
+  end
+
+let handle_msg t ~from_ msg =
+  if not (Hashtbl.mem t.adjacent from_) then []
+  else begin
+    if msg.entries <> [] || msg.reset then begin
+      let vector =
+        match Hashtbl.find_opt t.nbr_vectors from_ with
+        | Some v -> v
+        | None ->
+          let v = fresh_vector t.n in
+          Hashtbl.replace t.nbr_vectors from_ v;
+          v
+      in
+      if msg.reset then Array.fill vector 0 t.n infinity;
+      vector.(from_) <- 0.0;
+      List.iter (fun (j, d) -> if j >= 0 && j < t.n then vector.(j) <- d) msg.entries
+    end;
+    let ack_received = Option.map (fun s -> (from_, s)) msg.ack_of in
+    let ack_to = Option.map (fun s -> (from_, s)) msg.seq in
+    process t ~ack_to ~ack_received
+  end

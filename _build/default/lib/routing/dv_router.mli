@@ -1,0 +1,53 @@
+(** A distance-vector instantiation of the Loop-Free Invariant
+    framework (paper Section 3, in the spirit of the authors' MPATH
+    follow-on work).
+
+    The paper's LFI conditions are algorithm-agnostic: "in
+    distance-vector algorithms, the distances are directly communicated
+    among neighbors". This router maintains the neighbor distances
+    D_jk from received vectors, computes D_j = min_k (D_jk + l_k), and
+    enforces the same feasible-distance discipline as MPDA with the
+    same one-hop synchronization: distance increases are advertised and
+    acknowledged by every neighbor before the feasible distance is
+    allowed to rise, so S_j = {k | D_jk < FD_j} is loop-free at every
+    instant by Theorem 1.
+
+    Compared to MPDA this needs no topology tables — only vectors — at
+    the cost of slower convergence after cost increases (the classical
+    distance-vector weakness; distances are capped at {!horizon} to
+    bound counting). The [Harness.Make] functor runs either router
+    over simulated links, and the test-suite subjects both to the same
+    loop-freedom storms. *)
+
+type msg = {
+  entries : (int * float) list;  (** destination, advertised distance ([infinity] = unreachable) *)
+  reset : bool;  (** full-vector message: forget previous entries first *)
+  seq : int option;
+  ack_of : int option;
+}
+
+type t
+
+val horizon : float
+(** Distances at or above this are treated as unreachable (RIP-style
+    counting bound). *)
+
+val create : id:int -> n:int -> t
+
+val id : t -> int
+
+val handle_link_up : t -> nbr:int -> cost:float -> (int * msg) list
+(** Returns (neighbor, message) pairs to transmit, here and below. *)
+
+val handle_link_down : t -> nbr:int -> (int * msg) list
+val handle_link_cost : t -> nbr:int -> cost:float -> (int * msg) list
+val handle_msg : t -> from_:int -> msg -> (int * msg) list
+
+val is_passive : t -> bool
+val distance : t -> dst:int -> float
+val feasible_distance : t -> dst:int -> float
+val successors : t -> dst:int -> int list
+val best_successor : t -> dst:int -> int option
+val neighbor_distance : t -> nbr:int -> dst:int -> float
+val up_neighbors : t -> int list
+val messages_sent : t -> int

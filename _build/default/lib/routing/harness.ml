@@ -1,0 +1,137 @@
+module Graph = Mdr_topology.Graph
+module Engine = Mdr_eventsim.Engine
+
+module type ROUTER = sig
+  type t
+  type msg
+
+  val create : id:int -> n:int -> t
+  val handle_link_up : t -> nbr:int -> cost:float -> (int * msg) list
+  val handle_link_down : t -> nbr:int -> (int * msg) list
+  val handle_link_cost : t -> nbr:int -> cost:float -> (int * msg) list
+  val handle_msg : t -> from_:int -> msg -> (int * msg) list
+  val is_passive : t -> bool
+  val distance : t -> dst:int -> float
+  val successors : t -> dst:int -> int list
+  val feasible_distance : t -> dst:int -> float
+  val neighbor_distance : t -> nbr:int -> dst:int -> float
+  val up_neighbors : t -> int list
+  val messages_sent : t -> int
+end
+
+module Make (R : ROUTER) = struct
+  type t = {
+    topo : Graph.t;
+    engine : Engine.t;
+    routers : R.t array;
+    up : (int * int, unit) Hashtbl.t;
+    mutable observer : t -> unit;
+  }
+
+  let engine t = t.engine
+  let topology t = t.topo
+  let router t i = t.routers.(i)
+  let link_is_up t ~src ~dst = Hashtbl.mem t.up (src, dst)
+  let prop_delay t ~src ~dst = (Graph.link_exn t.topo ~src ~dst).Graph.prop_delay
+
+  let rec dispatch t ~from_ outputs =
+    List.iter
+      (fun (dst, msg) ->
+        if link_is_up t ~src:from_ ~dst then begin
+          let delay = prop_delay t ~src:from_ ~dst in
+          ignore
+            (Engine.schedule t.engine ~delay (fun () ->
+                 if link_is_up t ~src:from_ ~dst then begin
+                   let replies = R.handle_msg t.routers.(dst) ~from_ msg in
+                   t.observer t;
+                   dispatch t ~from_:dst replies
+                 end))
+        end)
+      outputs
+
+  let apply_link_up t ~src ~dst ~cost =
+    Hashtbl.replace t.up (src, dst) ();
+    let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
+    t.observer t;
+    dispatch t ~from_:src outputs
+
+  let apply_link_down t ~src ~dst =
+    if link_is_up t ~src ~dst then begin
+      Hashtbl.remove t.up (src, dst);
+      let outputs = R.handle_link_down t.routers.(src) ~nbr:dst in
+      t.observer t;
+      dispatch t ~from_:src outputs
+    end
+
+  let apply_link_cost t ~src ~dst ~cost =
+    if link_is_up t ~src ~dst then begin
+      let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
+      t.observer t;
+      dispatch t ~from_:src outputs
+    end
+
+  let create ?(observer = fun _ -> ()) ~topo ~cost () =
+    let n = Graph.node_count topo in
+    let t =
+      {
+        topo;
+        engine = Engine.create ();
+        routers = Array.init n (fun id -> R.create ~id ~n);
+        up = Hashtbl.create (Graph.link_count topo);
+        observer;
+      }
+    in
+    List.iter
+      (fun l ->
+        ignore
+          (Engine.schedule t.engine ~delay:0.0 (fun () ->
+               apply_link_up t ~src:l.Graph.src ~dst:l.Graph.dst ~cost:(cost l))))
+      (Graph.links topo);
+    t
+
+  let schedule_link_cost t ~at ~src ~dst ~cost =
+    ignore
+      (Engine.schedule_at t.engine ~time:at (fun () -> apply_link_cost t ~src ~dst ~cost))
+
+  let schedule_fail_duplex t ~at ~a ~b =
+    ignore
+      (Engine.schedule_at t.engine ~time:at (fun () ->
+           apply_link_down t ~src:a ~dst:b;
+           apply_link_down t ~src:b ~dst:a))
+
+  let schedule_restore_duplex t ~at ~a ~b ~cost =
+    ignore
+      (Engine.schedule_at t.engine ~time:at (fun () ->
+           apply_link_up t ~src:a ~dst:b ~cost;
+           apply_link_up t ~src:b ~dst:a ~cost))
+
+  let run ?until t = Engine.run ?until t.engine
+
+  let quiescent t = Engine.pending t.engine = 0 && Array.for_all R.is_passive t.routers
+
+  let total_messages t =
+    Array.fold_left (fun acc r -> acc + R.messages_sent r) 0 t.routers
+
+  let check_loop_free t =
+    let n = Graph.node_count t.topo in
+    List.for_all
+      (fun dst ->
+        Lfi.successor_graph_acyclic ~n
+          ~successors:(fun ~node -> R.successors t.routers.(node) ~dst)
+          ~dst)
+      (Graph.nodes t.topo)
+
+  let check_lfi t =
+    let n = Graph.node_count t.topo in
+    List.for_all
+      (fun dst ->
+        Lfi.lfi_conditions_hold ~n
+          ~neighbors:(fun node -> R.up_neighbors t.routers.(node))
+          ~feasible:(fun ~node ~dst -> R.feasible_distance t.routers.(node) ~dst)
+          ~reported:(fun ~holder ~about ~dst ->
+            R.neighbor_distance t.routers.(holder) ~nbr:about ~dst)
+          ~dst)
+      (Graph.nodes t.topo)
+end
+
+module Dv_network = Make (Dv_router)

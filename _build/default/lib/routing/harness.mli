@@ -1,0 +1,51 @@
+(** Protocol-agnostic control-plane harness.
+
+    [Make] runs any router machine implementing {!ROUTER} — the
+    link-state MPDA via {!Network}, or the distance-vector
+    {!Dv_router} via {!Dv_network} below — over a topology's links
+    with their propagation delays, so both LFI instantiations face
+    identical event streams in tests and benches. *)
+
+module type ROUTER = sig
+  type t
+  type msg
+
+  val create : id:int -> n:int -> t
+  val handle_link_up : t -> nbr:int -> cost:float -> (int * msg) list
+  val handle_link_down : t -> nbr:int -> (int * msg) list
+  val handle_link_cost : t -> nbr:int -> cost:float -> (int * msg) list
+  val handle_msg : t -> from_:int -> msg -> (int * msg) list
+  val is_passive : t -> bool
+  val distance : t -> dst:int -> float
+  val successors : t -> dst:int -> int list
+  val feasible_distance : t -> dst:int -> float
+  val neighbor_distance : t -> nbr:int -> dst:int -> float
+  val up_neighbors : t -> int list
+  val messages_sent : t -> int
+end
+
+module Make (R : ROUTER) : sig
+  type t
+
+  val create :
+    ?observer:(t -> unit) ->
+    topo:Mdr_topology.Graph.t ->
+    cost:(Mdr_topology.Graph.link -> float) ->
+    unit ->
+    t
+
+  val engine : t -> Mdr_eventsim.Engine.t
+  val topology : t -> Mdr_topology.Graph.t
+  val router : t -> int -> R.t
+  val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
+  val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
+  val schedule_restore_duplex : t -> at:float -> a:int -> b:int -> cost:float -> unit
+  val run : ?until:float -> t -> unit
+  val quiescent : t -> bool
+  val total_messages : t -> int
+  val check_loop_free : t -> bool
+  val check_lfi : t -> bool
+end
+
+module Dv_network : module type of Make (Dv_router)
+(** The distance-vector network: {!Dv_router} under the harness. *)

@@ -1,0 +1,41 @@
+let find_cycle ~n ~successors ~dst =
+  let color = Array.make n 0 in
+  let cycle = ref None in
+  let rec visit node stack =
+    if !cycle = None then begin
+      if color.(node) = 1 then begin
+        (* Found: unwind the stack down to [node]. *)
+        let rec take acc = function
+          | [] -> acc
+          | v :: rest -> if v = node then v :: acc else take (v :: acc) rest
+        in
+        cycle := Some (take [] stack)
+      end
+      else if color.(node) = 0 then begin
+        color.(node) <- 1;
+        List.iter
+          (fun s -> if s <> dst then visit s (node :: stack))
+          (successors ~node);
+        color.(node) <- 2
+      end
+    end
+  in
+  for node = 0 to n - 1 do
+    if node <> dst && color.(node) = 0 then visit node []
+  done;
+  !cycle
+
+let successor_graph_acyclic ~n ~successors ~dst =
+  find_cycle ~n ~successors ~dst = None
+
+let lfi_conditions_hold ~n ~neighbors ~feasible ~reported ~dst =
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if k <> dst then
+      List.iter
+        (fun i ->
+          let held = reported ~holder:i ~about:k ~dst in
+          if feasible ~node:k ~dst > held +. 1e-9 then ok := false)
+        (neighbors k)
+  done;
+  !ok

@@ -1,0 +1,27 @@
+(** Global checks of the Loop-Free Invariant framework (paper
+    Section 3, Theorem 1).
+
+    These functions inspect an omniscient snapshot of all routers —
+    something no router can do — and are the test-suite's oracle: MPDA
+    must satisfy them after processing *every single event*. *)
+
+val successor_graph_acyclic :
+  n:int -> successors:(node:int -> int list) -> dst:int -> bool
+(** Whether the routing graph SG_dst implied by the per-node successor
+    sets has no cycle. *)
+
+val find_cycle :
+  n:int -> successors:(node:int -> int list) -> dst:int -> int list option
+(** A witness cycle (list of nodes, first repeated implicitly), if
+    any. *)
+
+val lfi_conditions_hold :
+  n:int ->
+  neighbors:(int -> int list) ->
+  feasible:(node:int -> dst:int -> float) ->
+  reported:(holder:int -> about:int -> dst:int -> float) ->
+  dst:int ->
+  bool
+(** Eq. 16: for every router k and neighbor i holding a copy
+    [reported ~holder:i ~about:k] of k's distance, k's feasible
+    distance must not exceed it. *)

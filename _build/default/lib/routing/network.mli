@@ -1,0 +1,57 @@
+(** Control-plane simulation harness: one {!Router} per topology node,
+    exchanging LSUs over the topology's links with their propagation
+    delays.
+
+    This is how PDA/MPDA are exercised *as protocols*: link cost
+    changes and failures are injected as timed events, messages travel
+    with real latencies, and an observation hook fires after every
+    processed event so tests can assert instantaneous loop-freedom
+    (Theorem 3) and eventual convergence (Theorems 2 and 4). *)
+
+type t
+
+val create :
+  ?mode:Router.mode ->
+  ?observer:(t -> unit) ->
+  topo:Mdr_topology.Graph.t ->
+  cost:(Mdr_topology.Graph.link -> float) ->
+  unit ->
+  t
+(** Builds the routers and schedules both directions of every link to
+    come up at time 0 (with initial costs from [cost]). [mode] defaults
+    to [Mpda]. [observer] runs after every router event — keep it
+    cheap. *)
+
+val engine : t -> Mdr_eventsim.Engine.t
+val topology : t -> Mdr_topology.Graph.t
+val router : t -> int -> Router.t
+
+val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
+(** Change one directed link's cost at simulated time [at]. *)
+
+val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
+(** Fail both directions between [a] and [b]. In-flight messages on
+    the failed link are lost. *)
+
+val schedule_restore_duplex : t -> at:float -> a:int -> b:int -> cost:float -> unit
+
+val link_is_up : t -> src:int -> dst:int -> bool
+
+val run : ?until:float -> t -> unit
+(** Process events; see {!Mdr_eventsim.Engine.run}. *)
+
+val quiescent : t -> bool
+(** No pending events and every router PASSIVE. *)
+
+val total_messages : t -> int
+
+val successor_sets : t -> dst:int -> (int -> int list)
+(** Per-node successor sets for one destination, straight from the
+    routers. *)
+
+val check_loop_free : t -> bool
+(** Successor graphs of all destinations are acyclic right now. *)
+
+val check_lfi : t -> bool
+(** The LFI conditions (Eq. 16) hold right now, using each router's
+    neighbor tables as the "reported" values. *)

@@ -1,0 +1,318 @@
+type mode = Pda | Mpda
+
+type msg = {
+  entries : Topo_table.entry list;
+  reset : bool;
+  seq : int option;
+  ack_of : int option;
+}
+
+type output = { dst : int; msg : msg }
+
+type t = {
+  mode : mode;
+  id : int;
+  n : int;
+  mutable main : Topo_table.t;
+  nbr_tables : (int, Topo_table.t) Hashtbl.t;
+  nbr_dist : (int, float array) Hashtbl.t;  (* D_jk: from nbr k to each dst *)
+  adjacent : (int, float) Hashtbl.t;  (* l_k; absent = down *)
+  mutable dist : float array;  (* D_j *)
+  mutable first_hop : int array;  (* preferred neighbor toward each dst; -1 *)
+  fd : float array;  (* FD_j *)
+  mutable succ : int list array;  (* S_j *)
+  mutable active : bool;
+  pending : (int, int) Hashtbl.t;  (* nbr -> seq awaited *)
+  mutable needs_full : int list;  (* neighbors owed a full-table LSU *)
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable events : int;
+}
+
+let create ~mode ~id ~n =
+  if id < 0 || id >= n then invalid_arg "Router.create: id out of range";
+  {
+    mode;
+    id;
+    n;
+    main = Topo_table.create ();
+    nbr_tables = Hashtbl.create 8;
+    nbr_dist = Hashtbl.create 8;
+    adjacent = Hashtbl.create 8;
+    dist =
+      (let d = Array.make n infinity in
+       d.(id) <- 0.0;
+       d);
+    first_hop = Array.make n (-1);
+    fd =
+      (let d = Array.make n infinity in
+       d.(id) <- 0.0;
+       d);
+    succ = Array.make n [];
+    active = false;
+    pending = Hashtbl.create 8;
+    needs_full = [];
+    next_seq = 0;
+    sent = 0;
+    events = 0;
+  }
+
+let id t = t.id
+let mode t = t.mode
+let is_passive t = not t.active
+let distance t ~dst = t.dist.(dst)
+let feasible_distance t ~dst = t.fd.(dst)
+let successors t ~dst = t.succ.(dst)
+let best_successor t ~dst = if t.first_hop.(dst) < 0 then None else Some t.first_hop.(dst)
+
+let neighbor_distance t ~nbr ~dst =
+  match Hashtbl.find_opt t.nbr_dist nbr with
+  | None -> infinity
+  | Some d -> d.(dst)
+
+let link_cost t ~nbr =
+  match Hashtbl.find_opt t.adjacent nbr with Some c -> c | None -> infinity
+
+let up_neighbors t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.adjacent [] |> List.sort compare
+
+let main_table t = Topo_table.copy t.main
+
+let stats_messages_sent t = t.sent
+let stats_events t = t.events
+
+(* --- NTU: neighbor-table maintenance ------------------------------- *)
+
+let refresh_neighbor_distances t ~nbr =
+  let table =
+    match Hashtbl.find_opt t.nbr_tables nbr with
+    | Some tab -> tab
+    | None ->
+      let tab = Topo_table.create () in
+      Hashtbl.replace t.nbr_tables nbr tab;
+      tab
+  in
+  let result = Dijkstra.on_table ~n:t.n ~root:nbr table in
+  Hashtbl.replace t.nbr_dist nbr result.Dijkstra.dist
+
+let apply_lsu t ~from_ ~reset entries =
+  let table =
+    match Hashtbl.find_opt t.nbr_tables from_ with
+    | Some tab -> tab
+    | None ->
+      let tab = Topo_table.create () in
+      Hashtbl.replace t.nbr_tables from_ tab;
+      tab
+  in
+  if reset then Topo_table.clear table;
+  List.iter (Topo_table.apply_entry table) entries;
+  refresh_neighbor_distances t ~nbr:from_
+
+(* --- MTU: rebuild the main table ----------------------------------- *)
+
+let first_hop_of_parents t (res : Dijkstra.result) dst =
+  if dst = t.id || not (Float.is_finite res.dist.(dst)) then -1
+  else begin
+    let rec walk node =
+      let p = res.parent.(node) in
+      if p = t.id then node else if p < 0 then -1 else walk p
+    in
+    walk dst
+  end
+
+let mtu t =
+  let merged = Topo_table.create () in
+  let nbrs = up_neighbors t in
+  (* Steps 2-4: for every known node j, copy j's out-links from the
+     neighbor offering the least distance to j (ties to lower id). *)
+  let known = Hashtbl.create 32 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace known k ();
+      match Hashtbl.find_opt t.nbr_tables k with
+      | None -> ()
+      | Some tab -> List.iter (fun v -> Hashtbl.replace known v ()) (Topo_table.nodes tab))
+    nbrs;
+  let preferred_for j =
+    List.fold_left
+      (fun best k ->
+        let d = neighbor_distance t ~nbr:k ~dst:j +. link_cost t ~nbr:k in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ -> if Float.is_finite d then Some (k, d) else best)
+      None nbrs
+  in
+  Hashtbl.iter
+    (fun j () ->
+      if j <> t.id then
+        match preferred_for j with
+        | None -> ()
+        | Some (p, _) ->
+          let tab = Hashtbl.find t.nbr_tables p in
+          List.iter
+            (fun (tail, cost) ->
+              if j <> t.id then Topo_table.set merged ~head:j ~tail ~cost)
+            (Topo_table.out_links tab ~head:j))
+    known;
+  (* Step 5: adjacent links override anything neighbors said about
+     links headed at this router. *)
+  List.iter (fun (tail, _) -> Topo_table.remove merged ~head:t.id ~tail)
+    (Topo_table.out_links merged ~head:t.id);
+  List.iter
+    (fun k -> Topo_table.set merged ~head:t.id ~tail:k ~cost:(link_cost t ~nbr:k))
+    nbrs;
+  (* Step 6: keep only the shortest-path tree. *)
+  let res = Dijkstra.on_table ~n:t.n ~root:t.id merged in
+  let tree =
+    Dijkstra.tree_of_result ~n:t.n ~root:t.id res ~cost:(fun ~head ~tail ->
+        match Topo_table.cost merged ~head ~tail with
+        | Some c -> c
+        | None -> assert false)
+  in
+  let changes = Topo_table.diff ~old_table:t.main ~new_table:tree in
+  t.main <- tree;
+  t.dist <- res.Dijkstra.dist;
+  t.dist.(t.id) <- 0.0;
+  t.first_hop <- Array.init t.n (first_hop_of_parents t res);
+  changes
+
+(* --- Successor sets (Eq. 17 / line 4 of MPDA) ----------------------- *)
+
+let recompute_successors t =
+  let bound j = match t.mode with Mpda -> t.fd.(j) | Pda -> t.dist.(j) in
+  let nbrs = up_neighbors t in
+  t.succ <-
+    Array.init t.n (fun j ->
+        if j = t.id then []
+        else
+          List.filter (fun k -> neighbor_distance t ~nbr:k ~dst:j < bound j) nbrs)
+
+(* --- Output composition --------------------------------------------- *)
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let compose_outputs t ~changes ~ack_to =
+  (* [ack_to]: Some (k, seq) when the event was a data LSU from k whose
+     [seq] must be acknowledged. Full tables go to neighbors that just
+     came up. *)
+  let nbrs = up_neighbors t in
+  let full_targets = List.filter (fun k -> List.mem k t.needs_full) nbrs in
+  t.needs_full <- [];
+  let data_targets =
+    if changes = [] then full_targets
+    else List.sort_uniq compare (full_targets @ nbrs)
+  in
+  let outputs = ref [] in
+  let ack_consumed = ref false in
+  List.iter
+    (fun k ->
+      let is_full = List.mem k full_targets in
+      let entries = if is_full then Topo_table.entries t.main else changes in
+      if entries <> [] || is_full then begin
+        let seq = match t.mode with Mpda -> Some (fresh_seq t) | Pda -> None in
+        let ack_of =
+          match ack_to with Some (k', s) when k' = k -> Some s | Some _ | None -> None
+        in
+        if ack_of <> None then ack_consumed := true;
+        (match (t.mode, seq) with
+        | Mpda, Some s -> Hashtbl.replace t.pending k s
+        | Mpda, None | Pda, _ -> ());
+        outputs := { dst = k; msg = { entries; reset = is_full; seq; ack_of } } :: !outputs
+      end)
+    data_targets;
+  (* Pure ACK when the triggering LSU got no piggybacked reply. *)
+  (match ack_to with
+  | Some (k, s) when (not !ack_consumed) && Hashtbl.mem t.adjacent k ->
+    outputs :=
+      { dst = k; msg = { entries = []; reset = false; seq = None; ack_of = Some s } }
+      :: !outputs
+  | Some _ | None -> ());
+  if t.mode = Mpda && Hashtbl.length t.pending > 0 then t.active <- true;
+  t.sent <- t.sent + List.length !outputs;
+  List.rev !outputs
+
+(* --- The MPDA event loop (Fig. 4) ----------------------------------- *)
+
+let process t ~ack_to ~ack_received =
+  t.events <- t.events + 1;
+  (* [ack_received]: Some (nbr, seq) when the event carried an ACK. *)
+  (match ack_received with
+  | Some (nbr, seq) -> (
+    match Hashtbl.find_opt t.pending nbr with
+    | Some expected when expected = seq -> Hashtbl.remove t.pending nbr
+    | Some _ | None -> ())
+  | None -> ());
+  let last_ack = t.active && Hashtbl.length t.pending = 0 in
+  let changes =
+    match t.mode with
+    | Pda -> mtu t
+    | Mpda ->
+      if not t.active then begin
+        (* Lines 2a-2b: PASSIVE — update T and lower FD to D. *)
+        let changes = mtu t in
+        for j = 0 to t.n - 1 do
+          t.fd.(j) <- Float.min t.fd.(j) t.dist.(j)
+        done;
+        changes
+      end
+      else if last_ack then begin
+        (* Lines 3a-3c: the deferred MTU runs now; FD may rise to
+           min(old D, new D). *)
+        let temp = Array.copy t.dist in
+        t.active <- false;
+        let changes = mtu t in
+        for j = 0 to t.n - 1 do
+          t.fd.(j) <- Float.min temp.(j) t.dist.(j)
+        done;
+        changes
+      end
+      else []
+  in
+  recompute_successors t;
+  compose_outputs t ~changes ~ack_to
+
+(* --- Event handlers -------------------------------------------------- *)
+
+let handle_link_up t ~nbr ~cost =
+  if not (Float.is_finite cost) || cost < 0.0 then
+    invalid_arg "Router.handle_link_up: bad cost";
+  Hashtbl.replace t.adjacent nbr cost;
+  if not (Hashtbl.mem t.nbr_tables nbr) then begin
+    Hashtbl.replace t.nbr_tables nbr (Topo_table.create ());
+    refresh_neighbor_distances t ~nbr
+  end;
+  if not (List.mem nbr t.needs_full) then t.needs_full <- nbr :: t.needs_full;
+  process t ~ack_to:None ~ack_received:None
+
+let handle_link_down t ~nbr =
+  if Hashtbl.mem t.adjacent nbr then begin
+    Hashtbl.remove t.adjacent nbr;
+    (match Hashtbl.find_opt t.nbr_tables nbr with
+    | Some tab -> Topo_table.clear tab
+    | None -> ());
+    refresh_neighbor_distances t ~nbr;
+    t.needs_full <- List.filter (fun k -> k <> nbr) t.needs_full;
+    (* Pending ACKs from the failed neighbor count as received. *)
+    let ack = Hashtbl.find_opt t.pending nbr |> Option.map (fun s -> (nbr, s)) in
+    process t ~ack_to:None ~ack_received:ack
+  end
+  else []
+
+let handle_link_cost t ~nbr ~cost =
+  if not (Hashtbl.mem t.adjacent nbr) then []
+  else begin
+    Hashtbl.replace t.adjacent nbr cost;
+    process t ~ack_to:None ~ack_received:None
+  end
+
+let handle_msg t ~from_ msg =
+  if not (Hashtbl.mem t.adjacent from_) then []
+  else begin
+    if msg.entries <> [] || msg.reset then apply_lsu t ~from_ ~reset:msg.reset msg.entries;
+    let ack_received = Option.map (fun s -> (from_, s)) msg.ack_of in
+    let ack_to = Option.map (fun s -> (from_, s)) msg.seq in
+    process t ~ack_to ~ack_received
+  end

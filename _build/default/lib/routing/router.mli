@@ -1,0 +1,84 @@
+(** The PDA / MPDA router state machine (paper Section 4.1, Figs. 1-4).
+
+    A router keeps its main topology table T_i, one table T_k^i per
+    neighbor, the distances derived from them, and — in MPDA mode — the
+    feasible distances FD and successor sets S that satisfy the
+    Loop-Free Invariant conditions (Eqs. 16-17):
+
+    - FD_j^i <= D_jk^i for every neighbor k (enforced by deferring the
+      table update while ACTIVE, i.e. until every neighbor has
+      acknowledged the last LSU), and
+    - S_j^i = {k | D_jk^i < FD_j^i}.
+
+    In [Pda] mode the synchronization is skipped: the router floods
+    diffs immediately and uses its current distance as the feasible
+    distance. PDA converges to correct shortest paths (Theorem 2) but
+    its successor graphs may loop *transiently* — the test-suite
+    demonstrates exactly this difference.
+
+    The machine is pure with respect to I/O: every handler returns the
+    messages to transmit, and the embedding (control-plane harness or
+    packet simulator) delivers them with whatever latency it models. *)
+
+type mode = Pda | Mpda
+
+type msg = {
+  entries : Topo_table.entry list;  (** topology changes; empty for a pure ACK *)
+  reset : bool;  (** full-table LSU: clear the stored neighbor table first *)
+  seq : int option;  (** present iff the receiver must acknowledge *)
+  ack_of : int option;  (** acknowledges the sender's LSU with this seq *)
+}
+
+type output = { dst : int; msg : msg }
+
+type t
+
+val create : mode:mode -> id:int -> n:int -> t
+(** [n] is the number of node ids in play (ids are dense). The router
+    starts with every adjacent link down; bring links up with
+    {!handle_link_up}. *)
+
+val id : t -> int
+val mode : t -> mode
+
+val handle_link_up : t -> nbr:int -> cost:float -> output list
+(** An adjacent link to [nbr] came up with the given cost. Sends the
+    full main table to [nbr] as the paper's NTU step 2 requires. *)
+
+val handle_link_down : t -> nbr:int -> output list
+
+val handle_link_cost : t -> nbr:int -> cost:float -> output list
+(** The measured cost (marginal delay) of the adjacent link changed. *)
+
+val handle_msg : t -> from_:int -> msg -> output list
+(** Process one received LSU. Messages from neighbors whose link is
+    locally down are dropped. *)
+
+val is_passive : t -> bool
+
+val distance : t -> dst:int -> float
+(** D_j^i: this router's distance to [dst] per its main table. *)
+
+val feasible_distance : t -> dst:int -> float
+
+val successors : t -> dst:int -> int list
+(** S_j^i. In [Pda] mode, every neighbor strictly closer per the
+    current distances. *)
+
+val best_successor : t -> dst:int -> int option
+(** First hop of the shortest path (the preferred neighbor). *)
+
+val neighbor_distance : t -> nbr:int -> dst:int -> float
+(** D_jk^i: distance from neighbor [nbr] to [dst] according to the
+    topology [nbr] reported. *)
+
+val link_cost : t -> nbr:int -> float
+(** l_k: current cost of the adjacent link, [infinity] when down. *)
+
+val up_neighbors : t -> int list
+
+val main_table : t -> Topo_table.t
+(** The router's current shortest-path tree (read-only copy). *)
+
+val stats_messages_sent : t -> int
+val stats_events : t -> int

@@ -1,0 +1,91 @@
+type entry = { head : int; tail : int; cost : float }
+
+type t = {
+  links : (int * int, float) Hashtbl.t;
+  adjacency : (int, (int, float) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { links = Hashtbl.create 32; adjacency = Hashtbl.create 16 }
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace fresh.links k v) t.links;
+  Hashtbl.iter
+    (fun h out -> Hashtbl.replace fresh.adjacency h (Hashtbl.copy out))
+    t.adjacency;
+  fresh
+
+let clear t =
+  Hashtbl.reset t.links;
+  Hashtbl.reset t.adjacency
+
+let set t ~head ~tail ~cost =
+  if not (Float.is_finite cost) || cost < 0.0 then
+    invalid_arg "Topo_table.set: cost must be finite and non-negative";
+  if head = tail then invalid_arg "Topo_table.set: self-loop";
+  Hashtbl.replace t.links (head, tail) cost;
+  let out =
+    match Hashtbl.find_opt t.adjacency head with
+    | Some out -> out
+    | None ->
+      let out = Hashtbl.create 4 in
+      Hashtbl.replace t.adjacency head out;
+      out
+  in
+  Hashtbl.replace out tail cost
+
+let remove t ~head ~tail =
+  Hashtbl.remove t.links (head, tail);
+  match Hashtbl.find_opt t.adjacency head with
+  | None -> ()
+  | Some out ->
+    Hashtbl.remove out tail;
+    if Hashtbl.length out = 0 then Hashtbl.remove t.adjacency head
+
+let cost t ~head ~tail = Hashtbl.find_opt t.links (head, tail)
+
+let apply_entry t { head; tail; cost } =
+  if Float.is_finite cost then set t ~head ~tail ~cost else remove t ~head ~tail
+
+let entries t =
+  Hashtbl.fold (fun (head, tail) cost acc -> { head; tail; cost } :: acc) t.links []
+  |> List.sort (fun a b -> compare (a.head, a.tail) (b.head, b.tail))
+
+let out_links t ~head =
+  match Hashtbl.find_opt t.adjacency head with
+  | None -> []
+  | Some out ->
+    Hashtbl.fold (fun tail cost acc -> (tail, cost) :: acc) out []
+    |> List.sort compare
+
+let nodes t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (head, tail) _ ->
+      Hashtbl.replace seen head ();
+      Hashtbl.replace seen tail ())
+    t.links;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort compare
+
+let size t = Hashtbl.length t.links
+
+let diff ~old_table ~new_table =
+  let changes = ref [] in
+  Hashtbl.iter
+    (fun (head, tail) cost ->
+      match Hashtbl.find_opt old_table.links (head, tail) with
+      | Some old_cost when old_cost = cost -> ()
+      | Some _ | None -> changes := { head; tail; cost } :: !changes)
+    new_table.links;
+  Hashtbl.iter
+    (fun (head, tail) _ ->
+      if not (Hashtbl.mem new_table.links (head, tail)) then
+        changes := { head; tail; cost = infinity } :: !changes)
+    old_table.links;
+  List.sort (fun a b -> compare (a.head, a.tail) (b.head, b.tail)) !changes
+
+let equal a b =
+  Hashtbl.length a.links = Hashtbl.length b.links
+  && Hashtbl.fold
+       (fun key cost acc -> acc && Hashtbl.find_opt b.links key = Some cost)
+       a.links true

@@ -1,0 +1,42 @@
+(** Topology tables: the per-router link-state databases of PDA/MPDA.
+
+    A table stores directed links [head -> tail] with their cost — the
+    triplets [h; t; d] of the paper. The router's main table T_i and
+    the per-neighbor tables T_k^i are all values of this type. *)
+
+type t
+
+type entry = { head : int; tail : int; cost : float }
+(** [cost = infinity] inside an LSU means "delete this link". *)
+
+val create : unit -> t
+val copy : t -> t
+val clear : t -> unit
+
+val set : t -> head:int -> tail:int -> cost:float -> unit
+(** Add or change a link. [cost] must be finite and positive. *)
+
+val remove : t -> head:int -> tail:int -> unit
+
+val cost : t -> head:int -> tail:int -> float option
+
+val apply_entry : t -> entry -> unit
+(** Apply one LSU entry: set when the cost is finite, remove when it is
+    [infinity]. *)
+
+val entries : t -> entry list
+(** All links, sorted by (head, tail) for deterministic output. *)
+
+val out_links : t -> head:int -> (int * float) list
+(** (tail, cost) of links headed at [head]. *)
+
+val nodes : t -> int list
+(** Every node appearing as a head or tail, sorted. *)
+
+val size : t -> int
+
+val diff : old_table:t -> new_table:t -> entry list
+(** LSU entries that transform [old_table] into [new_table]:
+    adds/changes carry the new cost, deletions carry [infinity]. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/topology/cairn.ml: Graph List

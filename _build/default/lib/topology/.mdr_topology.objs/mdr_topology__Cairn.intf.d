@@ -1,0 +1,1 @@
+lib/topology/cairn.mli: Graph

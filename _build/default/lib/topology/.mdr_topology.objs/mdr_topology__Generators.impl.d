@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Fun Graph Mdr_util

@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/topology/net1.ml: Array Graph List

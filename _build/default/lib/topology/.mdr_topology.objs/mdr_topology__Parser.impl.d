@@ -1,0 +1,1 @@
+lib/topology/parser.ml: Array Buffer Fun Graph Hashtbl List Printf String

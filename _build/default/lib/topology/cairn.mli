@@ -1,0 +1,19 @@
+(** Reconstruction of the CAIRN research backbone used in the paper's
+    Figure 8.
+
+    The paper states that only CAIRN's *connectivity* matters ("its
+    topology as used differs from the real network in the capacities
+    and propagation delays"), and caps link capacities at 10 Mb/s. The
+    figure's adjacency did not survive the source text, so this module
+    rebuilds a CAIRN-like backbone over the routers named in the paper:
+    a Bay-Area cluster, a Southern-California cluster, a
+    Washington-DC / east-coast cluster, two transcontinental trunks,
+    and a transatlantic spur to UCL. All eleven source-destination
+    pairs used in the simulations exist verbatim. *)
+
+val topology : unit -> Graph.t
+
+val flow_pairs : Graph.t -> (Graph.node * Graph.node) list
+(** The paper's eleven flows: (lbl, mci-r), (netstar, isi-e),
+    (isi, darpa), (parc, sdsc), (sri, mit), (tioc, sdsc), (mit, sri),
+    (isi-e, netstar), (sdsc, parc), (mci-r, tioc), (darpa, isi). *)

@@ -1,0 +1,78 @@
+module Rng = Mdr_util.Rng
+
+let node_names n = Array.init n (fun i -> "n" ^ string_of_int i)
+
+let ring ~n ~capacity ~prop_delay =
+  if n < 3 then invalid_arg "Generators.ring: n < 3";
+  let g = Graph.create ~names:(node_names n) in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    Graph.add_link g ~src:i ~dst:j ~capacity ~prop_delay;
+    Graph.add_link g ~src:j ~dst:i ~capacity ~prop_delay
+  done;
+  g
+
+let add_duplex_if_absent g a b ~capacity ~prop_delay =
+  if a <> b && Graph.link g ~src:a ~dst:b = None then begin
+    Graph.add_link g ~src:a ~dst:b ~capacity ~prop_delay;
+    Graph.add_link g ~src:b ~dst:a ~capacity ~prop_delay;
+    true
+  end
+  else false
+
+let ring_with_chords ~rng ~n ~chords ~capacity ~prop_delay =
+  let g = ring ~n ~capacity ~prop_delay in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  (* A complete graph bounds the number of chords we can place. *)
+  let max_chords = (n * (n - 1) / 2) - n in
+  let target = min chords max_chords in
+  while !added < target && !attempts < 100 * (target + 1) do
+    incr attempts;
+    let a = Rng.int rng ~bound:n and b = Rng.int rng ~bound:n in
+    if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
+  done;
+  g
+
+let random_connected ~rng ~n ~extra_links ?(capacity_range = (5.0e6, 10.0e6))
+    ?(delay_range = (0.001, 0.010)) () =
+  if n < 2 then invalid_arg "Generators.random_connected: n < 2";
+  let g = Graph.create ~names:(node_names n) in
+  let lo_c, hi_c = capacity_range and lo_d, hi_d = delay_range in
+  let attrs () =
+    (Rng.uniform rng ~lo:lo_c ~hi:hi_c, Rng.uniform rng ~lo:lo_d ~hi:hi_d)
+  in
+  (* Random spanning tree: attach each new node to a uniformly chosen
+     earlier node (random recursive tree). *)
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  for k = 1 to n - 1 do
+    let parent = order.(Rng.int rng ~bound:k) in
+    let capacity, prop_delay = attrs () in
+    ignore (add_duplex_if_absent g order.(k) parent ~capacity ~prop_delay)
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_links && !attempts < 100 * (extra_links + 1) do
+    incr attempts;
+    let a = Rng.int rng ~bound:n and b = Rng.int rng ~bound:n in
+    let capacity, prop_delay = attrs () in
+    if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
+  done;
+  g
+
+let grid ~rows ~cols ~capacity ~prop_delay =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Generators.grid: degenerate dimensions";
+  let n = rows * cols in
+  let g = Graph.create ~names:(node_names n) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        ignore (add_duplex_if_absent g (id r c) (id r (c + 1)) ~capacity ~prop_delay);
+      if r + 1 < rows then
+        ignore (add_duplex_if_absent g (id r c) (id (r + 1) c) ~capacity ~prop_delay)
+    done
+  done;
+  g

@@ -1,0 +1,24 @@
+(** Random topology generators for property-based tests and scaling
+    benchmarks. All generators return strongly connected, symmetric
+    topologies with uniform or randomized link attributes. *)
+
+val ring :
+  n:int -> capacity:float -> prop_delay:float -> Graph.t
+(** Bidirectional ring of [n >= 3] routers. *)
+
+val ring_with_chords :
+  rng:Mdr_util.Rng.t -> n:int -> chords:int -> capacity:float ->
+  prop_delay:float -> Graph.t
+(** Ring plus [chords] random non-duplicate chords: connected by
+    construction, with tunable path diversity. *)
+
+val random_connected :
+  rng:Mdr_util.Rng.t -> n:int -> extra_links:int ->
+  ?capacity_range:float * float -> ?delay_range:float * float -> unit -> Graph.t
+(** A random spanning tree (guaranteeing connectivity) plus
+    [extra_links] random duplex links, with attributes drawn uniformly
+    from the given ranges (defaults: 5-10 Mb/s, 1-10 ms). *)
+
+val grid : rows:int -> cols:int -> capacity:float -> prop_delay:float -> Graph.t
+(** [rows] x [cols] mesh; rich multipath structure, used by scaling
+    benchmarks. *)

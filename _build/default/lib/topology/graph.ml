@@ -1,0 +1,101 @@
+type node = int
+
+type link = {
+  src : node;
+  dst : node;
+  capacity : float;
+  prop_delay : float;
+}
+
+type t = {
+  names : string array;
+  by_name : (string, node) Hashtbl.t;
+  adjacency : (node, link) Hashtbl.t array;  (* per-src: dst -> link *)
+  order : (node, link list) Hashtbl.t;  (* per-src out-links, reversed insertion order *)
+  mutable all_links_rev : link list;
+  mutable link_count : int;
+}
+
+let create ~names =
+  let n = Array.length names in
+  let by_name = Hashtbl.create n in
+  Array.iteri
+    (fun i name ->
+      if name = "" then invalid_arg "Graph.create: empty router name";
+      if Hashtbl.mem by_name name then
+        invalid_arg ("Graph.create: duplicate router name " ^ name);
+      Hashtbl.add by_name name i)
+    names;
+  {
+    names = Array.copy names;
+    by_name;
+    adjacency = Array.init n (fun _ -> Hashtbl.create 4);
+    order = Hashtbl.create n;
+    all_links_rev = [];
+    link_count = 0;
+  }
+
+let node_count t = Array.length t.names
+
+let link_count t = t.link_count
+
+let check_node t v fn =
+  if v < 0 || v >= node_count t then invalid_arg (fn ^ ": node out of range")
+
+let name t v =
+  check_node t v "Graph.name";
+  t.names.(v)
+
+let node_of_name t s = Hashtbl.find t.by_name s
+
+let add_link t ~src ~dst ~capacity ~prop_delay =
+  check_node t src "Graph.add_link";
+  check_node t dst "Graph.add_link";
+  if src = dst then invalid_arg "Graph.add_link: self-loop";
+  if capacity <= 0.0 then invalid_arg "Graph.add_link: capacity <= 0";
+  if prop_delay < 0.0 then invalid_arg "Graph.add_link: negative propagation delay";
+  if Hashtbl.mem t.adjacency.(src) dst then
+    invalid_arg
+      (Printf.sprintf "Graph.add_link: duplicate link %s -> %s" t.names.(src)
+         t.names.(dst));
+  let l = { src; dst; capacity; prop_delay } in
+  Hashtbl.add t.adjacency.(src) dst l;
+  let existing = try Hashtbl.find t.order src with Not_found -> [] in
+  Hashtbl.replace t.order src (l :: existing);
+  t.all_links_rev <- l :: t.all_links_rev;
+  t.link_count <- t.link_count + 1
+
+let add_duplex t a b ~capacity ~prop_delay =
+  let va = node_of_name t a and vb = node_of_name t b in
+  add_link t ~src:va ~dst:vb ~capacity ~prop_delay;
+  add_link t ~src:vb ~dst:va ~capacity ~prop_delay
+
+let link t ~src ~dst = Hashtbl.find_opt t.adjacency.(src) dst
+
+let link_exn t ~src ~dst =
+  match link t ~src ~dst with
+  | Some l -> l
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Graph.link_exn: no link %s -> %s" t.names.(src) t.names.(dst))
+
+let out_links t v =
+  check_node t v "Graph.out_links";
+  match Hashtbl.find_opt t.order v with
+  | None -> []
+  | Some ls -> List.rev ls
+
+let neighbors t v = List.map (fun l -> l.dst) (out_links t v)
+
+let links t = List.rev t.all_links_rev
+
+let fold_links t ~init ~f = List.fold_left f init (links t)
+
+let nodes t = List.init (node_count t) Fun.id
+
+let is_symmetric t =
+  List.for_all (fun l -> link t ~src:l.dst ~dst:l.src <> None) (links t)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "topology: %d routers, %d directed links" (node_count t)
+    (link_count t)

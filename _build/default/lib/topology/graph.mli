@@ -1,0 +1,57 @@
+(** Network topology: named routers joined by point-to-point links.
+
+    Links are directed internally — a bidirectional physical link is
+    two directed links, possibly with different attributes, exactly as
+    in the paper's model ("each link is bidirectional with possibly
+    different costs in each direction"). Nodes are dense integers
+    [0 .. node_count - 1] so algorithm state can live in arrays. *)
+
+type node = int
+
+type link = {
+  src : node;
+  dst : node;
+  capacity : float;  (** bits per second *)
+  prop_delay : float;  (** propagation delay, seconds *)
+}
+
+type t
+
+val create : names:string array -> t
+(** A topology with the given routers and no links. Names must be
+    distinct and non-empty. *)
+
+val node_count : t -> int
+val link_count : t -> int
+
+val name : t -> node -> string
+val node_of_name : t -> string -> node
+(** @raise Not_found if no router has that name. *)
+
+val add_link : t -> src:node -> dst:node -> capacity:float -> prop_delay:float -> unit
+(** Add one directed link. @raise Invalid_argument on self-loops,
+    duplicate links, or non-positive capacity. *)
+
+val add_duplex :
+  t -> string -> string -> capacity:float -> prop_delay:float -> unit
+(** Add both directions between two named routers, same attributes. *)
+
+val link : t -> src:node -> dst:node -> link option
+val link_exn : t -> src:node -> dst:node -> link
+
+val neighbors : t -> node -> node list
+(** Outgoing neighbors, in insertion order. *)
+
+val out_links : t -> node -> link list
+
+val links : t -> link list
+(** All directed links, in insertion order. *)
+
+val fold_links : t -> init:'a -> f:('a -> link -> 'a) -> 'a
+
+val nodes : t -> node list
+
+val is_symmetric : t -> bool
+(** Every directed link has a reverse link (attributes may differ). *)
+
+val pp_summary : Format.formatter -> t -> unit

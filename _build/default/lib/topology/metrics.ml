@@ -1,0 +1,81 @@
+let hop_distances g src =
+  let n = Graph.node_count g in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let advance v =
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    in
+    List.iter advance (Graph.neighbors g u)
+  done;
+  dist
+
+let is_strongly_connected g =
+  let n = Graph.node_count g in
+  n = 0
+  || List.for_all
+       (fun src ->
+         let dist = hop_distances g src in
+         Array.for_all (fun d -> d <> max_int) dist)
+       (Graph.nodes g)
+
+let diameter g =
+  if not (is_strongly_connected g) then
+    invalid_arg "Metrics.diameter: topology not strongly connected";
+  List.fold_left
+    (fun acc src ->
+      let dist = hop_distances g src in
+      Array.fold_left max acc dist)
+    0 (Graph.nodes g)
+
+let out_degree g v = List.length (Graph.neighbors g v)
+
+let degree_range g =
+  List.fold_left
+    (fun (lo, hi) v ->
+      let d = out_degree g v in
+      (min lo d, max hi d))
+    (max_int, 0) (Graph.nodes g)
+
+let reachable_without g ~banned_src ~banned_dst ~from ~target =
+  (* BFS that skips the directed link banned_src -> banned_dst. *)
+  let n = Graph.node_count g in
+  let seen = Array.make n false in
+  seen.(from) <- true;
+  let q = Queue.create () in
+  Queue.add from q;
+  let found = ref (from = target) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let advance v =
+      if not (u = banned_src && v = banned_dst) && not seen.(v) then begin
+        seen.(v) <- true;
+        if v = target then found := true;
+        Queue.add v q
+      end
+    in
+    List.iter advance (Graph.neighbors g u)
+  done;
+  !found
+
+let multipath_pairs g pairs =
+  let has_alternate (src, dst) =
+    if src = dst then false
+    else
+      (* First hop of some shortest path: any neighbor strictly closer. *)
+      let dist = hop_distances g dst in
+      (* dist is from dst; with symmetric topologies this equals
+         distance to dst. Guard for asymmetric graphs. *)
+      match
+        List.find_opt (fun v -> dist.(v) < dist.(src)) (Graph.neighbors g src)
+      with
+      | None -> false
+      | Some hop -> reachable_without g ~banned_src:src ~banned_dst:hop ~from:src ~target:dst
+  in
+  List.length (List.filter has_alternate pairs)

@@ -1,0 +1,23 @@
+(** Structural metrics over topologies, used to validate that the
+    reconstructed CAIRN and NET1 satisfy the paper's stated properties
+    (connectivity, diameter, node degrees). *)
+
+val hop_distances : Graph.t -> Graph.node -> int array
+(** BFS hop counts from a source; unreachable nodes get [max_int]. *)
+
+val diameter : Graph.t -> int
+(** Longest shortest-path hop count over all pairs.
+    @raise Invalid_argument if the topology is not strongly connected. *)
+
+val out_degree : Graph.t -> Graph.node -> int
+
+val degree_range : Graph.t -> int * int
+(** Minimum and maximum out-degree. *)
+
+val is_strongly_connected : Graph.t -> bool
+
+val multipath_pairs : Graph.t -> (Graph.node * Graph.node) list -> int
+(** Number of given (src, dst) pairs for which at least two
+    link-disjoint first hops lead to [dst] (i.e. removing the first
+    link of some shortest path still leaves [dst] reachable). A cheap
+    proxy for "alternate paths exist". *)

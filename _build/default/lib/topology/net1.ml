@@ -1,0 +1,25 @@
+let mb = 1.0e6
+
+let duplex_links =
+  (* Two horizontal paths 0-1-2-3-4 and 5-6-7-8-9, vertical rungs, and
+     four chords that lift every degree into [3, 5] while keeping the
+     diameter at four. All links 10 Mb/s. *)
+  [
+    (0, 1); (1, 2); (2, 3); (3, 4);
+    (5, 6); (6, 7); (7, 8); (8, 9);
+    (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+    (0, 6); (4, 8); (5, 1); (9, 3);
+  ]
+
+let topology () =
+  let names = Array.init 10 string_of_int in
+  let g = Graph.create ~names in
+  let add (a, b) =
+    Graph.add_duplex g (string_of_int a) (string_of_int b) ~capacity:(10.0 *. mb)
+      ~prop_delay:0.002
+  in
+  List.iter add duplex_links;
+  g
+
+let flow_pairs _g =
+  [ (9, 2); (8, 3); (7, 0); (6, 1); (5, 8); (4, 1); (3, 8); (2, 9); (1, 6); (0, 7) ]

@@ -1,0 +1,15 @@
+(** The contrived NET1 topology of the paper's Figure 8.
+
+    The paper specifies its properties rather than its exact drawing:
+    ten routers (flows run between ids 0-9), diameter four, node
+    degrees between 3 and 5, connectivity "high enough to ensure the
+    existence of multiple paths, and small enough to prevent a large
+    number of one-hop paths". This construction — two five-node paths
+    braced by rungs and end chords — satisfies all of these, which
+    [test_topology] asserts. *)
+
+val topology : unit -> Graph.t
+
+val flow_pairs : Graph.t -> (Graph.node * Graph.node) list
+(** The paper's ten flows: (9,2), (8,3), (7,0), (6,1), (5,8), (4,1),
+    (3,8), (2,9), (1,6), (0,7). *)

@@ -1,0 +1,39 @@
+(** Plain-text topology and workload files, so experiments can run on
+    user-supplied networks (`mdrsim custom --topo FILE --flows FILE`).
+
+    Topology format — one directive per line, [#] comments, blank lines
+    ignored:
+
+    {v
+    # routers
+    node a
+    node b
+    node c
+    # duplex links: capacity in Mb/s, propagation delay in ms
+    link a b 10 1.5
+    link b c 10 2.0
+    # one-directional link (different attributes per direction)
+    oneway c a 5 3.0
+    v}
+
+    Flow format: [flow <src> <dst> <rate_mbps>] lines with the same
+    comment rules. *)
+
+exception Parse_error of { line : int; message : string }
+
+val topology_of_string : string -> Graph.t
+val topology_of_file : string -> Graph.t
+
+val flows_of_string : Graph.t -> string -> (int * int * float) list
+(** (src, dst, rate in bits/s), resolved against the topology's router
+    names. *)
+
+val flows_of_file : Graph.t -> string -> (int * int * float) list
+
+val to_string : Graph.t -> string
+(** Render a topology back into the file format (duplex links with
+    equal attributes are merged into [link] lines). *)
+
+val to_dot : Graph.t -> string
+(** Graphviz rendering, one edge per duplex pair, labelled with
+    capacity and delay. *)

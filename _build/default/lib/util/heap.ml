@@ -1,0 +1,98 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* Compare entries: user ordering first, insertion order as tiebreak so
+   that equal-priority events dequeue FIFO. *)
+let entry_cmp h a b =
+  let c = h.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    (* Dummy slot reuses an existing entry; never read past [size]. *)
+    let dummy = if cap = 0 then { value = Obj.magic 0; seq = -1 } else h.data.(0) in
+    let ndata = Array.make ncap dummy in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && entry_cmp h h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h x =
+  grow h;
+  h.data.(h.size) <- { value = x; seq = h.next_seq };
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0).value in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let copy =
+    {
+      cmp = h.cmp;
+      data = Array.sub h.data 0 h.size;
+      size = h.size;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

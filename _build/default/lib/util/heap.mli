@@ -1,0 +1,32 @@
+(** Imperative binary min-heap with user-supplied ordering.
+
+    Used as the priority queue of the discrete-event engine and of
+    Dijkstra's algorithm. Elements are compared by [cmp] given at
+    creation; ties are broken by insertion order, which makes
+    simulations deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x]. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; mainly for tests. O(n log n). *)

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [t], so experiments are reproducible from a single integer seed and
+    independent streams can be split off without correlation. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A statistically independent stream derived from [t]; both streams
+    advance independently afterwards. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). Requires [lo <= hi]. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). Requires [bound > 0]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with the given [rate] (mean [1/rate]).
+    Requires [rate > 0]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto variate, for heavy-tailed burst lengths. Requires
+    [shape > 0] and [scale > 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

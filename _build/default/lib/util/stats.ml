@@ -1,0 +1,85 @@
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then 0.0 else t.mean
+
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let min t = t.min
+
+  let max t = t.max
+
+  let reset t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity
+end
+
+module Timed = struct
+  type t = {
+    mutable window_start : float;
+    mutable last_time : float;
+    mutable last_value : float;
+    mutable integral : float;
+  }
+
+  let create ?(start = 0.0) () =
+    { window_start = start; last_time = start; last_value = 0.0; integral = 0.0 }
+
+  let update t ~now ~value =
+    if now < t.last_time then invalid_arg "Stats.Timed.update: time went backwards";
+    t.integral <- t.integral +. (t.last_value *. (now -. t.last_time));
+    t.last_time <- now;
+    t.last_value <- value
+
+  let average t ~now =
+    let span = now -. t.window_start in
+    if span <= 0.0 then t.last_value
+    else
+      let integral = t.integral +. (t.last_value *. (now -. t.last_time)) in
+      integral /. span
+
+  let reset t ~now =
+    t.window_start <- now;
+    t.last_time <- now;
+    t.integral <- 0.0
+end
+
+let mean_of_list xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs ~p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    arr.(idx)

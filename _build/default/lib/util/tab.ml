@@ -1,0 +1,46 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let row = if List.length row > ncols then List.filteri (fun i _ -> i < ncols) row else row in
+    row @ List.init (ncols - List.length row) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  let widen row = List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row in
+  List.iter widen rows;
+  let line cells =
+    cells
+    |> List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell)
+    |> String.concat " | "
+  in
+  let rule =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "-+-"
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let float_cell ?(decimals = 3) v =
+  if Float.is_nan v then "nan"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals v
+
+let series ~title ~x_label ~columns rows =
+  let header = x_label :: columns in
+  let body =
+    List.map (fun (x, values) -> x :: List.map float_cell values) rows
+  in
+  Printf.sprintf "== %s ==\n%s" title (render ~header body)

@@ -1,0 +1,20 @@
+(** Plain-text tables and series, used by the benchmark harness to
+    print figure reproductions in a stable, diffable format. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] is an aligned, pipe-separated text table.
+    [align] defaults to [Left] for the first column and [Right] for the
+    rest. Rows shorter than the header are padded with empty cells. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering ([decimals] defaults to 3); infinities render
+    as ["inf"]. *)
+
+val series :
+  title:string -> x_label:string -> columns:string list ->
+  (string * float list) list -> string
+(** [series ~title ~x_label ~columns rows] renders one figure: each row
+    is an x-axis point (e.g. a flow id) with one value per column
+    (e.g. OPT / MP / SP delays). *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Gen List Mdr_core Mdr_fluid Mdr_gallager Mdr_topology QCheck QCheck_alcotest

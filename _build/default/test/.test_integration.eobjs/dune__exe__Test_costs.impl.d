@@ -1,0 +1,1 @@
+test/test_costs.ml: Alcotest Float Mdr_costs Mdr_fluid Mdr_util Queue

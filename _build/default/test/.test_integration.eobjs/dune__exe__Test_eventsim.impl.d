@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest List Mdr_eventsim Mdr_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Mdr_experiments Mdr_fluid Mdr_netsim String

@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Float List Mdr_fluid Mdr_topology Option QCheck QCheck_alcotest

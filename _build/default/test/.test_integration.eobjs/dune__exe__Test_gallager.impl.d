@@ -1,0 +1,1 @@
+test/test_gallager.ml: Alcotest Array Float List Mdr_fluid Mdr_gallager Mdr_topology

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Float List Mdr_eventsim Mdr_netsim Mdr_topology Mdr_util

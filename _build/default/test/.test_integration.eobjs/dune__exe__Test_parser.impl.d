@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Filename List Mdr_topology String Sys

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Float List Mdr_routing Mdr_topology Mdr_util Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Mdr_topology Mdr_util QCheck QCheck_alcotest

@@ -1,0 +1,359 @@
+(* Tests for the MP framework core: the IH and AH heuristics
+   (Property 1 preservation, balancing behaviour) and the two-timescale
+   fluid controller (near-optimality, SP restriction, loop-freedom). *)
+
+module Graph = Mdr_topology.Graph
+module Fluid = Mdr_fluid
+module Heuristics = Mdr_core.Heuristics
+module Controller = Mdr_core.Controller
+module Gallager = Mdr_gallager.Gallager
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let pkt = 4096.0
+
+(* --- IH --------------------------------------------------------------- *)
+
+let test_ih_single_successor () =
+  check "all to one" true (Heuristics.initial [ (7, 3.0) ] = [ (7, 1.0) ])
+
+let test_ih_two_successors () =
+  (* a = (1, 3): phi = (0.75, 0.25). *)
+  match Heuristics.initial [ (1, 1.0); (2, 3.0) ] with
+  | [ (1, p1); (2, p2) ] ->
+    check_float "p1" 0.75 p1;
+    check_float "p2" 0.25 p2
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_ih_equal_distances_equal_split () =
+  match Heuristics.initial [ (1, 2.0); (2, 2.0); (3, 2.0) ] with
+  | entries ->
+    List.iter (fun (_, p) -> check_float "third" (1.0 /. 3.0) p) entries
+
+let test_ih_is_distribution () =
+  check "distribution" true
+    (Heuristics.is_distribution (Heuristics.initial [ (1, 0.5); (2, 1.5); (3, 9.0) ]))
+
+let test_ih_monotone () =
+  (* Greater marginal distance gets a smaller share. *)
+  match Heuristics.initial [ (1, 1.0); (2, 2.0); (3, 4.0) ] with
+  | [ (_, p1); (_, p2); (_, p3) ] ->
+    check "p1 > p2" true (p1 > p2);
+    check "p2 > p3" true (p2 > p3)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_ih_rejects_bad_input () =
+  check "empty raises" true
+    (try
+       ignore (Heuristics.initial []);
+       false
+     with Invalid_argument _ -> true);
+  check "non-positive raises" true
+    (try
+       ignore (Heuristics.initial [ (1, 0.0); (2, 1.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- AH --------------------------------------------------------------- *)
+
+let test_ah_moves_toward_best () =
+  let current = [ (1, 0.5); (2, 0.5) ] in
+  let through = function 1 -> 1.0 | 2 -> 3.0 | _ -> infinity in
+  match Heuristics.adjust ~current ~through () with
+  | entries ->
+    let p1 = List.assoc 1 entries in
+    check "best gains" true (p1 > 0.5);
+    check "distribution" true (Heuristics.is_distribution entries)
+
+let test_ah_fixpoint_when_balanced () =
+  (* Equal marginal distances: nothing moves. *)
+  let current = [ (1, 0.3); (2, 0.7) ] in
+  let through = fun _ -> 2.0 in
+  let result = Heuristics.adjust ~current ~through () in
+  check_float "p1 unchanged" 0.3 (List.assoc 1 result);
+  check_float "p2 unchanged" 0.7 (List.assoc 2 result)
+
+let test_ah_drains_worst () =
+  (* Full step empties the successor with the smallest phi/excess. *)
+  let current = [ (1, 0.5); (2, 0.5) ] in
+  let through = function 1 -> 1.0 | 2 -> 2.0 | _ -> infinity in
+  let result = Heuristics.adjust ~current ~through () in
+  check "worst drained" true (not (List.mem_assoc 2 result));
+  check_float "all on best" 1.0 (List.assoc 1 result)
+
+let test_ah_damping_partial () =
+  let current = [ (1, 0.5); (2, 0.5) ] in
+  let through = function 1 -> 1.0 | 2 -> 2.0 | _ -> infinity in
+  let result = Heuristics.adjust ~damping:0.5 ~current ~through () in
+  check_float "half moved" 0.75 (List.assoc 1 result);
+  check_float "half left" 0.25 (List.assoc 2 result)
+
+let test_ah_single_entry_unchanged () =
+  let current = [ (4, 1.0) ] in
+  check "unchanged" true (Heuristics.adjust ~current ~through:(fun _ -> 1.0) () == current)
+
+let test_ah_repeated_application_converges () =
+  (* Iterating AH with fixed through values concentrates on the best. *)
+  let through = function 1 -> 1.0 | 2 -> 1.5 | 3 -> 2.0 | _ -> infinity in
+  let rec iterate current n =
+    if n = 0 then current
+    else iterate (Heuristics.adjust ~current ~through ()) (n - 1)
+  in
+  let final = iterate [ (1, 0.2); (2, 0.3); (3, 0.5) ] 10 in
+  check_float "all mass on best" 1.0 (List.assoc 1 final)
+
+let prop_ah_preserves_distribution =
+  QCheck.Test.make ~name:"AH preserves Property 1" ~count:300
+    QCheck.(triple (float_range 0.01 0.99) (float_range 0.1 10.0) (float_range 0.1 10.0))
+    (fun (split, d1, d2) ->
+      let current = [ (1, split); (2, 1.0 -. split) ] in
+      let through = function 1 -> d1 | 2 -> d2 | _ -> infinity in
+      Heuristics.is_distribution (Heuristics.adjust ~current ~through ()))
+
+let prop_ih_preserves_distribution =
+  QCheck.Test.make ~name:"IH yields a distribution" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 6) (float_range 0.1 100.0))
+    (fun dists ->
+      let entries = List.mapi (fun i d -> (i, d)) dists in
+      Heuristics.is_distribution (Heuristics.initial entries))
+
+(* --- Controller -------------------------------------------------------- *)
+
+let net1_setup load =
+  let g = Mdr_topology.Net1.topology () in
+  let model = Fluid.Evaluate.model g ~packet_size:pkt in
+  let traffic =
+    Fluid.Traffic.of_pairs_bits ~n:10 ~packet_size:pkt
+      ~rate_bits:(fun i -> load *. (2.0 +. (0.1 *. float_of_int i)) *. 1.0e6)
+      (Mdr_topology.Net1.flow_pairs g)
+  in
+  (g, model, traffic)
+
+let test_mp_close_to_opt_per_flow () =
+  (* Figure 10's claim in the fluid model: MP's per-flow delays within
+     a small envelope of OPT. *)
+  let g, model, traffic = net1_setup 1.0 in
+  let opt = Gallager.solve model g traffic in
+  let mp =
+    Controller.run
+      ~config:{ Controller.scheme = Mp; rounds = 40; ts_per_tl = 5; damping = 1.0 }
+      model g traffic
+  in
+  let od = Fluid.Evaluate.per_flow_delays model opt.params opt.flows traffic in
+  let md = Fluid.Evaluate.per_flow_delays model mp.params mp.flows traffic in
+  List.iter2
+    (fun (_, o) (_, m) -> check "within 8% envelope" true (m <= o *. 1.08))
+    od md
+
+let test_mp_loop_free_every_destination () =
+  let g, model, traffic = net1_setup 1.2 in
+  let mp = Controller.run model g traffic in
+  check "acyclic" true
+    (List.for_all
+       (fun dst -> Fluid.Params.successor_graph_is_acyclic mp.params ~dst)
+       (Graph.nodes g));
+  check "valid params" true (Fluid.Params.validate mp.params = Ok ())
+
+let test_sp_single_successor_everywhere () =
+  let g, model, traffic = net1_setup 1.0 in
+  let sp =
+    Controller.run
+      ~config:{ Controller.scheme = Sp; rounds = 10; ts_per_tl = 1; damping = 1.0 }
+      model g traffic
+  in
+  let ok = ref true in
+  List.iter
+    (fun dst ->
+      List.iter
+        (fun node ->
+          if node <> dst then
+            let s = Fluid.Params.successors sp.params ~node ~dst in
+            if List.length s > 1 then ok := false)
+        (Graph.nodes g))
+    (Fluid.Traffic.destinations traffic);
+  check "single path" true !ok
+
+let test_mp_beats_ih_only () =
+  (* The load-balancing ablation: AH steps (ts_per_tl > 1) must beat
+     IH-only routing at equal horizon. *)
+  let g, model, traffic = net1_setup 1.5 in
+  let with_ah =
+    Controller.run
+      ~config:{ Controller.scheme = Mp; rounds = 40; ts_per_tl = 5; damping = 0.5 }
+      model g traffic
+  in
+  let ih_only =
+    Controller.run
+      ~config:{ Controller.scheme = Mp; rounds = 40; ts_per_tl = 1; damping = 0.5 }
+      model g traffic
+  in
+  check "AH improves on IH alone" true (with_ah.avg_delay <= ih_only.avg_delay)
+
+let test_mp_never_worse_than_sp_under_load () =
+  let g, model, traffic = net1_setup 1.5 in
+  let mp =
+    Controller.run
+      ~config:{ Controller.scheme = Mp; rounds = 40; ts_per_tl = 5; damping = 0.5 }
+      model g traffic
+  in
+  let sp =
+    Controller.run
+      ~config:{ Controller.scheme = Sp; rounds = 40; ts_per_tl = 1; damping = 0.5 }
+      model g traffic
+  in
+  check "mp <= sp at high load" true (mp.avg_delay <= sp.avg_delay *. 1.05)
+
+let test_ecmp_even_split_on_symmetric_paths () =
+  (* Two exactly equal paths: ECMP splits evenly and AH leaves the
+     split alone. *)
+  let g = Graph.create ~names:[| "s"; "a"; "b"; "d" |] in
+  List.iter
+    (fun (x, y) -> Graph.add_duplex g x y ~capacity:10.0e6 ~prop_delay:0.001)
+    [ ("s", "a"); ("a", "d"); ("s", "b"); ("b", "d") ];
+  let model = Fluid.Evaluate.model g ~packet_size:pkt in
+  let traffic =
+    Fluid.Traffic.of_pairs_bits ~n:4 ~packet_size:pkt
+      ~rate_bits:(fun _ -> 6.0e6)
+      [ (0, 3) ]
+  in
+  let r =
+    Controller.run
+      ~config:{ Controller.scheme = Ecmp; rounds = 10; ts_per_tl = 4; damping = 1.0 }
+      model g traffic
+  in
+  Alcotest.(check (float 1e-9)) "half via a" 0.5
+    (Fluid.Params.fraction r.params ~node:0 ~dst:3 ~via:1);
+  Alcotest.(check (float 1e-9)) "half via b" 0.5
+    (Fluid.Params.fraction r.params ~node:0 ~dst:3 ~via:2)
+
+let test_ecmp_single_path_when_costs_differ () =
+  (* Unequal-cost paths: ECMP collapses to the single best. *)
+  let g = Graph.create ~names:[| "s"; "a"; "b"; "d" |] in
+  List.iter
+    (fun (x, y, ms) -> Graph.add_duplex g x y ~capacity:10.0e6 ~prop_delay:(ms /. 1000.0))
+    [ ("s", "a", 1.0); ("a", "d", 1.0); ("s", "b", 2.0); ("b", "d", 2.0) ];
+  let model = Fluid.Evaluate.model g ~packet_size:pkt in
+  let traffic =
+    Fluid.Traffic.of_pairs_bits ~n:4 ~packet_size:pkt
+      ~rate_bits:(fun _ -> 2.0e6)
+      [ (0, 3) ]
+  in
+  let r =
+    Controller.run
+      ~config:{ Controller.scheme = Ecmp; rounds = 5; ts_per_tl = 1; damping = 1.0 }
+      model g traffic
+  in
+  check "single successor" true
+    (List.length (Fluid.Params.successors r.params ~node:0 ~dst:3) = 1)
+
+let test_controller_history_length () =
+  let g, model, traffic = net1_setup 0.5 in
+  let r =
+    Controller.run
+      ~config:{ Controller.scheme = Mp; rounds = 7; ts_per_tl = 3; damping = 1.0 }
+      model g traffic
+  in
+  Alcotest.(check int) "history = rounds * steps" 21 (List.length r.delay_history)
+
+let test_controller_rejects_bad_config () =
+  let g, model, traffic = net1_setup 0.5 in
+  check "rounds < 1" true
+    (try
+       ignore
+         (Controller.run
+            ~config:{ Controller.scheme = Mp; rounds = 0; ts_per_tl = 1; damping = 1.0 }
+            model g traffic);
+       false
+     with Invalid_argument _ -> true)
+
+let test_successor_sets_exposed () =
+  let g, _model, _ = net1_setup 1.0 in
+  let cost (_ : Graph.link) = 1.0 in
+  let succ = Controller.successor_sets g ~cost ~dst:0 in
+  check "dst has none" true (succ 0 = []);
+  (* Neighbors of 0 reach it directly; they must list it via themselves
+     being closer — node 1 is 1 hop away, its successor set toward 0
+     contains 0's neighbors closer than itself, including 0. *)
+  check "direct neighbor" true (List.mem 0 (succ 1))
+
+let test_ah_reaches_perfect_balance_closed_loop () =
+  (* Closed loop on the diamond: AH adjusts, flows respond, marginals
+     re-measured — the fixpoint must satisfy the perfect-load-balancing
+     conditions (Eqs. 10-12) restricted to the successor set: both
+     successor marginal distances equal. *)
+  let g = Graph.create ~names:[| "s"; "a"; "b"; "d" |] in
+  List.iter
+    (fun (x, y, cap) -> Graph.add_duplex g x y ~capacity:cap ~prop_delay:0.001)
+    [ ("s", "a", 10.0e6); ("a", "d", 10.0e6); ("s", "b", 5.0e6); ("b", "d", 5.0e6) ];
+  let model = Fluid.Evaluate.model g ~packet_size:pkt in
+  let traffic =
+    Fluid.Traffic.of_pairs_bits ~n:4 ~packet_size:pkt
+      ~rate_bits:(fun _ -> 9.0e6)
+      [ (0, 3) ]
+  in
+  let params = Fluid.Params.create g in
+  Fluid.Params.set_fractions params ~node:0 ~dst:3 [ (1, 0.5); (2, 0.5) ];
+  Fluid.Params.set_single params ~node:1 ~dst:3 ~via:3;
+  Fluid.Params.set_single params ~node:2 ~dst:3 ~via:3;
+  let marginal_through flows k =
+    (* marginal distance via k: link (0,k) marginal + link (k,3) marginal *)
+    Fluid.Evaluate.link_cost model flows ~src:0 ~dst:k
+    +. Fluid.Evaluate.link_cost model flows ~src:k ~dst:3
+  in
+  (* With instantaneous flow response AH settles into a small limit
+     cycle around the balanced point (real queues smooth this; the
+     packet-level tests cover that), so assert the *time-averaged*
+     state over the tail of the run. *)
+  let phi_sum = ref 0.0 and gap_sum = ref 0.0 and samples = ref 0 in
+  for i = 1 to 300 do
+    let flows = Fluid.Flows.compute params traffic in
+    let current = Fluid.Params.fractions params ~node:0 ~dst:3 in
+    if List.length current > 1 then begin
+      let adjusted =
+        Heuristics.adjust ~damping:0.05 ~current ~through:(marginal_through flows) ()
+      in
+      Fluid.Params.set_fractions params ~node:0 ~dst:3 adjusted
+    end;
+    if i > 150 then begin
+      let flows = Fluid.Flows.compute params traffic in
+      let m1 = marginal_through flows 1 and m2 = marginal_through flows 2 in
+      phi_sum := !phi_sum +. Fluid.Params.fraction params ~node:0 ~dst:3 ~via:1;
+      gap_sum := !gap_sum +. (Float.abs (m1 -. m2) /. Float.max m1 m2);
+      incr samples
+    end
+  done;
+  let mean_phi = !phi_sum /. float_of_int !samples in
+  let mean_gap = !gap_sum /. float_of_int !samples in
+  check "marginals near-equal on average (Eq. 11)" true (mean_gap < 0.15);
+  (* Perfect balance puts ~72% on the fat path (solve C1/(C1-f1)^2 =
+     C2/(C2-f2)^2 with f1 + f2 = 2197 pkt/s). *)
+  check "split near the balanced point" true (mean_phi > 0.65 && mean_phi < 0.80)
+
+let suite =
+  [
+    Alcotest.test_case "ih: single successor" `Quick test_ih_single_successor;
+    Alcotest.test_case "ih: two successors (Fig. 6)" `Quick test_ih_two_successors;
+    Alcotest.test_case "ih: equal distances" `Quick test_ih_equal_distances_equal_split;
+    Alcotest.test_case "ih: Property 1" `Quick test_ih_is_distribution;
+    Alcotest.test_case "ih: monotone in distance" `Quick test_ih_monotone;
+    Alcotest.test_case "ih: input validation" `Quick test_ih_rejects_bad_input;
+    Alcotest.test_case "ah: moves toward best (Fig. 7)" `Quick test_ah_moves_toward_best;
+    Alcotest.test_case "ah: fixpoint when balanced" `Quick test_ah_fixpoint_when_balanced;
+    Alcotest.test_case "ah: drains worst at full step" `Quick test_ah_drains_worst;
+    Alcotest.test_case "ah: damping" `Quick test_ah_damping_partial;
+    Alcotest.test_case "ah: single entry" `Quick test_ah_single_entry_unchanged;
+    Alcotest.test_case "ah: repeated application converges" `Quick test_ah_repeated_application_converges;
+    Alcotest.test_case "controller: MP within envelope of OPT" `Slow test_mp_close_to_opt_per_flow;
+    Alcotest.test_case "controller: loop-free DAGs" `Quick test_mp_loop_free_every_destination;
+    Alcotest.test_case "controller: SP is single-path" `Quick test_sp_single_successor_everywhere;
+    Alcotest.test_case "controller: AH beats IH-only" `Slow test_mp_beats_ih_only;
+    Alcotest.test_case "controller: MP <= SP under load" `Slow test_mp_never_worse_than_sp_under_load;
+    Alcotest.test_case "controller: ECMP even split" `Quick test_ecmp_even_split_on_symmetric_paths;
+    Alcotest.test_case "controller: ECMP collapses on unequal costs" `Quick test_ecmp_single_path_when_costs_differ;
+    Alcotest.test_case "controller: history length" `Quick test_controller_history_length;
+    Alcotest.test_case "controller: config validation" `Quick test_controller_rejects_bad_config;
+    Alcotest.test_case "controller: successor sets" `Quick test_successor_sets_exposed;
+    Alcotest.test_case "ah: closed loop equalizes marginals" `Quick test_ah_reaches_perfect_balance_closed_loop;
+    QCheck_alcotest.to_alcotest prop_ah_preserves_distribution;
+    QCheck_alcotest.to_alcotest prop_ih_preserves_distribution;
+  ]

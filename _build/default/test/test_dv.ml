@@ -1,0 +1,183 @@
+(* Tests for the distance-vector LFI instantiation (Dv_router): it
+   must satisfy exactly the properties MPDA does — convergence to
+   shortest paths, multipath successor sets, and instantaneous
+   loop-freedom — exercised through the same harness. *)
+
+module Graph = Mdr_topology.Graph
+module Generators = Mdr_topology.Generators
+module Rng = Mdr_util.Rng
+module Dijkstra = Mdr_routing.Dijkstra
+module Dv_router = Mdr_routing.Dv_router
+module DvNet = Mdr_routing.Harness.Dv_network
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let delay_cost (l : Graph.link) = 1.0 +. (l.prop_delay *. 1000.0)
+
+let converged_check net topo cost =
+  let n = Graph.node_count topo in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    let res = Dijkstra.on_graph topo ~root:src ~cost in
+    for dst = 0 to n - 1 do
+      let d = Dv_router.distance (DvNet.router net src) ~dst in
+      let both_inf = d = infinity && res.dist.(dst) = infinity in
+      if not (both_inf || Float.abs (d -. res.dist.(dst)) < 1e-9) then ok := false
+    done
+  done;
+  !ok
+
+let test_converges_net1 () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = DvNet.create ~topo ~cost:delay_cost () in
+  DvNet.run net;
+  check "quiescent" true (DvNet.quiescent net);
+  check "distances correct" true (converged_check net topo delay_cost);
+  check "loop free" true (DvNet.check_loop_free net);
+  check "lfi" true (DvNet.check_lfi net)
+
+let test_converges_cairn () =
+  let topo = Mdr_topology.Cairn.topology () in
+  let net = DvNet.create ~topo ~cost:delay_cost () in
+  DvNet.run net;
+  check "quiescent" true (DvNet.quiescent net);
+  check "distances correct" true (converged_check net topo delay_cost)
+
+let test_multipath_successors () =
+  (* Unequal-cost diamond: both neighbors must be successors, as for
+     MPDA. *)
+  let g = Graph.create ~names:[| "s"; "a"; "b"; "d" |] in
+  List.iter
+    (fun (x, y, ms) -> Graph.add_duplex g x y ~capacity:1e6 ~prop_delay:(ms /. 1000.0))
+    [ ("s", "a", 1.0); ("a", "d", 1.0); ("s", "b", 2.0); ("b", "d", 2.0) ];
+  let net = DvNet.create ~topo:g ~cost:delay_cost () in
+  DvNet.run net;
+  let succ = Dv_router.successors (DvNet.router net 0) ~dst:3 in
+  check "two successors" true (List.sort compare succ = [ 1; 2 ])
+
+let test_cost_increase_reconverges () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = DvNet.create ~topo ~cost:delay_cost () in
+  DvNet.run net;
+  DvNet.schedule_link_cost net ~at:1.0 ~src:0 ~dst:1 ~cost:50.0;
+  DvNet.schedule_link_cost net ~at:1.0 ~src:1 ~dst:0 ~cost:50.0;
+  DvNet.run net;
+  let cost2 (l : Graph.link) =
+    if (l.src = 0 && l.dst = 1) || (l.src = 1 && l.dst = 0) then 50.0
+    else delay_cost l
+  in
+  check "reconverged after increase" true (converged_check net topo cost2);
+  check "quiescent" true (DvNet.quiescent net)
+
+let test_failure_on_ring_reconverges () =
+  (* A ring stays connected when any single link fails, so even plain
+     distance vectors cannot count to infinity. *)
+  let topo = Generators.ring ~n:8 ~capacity:1e6 ~prop_delay:0.001 in
+  let net = DvNet.create ~topo ~cost:delay_cost () in
+  DvNet.run net;
+  DvNet.schedule_fail_duplex net ~at:1.0 ~a:0 ~b:1;
+  DvNet.run net;
+  let cost_failed (l : Graph.link) =
+    if (l.src = 0 && l.dst = 1) || (l.src = 1 && l.dst = 0) then infinity
+    else delay_cost l
+  in
+  check "reconverged after failure" true (converged_check net topo cost_failed);
+  DvNet.schedule_restore_duplex net ~at:2.0 ~a:0 ~b:1 ~cost:2.0;
+  DvNet.run net;
+  let cost_restored (l : Graph.link) =
+    if (l.src = 0 && l.dst = 1) || (l.src = 1 && l.dst = 0) then 2.0
+    else delay_cost l
+  in
+  check "reconverged after restore" true (converged_check net topo cost_restored)
+
+let storm_cost_changes ~seed =
+  let rng = Rng.create ~seed in
+  let n = 6 + Rng.int rng ~bound:8 in
+  let topo =
+    Generators.ring_with_chords ~rng ~n ~chords:(2 + Rng.int rng ~bound:5)
+      ~capacity:1e6 ~prop_delay:0.001
+  in
+  let violations = ref 0 and checks = ref 0 in
+  let observer net =
+    incr checks;
+    if not (DvNet.check_loop_free net) then incr violations
+  in
+  let net = DvNet.create ~observer ~topo ~cost:delay_cost () in
+  let links = Array.of_list (Graph.links topo) in
+  for _ = 1 to 40 do
+    let l = links.(Rng.int rng ~bound:(Array.length links)) in
+    DvNet.schedule_link_cost net
+      ~at:(Rng.uniform rng ~lo:0.0 ~hi:0.15)
+      ~src:l.Graph.src ~dst:l.Graph.dst
+      ~cost:(Rng.uniform rng ~lo:0.5 ~hi:20.0)
+  done;
+  DvNet.run net;
+  (!violations, !checks, DvNet.quiescent net)
+
+let test_storm_loop_free () =
+  let total = ref 0 in
+  for seed = 1 to 10 do
+    let violations, checks, quiescent = storm_cost_changes ~seed in
+    total := !total + checks;
+    check_int "no violations" 0 violations;
+    check "quiescent" true quiescent
+  done;
+  check "exercised" true (!total > 500)
+
+let prop_storm_loop_free =
+  QCheck.Test.make ~name:"DV loop-free at every instant (random storms)" ~count:15
+    QCheck.(int_range 100 10_000)
+    (fun seed ->
+      let violations, _, _ = storm_cost_changes ~seed in
+      violations = 0)
+
+let test_message_cost_comparable_to_mpda () =
+  (* Cold-start message counts of the two instantiations are the same
+     order of magnitude. *)
+  let topo = Mdr_topology.Net1.topology () in
+  let dv = DvNet.create ~topo ~cost:delay_cost () in
+  DvNet.run dv;
+  let ls = Mdr_routing.Network.create ~topo ~cost:delay_cost () in
+  Mdr_routing.Network.run ls;
+  let dv_msgs = DvNet.total_messages dv in
+  let ls_msgs = Mdr_routing.Network.total_messages ls in
+  check "same order of magnitude" true
+    (dv_msgs < 10 * ls_msgs && ls_msgs < 10 * dv_msgs)
+
+let test_horizon_caps_counting () =
+  (* Distances beyond the horizon must collapse to infinity. *)
+  let r = Dv_router.create ~id:0 ~n:3 in
+  let outputs = Dv_router.handle_link_up r ~nbr:1 ~cost:1.0 in
+  (* Acknowledge the initial full-vector advertisement so the router
+     returns to PASSIVE and processes vectors normally. *)
+  let seq_sent =
+    match outputs with
+    | [ (1, m) ] -> Option.get m.Dv_router.seq
+    | _ -> Alcotest.fail "expected one message to the neighbor"
+  in
+  ignore
+    (Dv_router.handle_msg r ~from_:1
+       {
+         Dv_router.entries = [ (1, 0.0); (2, Dv_router.horizon) ];
+         reset = true;
+         seq = Some 0;
+         ack_of = Some seq_sent;
+       });
+  check "direct neighbor reachable" true
+    (Float.is_finite (Dv_router.distance r ~dst:1));
+  check "beyond-horizon node unreachable" true
+    (Dv_router.distance r ~dst:2 = infinity)
+
+let suite =
+  [
+    Alcotest.test_case "dv: converges on NET1" `Quick test_converges_net1;
+    Alcotest.test_case "dv: converges on CAIRN" `Quick test_converges_cairn;
+    Alcotest.test_case "dv: unequal-cost multipath" `Quick test_multipath_successors;
+    Alcotest.test_case "dv: cost increase reconverges" `Quick test_cost_increase_reconverges;
+    Alcotest.test_case "dv: ring failure and restore" `Quick test_failure_on_ring_reconverges;
+    Alcotest.test_case "dv: storms never loop" `Slow test_storm_loop_free;
+    Alcotest.test_case "dv: message cost ~ MPDA's" `Quick test_message_cost_comparable_to_mpda;
+    Alcotest.test_case "dv: horizon bounds counting" `Quick test_horizon_caps_counting;
+    QCheck_alcotest.to_alcotest prop_storm_loop_free;
+  ]

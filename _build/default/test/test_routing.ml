@@ -1,0 +1,474 @@
+(* Tests for the routing library: topology tables, Dijkstra (checked
+   against Bellman-Ford), the PDA/MPDA state machines, and the
+   instantaneous loop-freedom guarantee under randomized event storms —
+   the reproduction of Theorems 2, 3 and 4. *)
+
+module Graph = Mdr_topology.Graph
+module Generators = Mdr_topology.Generators
+module Rng = Mdr_util.Rng
+module Topo_table = Mdr_routing.Topo_table
+module Dijkstra = Mdr_routing.Dijkstra
+module Bellman_ford = Mdr_routing.Bellman_ford
+module Router = Mdr_routing.Router
+module Network = Mdr_routing.Network
+module Lfi = Mdr_routing.Lfi
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Topo_table ------------------------------------------------------- *)
+
+let test_table_set_get () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:2.5;
+  check "cost" true (Topo_table.cost t ~head:0 ~tail:1 = Some 2.5);
+  check "missing" true (Topo_table.cost t ~head:1 ~tail:0 = None);
+  check_int "size" 1 (Topo_table.size t);
+  Topo_table.set t ~head:0 ~tail:1 ~cost:3.0;
+  check "updated" true (Topo_table.cost t ~head:0 ~tail:1 = Some 3.0);
+  check_int "no dup" 1 (Topo_table.size t)
+
+let test_table_remove () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.remove t ~head:0 ~tail:1;
+  check "removed" true (Topo_table.cost t ~head:0 ~tail:1 = None);
+  check "out links empty" true (Topo_table.out_links t ~head:0 = [])
+
+let test_table_apply_entry () =
+  let t = Topo_table.create () in
+  Topo_table.apply_entry t { head = 1; tail = 2; cost = 4.0 };
+  check "added" true (Topo_table.cost t ~head:1 ~tail:2 = Some 4.0);
+  Topo_table.apply_entry t { head = 1; tail = 2; cost = infinity };
+  check "deleted" true (Topo_table.cost t ~head:1 ~tail:2 = None)
+
+let test_table_diff () =
+  let a = Topo_table.create () and b = Topo_table.create () in
+  Topo_table.set a ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.set a ~head:1 ~tail:2 ~cost:2.0;
+  Topo_table.set b ~head:1 ~tail:2 ~cost:5.0;
+  Topo_table.set b ~head:2 ~tail:3 ~cost:1.0;
+  let diff = Topo_table.diff ~old_table:a ~new_table:b in
+  (* 0->1 deleted, 1->2 changed, 2->3 added. *)
+  check_int "three entries" 3 (List.length diff);
+  let apply = Topo_table.copy a in
+  List.iter (Topo_table.apply_entry apply) diff;
+  check "diff transforms" true (Topo_table.equal apply b)
+
+let test_table_nodes_and_copy () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:5 ~tail:2 ~cost:1.0;
+  Topo_table.set t ~head:2 ~tail:9 ~cost:1.0;
+  check "nodes" true (Topo_table.nodes t = [ 2; 5; 9 ]);
+  let c = Topo_table.copy t in
+  Topo_table.remove t ~head:5 ~tail:2;
+  check "copy unaffected" true (Topo_table.cost c ~head:5 ~tail:2 = Some 1.0)
+
+let test_table_rejects_bad () =
+  let t = Topo_table.create () in
+  check "infinite cost set" true
+    (try
+       Topo_table.set t ~head:0 ~tail:1 ~cost:infinity;
+       false
+     with Invalid_argument _ -> true);
+  check "self loop" true
+    (try
+       Topo_table.set t ~head:1 ~tail:1 ~cost:1.0;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Dijkstra vs Bellman-Ford ---------------------------------------- *)
+
+let hop_cost (_ : Graph.link) = 1.0
+
+let delay_cost (l : Graph.link) = 1.0 +. (l.prop_delay *. 1000.0)
+
+let test_dijkstra_on_line () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.set t ~head:1 ~tail:2 ~cost:2.0;
+  let r = Dijkstra.on_table ~n:3 ~root:0 t in
+  check_float "d0" 0.0 r.dist.(0);
+  check_float "d1" 1.0 r.dist.(1);
+  check_float "d2" 3.0 r.dist.(2);
+  check_int "parent of 2" 1 r.parent.(2)
+
+let test_dijkstra_unreachable () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
+  let r = Dijkstra.on_table ~n:3 ~root:0 t in
+  check "unreachable" true (r.dist.(2) = infinity);
+  check_int "no parent" (-1) r.parent.(2)
+
+let test_dijkstra_vs_bellman_ford_random () =
+  for seed = 1 to 25 do
+    let rng = Rng.create ~seed in
+    let g = Generators.random_connected ~rng ~n:15 ~extra_links:10 () in
+    let root = Rng.int rng ~bound:15 in
+    let d = Dijkstra.on_graph g ~root ~cost:delay_cost in
+    let bf = Bellman_ford.distances_from g ~src:root ~cost:delay_cost in
+    for j = 0 to 14 do
+      check "dijkstra = bellman-ford" true (Float.abs (d.dist.(j) -. bf.(j)) < 1e-9)
+    done
+  done
+
+let test_distances_to_reversed () =
+  let g = Graph.create ~names:[| "a"; "b"; "c" |] in
+  Graph.add_duplex g "a" "b" ~capacity:1e6 ~prop_delay:0.001;
+  Graph.add_duplex g "b" "c" ~capacity:1e6 ~prop_delay:0.002;
+  let d = Dijkstra.distances_to g ~dst:2 ~cost:delay_cost in
+  check_float "c to itself" 0.0 d.(2);
+  check_float "b one hop" 3.0 d.(1);
+  check_float "a two hops" 5.0 d.(0);
+  let bf = Bellman_ford.distances_to g ~dst:2 ~cost:delay_cost in
+  Array.iteri (fun i v -> check_float "bf agrees" v d.(i)) bf
+
+let test_dijkstra_tree_extraction () =
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.set t ~head:0 ~tail:2 ~cost:5.0;
+  Topo_table.set t ~head:1 ~tail:2 ~cost:1.0;
+  let r = Dijkstra.on_table ~n:3 ~root:0 t in
+  let tree =
+    Dijkstra.tree_of_result ~n:3 ~root:0 r ~cost:(fun ~head ~tail ->
+        Option.get (Topo_table.cost t ~head ~tail))
+  in
+  (* Shortest path tree keeps 0->1 and 1->2, drops 0->2. *)
+  check_int "two links" 2 (Topo_table.size tree);
+  check "keeps 1->2" true (Topo_table.cost tree ~head:1 ~tail:2 = Some 1.0);
+  check "drops 0->2" true (Topo_table.cost tree ~head:0 ~tail:2 = None)
+
+let test_dijkstra_deterministic_ties () =
+  (* Two equal-cost paths: parent must be the lower-id predecessor. *)
+  let t = Topo_table.create () in
+  Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.set t ~head:0 ~tail:2 ~cost:1.0;
+  Topo_table.set t ~head:1 ~tail:3 ~cost:1.0;
+  Topo_table.set t ~head:2 ~tail:3 ~cost:1.0;
+  let r = Dijkstra.on_table ~n:4 ~root:0 t in
+  check_int "tie to lower id" 1 r.parent.(3)
+
+(* --- LFI checker ------------------------------------------------------ *)
+
+let test_lfi_cycle_detection () =
+  let successors ~node = match node with 0 -> [ 1 ] | 1 -> [ 0 ] | _ -> [] in
+  check "cycle" false (Lfi.successor_graph_acyclic ~n:3 ~successors ~dst:2);
+  match Lfi.find_cycle ~n:3 ~successors ~dst:2 with
+  | Some cycle -> check "witness" true (List.length cycle >= 2)
+  | None -> Alcotest.fail "expected a cycle"
+
+let test_lfi_dag_ok () =
+  let successors ~node = match node with 0 -> [ 1; 2 ] | 1 -> [ 2 ] | _ -> [] in
+  check "acyclic" true (Lfi.successor_graph_acyclic ~n:3 ~successors ~dst:2)
+
+(* --- PDA / MPDA convergence ------------------------------------------- *)
+
+let converged_check net topo cost =
+  (* Distances equal global Dijkstra; successor sets match Theorem 4. *)
+  let n = Graph.node_count topo in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    let res = Dijkstra.on_graph topo ~root:src ~cost in
+    for dst = 0 to n - 1 do
+      let d = Router.distance (Network.router net src) ~dst in
+      let both_inf = d = infinity && res.dist.(dst) = infinity in
+      if not (both_inf || Float.abs (d -. res.dist.(dst)) < 1e-9) then ok := false
+    done
+  done;
+  for node = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if node <> dst then begin
+        let expected =
+          List.filter
+            (fun k ->
+              Float.is_finite (cost (Graph.link_exn topo ~src:node ~dst:k))
+              && Router.distance (Network.router net k) ~dst
+                 < Router.distance (Network.router net node) ~dst)
+            (Graph.neighbors topo node)
+        in
+        let got = Router.successors (Network.router net node) ~dst in
+        if List.sort compare got <> List.sort compare expected then ok := false
+      end
+    done
+  done;
+  !ok
+
+let test_mpda_converges_net1 () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = Network.create ~topo ~cost:delay_cost () in
+  Network.run net;
+  check "quiescent" true (Network.quiescent net);
+  check "converged" true (converged_check net topo delay_cost);
+  check "loop free" true (Network.check_loop_free net);
+  check "lfi holds" true (Network.check_lfi net)
+
+let test_mpda_converges_cairn () =
+  let topo = Mdr_topology.Cairn.topology () in
+  let net = Network.create ~topo ~cost:delay_cost () in
+  Network.run net;
+  check "quiescent" true (Network.quiescent net);
+  check "converged" true (converged_check net topo delay_cost)
+
+let test_pda_converges () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = Network.create ~mode:Router.Pda ~topo ~cost:delay_cost () in
+  Network.run net;
+  check "pda converged" true (converged_check net topo delay_cost)
+
+let test_mpda_cost_change_reconverges () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = Network.create ~topo ~cost:hop_cost () in
+  Network.run net;
+  Network.schedule_link_cost net ~at:1.0 ~src:0 ~dst:1 ~cost:10.0;
+  Network.run net;
+  let cost2 (l : Graph.link) = if l.src = 0 && l.dst = 1 then 10.0 else 1.0 in
+  check "reconverged" true (converged_check net topo cost2)
+
+let test_mpda_failure_and_recovery () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = Network.create ~topo ~cost:hop_cost () in
+  Network.run net;
+  Network.schedule_fail_duplex net ~at:1.0 ~a:2 ~b:7;
+  Network.run net;
+  let cost_failed (l : Graph.link) =
+    if (l.src = 2 && l.dst = 7) || (l.src = 7 && l.dst = 2) then infinity else 1.0
+  in
+  check "converged after failure" true (converged_check net topo cost_failed);
+  Network.schedule_restore_duplex net ~at:2.0 ~a:2 ~b:7 ~cost:1.0;
+  Network.run net;
+  check "converged after recovery" true (converged_check net topo hop_cost)
+
+let test_mpda_multiple_unequal_paths () =
+  (* The headline claim: unequal-cost multipath. Build a diamond with
+     unequal sides and confirm both are successors. *)
+  let g = Graph.create ~names:[| "s"; "a"; "b"; "d" |] in
+  List.iter
+    (fun (x, y, ms) ->
+      Graph.add_duplex g x y ~capacity:1e6 ~prop_delay:(ms /. 1000.0))
+    [ ("s", "a", 1.0); ("a", "d", 1.0); ("s", "b", 2.0); ("b", "d", 2.0) ];
+  let net = Network.create ~topo:g ~cost:delay_cost () in
+  Network.run net;
+  (* d(a->d) = 2, d(b->d) = 3, d(s->d) = 4: both a and b are closer
+     than s, so both are valid loop-free successors despite unequal
+     path costs. *)
+  let succ = Router.successors (Network.router net 0) ~dst:3 in
+  check "two successors" true (List.sort compare succ = [ 1; 2 ])
+
+(* --- Router state-machine unit tests ---------------------------------- *)
+
+let test_router_link_up_sends_full_table () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  match Router.handle_link_up r ~nbr:1 ~cost:2.0 with
+  | [ { Router.dst = 1; msg } ] ->
+    check "reset flag" true msg.Router.reset;
+    check "needs ack" true (msg.Router.seq <> None);
+    check "tree has adjacent link" true
+      (List.exists
+         (fun (e : Topo_table.entry) -> e.head = 0 && e.tail = 1 && e.cost = 2.0)
+         msg.Router.entries);
+    check "now active" false (Router.is_passive r)
+  | _ -> Alcotest.fail "expected exactly one full-table LSU"
+
+let test_router_ack_releases_active () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
+  let seq =
+    match outputs with
+    | [ { Router.msg; _ } ] -> Option.get msg.Router.seq
+    | _ -> Alcotest.fail "unexpected"
+  in
+  check "active while waiting" false (Router.is_passive r);
+  let replies =
+    Router.handle_msg r ~from_:1
+      { Router.entries = []; reset = false; seq = None; ack_of = Some seq }
+  in
+  check "passive after ack" true (Router.is_passive r);
+  check "pure ack needs no reply" true (replies = [])
+
+let test_router_stale_ack_ignored () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
+  let seq =
+    match outputs with
+    | [ { Router.msg; _ } ] -> Option.get msg.Router.seq
+    | _ -> Alcotest.fail "unexpected"
+  in
+  (* An ack for a different (stale) sequence must not release the
+     ACTIVE state. *)
+  ignore
+    (Router.handle_msg r ~from_:1
+       { Router.entries = []; reset = false; seq = None; ack_of = Some (seq + 77) });
+  check "still active" false (Router.is_passive r);
+  ignore
+    (Router.handle_msg r ~from_:1
+       { Router.entries = []; reset = false; seq = None; ack_of = Some seq });
+  check "released by the right ack" true (Router.is_passive r)
+
+let test_router_data_lsu_is_acked () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
+  let seq0 =
+    match outputs with
+    | [ { Router.msg; _ } ] -> Option.get msg.Router.seq
+    | _ -> Alcotest.fail "unexpected"
+  in
+  (* Neighbor's full table, acking ours and requiring an ack itself. *)
+  let replies =
+    Router.handle_msg r ~from_:1
+      {
+        Router.entries = [ { Topo_table.head = 1; tail = 0; cost = 2.0 } ];
+        reset = true;
+        seq = Some 0;
+        ack_of = Some seq0;
+      }
+  in
+  check "some reply" true (replies <> []);
+  check "reply carries the ack" true
+    (List.exists
+       (fun { Router.dst; msg } -> dst = 1 && msg.Router.ack_of = Some 0)
+       replies)
+
+let test_router_link_down_clears_state () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  ignore (Router.handle_link_up r ~nbr:1 ~cost:2.0);
+  ignore
+    (Router.handle_msg r ~from_:1
+       {
+         Router.entries = [ { Topo_table.head = 1; tail = 2; cost = 1.0 } ];
+         reset = true;
+         seq = Some 0;
+         ack_of = Some 0;
+       });
+  ignore (Router.handle_link_down r ~nbr:1);
+  check "neighbor gone" true (Router.up_neighbors r = []);
+  check "distance infinite" true (Router.distance r ~dst:1 = infinity);
+  check "neighbor distance infinite" true
+    (Router.neighbor_distance r ~nbr:1 ~dst:2 = infinity)
+
+let test_router_drops_msgs_from_down_links () =
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let replies =
+    Router.handle_msg r ~from_:2
+      { Router.entries = []; reset = false; seq = Some 0; ack_of = None }
+  in
+  check "dropped silently" true (replies = [])
+
+(* --- The event-storm property: Theorem 3 ----------------------------- *)
+
+let storm ~mode ~seed =
+  let rng = Rng.create ~seed in
+  let n = 6 + Rng.int rng ~bound:8 in
+  let topo =
+    Generators.random_connected ~rng ~n ~extra_links:(3 + Rng.int rng ~bound:6) ()
+  in
+  let violations = ref 0 and checks = ref 0 in
+  let observer net =
+    incr checks;
+    if not (Network.check_loop_free net) then incr violations
+  in
+  let net = Network.create ~mode ~observer ~topo ~cost:delay_cost () in
+  let links = Array.of_list (Graph.links topo) in
+  for _ = 1 to 40 do
+    let l = links.(Rng.int rng ~bound:(Array.length links)) in
+    Network.schedule_link_cost net
+      ~at:(Rng.uniform rng ~lo:0.0 ~hi:0.15)
+      ~src:l.Graph.src ~dst:l.Graph.dst
+      ~cost:(Rng.uniform rng ~lo:0.5 ~hi:20.0)
+  done;
+  for _ = 1 to 2 do
+    let l = links.(Rng.int rng ~bound:(Array.length links)) in
+    let at = Rng.uniform rng ~lo:0.0 ~hi:0.08 in
+    Network.schedule_fail_duplex net ~at ~a:l.Graph.src ~b:l.Graph.dst;
+    Network.schedule_restore_duplex net ~at:(at +. 0.04) ~a:l.Graph.src
+      ~b:l.Graph.dst ~cost:(Rng.uniform rng ~lo:0.5 ~hi:20.0)
+  done;
+  Network.run net;
+  (!violations, !checks, Network.quiescent net)
+
+let test_mpda_storm_loop_free () =
+  (* Theorem 3: never a loop, at any instant, under any event storm. *)
+  let total_checks = ref 0 in
+  for seed = 1 to 15 do
+    let violations, checks, quiescent = storm ~mode:Router.Mpda ~seed in
+    total_checks := !total_checks + checks;
+    check_int "no violations" 0 violations;
+    check "quiescent" true quiescent
+  done;
+  check "exercised" true (!total_checks > 1000)
+
+let test_pda_storm_has_loops () =
+  (* The ablation: without MPDA's synchronization the same storms DO
+     create transient loops — this is why MPDA exists. *)
+  let total_violations = ref 0 in
+  for seed = 1 to 15 do
+    let violations, _, _ = storm ~mode:Router.Pda ~seed in
+    total_violations := !total_violations + violations
+  done;
+  check "pda loops transiently" true (!total_violations > 0)
+
+let prop_mpda_storm_loop_free =
+  QCheck.Test.make ~name:"MPDA loop-free at every instant (random storms)"
+    ~count:20
+    QCheck.(int_range 100 10_000)
+    (fun seed ->
+      let violations, _, _ = storm ~mode:Router.Mpda ~seed in
+      violations = 0)
+
+let test_mpda_lfi_after_storm () =
+  for seed = 50 to 55 do
+    let rng = Rng.create ~seed in
+    let topo = Generators.random_connected ~rng ~n:10 ~extra_links:5 () in
+    let net = Network.create ~topo ~cost:delay_cost () in
+    let links = Array.of_list (Graph.links topo) in
+    for _ = 1 to 20 do
+      let l = links.(Rng.int rng ~bound:(Array.length links)) in
+      Network.schedule_link_cost net
+        ~at:(Rng.uniform rng ~lo:0.0 ~hi:0.1)
+        ~src:l.Graph.src ~dst:l.Graph.dst
+        ~cost:(Rng.uniform rng ~lo:0.5 ~hi:10.0)
+    done;
+    Network.run net;
+    check "lfi" true (Network.check_lfi net)
+  done
+
+let test_router_message_stats () =
+  let topo = Mdr_topology.Net1.topology () in
+  let net = Network.create ~topo ~cost:hop_cost () in
+  Network.run net;
+  check "messages flowed" true (Network.total_messages net > 0)
+
+let suite =
+  [
+    Alcotest.test_case "table: set/get/update" `Quick test_table_set_get;
+    Alcotest.test_case "table: remove" `Quick test_table_remove;
+    Alcotest.test_case "table: LSU entries" `Quick test_table_apply_entry;
+    Alcotest.test_case "table: diff/apply roundtrip" `Quick test_table_diff;
+    Alcotest.test_case "table: nodes and copy" `Quick test_table_nodes_and_copy;
+    Alcotest.test_case "table: validation" `Quick test_table_rejects_bad;
+    Alcotest.test_case "dijkstra: line" `Quick test_dijkstra_on_line;
+    Alcotest.test_case "dijkstra: unreachable" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "dijkstra: agrees with Bellman-Ford" `Quick test_dijkstra_vs_bellman_ford_random;
+    Alcotest.test_case "dijkstra: distances-to (reverse)" `Quick test_distances_to_reversed;
+    Alcotest.test_case "dijkstra: SPT extraction" `Quick test_dijkstra_tree_extraction;
+    Alcotest.test_case "dijkstra: deterministic ties" `Quick test_dijkstra_deterministic_ties;
+    Alcotest.test_case "lfi: cycle detection" `Quick test_lfi_cycle_detection;
+    Alcotest.test_case "lfi: DAG accepted" `Quick test_lfi_dag_ok;
+    Alcotest.test_case "mpda: converges on NET1 (Thm 2, 4)" `Quick test_mpda_converges_net1;
+    Alcotest.test_case "mpda: converges on CAIRN" `Quick test_mpda_converges_cairn;
+    Alcotest.test_case "pda: converges" `Quick test_pda_converges;
+    Alcotest.test_case "mpda: reconverges after cost change" `Quick test_mpda_cost_change_reconverges;
+    Alcotest.test_case "mpda: failure and recovery" `Quick test_mpda_failure_and_recovery;
+    Alcotest.test_case "mpda: unequal-cost multipath" `Quick test_mpda_multiple_unequal_paths;
+    Alcotest.test_case "mpda: storms never loop (Thm 3)" `Slow test_mpda_storm_loop_free;
+    Alcotest.test_case "pda: storms do loop (ablation)" `Slow test_pda_storm_has_loops;
+    Alcotest.test_case "mpda: LFI conditions after storms" `Quick test_mpda_lfi_after_storm;
+    Alcotest.test_case "network: message statistics" `Quick test_router_message_stats;
+    Alcotest.test_case "router: link-up sends full table" `Quick test_router_link_up_sends_full_table;
+    Alcotest.test_case "router: ack releases ACTIVE" `Quick test_router_ack_releases_active;
+    Alcotest.test_case "router: stale ack ignored" `Quick test_router_stale_ack_ignored;
+    Alcotest.test_case "router: data LSUs are acked" `Quick test_router_data_lsu_is_acked;
+    Alcotest.test_case "router: link down clears state" `Quick test_router_link_down_clears_state;
+    Alcotest.test_case "router: messages from down links dropped" `Quick test_router_drops_msgs_from_down_links;
+    QCheck_alcotest.to_alcotest prop_mpda_storm_loop_free;
+  ]
