@@ -264,6 +264,93 @@ let custom_cmd =
        ~doc:"Compare OPT/MP/SP on a user-supplied topology and flow set.")
     Term.(const run $ topo_file $ flow_file $ seeds_arg $ damping_arg)
 
+let chaos_cmd =
+  (* Randomized fault-injection campaign: every scenario draws a fault
+     schedule (lossy channels, flaps, cost surges, crashes, one
+     partition/heal) and runs MPDA and DV against it, auditing
+     loop-freedom and the LFI conditions after every processed event.
+     The whole campaign is a deterministic function of --seed. *)
+  let module Campaign = Mdr_faults.Campaign in
+  let module Rng = Mdr_util.Rng in
+  let module Generators = Mdr_topology.Generators in
+  let seed_arg =
+    let doc = "Master seed; the campaign replays exactly from it." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let scenarios_arg =
+    let doc = "Number of randomized fault scenarios (each runs MPDA and DV)." in
+    Arg.(value & opt int 200 & info [ "scenarios" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated seconds of churn per scenario." in
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let run seed scenarios duration =
+    if scenarios <= 0 || duration <= 0.0 then begin
+      Printf.eprintf "chaos: need --scenarios > 0 and --duration > 0\n";
+      2
+    end
+    else begin
+      let profile = { Campaign.default_profile with duration } in
+      (* Rotate through the paper's topologies and random ones so the
+         audit covers both fixed and generated structure. *)
+      let scenario_topo i rng =
+        match i mod 4 with
+        | 0 -> Mdr_topology.Cairn.topology ()
+        | 1 -> Mdr_topology.Net1.topology ()
+        | 2 ->
+          Generators.ring_with_chords ~rng ~n:(6 + Rng.int rng ~bound:7)
+            ~chords:(2 + Rng.int rng ~bound:3) ~capacity:1.0e7 ~prop_delay:0.002
+        | _ ->
+          Generators.random_connected ~rng ~n:(6 + Rng.int rng ~bound:7)
+            ~extra_links:(3 + Rng.int rng ~bound:4) ()
+      in
+      Printf.printf "chaos: %d scenarios x {MPDA, DV}, %.0f s of churn each, seed %d\n\n"
+        scenarios duration seed;
+      let mpda = ref [] and dv = ref [] in
+      for i = 0 to scenarios - 1 do
+        let s = seed + i in
+        let rng = Rng.create ~seed:s in
+        let topo = scenario_topo i rng in
+        let plan = Campaign.random_plan ~rng ~topo profile in
+        mpda := Campaign.run_mpda ~topo ~seed:s plan :: !mpda;
+        dv := Campaign.run_dv ~topo ~seed:s plan :: !dv
+      done;
+      let mpda = List.rev !mpda and dv = List.rev !dv in
+      print_string (Campaign.summary_table [ ("MPDA", mpda); ("DV", dv) ]);
+      print_newline ();
+      (* Transport proof: at 20% drop the converged routes must equal
+         the lossless ones — loss costs retransmissions, not routes. *)
+      let agreement =
+        List.for_all
+          (fun (name, topo) ->
+            let same, retx = Campaign.successor_agreement ~topo ~seed () in
+            Printf.printf
+              "  [%s] %s: successor sets at 20%% drop %s lossless (retransmissions: %d)\n"
+              (if same then "PASS" else "FAIL")
+              name
+              (if same then "match" else "DIFFER from")
+              retx;
+            same)
+          [ ("CAIRN", Mdr_topology.Cairn.topology ()); ("NET1", Mdr_topology.Net1.topology ()) ]
+      in
+      let clean (m : Campaign.metrics) =
+        m.loop_violations = 0 && m.lfi_violations = 0 && m.converged
+      in
+      let ok = agreement && List.for_all clean mpda && List.for_all clean dv in
+      Printf.printf "\n  [%s] %d scenarios: %s\n"
+        (if ok then "PASS" else "FAIL")
+        scenarios
+        (if ok then "zero violations, all runs reconverged"
+         else "violations or failed reconvergence — see the table above");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Randomized fault-injection audit of MPDA and DV (loop-freedom + LFI).")
+    Term.(const run $ seed_arg $ scenarios_arg $ duration_arg)
+
 let dot_cmd =
   let topo_arg =
     let doc = "Topology: cairn, net1, or a file path." in
@@ -315,6 +402,7 @@ let cmds =
       (fun () -> Experiments.generalization ());
     simple_cmd "scale" ~doc:"Protocol convergence cost vs network size."
       Experiments.scale_protocol;
+    chaos_cmd;
     compare_cmd;
     routes_cmd;
     custom_cmd;

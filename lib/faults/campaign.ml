@@ -1,0 +1,338 @@
+module Graph = Mdr_topology.Graph
+module Engine = Mdr_eventsim.Engine
+module Rng = Mdr_util.Rng
+module Tab = Mdr_util.Tab
+
+type fault =
+  | Flap of { a : int; b : int; at : float; restore_at : float }
+  | Cost_surge of { a : int; b : int; at : float; factor : float }
+  | Crash of { node : int; at : float; restart_at : float }
+  | Partition of { group : int list; at : float; heal_at : float }
+
+type plan = { faults : fault list; channel : Channel.t; duration : float }
+
+type profile = {
+  duration : float;
+  flaps : int;
+  crashes : int;
+  cost_surges : int;
+  partition : bool;
+  max_drop : float;
+  max_duplicate : float;
+  max_jitter : float;
+  blackout : bool;
+}
+
+let default_profile =
+  {
+    duration = 30.0;
+    flaps = 2;
+    crashes = 1;
+    cost_surges = 2;
+    partition = true;
+    max_drop = 0.3;
+    max_duplicate = 0.1;
+    max_jitter = 0.02;
+    blackout = true;
+  }
+
+(* Distinct physical links, one record per duplex pair. *)
+let duplex_pairs topo =
+  List.filter_map
+    (fun (l : Graph.link) -> if l.src < l.dst then Some (l.src, l.dst) else None)
+    (Graph.links topo)
+  |> Array.of_list
+
+let fault_start = function
+  | Flap { at; _ } | Cost_surge { at; _ } | Crash { at; _ } | Partition { at; _ } -> at
+
+let fault_end = function
+  | Flap { restore_at; _ } -> restore_at
+  | Cost_surge { at; _ } -> at
+  | Crash { restart_at; _ } -> restart_at
+  | Partition { heal_at; _ } -> heal_at
+
+let random_plan ~rng ~topo profile =
+  let d = profile.duration in
+  if d <= 0.0 then invalid_arg "Campaign.random_plan: non-positive duration";
+  let pairs = duplex_pairs topo in
+  if Array.length pairs = 0 then invalid_arg "Campaign.random_plan: no duplex links";
+  let n = Graph.node_count topo in
+  let pick_pair () = pairs.(Rng.int rng ~bound:(Array.length pairs)) in
+  (* Fault windows open in the first 60% of the run and always close by
+     90%, leaving room to watch reconvergence inside the run itself. *)
+  let window () =
+    let at = Rng.uniform rng ~lo:(0.05 *. d) ~hi:(0.6 *. d) in
+    let until_ = Float.min (0.9 *. d) (at +. Rng.uniform rng ~lo:(0.05 *. d) ~hi:(0.3 *. d)) in
+    (at, until_)
+  in
+  let faults = ref [] in
+  for _ = 1 to profile.flaps do
+    let a, b = pick_pair () in
+    let at, restore_at = window () in
+    faults := Flap { a; b; at; restore_at } :: !faults
+  done;
+  for _ = 1 to profile.cost_surges do
+    let a, b = pick_pair () in
+    let at = Rng.uniform rng ~lo:(0.05 *. d) ~hi:(0.9 *. d) in
+    let factor = Rng.uniform rng ~lo:0.5 ~hi:3.0 in
+    faults := Cost_surge { a; b; at; factor } :: !faults
+  done;
+  (* Crash distinct nodes so windows cannot double-kill one router. *)
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  for i = 0 to Int.min profile.crashes n - 1 do
+    let at, restart_at = window () in
+    faults := Crash { node = order.(i); at; restart_at } :: !faults
+  done;
+  if profile.partition && n >= 2 then begin
+    let size = 1 + Rng.int rng ~bound:(n - 1) in
+    let members = Array.init n Fun.id in
+    Rng.shuffle rng members;
+    let group = Array.to_list (Array.sub members 0 size) in
+    let at, heal_at = window () in
+    faults := Partition { group = List.sort compare group; at; heal_at } :: !faults
+  end;
+  let channel =
+    Channel.all
+      [
+        (if profile.max_drop > 0.0 then
+           Channel.drop ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_drop)
+         else Channel.ideal);
+        (if profile.max_duplicate > 0.0 then
+           Channel.duplicate ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_duplicate)
+         else Channel.ideal);
+        (if profile.max_jitter > 0.0 then
+           Channel.jitter ~max_delay:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_jitter)
+         else Channel.ideal);
+        (if profile.blackout then
+           let from_ = Rng.uniform rng ~lo:(0.1 *. d) ~hi:(0.7 *. d) in
+           Channel.blackout ~from_ ~until_:(from_ +. Rng.uniform rng ~lo:0.0 ~hi:(0.15 *. d))
+         else Channel.ideal);
+      ]
+  in
+  {
+    faults = List.sort (fun x y -> compare (fault_start x) (fault_start y)) !faults;
+    channel;
+    duration = d;
+  }
+
+type metrics = {
+  protocol : string;
+  events : int;
+  loop_violations : int;
+  lfi_violations : int;
+  messages : int;
+  retransmissions : int;
+  transport_acks : int;
+  reconvergence : float;
+  converged : bool;
+}
+
+(* The subset of the harness functor's output the runner needs; both
+   Network (MPDA) and Harness.Dv_network satisfy it via the shims
+   below. *)
+module type NET = sig
+  type t
+
+  val create :
+    ?observer:(t -> unit) ->
+    topo:Graph.t ->
+    cost:(Graph.link -> float) ->
+    unit ->
+    t
+
+  val engine : t -> Engine.t
+
+  val set_channel :
+    t -> ?rto_initial:float -> ?rto_max:float -> Mdr_routing.Harness.channel -> unit
+
+  val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
+  val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
+  val schedule_restore_duplex : t -> at:float -> a:int -> b:int -> cost:float -> unit
+  val schedule_node_crash : t -> at:float -> node:int -> unit
+  val schedule_node_restart : t -> at:float -> node:int -> unit
+  val schedule_partition : t -> at:float -> heal_at:float -> group:int list -> unit
+  val run : ?until:float -> t -> unit
+  val quiescent : t -> bool
+  val total_messages : t -> int
+  val retransmissions : t -> int
+  val transport_acks : t -> int
+  val successor_sets : t -> dst:int -> int -> int list
+  val check_loop_free : t -> bool
+  val check_lfi : t -> bool
+end
+
+module Mpda_net = struct
+  include Mdr_routing.Network
+
+  let create ?observer ~topo ~cost () = Mdr_routing.Network.create ?observer ~topo ~cost ()
+end
+
+module Dv_net = struct
+  include Mdr_routing.Harness.Dv_network
+
+  let create ?observer ~topo ~cost () =
+    Mdr_routing.Harness.Dv_network.create ?observer ~topo ~cost ()
+end
+
+(* Costs large enough that DV's RIP-style counting bound (horizon) is
+   hit in tens of rounds, not thousands, when a partition or crash
+   makes destinations unreachable. *)
+let default_cost (l : Graph.link) = 100.0 +. (1000.0 *. l.prop_delay)
+
+let schedule_fault (type a) (module N : NET with type t = a) (net : a) ~cost ~topo fault =
+  match fault with
+  | Flap { a; b; at; restore_at } ->
+    N.schedule_fail_duplex net ~at ~a ~b;
+    N.schedule_restore_duplex net ~at:restore_at ~a ~b
+      ~cost:(cost (Graph.link_exn topo ~src:a ~dst:b))
+  | Cost_surge { a; b; at; factor } ->
+    N.schedule_link_cost net ~at ~src:a ~dst:b
+      ~cost:(factor *. cost (Graph.link_exn topo ~src:a ~dst:b));
+    N.schedule_link_cost net ~at ~src:b ~dst:a
+      ~cost:(factor *. cost (Graph.link_exn topo ~src:b ~dst:a))
+  | Crash { node; at; restart_at } ->
+    N.schedule_node_crash net ~at ~node;
+    N.schedule_node_restart net ~at:restart_at ~node
+  | Partition { group; at; heal_at } -> N.schedule_partition net ~at ~heal_at ~group
+
+let quiet_time plan =
+  List.fold_left
+    (fun acc f -> Float.max acc (fault_end f))
+    (Channel.quiet_after plan.channel)
+    plan.faults
+
+let drive (type a) (module N : NET with type t = a) ~protocol ~cost ~settle_grace ~topo
+    ~seed plan =
+  let events = ref 0 and loopv = ref 0 and lfiv = ref 0 in
+  let observer net =
+    incr events;
+    if not (N.check_loop_free net) then incr loopv;
+    if not (N.check_lfi net) then incr lfiv
+  in
+  let net = N.create ~observer ~topo ~cost () in
+  let rng = Rng.create ~seed in
+  N.set_channel net (Channel.to_channel plan.channel ~rng);
+  List.iter (schedule_fault (module N) net ~cost ~topo) plan.faults;
+  let quiet = quiet_time plan in
+  N.run ~until:quiet net;
+  (* Step the remaining events one by one so the instant the network
+     settles is observable. *)
+  let engine = N.engine net in
+  let deadline = quiet +. settle_grace in
+  let rec settle () =
+    if N.quiescent net then Some (Engine.now engine)
+    else if Engine.now engine > deadline || Engine.pending engine = 0 then None
+    else begin
+      ignore (Engine.step engine);
+      settle ()
+    end
+  in
+  let settled = settle () in
+  {
+    protocol;
+    events = !events;
+    loop_violations = !loopv;
+    lfi_violations = !lfiv;
+    messages = N.total_messages net;
+    retransmissions = N.retransmissions net;
+    transport_acks = N.transport_acks net;
+    reconvergence = (match settled with Some at -> Float.max 0.0 (at -. quiet) | None -> Float.nan);
+    converged = settled <> None && N.check_loop_free net && N.check_lfi net;
+  }
+
+let run_mpda ?(cost = default_cost) ?(settle_grace = 600.0) ~topo ~seed plan =
+  drive (module Mpda_net) ~protocol:"MPDA" ~cost ~settle_grace ~topo ~seed plan
+
+let run_dv ?(cost = default_cost) ?(settle_grace = 600.0) ~topo ~seed plan =
+  drive (module Dv_net) ~protocol:"DV" ~cost ~settle_grace ~topo ~seed plan
+
+let successor_agreement ?(cost = default_cost) ?channel ~topo ~seed () =
+  let channel = match channel with Some c -> c | None -> Channel.drop ~p:0.2 in
+  let converge ch =
+    let net = Mpda_net.create ~topo ~cost () in
+    (match ch with
+    | Some c -> Mpda_net.set_channel net (Channel.to_channel c ~rng:(Rng.create ~seed))
+    | None -> ());
+    let engine = Mpda_net.engine net in
+    let rec settle () =
+      if Mpda_net.quiescent net then true
+      else if Engine.now engine > 600.0 || Engine.pending engine = 0 then false
+      else begin
+        ignore (Engine.step engine);
+        settle ()
+      end
+    in
+    let ok = settle () in
+    (ok, net)
+  in
+  let ok_ideal, ideal = converge None in
+  let ok_lossy, lossy = converge (Some channel) in
+  let n = Graph.node_count topo in
+  let same = ref (ok_ideal && ok_lossy) in
+  for dst = 0 to n - 1 do
+    for node = 0 to n - 1 do
+      if node <> dst then begin
+        let a = List.sort compare (Mpda_net.successor_sets ideal ~dst node) in
+        let b = List.sort compare (Mpda_net.successor_sets lossy ~dst node) in
+        if a <> b then same := false
+      end
+    done
+  done;
+  (!same, Mpda_net.retransmissions lossy)
+
+let describe_fault topo fault =
+  let name = Graph.name topo in
+  match fault with
+  | Flap { a; b; at; restore_at } ->
+    Printf.sprintf "t=%5.1fs  flap %s-%s (restore t=%.1fs)" at (name a) (name b) restore_at
+  | Cost_surge { a; b; at; factor } ->
+    Printf.sprintf "t=%5.1fs  cost x%.2f on %s-%s" at factor (name a) (name b)
+  | Crash { node; at; restart_at } ->
+    Printf.sprintf "t=%5.1fs  crash %s (restart t=%.1fs)" at (name node) restart_at
+  | Partition { group; at; heal_at } ->
+    Printf.sprintf "t=%5.1fs  partition {%s} (heal t=%.1fs)" at
+      (String.concat ", " (List.map name group))
+      heal_at
+
+let summary_table batches =
+  let rows =
+    List.map
+      (fun (label, runs) ->
+        let total f = List.fold_left (fun acc m -> acc + f m) 0 runs in
+        let reconvs =
+          List.filter_map
+            (fun m -> if Float.is_nan m.reconvergence then None else Some m.reconvergence)
+            runs
+        in
+        let mean =
+          match reconvs with
+          | [] -> Float.nan
+          | _ ->
+            List.fold_left ( +. ) 0.0 reconvs /. float_of_int (List.length reconvs)
+        in
+        let worst = List.fold_left Float.max 0.0 reconvs in
+        [
+          label;
+          string_of_int (List.length runs);
+          string_of_int (total (fun m -> m.events));
+          string_of_int (total (fun m -> m.loop_violations));
+          string_of_int (total (fun m -> m.lfi_violations));
+          string_of_int (total (fun m -> m.messages));
+          string_of_int (total (fun m -> m.retransmissions));
+          Tab.float_cell ~decimals:2 mean;
+          Tab.float_cell ~decimals:2 worst;
+          Printf.sprintf "%d/%d"
+            (List.length (List.filter (fun m -> m.converged) runs))
+            (List.length runs);
+        ])
+      batches
+  in
+  Tab.render
+    ~header:
+      [
+        "campaign"; "runs"; "events"; "loop-viol"; "lfi-viol"; "msgs"; "retx";
+        "reconv-mean(s)"; "reconv-max(s)"; "converged";
+      ]
+    rows

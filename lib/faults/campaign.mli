@@ -1,0 +1,107 @@
+(** Chaos campaigns: randomized fault schedules run against MPDA and
+    DV under identical event streams, with the loop-freedom and LFI
+    invariants audited after every processed protocol event.
+
+    A {!plan} is a deterministic function of an {!Mdr_util.Rng} seed:
+    link flaps, cost surges, node crash/restart cycles, one optional
+    partition/heal, and a lossy-channel model (drops, duplicates,
+    jitter, an optional blackout window). {!run_mpda} / {!run_dv}
+    execute a plan and return {!metrics}; the invariant-violation
+    counts must be zero for both protocols — that is the paper's
+    Theorem 3 under churn, and the campaign is its enforcement
+    harness. *)
+
+type fault =
+  | Flap of { a : int; b : int; at : float; restore_at : float }
+      (** duplex link failure at [at], restoration at [restore_at] *)
+  | Cost_surge of { a : int; b : int; at : float; factor : float }
+      (** both directions' costs multiplied by [factor] (from the
+          campaign's base cost) at [at] *)
+  | Crash of { node : int; at : float; restart_at : float }
+  | Partition of { group : int list; at : float; heal_at : float }
+
+type plan = {
+  faults : fault list;  (** sorted by start time *)
+  channel : Channel.t;
+  duration : float;  (** all fault activity ends by this time *)
+}
+
+type profile = {
+  duration : float;  (** window in which faults are injected *)
+  flaps : int;  (** number of link flap cycles *)
+  crashes : int;  (** number of crash/restart cycles *)
+  cost_surges : int;
+  partition : bool;  (** include one partition/heal of a random cut *)
+  max_drop : float;  (** per-plan drop probability drawn in [0, max] *)
+  max_duplicate : float;
+  max_jitter : float;  (** seconds *)
+  blackout : bool;  (** include one hard blackout window *)
+}
+
+val default_profile : profile
+(** 30 s of churn: 2 flaps, 1 crash, 2 cost surges, a partition every
+    plan, drop up to 0.3, duplication up to 0.1, jitter up to 20 ms,
+    one blackout window. *)
+
+val random_plan :
+  rng:Mdr_util.Rng.t -> topo:Mdr_topology.Graph.t -> profile -> plan
+(** Draw a fault schedule for [topo]. Fault windows always close
+    strictly before [profile.duration]; crash targets are distinct
+    nodes; flap and surge targets are drawn from the topology's duplex
+    links. *)
+
+type metrics = {
+  protocol : string;
+  events : int;  (** router events processed (audits performed) *)
+  loop_violations : int;  (** successor-graph cycles observed — must be 0 *)
+  lfi_violations : int;  (** LFI (Eq. 16) failures observed — must be 0 *)
+  messages : int;  (** router messages + retransmissions *)
+  retransmissions : int;
+  transport_acks : int;
+  reconvergence : float;
+      (** seconds from the end of fault activity to quiescence;
+          [nan] when the run failed to settle *)
+  converged : bool;
+      (** quiescent, loop-free and LFI-clean at the end of the run *)
+}
+
+val run_mpda :
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  ?settle_grace:float ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  plan ->
+  metrics
+(** Execute [plan] against the MPDA network. [cost] defaults to
+    [1 + 1000 * prop_delay]; [settle_grace] (default 600 s) bounds how
+    long past the last fault the run may take to quiesce. [seed] feeds
+    the channel fault model's random stream. *)
+
+val run_dv :
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  ?settle_grace:float ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  plan ->
+  metrics
+(** Same plan, distance-vector network. *)
+
+val successor_agreement :
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  ?channel:Channel.t ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  bool * int
+(** Bring the MPDA network up twice — once over ideal channels, once
+    over [channel] (default: 20% drop) — and compare every router's
+    converged successor set for every destination. Returns (sets
+    identical, retransmissions the lossy run needed). Proves the
+    transport layer out: loss must change cost, not routes. *)
+
+val describe_fault : Mdr_topology.Graph.t -> fault -> string
+
+val summary_table : (string * metrics list) list -> string
+(** One row per labelled batch of runs: totals for events, violations
+    and message overhead, mean/max reconvergence time, converged
+    count. Rendered with {!Mdr_util.Tab}. *)

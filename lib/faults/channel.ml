@@ -1,0 +1,79 @@
+module Rng = Mdr_util.Rng
+
+type layer =
+  | Drop of float
+  | Duplicate of float
+  | Jitter of float
+  | Blackout of float * float
+
+(* A model is the ordered list of layers a frame passes through. *)
+type t = layer list
+
+let ideal = []
+
+let check_p fn p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Channel.%s: probability %g outside [0, 1]" fn p)
+
+let drop ~p =
+  check_p "drop" p;
+  [ Drop p ]
+
+let duplicate ~p =
+  check_p "duplicate" p;
+  [ Duplicate p ]
+
+let jitter ~max_delay =
+  if max_delay < 0.0 then invalid_arg "Channel.jitter: negative max_delay";
+  [ Jitter max_delay ]
+
+let blackout ~from_ ~until_ =
+  if not (from_ <= until_) then invalid_arg "Channel.blackout: from_ > until_";
+  [ Blackout (from_, until_) ]
+
+let compose a b = a @ b
+let all models = List.concat models
+
+(* Each layer maps the list of (extra-delay) copies to a new list.
+   Draws happen copy by copy in list order, so the consumed random
+   stream is a deterministic function of the traffic. *)
+let apply_layer ~rng ~now copies = function
+  | Drop p -> List.filter (fun _ -> Rng.float rng >= p) copies
+  | Duplicate p ->
+    List.concat_map
+      (fun d -> if Rng.float rng < p then [ d; d ] else [ d ])
+      copies
+  | Jitter max_delay ->
+    List.map (fun d -> d +. Rng.uniform rng ~lo:0.0 ~hi:max_delay) copies
+  | Blackout (from_, until_) ->
+    if now >= from_ && now < until_ then [] else copies
+
+let decide t ~rng ~now =
+  List.fold_left (apply_layer ~rng ~now) [ 0.0 ] t
+
+let to_channel t ~rng ~src:_ ~dst:_ ~now = decide t ~rng ~now
+
+let per_link ~default ~overrides ~rng ~src ~dst ~now =
+  let model =
+    match List.assoc_opt (src, dst) overrides with
+    | Some m -> m
+    | None -> default
+  in
+  decide model ~rng ~now
+
+let quiet_after t =
+  List.fold_left
+    (fun acc -> function Blackout (_, until_) -> Float.max acc until_ | _ -> acc)
+    0.0 t
+
+let describe = function
+  | [] -> "ideal"
+  | layers ->
+    String.concat " + "
+      (List.map
+         (function
+           | Drop p -> Printf.sprintf "drop %.0f%%" (100.0 *. p)
+           | Duplicate p -> Printf.sprintf "dup %.0f%%" (100.0 *. p)
+           | Jitter d -> Printf.sprintf "jitter %.0fms" (1000.0 *. d)
+           | Blackout (a, b) -> Printf.sprintf "blackout [%.1f, %.1f)s" a b)
+         layers)

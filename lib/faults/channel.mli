@@ -1,0 +1,66 @@
+(** Composable control-channel fault models.
+
+    A model decides the fate of every frame crossing a link: delivered
+    (possibly late, possibly more than once) or lost. Layers compose
+    left to right — [all [drop ~p:0.1; duplicate ~p:0.05; jitter
+    ~max_delay:0.02]] first tosses a loss coin, then a duplication
+    coin per surviving copy, then delays each copy independently —
+    and every random choice is drawn from an explicit {!Mdr_util.Rng}
+    stream, so fault sequences are reproducible from a seed.
+
+    Models plug into the routing harness through {!to_channel} /
+    {!per_link} (see {!Mdr_routing.Harness.channel}); installing one
+    engages the harness's reliable transport so the protocols above
+    still see in-order, eventually-delivered messages. *)
+
+type t
+
+val ideal : t
+(** Faultless: every frame delivered exactly once, on time. *)
+
+val drop : p:float -> t
+(** Lose each copy independently with probability [p] in [0, 1]. *)
+
+val duplicate : p:float -> t
+(** With probability [p], deliver an extra copy of each surviving
+    frame (the copy gets its own jitter from later layers). *)
+
+val jitter : max_delay:float -> t
+(** Add an independent uniform extra delay in [0, max_delay] seconds
+    to every delivered copy — out-of-order delivery once the spread
+    exceeds the inter-frame spacing. *)
+
+val blackout : from_:float -> until_:float -> t
+(** Hard outage window: every frame transmitted at simulated time
+    [from_ <= now < until_] is lost. Requires [from_ <= until_]. *)
+
+val compose : t -> t -> t
+(** [compose a b] applies [a]'s layers, then [b]'s. *)
+
+val all : t list -> t
+
+val decide : t -> rng:Mdr_util.Rng.t -> now:float -> float list
+(** Fate of one frame transmitted at [now]: one extra delay per
+    delivered copy ([[]] = lost). *)
+
+val to_channel :
+  t -> rng:Mdr_util.Rng.t -> src:int -> dst:int -> now:float -> float list
+(** The same model on every link, ready for
+    [Harness.Make.set_channel]. All links share [rng]; draws happen in
+    deterministic event order. *)
+
+val per_link :
+  default:t ->
+  overrides:((int * int) * t) list ->
+  rng:Mdr_util.Rng.t ->
+  src:int -> dst:int -> now:float -> float list
+(** Like {!to_channel} with per-directed-link overrides. *)
+
+val quiet_after : t -> float
+(** Earliest time after which no blackout layer is active (0 when the
+    model has none) — campaigns wait at least this long before judging
+    reconvergence. *)
+
+val describe : t -> string
+(** Compact human-readable summary, e.g.
+    ["drop 20% + dup 5% + jitter 20ms"]. *)

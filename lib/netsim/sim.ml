@@ -35,6 +35,14 @@ type config = {
 type event =
   | Fail_duplex of { at : float; a : int; b : int }
   | Restore_duplex of { at : float; a : int; b : int }
+  | Crash_node of { at : float; node : int }
+  | Restart_node of { at : float; node : int }
+
+let event_time = function
+  | Fail_duplex { at; _ }
+  | Restore_duplex { at; _ }
+  | Crash_node { at; _ }
+  | Restart_node { at; _ } -> at
 
 let default_config =
   {
@@ -68,6 +76,14 @@ type flow_stat = {
   mean_hops : float;
 }
 
+type epoch_stat = {
+  from_ : float;
+  until_ : float;
+  mean_delay : float;
+  delivered : int;
+  dropped : int;
+}
+
 type result = {
   flows : flow_stat list;
   avg_delay : float;
@@ -78,6 +94,7 @@ type result = {
   loop_free_violations : int;
   delay_timeline : (float * float * int) list;
   links : link_stat list;
+  epochs : epoch_stat list;
 }
 
 type link_state = {
@@ -90,7 +107,8 @@ type link_state = {
 
 type node_state = {
   id : int;
-  router : Router.t;
+  mutable router : Router.t;  (* replaced wholesale on a crash *)
+  mutable alive : bool;
   out : (int, link_state) Hashtbl.t;  (* neighbor -> adjacent link *)
   forwarding : (int, (int * float) list) Hashtbl.t;  (* dst -> distribution *)
   succ_used : (int, int list) Hashtbl.t;  (* dst -> sorted successor set in use *)
@@ -109,7 +127,20 @@ type sim = {
   hops_sum : int array;
   timeline_sum : float array;
   timeline_count : int array;
+  (* Fault-epoch accounting: epoch i spans
+     [epoch_bounds.(i), epoch_bounds.(i+1)) (the last one runs to the
+     end of the simulation). Empty bounds = no fault events, no
+     epoch reporting. *)
+  epoch_bounds : float array;
+  epoch_delay_sum : float array;
+  epoch_delivered : int array;
+  epoch_dropped : int array;
 }
+
+let epoch_of sim now =
+  let rec last_leq i = if i <= 0 || sim.epoch_bounds.(i) <= now then i else last_leq (i - 1) in
+  if Array.length sim.epoch_bounds = 0 then -1
+  else last_leq (Array.length sim.epoch_bounds - 1)
 
 let zero_flow_marginal cfg (l : Graph.link) =
   let c_pkts = l.capacity /. cfg.mean_packet_size in
@@ -228,7 +259,7 @@ let rec dispatch sim ~from_ outputs =
         let link = Graph.link_exn sim.topo ~src:from_ ~dst in
         ignore
           (Engine.schedule sim.engine ~delay:link.prop_delay (fun () ->
-               if link_up sim ~src:from_ ~dst then begin
+               if link_up sim ~src:from_ ~dst && sim.nodes.(dst).alive then begin
                  let ns = sim.nodes.(dst) in
                  let replies = Router.handle_msg ns.router ~from_ msg in
                  refresh_forwarding sim ns;
@@ -290,6 +321,12 @@ let check_loop_freedom sim =
 
 let record_delivery sim (p : Packet.t) =
   let now = Engine.now sim.engine in
+  (if p.flow_id >= 0 then
+     let e = epoch_of sim now in
+     if e >= 0 then begin
+       sim.epoch_delay_sum.(e) <- sim.epoch_delay_sum.(e) +. (now -. p.created);
+       sim.epoch_delivered.(e) <- sim.epoch_delivered.(e) + 1
+     end);
   let bucket = int_of_float (now /. sim.cfg.timeline_bucket) in
   if bucket >= 0 && bucket < Array.length sim.timeline_sum && p.flow_id >= 0 then begin
     sim.timeline_sum.(bucket) <- sim.timeline_sum.(bucket) +. (now -. p.created);
@@ -303,11 +340,17 @@ let record_delivery sim (p : Packet.t) =
   end
 
 let record_drop sim (p : Packet.t) =
+  (if p.flow_id >= 0 then
+     let e = epoch_of sim (Engine.now sim.engine) in
+     if e >= 0 then sim.epoch_dropped.(e) <- sim.epoch_dropped.(e) + 1);
   if p.created >= sim.cfg.warmup && p.flow_id >= 0 then
     sim.dropped.(p.flow_id) <- sim.dropped.(p.flow_id) + 1
 
 let rec forward sim node (p : Packet.t) =
-  if node = p.dst then record_delivery sim p
+  (* A dead node neither sources, relays nor sinks traffic: packets
+     arriving at (or injected from) it are lost. *)
+  if not sim.nodes.(node).alive then record_drop sim p
+  else if node = p.dst then record_delivery sim p
   else if p.hops >= Packet.hop_limit then record_drop sim p
   else begin
     let ns = sim.nodes.(node) in
@@ -351,6 +394,7 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
         {
           id;
           router = Router.create ~mode:Router.Mpda ~id ~n;
+          alive = true;
           out = Hashtbl.create 4;
           forwarding = Hashtbl.create 16;
           succ_used = Hashtbl.create 16;
@@ -358,6 +402,14 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
         })
   in
   let buckets = int_of_float (config.sim_time /. config.timeline_bucket) + 1 in
+  let epoch_bounds =
+    match events with
+    | [] -> [||]
+    | _ ->
+      let times = List.sort_uniq compare (List.map event_time events) in
+      Array.of_list (0.0 :: List.filter (fun t -> t > 0.0) times)
+  in
+  let nepochs = Array.length epoch_bounds in
   let sim =
     {
       topo;
@@ -371,6 +423,10 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
       hops_sum = Array.make nflows 0;
       timeline_sum = Array.make buckets 0.0;
       timeline_count = Array.make buckets 0;
+      epoch_bounds;
+      epoch_delay_sum = Array.make nepochs 0.0;
+      epoch_delivered = Array.make nepochs 0;
+      epoch_dropped = Array.make nepochs 0;
     }
   in
   (* Data-plane links with their estimators. *)
@@ -409,13 +465,15 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
     (fun ns ->
       let phase_s = Rng.uniform ns.rng ~lo:0.0 ~hi:config.t_s in
       let phase_l = Rng.uniform ns.rng ~lo:0.0 ~hi:config.t_l in
+      (* Timers keep firing while the node is down but do nothing — so
+         a restarted node resumes measuring on its original phase. *)
       let rec s_tick () =
-        short_term_tick sim ns;
+        if ns.alive then short_term_tick sim ns;
         if Engine.now engine +. config.t_s <= config.sim_time then
           ignore (Engine.schedule engine ~delay:config.t_s s_tick)
       in
       let rec l_tick () =
-        long_term_tick sim ns;
+        if ns.alive then long_term_tick sim ns;
         if Engine.now engine +. config.t_l <= config.sim_time then
           ignore (Engine.schedule engine ~delay:config.t_l l_tick)
       in
@@ -431,26 +489,58 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
   ignore (Engine.schedule engine ~delay:(config.t_s /. 2.0) audit);
   (* Topology events: data-plane link failures and restorations, with
      the control plane notified at the endpoints. *)
+  let admin_down = Hashtbl.create 4 in
   let fail_direction ~src ~dst =
     match Hashtbl.find_opt nodes.(src).out dst with
     | None -> ()
     | Some ls ->
       Link.fail ls.link;
-      let outputs = Router.handle_link_down nodes.(src).router ~nbr:dst in
-      refresh_forwarding sim nodes.(src);
-      dispatch sim ~from_:src outputs
+      if nodes.(src).alive then begin
+        let outputs = Router.handle_link_down nodes.(src).router ~nbr:dst in
+        refresh_forwarding sim nodes.(src);
+        dispatch sim ~from_:src outputs
+      end
   in
   let restore_direction ~src ~dst =
     match Hashtbl.find_opt nodes.(src).out dst with
     | None -> ()
     | Some ls ->
-      Link.restore ls.link;
-      (* Re-announce with the last known long-term cost. *)
-      let outputs =
-        Router.handle_link_up nodes.(src).router ~nbr:dst ~cost:ls.long_cost
-      in
-      refresh_forwarding sim nodes.(src);
-      dispatch sim ~from_:src outputs
+      if nodes.(src).alive && nodes.(dst).alive then begin
+        Link.restore ls.link;
+        (* Re-announce with the last known long-term cost. *)
+        let outputs =
+          Router.handle_link_up nodes.(src).router ~nbr:dst ~cost:ls.long_cost
+        in
+        refresh_forwarding sim nodes.(src);
+        dispatch sim ~from_:src outputs
+      end
+  in
+  let crash_node node =
+    let ns = nodes.(node) in
+    if ns.alive then begin
+      ns.alive <- false;
+      (* Every adjacent link goes down; queued and in-service packets
+         are lost. Live neighbors detect the loss and reconverge. *)
+      Hashtbl.iter (fun _ ls -> Link.fail ls.link) ns.out;
+      List.iter (fun k -> fail_direction ~src:k ~dst:node) (Graph.neighbors topo node);
+      (* The node loses all routing state. *)
+      ns.router <- Router.create ~mode:Router.Mpda ~id:node ~n;
+      Hashtbl.reset ns.forwarding;
+      Hashtbl.reset ns.succ_used
+    end
+  in
+  let restart_node node =
+    let ns = nodes.(node) in
+    if not ns.alive then begin
+      ns.alive <- true;
+      List.iter
+        (fun k ->
+          if not (Hashtbl.mem admin_down (min node k, max node k)) then begin
+            restore_direction ~src:node ~dst:k;
+            restore_direction ~src:k ~dst:node
+          end)
+        (Graph.neighbors topo node)
+    end
   in
   List.iter
     (fun event ->
@@ -458,13 +548,19 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
       | Fail_duplex { at; a; b } ->
         ignore
           (Engine.schedule_at engine ~time:at (fun () ->
+               Hashtbl.replace admin_down (min a b, max a b) ();
                fail_direction ~src:a ~dst:b;
                fail_direction ~src:b ~dst:a))
       | Restore_duplex { at; a; b } ->
         ignore
           (Engine.schedule_at engine ~time:at (fun () ->
+               Hashtbl.remove admin_down (min a b, max a b);
                restore_direction ~src:a ~dst:b;
-               restore_direction ~src:b ~dst:a)))
+               restore_direction ~src:b ~dst:a))
+      | Crash_node { at; node } ->
+        ignore (Engine.schedule_at engine ~time:at (fun () -> crash_node node))
+      | Restart_node { at; node } ->
+        ignore (Engine.schedule_at engine ~time:at (fun () -> restart_node node)))
     events;
   (* Traffic sources. *)
   List.iteri
@@ -507,7 +603,7 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
   let total_dropped = Array.fold_left ( + ) 0 sim.dropped in
   let all_delay_sum =
     List.fold_left
-      (fun acc fs -> acc +. (fs.mean_delay *. float_of_int fs.delivered))
+      (fun acc (fs : flow_stat) -> acc +. (fs.mean_delay *. float_of_int fs.delivered))
       0.0 flows
   in
   let max_mean_queue =
@@ -557,4 +653,19 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
     loop_free_violations = sim.loop_free_violations;
     delay_timeline;
     links;
+    epochs =
+      List.init nepochs (fun i ->
+          let until_ =
+            if i + 1 < nepochs then epoch_bounds.(i + 1) else config.sim_time
+          in
+          let delivered = sim.epoch_delivered.(i) in
+          {
+            from_ = epoch_bounds.(i);
+            until_;
+            mean_delay =
+              (if delivered = 0 then 0.0
+               else sim.epoch_delay_sum.(i) /. float_of_int delivered);
+            delivered;
+            dropped = sim.epoch_dropped.(i);
+          });
   }

@@ -47,6 +47,14 @@ type event =
       (** both directions of the (a, b) link fail; queued packets are
           lost, MPDA reconverges around it *)
   | Restore_duplex of { at : float; a : int; b : int }
+  | Crash_node of { at : float; node : int }
+      (** the node dies: every adjacent link fails (queued and
+          in-service packets are lost), live neighbors detect the loss
+          and reconverge, and the node forgets all routing state *)
+  | Restart_node of { at : float; node : int }
+      (** the node comes back with a blank router and re-forms
+          adjacencies with its live neighbors (links taken down by a
+          {!Fail_duplex} that has not been restored stay down) *)
 
 val default_config : config
 (** MP, T_l = 10 s, T_s = 2 s, 4096-bit packets, 60 s runs, 10 s
@@ -69,6 +77,18 @@ type flow_stat = {
   mean_hops : float;  (** forwarding steps per delivered packet *)
 }
 
+type epoch_stat = {
+  from_ : float;
+  until_ : float;  (** exclusive; the last epoch ends at [sim_time] *)
+  mean_delay : float;  (** seconds over packets {e delivered} in the epoch *)
+  delivered : int;
+  dropped : int;
+}
+(** Delay/loss degradation between consecutive fault events. Epoch
+    boundaries are the distinct event times (plus t = 0); unlike the
+    flow statistics, epoch counters ignore the warmup cutoff so the
+    degradation around each fault is visible wherever it falls. *)
+
 type result = {
   flows : flow_stat list;  (** same order as the input specs *)
   avg_delay : float;  (** delivered-packet average over all flows *)
@@ -84,6 +104,9 @@ type result = {
           count) — includes the warmup, for plotting transients *)
   links : link_stat list;
       (** per-directed-link statistics, sorted by (src, dst) *)
+  epochs : epoch_stat list;
+      (** per-fault-epoch delay/loss, in time order; empty when the run
+          had no events *)
 }
 
 val run :

@@ -19,12 +19,49 @@ module type ROUTER = sig
   val messages_sent : t -> int
 end
 
+type channel = src:int -> dst:int -> now:float -> float list
+
 module Make (R : ROUTER) = struct
+  (* Reliable-transport state, one record per directed link. Engaged
+     only when a channel fault model is installed; the lossless default
+     path below bypasses it entirely. *)
+  type tx = {
+    mutable next_tseq : int;
+    mutable unacked : (int * R.msg) list;  (* oldest first *)
+    mutable rto : float;
+    mutable timer : Engine.event_id option;
+  }
+
+  type rx = {
+    mutable expected : int;
+    held : (int, R.msg) Hashtbl.t;  (* out-of-order frames awaiting delivery *)
+  }
+
+  type frame =
+    | Data of { ep : int; tseq : int; payload : R.msg }
+    | Tack of { ep : int; upto : int }
+        (* cumulative transport ACK for the reverse direction; [ep] is
+           the epoch of the *data* direction being acknowledged *)
+
   type t = {
     topo : Graph.t;
     engine : Engine.t;
     routers : R.t array;
-    up : (int * int, unit) Hashtbl.t;
+    make_router : id:int -> n:int -> R.t;
+    up : (int * int, unit) Hashtbl.t;  (* directed links currently up *)
+    epoch : (int * int, int) Hashtbl.t;
+        (* bumped whenever a directed link goes down, so in-flight
+           frames from a previous up-period die at arrival *)
+    cost_now : (int * int, float) Hashtbl.t;  (* last applied cost *)
+    admin_down : (int * int, unit) Hashtbl.t;  (* explicitly failed links *)
+    alive : bool array;
+    mutable channel : channel option;
+    tx : (int * int, tx) Hashtbl.t;
+    rx : (int * int, rx) Hashtbl.t;
+    mutable rto_initial : float;
+    mutable rto_max : float;
+    mutable retransmissions : int;
+    mutable transport_acks : int;
     mutable observer : t -> unit;
   }
 
@@ -32,32 +69,197 @@ module Make (R : ROUTER) = struct
   let topology t = t.topo
   let router t i = t.routers.(i)
   let link_is_up t ~src ~dst = Hashtbl.mem t.up (src, dst)
+  let node_is_up t node = t.alive.(node)
   let prop_delay t ~src ~dst = (Graph.link_exn t.topo ~src ~dst).Graph.prop_delay
+  let retransmissions t = t.retransmissions
+  let transport_acks t = t.transport_acks
 
-  let rec dispatch t ~from_ outputs =
+  let current_epoch t key =
+    match Hashtbl.find_opt t.epoch key with Some e -> e | None -> 0
+
+  let bump_epoch t key = Hashtbl.replace t.epoch key (current_epoch t key + 1)
+
+  let get_tx t key =
+    match Hashtbl.find_opt t.tx key with
+    | Some s -> s
+    | None ->
+      let s = { next_tseq = 0; unacked = []; rto = t.rto_initial; timer = None } in
+      Hashtbl.replace t.tx key s;
+      s
+
+  let get_rx t key =
+    match Hashtbl.find_opt t.rx key with
+    | Some s -> s
+    | None ->
+      let s = { expected = 0; held = Hashtbl.create 4 } in
+      Hashtbl.replace t.rx key s;
+      s
+
+  let reset_transport t key =
+    (match Hashtbl.find_opt t.tx key with
+    | Some s ->
+      (match s.timer with Some id -> Engine.cancel t.engine id | None -> ());
+      Hashtbl.remove t.tx key
+    | None -> ());
+    Hashtbl.remove t.rx key
+
+  (* --- Frame-level channel crossing (lossy mode) --------------------- *)
+
+  (* Ask the channel model what happens to one frame on [src -> dst]:
+     each returned float is an extra delay for one delivered copy
+     (empty list = dropped). *)
+  let transmit_frame t ~src ~dst ch frame ~deliver =
+    let base = prop_delay t ~src ~dst in
+    List.iter
+      (fun extra ->
+        if extra < 0.0 then invalid_arg "Harness: channel produced a negative delay";
+        ignore (Engine.schedule t.engine ~delay:(base +. extra) (fun () -> deliver frame)))
+      (ch ~src ~dst ~now:(Engine.now t.engine))
+
+  (* --- Message delivery ------------------------------------------------ *)
+
+  (* Hand one router-level message to its destination and recursively
+     dispatch the replies. *)
+  let rec deliver_payload t ~src ~dst payload =
+    let replies = R.handle_msg t.routers.(dst) ~from_:src payload in
+    t.observer t;
+    dispatch t ~from_:dst replies
+
+  and dispatch t ~from_ outputs =
     List.iter
       (fun (dst, msg) ->
-        if link_is_up t ~src:from_ ~dst then begin
-          let delay = prop_delay t ~src:from_ ~dst in
-          ignore
-            (Engine.schedule t.engine ~delay (fun () ->
-                 if link_is_up t ~src:from_ ~dst then begin
-                   let replies = R.handle_msg t.routers.(dst) ~from_ msg in
-                   t.observer t;
-                   dispatch t ~from_:dst replies
-                 end))
-        end)
+        if link_is_up t ~src:from_ ~dst then
+          match t.channel with
+          | None ->
+            (* Lossless, in-order delivery with the link's propagation
+               delay — the paper's assumed control channel. *)
+            let ep = current_epoch t (from_, dst) in
+            let delay = prop_delay t ~src:from_ ~dst in
+            ignore
+              (Engine.schedule t.engine ~delay (fun () ->
+                   if link_is_up t ~src:from_ ~dst && current_epoch t (from_, dst) = ep
+                   then deliver_payload t ~src:from_ ~dst msg))
+          | Some _ -> send_data t ~src:from_ ~dst msg)
       outputs
 
+  (* --- Reliable transport (sequencing + ACK + retransmission) --------- *)
+
+  and send_data t ~src ~dst payload =
+    let ch = Option.get t.channel in
+    let tx = get_tx t (src, dst) in
+    let tseq = tx.next_tseq in
+    tx.next_tseq <- tseq + 1;
+    tx.unacked <- tx.unacked @ [ (tseq, payload) ];
+    let ep = current_epoch t (src, dst) in
+    transmit_frame t ~src ~dst ch
+      (Data { ep; tseq; payload })
+      ~deliver:(receive_frame t ~src ~dst);
+    arm_timer t ~src ~dst tx
+
+  and arm_timer t ~src ~dst tx =
+    if tx.timer = None then
+      tx.timer <-
+        Some
+          (Engine.schedule t.engine ~delay:tx.rto (fun () ->
+               retransmit t ~src ~dst))
+
+  and retransmit t ~src ~dst =
+    match Hashtbl.find_opt t.tx (src, dst) with
+    | None -> ()
+    | Some tx ->
+      tx.timer <- None;
+      if link_is_up t ~src ~dst && tx.unacked <> [] then begin
+        match t.channel with
+        | None -> ()
+        | Some ch ->
+          let ep = current_epoch t (src, dst) in
+          List.iter
+            (fun (tseq, payload) ->
+              t.retransmissions <- t.retransmissions + 1;
+              transmit_frame t ~src ~dst ch
+                (Data { ep; tseq; payload })
+                ~deliver:(receive_frame t ~src ~dst))
+            tx.unacked;
+          tx.rto <- Float.min (tx.rto *. 2.0) t.rto_max;
+          arm_timer t ~src ~dst tx
+      end
+
+  and send_tack t ~data_src ~data_dst =
+    (* Cumulative ACK for direction [data_src -> data_dst], travelling
+       the reverse link and subject to its channel faults. *)
+    if link_is_up t ~src:data_dst ~dst:data_src then
+      match t.channel with
+      | None -> ()
+      | Some ch ->
+        let rxs = get_rx t (data_src, data_dst) in
+        let ep = current_epoch t (data_src, data_dst) in
+        t.transport_acks <- t.transport_acks + 1;
+        transmit_frame t ~src:data_dst ~dst:data_src ch
+          (Tack { ep; upto = rxs.expected - 1 })
+          ~deliver:(receive_frame t ~src:data_dst ~dst:data_src)
+
+  and receive_frame t ~src ~dst frame =
+    (* Arrival of one frame that travelled [src -> dst]. *)
+    if link_is_up t ~src ~dst then
+      match frame with
+      | Data { ep; tseq; payload } ->
+        if ep = current_epoch t (src, dst) then begin
+          let rxs = get_rx t (src, dst) in
+          if tseq = rxs.expected then begin
+            rxs.expected <- rxs.expected + 1;
+            deliver_payload t ~src ~dst payload;
+            (* Drain any buffered successors, in order. *)
+            let rec drain () =
+              match Hashtbl.find_opt rxs.held rxs.expected with
+              | Some next ->
+                Hashtbl.remove rxs.held rxs.expected;
+                rxs.expected <- rxs.expected + 1;
+                deliver_payload t ~src ~dst next;
+                drain ()
+              | None -> ()
+            in
+            drain ();
+            send_tack t ~data_src:src ~data_dst:dst
+          end
+          else if tseq > rxs.expected then begin
+            Hashtbl.replace rxs.held tseq payload;
+            send_tack t ~data_src:src ~data_dst:dst
+          end
+          else (* duplicate of an already-delivered frame: re-ACK *)
+            send_tack t ~data_src:src ~data_dst:dst
+        end
+      | Tack { ep; upto } ->
+        (* Acknowledges data we sent on [dst -> src]. *)
+        if ep = current_epoch t (dst, src) then (
+          match Hashtbl.find_opt t.tx (dst, src) with
+          | None -> ()
+          | Some tx ->
+            tx.unacked <- List.filter (fun (s, _) -> s > upto) tx.unacked;
+            if tx.unacked = [] then begin
+              (match tx.timer with
+              | Some id ->
+                Engine.cancel t.engine id;
+                tx.timer <- None
+              | None -> ());
+              tx.rto <- t.rto_initial
+            end)
+
+  (* --- Link events ------------------------------------------------------ *)
+
   let apply_link_up t ~src ~dst ~cost =
-    Hashtbl.replace t.up (src, dst) ();
-    let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
-    t.observer t;
-    dispatch t ~from_:src outputs
+    if t.alive.(src) && t.alive.(dst) && not (link_is_up t ~src ~dst) then begin
+      Hashtbl.replace t.up (src, dst) ();
+      Hashtbl.replace t.cost_now (src, dst) cost;
+      let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
+      t.observer t;
+      dispatch t ~from_:src outputs
+    end
 
   let apply_link_down t ~src ~dst =
     if link_is_up t ~src ~dst then begin
       Hashtbl.remove t.up (src, dst);
+      bump_epoch t (src, dst);
+      reset_transport t (src, dst);
       let outputs = R.handle_link_down t.routers.(src) ~nbr:dst in
       t.observer t;
       dispatch t ~from_:src outputs
@@ -65,22 +267,97 @@ module Make (R : ROUTER) = struct
 
   let apply_link_cost t ~src ~dst ~cost =
     if link_is_up t ~src ~dst then begin
+      Hashtbl.replace t.cost_now (src, dst) cost;
       let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
       t.observer t;
       dispatch t ~from_:src outputs
     end
 
-  let create ?(observer = fun _ -> ()) ~topo ~cost () =
+  (* --- Node crash / restart -------------------------------------------- *)
+
+  let apply_node_crash t node =
+    if t.alive.(node) then begin
+      t.alive.(node) <- false;
+      (* Take every adjacent direction down first so no handler can
+         reach the dying router, then notify the surviving endpoints
+         (they detect the loss as link-down), then wipe the router. *)
+      let nbrs = Graph.neighbors t.topo node in
+      let notify =
+        List.filter
+          (fun k ->
+            let was_up = link_is_up t ~src:k ~dst:node in
+            List.iter
+              (fun key ->
+                if Hashtbl.mem t.up key then begin
+                  Hashtbl.remove t.up key;
+                  bump_epoch t key;
+                  reset_transport t key
+                end)
+              [ (node, k); (k, node) ];
+            was_up && t.alive.(k))
+          nbrs
+      in
+      List.iter
+        (fun k ->
+          let outputs = R.handle_link_down t.routers.(k) ~nbr:node in
+          t.observer t;
+          dispatch t ~from_:k outputs)
+        notify;
+      t.routers.(node) <- t.make_router ~id:node ~n:(Graph.node_count t.topo);
+      t.observer t
+    end
+
+  let apply_node_restart t node =
+    if not t.alive.(node) then begin
+      t.alive.(node) <- true;
+      t.routers.(node) <- t.make_router ~id:node ~n:(Graph.node_count t.topo);
+      List.iter
+        (fun k ->
+          if t.alive.(k) then
+            List.iter
+              (fun (s, d) ->
+                if not (Hashtbl.mem t.admin_down (s, d)) then
+                  let cost =
+                    match Hashtbl.find_opt t.cost_now (s, d) with
+                    | Some c -> c
+                    | None -> invalid_arg "Harness: restart of a never-initialised link"
+                  in
+                  apply_link_up t ~src:s ~dst:d ~cost)
+              [ (node, k); (k, node) ])
+        (Graph.neighbors t.topo node)
+    end
+
+  (* --- Construction and scheduling -------------------------------------- *)
+
+  let create ?make_router ?(observer = fun _ -> ()) ~topo ~cost () =
     let n = Graph.node_count topo in
+    let make_router =
+      match make_router with Some f -> f | None -> fun ~id ~n -> R.create ~id ~n
+    in
     let t =
       {
         topo;
         engine = Engine.create ();
-        routers = Array.init n (fun id -> R.create ~id ~n);
+        routers = Array.init n (fun id -> make_router ~id ~n);
+        make_router;
         up = Hashtbl.create (Graph.link_count topo);
+        epoch = Hashtbl.create (Graph.link_count topo);
+        cost_now = Hashtbl.create (Graph.link_count topo);
+        admin_down = Hashtbl.create 8;
+        alive = Array.make n true;
+        channel = None;
+        tx = Hashtbl.create 16;
+        rx = Hashtbl.create 16;
+        rto_initial = 0.05;
+        rto_max = 2.0;
+        retransmissions = 0;
+        transport_acks = 0;
         observer;
       }
     in
+    (* Bring every directed link up at time 0. Both directions are
+       scheduled before any message can be delivered (delays > 0 in
+       practice; equal-time events run in scheduling order otherwise). *)
     List.iter
       (fun l ->
         ignore
@@ -89,28 +366,106 @@ module Make (R : ROUTER) = struct
       (Graph.links topo);
     t
 
+  let set_channel t ?(rto_initial = 0.05) ?(rto_max = 2.0) ch =
+    if rto_initial <= 0.0 || rto_max < rto_initial then
+      invalid_arg "Harness.set_channel: need 0 < rto_initial <= rto_max";
+    t.rto_initial <- rto_initial;
+    t.rto_max <- rto_max;
+    t.channel <- Some ch
+
+  let require_duplex t ~fn ~a ~b =
+    if a = b then invalid_arg (Printf.sprintf "%s: %d-%d is a self-loop" fn a b);
+    let n = Graph.node_count t.topo in
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg (Printf.sprintf "%s: node out of range in %d-%d" fn a b);
+    if Graph.link t.topo ~src:a ~dst:b = None || Graph.link t.topo ~src:b ~dst:a = None
+    then
+      invalid_arg
+        (Printf.sprintf "%s: no duplex link %d-%d in the topology" fn a b)
+
   let schedule_link_cost t ~at ~src ~dst ~cost =
     ignore
       (Engine.schedule_at t.engine ~time:at (fun () -> apply_link_cost t ~src ~dst ~cost))
 
   let schedule_fail_duplex t ~at ~a ~b =
+    require_duplex t ~fn:"Harness.schedule_fail_duplex" ~a ~b;
     ignore
       (Engine.schedule_at t.engine ~time:at (fun () ->
+           Hashtbl.replace t.admin_down (a, b) ();
+           Hashtbl.replace t.admin_down (b, a) ();
            apply_link_down t ~src:a ~dst:b;
            apply_link_down t ~src:b ~dst:a))
 
   let schedule_restore_duplex t ~at ~a ~b ~cost =
+    require_duplex t ~fn:"Harness.schedule_restore_duplex" ~a ~b;
     ignore
       (Engine.schedule_at t.engine ~time:at (fun () ->
+           Hashtbl.remove t.admin_down (a, b);
+           Hashtbl.remove t.admin_down (b, a);
+           (* Record the cost even when an endpoint is down so a later
+              restart brings the link up at the restored value. *)
+           Hashtbl.replace t.cost_now (a, b) cost;
+           Hashtbl.replace t.cost_now (b, a) cost;
            apply_link_up t ~src:a ~dst:b ~cost;
            apply_link_up t ~src:b ~dst:a ~cost))
+
+  let require_node t ~fn node =
+    if node < 0 || node >= Graph.node_count t.topo then
+      invalid_arg (Printf.sprintf "%s: node %d out of range" fn node)
+
+  let schedule_node_crash t ~at ~node =
+    require_node t ~fn:"Harness.schedule_node_crash" node;
+    ignore (Engine.schedule_at t.engine ~time:at (fun () -> apply_node_crash t node))
+
+  let schedule_node_restart t ~at ~node =
+    require_node t ~fn:"Harness.schedule_node_restart" node;
+    ignore (Engine.schedule_at t.engine ~time:at (fun () -> apply_node_restart t node))
+
+  let partition_cut t ~group =
+    let n = Graph.node_count t.topo in
+    let inside = Array.make n false in
+    List.iter
+      (fun v ->
+        require_node t ~fn:"Harness.schedule_partition" v;
+        inside.(v) <- true)
+      group;
+    List.filter
+      (fun (l : Graph.link) -> inside.(l.src) && not inside.(l.dst))
+      (Graph.links t.topo)
+
+  let schedule_partition t ~at ~heal_at ~group =
+    if heal_at < at then invalid_arg "Harness.schedule_partition: heal_at < at";
+    let cut = partition_cut t ~group in
+    ignore
+      (Engine.schedule_at t.engine ~time:at (fun () ->
+           List.iter
+             (fun (l : Graph.link) ->
+               Hashtbl.replace t.admin_down (l.src, l.dst) ();
+               Hashtbl.replace t.admin_down (l.dst, l.src) ();
+               apply_link_down t ~src:l.src ~dst:l.dst;
+               apply_link_down t ~src:l.dst ~dst:l.src)
+             cut));
+    ignore
+      (Engine.schedule_at t.engine ~time:heal_at (fun () ->
+           List.iter
+             (fun (l : Graph.link) ->
+               List.iter
+                 (fun (s, d) ->
+                   Hashtbl.remove t.admin_down (s, d);
+                   match Hashtbl.find_opt t.cost_now (s, d) with
+                   | Some cost -> apply_link_up t ~src:s ~dst:d ~cost
+                   | None -> ())
+                 [ (l.src, l.dst); (l.dst, l.src) ])
+             cut))
 
   let run ?until t = Engine.run ?until t.engine
 
   let quiescent t = Engine.pending t.engine = 0 && Array.for_all R.is_passive t.routers
 
   let total_messages t =
-    Array.fold_left (fun acc r -> acc + R.messages_sent r) 0 t.routers
+    Array.fold_left (fun acc r -> acc + R.messages_sent r) t.retransmissions t.routers
+
+  let successor_sets t ~dst = fun node -> R.successors t.routers.(node) ~dst
 
   let check_loop_free t =
     let n = Graph.node_count t.topo in

@@ -1,10 +1,28 @@
-(** Protocol-agnostic control-plane harness.
+(** Protocol-agnostic control-plane harness with fault injection.
 
     [Make] runs any router machine implementing {!ROUTER} — the
     link-state MPDA via {!Network}, or the distance-vector
     {!Dv_router} via {!Dv_network} below — over a topology's links
     with their propagation delays, so both LFI instantiations face
-    identical event streams in tests and benches. *)
+    identical event streams in tests and benches.
+
+    Beyond the paper's clean failure model (duplex link fail/restore
+    with reliable in-order delivery), the harness can subject the
+    control plane to channel faults, node crashes and partitions:
+
+    - {!val-Make.set_channel} installs a per-frame fault model (drops,
+      duplicates, jitter, blackouts — see [Mdr_faults.Channel]) and
+      simultaneously engages a reliable transport: every router-level
+      message is sequenced, cumulatively ACKed, retransmitted with
+      exponential backoff (capped), de-duplicated and released in
+      order, because MPDA/DV correctness assumes reliable in-order
+      control channels. Retransmissions count toward
+      {!val-Make.total_messages}.
+    - {!val-Make.schedule_node_crash} kills a router (all protocol
+      state lost; neighbors see link-down), and
+      {!val-Make.schedule_node_restart} reboots it from scratch.
+    - {!val-Make.schedule_partition} fails a cut set and later heals
+      it. *)
 
 module type ROUTER = sig
   type t
@@ -24,27 +42,92 @@ module type ROUTER = sig
   val messages_sent : t -> int
 end
 
+type channel = src:int -> dst:int -> now:float -> float list
+(** A control-channel fault model: called once per transmitted frame,
+    it returns one extra delay (seconds, >= 0, added to the link's
+    propagation delay) per delivered copy — [[]] drops the frame,
+    [[0.]] is faultless delivery, two entries duplicate it. *)
+
 module Make (R : ROUTER) : sig
   type t
 
   val create :
+    ?make_router:(id:int -> n:int -> R.t) ->
     ?observer:(t -> unit) ->
     topo:Mdr_topology.Graph.t ->
     cost:(Mdr_topology.Graph.link -> float) ->
     unit ->
     t
+  (** [make_router] overrides [R.create] (used to fix a router mode);
+      it is also used to rebuild routers after a crash. *)
 
   val engine : t -> Mdr_eventsim.Engine.t
   val topology : t -> Mdr_topology.Graph.t
   val router : t -> int -> R.t
+
+  val set_channel : t -> ?rto_initial:float -> ?rto_max:float -> channel -> unit
+  (** Install a channel fault model and engage the reliable transport.
+      [rto_initial] (default 50 ms) is the first retransmission
+      timeout per directed link, doubled on every expiry up to
+      [rto_max] (default 2 s) and reset once the peer has ACKed
+      everything outstanding. Install before running the network. *)
+
   val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
+  (** Change one directed link's cost at simulated time [at]. *)
+
   val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
+  (** Fail both directions between [a] and [b]. In-flight frames on
+      the failed link are lost, transport state is discarded. Failing
+      an already-down link is a no-op.
+      @raise Invalid_argument immediately if the topology has no
+      duplex link [a]-[b]. *)
+
   val schedule_restore_duplex : t -> at:float -> a:int -> b:int -> cost:float -> unit
+  (** Restore both directions at cost [cost]. Restoring an up link is
+      a no-op. @raise Invalid_argument immediately if the topology has
+      no duplex link [a]-[b]. *)
+
+  val schedule_node_crash : t -> at:float -> node:int -> unit
+  (** Crash [node] at time [at]: every adjacent link goes down (the
+      neighbors detect it and reconverge), all of the node's protocol
+      and transport state is destroyed, and in-flight frames to or
+      from it are lost. Crashing a dead node is a no-op. *)
+
+  val schedule_node_restart : t -> at:float -> node:int -> unit
+  (** Restart a crashed [node] with completely fresh state; adjacent
+      links whose other endpoint is alive (and that are not separately
+      failed) come back up at their last applied costs. Restarting a
+      live node is a no-op. *)
+
+  val schedule_partition : t -> at:float -> heal_at:float -> group:int list -> unit
+  (** Fail every link crossing the cut between [group] and the rest of
+      the network at [at], and heal the cut at [heal_at]. *)
+
+  val link_is_up : t -> src:int -> dst:int -> bool
+  val node_is_up : t -> int -> bool
+
   val run : ?until:float -> t -> unit
+  (** Process events; see {!Mdr_eventsim.Engine.run}. *)
+
   val quiescent : t -> bool
+  (** No pending events and every router PASSIVE. *)
+
   val total_messages : t -> int
+  (** Router-level messages sent plus transport retransmissions. *)
+
+  val retransmissions : t -> int
+  val transport_acks : t -> int
+
+  val successor_sets : t -> dst:int -> (int -> int list)
+  (** Per-node successor sets for one destination, straight from the
+      routers. *)
+
   val check_loop_free : t -> bool
+  (** Successor graphs of all destinations are acyclic right now. *)
+
   val check_lfi : t -> bool
+  (** The LFI conditions (Eq. 16) hold right now, using each router's
+      neighbor tables as the "reported" values. *)
 end
 
 module Dv_network : module type of Make (Dv_router)

@@ -1,126 +1,30 @@
-module Graph = Mdr_topology.Graph
-module Engine = Mdr_eventsim.Engine
+(* The MPDA/PDA network is the generic harness applied to the
+   link-state router; everything — dispatch, reliable transport,
+   channel faults, crashes, partitions — is shared with the
+   distance-vector instantiation through Harness.Make. *)
 
-type t = {
-  topo : Graph.t;
-  engine : Engine.t;
-  routers : Router.t array;
-  up : (int * int, unit) Hashtbl.t;  (* directed links currently up *)
-  mutable observer : t -> unit;
-}
+module H = Harness.Make (struct
+  type t = Router.t
+  type msg = Router.msg
 
-let engine t = t.engine
-let topology t = t.topo
-let router t i = t.routers.(i)
+  let outputs l = List.map (fun o -> (o.Router.dst, o.Router.msg)) l
+  let create ~id ~n = Router.create ~mode:Router.Mpda ~id ~n
+  let handle_link_up t ~nbr ~cost = outputs (Router.handle_link_up t ~nbr ~cost)
+  let handle_link_down t ~nbr = outputs (Router.handle_link_down t ~nbr)
+  let handle_link_cost t ~nbr ~cost = outputs (Router.handle_link_cost t ~nbr ~cost)
+  let handle_msg t ~from_ msg = outputs (Router.handle_msg t ~from_ msg)
+  let is_passive = Router.is_passive
+  let distance = Router.distance
+  let successors = Router.successors
+  let feasible_distance = Router.feasible_distance
+  let neighbor_distance = Router.neighbor_distance
+  let up_neighbors = Router.up_neighbors
+  let messages_sent = Router.stats_messages_sent
+end)
 
-let link_is_up t ~src ~dst = Hashtbl.mem t.up (src, dst)
+include H
 
-let prop_delay t ~src ~dst = (Graph.link_exn t.topo ~src ~dst).Graph.prop_delay
-
-(* Deliver router outputs: each message is scheduled across its link
-   and, on arrival, processed recursively. *)
-let rec dispatch t ~from_ outputs =
-  List.iter
-    (fun { Router.dst; msg } ->
-      if link_is_up t ~src:from_ ~dst then begin
-        let delay = prop_delay t ~src:from_ ~dst in
-        ignore
-          (Engine.schedule t.engine ~delay (fun () ->
-               if link_is_up t ~src:from_ ~dst then begin
-                 let replies = Router.handle_msg t.routers.(dst) ~from_ msg in
-                 t.observer t;
-                 dispatch t ~from_:dst replies
-               end))
-      end)
-    outputs
-
-let apply_link_up t ~src ~dst ~cost =
-  Hashtbl.replace t.up (src, dst) ();
-  let outputs = Router.handle_link_up t.routers.(src) ~nbr:dst ~cost in
-  t.observer t;
-  dispatch t ~from_:src outputs
-
-let apply_link_down t ~src ~dst =
-  if link_is_up t ~src ~dst then begin
-    Hashtbl.remove t.up (src, dst);
-    let outputs = Router.handle_link_down t.routers.(src) ~nbr:dst in
-    t.observer t;
-    dispatch t ~from_:src outputs
-  end
-
-let apply_link_cost t ~src ~dst ~cost =
-  if link_is_up t ~src ~dst then begin
-    let outputs = Router.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
-    t.observer t;
-    dispatch t ~from_:src outputs
-  end
-
-let create ?(mode = Router.Mpda) ?(observer = fun _ -> ()) ~topo ~cost () =
-  let n = Graph.node_count topo in
-  let t =
-    {
-      topo;
-      engine = Engine.create ();
-      routers = Array.init n (fun id -> Router.create ~mode ~id ~n);
-      up = Hashtbl.create (Graph.link_count topo);
-      observer;
-    }
-  in
-  (* Bring every directed link up at time 0. Both directions are
-     scheduled before any message can be delivered (delays > 0 in
-     practice; equal-time events run in scheduling order otherwise). *)
-  List.iter
-    (fun l ->
-      ignore
-        (Engine.schedule t.engine ~delay:0.0 (fun () ->
-             apply_link_up t ~src:l.Graph.src ~dst:l.Graph.dst ~cost:(cost l))))
-    (Graph.links topo);
-  t
-
-let schedule_link_cost t ~at ~src ~dst ~cost =
-  ignore
-    (Engine.schedule_at t.engine ~time:at (fun () -> apply_link_cost t ~src ~dst ~cost))
-
-let schedule_fail_duplex t ~at ~a ~b =
-  ignore
-    (Engine.schedule_at t.engine ~time:at (fun () ->
-         apply_link_down t ~src:a ~dst:b;
-         apply_link_down t ~src:b ~dst:a))
-
-let schedule_restore_duplex t ~at ~a ~b ~cost =
-  ignore
-    (Engine.schedule_at t.engine ~time:at (fun () ->
-         apply_link_up t ~src:a ~dst:b ~cost;
-         apply_link_up t ~src:b ~dst:a ~cost))
-
-let run ?until t = Engine.run ?until t.engine
-
-let quiescent t =
-  Engine.pending t.engine = 0 && Array.for_all Router.is_passive t.routers
-
-let total_messages t =
-  Array.fold_left (fun acc r -> acc + Router.stats_messages_sent r) 0 t.routers
-
-let successor_sets t ~dst =
-  fun node -> Router.successors t.routers.(node) ~dst
-
-let check_loop_free t =
-  let n = Graph.node_count t.topo in
-  List.for_all
-    (fun dst ->
-      Lfi.successor_graph_acyclic ~n
-        ~successors:(fun ~node -> Router.successors t.routers.(node) ~dst)
-        ~dst)
-    (Graph.nodes t.topo)
-
-let check_lfi t =
-  let n = Graph.node_count t.topo in
-  List.for_all
-    (fun dst ->
-      Lfi.lfi_conditions_hold ~n
-        ~neighbors:(fun node -> Router.up_neighbors t.routers.(node))
-        ~feasible:(fun ~node ~dst -> Router.feasible_distance t.routers.(node) ~dst)
-        ~reported:(fun ~holder ~about ~dst ->
-          Router.neighbor_distance t.routers.(holder) ~nbr:about ~dst)
-        ~dst)
-    (Graph.nodes t.topo)
+let create ?(mode = Router.Mpda) ?observer ~topo ~cost () =
+  H.create
+    ~make_router:(fun ~id ~n -> Router.create ~mode ~id ~n)
+    ?observer ~topo ~cost ()

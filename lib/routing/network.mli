@@ -3,10 +3,16 @@
     delays.
 
     This is how PDA/MPDA are exercised *as protocols*: link cost
-    changes and failures are injected as timed events, messages travel
-    with real latencies, and an observation hook fires after every
-    processed event so tests can assert instantaneous loop-freedom
-    (Theorem 3) and eventual convergence (Theorems 2 and 4). *)
+    changes, failures, channel faults, node crashes and partitions are
+    injected as timed events, messages travel with real latencies, and
+    an observation hook fires after every processed event so tests can
+    assert instantaneous loop-freedom (Theorem 3) and eventual
+    convergence (Theorems 2 and 4).
+
+    All machinery is shared with the distance-vector network through
+    {!Harness.Make}; see {!Harness} for the fault-model semantics
+    (reliable transport over lossy channels, crash/restart, cut-set
+    partitions). *)
 
 type t
 
@@ -26,16 +32,40 @@ val engine : t -> Mdr_eventsim.Engine.t
 val topology : t -> Mdr_topology.Graph.t
 val router : t -> int -> Router.t
 
+val set_channel :
+  t -> ?rto_initial:float -> ?rto_max:float -> Harness.channel -> unit
+(** Install a control-channel fault model and engage the reliable
+    transport layer (sequencing, cumulative ACKs, capped exponential
+    retransmission); see {!Harness.Make.set_channel}. *)
+
 val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
 (** Change one directed link's cost at simulated time [at]. *)
 
 val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
 (** Fail both directions between [a] and [b]. In-flight messages on
-    the failed link are lost. *)
+    the failed link are lost. Failing an already-down link is a no-op.
+    @raise Invalid_argument immediately if the topology has no duplex
+    link [a]-[b]. *)
 
 val schedule_restore_duplex : t -> at:float -> a:int -> b:int -> cost:float -> unit
+(** Restore both directions. Restoring an up link is a no-op.
+    @raise Invalid_argument immediately if the topology has no duplex
+    link [a]-[b]. *)
+
+val schedule_node_crash : t -> at:float -> node:int -> unit
+(** Crash a router: all its protocol state is lost and its neighbors
+    observe link-down; see {!Harness.Make.schedule_node_crash}. *)
+
+val schedule_node_restart : t -> at:float -> node:int -> unit
+(** Reboot a crashed router with fresh state; adjacent links to live
+    neighbors come back up at their last applied costs. *)
+
+val schedule_partition : t -> at:float -> heal_at:float -> group:int list -> unit
+(** Fail every link crossing the cut between [group] and the rest of
+    the network at [at]; heal the cut at [heal_at]. *)
 
 val link_is_up : t -> src:int -> dst:int -> bool
+val node_is_up : t -> int -> bool
 
 val run : ?until:float -> t -> unit
 (** Process events; see {!Mdr_eventsim.Engine.run}. *)
@@ -44,6 +74,10 @@ val quiescent : t -> bool
 (** No pending events and every router PASSIVE. *)
 
 val total_messages : t -> int
+(** LSUs sent by all routers plus transport retransmissions. *)
+
+val retransmissions : t -> int
+val transport_acks : t -> int
 
 val successor_sets : t -> dst:int -> (int -> int list)
 (** Per-node successor sets for one destination, straight from the

@@ -167,6 +167,7 @@ let () =
       ("costs", Test_costs.suite);
       ("routing", Test_routing.suite);
       ("dv", Test_dv.suite);
+      ("faults", Test_faults.suite);
       ("gallager", Test_gallager.suite);
       ("core", Test_core.suite);
       ("netsim", Test_netsim.suite);
