@@ -1,0 +1,48 @@
+(* Standalone lint driver: `dune exec bin/lint.exe` (also wired as
+   `mdrsim lint`). Exits 0 when every rule passes over lib/ and bin/,
+   1 when there are unallowlisted violations, 2 on usage or parse
+   errors. *)
+
+module Lint = Mdr_analysis.Lint_rules
+
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_root parent
+
+let main () =
+  let json = ref false in
+  let root = ref None in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " Emit the machine-readable JSON report");
+      ( "--root",
+        Arg.String (fun s -> root := Some s),
+        "DIR Repo root (default: nearest ancestor with dune-project)" );
+    ]
+  in
+  Arg.parse spec
+    (fun d -> dirs := d :: !dirs)
+    "lint [--json] [--root DIR] [dir ...]  (default dirs: lib bin)";
+  let root =
+    match !root with
+    | Some r -> Some r
+    | None -> find_root (Sys.getcwd ())
+  in
+  match root with
+  | None ->
+    prerr_endline "lint: cannot find the repo root (no dune-project upward of cwd)";
+    2
+  | Some root -> (
+    let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+    try
+      let report = Lint.run ~dirs ~root () in
+      print_string (if !json then Lint.to_json report else Lint.render report);
+      if report.Lint.violations = [] then 0 else 1
+    with Lint.Parse_failure { file; message } ->
+      Printf.eprintf "lint: cannot parse %s: %s\n" file message;
+      2)
+
+let () = exit (main ())

@@ -351,6 +351,98 @@ let chaos_cmd =
        ~doc:"Randomized fault-injection audit of MPDA and DV (loop-freedom + LFI).")
     Term.(const run $ seed_arg $ scenarios_arg $ duration_arg)
 
+let lint_cmd =
+  (* Static analysis over the repo's own sources: float equality,
+     nondeterministic Hashtbl iteration in protocol code, catch-all
+     handlers, Obj.magic, stdout printing in libraries. *)
+  let module Lint = Mdr_analysis.Lint_rules in
+  let json_arg =
+    let doc = "Emit the machine-readable JSON report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let root_arg =
+    let doc = "Repo root (default: nearest ancestor with dune-project)." in
+    Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+  in
+  let run json root =
+    match (match root with Some r -> Some r | None -> find_root (Sys.getcwd ())) with
+    | None ->
+      prerr_endline "lint: cannot find the repo root (no dune-project upward of cwd)";
+      2
+    | Some root -> (
+      try
+        let report = Lint.run ~root () in
+        print_string (if json then Lint.to_json report else Lint.render report);
+        if report.Lint.violations = [] then 0 else 1
+      with Lint.Parse_failure { file; message } ->
+        Printf.eprintf "lint: cannot parse %s: %s\n" file message;
+        2)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Run the repo's static-analysis rules over lib/ and bin/.")
+    Term.(const run $ json_arg $ root_arg)
+
+let verify_cmd =
+  (* Model checking + determinism sanitizing: enumerate all MPDA
+     message interleavings on the bundled small topologies, then run
+     the seeded pipelines twice and compare trace hashes. *)
+  let module Interleave = Mdr_analysis.Interleave in
+  let module Determinism = Mdr_analysis.Determinism in
+  let max_states_arg =
+    let doc = "Per-scenario state cap for the interleaving checker." in
+    Arg.(value & opt int 30_000 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the determinism checks." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let skip_det_arg =
+    let doc = "Skip the determinism sanitizer (interleaving checker only)." in
+    Arg.(value & flag & info [ "no-determinism" ] ~doc)
+  in
+  let run max_states seed skip_det =
+    print_endline "interleaving checker (all orderings of in-flight MPDA messages):";
+    let stats =
+      List.map Interleave.explore (Interleave.bundled ~max_states ())
+    in
+    List.iter (fun st -> print_endline ("  " ^ Interleave.render_stats st)) stats;
+    let total = List.fold_left (fun acc st -> acc + st.Interleave.states) 0 stats in
+    Printf.printf "  total: %d states\n" total;
+    let scenarios = Interleave.bundled ~max_states () in
+    List.iter2
+      (fun sc st ->
+        match st.Interleave.violation with
+        | Some v -> print_string (Interleave.render_trace sc.Interleave.topo v)
+        | None -> ())
+      scenarios stats;
+    let interleave_ok =
+      List.for_all (fun st -> st.Interleave.violation = None) stats
+    in
+    let det_ok =
+      if skip_det then true
+      else begin
+        print_endline "\ndeterminism sanitizer (double-run trace hashes):";
+        let outcomes = Determinism.run_all ~seed () in
+        List.iter (fun o -> print_endline ("  " ^ Determinism.render o)) outcomes;
+        Determinism.all_deterministic outcomes
+      end
+    in
+    Printf.printf "\nverify: %s\n"
+      (if interleave_ok && det_ok then "PASS" else "FAIL");
+    exit_of_ok (interleave_ok && det_ok)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Model-check MPDA message interleavings and sanitize experiment determinism.")
+    Term.(const run $ max_states_arg $ seed_arg $ skip_det_arg)
+
 let dot_cmd =
   let topo_arg =
     let doc = "Topology: cairn, net1, or a file path." in
@@ -403,6 +495,8 @@ let cmds =
     simple_cmd "scale" ~doc:"Protocol convergence cost vs network size."
       Experiments.scale_protocol;
     chaos_cmd;
+    lint_cmd;
+    verify_cmd;
     compare_cmd;
     routes_cmd;
     custom_cmd;

@@ -1,0 +1,137 @@
+(* Determinism sanitizer.
+
+   Every experiment in this repo is supposed to be a pure function of
+   its seed — the chaos campaign replays from --seed, the packet
+   simulator from config.seed, and the fluid solver takes no
+   randomness at all. That property is what makes figures
+   reproducible and the fault-injection audits trustworthy, and it is
+   exactly what an accidental [Hashtbl.iter] (bucket order depends on
+   hash state) or a stray wall-clock read silently destroys.
+
+   Each check below builds a full-precision textual trace of one
+   pipeline (floats serialized with [%h] so every bit counts), runs it
+   twice in the same process, and compares MD5 digests. A divergence
+   means some state outside the seed leaked into the computation. *)
+
+module Rng = Mdr_util.Rng
+module Campaign = Mdr_faults.Campaign
+module Workload = Mdr_experiments.Workload
+module Sim = Mdr_netsim.Sim
+module Gallager = Mdr_gallager.Gallager
+module Evaluate = Mdr_fluid.Evaluate
+module Flows = Mdr_fluid.Flows
+
+type outcome = {
+  check_name : string;
+  hash1 : string;  (* hex MD5 of the first run's trace *)
+  hash2 : string;
+  deterministic : bool;
+}
+
+let hex = Digest.to_hex
+
+let pf = Printf.bprintf
+
+(* --- Chaos campaign ---------------------------------------------------- *)
+
+let chaos_trace ~seed () =
+  let b = Buffer.create 4096 in
+  let profile = { Campaign.default_profile with Campaign.duration = 10.0 } in
+  let master = Rng.create ~seed in
+  let scenario i topo =
+    let rng = Rng.split master in
+    let plan = Campaign.random_plan ~rng ~topo profile in
+    pf b "scenario %d: %d faults\n" i (List.length plan.Campaign.faults);
+    List.iter
+      (fun (m : Campaign.metrics) ->
+        pf b "  %s events=%d loops=%d lfi=%d msgs=%d rexmit=%d acks=%d reconv=%h conv=%b\n"
+          m.Campaign.protocol m.Campaign.events m.Campaign.loop_violations
+          m.Campaign.lfi_violations m.Campaign.messages m.Campaign.retransmissions
+          m.Campaign.transport_acks m.Campaign.reconvergence m.Campaign.converged)
+      [
+        Campaign.run_mpda ~topo ~seed:(seed + i) plan;
+        Campaign.run_dv ~topo ~seed:(seed + i) plan;
+      ]
+  in
+  scenario 0 (Mdr_topology.Cairn.topology ());
+  scenario 1
+    (Mdr_topology.Generators.ring_with_chords ~rng:(Rng.split master) ~n:8
+       ~chords:3 ~capacity:1.0e7 ~prop_delay:0.002);
+  Buffer.contents b
+
+(* --- Fluid OPT / SP evaluation ----------------------------------------- *)
+
+let fluid_trace ~load () =
+  let b = Buffer.create 4096 in
+  let w = Workload.cairn ~load in
+  let model = Workload.model w in
+  let traffic = Workload.traffic w in
+  (* Static SPF reference *)
+  let spf = Gallager.spf_params model w.Workload.topo in
+  let spf_flows = Flows.compute spf traffic in
+  pf b "SP D_T=%h avg=%h\n"
+    (Evaluate.total_cost model spf_flows)
+    (Evaluate.average_delay model spf_flows traffic);
+  (* OPT: Gallager's iteration to (near) optimum *)
+  let opt = Gallager.solve ~max_iters:400 model w.Workload.topo traffic in
+  pf b "OPT D_T=%h avg=%h iters=%d conv=%b\n" opt.Gallager.total_cost
+    opt.Gallager.avg_delay opt.Gallager.iterations opt.Gallager.converged;
+  List.iter (fun d -> pf b "  hist %h\n" d) opt.Gallager.history;
+  List.iter
+    (fun ((_ : Mdr_fluid.Traffic.flow), d) -> pf b "  flow %h\n" d)
+    (Evaluate.per_flow_delays model opt.Gallager.params opt.Gallager.flows traffic);
+  Buffer.contents b
+
+(* --- Packet simulator, MP and SP --------------------------------------- *)
+
+let netsim_trace ~seed () =
+  let b = Buffer.create 4096 in
+  let w = Workload.cairn ~load:0.6 in
+  let flows = Workload.sim_flows w in
+  List.iter
+    (fun (scheme, tag) ->
+      let config =
+        {
+          Sim.default_config with
+          Sim.scheme;
+          sim_time = 20.0;
+          warmup = 5.0;
+          seed;
+        }
+      in
+      let r = Sim.run ~config w.Workload.topo flows in
+      pf b "%s avg=%h delivered=%d dropped=%d ctl=%d loops=%d maxq=%h\n" tag
+        r.Sim.avg_delay r.Sim.total_delivered r.Sim.total_dropped
+        r.Sim.control_messages r.Sim.loop_free_violations r.Sim.max_mean_queue;
+      List.iter
+        (fun (f : Sim.flow_stat) ->
+          pf b "  flow %d->%d delivered=%d dropped=%d mean=%h p95=%h hops=%h\n"
+            f.Sim.spec.Sim.src f.Sim.spec.Sim.dst f.Sim.delivered f.Sim.dropped
+            f.Sim.mean_delay f.Sim.p95_delay f.Sim.mean_hops)
+        r.Sim.flows)
+    [ (Sim.Mp, "MP"); (Sim.Sp, "SP") ];
+  Buffer.contents b
+
+(* --- Driver ------------------------------------------------------------ *)
+
+let checks ?(seed = 7) () =
+  [
+    ("chaos-campaign", chaos_trace ~seed);
+    ("fluid-sp-opt", fluid_trace ~load:0.9);
+    ("netsim-mp-sp", netsim_trace ~seed);
+  ]
+
+let run_check (check_name, trace) =
+  let h1 = hex (Digest.string (trace ())) in
+  let h2 = hex (Digest.string (trace ())) in
+  { check_name; hash1 = h1; hash2 = h2; deterministic = String.equal h1 h2 }
+
+let run_all ?seed () = List.map run_check (checks ?seed ())
+
+let all_deterministic outcomes = List.for_all (fun o -> o.deterministic) outcomes
+
+let render o =
+  if o.deterministic then Printf.sprintf "%-16s ok    %s" o.check_name o.hash1
+  else
+    Printf.sprintf "%-16s DIVERGED\n  run 1: %s\n  run 2: %s" o.check_name
+      o.hash1 o.hash2

@@ -1,0 +1,36 @@
+(** Determinism sanitizer: every experiment must be a pure function of
+    its seed.
+
+    Each check runs one pipeline twice in the same process, serializes
+    the complete observable trace at full float precision ([%h]), and
+    compares MD5 digests. A divergence means state outside the seed
+    (hash-table bucket order, wall clock, ...) leaked into the
+    computation. *)
+
+type outcome = {
+  check_name : string;
+  hash1 : string;  (** hex MD5 of the first run's trace *)
+  hash2 : string;
+  deterministic : bool;
+}
+
+val chaos_trace : seed:int -> unit -> string
+(** Two chaos-campaign scenarios (CAIRN and a generated ring) run
+    against MPDA and DV: plans, audit counts, reconvergence times. *)
+
+val fluid_trace : load:float -> unit -> string
+(** SP reference and Gallager OPT on the CAIRN workload: D_T, average
+    delay, iteration history, per-flow delays. *)
+
+val netsim_trace : seed:int -> unit -> string
+(** Packet simulator under MP and SP on CAIRN: aggregate and per-flow
+    statistics. *)
+
+val checks : ?seed:int -> unit -> (string * (unit -> string)) list
+(** The bundled check list: chaos campaign, fluid SP/OPT evaluation,
+    packet simulator MP/SP. *)
+
+val run_check : string * (unit -> string) -> outcome
+val run_all : ?seed:int -> unit -> outcome list
+val all_deterministic : outcome list -> bool
+val render : outcome -> string

@@ -1,0 +1,83 @@
+(** Bounded exhaustive model checking of MPDA message interleavings.
+
+    Explores {e every} ordering of in-flight control messages on a
+    small topology — optionally with a single duplex link-cost change
+    and a bounded number of message losses injected at any point — and
+    checks the loop-freedom invariants after every transition. The
+    search is breadth-first over deduplicated states, so it terminates
+    on these scopes and the first violation found has a minimal-length
+    reproduction trace. *)
+
+module Graph = Mdr_topology.Graph
+module Router = Mdr_routing.Router
+
+type action =
+  | Deliver of { src : int; dst : int }
+      (** deliver the head of the [src -> dst] channel *)
+  | Lose of { src : int; dst : int }
+      (** destroy the head of the [src -> dst] channel *)
+  | Change_cost of { src : int; dst : int; cost : float }
+      (** apply the pending cost change at [src]'s end of the link *)
+
+type scenario = {
+  name : string;
+  topo : Graph.t;
+  cost : Graph.link -> float;  (** initial link costs *)
+  change : (int * int * float) option;
+      (** one duplex cost change [(a, b, cost)]; each direction is an
+          independently schedulable action *)
+  losses : int;  (** adversary's message-loss budget *)
+  max_states : int;  (** state cap; exploration reports [complete = false]
+                         when it bites *)
+}
+
+type invariant = {
+  inv_name : string;
+  holds : Router.t array -> dst:int -> bool;
+}
+
+val acyclic_invariant : invariant
+val lfi_invariant : invariant
+
+val standard_invariants : invariant list
+(** Successor-graph acyclicity plus the LFI conditions — what MPDA
+    guarantees in every state (paper Theorem 4). *)
+
+val broken_feasibility_invariant : invariant
+(** A deliberately too-strong feasibility condition (demands a unit
+    margin between FD and every neighbor's report). MPDA does not
+    satisfy it; used as the negative test that the checker actually
+    finds and minimizes counterexamples. *)
+
+type violation = {
+  failed : string;  (** name of the violated invariant *)
+  at_dst : int;
+  trace : action list;
+      (** minimal-length reproduction from the initial state *)
+}
+
+type stats = {
+  scenario_name : string;
+  states : int;  (** distinct states visited, including the initial one *)
+  transitions : int;
+  max_depth : int;
+  complete : bool;  (** false iff the state cap was exhausted *)
+  violation : violation option;
+}
+
+val explore : ?invariants:invariant list -> scenario -> stats
+(** Breadth-first search from the state where every link has just come
+    up (all initial full-table LSUs in flight). Defaults to
+    {!standard_invariants}; stops at the first violation. *)
+
+val bundled : ?max_states:int -> unit -> scenario list
+(** The shipped 3-5-node scenario corpus (triangles, lines, diamonds
+    and rings, with and without a cost change / a message loss). *)
+
+val describe_action : Graph.t -> action -> string
+
+val render_trace : Graph.t -> violation -> string
+(** Human-readable minimized counterexample. *)
+
+val render_stats : stats -> string
+(** One line per scenario for the [mdrsim verify] report. *)

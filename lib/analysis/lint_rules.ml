@@ -1,0 +1,352 @@
+(* Repo-specific static analysis over our own OCaml sources.
+
+   The rules encode invariants the simulator's correctness depends on
+   but the type checker cannot see:
+
+   - [float-compare]: raw [=] / [<>] / [compare] on floats. Polymorphic
+     equality disagrees with IEEE on nan, and exact equality of
+     computed floats is a latent bug; use [Float.equal] (sentinels) or
+     [Mdr_util.Float_cmp] (computed values).
+   - [hashtbl-iteration]: [Hashtbl.iter]/[Hashtbl.fold] in protocol and
+     simulation code ([lib/routing], [lib/netsim], [lib/eventsim],
+     [lib/faults]). Bucket order depends on insertion history; if it
+     leaks into router state or event scheduling, runs stop being a
+     deterministic function of the seed. Use [Mdr_util.Sorted_tbl].
+   - [catch-all-handler]: [try ... with _ ->] (or a catch-all variable)
+     in protocol code swallows assertion failures and protocol
+     invariant violations; match specific exceptions.
+   - [obj-magic]: [Obj.magic] anywhere.
+   - [stdout-in-lib]: printing to stdout from inside [lib/]; libraries
+     must return or log data, only binaries own the terminal.
+
+   The pass parses each .ml file with compiler-libs and walks the
+   Parsetree with [Ast_iterator]; it needs no type information, so the
+   float rule is syntactic: a comparison is flagged when either operand
+   is evidently a float (float literal, float arithmetic, a known
+   float constant, or [float_of_int ...]).
+
+   Every rule has an allowlist at [lint/<rule>.allow] ([path] or
+   [path:line] lines, [#] comments) so deliberate exceptions are
+   recorded in-tree and reviewed like code. *)
+
+type violation = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type rule = {
+  name : string;
+  what : string;  (* one-line description for reports *)
+  scope : string list;  (* directory prefixes; [] = everywhere scanned *)
+}
+
+let rules =
+  [
+    {
+      name = "float-compare";
+      what = "raw =/<>/compare on floats; use Float.equal or Mdr_util.Float_cmp";
+      scope = [];
+    };
+    {
+      name = "hashtbl-iteration";
+      what =
+        "Hashtbl.iter/fold in protocol or sim code; use Mdr_util.Sorted_tbl for \
+         deterministic order";
+      scope = [ "lib/routing"; "lib/netsim"; "lib/eventsim"; "lib/faults" ];
+    };
+    {
+      name = "catch-all-handler";
+      what = "catch-all exception handler in protocol code; match specific exceptions";
+      scope = [ "lib/routing"; "lib/faults" ];
+    };
+    { name = "obj-magic"; what = "Obj.magic defeats the type system"; scope = [] };
+    {
+      name = "stdout-in-lib";
+      what = "printing to stdout from a library; return strings or use stderr";
+      scope = [ "lib" ];
+    };
+  ]
+
+let find_rule name = List.find (fun r -> r.name = name) rules
+
+(* --- Scoping and allowlists ----------------------------------------- *)
+
+let normalize path =
+  (* Strip a leading "./" so scopes and allowlists match either form. *)
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let in_scope rule ~file =
+  let file = normalize file in
+  rule.scope = []
+  || List.exists
+       (fun prefix ->
+         let p = prefix ^ "/" in
+         String.length file >= String.length p
+         && String.sub file 0 (String.length p) = p)
+       rule.scope
+
+type allow = { allow_file : string; allow_line : int option }
+
+let parse_allow_line s =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then None
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let path = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt tail with
+      | Some line -> Some { allow_file = normalize path; allow_line = Some line }
+      | None -> Some { allow_file = normalize s; allow_line = None })
+    | None -> Some { allow_file = normalize s; allow_line = None }
+
+let load_allowlist ~allow_dir rule =
+  let path = Filename.concat allow_dir (rule.name ^ ".allow") in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         match parse_allow_line (input_line ic) with
+         | Some a -> entries := a :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let allowed allows v =
+  List.exists
+    (fun a ->
+      a.allow_file = normalize v.file
+      && match a.allow_line with None -> true | Some l -> l = v.line)
+    allows
+
+(* --- The AST walk ----------------------------------------------------- *)
+
+open Parsetree
+
+let loc_of (l : Location.t) =
+  (l.loc_start.pos_lnum, l.loc_start.pos_cnum - l.loc_start.pos_bol)
+
+let longident e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+let float_constants =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+(* Syntactic evidence that [e] has type float. Deliberately shallow:
+   no type inference, just the shapes that occur in practice. *)
+let is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Longident.Lident name; _ } -> List.mem name float_constants
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident ("Float" | "Stdlib"), name); _ }
+    ->
+    List.mem name float_constants
+  | Pexp_apply (f, _) -> (
+    match longident f with
+    | Some (Longident.Lident op) when List.mem op float_ops -> true
+    | Some (Longident.Lident "float_of_int") -> true
+    | Some (Longident.Ldot (Longident.Lident "Float", fn)) ->
+      (* Float.min, Float.abs, Float.of_int, ... return floats;
+         predicates and conversions out of float do not. *)
+      not
+        (List.mem fn
+           [ "equal"; "compare"; "is_nan"; "is_finite"; "is_integer"; "to_int"; "to_string" ])
+    | _ -> false)
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ }) ->
+    true
+  | _ -> false
+
+let is_catch_all case =
+  (match case.pc_lhs.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_var _ -> true
+  | _ -> false)
+  && case.pc_guard = None
+
+let hashtbl_target = function
+  | Longident.Ldot (Longident.Lident "Hashtbl", ("iter" | "fold" as fn)) -> Some fn
+  | _ -> None
+
+let stdout_printer = function
+  | Longident.Lident
+      (( "print_endline" | "print_string" | "print_newline" | "print_int"
+       | "print_float" | "print_char" ) as fn) ->
+    Some fn
+  | Longident.Ldot (Longident.Lident "Printf", "printf") -> Some "Printf.printf"
+  | Longident.Ldot (Longident.Lident "Format", ("printf" | "print_string" as fn)) ->
+    Some ("Format." ^ fn)
+  | _ -> None
+
+let scan_structure ~file structure =
+  let out = ref [] in
+  let report rule_name loc message =
+    let rule = find_rule rule_name in
+    if in_scope rule ~file then begin
+      let line, col = loc_of loc in
+      out := { rule = rule_name; file = normalize file; line; col; message } :: !out
+    end
+  in
+  let check_expr e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      match longident f with
+      | Some (Longident.Lident (("=" | "<>" | "==" | "!=") as op))
+        when List.exists (fun (_, a) -> is_floatish a) args ->
+        report "float-compare" e.pexp_loc
+          (Printf.sprintf "float compared with (%s)" op)
+      | Some
+          (( Longident.Lident "compare"
+           | Longident.Ldot (Longident.Lident "Stdlib", "compare") ))
+        when List.exists (fun (_, a) -> is_floatish a) args ->
+        report "float-compare" e.pexp_loc "polymorphic compare on a float"
+      | Some _ | None -> ())
+    | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Obj", "magic"); _ } ->
+      report "obj-magic" e.pexp_loc "Obj.magic"
+    | Pexp_ident { txt; _ } -> (
+      (* The ident node is reached whether the function is applied or
+         passed as a value, so applied uses are not reported twice. *)
+      (match hashtbl_target txt with
+      | Some fn ->
+        report "hashtbl-iteration" e.pexp_loc
+          (Printf.sprintf "Hashtbl.%s iterates in bucket order" fn)
+      | None -> ());
+      match stdout_printer txt with
+      | Some fn -> report "stdout-in-lib" e.pexp_loc (fn ^ " writes to stdout")
+      | None -> ())
+    | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          if is_catch_all c then
+            report "catch-all-handler" c.pc_lhs.ppat_loc
+              "catch-all exception handler")
+        cases
+    | _ -> ());
+    ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let iter =
+    {
+      super with
+      expr =
+        (fun self e ->
+          check_expr e;
+          super.expr self e);
+    }
+  in
+  iter.structure iter structure;
+  List.rev !out
+
+(* --- Driver ----------------------------------------------------------- *)
+
+exception Parse_failure of { file : string; message : string }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  try Parse.implementation lexbuf
+  with exn ->
+    raise
+      (Parse_failure
+         { file = path; message = Printexc.to_string exn })
+
+let scan_file ?path ~file () =
+  (* [path]: where to read the source (defaults to [file]); [file]: the
+     root-relative name used for scoping and reporting. *)
+  let path = match path with Some p -> p | None -> file in
+  scan_structure ~file (parse_file path)
+
+let rec ml_files_under dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           let path = Filename.concat dir entry in
+           if Sys.is_directory path then
+             if entry = "_build" || entry.[0] = '.' then [] else ml_files_under path
+           else if Filename.check_suffix entry ".ml" then [ path ]
+           else [])
+
+type report = {
+  files_scanned : int;
+  violations : violation list;  (* after allowlisting *)
+  suppressed : int;  (* allowlisted hits *)
+}
+
+let run ?(dirs = [ "lib"; "bin" ]) ?(allow_dir = "lint") ~root () =
+  let allows =
+    List.map (fun r -> (r.name, load_allowlist ~allow_dir:(Filename.concat root allow_dir) r)) rules
+  in
+  let files =
+    List.concat_map (fun d -> ml_files_under (Filename.concat root d)) dirs
+  in
+  let strip file =
+    (* Report paths relative to the repo root. *)
+    let r = root ^ "/" in
+    if String.length file > String.length r && String.sub file 0 (String.length r) = r
+    then String.sub file (String.length r) (String.length file - String.length r)
+    else file
+  in
+  let all = List.concat_map (fun f -> scan_file ~path:f ~file:(strip f) ()) files in
+  let kept, suppressed =
+    List.partition (fun v -> not (allowed (List.assoc v.rule allows) v)) all
+  in
+  { files_scanned = List.length files; violations = kept; suppressed = List.length suppressed }
+
+(* --- Rendering --------------------------------------------------------- *)
+
+let render_violation v =
+  Printf.sprintf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+
+let render report =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun v -> Buffer.add_string b (render_violation v ^ "\n"))
+    report.violations;
+  Buffer.add_string b
+    (Printf.sprintf "lint: %d file(s), %d violation(s), %d allowlisted\n"
+       report.files_scanned
+       (List.length report.violations)
+       report.suppressed);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json report =
+  let violation v =
+    Printf.sprintf
+      {|    {"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
+      (json_escape v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
+  in
+  Printf.sprintf
+    "{\n  \"files_scanned\": %d,\n  \"suppressed\": %d,\n  \"violations\": [\n%s\n  ]\n}\n"
+    report.files_scanned report.suppressed
+    (String.concat ",\n" (List.map violation report.violations))

@@ -1,0 +1,53 @@
+(** Custom static analysis over the repo's own sources.
+
+    Parses each [.ml] file with compiler-libs, walks the Parsetree, and
+    enforces the repo-specific rules described in the implementation
+    (float equality, deterministic hash-table iteration, catch-all
+    handlers, [Obj.magic], stdout printing in libraries). No type
+    information is used, so the float rule is syntactic and
+    deliberately conservative.
+
+    Allowlists live at [<root>/lint/<rule>.allow]; each line is a
+    [path] (whole file) or [path:line] entry relative to the root, [#]
+    starts a comment. *)
+
+type violation = {
+  rule : string;
+  file : string;  (* relative to the scan root *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+type rule = {
+  name : string;
+  what : string;
+  scope : string list;  (** directory prefixes; [] = everywhere scanned *)
+}
+
+val rules : rule list
+
+exception Parse_failure of { file : string; message : string }
+
+val scan_file : ?path:string -> file:string -> unit -> violation list
+(** Lint a single file. [path] is where the source is read (defaults
+    to [file]); [file] is the root-relative name used for rule scoping
+    and in reports. No allowlisting is applied. Raises
+    {!Parse_failure} if the file does not parse. *)
+
+type report = {
+  files_scanned : int;
+  violations : violation list;
+  suppressed : int;  (** allowlisted hits *)
+}
+
+val run : ?dirs:string list -> ?allow_dir:string -> root:string -> unit -> report
+(** Scan every [.ml] file under [root/dirs] (default [lib] and [bin]),
+    apply allowlists from [root/allow_dir] (default [lint]), and
+    report violations with paths relative to [root]. *)
+
+val render_violation : violation -> string
+(** [file:line:col: [rule] message] — one line, greppable. *)
+
+val render : report -> string
+val to_json : report -> string

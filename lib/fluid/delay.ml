@@ -41,7 +41,7 @@ let second t f =
 
 let sojourn t f =
   if f < 0.0 then invalid_arg "Delay.sojourn: negative flow";
-  if f = 0.0 then (1.0 /. t.capacity) +. t.prop_delay
+  if Float.equal f 0.0 then (1.0 /. t.capacity) +. t.prop_delay
   else if f <= knee t then (1.0 /. (t.capacity -. f)) +. t.prop_delay
   else cost t f /. f
 

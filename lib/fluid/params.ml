@@ -83,7 +83,7 @@ let set_fractions t ~node ~dst entries =
         (Printf.sprintf "Params.set_fractions: fractions sum to %.9f, not 1" !total)
     end;
     (* Renormalize away accumulated floating error. *)
-    if !total <> 1.0 then
+    if not (Float.equal !total 1.0) then
       Array.iteri (fun slot v -> row.(slot) <- v /. !total) row
 
 let set_single t ~node ~dst ~via = set_fractions t ~node ~dst [ (via, 1.0) ]

@@ -81,7 +81,7 @@ let update_destination ?(second_order = false) model params flows ~eta ~dst =
         in
         let phi k = Params.fraction params ~node ~dst ~via:k in
         let blocked k =
-          phi k = 0.0 && (delta.(k) >= delta.(node) || improper.(k))
+          Float.equal (phi k) 0.0 && (delta.(k) >= delta.(node) || improper.(k))
         in
         let candidates = Array.to_list nbrs in
         let best =

@@ -2,6 +2,7 @@ module Graph = Mdr_topology.Graph
 module Engine = Mdr_eventsim.Engine
 module Rng = Mdr_util.Rng
 module Stats = Mdr_util.Stats
+module Sorted_tbl = Mdr_util.Sorted_tbl
 module Router = Mdr_routing.Router
 module Lfi = Mdr_routing.Lfi
 module Estimator = Mdr_costs.Estimator
@@ -232,7 +233,7 @@ let adjust_forwarding sim ns =
     | Some ls -> ls.short_cost
     | None -> infinity
   in
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun dst current ->
       match current with
       | [] | [ _ ] -> ()
@@ -243,7 +244,7 @@ let adjust_forwarding sim ns =
             ()
         in
         Hashtbl.replace ns.forwarding dst adjusted)
-    (Hashtbl.copy ns.forwarding)
+    ns.forwarding
 
 (* --- Control plane ---------------------------------------------------- *)
 
@@ -272,7 +273,7 @@ let long_term_tick sim ns =
   (* Fold the T_s samples of the closing interval into long-term costs
      and flood them through MPDA. *)
   let updates = ref [] in
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun k ls ->
       let cost =
         if ls.samples > 0 then ls.accum /. float_of_int ls.samples
@@ -291,7 +292,7 @@ let long_term_tick sim ns =
     (List.sort compare !updates)
 
 let short_term_tick sim ns =
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun _k ls ->
       let sample = Link.sample_cost ls.link in
       ls.short_cost <- sample.Estimator.marginal;
@@ -521,7 +522,7 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
       ns.alive <- false;
       (* Every adjacent link goes down; queued and in-service packets
          are lost. Live neighbors detect the loss and reconverge. *)
-      Hashtbl.iter (fun _ ls -> Link.fail ls.link) ns.out;
+      Sorted_tbl.iter (fun _ ls -> Link.fail ls.link) ns.out;
       List.iter (fun k -> fail_direction ~src:k ~dst:node) (Graph.neighbors topo node);
       (* The node loses all routing state. *)
       ns.router <- Router.create ~mode:Router.Mpda ~id:node ~n;
@@ -609,13 +610,13 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
   let max_mean_queue =
     Array.fold_left
       (fun acc ns ->
-        Hashtbl.fold (fun _ ls acc -> Float.max acc (Link.mean_queue ls.link)) ns.out acc)
+        Sorted_tbl.fold (fun _ ls acc -> Float.max acc (Link.mean_queue ls.link)) ns.out acc)
       0.0 nodes
   in
   let links =
     Array.to_list nodes
     |> List.concat_map (fun ns ->
-           Hashtbl.fold
+           Sorted_tbl.fold
              (fun dst ls acc ->
                {
                  src = ns.id;

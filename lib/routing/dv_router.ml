@@ -12,11 +12,11 @@ type t = {
   n : int;
   adjacent : (int, float) Hashtbl.t;
   nbr_vectors : (int, float array) Hashtbl.t;  (* D_jk as reported by k *)
-  mutable dist : float array;  (* D_j *)
-  mutable advertised : float array;  (* last vector sent to neighbors *)
+  dist : float array;  (* D_j *)
+  advertised : float array;  (* last vector sent to neighbors *)
   fd : float array;
   mutable succ : int list array;
-  mutable first_hop : int array;
+  first_hop : int array;
   mutable active : bool;
   pending : (int, int) Hashtbl.t;
   mutable needs_full : int list;
@@ -62,8 +62,7 @@ let neighbor_distance t ~nbr ~dst =
   | None -> infinity
   | Some v -> v.(dst)
 
-let up_neighbors t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.adjacent [] |> List.sort compare
+let up_neighbors t = Mdr_util.Sorted_tbl.keys t.adjacent
 
 let messages_sent t = t.sent
 

@@ -62,7 +62,7 @@ module Make (R : ROUTER) = struct
     mutable rto_max : float;
     mutable retransmissions : int;
     mutable transport_acks : int;
-    mutable observer : t -> unit;
+    observer : t -> unit;
   }
 
   let engine t = t.engine

@@ -1,3 +1,5 @@
+module Sorted_tbl = Mdr_util.Sorted_tbl
+
 type mode = Pda | Mpda
 
 type msg = {
@@ -73,8 +75,7 @@ let neighbor_distance t ~nbr ~dst =
 let link_cost t ~nbr =
   match Hashtbl.find_opt t.adjacent nbr with Some c -> c | None -> infinity
 
-let up_neighbors t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.adjacent [] |> List.sort compare
+let up_neighbors t = Sorted_tbl.keys t.adjacent
 
 let main_table t = Topo_table.copy t.main
 
@@ -142,7 +143,7 @@ let mtu t =
         | _ -> if Float.is_finite d then Some (k, d) else best)
       None nbrs
   in
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun j () ->
       if j <> t.id then
         match preferred_for j with
@@ -316,3 +317,77 @@ let handle_msg t ~from_ msg =
     let ack_to = Option.map (fun s -> (from_, s)) msg.seq in
     process t ~ack_to ~ack_received
   end
+
+(* --- Deep copy and canonical state (for the model checker) ----------- *)
+
+let copy t =
+  let copy_tbl copy_v src =
+    let fresh = Hashtbl.create (Hashtbl.length src) in
+    Sorted_tbl.iter (fun k v -> Hashtbl.replace fresh k (copy_v v)) src;
+    fresh
+  in
+  {
+    t with
+    main = Topo_table.copy t.main;
+    nbr_tables = copy_tbl Topo_table.copy t.nbr_tables;
+    nbr_dist = copy_tbl Array.copy t.nbr_dist;
+    adjacent = copy_tbl Fun.id t.adjacent;
+    dist = Array.copy t.dist;
+    first_hop = Array.copy t.first_hop;
+    fd = Array.copy t.fd;
+    succ = Array.copy t.succ;
+    pending = copy_tbl Fun.id t.pending;
+  }
+
+let fingerprint t =
+  let b = Buffer.create 512 in
+  let flt v = Buffer.add_string b (Printf.sprintf "%h," v) in
+  let int v = Buffer.add_string b (string_of_int v ^ ",") in
+  let table tab =
+    List.iter
+      (fun (e : Topo_table.entry) ->
+        int e.head;
+        int e.tail;
+        flt e.cost)
+      (Topo_table.entries tab);
+    Buffer.add_char b ';'
+  in
+  int t.id;
+  Buffer.add_string b (match t.mode with Mpda -> "M" | Pda -> "P");
+  Buffer.add_string b (if t.active then "A|" else "p|");
+  table t.main;
+  Sorted_tbl.iter
+    (fun k tab ->
+      int k;
+      table tab)
+    t.nbr_tables;
+  Buffer.add_char b '|';
+  Sorted_tbl.iter
+    (fun k d ->
+      int k;
+      Array.iter flt d)
+    t.nbr_dist;
+  Buffer.add_char b '|';
+  Sorted_tbl.iter
+    (fun k c ->
+      int k;
+      flt c)
+    t.adjacent;
+  Buffer.add_char b '|';
+  Array.iter flt t.dist;
+  Buffer.add_char b '|';
+  Array.iter int t.first_hop;
+  Buffer.add_char b '|';
+  Array.iter flt t.fd;
+  Buffer.add_char b '|';
+  Array.iter (fun s -> List.iter int s; Buffer.add_char b ';') t.succ;
+  Buffer.add_char b '|';
+  Sorted_tbl.iter
+    (fun k s ->
+      int k;
+      int s)
+    t.pending;
+  Buffer.add_char b '|';
+  List.iter int (List.sort compare t.needs_full);
+  int t.next_seq;
+  Buffer.contents b

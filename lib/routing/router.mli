@@ -82,3 +82,15 @@ val main_table : t -> Topo_table.t
 
 val stats_messages_sent : t -> int
 val stats_events : t -> int
+
+val copy : t -> t
+(** Deep copy: the clone shares no mutable state with the original.
+    Used by the interleaving model checker to branch executions. *)
+
+val fingerprint : t -> string
+(** Canonical serialization of the router's complete protocol state
+    (tables, distances, FD, successors, pending ACKs, sequence
+    counters). Two routers with equal fingerprints behave identically
+    on all future inputs; statistics counters ([stats_messages_sent],
+    [stats_events]) are excluded. Iteration order is deterministic, so
+    the string is stable across runs. *)

@@ -1,3 +1,5 @@
+module Sorted_tbl = Mdr_util.Sorted_tbl
+
 type entry = { head : int; tail : int; cost : float }
 
 type t = {
@@ -9,8 +11,8 @@ let create () = { links = Hashtbl.create 32; adjacency = Hashtbl.create 16 }
 
 let copy t =
   let fresh = create () in
-  Hashtbl.iter (fun k v -> Hashtbl.replace fresh.links k v) t.links;
-  Hashtbl.iter
+  Sorted_tbl.iter (fun k v -> Hashtbl.replace fresh.links k v) t.links;
+  Sorted_tbl.iter
     (fun h out -> Hashtbl.replace fresh.adjacency h (Hashtbl.copy out))
     t.adjacency;
   fresh
@@ -48,36 +50,35 @@ let apply_entry t { head; tail; cost } =
   if Float.is_finite cost then set t ~head ~tail ~cost else remove t ~head ~tail
 
 let entries t =
-  Hashtbl.fold (fun (head, tail) cost acc -> { head; tail; cost } :: acc) t.links []
-  |> List.sort (fun a b -> compare (a.head, a.tail) (b.head, b.tail))
+  Sorted_tbl.fold (fun (head, tail) cost acc -> { head; tail; cost } :: acc) t.links []
+  |> List.rev
 
 let out_links t ~head =
   match Hashtbl.find_opt t.adjacency head with
   | None -> []
   | Some out ->
-    Hashtbl.fold (fun tail cost acc -> (tail, cost) :: acc) out []
-    |> List.sort compare
+    Sorted_tbl.fold (fun tail cost acc -> (tail, cost) :: acc) out [] |> List.rev
 
 let nodes t =
   let seen = Hashtbl.create 16 in
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun (head, tail) _ ->
       Hashtbl.replace seen head ();
       Hashtbl.replace seen tail ())
     t.links;
-  Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort compare
+  Sorted_tbl.keys seen
 
 let size t = Hashtbl.length t.links
 
 let diff ~old_table ~new_table =
   let changes = ref [] in
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun (head, tail) cost ->
       match Hashtbl.find_opt old_table.links (head, tail) with
-      | Some old_cost when old_cost = cost -> ()
+      | Some old_cost when Float.equal old_cost cost -> ()
       | Some _ | None -> changes := { head; tail; cost } :: !changes)
     new_table.links;
-  Hashtbl.iter
+  Sorted_tbl.iter
     (fun (head, tail) _ ->
       if not (Hashtbl.mem new_table.links (head, tail)) then
         changes := { head; tail; cost = infinity } :: !changes)
@@ -86,6 +87,11 @@ let diff ~old_table ~new_table =
 
 let equal a b =
   Hashtbl.length a.links = Hashtbl.length b.links
-  && Hashtbl.fold
-       (fun key cost acc -> acc && Hashtbl.find_opt b.links key = Some cost)
+  && Sorted_tbl.fold
+       (fun key cost acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.links key with
+         | Some c -> Float.equal c cost
+         | None -> false)
        a.links true

@@ -19,12 +19,13 @@ let entry_cmp h a b =
   let c = h.cmp a.value b.value in
   if c <> 0 then c else compare a.seq b.seq
 
-let grow h =
+let grow h ~seed =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    (* Dummy slot reuses an existing entry; never read past [size]. *)
-    let dummy = if cap = 0 then { value = Obj.magic 0; seq = -1 } else h.data.(0) in
+    (* Dummy slot reuses an existing entry (or the value being added
+       when the heap is empty); never read past [size]. *)
+    let dummy = if cap = 0 then { value = seed; seq = -1 } else h.data.(0) in
     let ndata = Array.make ncap dummy in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
@@ -54,7 +55,7 @@ let rec sift_down h i =
   end
 
 let add h x =
-  grow h;
+  grow h ~seed:x;
   h.data.(h.size) <- { value = x; seq = h.next_seq };
   h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;

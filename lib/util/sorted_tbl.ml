@@ -1,0 +1,21 @@
+(* Deterministic iteration over hash tables.
+
+   [Hashtbl.iter]/[Hashtbl.fold] visit buckets in an order that depends
+   on the table's internal layout — insertion history, resizes, and (if
+   randomized hashing is ever enabled) the process seed. Protocol and
+   simulation code must never let that order leak into router state,
+   message emission order, or event scheduling, or runs stop being a
+   pure function of the seed. These wrappers visit bindings in
+   ascending key order instead; the repo's lint forbids raw
+   [Hashtbl.iter]/[Hashtbl.fold] in [lib/routing], [lib/netsim],
+   [lib/eventsim] and [lib/faults] in favour of this module. *)
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort_uniq compare
+
+let bindings t = List.map (fun k -> (k, Hashtbl.find t k)) (keys t)
+
+let iter f t = List.iter (fun (k, v) -> f k v) (bindings t)
+
+let fold f t init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (bindings t)

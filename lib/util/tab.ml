@@ -34,13 +34,13 @@ let render ?align ~header rows =
 
 let float_cell ?(decimals = 3) v =
   if Float.is_nan v then "nan"
-  else if v = infinity then "inf"
-  else if v = neg_infinity then "-inf"
+  else if Float.equal v infinity then "inf"
+  else if Float.equal v neg_infinity then "-inf"
   else Printf.sprintf "%.*f" decimals v
 
 let series ~title ~x_label ~columns rows =
   let header = x_label :: columns in
   let body =
-    List.map (fun (x, values) -> x :: List.map float_cell values) rows
+    List.map (fun (x, values) -> x :: List.map (fun v -> float_cell v) values) rows
   in
   Printf.sprintf "== %s ==\n%s" title (render ~header body)

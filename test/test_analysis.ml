@@ -1,0 +1,281 @@
+(* The correctness-tooling layer: the lint rules, the bounded MPDA
+   interleaving checker (plus the LFI oracle's edge cases), and the
+   determinism sanitizer. *)
+
+module Lfi = Mdr_routing.Lfi
+module Lint = Mdr_analysis.Lint_rules
+module Interleave = Mdr_analysis.Interleave
+module Determinism = Mdr_analysis.Determinism
+module Graph = Mdr_topology.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- LFI oracle edge cases --------------------------------------------- *)
+
+let no_neighbors _ = []
+let inf_feasible ~node:_ ~dst:_ = infinity
+let inf_reported ~holder:_ ~about:_ ~dst:_ = infinity
+
+let test_lfi_single_node () =
+  (* A 1-node network: the only router is the destination; there is
+     nothing to check and nothing to loop through. *)
+  check "acyclic" true
+    (Lfi.successor_graph_acyclic ~n:1 ~successors:(fun ~node:_ -> []) ~dst:0);
+  check "lfi holds" true
+    (Lfi.lfi_conditions_hold ~n:1 ~neighbors:no_neighbors ~feasible:inf_feasible
+       ~reported:inf_reported ~dst:0)
+
+let test_lfi_disconnected_destination () =
+  (* Three routers, the destination unreachable: every distance is
+     infinite and every successor set empty. Infinite feasible
+     distances must not be flagged (Eq. 16 compares two infinities). *)
+  let neighbors = function 0 -> [ 1 ] | 1 -> [ 0 ] | _ -> [] in
+  check "acyclic" true
+    (Lfi.successor_graph_acyclic ~n:3 ~successors:(fun ~node:_ -> []) ~dst:2);
+  check "lfi holds vacuously" true
+    (Lfi.lfi_conditions_hold ~n:3 ~neighbors ~feasible:inf_feasible
+       ~reported:inf_reported ~dst:2)
+
+let test_lfi_self_loop_successor () =
+  (* A router naming itself as successor is a 1-cycle: the graph walk
+     must catch it, not just longer loops. *)
+  let successors ~node = if node = 1 then [ 1 ] else [] in
+  check "self-loop is a cycle" false
+    (Lfi.successor_graph_acyclic ~n:3 ~successors ~dst:0);
+  match Lfi.find_cycle ~n:3 ~successors ~dst:0 with
+  | Some cycle -> check "witness contains the looping node" true (List.mem 1 cycle)
+  | None -> Alcotest.fail "self-loop not found"
+
+let test_lfi_empty_successor_sets () =
+  (* All-empty successor sets (e.g. just after a reset) are trivially
+     acyclic: no edges, no cycle. *)
+  check "acyclic" true
+    (Lfi.successor_graph_acyclic ~n:5 ~successors:(fun ~node:_ -> []) ~dst:4)
+
+let test_lfi_two_cycle () =
+  (* Sanity: the oracle does reject a real 2-cycle. *)
+  let successors ~node = match node with 0 -> [ 1 ] | 1 -> [ 0 ] | _ -> [] in
+  check "2-cycle rejected" false
+    (Lfi.successor_graph_acyclic ~n:3 ~successors ~dst:2)
+
+let test_lfi_violation_detected () =
+  (* A successor whose feasible distance exceeds the copy a neighbor
+     holds violates Eq. 16. *)
+  let neighbors = function 0 -> [ 1 ] | 1 -> [ 0 ] | _ -> [] in
+  let feasible ~node ~dst:_ = if node = 1 then 5.0 else 1.0 in
+  let reported ~holder ~about ~dst:_ =
+    if holder = 0 && about = 1 then 3.0 else infinity
+  in
+  check "violation flagged" false
+    (Lfi.lfi_conditions_hold ~n:2 ~neighbors ~feasible ~reported ~dst:0)
+
+(* --- Interleaving checker ---------------------------------------------- *)
+
+let test_interleave_triangle_exhaustive () =
+  let sc = List.hd (Interleave.bundled ~max_states:100_000 ()) in
+  let st = Interleave.explore sc in
+  check "exhaustive" true st.Interleave.complete;
+  check "no violation" true (st.Interleave.violation = None);
+  check "nontrivial state space" true (st.Interleave.states > 500)
+
+let test_interleave_corpus () =
+  (* The bundled 3-5-node corpus: every reachable state of every
+     scenario satisfies acyclicity and the LFI conditions, and the
+     corpus is big enough to mean something (>= 10k distinct states
+     even under a per-scenario cap that keeps the test fast). *)
+  let stats = List.map Interleave.explore (Interleave.bundled ~max_states:2_000 ()) in
+  List.iter
+    (fun st ->
+      check
+        (Printf.sprintf "%s: loop-free in all states" st.Interleave.scenario_name)
+        true
+        (st.Interleave.violation = None))
+    stats;
+  let total = List.fold_left (fun acc st -> acc + st.Interleave.states) 0 stats in
+  check "corpus explores >= 10k states" true (total >= 10_000)
+
+let test_interleave_negative () =
+  (* The checker must actually find violations when they exist: the
+     deliberately too-strong feasibility condition fails on the plain
+     triangle, and the reported trace is minimal and replayable. *)
+  let sc = List.hd (Interleave.bundled ~max_states:100_000 ()) in
+  match
+    (Interleave.explore ~invariants:[ Interleave.broken_feasibility_invariant ] sc)
+      .Interleave.violation
+  with
+  | None -> Alcotest.fail "broken invariant not caught"
+  | Some v ->
+    check "names the invariant" true
+      (String.equal v.Interleave.failed "broken-feasibility-margin");
+    check "trace is nonempty" true (v.Interleave.trace <> []);
+    let rendered = Interleave.render_trace sc.Interleave.topo v in
+    check "trace renders" true
+      (String.length rendered > 0
+      && String.length v.Interleave.failed > 0
+      && String.sub rendered 0 9 = "invariant")
+
+let test_interleave_deterministic () =
+  (* Same scenario, same exploration: state counts and traces are a
+     pure function of the scenario (no Hashtbl-order leakage). *)
+  let explore () =
+    let st = Interleave.explore (List.nth (Interleave.bundled ~max_states:1_500 ()) 3) in
+    (st.Interleave.states, st.Interleave.transitions, st.Interleave.max_depth)
+  in
+  let a = explore () and b = explore () in
+  check "replayed exploration identical" true (a = b)
+
+(* --- Lint rules -------------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let with_temp_repo f =
+  let root =
+    Filename.temp_file "mdr_lint_test" ""
+    |> fun p ->
+    Sys.remove p;
+    Sys.mkdir p 0o755;
+    p
+  in
+  List.iter
+    (fun d -> Sys.mkdir (Filename.concat root d) 0o755)
+    [ "lib"; "lib/routing"; "bin"; "lint" ];
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+    (fun () -> f root)
+
+let violations_of report = List.map (fun v -> v.Lint.rule) report.Lint.violations
+
+let test_lint_catches_seeded_violations () =
+  with_temp_repo (fun root ->
+      write_file
+        (Filename.concat root "lib/routing/bad.ml")
+        "let f x = x = 1.0\n\
+         let g tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n\
+         let h x = try x () with _ -> ()\n\
+         let cast x = Obj.magic x\n";
+      write_file (Filename.concat root "lib/clean.ml") "let id x = x\n";
+      let report = Lint.run ~root () in
+      let rules = violations_of report in
+      check_int "files scanned" 2 report.Lint.files_scanned;
+      check "float-compare caught" true (List.mem "float-compare" rules);
+      check "hashtbl-iteration caught" true (List.mem "hashtbl-iteration" rules);
+      check "catch-all caught" true (List.mem "catch-all-handler" rules);
+      check "obj-magic caught" true (List.mem "obj-magic" rules);
+      (* every violation carries a usable location *)
+      List.iter
+        (fun v ->
+          check "has file" true (v.Lint.file <> "");
+          check "has line" true (v.Lint.line > 0))
+        report.Lint.violations)
+
+let test_lint_scoping () =
+  (* The Hashtbl rule only applies to the protocol directories: the
+     same code outside them is legal. *)
+  with_temp_repo (fun root ->
+      let src = "let g tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n" in
+      write_file (Filename.concat root "lib/routing/inscope.ml") src;
+      write_file (Filename.concat root "bin/outofscope.ml") src;
+      let report = Lint.run ~root () in
+      match report.Lint.violations with
+      | [ v ] ->
+        check "flagged the scoped file" true
+          (String.equal v.Lint.file "lib/routing/inscope.ml")
+      | vs -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length vs)))
+
+let test_lint_allowlist () =
+  with_temp_repo (fun root ->
+      write_file
+        (Filename.concat root "lib/routing/waived.ml")
+        "let g tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n";
+      write_file
+        (Filename.concat root "lint/hashtbl-iteration.allow")
+        "# deliberate: benchmark scratch code\nlib/routing/waived.ml\n";
+      let report = Lint.run ~root () in
+      check_int "suppressed" 1 report.Lint.suppressed;
+      check "no violations" true (report.Lint.violations = []))
+
+let test_lint_clean_and_float_helpers () =
+  (* Float.equal / the epsilon helpers are the sanctioned spellings and
+     must not be flagged. *)
+  with_temp_repo (fun root ->
+      write_file
+        (Filename.concat root "lib/good.ml")
+        "let f x y = Float.equal x y\n\
+         let g x = Mdr_util.Float_cmp.approx x 1.0\n\
+         let h (a : int) b = a = b\n";
+      let report = Lint.run ~root () in
+      check "clean" true (report.Lint.violations = []))
+
+let test_lint_json () =
+  with_temp_repo (fun root ->
+      write_file (Filename.concat root "lib/bad.ml") "let f x = Obj.magic x\n";
+      let report = Lint.run ~root () in
+      let json = Lint.to_json report in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check "json mentions rule" true (contains "\"obj-magic\"" json);
+      check "json carries the location" true (contains "\"line\"" json))
+
+(* --- Determinism sanitizer --------------------------------------------- *)
+
+let test_determinism_harness_detects_divergence () =
+  let counter = ref 0 in
+  let flaky () =
+    incr counter;
+    string_of_int !counter
+  in
+  let o = Determinism.run_check ("flaky", flaky) in
+  check "divergence detected" false o.Determinism.deterministic;
+  let o = Determinism.run_check ("steady", fun () -> "same") in
+  check "steady trace passes" true o.Determinism.deterministic
+
+let test_determinism_fluid () =
+  let o = Determinism.run_check ("fluid-sp-opt", Determinism.fluid_trace ~load:0.9) in
+  check "fluid pipeline deterministic" true o.Determinism.deterministic
+
+let test_determinism_chaos () =
+  let o = Determinism.run_check ("chaos", Determinism.chaos_trace ~seed:11) in
+  check "chaos campaign deterministic" true o.Determinism.deterministic
+
+let test_determinism_netsim () =
+  let o = Determinism.run_check ("netsim", Determinism.netsim_trace ~seed:11) in
+  check "packet simulator deterministic" true o.Determinism.deterministic
+
+let suite =
+  [
+    Alcotest.test_case "LFI: single node" `Quick test_lfi_single_node;
+    Alcotest.test_case "LFI: disconnected destination" `Quick
+      test_lfi_disconnected_destination;
+    Alcotest.test_case "LFI: self-loop successor" `Quick test_lfi_self_loop_successor;
+    Alcotest.test_case "LFI: empty successor sets" `Quick test_lfi_empty_successor_sets;
+    Alcotest.test_case "LFI: 2-cycle rejected" `Quick test_lfi_two_cycle;
+    Alcotest.test_case "LFI: Eq. 16 violation detected" `Quick test_lfi_violation_detected;
+    Alcotest.test_case "interleave: triangle exhaustive, loop-free" `Slow
+      test_interleave_triangle_exhaustive;
+    Alcotest.test_case "interleave: bundled corpus >= 10k states, loop-free" `Slow
+      test_interleave_corpus;
+    Alcotest.test_case "interleave: broken invariant yields minimal trace" `Quick
+      test_interleave_negative;
+    Alcotest.test_case "interleave: exploration is deterministic" `Slow
+      test_interleave_deterministic;
+    Alcotest.test_case "lint: seeded violations caught with locations" `Quick
+      test_lint_catches_seeded_violations;
+    Alcotest.test_case "lint: rules respect directory scopes" `Quick test_lint_scoping;
+    Alcotest.test_case "lint: allowlist suppresses" `Quick test_lint_allowlist;
+    Alcotest.test_case "lint: sanctioned float spellings pass" `Quick
+      test_lint_clean_and_float_helpers;
+    Alcotest.test_case "lint: JSON report" `Quick test_lint_json;
+    Alcotest.test_case "determinism: harness detects divergence" `Quick
+      test_determinism_harness_detects_divergence;
+    Alcotest.test_case "determinism: fluid SP/OPT" `Slow test_determinism_fluid;
+    Alcotest.test_case "determinism: chaos campaign" `Slow test_determinism_chaos;
+    Alcotest.test_case "determinism: packet simulator MP/SP" `Slow
+      test_determinism_netsim;
+  ]

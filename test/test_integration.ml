@@ -172,5 +172,6 @@ let () =
       ("core", Test_core.suite);
       ("netsim", Test_netsim.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
       ("integration", suite);
     ]
