@@ -40,7 +40,7 @@ let main () =
     try
       let report = Lint.run ~dirs ~root () in
       print_string (if !json then Lint.to_json report else Lint.render report);
-      if report.Lint.violations = [] then 0 else 1
+      if report.Lint.violations = [] && report.Lint.stale_allow = [] then 0 else 1
     with Lint.Parse_failure { file; message } ->
       Printf.eprintf "lint: cannot parse %s: %s\n" file message;
       2)

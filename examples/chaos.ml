@@ -24,7 +24,7 @@ let () =
         ];
       channel =
         Channel.all
-          [ Channel.drop ~p:0.2; Channel.duplicate ~p:0.05; Channel.jitter ~max_delay:0.01 ];
+          [ Channel.drop ~p:0.2 (); Channel.duplicate ~p:0.05 (); Channel.jitter ~max_delay:0.01 () ];
       duration = 20.0;
     }
   in

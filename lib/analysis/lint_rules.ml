@@ -283,10 +283,17 @@ let rec ml_files_under dir =
            else if Filename.check_suffix entry ".ml" then [ path ]
            else [])
 
+type stale = {
+  stale_rule : string;
+  stale_file : string;
+  stale_line : int option;
+}
+
 type report = {
   files_scanned : int;
   violations : violation list;  (* after allowlisting *)
   suppressed : int;  (* allowlisted hits *)
+  stale_allow : stale list;  (* allowlist entries that matched nothing *)
 }
 
 let run ?(dirs = [ "lib"; "bin" ]) ?(allow_dir = "lint") ~root () =
@@ -307,23 +314,65 @@ let run ?(dirs = [ "lib"; "bin" ]) ?(allow_dir = "lint") ~root () =
   let kept, suppressed =
     List.partition (fun v -> not (allowed (List.assoc v.rule allows) v)) all
   in
-  { files_scanned = List.length files; violations = kept; suppressed = List.length suppressed }
+  (* Allowlist hygiene: an entry that suppresses nothing is a stale
+     exception — the code it excused was fixed or moved, and keeping
+     the entry would silently excuse the *next* violation at that
+     spot. Fail on it like any other violation. *)
+  let stale_allow =
+    List.concat_map
+      (fun (rule_name, entries) ->
+        List.filter_map
+          (fun a ->
+            let matches v =
+              v.rule = rule_name
+              && a.allow_file = v.file
+              && match a.allow_line with None -> true | Some l -> l = v.line
+            in
+            if List.exists matches all then None
+            else
+              Some
+                {
+                  stale_rule = rule_name;
+                  stale_file = a.allow_file;
+                  stale_line = a.allow_line;
+                })
+          entries)
+      allows
+  in
+  {
+    files_scanned = List.length files;
+    violations = kept;
+    suppressed = List.length suppressed;
+    stale_allow;
+  }
 
 (* --- Rendering --------------------------------------------------------- *)
 
 let render_violation v =
   Printf.sprintf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
 
+let render_stale s =
+  Printf.sprintf "lint/%s.allow: stale entry %s%s (suppresses nothing; remove it)"
+    s.stale_rule s.stale_file
+    (match s.stale_line with None -> "" | Some l -> Printf.sprintf ":%d" l)
+
 let render report =
   let b = Buffer.create 256 in
   List.iter
     (fun v -> Buffer.add_string b (render_violation v ^ "\n"))
     report.violations;
+  List.iter
+    (fun s -> Buffer.add_string b (render_stale s ^ "\n"))
+    report.stale_allow;
   Buffer.add_string b
-    (Printf.sprintf "lint: %d file(s), %d violation(s), %d allowlisted\n"
+    (Printf.sprintf
+       "lint: %d file(s), %d violation(s), %d allowlisted, %d stale allowlist \
+        entr%s\n"
        report.files_scanned
        (List.length report.violations)
-       report.suppressed);
+       report.suppressed
+       (List.length report.stale_allow)
+       (if List.length report.stale_allow = 1 then "y" else "ies"));
   Buffer.contents b
 
 let json_escape s =
@@ -346,7 +395,22 @@ let to_json report =
       {|    {"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
       (json_escape v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
   in
+  let stale s =
+    Printf.sprintf {|    {"rule": "%s", "file": "%s", "line": %s}|}
+      (json_escape s.stale_rule) (json_escape s.stale_file)
+      (match s.stale_line with None -> "null" | Some l -> string_of_int l)
+  in
   Printf.sprintf
-    "{\n  \"files_scanned\": %d,\n  \"suppressed\": %d,\n  \"violations\": [\n%s\n  ]\n}\n"
+    "{\n\
+    \  \"files_scanned\": %d,\n\
+    \  \"suppressed\": %d,\n\
+    \  \"violations\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"stale_allow\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     report.files_scanned report.suppressed
     (String.concat ",\n" (List.map violation report.violations))
+    (String.concat ",\n" (List.map stale report.stale_allow))

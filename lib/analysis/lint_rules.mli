@@ -35,10 +35,21 @@ val scan_file : ?path:string -> file:string -> unit -> violation list
     and in reports. No allowlisting is applied. Raises
     {!Parse_failure} if the file does not parse. *)
 
+type stale = {
+  stale_rule : string;
+  stale_file : string;  (* as written in the .allow file, normalized *)
+  stale_line : int option;
+}
+(** An allowlist entry that suppressed nothing in this scan: the code
+    it excused was fixed, moved or renamed. Stale entries are failures
+    too — left in place they would silently excuse the next violation
+    at that location. *)
+
 type report = {
   files_scanned : int;
   violations : violation list;
   suppressed : int;  (** allowlisted hits *)
+  stale_allow : stale list;  (** entries that matched nothing *)
 }
 
 val run : ?dirs:string list -> ?allow_dir:string -> root:string -> unit -> report

@@ -97,13 +97,13 @@ let random_plan ~rng ~topo profile =
     Channel.all
       [
         (if profile.max_drop > 0.0 then
-           Channel.drop ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_drop)
+           Channel.drop ~until_:d ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_drop) ()
          else Channel.ideal);
         (if profile.max_duplicate > 0.0 then
-           Channel.duplicate ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_duplicate)
+           Channel.duplicate ~until_:d ~p:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_duplicate) ()
          else Channel.ideal);
         (if profile.max_jitter > 0.0 then
-           Channel.jitter ~max_delay:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_jitter)
+           Channel.jitter ~until_:d ~max_delay:(Rng.uniform rng ~lo:0.0 ~hi:profile.max_jitter) ()
          else Channel.ideal);
         (if profile.blackout then
            let from_ = Rng.uniform rng ~lo:(0.1 *. d) ~hi:(0.7 *. d) in
@@ -125,6 +125,13 @@ type metrics = {
   messages : int;
   retransmissions : int;
   transport_acks : int;
+  hellos : int;
+  active_phases : int;
+  detection_latencies : float list;
+  detection_absorbed : int;
+  detection_false_positives : int;
+  blackhole_time : float;
+  permanent_blackhole : bool;
   reconvergence : float;
   converged : bool;
 }
@@ -136,6 +143,8 @@ module type NET = sig
   type t
 
   val create :
+    ?detection:Mdr_routing.Harness.detection ->
+    ?seed:int ->
     ?observer:(t -> unit) ->
     topo:Graph.t ->
     cost:(Graph.link -> float) ->
@@ -158,6 +167,13 @@ module type NET = sig
   val total_messages : t -> int
   val retransmissions : t -> int
   val transport_acks : t -> int
+  val hellos_sent : t -> int
+  val total_active_phases : t -> int
+  val link_is_up : t -> src:int -> dst:int -> bool
+  val node_is_up : t -> int -> bool
+  val adj_suppressed : t -> node:int -> nbr:int -> bool
+  val adj_flaps : t -> node:int -> nbr:int -> int
+  val trace : t -> (float * Mdr_routing.Harness.trace_event) list
   val successor_sets : t -> dst:int -> int -> int list
   val check_loop_free : t -> bool
   val check_lfi : t -> bool
@@ -166,14 +182,15 @@ end
 module Mpda_net = struct
   include Mdr_routing.Network
 
-  let create ?observer ~topo ~cost () = Mdr_routing.Network.create ?observer ~topo ~cost ()
+  let create ?detection ?seed ?observer ~topo ~cost () =
+    Mdr_routing.Network.create ?detection ?seed ?observer ~topo ~cost ()
 end
 
 module Dv_net = struct
   include Mdr_routing.Harness.Dv_network
 
-  let create ?observer ~topo ~cost () =
-    Mdr_routing.Harness.Dv_network.create ?observer ~topo ~cost ()
+  let create ?detection ?seed ?observer ~topo ~cost () =
+    Mdr_routing.Harness.Dv_network.create ?detection ?seed ?observer ~topo ~cost ()
 end
 
 (* Costs large enough that DV's RIP-style counting bound (horizon) is
@@ -203,15 +220,29 @@ let quiet_time plan =
     (Channel.quiet_after plan.channel)
     plan.faults
 
-let drive (type a) (module N : NET with type t = a) ~protocol ~cost ~settle_grace ~topo
-    ~seed plan =
+let drive (type a) (module N : NET with type t = a) ~protocol ~detection ~cost
+    ~settle_grace ~topo ~seed plan =
   let events = ref 0 and loopv = ref 0 and lfiv = ref 0 in
+  (* Blackhole time is audited from the first injected fault onward —
+     the initial cold-start flood (routers legitimately have no routes
+     yet) is not an outage. *)
+  let first_fault =
+    List.fold_left (fun acc f -> Float.min acc (fault_start f)) infinity plan.faults
+  in
+  let tracker = Recovery.tracker () in
   let observer net =
     incr events;
     if not (N.check_loop_free net) then incr loopv;
-    if not (N.check_lfi net) then incr lfiv
+    if not (N.check_lfi net) then incr lfiv;
+    let now = Engine.now (N.engine net) in
+    if now >= first_fault then
+      Recovery.observe tracker ~now
+        ~blackholed:
+          (Recovery.blackholed ~topo ~node_is_up:(N.node_is_up net)
+             ~link_is_up:(fun ~src ~dst -> N.link_is_up net ~src ~dst)
+             ~successors:(fun ~dst v -> N.successor_sets net ~dst v))
   in
-  let net = N.create ~observer ~topo ~cost () in
+  let net = N.create ~detection ~seed ~observer ~topo ~cost () in
   let rng = Rng.create ~seed in
   N.set_channel net (Channel.to_channel plan.channel ~rng);
   List.iter (schedule_fault (module N) net ~cost ~topo) plan.faults;
@@ -230,6 +261,8 @@ let drive (type a) (module N : NET with type t = a) ~protocol ~cost ~settle_grac
     end
   in
   let settled = settle () in
+  let blackhole_time, blackhole_open = Recovery.finish tracker ~now:(Engine.now engine) in
+  let det = Recovery.detect (N.trace net) in
   {
     protocol;
     events = !events;
@@ -238,18 +271,28 @@ let drive (type a) (module N : NET with type t = a) ~protocol ~cost ~settle_grac
     messages = N.total_messages net;
     retransmissions = N.retransmissions net;
     transport_acks = N.transport_acks net;
+    hellos = N.hellos_sent net;
+    active_phases = N.total_active_phases net;
+    detection_latencies = det.Recovery.latencies;
+    detection_absorbed = det.Recovery.absorbed;
+    detection_false_positives = det.Recovery.false_positives;
+    blackhole_time;
+    permanent_blackhole = blackhole_open;
     reconvergence = (match settled with Some at -> Float.max 0.0 (at -. quiet) | None -> Float.nan);
     converged = settled <> None && N.check_loop_free net && N.check_lfi net;
   }
 
-let run_mpda ?(cost = default_cost) ?(settle_grace = 600.0) ~topo ~seed plan =
-  drive (module Mpda_net) ~protocol:"MPDA" ~cost ~settle_grace ~topo ~seed plan
+let run_mpda ?(detection = Mdr_routing.Harness.Oracle) ?(cost = default_cost)
+    ?(settle_grace = 600.0) ~topo ~seed plan =
+  drive (module Mpda_net) ~protocol:"MPDA" ~detection ~cost ~settle_grace ~topo ~seed
+    plan
 
-let run_dv ?(cost = default_cost) ?(settle_grace = 600.0) ~topo ~seed plan =
-  drive (module Dv_net) ~protocol:"DV" ~cost ~settle_grace ~topo ~seed plan
+let run_dv ?(detection = Mdr_routing.Harness.Oracle) ?(cost = default_cost)
+    ?(settle_grace = 600.0) ~topo ~seed plan =
+  drive (module Dv_net) ~protocol:"DV" ~detection ~cost ~settle_grace ~topo ~seed plan
 
 let successor_agreement ?(cost = default_cost) ?channel ~topo ~seed () =
-  let channel = match channel with Some c -> c | None -> Channel.drop ~p:0.2 in
+  let channel = match channel with Some c -> c | None -> Channel.drop ~p:0.2 () in
   let converge ch =
     let net = Mpda_net.create ~topo ~cost () in
     (match ch with
@@ -336,3 +379,101 @@ let summary_table batches =
         "reconv-mean(s)"; "reconv-max(s)"; "converged";
       ]
     rows
+
+let slo_table runs =
+  let cell v = Tab.float_cell ~decimals:3 v in
+  let row label (s : Recovery.slo) =
+    [
+      label;
+      string_of_int s.Recovery.count;
+      cell s.Recovery.p50;
+      cell s.Recovery.p95;
+      cell s.Recovery.max_;
+    ]
+  in
+  Tab.render
+    ~header:[ "recovery SLO"; "n"; "p50(s)"; "p95(s)"; "max(s)" ]
+    [
+      row "detection latency"
+        (Recovery.slo (List.concat_map (fun m -> m.detection_latencies) runs));
+      row "blackhole time / run"
+        (Recovery.slo (List.map (fun m -> m.blackhole_time) runs));
+      row "reconvergence / run"
+        (Recovery.slo (List.map (fun m -> m.reconvergence) runs));
+    ]
+
+(* --- Flap-damping demonstration ---------------------------------------- *)
+
+module Hello = Mdr_routing.Hello
+
+type damping_result = {
+  active_phases_damped : int;
+  active_phases_undamped : int;
+  detected_flaps_damped : int;
+  detected_flaps_undamped : int;
+  suppressed_during_flaps : bool;
+}
+
+let damping_demo ?(flaps = 6) ?(period = 5.0) ?link ~topo ~seed () =
+  let a, b =
+    match link with
+    | Some ab -> ab
+    | None ->
+      let pairs = duplex_pairs topo in
+      if Array.length pairs = 0 then invalid_arg "Campaign.damping_demo: no duplex links";
+      pairs.(0)
+  in
+  let dead = Hello.default_params.Hello.dead_interval in
+  if period /. 2.0 <= dead then
+    invalid_arg "Campaign.damping_demo: down-time must exceed the dead interval";
+  let base = 5.0 in
+  let last_restore = base +. (float_of_int (flaps - 1) *. period) +. (period /. 2.0) in
+  let run damping =
+    let params = { Hello.default_params with damping } in
+    let net =
+      Mpda_net.create
+        ~detection:(Mdr_routing.Harness.Hello params)
+        ~seed ~topo ~cost:default_cost ()
+    in
+    let engine = Mpda_net.engine net in
+    let suppressed = ref false in
+    for i = 0 to flaps - 1 do
+      let t0 = base +. (float_of_int i *. period) in
+      Mpda_net.schedule_fail_duplex net ~at:t0 ~a ~b;
+      Mpda_net.schedule_restore_duplex net
+        ~at:(t0 +. (period /. 2.0))
+        ~a ~b
+        ~cost:(default_cost (Graph.link_exn topo ~src:a ~dst:b));
+      (* Probe suppression once each failure has had time to be
+         detected. *)
+      ignore
+        (Engine.schedule_at engine ~time:(t0 +. dead +. 0.2) (fun () ->
+             if
+               Mpda_net.adj_suppressed net ~node:a ~nbr:b
+               || Mpda_net.adj_suppressed net ~node:b ~nbr:a
+             then suppressed := true))
+    done;
+    Mpda_net.run ~until:last_restore net;
+    let deadline = last_restore +. 120.0 in
+    let rec settle () =
+      if Mpda_net.quiescent net then ()
+      else if Engine.now engine > deadline || Engine.pending engine = 0 then ()
+      else begin
+        ignore (Engine.step engine);
+        settle ()
+      end
+    in
+    settle ();
+    ( Mpda_net.total_active_phases net,
+      Mpda_net.adj_flaps net ~node:a ~nbr:b + Mpda_net.adj_flaps net ~node:b ~nbr:a,
+      !suppressed )
+  in
+  let damped_active, damped_flaps, damped_suppressed = run (Some Hello.default_damping) in
+  let undamped_active, undamped_flaps, _ = run None in
+  {
+    active_phases_damped = damped_active;
+    active_phases_undamped = undamped_active;
+    detected_flaps_damped = damped_flaps;
+    detected_flaps_undamped = undamped_flaps;
+    suppressed_during_flaps = damped_suppressed;
+  }

@@ -41,7 +41,11 @@ type profile = {
 val default_profile : profile
 (** 30 s of churn: 2 flaps, 1 crash, 2 cost surges, a partition every
     plan, drop up to 0.3, duplication up to 0.1, jitter up to 20 ms,
-    one blackout window. *)
+    one blackout window. The lossy layers expire at [duration] along
+    with the scheduled faults, so reconvergence is judged over a clean
+    channel — essential under hello detection, where a permanently
+    lossy control channel keeps failure detection misfiring and
+    quiescence would be unreachable by design. *)
 
 val random_plan :
   rng:Mdr_util.Rng.t -> topo:Mdr_topology.Graph.t -> profile -> plan
@@ -58,6 +62,24 @@ type metrics = {
   messages : int;  (** router messages + retransmissions *)
   retransmissions : int;
   transport_acks : int;
+  hellos : int;  (** hello frames sent (0 under oracle detection) *)
+  active_phases : int;
+      (** MPDA ACTIVE phases entered across all routers, including
+          routers that crashed mid-run; 0 for DV *)
+  detection_latencies : float list;
+      (** per detected physical link-down: seconds from the failure to
+          the surviving endpoint's routing process being told *)
+  detection_absorbed : int;
+      (** physical link-downs undone before any router was told *)
+  detection_false_positives : int;
+      (** adjacency teardowns with no physical failure outstanding *)
+  blackhole_time : float;
+      (** seconds (sampled at protocol events, from the first fault
+          on) during which some live router had no successor for a
+          physically reachable destination *)
+  permanent_blackhole : bool;
+      (** a blackhole was still open when the run ended — with
+          [converged = true] that is a real routing hole, not churn *)
   reconvergence : float;
       (** seconds from the end of fault activity to quiescence;
           [nan] when the run failed to settle *)
@@ -66,18 +88,22 @@ type metrics = {
 }
 
 val run_mpda :
+  ?detection:Mdr_routing.Harness.detection ->
   ?cost:(Mdr_topology.Graph.link -> float) ->
   ?settle_grace:float ->
   topo:Mdr_topology.Graph.t ->
   seed:int ->
   plan ->
   metrics
-(** Execute [plan] against the MPDA network. [cost] defaults to
-    [1 + 1000 * prop_delay]; [settle_grace] (default 600 s) bounds how
-    long past the last fault the run may take to quiesce. [seed] feeds
-    the channel fault model's random stream. *)
+(** Execute [plan] against the MPDA network. [detection] (default
+    [Oracle]) selects oracle link-state delivery or hello-based
+    inference; [cost] defaults to [1 + 1000 * prop_delay];
+    [settle_grace] (default 600 s) bounds how long past the last fault
+    the run may take to quiesce. [seed] feeds both the channel fault
+    model's random stream and the harness's hello/RTO jitter. *)
 
 val run_dv :
+  ?detection:Mdr_routing.Harness.detection ->
   ?cost:(Mdr_topology.Graph.link -> float) ->
   ?settle_grace:float ->
   topo:Mdr_topology.Graph.t ->
@@ -105,3 +131,36 @@ val summary_table : (string * metrics list) list -> string
 (** One row per labelled batch of runs: totals for events, violations
     and message overhead, mean/max reconvergence time, converged
     count. Rendered with {!Mdr_util.Tab}. *)
+
+val slo_table : metrics list -> string
+(** Recovery-SLO percentiles over a batch: detection latency (pooled
+    across events), blackhole time per run, reconvergence per run.
+    Meaningful under hello detection; under oracle detection every
+    latency is 0. *)
+
+(** Outcome of {!damping_demo}: the same flapping-link schedule run
+    with and without flap damping. *)
+type damping_result = {
+  active_phases_damped : int;
+  active_phases_undamped : int;
+  detected_flaps_damped : int;  (** [Full -> Down] transitions, both endpoints *)
+  detected_flaps_undamped : int;
+  suppressed_during_flaps : bool;
+      (** the damped run actually held the adjacency down at some
+          probe point — the mechanism, not just the effect *)
+}
+
+val damping_demo :
+  ?flaps:int ->
+  ?period:float ->
+  ?link:int * int ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  damping_result
+(** Flap one duplex link (default: the topology's first) [flaps] times
+    with period [period] (down for half, up for half; the down-time
+    must exceed the default dead interval so every flap is detectable)
+    against MPDA under hello detection, once with {!Mdr_routing.Hello.default_damping}
+    and once with damping disabled. Damping should cut the ACTIVE
+    phase count: suppressed flaps never reach the routing process. *)

@@ -18,17 +18,21 @@ type t
 val ideal : t
 (** Faultless: every frame delivered exactly once, on time. *)
 
-val drop : p:float -> t
-(** Lose each copy independently with probability [p] in [0, 1]. *)
+val drop : ?until_:float -> p:float -> unit -> t
+(** Lose each copy independently with probability [p] in [0, 1].
+    [until_] bounds the impairment: from that simulated time on the
+    layer is inert and frames pass through untouched. Default: the
+    impairment is permanent. *)
 
-val duplicate : p:float -> t
+val duplicate : ?until_:float -> p:float -> unit -> t
 (** With probability [p], deliver an extra copy of each surviving
-    frame (the copy gets its own jitter from later layers). *)
+    frame (the copy gets its own jitter from later layers). [until_]
+    as in {!drop}. *)
 
-val jitter : max_delay:float -> t
+val jitter : ?until_:float -> max_delay:float -> unit -> t
 (** Add an independent uniform extra delay in [0, max_delay] seconds
     to every delivered copy — out-of-order delivery once the spread
-    exceeds the inter-frame spacing. *)
+    exceeds the inter-frame spacing. [until_] as in {!drop}. *)
 
 val blackout : from_:float -> until_:float -> t
 (** Hard outage window: every frame transmitted at simulated time
@@ -57,9 +61,10 @@ val per_link :
 (** Like {!to_channel} with per-directed-link overrides. *)
 
 val quiet_after : t -> float
-(** Earliest time after which no blackout layer is active (0 when the
-    model has none) — campaigns wait at least this long before judging
-    reconvergence. *)
+(** Last instant the model's behavior changes: the latest blackout end
+    or bounded-layer expiry (0 when there is neither) — campaigns wait
+    at least this long before judging reconvergence. Permanent layers
+    are stationary and do not move this horizon. *)
 
 val describe : t -> string
 (** Compact human-readable summary, e.g.

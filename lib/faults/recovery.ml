@@ -1,0 +1,114 @@
+module Graph = Mdr_topology.Graph
+module H = Mdr_routing.Harness
+
+type detection_report = {
+  latencies : float list;
+  absorbed : int;
+  false_positives : int;
+}
+
+let detect trace =
+  let pending = Hashtbl.create 16 in
+  let latencies = ref [] and absorbed = ref 0 and false_positives = ref 0 in
+  let close key ~now =
+    match Hashtbl.find_opt pending key with
+    | Some t0 ->
+      latencies := (now -. t0) :: !latencies;
+      Hashtbl.remove pending key;
+      true
+    | None -> false
+  in
+  List.iter
+    (fun (now, ev) ->
+      match ev with
+      | H.Phys_down { src; dst } ->
+        if not (Hashtbl.mem pending (src, dst)) then
+          Hashtbl.replace pending (src, dst) now
+      | H.Phys_up { src; dst } ->
+        if Hashtbl.mem pending (src, dst) then begin
+          incr absorbed;
+          Hashtbl.remove pending (src, dst)
+        end
+      | H.Adj_down { node; nbr; cause = _ } ->
+        (* [node] stopped hearing [nbr], so the lost direction is
+           [nbr -> node]; a one-way teardown may instead root-cause in
+           the reverse direction (we went silent toward [nbr]). *)
+        if not (close (nbr, node) ~now) && not (close (node, nbr) ~now) then
+          incr false_positives
+      | H.Adj_up _ -> ())
+    trace;
+  {
+    latencies = List.rev !latencies;
+    absorbed = !absorbed;
+    false_positives = !false_positives;
+  }
+
+type tracker = {
+  mutable since : float option;  (* blackhole open since *)
+  mutable total : float;
+}
+
+let tracker () = { since = None; total = 0.0 }
+
+let observe tr ~now ~blackholed =
+  match (tr.since, blackholed) with
+  | None, true -> tr.since <- Some now
+  | Some t0, false ->
+    tr.total <- tr.total +. (now -. t0);
+    tr.since <- None
+  | None, false | Some _, true -> ()
+
+let finish tr ~now =
+  let total =
+    match tr.since with
+    | Some t0 -> tr.total +. Float.max 0.0 (now -. t0)
+    | None -> tr.total
+  in
+  (total, tr.since <> None)
+
+let blackholed ~topo ~node_is_up ~link_is_up ~successors =
+  let n = Graph.node_count topo in
+  let found = ref false in
+  let dst = ref 0 in
+  while (not !found) && !dst < n do
+    let d = !dst in
+    if node_is_up d then begin
+      (* Reverse reachability: which live nodes have a physical path
+         to [d] over up links? *)
+      let reach = Array.make n false in
+      reach.(d) <- true;
+      let queue = Queue.create () in
+      Queue.add d queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun u ->
+            if (not reach.(u)) && node_is_up u && link_is_up ~src:u ~dst:v then begin
+              reach.(u) <- true;
+              Queue.add u queue
+            end)
+          (Graph.neighbors topo v)
+      done;
+      for v = 0 to n - 1 do
+        if v <> d && node_is_up v && reach.(v) && successors ~dst:d v = [] then
+          found := true
+      done
+    end;
+    incr dst
+  done;
+  !found
+
+type slo = { p50 : float; p95 : float; max_ : float; count : int }
+
+let slo samples =
+  let samples = List.filter (fun x -> not (Float.is_nan x)) samples in
+  match samples with
+  | [] -> { p50 = Float.nan; p95 = Float.nan; max_ = Float.nan; count = 0 }
+  | _ ->
+    let pct p = Mdr_util.Stats.percentile samples ~p in
+    {
+      p50 = pct 50.0;
+      p95 = pct 95.0;
+      max_ = List.fold_left Float.max neg_infinity samples;
+      count = List.length samples;
+    }

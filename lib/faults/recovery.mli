@@ -1,0 +1,64 @@
+(** Recovery-SLO auditing for chaos campaigns.
+
+    The harness timestamps every physical link transition and every
+    routing-visible adjacency transition ({!Mdr_routing.Harness.trace});
+    this module turns one run's trace plus in-run sampling into the
+    numbers an operator would put an SLO on:
+
+    - {b detection latency} — physical failure to the moment a
+      surviving endpoint's routing process was told;
+    - {b blackhole time} — total time during which some router had an
+      empty successor set for a destination it could physically reach;
+    - {b reconvergence} — measured by [Campaign.drive] as the time
+      from the last injected fault to quiescence.
+
+    Latencies pool across events; blackhole time accrues per run. *)
+
+type detection_report = {
+  latencies : float list;
+      (** one entry per physical link-down whose loss was reported to
+          the surviving endpoint, in trace order *)
+  absorbed : int;
+      (** physical link-downs undone (link restored / node restarted)
+          before any routing process was told — invisible flaps, plus
+          the into-a-crashed-node directions nobody was left to watch *)
+  false_positives : int;
+      (** adjacency teardowns with no physical failure outstanding —
+          hello loss under a noisy channel, and the one-way echo of a
+          false teardown at the peer *)
+}
+
+val detect : (float * Mdr_routing.Harness.trace_event) list -> detection_report
+(** Pair each [Phys_down] with the first matching [Adj_down] (the
+    detector is the endpoint that stopped hearing: [Phys_down (s, d)]
+    is detected by [Adj_down] at node [d] about [s], or attributed to
+    the reverse direction for one-way teardowns). Under oracle
+    detection every latency is 0 by construction. *)
+
+(** Accumulates blackhole time from samples taken at every observer
+    callback. *)
+type tracker
+
+val tracker : unit -> tracker
+
+val observe : tracker -> now:float -> blackholed:bool -> unit
+(** [now] must be non-decreasing across calls. *)
+
+val finish : tracker -> now:float -> float * bool
+(** Total blackhole seconds up to [now], and whether a blackhole was
+    still open at [now] (a permanent blackhole if the run settled). *)
+
+val blackholed :
+  topo:Mdr_topology.Graph.t ->
+  node_is_up:(int -> bool) ->
+  link_is_up:(src:int -> dst:int -> bool) ->
+  successors:(dst:int -> int -> int list) ->
+  bool
+(** Does any live router have an empty successor set for a destination
+    it can physically reach (over up links through live nodes)? *)
+
+type slo = { p50 : float; p95 : float; max_ : float; count : int }
+
+val slo : float list -> slo
+(** Nearest-rank percentiles; NaNs (unsettled runs) are dropped first,
+    and an empty sample yields NaN cells with [count = 0]. *)

@@ -18,6 +18,7 @@ type t = {
   mutable succ : int list array;
   first_hop : int array;
   mutable active : bool;
+  mutable active_phases : int;  (* PASSIVE -> ACTIVE transitions *)
   pending : (int, int) Hashtbl.t;
   mutable needs_full : int list;
   mutable next_seq : int;
@@ -44,6 +45,7 @@ let create ~id ~n =
     succ = Array.make n [];
     first_hop = Array.make n (-1);
     active = false;
+    active_phases = 0;
     pending = Hashtbl.create 8;
     needs_full = [];
     next_seq = 0;
@@ -65,6 +67,7 @@ let neighbor_distance t ~nbr ~dst =
 let up_neighbors t = Mdr_util.Sorted_tbl.keys t.adjacent
 
 let messages_sent t = t.sent
+let active_phases t = t.active_phases
 
 let link_cost t ~nbr =
   match Hashtbl.find_opt t.adjacent nbr with Some c -> c | None -> infinity
@@ -145,7 +148,10 @@ let compose_outputs t ~changes ~ack_to =
   | Some (k, s) when (not !ack_consumed) && Hashtbl.mem t.adjacent k ->
     outputs := (k, { entries = []; reset = false; seq = None; ack_of = Some s }) :: !outputs
   | Some _ | None -> ());
-  if Hashtbl.length t.pending > 0 then t.active <- true;
+  if Hashtbl.length t.pending > 0 then begin
+    if not t.active then t.active_phases <- t.active_phases + 1;
+    t.active <- true
+  end;
   t.sent <- t.sent + List.length !outputs;
   List.rev !outputs
 
@@ -200,6 +206,12 @@ let handle_link_down t ~nbr =
     process t ~ack_to:None ~ack_received:ack
   end
   else []
+
+(* DBF makes no LFI promise, so an inferred loss needs no ghost
+   bookkeeping: unconfirmed teardown is an ordinary teardown and
+   confirmation is a no-op. *)
+let handle_link_down_unconfirmed = handle_link_down
+let confirm_link_down _t ~nbr:_ = []
 
 let handle_link_cost t ~nbr ~cost =
   if not (Hashtbl.mem t.adjacent nbr) then []

@@ -40,6 +40,14 @@ val handle_link_up : t -> nbr:int -> cost:float -> (int * msg) list
 (** Returns (neighbor, message) pairs to transmit, here and below. *)
 
 val handle_link_down : t -> nbr:int -> (int * msg) list
+
+val handle_link_down_unconfirmed : t -> nbr:int -> (int * msg) list
+(** Alias of {!handle_link_down}: DBF makes no loop-freedom promise,
+    so it needs no distinction between announced and inferred loss. *)
+
+val confirm_link_down : t -> nbr:int -> (int * msg) list
+(** No-op (returns []); see {!handle_link_down_unconfirmed}. *)
+
 val handle_link_cost : t -> nbr:int -> cost:float -> (int * msg) list
 val handle_msg : t -> from_:int -> msg -> (int * msg) list
 
@@ -51,3 +59,6 @@ val best_successor : t -> dst:int -> int option
 val neighbor_distance : t -> nbr:int -> dst:int -> float
 val up_neighbors : t -> int list
 val messages_sent : t -> int
+
+val active_phases : t -> int
+(** PASSIVE -> ACTIVE transitions so far. *)

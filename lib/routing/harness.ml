@@ -1,5 +1,6 @@
 module Graph = Mdr_topology.Graph
 module Engine = Mdr_eventsim.Engine
+module Rng = Mdr_util.Rng
 
 module type ROUTER = sig
   type t
@@ -8,6 +9,8 @@ module type ROUTER = sig
   val create : id:int -> n:int -> t
   val handle_link_up : t -> nbr:int -> cost:float -> (int * msg) list
   val handle_link_down : t -> nbr:int -> (int * msg) list
+  val handle_link_down_unconfirmed : t -> nbr:int -> (int * msg) list
+  val confirm_link_down : t -> nbr:int -> (int * msg) list
   val handle_link_cost : t -> nbr:int -> cost:float -> (int * msg) list
   val handle_msg : t -> from_:int -> msg -> (int * msg) list
   val is_passive : t -> bool
@@ -17,14 +20,28 @@ module type ROUTER = sig
   val neighbor_distance : t -> nbr:int -> dst:int -> float
   val up_neighbors : t -> int list
   val messages_sent : t -> int
+  val active_phases : t -> int
 end
 
 type channel = src:int -> dst:int -> now:float -> float list
 
+type detection = Oracle | Hello of Hello.params
+
+type down_cause = [ `Oracle | `Dead | `One_way | `Peer_reset ]
+
+type trace_event =
+  | Phys_down of { src : int; dst : int }
+  | Phys_up of { src : int; dst : int }
+  | Adj_down of { node : int; nbr : int; cause : down_cause }
+  | Adj_up of { node : int; nbr : int }
+
+let ideal_channel : channel = fun ~src:_ ~dst:_ ~now:_ -> [ 0.0 ]
+
 module Make (R : ROUTER) = struct
   (* Reliable-transport state, one record per directed link. Engaged
-     only when a channel fault model is installed; the lossless default
-     path below bypasses it entirely. *)
+     when a channel fault model is installed, and always under hello
+     detection (an undetected physical flap loses in-flight frames even
+     with a faultless channel model). *)
   type tx = {
     mutable next_tseq : int;
     mutable unacked : (int * R.msg) list;  (* oldest first *)
@@ -34,6 +51,10 @@ module Make (R : ROUTER) = struct
 
   type rx = {
     mutable expected : int;
+    mutable ep : int;
+        (* the stream epoch this receive state belongs to; a live frame
+           with a newer epoch means the sender reset the stream after a
+           one-sided adjacency loss, so we resync from tseq 0 *)
     held : (int, R.msg) Hashtbl.t;  (* out-of-order frames awaiting delivery *)
   }
 
@@ -48,13 +69,31 @@ module Make (R : ROUTER) = struct
     engine : Engine.t;
     routers : R.t array;
     make_router : id:int -> n:int -> R.t;
-    up : (int * int, unit) Hashtbl.t;  (* directed links currently up *)
+    detection : detection;
+    rng : Rng.t;
+    up : (int * int, unit) Hashtbl.t;  (* directed links physically up *)
     epoch : (int * int, int) Hashtbl.t;
-        (* bumped whenever a directed link goes down, so in-flight
-           frames from a previous up-period die at arrival *)
+        (* bumped whenever a directed link goes logically down, so
+           in-flight frames from a previous up-period die at arrival *)
     cost_now : (int * int, float) Hashtbl.t;  (* last applied cost *)
     admin_down : (int * int, unit) Hashtbl.t;  (* explicitly failed links *)
     alive : bool array;
+    session : (int * int, int) Hashtbl.t;
+        (* per directed link, the sender's adjacency session number
+           carried in its hellos. Bumped at every routing-visible
+           teardown of that direction (and at node crashes), it makes
+           teardown bilateral: the peer cannot keep — or re-form — an
+           adjacency across our reset without seeing the session
+           change and resetting too. That closes the window where one
+           side raises its feasible distance without the other's ACK
+           and where a surviving transport stream deadlocks against a
+           reset receiver. *)
+    adj : (int * int, Hello.adj) Hashtbl.t;  (* (node, nbr) detector state *)
+    hello_on : (int * int, unit) Hashtbl.t;  (* hello loop running per direction *)
+    mutable aux_pending : int;
+        (* scheduled events that carry no protocol obligation (hello
+           ticks, hello frames, dead checks) — excluded from quiescence *)
+    mutable trace_rev : (float * trace_event) list;
     mutable channel : channel option;
     tx : (int * int, tx) Hashtbl.t;
     rx : (int * int, rx) Hashtbl.t;
@@ -62,22 +101,47 @@ module Make (R : ROUTER) = struct
     mutable rto_max : float;
     mutable retransmissions : int;
     mutable transport_acks : int;
+    mutable hellos_sent : int;
+    mutable crashed_active_phases : int;
+        (* ACTIVE-phase counts of routers destroyed by crashes, so
+           [total_active_phases] survives router replacement *)
     observer : t -> unit;
   }
 
   let engine t = t.engine
   let topology t = t.topo
   let router t i = t.routers.(i)
+  let detection t = t.detection
   let link_is_up t ~src ~dst = Hashtbl.mem t.up (src, dst)
   let node_is_up t node = t.alive.(node)
   let prop_delay t ~src ~dst = (Graph.link_exn t.topo ~src ~dst).Graph.prop_delay
   let retransmissions t = t.retransmissions
   let transport_acks t = t.transport_acks
+  let hellos_sent t = t.hellos_sent
+  let trace t = List.rev t.trace_rev
+  let record t ev = t.trace_rev <- (Engine.now t.engine, ev) :: t.trace_rev
+
+  let hello_params t =
+    match t.detection with
+    | Hello p -> p
+    | Oracle -> invalid_arg "Harness: no hello params under oracle detection"
+
+  let transport_engaged t =
+    match (t.channel, t.detection) with
+    | Some _, _ | _, Hello _ -> true
+    | None, Oracle -> false
+
+  let channel_fn t = match t.channel with Some ch -> ch | None -> ideal_channel
 
   let current_epoch t key =
     match Hashtbl.find_opt t.epoch key with Some e -> e | None -> 0
 
   let bump_epoch t key = Hashtbl.replace t.epoch key (current_epoch t key + 1)
+
+  let session_of t key =
+    match Hashtbl.find_opt t.session key with Some s -> s | None -> 0
+
+  let bump_session t key = Hashtbl.replace t.session key (session_of t key + 1)
 
   let get_tx t key =
     match Hashtbl.find_opt t.tx key with
@@ -91,19 +155,81 @@ module Make (R : ROUTER) = struct
     match Hashtbl.find_opt t.rx key with
     | Some s -> s
     | None ->
-      let s = { expected = 0; held = Hashtbl.create 4 } in
+      let s = { expected = 0; ep = current_epoch t key; held = Hashtbl.create 4 } in
       Hashtbl.replace t.rx key s;
       s
 
-  let reset_transport t key =
-    (match Hashtbl.find_opt t.tx key with
+  let reset_tx t key =
+    match Hashtbl.find_opt t.tx key with
     | Some s ->
       (match s.timer with Some id -> Engine.cancel t.engine id | None -> ());
       Hashtbl.remove t.tx key
-    | None -> ());
-    Hashtbl.remove t.rx key
+    | None -> ()
 
-  (* --- Frame-level channel crossing (lossy mode) --------------------- *)
+  let reset_rx t key = Hashtbl.remove t.rx key
+
+  let reset_transport t key =
+    reset_tx t key;
+    reset_rx t key
+
+  (* Events with no protocol obligation: quiescence ignores them. *)
+  let schedule_aux t ~delay f =
+    t.aux_pending <- t.aux_pending + 1;
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           t.aux_pending <- t.aux_pending - 1;
+           f ()))
+
+  let schedule_aux_at t ~time f =
+    t.aux_pending <- t.aux_pending + 1;
+    ignore
+      (Engine.schedule_at t.engine ~time (fun () ->
+           t.aux_pending <- t.aux_pending - 1;
+           f ()))
+
+  (* --- Adjacency state ------------------------------------------------- *)
+
+  let get_adj t key =
+    match Hashtbl.find_opt t.adj key with
+    | Some a -> a
+    | None ->
+      let a = Hello.create (hello_params t) in
+      Hashtbl.replace t.adj key a;
+      a
+
+  let adj_state t ~node ~nbr =
+    match t.detection with
+    | Oracle -> if link_is_up t ~src:node ~dst:nbr then Hello.Full else Hello.Down
+    | Hello _ -> (
+      match Hashtbl.find_opt t.adj (node, nbr) with
+      | Some a -> Hello.state a
+      | None -> Hello.Down)
+
+  let adj_is_up t ~src ~dst = adj_state t ~node:src ~nbr:dst = Hello.Full
+
+  let adj_suppressed t ~node ~nbr =
+    match Hashtbl.find_opt t.adj (node, nbr) with
+    | Some a -> Hello.suppressed a
+    | None -> false
+
+  let adj_flaps t ~node ~nbr =
+    match Hashtbl.find_opt t.adj (node, nbr) with
+    | Some a -> Hello.flaps a
+    | None -> 0
+
+  (* May this endpoint hand frames to / accept frames from the peer?
+     Under the oracle this is physical link state; under hello
+     detection it is the endpoint's *belief* (its adjacency), which is
+     exactly what a real router acts on. *)
+  let send_ok t ~src ~dst =
+    match t.detection with
+    | Oracle -> link_is_up t ~src ~dst
+    | Hello _ -> adj_is_up t ~src ~dst
+
+  let recv_ok t ~src ~dst =
+    match t.detection with Oracle -> true | Hello _ -> adj_is_up t ~src:dst ~dst:src
+
+  (* --- Frame-level channel crossing ------------------------------------ *)
 
   (* Ask the channel model what happens to one frame on [src -> dst]:
      each returned float is an extra delay for one delivered copy
@@ -116,7 +242,7 @@ module Make (R : ROUTER) = struct
         ignore (Engine.schedule t.engine ~delay:(base +. extra) (fun () -> deliver frame)))
       (ch ~src ~dst ~now:(Engine.now t.engine))
 
-  (* --- Message delivery ------------------------------------------------ *)
+  (* --- Message delivery, transport, and hello machinery ----------------- *)
 
   (* Hand one router-level message to its destination and recursively
      dispatch the replies. *)
@@ -128,9 +254,9 @@ module Make (R : ROUTER) = struct
   and dispatch t ~from_ outputs =
     List.iter
       (fun (dst, msg) ->
-        if link_is_up t ~src:from_ ~dst then
-          match t.channel with
-          | None ->
+        if send_ok t ~src:from_ ~dst then
+          if transport_engaged t then send_data t ~src:from_ ~dst msg
+          else begin
             (* Lossless, in-order delivery with the link's propagation
                delay — the paper's assumed control channel. *)
             let ep = current_epoch t (from_, dst) in
@@ -139,13 +265,11 @@ module Make (R : ROUTER) = struct
               (Engine.schedule t.engine ~delay (fun () ->
                    if link_is_up t ~src:from_ ~dst && current_epoch t (from_, dst) = ep
                    then deliver_payload t ~src:from_ ~dst msg))
-          | Some _ -> send_data t ~src:from_ ~dst msg)
+          end)
       outputs
 
-  (* --- Reliable transport (sequencing + ACK + retransmission) --------- *)
-
   and send_data t ~src ~dst payload =
-    let ch = Option.get t.channel in
+    let ch = channel_fn t in
     let tx = get_tx t (src, dst) in
     let tseq = tx.next_tseq in
     tx.next_tseq <- tseq + 1;
@@ -157,54 +281,65 @@ module Make (R : ROUTER) = struct
     arm_timer t ~src ~dst tx
 
   and arm_timer t ~src ~dst tx =
-    if tx.timer = None then
+    if tx.timer = None then begin
+      (* Jittered backoff: without the random factor every transport
+         stream armed by the same outage expires in lockstep and the
+         heal instant sees a synchronized retransmission storm. *)
+      let delay = tx.rto *. (1.0 +. Rng.uniform t.rng ~lo:0.0 ~hi:0.5) in
       tx.timer <-
-        Some
-          (Engine.schedule t.engine ~delay:tx.rto (fun () ->
-               retransmit t ~src ~dst))
+        Some (Engine.schedule t.engine ~delay (fun () -> retransmit t ~src ~dst))
+    end
 
   and retransmit t ~src ~dst =
     match Hashtbl.find_opt t.tx (src, dst) with
     | None -> ()
     | Some tx ->
       tx.timer <- None;
-      if link_is_up t ~src ~dst && tx.unacked <> [] then begin
-        match t.channel with
-        | None -> ()
-        | Some ch ->
-          let ep = current_epoch t (src, dst) in
-          List.iter
-            (fun (tseq, payload) ->
-              t.retransmissions <- t.retransmissions + 1;
-              transmit_frame t ~src ~dst ch
-                (Data { ep; tseq; payload })
-                ~deliver:(receive_frame t ~src ~dst))
-            tx.unacked;
-          tx.rto <- Float.min (tx.rto *. 2.0) t.rto_max;
-          arm_timer t ~src ~dst tx
+      if send_ok t ~src ~dst && tx.unacked <> [] then begin
+        let ch = channel_fn t in
+        let ep = current_epoch t (src, dst) in
+        List.iter
+          (fun (tseq, payload) ->
+            t.retransmissions <- t.retransmissions + 1;
+            transmit_frame t ~src ~dst ch
+              (Data { ep; tseq; payload })
+              ~deliver:(receive_frame t ~src ~dst))
+          tx.unacked;
+        tx.rto <- Float.min (tx.rto *. 2.0) t.rto_max;
+        arm_timer t ~src ~dst tx
       end
 
   and send_tack t ~data_src ~data_dst =
     (* Cumulative ACK for direction [data_src -> data_dst], travelling
        the reverse link and subject to its channel faults. *)
-    if link_is_up t ~src:data_dst ~dst:data_src then
-      match t.channel with
-      | None -> ()
-      | Some ch ->
-        let rxs = get_rx t (data_src, data_dst) in
-        let ep = current_epoch t (data_src, data_dst) in
-        t.transport_acks <- t.transport_acks + 1;
-        transmit_frame t ~src:data_dst ~dst:data_src ch
-          (Tack { ep; upto = rxs.expected - 1 })
-          ~deliver:(receive_frame t ~src:data_dst ~dst:data_src)
+    if send_ok t ~src:data_dst ~dst:data_src then begin
+      let ch = channel_fn t in
+      let rxs = get_rx t (data_src, data_dst) in
+      let ep = current_epoch t (data_src, data_dst) in
+      t.transport_acks <- t.transport_acks + 1;
+      transmit_frame t ~src:data_dst ~dst:data_src ch
+        (Tack { ep; upto = rxs.expected - 1 })
+        ~deliver:(receive_frame t ~src:data_dst ~dst:data_src)
+    end
 
   and receive_frame t ~src ~dst frame =
     (* Arrival of one frame that travelled [src -> dst]. *)
     if link_is_up t ~src ~dst then
       match frame with
       | Data { ep; tseq; payload } ->
-        if ep = current_epoch t (src, dst) then begin
+        (* Under hello detection, data is accepted only once this
+           endpoint's own adjacency is Full: a not-yet-promoted
+           receiver stays silent and the sender's retransmissions
+           deliver the stream as soon as promotion happens. *)
+        if ep = current_epoch t (src, dst) && recv_ok t ~src ~dst then begin
           let rxs = get_rx t (src, dst) in
+          if rxs.ep <> ep then begin
+            (* The sender reset this stream (one-sided adjacency loss
+               we never saw): restart reception from scratch. *)
+            rxs.ep <- ep;
+            rxs.expected <- 0;
+            Hashtbl.reset rxs.held
+          end;
           if tseq = rxs.expected then begin
             rxs.expected <- rxs.expected + 1;
             deliver_payload t ~src ~dst payload;
@@ -244,33 +379,189 @@ module Make (R : ROUTER) = struct
               tx.rto <- t.rto_initial
             end)
 
-  (* --- Link events ------------------------------------------------------ *)
+  (* --- Logical (routing-visible) adjacency transitions ----------------- *)
+
+  and logical_up t ~node ~nbr =
+    record t (Adj_up { node; nbr });
+    let cost =
+      match Hashtbl.find_opt t.cost_now (node, nbr) with
+      | Some c -> c
+      | None -> invalid_arg "Harness: adjacency formed on a never-initialised link"
+    in
+    let outputs = R.handle_link_up t.routers.(node) ~nbr ~cost in
+    (* Re-forming the adjacency proves the peer went through its own
+       teardown (the session handshake forces it), so any ghost it left
+       behind is released here rather than waiting out the timer. *)
+    let confirm = R.confirm_link_down t.routers.(node) ~nbr in
+    t.observer t;
+    dispatch t ~from_:node (outputs @ confirm)
+
+  and logical_down t ~node ~nbr ~cause =
+    record t (Adj_down { node; nbr; cause });
+    (* Poison our session so the peer must reset too before the
+       adjacency can re-form, then kill both directions' in-flight
+       frames and this endpoint's transport state. *)
+    bump_session t (node, nbr);
+    bump_epoch t (node, nbr);
+    bump_epoch t (nbr, node);
+    reset_tx t (node, nbr);
+    reset_rx t (nbr, node);
+    (* The teardown is *inferred*: the peer may still be up and routing
+       on its old view of us, so the router keeps [nbr] as a ghost
+       (feasible distances pinned) until the adjacency re-forms or the
+       timer below declares the peer informed. 2x the dead interval is
+       provably enough: from the moment we bumped our session, every
+       hello the peer receives from us is poisoned (it tears down on
+       first delivery), and total silence trips its own dead interval. *)
+    let outputs = R.handle_link_down_unconfirmed t.routers.(node) ~nbr in
+    let sess = session_of t (node, nbr) in
+    let release () =
+      if t.alive.(node) && session_of t (node, nbr) = sess then begin
+        let outputs = R.confirm_link_down t.routers.(node) ~nbr in
+        t.observer t;
+        dispatch t ~from_:node outputs
+      end
+    in
+    (* A normal (not aux) event: an unreleased ghost pins feasible
+       distances, which is unfinished reconvergence business. The
+       session guard keeps a stale timer from releasing a newer ghost
+       (sessions bump at every teardown, including crashes). *)
+    ignore
+      (Engine.schedule t.engine
+         ~delay:(2.0 *. (hello_params t).Hello.dead_interval)
+         release);
+    t.observer t;
+    dispatch t ~from_:node outputs
+
+  and apply_actions t ~node ~nbr a actions =
+    List.iter
+      (function
+        | Hello.Report_up -> logical_up t ~node ~nbr
+        | Hello.Report_down cause ->
+          logical_down t ~node ~nbr ~cause:(cause :> down_cause)
+        | Hello.Arm_dead time ->
+          schedule_aux_at t ~time (fun () -> dead_check t ~node ~nbr a)
+        | Hello.Arm_reuse delay ->
+          (* Deliberately a normal event: a suppressed adjacency is
+             unfinished business, so the hold-down counts toward
+             reconvergence time instead of being invisible to it. *)
+          ignore
+            (Engine.schedule t.engine ~delay (fun () -> reuse_check t ~node ~nbr a)))
+      actions
+
+  (* Timers survive crashes of the node that owns them; firing on a
+     detector that was wiped and rebuilt must be a no-op, hence the
+     physical-identity guard. *)
+  and dead_check t ~node ~nbr a =
+    match Hashtbl.find_opt t.adj (node, nbr) with
+    | Some a' when a' == a && t.alive.(node) ->
+      apply_actions t ~node ~nbr a (Hello.on_dead_check a ~now:(Engine.now t.engine))
+    | Some _ | None -> ()
+
+  and reuse_check t ~node ~nbr a =
+    match Hashtbl.find_opt t.adj (node, nbr) with
+    | Some a' when a' == a && t.alive.(node) ->
+      apply_actions t ~node ~nbr a (Hello.on_reuse_check a ~now:(Engine.now t.engine))
+    | Some _ | None -> ()
+
+  and receive_hello t ~src ~dst ~gen ~heard_gen =
+    let a = get_adj t (dst, src) in
+    let heard_me = heard_gen = session_of t (dst, src) in
+    apply_actions t ~node:dst ~nbr:src
+      a
+      (Hello.on_hello a ~now:(Engine.now t.engine) ~gen ~heard_me)
+
+  and send_hello t ~src ~dst =
+    t.hellos_sent <- t.hellos_sent + 1;
+    (* Frame contents are fixed at transmission time. [heard_gen] is
+       the neighbor session we currently hear (-1 when none): the
+       receiver compares it with its own current session for the
+       two-way check, which also propagates one-sided teardowns. *)
+    let gen = session_of t (src, dst) in
+    let heard_gen =
+      match Hashtbl.find_opt t.adj (src, dst) with
+      | Some a -> Hello.heard_gen a
+      | None -> -1
+    in
+    let base = prop_delay t ~src ~dst in
+    List.iter
+      (fun extra ->
+        if extra < 0.0 then invalid_arg "Harness: channel produced a negative delay";
+        schedule_aux t ~delay:(base +. extra) (fun () ->
+            if link_is_up t ~src ~dst && t.alive.(dst) then
+              receive_hello t ~src ~dst ~gen ~heard_gen))
+      (channel_fn t ~src ~dst ~now:(Engine.now t.engine))
+
+  and hello_tick t ~src ~dst =
+    if link_is_up t ~src ~dst && t.alive.(src) then begin
+      send_hello t ~src ~dst;
+      let p = hello_params t in
+      let lo = p.Hello.hello_interval *. (1.0 -. (p.Hello.jitter /. 2.0)) in
+      let hi = p.Hello.hello_interval *. (1.0 +. (p.Hello.jitter /. 2.0)) in
+      schedule_aux t ~delay:(Rng.uniform t.rng ~lo ~hi) (fun () ->
+          hello_tick t ~src ~dst)
+    end
+    else
+      (* The loop dies with the physical link; [apply_link_up] starts a
+         fresh one (the [hello_on] flag prevents doubling up). *)
+      Hashtbl.remove t.hello_on (src, dst)
+
+  and start_hello t ~src ~dst =
+    if not (Hashtbl.mem t.hello_on (src, dst)) then begin
+      Hashtbl.replace t.hello_on (src, dst) ();
+      let p = hello_params t in
+      (* First hello at a random offset so the links of a freshly
+         healed partition do not all speak at once. *)
+      schedule_aux t ~delay:(Rng.uniform t.rng ~lo:0.0 ~hi:p.Hello.hello_interval)
+        (fun () -> hello_tick t ~src ~dst)
+    end
+
+  (* --- Physical link events --------------------------------------------- *)
 
   let apply_link_up t ~src ~dst ~cost =
     if t.alive.(src) && t.alive.(dst) && not (link_is_up t ~src ~dst) then begin
       Hashtbl.replace t.up (src, dst) ();
       Hashtbl.replace t.cost_now (src, dst) cost;
-      let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
-      t.observer t;
-      dispatch t ~from_:src outputs
+      record t (Phys_up { src; dst });
+      match t.detection with
+      | Oracle ->
+        record t (Adj_up { node = src; nbr = dst });
+        let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
+        t.observer t;
+        dispatch t ~from_:src outputs
+      | Hello _ ->
+        t.observer t;
+        start_hello t ~src ~dst
     end
 
   let apply_link_down t ~src ~dst =
     if link_is_up t ~src ~dst then begin
       Hashtbl.remove t.up (src, dst);
-      bump_epoch t (src, dst);
-      reset_transport t (src, dst);
-      let outputs = R.handle_link_down t.routers.(src) ~nbr:dst in
-      t.observer t;
-      dispatch t ~from_:src outputs
+      record t (Phys_down { src; dst });
+      match t.detection with
+      | Oracle ->
+        record t (Adj_down { node = src; nbr = dst; cause = `Oracle });
+        bump_epoch t (src, dst);
+        reset_transport t (src, dst);
+        let outputs = R.handle_link_down t.routers.(src) ~nbr:dst in
+        t.observer t;
+        dispatch t ~from_:src outputs
+      | Hello _ ->
+        (* Nobody is told: the loss must be *inferred*. In-flight
+           frames die at arrival (the link is down), the hello loop
+           stops itself, and the peer's dead interval or one-way check
+           does the routing-visible teardown. *)
+        t.observer t
     end
 
   let apply_link_cost t ~src ~dst ~cost =
     if link_is_up t ~src ~dst then begin
       Hashtbl.replace t.cost_now (src, dst) cost;
-      let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
-      t.observer t;
-      dispatch t ~from_:src outputs
+      if send_ok t ~src ~dst then begin
+        let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
+        t.observer t;
+        dispatch t ~from_:src outputs
+      end
     end
 
   (* --- Node crash / restart -------------------------------------------- *)
@@ -278,31 +569,57 @@ module Make (R : ROUTER) = struct
   let apply_node_crash t node =
     if t.alive.(node) then begin
       t.alive.(node) <- false;
-      (* Take every adjacent direction down first so no handler can
-         reach the dying router, then notify the surviving endpoints
-         (they detect the loss as link-down), then wipe the router. *)
       let nbrs = Graph.neighbors t.topo node in
-      let notify =
-        List.filter
+      (match t.detection with
+      | Oracle ->
+        (* Take every adjacent direction down first so no handler can
+           reach the dying router, then notify the surviving endpoints
+           (they detect the loss as link-down), then wipe the router. *)
+        let notify =
+          List.filter
+            (fun k ->
+              let was_up = link_is_up t ~src:k ~dst:node in
+              List.iter
+                (fun key ->
+                  if Hashtbl.mem t.up key then begin
+                    Hashtbl.remove t.up key;
+                    record t (Phys_down { src = fst key; dst = snd key });
+                    bump_epoch t key;
+                    reset_transport t key
+                  end)
+                [ (node, k); (k, node) ];
+              was_up && t.alive.(k))
+            nbrs
+        in
+        List.iter
           (fun k ->
-            let was_up = link_is_up t ~src:k ~dst:node in
+            record t (Adj_down { node = k; nbr = node; cause = `Oracle });
+            let outputs = R.handle_link_down t.routers.(k) ~nbr:node in
+            t.observer t;
+            dispatch t ~from_:k outputs)
+          notify
+      | Hello _ ->
+        (* Silence is the only signal: adjacent directions go
+           physically down, the dead router's detectors and transport
+           state vanish, and each neighbor's dead interval discovers
+           the loss on its own. *)
+        List.iter
+          (fun k ->
             List.iter
               (fun key ->
                 if Hashtbl.mem t.up key then begin
                   Hashtbl.remove t.up key;
-                  bump_epoch t key;
-                  reset_transport t key
+                  record t (Phys_down { src = fst key; dst = snd key })
                 end)
               [ (node, k); (k, node) ];
-            was_up && t.alive.(k))
-          nbrs
-      in
-      List.iter
-        (fun k ->
-          let outputs = R.handle_link_down t.routers.(k) ~nbr:node in
-          t.observer t;
-          dispatch t ~from_:k outputs)
-        notify;
+            Hashtbl.remove t.adj (node, k);
+            bump_session t (node, k);
+            reset_tx t (node, k);
+            reset_rx t (k, node))
+          nbrs;
+        t.observer t);
+      t.crashed_active_phases <-
+        t.crashed_active_phases + R.active_phases t.routers.(node);
       t.routers.(node) <- t.make_router ~id:node ~n:(Graph.node_count t.topo);
       t.observer t
     end
@@ -329,7 +646,9 @@ module Make (R : ROUTER) = struct
 
   (* --- Construction and scheduling -------------------------------------- *)
 
-  let create ?make_router ?(observer = fun _ -> ()) ~topo ~cost () =
+  let create ?make_router ?(detection = Oracle) ?(seed = 1)
+      ?(observer = fun _ -> ()) ~topo ~cost () =
+    (match detection with Hello p -> Hello.validate p | Oracle -> ());
     let n = Graph.node_count topo in
     let make_router =
       match make_router with Some f -> f | None -> fun ~id ~n -> R.create ~id ~n
@@ -340,11 +659,18 @@ module Make (R : ROUTER) = struct
         engine = Engine.create ();
         routers = Array.init n (fun id -> make_router ~id ~n);
         make_router;
+        detection;
+        rng = Rng.create ~seed;
         up = Hashtbl.create (Graph.link_count topo);
         epoch = Hashtbl.create (Graph.link_count topo);
         cost_now = Hashtbl.create (Graph.link_count topo);
         admin_down = Hashtbl.create 8;
         alive = Array.make n true;
+        session = Hashtbl.create (Graph.link_count topo);
+        adj = Hashtbl.create (Graph.link_count topo);
+        hello_on = Hashtbl.create (Graph.link_count topo);
+        aux_pending = 0;
+        trace_rev = [];
         channel = None;
         tx = Hashtbl.create 16;
         rx = Hashtbl.create 16;
@@ -352,6 +678,8 @@ module Make (R : ROUTER) = struct
         rto_max = 2.0;
         retransmissions = 0;
         transport_acks = 0;
+        hellos_sent = 0;
+        crashed_active_phases = 0;
         observer;
       }
     in
@@ -460,10 +788,34 @@ module Make (R : ROUTER) = struct
 
   let run ?until t = Engine.run ?until t.engine
 
-  let quiescent t = Engine.pending t.engine = 0 && Array.for_all R.is_passive t.routers
+  (* Under hello detection, "every adjacency agrees with the physical
+     link state" is part of quiescence: an aux event that will promote
+     or demote an adjacency (and so wake the routers) is still pending
+     exactly when some link disagrees. *)
+  let adj_consistent t =
+    match t.detection with
+    | Oracle -> true
+    | Hello _ ->
+      List.for_all
+        (fun (l : Graph.link) ->
+          let expected =
+            if link_is_up t ~src:l.src ~dst:l.dst then Hello.Full else Hello.Down
+          in
+          adj_state t ~node:l.src ~nbr:l.dst = expected)
+        (Graph.links t.topo)
+
+  let quiescent t =
+    Engine.pending t.engine = t.aux_pending
+    && Array.for_all R.is_passive t.routers
+    && adj_consistent t
 
   let total_messages t =
     Array.fold_left (fun acc r -> acc + R.messages_sent r) t.retransmissions t.routers
+
+  let total_active_phases t =
+    Array.fold_left
+      (fun acc r -> acc + R.active_phases r)
+      t.crashed_active_phases t.routers
 
   let successor_sets t ~dst = fun node -> R.successors t.routers.(node) ~dst
 

@@ -11,6 +11,11 @@ module H = Harness.Make (struct
   let create ~id ~n = Router.create ~mode:Router.Mpda ~id ~n
   let handle_link_up t ~nbr ~cost = outputs (Router.handle_link_up t ~nbr ~cost)
   let handle_link_down t ~nbr = outputs (Router.handle_link_down t ~nbr)
+
+  let handle_link_down_unconfirmed t ~nbr =
+    outputs (Router.handle_link_down ~unconfirmed:true t ~nbr)
+
+  let confirm_link_down t ~nbr = outputs (Router.confirm_link_down t ~nbr)
   let handle_link_cost t ~nbr ~cost = outputs (Router.handle_link_cost t ~nbr ~cost)
   let handle_msg t ~from_ msg = outputs (Router.handle_msg t ~from_ msg)
   let is_passive = Router.is_passive
@@ -20,11 +25,12 @@ module H = Harness.Make (struct
   let neighbor_distance = Router.neighbor_distance
   let up_neighbors = Router.up_neighbors
   let messages_sent = Router.stats_messages_sent
+  let active_phases = Router.stats_active_phases
 end)
 
 include H
 
-let create ?(mode = Router.Mpda) ?observer ~topo ~cost () =
+let create ?(mode = Router.Mpda) ?detection ?seed ?observer ~topo ~cost () =
   H.create
     ~make_router:(fun ~id ~n -> Router.create ~mode ~id ~n)
-    ?observer ~topo ~cost ()
+    ?detection ?seed ?observer ~topo ~cost ()

@@ -18,6 +18,8 @@ type t
 
 val create :
   ?mode:Router.mode ->
+  ?detection:Harness.detection ->
+  ?seed:int ->
   ?observer:(t -> unit) ->
   topo:Mdr_topology.Graph.t ->
   cost:(Mdr_topology.Graph.link -> float) ->
@@ -25,8 +27,9 @@ val create :
   t
 (** Builds the routers and schedules both directions of every link to
     come up at time 0 (with initial costs from [cost]). [mode] defaults
-    to [Mpda]. [observer] runs after every router event — keep it
-    cheap. *)
+    to [Mpda], [detection] to [Harness.Oracle] (see
+    {!Harness.Make.create} for the hello alternative and [seed]).
+    [observer] runs after every router event — keep it cheap. *)
 
 val engine : t -> Mdr_eventsim.Engine.t
 val topology : t -> Mdr_topology.Graph.t
@@ -66,6 +69,25 @@ val schedule_partition : t -> at:float -> heal_at:float -> group:int list -> uni
 
 val link_is_up : t -> src:int -> dst:int -> bool
 val node_is_up : t -> int -> bool
+
+val detection : t -> Harness.detection
+
+val adj_is_up : t -> src:int -> dst:int -> bool
+(** Whether [src]'s router currently considers the adjacency usable
+    (equals {!link_is_up} under oracle detection). *)
+
+val adj_state : t -> node:int -> nbr:int -> Hello.state
+val adj_suppressed : t -> node:int -> nbr:int -> bool
+val adj_flaps : t -> node:int -> nbr:int -> int
+
+val trace : t -> (float * Harness.trace_event) list
+(** Timestamped physical and adjacency transitions, oldest first. *)
+
+val hellos_sent : t -> int
+
+val total_active_phases : t -> int
+(** ACTIVE (diffusing-computation) phases entered across all routers,
+    crashes included. *)
 
 val run : ?until:float -> t -> unit
 (** Process events; see {!Mdr_eventsim.Engine.run}. *)

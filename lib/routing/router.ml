@@ -24,7 +24,15 @@ type t = {
   fd : float array;  (* FD_j *)
   mutable succ : int list array;  (* S_j *)
   mutable active : bool;
+  mutable active_phases : int;  (* PASSIVE -> ACTIVE transitions *)
   pending : (int, int) Hashtbl.t;  (* nbr -> seq awaited *)
+  ghosts : (int, unit) Hashtbl.t;
+      (* neighbors torn down *unilaterally* (inferred failure) that may
+         still be routing through us on stale state. FD must not rise
+         while any ghost remains: raising it would break the
+         FD <= (distance the ghost holds about us) invariant that
+         loop-freedom rests on, because a ghost — unlike a live
+         neighbor — can never be asked to ACK the rise. *)
   mutable needs_full : int list;  (* neighbors owed a full-table LSU *)
   mutable next_seq : int;
   mutable sent : int;
@@ -52,7 +60,9 @@ let create ~mode ~id ~n =
        d);
     succ = Array.make n [];
     active = false;
+    active_phases = 0;
     pending = Hashtbl.create 8;
+    ghosts = Hashtbl.create 4;
     needs_full = [];
     next_seq = 0;
     sent = 0;
@@ -81,6 +91,7 @@ let main_table t = Topo_table.copy t.main
 
 let stats_messages_sent t = t.sent
 let stats_events t = t.events
+let stats_active_phases t = t.active_phases
 
 (* --- NTU: neighbor-table maintenance ------------------------------- *)
 
@@ -231,7 +242,10 @@ let compose_outputs t ~changes ~ack_to =
       { dst = k; msg = { entries = []; reset = false; seq = None; ack_of = Some s } }
       :: !outputs
   | Some _ | None -> ());
-  if t.mode = Mpda && Hashtbl.length t.pending > 0 then t.active <- true;
+  if t.mode = Mpda && Hashtbl.length t.pending > 0 then begin
+    if not t.active then t.active_phases <- t.active_phases + 1;
+    t.active <- true
+  end;
   t.sent <- t.sent + List.length !outputs;
   List.rev !outputs
 
@@ -261,13 +275,20 @@ let process t ~ack_to ~ack_received =
       end
       else if last_ack then begin
         (* Lines 3a-3c: the deferred MTU runs now; FD may rise to
-           min(old D, new D). *)
+           min(old D, new D) — unless a ghost still holds an old claim,
+           in which case FD stays pinned (it may only keep falling)
+           until every unilateral teardown is confirmed bilateral. *)
         let temp = Array.copy t.dist in
         t.active <- false;
         let changes = mtu t in
-        for j = 0 to t.n - 1 do
-          t.fd.(j) <- Float.min temp.(j) t.dist.(j)
-        done;
+        if Hashtbl.length t.ghosts = 0 then
+          for j = 0 to t.n - 1 do
+            t.fd.(j) <- Float.min temp.(j) t.dist.(j)
+          done
+        else
+          for j = 0 to t.n - 1 do
+            t.fd.(j) <- Float.min t.fd.(j) (Float.min temp.(j) t.dist.(j))
+          done;
         changes
       end
       else []
@@ -288,9 +309,14 @@ let handle_link_up t ~nbr ~cost =
   if not (List.mem nbr t.needs_full) then t.needs_full <- nbr :: t.needs_full;
   process t ~ack_to:None ~ack_received:None
 
-let handle_link_down t ~nbr =
+let handle_link_down ?(unconfirmed = false) t ~nbr =
   if Hashtbl.mem t.adjacent nbr then begin
     Hashtbl.remove t.adjacent nbr;
+    (* A bilateral (oracle-announced) failure means the peer forgot us
+       in the same instant; an inferred one means the peer may still
+       hold — and route on — its old view of us, so it keeps a claim on
+       FD until {!confirm_link_down}. *)
+    if unconfirmed then Hashtbl.replace t.ghosts nbr ();
     (match Hashtbl.find_opt t.nbr_tables nbr with
     | Some tab -> Topo_table.clear tab
     | None -> ());
@@ -301,6 +327,38 @@ let handle_link_down t ~nbr =
     process t ~ack_to:None ~ack_received:ack
   end
   else []
+
+let confirm_link_down t ~nbr =
+  if not (Hashtbl.mem t.ghosts nbr) then []
+  else begin
+    Hashtbl.remove t.ghosts nbr;
+    (* FD was pinned while the ghost lived. If it lags the current
+       distance and no diffusing computation is running to lift it,
+       run an empty one: neighbors ACK the probe and the completion
+       raises FD through the ordinary, loop-safe path. *)
+    let lagging = ref false in
+    for j = 0 to t.n - 1 do
+      if t.fd.(j) +. 1e-12 < t.dist.(j) then lagging := true
+    done;
+    if t.mode = Mpda && Hashtbl.length t.ghosts = 0 && (not t.active) && !lagging
+    then begin
+      let outputs =
+        List.map
+          (fun k ->
+            let s = fresh_seq t in
+            Hashtbl.replace t.pending k s;
+            { dst = k; msg = { entries = []; reset = false; seq = Some s; ack_of = None } })
+          (up_neighbors t)
+      in
+      if outputs <> [] then begin
+        if not t.active then t.active_phases <- t.active_phases + 1;
+        t.active <- true;
+        t.sent <- t.sent + List.length outputs
+      end;
+      outputs
+    end
+    else []
+  end
 
 let handle_link_cost t ~nbr ~cost =
   if not (Hashtbl.mem t.adjacent nbr) then []
@@ -337,6 +395,7 @@ let copy t =
     fd = Array.copy t.fd;
     succ = Array.copy t.succ;
     pending = copy_tbl Fun.id t.pending;
+    ghosts = copy_tbl Fun.id t.ghosts;
   }
 
 let fingerprint t =
@@ -387,6 +446,8 @@ let fingerprint t =
       int k;
       int s)
     t.pending;
+  Buffer.add_char b '|';
+  Sorted_tbl.iter (fun k () -> int k) t.ghosts;
   Buffer.add_char b '|';
   List.iter int (List.sort compare t.needs_full);
   int t.next_seq;

@@ -45,7 +45,24 @@ val handle_link_up : t -> nbr:int -> cost:float -> output list
 (** An adjacent link to [nbr] came up with the given cost. Sends the
     full main table to [nbr] as the paper's NTU step 2 requires. *)
 
-val handle_link_down : t -> nbr:int -> output list
+val handle_link_down : ?unconfirmed:bool -> t -> nbr:int -> output list
+(** An adjacent link to [nbr] went down. With [~unconfirmed:true]
+    (inferred detection: the peer may not know yet and may still route
+    on its old view of us), [nbr] is additionally remembered as a
+    {e ghost}: feasible distances are pinned — never raised, even at
+    ACTIVE-phase completion — until {!confirm_link_down} releases it,
+    because a departed-but-unaware neighbor can never acknowledge the
+    raise the LFI conditions would require. Default [false] (the
+    paper's bilateral oracle). *)
+
+val confirm_link_down : t -> nbr:int -> output list
+(** The embedding has established that [nbr] no longer routes on its
+    old view of this router (its side tore the adjacency down too, or
+    enough time passed that it must have). Releases the ghost; if that
+    was the last one and pinned feasible distances lag the current
+    distances, starts an empty diffusing computation so they recover
+    through the ordinary ACK-synchronized path. No-op if [nbr] is not
+    a ghost. *)
 
 val handle_link_cost : t -> nbr:int -> cost:float -> output list
 (** The measured cost (marginal delay) of the adjacent link changed. *)
@@ -82,6 +99,10 @@ val main_table : t -> Topo_table.t
 
 val stats_messages_sent : t -> int
 val stats_events : t -> int
+
+val stats_active_phases : t -> int
+(** PASSIVE -> ACTIVE transitions so far — each one is a diffusing
+    computation holding the FD frozen until all neighbors ACK. *)
 
 val copy : t -> t
 (** Deep copy: the clone shares no mutable state with the original.

@@ -198,6 +198,44 @@ let test_lint_allowlist () =
       check_int "suppressed" 1 report.Lint.suppressed;
       check "no violations" true (report.Lint.violations = []))
 
+let test_lint_stale_allowlist () =
+  (* Allowlist hygiene: entries that no longer suppress anything —
+     a line that moved, a file that was deleted — are reported as
+     failures so waivers cannot outlive the code they excused. *)
+  with_temp_repo (fun root ->
+      write_file
+        (Filename.concat root "lib/routing/waived.ml")
+        "let g tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n";
+      write_file
+        (Filename.concat root "lint/hashtbl-iteration.allow")
+        "# live entry, then a line that matches nothing\n\
+         lib/routing/waived.ml:1\n\
+         lib/routing/waived.ml:99\n";
+      write_file
+        (Filename.concat root "lint/obj-magic.allow")
+        "# entry for a file that no longer exists\nlib/routing/deleted.ml\n";
+      let report = Lint.run ~root () in
+      check_int "live entry suppresses" 1 report.Lint.suppressed;
+      check "no violations" true (report.Lint.violations = []);
+      let stale =
+        List.map
+          (fun s -> (s.Lint.stale_rule, s.Lint.stale_file, s.Lint.stale_line))
+          report.Lint.stale_allow
+      in
+      check_int "exactly the two dead entries are stale" 2 (List.length stale);
+      check "stale line entry reported" true
+        (List.mem ("hashtbl-iteration", "lib/routing/waived.ml", Some 99) stale);
+      check "stale deleted-file entry reported" true
+        (List.mem ("obj-magic", "lib/routing/deleted.ml", None) stale);
+      let rendered = Lint.render report in
+      check "render names the stale entry" true
+        (let contains needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         contains "stale entry lib/routing/deleted.ml" rendered))
+
 let test_lint_clean_and_float_helpers () =
   (* Float.equal / the epsilon helpers are the sanctioned spellings and
      must not be flagged. *)
@@ -269,6 +307,8 @@ let suite =
       test_lint_catches_seeded_violations;
     Alcotest.test_case "lint: rules respect directory scopes" `Quick test_lint_scoping;
     Alcotest.test_case "lint: allowlist suppresses" `Quick test_lint_allowlist;
+    Alcotest.test_case "lint: stale allowlist entries fail" `Quick
+      test_lint_stale_allowlist;
     Alcotest.test_case "lint: sanctioned float spellings pass" `Quick
       test_lint_clean_and_float_helpers;
     Alcotest.test_case "lint: JSON report" `Quick test_lint_json;

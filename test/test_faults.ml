@@ -11,6 +11,8 @@ module Engine = Mdr_eventsim.Engine
 module Router = Mdr_routing.Router
 module Network = Mdr_routing.Network
 module Dv_network = Mdr_routing.Harness.Dv_network
+module Harness = Mdr_routing.Harness
+module Hello = Mdr_routing.Hello
 module Channel = Mdr_faults.Channel
 module Campaign = Mdr_faults.Campaign
 
@@ -25,34 +27,34 @@ let test_channel_semantics () =
   let rng = Rng.create ~seed:1 in
   check "ideal delivers once" true (Channel.decide Channel.ideal ~rng ~now:0.0 = [ 0.0 ]);
   check "drop 1 loses all" true
-    (Channel.decide (Channel.drop ~p:1.0) ~rng ~now:0.0 = []);
+    (Channel.decide (Channel.drop ~p:1.0 ()) ~rng ~now:0.0 = []);
   check "drop 0 keeps all" true
-    (Channel.decide (Channel.drop ~p:0.0) ~rng ~now:0.0 = [ 0.0 ]);
+    (Channel.decide (Channel.drop ~p:0.0 ()) ~rng ~now:0.0 = [ 0.0 ]);
   check_int "duplicate 1 doubles" 2
-    (List.length (Channel.decide (Channel.duplicate ~p:1.0) ~rng ~now:0.0));
+    (List.length (Channel.decide (Channel.duplicate ~p:1.0 ()) ~rng ~now:0.0));
   let inside = Channel.decide (Channel.blackout ~from_:1.0 ~until_:2.0) ~rng ~now:1.5 in
   let outside = Channel.decide (Channel.blackout ~from_:1.0 ~until_:2.0) ~rng ~now:2.0 in
   check "blackout drops inside" true (inside = []);
   check "blackout passes outside" true (outside = [ 0.0 ]);
   let jittered =
-    Channel.decide (Channel.jitter ~max_delay:0.5) ~rng:(Rng.create ~seed:3) ~now:0.0
+    Channel.decide (Channel.jitter ~max_delay:0.5 ()) ~rng:(Rng.create ~seed:3) ~now:0.0
   in
   check "jitter delays within bound" true
     (match jittered with [ d ] -> d >= 0.0 && d <= 0.5 | _ -> false);
   check "quiet_after finds blackout end" true
     (Channel.quiet_after
-       (Channel.all [ Channel.drop ~p:0.1; Channel.blackout ~from_:1.0 ~until_:7.5 ])
+       (Channel.all [ Channel.drop ~p:0.1 (); Channel.blackout ~from_:1.0 ~until_:7.5 ])
     = 7.5);
   check "bad probability rejected" true
     (try
-       ignore (Channel.drop ~p:1.5);
+       ignore (Channel.drop ~p:1.5 ());
        false
      with Invalid_argument _ -> true)
 
 let test_channel_determinism () =
   let model =
     Channel.all
-      [ Channel.drop ~p:0.3; Channel.duplicate ~p:0.2; Channel.jitter ~max_delay:0.1 ]
+      [ Channel.drop ~p:0.3 (); Channel.duplicate ~p:0.2 (); Channel.jitter ~max_delay:0.1 () ]
   in
   let trace seed =
     let rng = Rng.create ~seed in
@@ -100,7 +102,7 @@ let test_reordering_duplication_storm () =
   let net = Network.create ~observer ~topo ~cost:base_cost () in
   Network.set_channel net
     (Channel.to_channel
-       (Channel.all [ Channel.duplicate ~p:0.3; Channel.jitter ~max_delay:0.05 ])
+       (Channel.all [ Channel.duplicate ~p:0.3 (); Channel.jitter ~max_delay:0.05 () ])
        ~rng:(Rng.create ~seed:6));
   Network.schedule_link_cost net ~at:1.0 ~src:0 ~dst:1 ~cost:25.0;
   Network.schedule_fail_duplex net ~at:2.0 ~a:2 ~b:3;
@@ -120,7 +122,7 @@ let test_dv_lossy_convergence () =
   in
   let net = Dv_network.create ~observer ~topo ~cost:base_cost () in
   Dv_network.set_channel net
-    (Channel.to_channel (Channel.drop ~p:0.25) ~rng:(Rng.create ~seed:10));
+    (Channel.to_channel (Channel.drop ~p:0.25 ()) ~rng:(Rng.create ~seed:10));
   let engine = Dv_network.engine net in
   let rec go () =
     if Dv_network.quiescent net then true
@@ -242,6 +244,121 @@ let test_partition_heals () =
        (fun dst -> dst = 9 || Float.is_finite (Router.distance r9 ~dst))
        (Graph.nodes topo))
 
+(* --- Hello-based failure detection (tentpole) -------------------------- *)
+
+let test_zero_loss_channel_transparent () =
+  (* Installing a channel engages sequencing, ACKs and retransmission
+     timers; with a zero-loss channel that machinery must be fully
+     transparent: the network converges to the same routes and never
+     retransmits. *)
+  let topo = Mdr_topology.Net1.topology () in
+  let bare = Network.create ~topo ~cost:base_cost () in
+  Network.run bare;
+  let piped = Network.create ~topo ~cost:base_cost () in
+  Network.set_channel piped
+    (Channel.to_channel Channel.ideal ~rng:(Rng.create ~seed:1));
+  Network.run piped;
+  check "bare run quiescent" true (Network.quiescent bare);
+  check "zero-loss run quiescent" true (Network.quiescent piped);
+  check_int "zero-loss channel never retransmits" 0
+    (Network.retransmissions piped);
+  List.iter
+    (fun dst ->
+      List.iter
+        (fun node ->
+          check "identical successor sets" true
+            (Network.successor_sets bare ~dst node
+            = Network.successor_sets piped ~dst node);
+          check "identical distances" true
+            (Float.equal
+               (Router.distance (Network.router bare node) ~dst)
+               (Router.distance (Network.router piped node) ~dst)))
+        (Graph.nodes topo))
+    (Graph.nodes topo)
+
+let test_hello_partition_heal_reforms_adjacencies () =
+  (* Under hello detection a healed partition must re-handshake every
+     cut adjacency back to Full in both directions — the session
+     numbers force both sides through a clean teardown/reform. *)
+  let topo = Mdr_topology.Net1.topology () in
+  let net =
+    Network.create
+      ~detection:(Harness.Hello Hello.default_params)
+      ~seed:3 ~topo ~cost:base_cost ()
+  in
+  let group = [ 0; 1; 2 ] in
+  let crosses (l : Graph.link) = List.mem l.src group <> List.mem l.dst group in
+  let cut = List.filter crosses (Graph.links topo) in
+  check "NET1 has cut links" true (cut <> []);
+  Network.schedule_partition net ~at:1.0 ~heal_at:10.0 ~group;
+  (* Partition at 1 s + 2 s dead interval: by 8 s every cut adjacency
+     must have been inferred down (no oracle told anyone). *)
+  Network.run ~until:8.0 net;
+  List.iter
+    (fun (l : Graph.link) ->
+      check "cut adjacency inferred down" true
+        (Network.adj_state net ~node:l.src ~nbr:l.dst = Hello.Down))
+    cut;
+  Network.run ~until:60.0 net;
+  List.iter
+    (fun (l : Graph.link) ->
+      check "healed adjacency Full both directions" true
+        (Network.adj_state net ~node:l.src ~nbr:l.dst = Hello.Full
+        && Network.adj_state net ~node:l.dst ~nbr:l.src = Hello.Full))
+    (Graph.links topo);
+  check "quiescent after heal" true (Network.quiescent net)
+
+let test_flap_damping_suppresses () =
+  (* A link flapping faster than the damping half-life must end up
+     suppressed (TwoWay, withheld from routing) even while physically
+     up; hellos are sped up so each outage is detected. *)
+  let params =
+    {
+      Hello.hello_interval = 0.1;
+      jitter = 0.25;
+      dead_interval = 0.35;
+      damping = Some Hello.default_damping;
+    }
+  in
+  let topo = Mdr_topology.Net1.topology () in
+  let net =
+    Network.create ~detection:(Harness.Hello params) ~seed:5 ~topo
+      ~cost:base_cost ()
+  in
+  let a, b = (0, 1) in
+  let cost = base_cost (Graph.link_exn topo ~src:a ~dst:b) in
+  for i = 0 to 2 do
+    let at = 2.0 +. (2.0 *. float_of_int i) in
+    Network.schedule_fail_duplex net ~at ~a ~b;
+    Network.schedule_restore_duplex net ~at:(at +. 1.0) ~a ~b ~cost
+  done;
+  (* Last restore at 6 s; probe shortly after, well inside the ~14 s
+     suppression hold. *)
+  Network.run ~until:7.5 net;
+  check "link physically up" true (Network.link_is_up net ~src:a ~dst:b);
+  check "three flaps detected" true (Network.adj_flaps net ~node:a ~nbr:b >= 3);
+  check "adjacency suppressed after repeated flaps" true
+    (Network.adj_suppressed net ~node:a ~nbr:b
+    || Network.adj_suppressed net ~node:b ~nbr:a);
+  check "suppressed means withheld, not Full" true
+    (Network.adj_state net ~node:a ~nbr:b <> Hello.Full
+    || Network.adj_state net ~node:b ~nbr:a <> Hello.Full);
+  (* The penalty decays; eventually the adjacency must come back and
+     the network must settle. *)
+  let engine = Network.engine net in
+  let rec go () =
+    if Network.quiescent net then true
+    else if Engine.now engine > 300.0 || Engine.pending engine = 0 then false
+    else begin
+      ignore (Engine.step engine);
+      go ()
+    end
+  in
+  check "suppression eventually released and settled" true (go ());
+  check "adjacency Full again" true
+    (Network.adj_state net ~node:a ~nbr:b = Hello.Full
+    && Network.adj_state net ~node:b ~nbr:a = Hello.Full)
+
 (* --- Data-plane crash/restart in the packet simulator ------------------ *)
 
 let test_sim_crash_epochs () =
@@ -316,6 +433,36 @@ let test_chaos_property () =
     audit (Campaign.run_dv ~topo ~seed plan)
   done
 
+let test_hello_chaos_property () =
+  (* The chaos property under inferred detection: failures discovered
+     by dead intervals, false positives from the lossy channel, flap
+     damping active — and still zero loop or LFI violations ever. *)
+  for seed = 1 to 12 do
+    let rng = Rng.create ~seed in
+    let topo = scenario_topo rng in
+    let plan =
+      Campaign.random_plan ~rng ~topo
+        { Campaign.default_profile with duration = 10.0 }
+    in
+    let detection = Harness.Hello Hello.default_params in
+    let m = Campaign.run_mpda ~detection ~topo ~seed plan in
+    let tag what = Printf.sprintf "hello seed %d MPDA: %s" seed what in
+    Alcotest.(check int) (tag "loop violations") 0 m.loop_violations;
+    Alcotest.(check int) (tag "lfi violations") 0 m.lfi_violations;
+    check (tag "converged") true m.converged;
+    check (tag "no permanent blackhole") false m.permanent_blackhole;
+    check (tag "detection produced latencies or absorbed flaps") true
+      (m.detection_latencies <> [] || m.detection_absorbed > 0);
+    (* DBF makes no loop-freedom promise, and inferred one-sided
+       teardowns expose exactly the transient loops MPDA's
+       feasible-distance pinning prevents — so DV is audited for
+       recovery, not for loop-freedom. *)
+    let d = Campaign.run_dv ~detection ~topo ~seed plan in
+    let tag what = Printf.sprintf "hello seed %d DV: %s" seed what in
+    check (tag "converged") true d.converged;
+    check (tag "no permanent blackhole") false d.permanent_blackhole
+  done
+
 let test_campaign_determinism () =
   let run () =
     let rng = Rng.create ~seed:77 in
@@ -344,7 +491,15 @@ let suite =
       test_crash_restart_reconverges;
     Alcotest.test_case "partition fails a cut and heals" `Quick test_partition_heals;
     Alcotest.test_case "sim: data-plane crash epochs" `Quick test_sim_crash_epochs;
+    Alcotest.test_case "hello: zero-loss channel is transparent" `Quick
+      test_zero_loss_channel_transparent;
+    Alcotest.test_case "hello: partition heal re-forms adjacencies" `Quick
+      test_hello_partition_heal_reforms_adjacencies;
+    Alcotest.test_case "hello: flap damping suppresses and releases" `Quick
+      test_flap_damping_suppresses;
     Alcotest.test_case "chaos: 200 scenarios, zero violations" `Slow test_chaos_property;
+    Alcotest.test_case "chaos: hello detection, zero violations" `Slow
+      test_hello_chaos_property;
     Alcotest.test_case "chaos: campaign is deterministic" `Quick
       test_campaign_determinism;
   ]
