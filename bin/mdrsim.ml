@@ -420,6 +420,113 @@ let chaos_cmd =
        ~doc:"Randomized fault-injection audit of MPDA and DV (loop-freedom + LFI).")
     Term.(const run $ seed_arg $ scenarios_arg $ duration_arg $ detection_arg)
 
+let overload_cmd =
+  (* Overload-SLO watchdog: push a workload to chosen multiples of its
+     feasible envelope and audit both halves of the pipeline — the
+     fluid solver must shed (never silently mis-solve), costs must stay
+     finite past the knee, and the MPDA control plane must survive the
+     resulting cost churn invariant-clean, with damping measurably
+     cutting successor flaps. *)
+  let module Overload = Mdr_faults.Overload in
+  let module Traffic = Mdr_fluid.Traffic in
+  let module Feasibility = Mdr_fluid.Feasibility in
+  let topo_arg =
+    let doc = "Topology: cairn or net1." in
+    Arg.(value & opt (enum [ ("cairn", `Cairn); ("net1", `Net1) ]) `Cairn
+         & info [ "topology"; "t" ] ~docv:"NAME" ~doc)
+  in
+  let loads_arg =
+    let doc =
+      "Comma-separated load multipliers, as fractions of the topology's \
+       feasible envelope (1.0 = the largest uniformly scaled load the \
+       min-cut admits)."
+    in
+    Arg.(value & opt (list float) [ 0.8; 1.0; 1.2; 1.5 ]
+         & info [ "loads" ] ~docv:"MULTS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the control-plane runs." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run topo loads seed =
+    match loads with
+    | [] ->
+      prerr_endline "overload: need at least one load multiplier";
+      2
+    | loads when List.exists (fun m -> m <= 0.0) loads ->
+      prerr_endline "overload: load multipliers must be > 0";
+      2
+    | loads ->
+      let w =
+        match topo with
+        | `Cairn -> Workload.cairn ~load:1.0
+        | `Net1 -> Workload.net1 ~load:1.0
+      in
+      let base = Workload.traffic w in
+      let packet_size = Workload.packet_size in
+      (* Admissible fractions are capped at 1, so probe at a certainly
+         infeasible load and scale back to recover the envelope. *)
+      let probe = 32.0 in
+      let frac_probe =
+        (Feasibility.report w.Workload.topo ~packet_size
+           (Traffic.scale base probe))
+          .Feasibility.fraction
+      in
+      let envelope = probe *. frac_probe in
+      Printf.printf
+        "%s feasible envelope: %.2fx the base workload; auditing %s of it\n\n"
+        w.Workload.name envelope
+        (String.concat ", " (List.map (fun m -> Printf.sprintf "%.2fx" m) loads));
+      let config = { Overload.default_config with seed } in
+      let rows =
+        List.map
+          (fun mult ->
+            let offered = Traffic.scale base (mult *. envelope) in
+            let r =
+              Overload.audit ~config ~topo:w.Workload.topo ~packet_size ~base
+                ~offered ()
+            in
+            (Printf.sprintf "%.2fx" mult, r))
+          loads
+      in
+      print_string (Overload.table rows);
+      print_newline ();
+      print_string (Overload.slo_table rows);
+      print_newline ();
+      let clean (r : Overload.report) =
+        r.Overload.fluid.Overload.costs_finite
+        && r.Overload.undamped.Overload.loop_violations = 0
+        && r.Overload.damped.Overload.loop_violations = 0
+        && r.Overload.undamped.Overload.lfi_violations = 0
+        && r.Overload.damped.Overload.lfi_violations = 0
+        && r.Overload.undamped.Overload.converged
+        && r.Overload.damped.Overload.converged
+      in
+      let checks =
+        List.map2
+          (fun mult (label, r) ->
+            let ok =
+              clean r && (mult <= 1.0 || r.Overload.fluid.Overload.degraded)
+            in
+            Printf.printf "  [%s] %s: %s\n"
+              (if ok then "PASS" else "FAIL")
+              label
+              (if not (clean r) then
+                 "non-finite costs, invariant violations or failed quiescence"
+               else if mult > 1.0 then "degraded gracefully (demand shed, reported)"
+               else "clean");
+            ok)
+          loads rows
+      in
+      exit_of_ok (List.for_all Fun.id checks)
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Overload-SLO audit: shedding, cost finiteness and control-plane \
+          stability past the feasible envelope.")
+    Term.(const run $ topo_arg $ loads_arg $ seed_arg)
+
 let lint_cmd =
   (* Static analysis over the repo's own sources: float equality,
      nondeterministic Hashtbl iteration in protocol code, catch-all
@@ -564,6 +671,7 @@ let cmds =
     simple_cmd "scale" ~doc:"Protocol convergence cost vs network size."
       Experiments.scale_protocol;
     chaos_cmd;
+    overload_cmd;
     lint_cmd;
     verify_cmd;
     compare_cmd;
@@ -579,4 +687,8 @@ let () =
       ~doc:
         "Reproduction of 'A Simple Approximation to Minimum-Delay Routing' (SIGCOMM 1999)."
   in
-  exit (Cmd.eval' (Cmd.group info cmds))
+  (* Exit-code contract: 0 = clean, 1 = a finding (failed check, lint
+     violation, SLO breach), 2 = usage error — both cmdliner parse
+     errors (via [~term_err]) and each subcommand's own argument
+     validation. *)
+  exit (Cmd.eval' ~term_err:2 (Cmd.group info cmds))

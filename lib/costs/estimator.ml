@@ -1,6 +1,11 @@
 module Delay = Mdr_fluid.Delay
 
-type sample = { arrival_rate : float; mean_sojourn : float; marginal : float }
+type sample = {
+  arrival_rate : float;
+  mean_sojourn : float;
+  marginal : float;
+  saturated : bool;
+}
 
 type kind =
   | Mm1 of Delay.t
@@ -77,6 +82,18 @@ let sample t ~now =
     | Measured_sojourn ->
       if t.departures = 0 then t.last_marginal else mean_sojourn +. t.prop_delay
   in
+  (* An estimate is a link cost: downstream routing sums and compares
+     these, so a pathological window must never leak NaN or infinity
+     into the pipeline — fall back to the previous finite estimate. *)
+  let marginal = if Float.is_finite marginal then marginal else t.last_marginal in
+  let saturated =
+    match t.kind with
+    | Mm1 model -> Delay.saturated model arrival_rate
+    | Busy_period | Measured_sojourn ->
+      (* Capacity is unknown: the overload signal is a growing backlog
+         (strictly more arrivals than departures over the window). *)
+      t.arrivals > t.departures && t.arrivals > 0
+  in
   t.last_marginal <- marginal;
   reset_window t ~now;
-  { arrival_rate; mean_sojourn; marginal }
+  { arrival_rate; mean_sojourn; marginal; saturated }

@@ -27,7 +27,15 @@
 type sample = {
   arrival_rate : float;  (** measured packets/s over the window *)
   mean_sojourn : float;  (** measured queueing+transmission delay, s *)
-  marginal : float;  (** the link cost estimate, s *)
+  marginal : float;
+      (** the link cost estimate, s — always finite and non-negative
+          (a window whose raw estimate is not finite reuses the
+          previous estimate instead of poisoning the cost pipeline) *)
+  saturated : bool;
+      (** overload signal: for {!mm1}, the measured arrival rate lies
+          beyond the delay model's knee ([Delay.saturated]); for the
+          capacity-oblivious estimators, the window's backlog grew
+          (strictly more arrivals than departures) *)
 }
 
 type t

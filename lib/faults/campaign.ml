@@ -6,6 +6,13 @@ module Tab = Mdr_util.Tab
 type fault =
   | Flap of { a : int; b : int; at : float; restore_at : float }
   | Cost_surge of { a : int; b : int; at : float; factor : float }
+  | Demand_surge of {
+      src : int;
+      dst : int;
+      factor : float;
+      at : float;
+      until_ : float;
+    }
   | Crash of { node : int; at : float; restart_at : float }
   | Partition of { group : int list; at : float; heal_at : float }
 
@@ -16,6 +23,7 @@ type profile = {
   flaps : int;
   crashes : int;
   cost_surges : int;
+  demand_surges : int;
   partition : bool;
   max_drop : float;
   max_duplicate : float;
@@ -29,6 +37,7 @@ let default_profile =
     flaps = 2;
     crashes = 1;
     cost_surges = 2;
+    demand_surges = 2;
     partition = true;
     max_drop = 0.3;
     max_duplicate = 0.1;
@@ -44,11 +53,16 @@ let duplex_pairs topo =
   |> Array.of_list
 
 let fault_start = function
-  | Flap { at; _ } | Cost_surge { at; _ } | Crash { at; _ } | Partition { at; _ } -> at
+  | Flap { at; _ }
+  | Cost_surge { at; _ }
+  | Demand_surge { at; _ }
+  | Crash { at; _ }
+  | Partition { at; _ } -> at
 
 let fault_end = function
   | Flap { restore_at; _ } -> restore_at
   | Cost_surge { at; _ } -> at
+  | Demand_surge { until_; _ } -> until_
   | Crash { restart_at; _ } -> restart_at
   | Partition { heal_at; _ } -> heal_at
 
@@ -77,6 +91,17 @@ let random_plan ~rng ~topo profile =
     let at = Rng.uniform rng ~lo:(0.05 *. d) ~hi:(0.9 *. d) in
     let factor = Rng.uniform rng ~lo:0.5 ~hi:3.0 in
     faults := Cost_surge { a; b; at; factor } :: !faults
+  done;
+  (* Demand surges are distinct (src, dst) commodities whose load
+     multiplies over a bounded window; like every other fault window
+     they close by 0.9 * duration, so the churn the surge causes is
+     part of what reconvergence is judged over. *)
+  for _ = 1 to profile.demand_surges do
+    let src = Rng.int rng ~bound:n in
+    let dst = (src + 1 + Rng.int rng ~bound:(n - 1)) mod n in
+    let factor = Rng.uniform rng ~lo:1.5 ~hi:4.0 in
+    let at, until_ = window () in
+    faults := Demand_surge { src; dst; factor; at; until_ } :: !faults
   done;
   (* Crash distinct nodes so windows cannot double-kill one router. *)
   let order = Array.init n Fun.id in
@@ -198,6 +223,34 @@ end
    makes destinations unreachable. *)
 let default_cost (l : Graph.link) = 100.0 +. (1000.0 *. l.prop_delay)
 
+(* The min-hop route a surging commodity (src, dst) rides; its directed
+   links are what the surge's extra queueing inflates. *)
+let min_hop_path topo ~src ~dst =
+  let n = Graph.node_count topo in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while (not (Queue.is_empty q)) && not seen.(dst) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      (Graph.neighbors topo u)
+  done;
+  if not seen.(dst) then []
+  else begin
+    let rec walk v acc =
+      if v = src then acc else walk parent.(v) ((parent.(v), v) :: acc)
+    in
+    walk dst []
+  end
+
 let schedule_fault (type a) (module N : NET with type t = a) (net : a) ~cost ~topo fault =
   match fault with
   | Flap { a; b; at; restore_at } ->
@@ -209,6 +262,16 @@ let schedule_fault (type a) (module N : NET with type t = a) (net : a) ~cost ~to
       ~cost:(factor *. cost (Graph.link_exn topo ~src:a ~dst:b));
     N.schedule_link_cost net ~at ~src:b ~dst:a
       ~cost:(factor *. cost (Graph.link_exn topo ~src:b ~dst:a))
+  | Demand_surge { src; dst; factor; at; until_ } ->
+    (* The control plane sees a demand surge as measured-cost inflation
+       along the commodity's path for the window, then restoration —
+       overload churn that must end with the churn window. *)
+    List.iter
+      (fun (u, v) ->
+        let base = cost (Graph.link_exn topo ~src:u ~dst:v) in
+        N.schedule_link_cost net ~at ~src:u ~dst:v ~cost:(factor *. base);
+        N.schedule_link_cost net ~at:until_ ~src:u ~dst:v ~cost:base)
+      (min_hop_path topo ~src ~dst)
   | Crash { node; at; restart_at } ->
     N.schedule_node_crash net ~at ~node;
     N.schedule_node_restart net ~at:restart_at ~node
@@ -332,6 +395,9 @@ let describe_fault topo fault =
     Printf.sprintf "t=%5.1fs  flap %s-%s (restore t=%.1fs)" at (name a) (name b) restore_at
   | Cost_surge { a; b; at; factor } ->
     Printf.sprintf "t=%5.1fs  cost x%.2f on %s-%s" at factor (name a) (name b)
+  | Demand_surge { src; dst; factor; at; until_ } ->
+    Printf.sprintf "t=%5.1fs  demand x%.2f on %s->%s (ends t=%.1fs)" at factor
+      (name src) (name dst) until_
   | Crash { node; at; restart_at } ->
     Printf.sprintf "t=%5.1fs  crash %s (restart t=%.1fs)" at (name node) restart_at
   | Partition { group; at; heal_at } ->

@@ -17,6 +17,18 @@ type fault =
   | Cost_surge of { a : int; b : int; at : float; factor : float }
       (** both directions' costs multiplied by [factor] (from the
           campaign's base cost) at [at] *)
+  | Demand_surge of {
+      src : int;
+      dst : int;
+      factor : float;
+      at : float;
+      until_ : float;
+    }
+      (** commodity (src, dst)'s load multiplied by [factor] over
+          [at, until_): the control plane sees the surge as
+          measured-cost inflation along the commodity's min-hop path,
+          restored when the window closes (surges always end inside
+          the churn window) *)
   | Crash of { node : int; at : float; restart_at : float }
   | Partition of { group : int list; at : float; heal_at : float }
 
@@ -31,6 +43,7 @@ type profile = {
   flaps : int;  (** number of link flap cycles *)
   crashes : int;  (** number of crash/restart cycles *)
   cost_surges : int;
+  demand_surges : int;  (** number of windowed per-commodity load surges *)
   partition : bool;  (** include one partition/heal of a random cut *)
   max_drop : float;  (** per-plan drop probability drawn in [0, max] *)
   max_duplicate : float;
@@ -39,7 +52,8 @@ type profile = {
 }
 
 val default_profile : profile
-(** 30 s of churn: 2 flaps, 1 crash, 2 cost surges, a partition every
+(** 30 s of churn: 2 flaps, 1 crash, 2 cost surges, 2 demand surges, a
+    partition every
     plan, drop up to 0.3, duplication up to 0.1, jitter up to 20 ms,
     one blackout window. The lossy layers expire at [duration] along
     with the scheduled faults, so reconvergence is judged over a clean

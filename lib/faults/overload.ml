@@ -1,0 +1,337 @@
+module Graph = Mdr_topology.Graph
+module Engine = Mdr_eventsim.Engine
+module Tab = Mdr_util.Tab
+module Flows = Mdr_fluid.Flows
+module Evaluate = Mdr_fluid.Evaluate
+module Feasibility = Mdr_fluid.Feasibility
+module Gallager = Mdr_gallager.Gallager
+module Net = Mdr_routing.Network
+module Cost_trigger = Mdr_routing.Cost_trigger
+
+type config = {
+  t_l : float;
+  surge_from : float;
+  surge_until : float;
+  settle_grace : float;
+  damping : Cost_trigger.params;
+  max_iters : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    t_l = 1.0;
+    surge_from = 5.0;
+    surge_until = 20.0;
+    settle_grace = 120.0;
+    damping = Cost_trigger.default_params;
+    max_iters = 300;
+    seed = 1;
+  }
+
+type fluid_slo = {
+  feasible_fraction : float;
+  admitted_fraction : float;
+  shed_fraction : float;
+  degraded : bool;
+  degrade_reason : string option;
+  base_delay : float;
+  overload_delay : float;
+  delay_ratio : float;
+  costs_finite : bool;
+  saturated_links : int;
+}
+
+type control_slo = {
+  successor_flaps : int;
+  loop_violations : int;
+  lfi_violations : int;
+  cost_updates_offered : int;
+  cost_updates_applied : int;
+  quiesce : float;
+  converged : bool;
+}
+
+type report = {
+  fluid : fluid_slo;
+  undamped : control_slo;
+  damped : control_slo;
+}
+
+let validate config =
+  if config.t_l <= 0.0 then invalid_arg "Overload: t_l must be > 0";
+  if config.surge_from <= 0.0 || config.surge_until <= config.surge_from then
+    invalid_arg "Overload: need 0 < surge_from < surge_until";
+  if config.settle_grace < 0.0 then
+    invalid_arg "Overload: settle_grace must be >= 0";
+  if config.max_iters <= 0 then invalid_arg "Overload: max_iters must be > 0";
+  Cost_trigger.validate config.damping
+
+(* --- Fluid side: feasibility, degradation, and the cost audit -------- *)
+
+let audit_fluid ~config ~model ~topo ~packet_size ~base ~offered =
+  let solve = Gallager.solve ~max_iters:config.max_iters model topo in
+  let base_res = solve base in
+  let over_res = solve offered in
+  let feas = Feasibility.report topo ~packet_size offered in
+  let admitted_fraction, degrade_reason =
+    match over_res.Gallager.status with
+    | Gallager.Feasible -> (1.0, None)
+    | Gallager.Degraded d ->
+      ( d.Gallager.admitted_fraction,
+        Some
+          (match d.Gallager.reason with
+          | `Min_cut -> "min-cut"
+          | `No_convergence -> "no-convergence") )
+  in
+  (* The raw offered matrix routed on the base configuration: flows run
+     past capacity exactly where the overload bites, which is what the
+     saturation-safe cost pipeline must keep finite. *)
+  let raw_flows =
+    Flows.compute ~iterative_fallback:true base_res.Gallager.params offered
+  in
+  let fluid =
+    {
+      feasible_fraction = feas.Feasibility.fraction;
+      admitted_fraction;
+      shed_fraction = 1.0 -. admitted_fraction;
+      degraded = over_res.Gallager.status <> Gallager.Feasible;
+      degrade_reason;
+      base_delay = base_res.Gallager.avg_delay;
+      overload_delay = over_res.Gallager.avg_delay;
+      delay_ratio =
+        (if base_res.Gallager.avg_delay > 0.0 then
+           over_res.Gallager.avg_delay /. base_res.Gallager.avg_delay
+         else Float.nan);
+      costs_finite =
+        Evaluate.costs_finite model over_res.Gallager.flows
+        && Evaluate.costs_finite model raw_flows;
+      saturated_links = List.length (Evaluate.saturated_links model raw_flows);
+    }
+  in
+  (fluid, base_res, raw_flows)
+
+(* --- Control side: drive MPDA with the overload's measured costs ------ *)
+
+(* Snapshot every router's successor sets and count entries that
+   changed since the last snapshot. *)
+let probe_flaps ~n ~prev ~first net =
+  let changes = ref 0 in
+  for dst = 0 to n - 1 do
+    for node = 0 to n - 1 do
+      if node <> dst then begin
+        let s = List.sort compare (Net.successor_sets net ~dst node) in
+        if s <> prev.(node).(dst) then begin
+          if not first then incr changes;
+          prev.(node).(dst) <- s
+        end
+      end
+    done
+  done;
+  !changes
+
+let drive_control ~config ~topo ~base_cost ~surge_cost ~saturated ~damping =
+  let n = Graph.node_count topo in
+  let loopv = ref 0 and lfiv = ref 0 in
+  let observer net =
+    if not (Net.check_loop_free net) then incr loopv;
+    if not (Net.check_lfi net) then incr lfiv
+  in
+  let net =
+    Net.create ~seed:config.seed ~observer ~topo
+      ~cost:(fun l -> base_cost ~src:l.Graph.src ~dst:l.Graph.dst)
+      ()
+  in
+  (match damping with Some p -> Net.set_cost_damping net p | None -> ());
+  (* Cost schedule: during the surge window, saturated links flap
+     between their overload cost and their base cost every T_l tick
+     (measured marginals near the knee genuinely swing this hard);
+     unsaturated links step to their overload cost once. At
+     [surge_until] everything is restored. Only actual changes are
+     scheduled. *)
+  let last = Hashtbl.create 64 in
+  let sched ~at ~src ~dst ~cost =
+    let changed =
+      match Hashtbl.find_opt last (src, dst) with
+      | Some c -> not (Float.equal c cost)
+      | None -> not (Float.equal cost (base_cost ~src ~dst))
+    in
+    if changed then begin
+      Hashtbl.replace last (src, dst) cost;
+      Net.schedule_link_cost net ~at ~src ~dst ~cost
+    end
+  in
+  let links = Graph.links topo in
+  let k = ref 0 in
+  let t = ref config.surge_from in
+  while !t < config.surge_until do
+    List.iter
+      (fun (l : Graph.link) ->
+        let src = l.Graph.src and dst = l.Graph.dst in
+        let cost =
+          if saturated ~src ~dst && !k mod 2 = 1 then base_cost ~src ~dst
+          else surge_cost ~src ~dst
+        in
+        sched ~at:!t ~src ~dst ~cost)
+      links;
+    incr k;
+    t := config.surge_from +. (float_of_int !k *. config.t_l)
+  done;
+  List.iter
+    (fun (l : Graph.link) ->
+      let src = l.Graph.src and dst = l.Graph.dst in
+      sched ~at:config.surge_until ~src ~dst ~cost:(base_cost ~src ~dst))
+    links;
+  (* Successor-set probes midway between ticks: the first (before the
+     surge) is the reference snapshot, the rest count flaps. *)
+  let engine = Net.engine net in
+  let prev = Array.make_matrix n n [] in
+  let flaps = ref 0 in
+  let nprobes =
+    int_of_float (Float.ceil ((config.surge_until -. config.surge_from) /. config.t_l))
+  in
+  for i = 0 to nprobes do
+    let at = config.surge_from +. ((float_of_int i -. 0.5) *. config.t_l) in
+    ignore
+      (Engine.schedule_at engine ~time:at (fun () ->
+           flaps := !flaps + probe_flaps ~n ~prev ~first:(i = 0) net))
+  done;
+  Net.run ~until:config.surge_until net;
+  let deadline = config.surge_until +. config.settle_grace in
+  let rec settle () =
+    if Net.quiescent net then Some (Engine.now engine)
+    else if Engine.now engine > deadline || Engine.pending engine = 0 then None
+    else begin
+      ignore (Engine.step engine);
+      settle ()
+    end
+  in
+  let settled = settle () in
+  {
+    successor_flaps = !flaps;
+    loop_violations = !loopv;
+    lfi_violations = !lfiv;
+    cost_updates_offered = Net.cost_updates_offered net;
+    cost_updates_applied = Net.cost_updates_applied net;
+    quiesce =
+      (match settled with
+      | Some at -> Float.max 0.0 (at -. config.surge_until)
+      | None -> Float.nan);
+    converged = settled <> None && Net.check_loop_free net && Net.check_lfi net;
+  }
+
+let audit ?(config = default_config) ~topo ~packet_size ~base ~offered () =
+  validate config;
+  let model = Evaluate.model topo ~packet_size in
+  let fluid, base_res, raw_flows =
+    audit_fluid ~config ~model ~topo ~packet_size ~base ~offered
+  in
+  (* Costs the control plane would measure: marginal delays of the base
+     configuration, and of the raw overload riding the base routes.
+     Scaled to dimensionless routing costs (the router only compares
+     them). *)
+  let scale = 1.0e3 in
+  let base_cost ~src ~dst =
+    scale *. Evaluate.link_cost model base_res.Gallager.flows ~src ~dst
+  in
+  let surge_cost ~src ~dst =
+    scale *. Evaluate.link_cost model raw_flows ~src ~dst
+  in
+  let sat = Evaluate.saturated_links model raw_flows in
+  let saturated ~src ~dst = List.mem (src, dst) sat in
+  let undamped =
+    drive_control ~config ~topo ~base_cost ~surge_cost ~saturated ~damping:None
+  in
+  let damped =
+    drive_control ~config ~topo ~base_cost ~surge_cost ~saturated
+      ~damping:(Some config.damping)
+  in
+  { fluid; undamped; damped }
+
+(* --- Rendering -------------------------------------------------------- *)
+
+let cell = Tab.float_cell ~decimals:3
+
+let table rows =
+  let row (label, r) =
+    let f = r.fluid in
+    [
+      label;
+      cell f.feasible_fraction;
+      cell f.admitted_fraction;
+      cell f.shed_fraction;
+      (match f.degrade_reason with Some s -> s | None -> "feasible");
+      Tab.float_cell ~decimals:2 f.delay_ratio;
+      string_of_int f.saturated_links;
+      (if f.costs_finite then "yes" else "NO");
+      string_of_int r.undamped.successor_flaps;
+      string_of_int r.damped.successor_flaps;
+      string_of_int (r.undamped.lfi_violations + r.damped.lfi_violations);
+      Tab.float_cell ~decimals:2 r.undamped.quiesce;
+      Tab.float_cell ~decimals:2 r.damped.quiesce;
+      (if r.undamped.converged && r.damped.converged then "yes" else "NO");
+    ]
+  in
+  Tab.render
+    ~header:
+      [
+        "load"; "feas-frac"; "admitted"; "shed"; "status"; "delay-x";
+        "sat-links"; "finite"; "flaps"; "flaps(damped)"; "lfi-viol";
+        "quiesce(s)"; "quiesce-d(s)"; "converged";
+      ]
+    (List.map row rows)
+
+let shed_slo rows = Recovery.slo (List.map (fun (_, r) -> r.fluid.shed_fraction) rows)
+
+let slo_table rows =
+  let shed = shed_slo rows in
+  let flap_cut =
+    let u =
+      List.fold_left (fun acc (_, r) -> acc + r.undamped.successor_flaps) 0 rows
+    in
+    let d =
+      List.fold_left (fun acc (_, r) -> acc + r.damped.successor_flaps) 0 rows
+    in
+    (u, d)
+  in
+  let quiesces damped =
+    Recovery.slo
+      (List.map
+         (fun (_, r) -> if damped then r.damped.quiesce else r.undamped.quiesce)
+         rows)
+  in
+  let qu = quiesces false and qd = quiesces true in
+  let u, d = flap_cut in
+  Tab.render
+    ~header:[ "overload SLO"; "n"; "p50"; "p95"; "max" ]
+    [
+      [
+        "shed fraction";
+        string_of_int shed.Recovery.count;
+        cell shed.Recovery.p50;
+        cell shed.Recovery.p95;
+        cell shed.Recovery.max_;
+      ];
+      [
+        "cost-churn quiescence (s)";
+        string_of_int qu.Recovery.count;
+        cell qu.Recovery.p50;
+        cell qu.Recovery.p95;
+        cell qu.Recovery.max_;
+      ];
+      [
+        "quiescence, damped (s)";
+        string_of_int qd.Recovery.count;
+        cell qd.Recovery.p50;
+        cell qd.Recovery.p95;
+        cell qd.Recovery.max_;
+      ];
+      [
+        "successor flaps (undamped -> damped)";
+        string_of_int (List.length rows);
+        string_of_int u;
+        string_of_int d;
+        (if d = 0 then if u = 0 then "1.00x" else "inf"
+         else Printf.sprintf "%.2fx" (float_of_int u /. float_of_int d));
+      ];
+    ]

@@ -1,0 +1,105 @@
+(** Overload-SLO watchdog: one auditor for how the whole pipeline
+    behaves when offered demand exceeds what the network can carry.
+
+    The paper's machinery silently assumes feasible input rates; this
+    module measures what the repo {e guarantees} beyond that
+    assumption, on both halves of the system:
+
+    - {b Fluid half}: {!Mdr_fluid.Feasibility} min-cut fractions, the
+      admitted fraction / shed fraction and degradation reason from
+      {!Mdr_gallager.Gallager.solve}, the delay of the admitted load
+      relative to the feasible baseline, and the saturation-safe cost
+      audit ({!Mdr_fluid.Evaluate.costs_finite}) over flows pushed past
+      capacity on purpose.
+    - {b Control half}: MPDA driven by the overload's measured marginal
+      costs — saturated links flap between their overload and base
+      costs every T_l during the surge window, the cost churn a real
+      estimator would report near the knee. The run is audited for
+      successor-set flaps, loop-freedom/LFI violations, and cost-churn
+      quiescence (seconds from the end of the surge to a quiescent
+      network), once without and once with {!Mdr_routing.Cost_trigger}
+      damping. Damping should cut the flap count by a measured factor
+      while both runs stay invariant-clean. *)
+
+type config = {
+  t_l : float;  (** long-term cost update period, seconds *)
+  surge_from : float;  (** surge window start (network converges first) *)
+  surge_until : float;  (** surge window end (costs restored here) *)
+  settle_grace : float;
+      (** how long past [surge_until] the run may take to quiesce *)
+  damping : Mdr_routing.Cost_trigger.params;  (** the damped run's knobs *)
+  max_iters : int;  (** OPT iteration budget for the fluid solves *)
+  seed : int;
+}
+
+val default_config : config
+(** T_l = 1 s, surge over [5 s, 20 s), 120 s grace,
+    {!Mdr_routing.Cost_trigger.default_params}, 300 OPT iterations,
+    seed 1. *)
+
+type fluid_slo = {
+  feasible_fraction : float;
+      (** {!Mdr_fluid.Feasibility.report} on the offered matrix *)
+  admitted_fraction : float;  (** what the solver actually admitted *)
+  shed_fraction : float;  (** [1 - admitted_fraction] *)
+  degraded : bool;
+  degrade_reason : string option;
+      (** ["min-cut"] or ["no-convergence"] when degraded *)
+  base_delay : float;  (** OPT average delay of the base matrix, s *)
+  overload_delay : float;  (** OPT average delay of the admitted matrix, s *)
+  delay_ratio : float;  (** overload over base; the SLO's "delay vs OPT" *)
+  costs_finite : bool;
+      (** saturation-safe audit over the admitted flows {e and} the raw
+          offered flows pushed past capacity — must be [true] *)
+  saturated_links : int;
+      (** directed links past their knee under the raw offered load *)
+}
+
+type control_slo = {
+  successor_flaps : int;
+      (** successor-set entries changed between consecutive per-tick
+          snapshots during the surge window, over all (router,
+          destination) pairs *)
+  loop_violations : int;  (** must be 0 *)
+  lfi_violations : int;  (** must be 0 *)
+  cost_updates_offered : int;
+  cost_updates_applied : int;
+      (** with damping, applied < offered is the mechanism working *)
+  quiesce : float;
+      (** seconds from [surge_until] to quiescence; [nan] = never *)
+  converged : bool;
+}
+
+type report = {
+  fluid : fluid_slo;
+  undamped : control_slo;
+  damped : control_slo;
+}
+
+val audit :
+  ?config:config ->
+  topo:Mdr_topology.Graph.t ->
+  packet_size:float ->
+  base:Mdr_fluid.Traffic.t ->
+  offered:Mdr_fluid.Traffic.t ->
+  unit ->
+  report
+(** Audit one overload scenario: [base] is a comfortably feasible
+    reference matrix, [offered] the (possibly infeasible) load under
+    test. Deterministic given the inputs and [config.seed].
+    @raise Invalid_argument on a non-positive [t_l] or [max_iters], a
+    degenerate surge window, or invalid damping parameters. *)
+
+val table : (string * report) list -> string
+(** One row per labelled scenario: feasibility, admission, shedding,
+    degradation status, delay ratio, saturated-link and flap counts
+    (undamped vs damped), invariant violations and quiescence.
+    Rendered with {!Mdr_util.Tab}. *)
+
+val shed_slo : (string * report) list -> Recovery.slo
+(** Percentiles of the shed fraction across scenarios. *)
+
+val slo_table : (string * report) list -> string
+(** The watchdog summary: shed-fraction percentiles, cost-churn
+    quiescence percentiles (undamped and damped), and the total
+    successor-flap reduction factor. *)

@@ -12,16 +12,35 @@ let of_link ?rho_max ~packet_size (l : Mdr_topology.Graph.link) =
 
 let knee t = t.rho_max *. t.capacity
 
-(* Exact M/M/1 pieces, valid for f < capacity. *)
-let cost_mm1 t f = (f /. (t.capacity -. f)) +. (t.prop_delay *. f)
+let saturated t f = f > knee t
+
+(* Raw M/M/1 pieces. They go negative past [capacity] and blow up at
+   it, so every public entry point routes through the knee extension;
+   the guards keep any future internal caller honest. *)
+let cost_mm1 t f =
+  if f >= t.capacity then invalid_arg "Delay.cost_mm1: flow at or past capacity";
+  (f /. (t.capacity -. f)) +. (t.prop_delay *. f)
 
 let marginal_mm1 t f =
+  if f >= t.capacity then invalid_arg "Delay.marginal_mm1: flow at or past capacity";
   (t.capacity /. ((t.capacity -. f) ** 2.0)) +. t.prop_delay
 
-let second_mm1 t f = 2.0 *. t.capacity /. ((t.capacity -. f) ** 3.0)
+let second_mm1 t f =
+  if f >= t.capacity then invalid_arg "Delay.second_mm1: flow at or past capacity";
+  2.0 *. t.capacity /. ((t.capacity -. f) ** 3.0)
+
+(* Every public function is total on [0, infinity): any finite
+   non-negative flow yields a finite value (the knee's Taylor extension
+   takes over past [rho_max * capacity]); non-finite or negative input
+   is a caller bug and is rejected loudly rather than propagated as
+   NaN through the cost pipeline. *)
+let check_flow fn f =
+  if not (Float.is_finite f) then
+    invalid_arg (Printf.sprintf "Delay.%s: non-finite flow" fn);
+  if f < 0.0 then invalid_arg (Printf.sprintf "Delay.%s: negative flow" fn)
 
 let cost t f =
-  if f < 0.0 then invalid_arg "Delay.cost: negative flow";
+  check_flow "cost" f;
   let f0 = knee t in
   if f <= f0 then cost_mm1 t f
   else
@@ -29,18 +48,17 @@ let cost t f =
     cost_mm1 t f0 +. (marginal_mm1 t f0 *. d) +. (0.5 *. second_mm1 t f0 *. d *. d)
 
 let marginal t f =
-  if f < 0.0 then invalid_arg "Delay.marginal: negative flow";
+  check_flow "marginal" f;
   let f0 = knee t in
   if f <= f0 then marginal_mm1 t f
   else marginal_mm1 t f0 +. (second_mm1 t f0 *. (f -. f0))
 
 let second t f =
-  if f < 0.0 then invalid_arg "Delay.second: negative flow";
-  let f0 = knee t in
-  second_mm1 t (Float.min f f0)
+  check_flow "second" f;
+  second_mm1 t (Float.min f (knee t))
 
 let sojourn t f =
-  if f < 0.0 then invalid_arg "Delay.sojourn: negative flow";
+  check_flow "sojourn" f;
   if Float.equal f 0.0 then (1.0 /. t.capacity) +. t.prop_delay
   else if f <= knee t then (1.0 /. (t.capacity -. f)) +. t.prop_delay
   else cost t f /. f

@@ -30,8 +30,20 @@ val of_link : ?rho_max:float -> packet_size:float -> Mdr_topology.Graph.link -> 
 (** Convert a topology link (capacity in bits/s) using the mean
     [packet_size] in bits. *)
 
+val knee : t -> float
+(** [rho_max * capacity], the flow where the Taylor extension takes
+    over from the exact M/M/1 forms — the saturation point of the cost
+    pipeline. *)
+
+val saturated : t -> float -> bool
+(** [saturated t f] is true when [f] lies beyond the knee: the
+    reported cost is the convex extension, not the M/M/1 value, and
+    the link is operating past its engineered utilisation cap. *)
+
 val cost : t -> float -> float
-(** [cost t f] is D(f) for [f >= 0]. *)
+(** [cost t f] is D(f) for [f >= 0]. Total on [0, infinity): finite,
+    positive and strictly increasing for every finite non-negative
+    flow. @raise Invalid_argument on negative or non-finite [f]. *)
 
 val marginal : t -> float -> float
 (** [marginal t f] is D'(f); strictly increasing in [f]. *)

@@ -35,6 +35,25 @@ let link_cost m flows ~src ~dst =
   let f = Flows.link_flow flows ~src ~dst in
   Delay.marginal (delay_of_link m ~src ~dst) f
 
+let saturated_links m flows =
+  List.rev
+    (Graph.fold_links m.topo ~init:[] ~f:(fun acc l ->
+         let f = Flows.link_flow flows ~src:l.src ~dst:l.dst in
+         if Delay.saturated (delay_of_link m ~src:l.src ~dst:l.dst) f then
+           (l.src, l.dst) :: acc
+         else acc))
+
+let costs_finite m flows =
+  Graph.fold_links m.topo ~init:true ~f:(fun ok l ->
+      let f = Flows.link_flow flows ~src:l.src ~dst:l.dst in
+      let d = delay_of_link m ~src:l.src ~dst:l.dst in
+      ok
+      && Float.is_finite f && f >= 0.0
+      && Float.is_finite (Delay.cost d f)
+      && Float.is_finite (Delay.marginal d f)
+      && Delay.cost d f >= 0.0
+      && Delay.marginal d f > 0.0)
+
 let link_costs m flows =
   let table = Hashtbl.create (Graph.link_count m.topo) in
   Graph.fold_links m.topo ~init:() ~f:(fun () l ->

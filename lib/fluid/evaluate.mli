@@ -30,6 +30,17 @@ val link_cost : model -> Flows.t -> src:int -> dst:int -> float
 val link_costs : model -> Flows.t -> (int * int, float) Hashtbl.t
 (** Marginal delay of every link of the topology. *)
 
+val saturated_links : model -> Flows.t -> (int * int) list
+(** Directed links whose flow lies beyond their delay model's knee
+    ([Delay.saturated]): costs are the convex extension there, and the
+    link is overloaded. In link insertion order. *)
+
+val costs_finite : model -> Flows.t -> bool
+(** Audit of the saturation-safe contract: every link flow is finite
+    and non-negative, and every link's cost and marginal cost are
+    finite with [cost >= 0] and [marginal > 0]. Holds for any flow
+    assignment produced by the fluid pipeline. *)
+
 val per_flow_delays : model -> Params.t -> Flows.t -> Traffic.t -> (Traffic.flow * float) list
 (** Expected end-to-end delay of each input flow under the current
     routing: d_dst(i) = sum_k phi_{i,dst,k} (sojourn_ik + d_dst(k)).

@@ -1,0 +1,122 @@
+module Graph = Mdr_topology.Graph
+
+(* Edmonds-Karp max-flow on a dense capacity matrix; networks here are
+   tens of nodes, so simplicity wins over asymptotics. *)
+let edmonds_karp cap ~src ~dst =
+  let n = Array.length cap in
+  let residual = Array.map Array.copy cap in
+  let parent = Array.make n (-1) in
+  let total = ref 0.0 in
+  let eps = 1e-12 in
+  let rec augment () =
+    Array.fill parent 0 n (-1);
+    parent.(src) <- src;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while (not (Queue.is_empty queue)) && parent.(dst) < 0 do
+      let u = Queue.pop queue in
+      for v = 0 to n - 1 do
+        if parent.(v) < 0 && residual.(u).(v) > eps then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end
+      done
+    done;
+    if parent.(dst) >= 0 then begin
+      let bottleneck = ref infinity in
+      let v = ref dst in
+      while !v <> src do
+        let u = parent.(!v) in
+        bottleneck := Float.min !bottleneck residual.(u).(!v);
+        v := u
+      done;
+      let v = ref dst in
+      while !v <> src do
+        let u = parent.(!v) in
+        residual.(u).(!v) <- residual.(u).(!v) -. !bottleneck;
+        residual.(!v).(u) <- residual.(!v).(u) +. !bottleneck;
+        v := u
+      done;
+      total := !total +. !bottleneck;
+      augment ()
+    end
+  in
+  augment ();
+  !total
+
+let capacity_matrix ?(cap = 1.0) topo ~packet_size =
+  if packet_size <= 0.0 then
+    invalid_arg "Feasibility: packet_size <= 0";
+  if cap <= 0.0 || cap > 1.0 then
+    invalid_arg "Feasibility: cap must be in (0, 1]";
+  let n = Graph.node_count topo in
+  (* Slot n is the super-source feeding each commodity's origin. *)
+  let m = Array.make_matrix (n + 1) (n + 1) 0.0 in
+  Graph.fold_links topo ~init:() ~f:(fun () l ->
+      m.(l.src).(l.dst) <- cap *. l.capacity /. packet_size);
+  m
+
+let max_flow ?cap topo ~packet_size ~sources ~dst =
+  let n = Graph.node_count topo in
+  let m = capacity_matrix ?cap topo ~packet_size in
+  List.iter
+    (fun (src, demand) ->
+      if src < 0 || src >= n then invalid_arg "Feasibility.max_flow: source out of range";
+      if demand < 0.0 then invalid_arg "Feasibility.max_flow: negative demand";
+      m.(n).(src) <- m.(n).(src) +. demand)
+    sources;
+  edmonds_karp m ~src:n ~dst
+
+(* Largest uniform fraction alpha such that every source can ship
+   alpha times its demand to [dst] simultaneously: feasible iff the
+   max-flow with source edges capped at alpha * r equals alpha * total
+   demand. Monotone in alpha, so bisection converges fast; note that
+   max-flow / demand alone overestimates alpha (it may starve one
+   source to saturate another). *)
+let destination_fraction ?cap topo ~packet_size ~sources ~dst =
+  let demand = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 sources in
+  if demand <= 0.0 then 1.0
+  else begin
+    let feasible alpha =
+      let scaled = List.map (fun (s, r) -> (s, alpha *. r)) sources in
+      let flow = max_flow ?cap topo ~packet_size ~sources:scaled ~dst in
+      flow >= (alpha *. demand) -. (1e-9 *. demand)
+    in
+    if feasible 1.0 then 1.0
+    else begin
+      let lo = ref 0.0 and hi = ref 1.0 in
+      for _ = 1 to 40 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if feasible mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+type report = {
+  fraction : float;
+  per_destination : (int * float) list;
+  bottleneck : int option;
+}
+
+let feasible r = r.fraction >= 1.0
+
+let report ?cap topo ~packet_size traffic =
+  let per_destination =
+    List.map
+      (fun dst ->
+        let sources =
+          List.filter_map
+            (fun (f : Traffic.flow) ->
+              if f.dst = dst then Some (f.src, f.rate) else None)
+            (Traffic.flows traffic)
+        in
+        (dst, destination_fraction ?cap topo ~packet_size ~sources ~dst))
+      (Traffic.destinations traffic)
+  in
+  let fraction, bottleneck =
+    List.fold_left
+      (fun (best, who) (dst, f) -> if f < best then (f, Some dst) else (best, who))
+      (1.0, None) per_destination
+  in
+  { fraction; per_destination; bottleneck }

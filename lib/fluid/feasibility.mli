@@ -1,0 +1,46 @@
+(** Demand feasibility: can the offered traffic physically fit?
+
+    The paper's stability argument (and Gallager's OPT) assumes the
+    input rates admit some routing with every link flow strictly below
+    capacity. This module checks the per-destination necessary
+    condition by max-flow: for each destination [d], the largest
+    uniform fraction [alpha] such that every source can ship
+    [alpha * r_i(d)] to [d] simultaneously (bisection over a
+    super-source max-flow). The network-wide {!report} takes the
+    minimum over destinations.
+
+    The bound is exact per destination but only {e necessary} jointly
+    (different destinations compete for shared links), so callers that
+    must guarantee convergence — {!Mdr_gallager.Gallager.solve}'s
+    degradation path — pair it with non-convergence detection and
+    shrink further when needed. *)
+
+val max_flow :
+  ?cap:float ->
+  Mdr_topology.Graph.t ->
+  packet_size:float ->
+  sources:(int * float) list ->
+  dst:int ->
+  float
+(** Max flow (packets/s) from a super-source feeding each [(src,
+    demand)] — demand caps the source's edge — to [dst], over link
+    capacities converted with [packet_size] and scaled by [cap]
+    (fraction of raw capacity usable, default 1.0). *)
+
+type report = {
+  fraction : float;
+      (** largest uniform admissible fraction over all destinations,
+          capped at 1.0 (1.0 = every commodity fits) *)
+  per_destination : (int * float) list;
+      (** (destination, its max uniform fraction), one entry per
+          destination with demand *)
+  bottleneck : int option;
+      (** the destination attaining the minimum; [None] when feasible *)
+}
+
+val feasible : report -> bool
+(** [fraction >= 1.0]. *)
+
+val report :
+  ?cap:float -> Mdr_topology.Graph.t -> packet_size:float -> Traffic.t -> report
+(** Analyse one traffic matrix. [cap] as in {!max_flow}. *)

@@ -5,6 +5,16 @@ module Flows = Fluid.Flows
 module Traffic = Fluid.Traffic
 module Evaluate = Fluid.Evaluate
 module Delay = Fluid.Delay
+module Feasibility = Fluid.Feasibility
+
+type degradation = {
+  admitted_fraction : float;
+  shed : (Traffic.flow * float) list;
+  per_destination : (int * float) list;
+  reason : [ `Min_cut | `No_convergence ];
+}
+
+type status = Feasible | Degraded of degradation
 
 type result = {
   params : Params.t;
@@ -14,6 +24,8 @@ type result = {
   iterations : int;
   history : float list;
   converged : bool;
+  status : status;
+  admitted : Traffic.t;
 }
 
 let spf_params model topo =
@@ -154,8 +166,10 @@ let update_destination ?(second_order = false) model params flows ~eta ~dst =
   done;
   !max_change
 
-let solve ?(eta = 1.0e4) ?(adaptive = true) ?(second_order = false)
-    ?(max_iters = 2000) ?(tol = 1e-9) ?init model topo traffic =
+(* The gradient-projection loop itself, run on an (already admitted)
+   traffic matrix; feasibility handling lives in [solve]. *)
+let solve_admitted ~eta ~adaptive ~second_order ~max_iters ~tol ?init model topo
+    traffic =
   if eta <= 0.0 then invalid_arg "Gallager.solve: eta <= 0";
   let params =
     match init with Some p -> Params.copy p | None -> spf_params model topo
@@ -224,15 +238,66 @@ let solve ?(eta = 1.0e4) ?(adaptive = true) ?(second_order = false)
     end
   done;
   let flows = Flows.compute ~iterative_fallback:true params traffic in
+  (params, flows, !iterations, List.rev !history, !converged)
+
+let finish model (params, flows, iterations, history, converged) ~status ~admitted =
   {
     params;
     flows;
     total_cost = Evaluate.total_cost model flows;
-    avg_delay = Evaluate.average_delay model flows traffic;
-    iterations = !iterations;
-    history = List.rev !history;
-    converged = !converged;
+    avg_delay = Evaluate.average_delay model flows admitted;
+    iterations;
+    history;
+    converged;
+    status;
+    admitted;
   }
+
+let solve ?(eta = 1.0e4) ?(adaptive = true) ?(second_order = false)
+    ?(max_iters = 2000) ?(tol = 1e-9) ?(degrade = true) ?init model topo traffic =
+  let run traffic =
+    solve_admitted ~eta ~adaptive ~second_order ~max_iters ~tol ?init model topo
+      traffic
+  in
+  if not degrade then finish model (run traffic) ~status:Feasible ~admitted:traffic
+  else begin
+    let packet_size = Evaluate.packet_size model in
+    let report = Feasibility.report topo ~packet_size traffic in
+    (* Shrink only on clear divergence: the run neither converged nor
+       stayed within capacity. A feasible run that merely hit
+       [max_iters] at utilisation <= 1 is not degraded. *)
+    let diverged ((params, flows, _, _, converged) : Params.t * Flows.t * _ * _ * bool)
+        =
+      (not converged) && Flows.max_utilization params flows ~packet_size > 1.0
+    in
+    let rec attempt alpha reason tries =
+      let admitted =
+        if alpha >= 1.0 then traffic else Traffic.scale traffic alpha
+      in
+      let r = run admitted in
+      if diverged r && tries > 0 && alpha > 1e-6 then
+        attempt (alpha *. 0.8) `No_convergence (tries - 1)
+      else begin
+        let status =
+          if alpha >= 1.0 then Feasible
+          else
+            Degraded
+              {
+                admitted_fraction = alpha;
+                shed =
+                  List.map
+                    (fun (f : Traffic.flow) -> (f, 1.0 -. alpha))
+                    (Traffic.flows traffic);
+                per_destination = report.Feasibility.per_destination;
+                reason;
+              }
+        in
+        finish model r ~status ~admitted
+      end
+    in
+    if Feasibility.feasible report then attempt 1.0 `Min_cut 6
+    else attempt report.Feasibility.fraction `Min_cut 6
+  end
 
 let check_optimality model params flows traffic ~tolerance =
   let topo = Params.topology params in

@@ -16,14 +16,42 @@
     criticises: too small converges slowly, too large diverges — the
     [history] field feeds the eta-sweep ablation bench. *)
 
+type degradation = {
+  admitted_fraction : float;
+      (** uniform fraction of every input rate actually admitted *)
+  shed : (Mdr_fluid.Traffic.flow * float) list;
+      (** per original input flow, the fraction of its rate shed
+          (1 - admitted_fraction); order matches
+          [Mdr_fluid.Traffic.flows] of the offered matrix *)
+  per_destination : (int * float) list;
+      (** per-destination max-flow admissible fractions from
+          {!Mdr_fluid.Feasibility.report} *)
+  reason : [ `Min_cut | `No_convergence ];
+      (** [`Min_cut]: the offered matrix exceeds a per-destination
+          min-cut, so admission was capped up front.
+          [`No_convergence]: the cut bound admitted the load but the
+          solver still diverged past capacity (destinations competing
+          for shared links), so admission was shrunk until it
+          stabilised. *)
+}
+
+type status =
+  | Feasible  (** the full offered matrix was admitted *)
+  | Degraded of degradation
+      (** infeasible demand: solved for a uniformly scaled-down
+          admitted matrix instead of silently diverging *)
+
 type result = {
   params : Mdr_fluid.Params.t;  (** converged routing parameters *)
-  flows : Mdr_fluid.Flows.t;
+  flows : Mdr_fluid.Flows.t;  (** flows of the {e admitted} matrix *)
   total_cost : float;  (** D_T (Eq. 3) *)
   avg_delay : float;  (** seconds per packet *)
   iterations : int;
   history : float list;  (** D_T after each iteration, oldest first *)
   converged : bool;  (** relative improvement fell below [tol] *)
+  status : status;  (** whether demand had to be shed *)
+  admitted : Mdr_fluid.Traffic.t;
+      (** the matrix actually solved (= input when [Feasible]) *)
 }
 
 val spf_params :
@@ -38,6 +66,7 @@ val solve :
   ?second_order:bool ->
   ?max_iters:int ->
   ?tol:float ->
+  ?degrade:bool ->
   ?init:Mdr_fluid.Params.t ->
   Mdr_fluid.Evaluate.model ->
   Mdr_topology.Graph.t ->
@@ -54,7 +83,17 @@ val solve :
     Bertsekas-Gallager acceleration the paper's related work cites —
     making a dimensionless [eta] around 1 appropriate for any input.
     [init] defaults to {!spf_params}; it must route every (router,
-    destination) pair and be loop-free. *)
+    destination) pair and be loop-free.
+
+    [degrade] (default true) makes infeasible demand a reported
+    condition instead of a divergence: the offered matrix is first
+    capped at {!Mdr_fluid.Feasibility.report}'s uniform admissible
+    fraction, and if the solver still fails to converge while some link
+    runs past capacity, admission shrinks geometrically (x0.8, bounded
+    tries) until it stabilises. The result then carries
+    [status = Degraded _] and [admitted] holds the scaled matrix.
+    [degrade:false] solves the offered matrix as-is (historic
+    behaviour; saturation-safe costs keep even that finite). *)
 
 val check_optimality :
   Mdr_fluid.Evaluate.model -> Mdr_fluid.Params.t -> Mdr_fluid.Flows.t ->

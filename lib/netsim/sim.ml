@@ -90,6 +90,8 @@ type result = {
   avg_delay : float;
   total_delivered : int;
   total_dropped : int;
+  goodput_fraction : float;
+  shed_fraction : float;
   control_messages : int;
   max_mean_queue : float;
   loop_free_violations : int;
@@ -648,6 +650,14 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
        else all_delay_sum /. float_of_int total_delivered);
     total_delivered;
     total_dropped;
+    goodput_fraction =
+      (let settled = total_delivered + total_dropped in
+       if settled = 0 then 1.0
+       else float_of_int total_delivered /. float_of_int settled);
+    shed_fraction =
+      (let settled = total_delivered + total_dropped in
+       if settled = 0 then 0.0
+       else float_of_int total_dropped /. float_of_int settled);
     control_messages =
       Array.fold_left (fun acc ns -> acc + Router.stats_messages_sent ns.router) 0 nodes;
     max_mean_queue;

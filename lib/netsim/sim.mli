@@ -94,6 +94,15 @@ type result = {
   avg_delay : float;  (** delivered-packet average over all flows *)
   total_delivered : int;
   total_dropped : int;
+  goodput_fraction : float;
+      (** delivered / (delivered + dropped) over all flows — the packet
+          analogue of the fluid admitted fraction. 1.0 when nothing was
+          settled. Packets are shed here by tail drop
+          ([buffer_packets]) and by fault-induced queue loss, so this is
+          the degradation contract's goodput under overload. *)
+  shed_fraction : float;
+      (** dropped / (delivered + dropped); complements
+          [goodput_fraction] *)
   control_messages : int;  (** LSUs sent by all routers *)
   max_mean_queue : float;  (** worst time-averaged link occupancy *)
   loop_free_violations : int;

@@ -1,0 +1,138 @@
+type params = {
+  rel_threshold : float;
+  hold : float;
+  damping : Hello.damping option;
+}
+
+let default_params =
+  { rel_threshold = 0.1; hold = 1.0; damping = Some Hello.default_damping }
+
+let validate p =
+  if p.rel_threshold < 0.0 then
+    invalid_arg "Cost_trigger: rel_threshold must be >= 0";
+  if p.hold < 0.0 then invalid_arg "Cost_trigger: hold must be >= 0";
+  match p.damping with
+  | None -> ()
+  | Some d ->
+    if d.Hello.flap_penalty <= 0.0 || d.Hello.half_life <= 0.0 then
+      invalid_arg "Cost_trigger: damping penalty and half_life must be > 0";
+    if d.Hello.reuse <= 0.0 || d.Hello.reuse > d.Hello.suppress then
+      invalid_arg "Cost_trigger: damping needs 0 < reuse <= suppress"
+
+type action = Apply of float | Arm of float
+
+type t = {
+  p : params;
+  mutable reported : float;  (* last cost the routing process saw *)
+  mutable pending : float;  (* latest offered cost (= reported when clean) *)
+  mutable last_apply : float;
+  mutable armed : bool;  (* one outstanding check at a time *)
+  mutable penalty : float;  (* damping penalty as of [penalty_at] *)
+  mutable penalty_at : float;
+  mutable suppressed : bool;
+  mutable offers : int;
+  mutable applied : int;
+}
+
+let create ?(params = default_params) ~initial ~now () =
+  validate params;
+  {
+    p = params;
+    reported = initial;
+    pending = initial;
+    (* Far enough in the past that the first significant change is
+       never held down. *)
+    last_apply = now -. params.hold;
+    armed = false;
+    penalty = 0.0;
+    penalty_at = now;
+    suppressed = false;
+    offers = 0;
+    applied = 0;
+  }
+
+let reported t = t.reported
+let suppressed t = t.suppressed
+let offers t = t.offers
+let applied t = t.applied
+
+let eps = 1e-9
+
+let decayed t ~now =
+  match t.p.damping with
+  | None -> 0.0
+  | Some d ->
+    t.penalty *. (2.0 ** (-.(now -. t.penalty_at) /. d.Hello.half_life))
+
+let penalty = decayed
+
+let significant t cost =
+  Float.abs (cost -. t.reported)
+  > t.p.rel_threshold *. Float.max (Float.abs t.reported) 1e-12
+
+let reuse_delay d ~penalty =
+  d.Hello.half_life *. (Float.log (penalty /. d.Hello.reuse) /. Float.log 2.0)
+
+(* Applying an update is itself the flap being damped: each applied
+   change charges the penalty, and a cost that keeps crossing the
+   significance threshold is eventually suppressed — its updates then
+   batch at reuse-check instants instead of churning the routing
+   process. *)
+let apply t ~now =
+  t.applied <- t.applied + 1;
+  t.reported <- t.pending;
+  t.last_apply <- now;
+  (match t.p.damping with
+  | None -> ()
+  | Some d ->
+    t.penalty <- decayed t ~now +. d.Hello.flap_penalty;
+    t.penalty_at <- now;
+    if t.penalty >= d.Hello.suppress then t.suppressed <- true);
+  Apply t.reported
+
+(* What must happen for [pending], given the current damping state:
+   apply it now, wake up later, or nothing. *)
+let decide t ~now =
+  if not (significant t t.pending) then []
+  else if t.suppressed then begin
+    match t.p.damping with
+    | None ->
+      t.suppressed <- false;
+      [ apply t ~now ]
+    | Some d ->
+      let p = decayed t ~now in
+      if p <= d.Hello.reuse +. eps then begin
+        t.penalty <- p;
+        t.penalty_at <- now;
+        t.suppressed <- false;
+        [ apply t ~now ]
+      end
+      else if t.armed then []
+      else begin
+        t.armed <- true;
+        [ Arm (reuse_delay d ~penalty:p) ]
+      end
+  end
+  else begin
+    let since = now -. t.last_apply in
+    if since +. eps >= t.p.hold then [ apply t ~now ]
+    else if t.armed then []
+    else begin
+      t.armed <- true;
+      [ Arm (t.p.hold -. since) ]
+    end
+  end
+
+let offer t ~now ~cost =
+  t.offers <- t.offers + 1;
+  t.pending <- cost;
+  decide t ~now
+
+let on_check t ~now =
+  t.armed <- false;
+  decide t ~now
+
+let sync t ~now ~cost =
+  t.reported <- cost;
+  t.pending <- cost;
+  t.last_apply <- now

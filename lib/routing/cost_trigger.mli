@@ -1,0 +1,80 @@
+(** Cost-change damping for the routing harness: decides which measured
+    link-cost changes the routing process gets to see.
+
+    Under overload, measured marginal costs swing wildly (the M/M/1
+    marginal blows up near the knee), and naively flooding every sample
+    makes successor sets churn — the routing oscillation the paper's
+    two-timescale split (T_l/T_s) only partially addresses. This module
+    adds the two standard ISP-grade defences in front of
+    [handle_link_cost]:
+
+    - {b Significance threshold with hold-down} (OSPF-TE style): a new
+      cost is reported only when it differs from the last reported
+      value by more than [rel_threshold] relative, and at most once per
+      [hold] seconds. Sub-threshold wobble and rapid-fire updates are
+      absorbed; the latest pending value is applied when the hold-down
+      expires.
+    - {b Cost-flap damping} (BGP style, same knobs as {!Hello.damping}):
+      every {e applied} update charges [flap_penalty], decaying with
+      [half_life]. At [suppress] the link's updates are held entirely;
+      once the penalty decays to [reuse] the latest pending cost goes
+      out as one batched update. A persistently flapping cost thus
+      degrades into a slow periodic update instead of protocol churn.
+
+    Like {!Hello}, the machine is engine-agnostic: handlers mutate one
+    {!t} and return {!action}s; the embedding owns timers and the
+    clock. *)
+
+type params = {
+  rel_threshold : float;
+      (** minimum relative change (vs the last reported cost) worth
+          reporting; 0 reports every change *)
+  hold : float;  (** minimum seconds between applied reports *)
+  damping : Hello.damping option;  (** [None] disables flap damping *)
+}
+
+val default_params : params
+(** 10% threshold, 1 s hold-down, {!Hello.default_damping}. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument on a negative threshold or hold, or
+    damping thresholds with [reuse > suppress] or non-positive
+    components. *)
+
+type action =
+  | Apply of float  (** report this cost to the routing process now *)
+  | Arm of float  (** call {!on_check} after this many seconds *)
+
+type t
+(** Mutable per-directed-link trigger state. *)
+
+val create : ?params:params -> initial:float -> now:float -> unit -> t
+(** [initial] is the cost the routing process already knows (from
+    link-up); the first significant change is never held down. *)
+
+val reported : t -> float
+(** The cost the routing process currently sees. *)
+
+val suppressed : t -> bool
+val penalty : t -> now:float -> float
+val offers : t -> int
+(** Cost samples offered so far. *)
+
+val applied : t -> int
+(** Updates that actually reached the routing process. *)
+
+val offer : t -> now:float -> cost:float -> action list
+(** A new measured cost arrived. At most one [Arm] is outstanding at a
+    time; a later offer overwrites the pending value the armed check
+    will consider. *)
+
+val on_check : t -> now:float -> action list
+(** The armed timer fired: apply the pending cost if it is still
+    significant and allowed, re-arm if still suppressed, or do nothing
+    (the cost wobbled back under the threshold). *)
+
+val sync : t -> now:float -> cost:float -> unit
+(** Forcibly align the trigger with a cost the routing process learned
+    out of band (link flap or restart re-announces costs via
+    [handle_link_up]): resets reported and pending without charging
+    the damping penalty. *)

@@ -95,6 +95,14 @@ module Make (R : ROUTER) = struct
            ticks, hello frames, dead checks) — excluded from quiescence *)
     mutable trace_rev : (float * trace_event) list;
     mutable channel : channel option;
+    mutable cost_damping : Cost_trigger.params option;
+    triggers : (int * int, Cost_trigger.t) Hashtbl.t;
+        (* per directed link, the cost-change damper standing between
+           measured costs and [handle_link_cost]; discarded whenever
+           the adjacency (re-)forms, since link-up re-announces the
+           cost out of band *)
+    mutable cost_updates_offered : int;
+    mutable cost_updates_applied : int;
     tx : (int * int, tx) Hashtbl.t;
     rx : (int * int, rx) Hashtbl.t;
     mutable rto_initial : float;
@@ -118,6 +126,13 @@ module Make (R : ROUTER) = struct
   let retransmissions t = t.retransmissions
   let transport_acks t = t.transport_acks
   let hellos_sent t = t.hellos_sent
+  let cost_updates_offered t = t.cost_updates_offered
+  let cost_updates_applied t = t.cost_updates_applied
+
+  let cost_suppressed t ~src ~dst =
+    match Hashtbl.find_opt t.triggers (src, dst) with
+    | Some tr -> Cost_trigger.suppressed tr
+    | None -> false
   let trace t = List.rev t.trace_rev
   let record t ev = t.trace_rev <- (Engine.now t.engine, ev) :: t.trace_rev
 
@@ -383,6 +398,10 @@ module Make (R : ROUTER) = struct
 
   and logical_up t ~node ~nbr =
     record t (Adj_up { node; nbr });
+    (* Link-up re-announces the cost out of band, so any cost-change
+       damper for this direction restarts from a clean slate (stale
+       armed timers die on the physical-identity check). *)
+    Hashtbl.remove t.triggers (node, nbr);
     let cost =
       match Hashtbl.find_opt t.cost_now (node, nbr) with
       | Some c -> c
@@ -526,6 +545,7 @@ module Make (R : ROUTER) = struct
       match t.detection with
       | Oracle ->
         record t (Adj_up { node = src; nbr = dst });
+        Hashtbl.remove t.triggers (src, dst);
         let outputs = R.handle_link_up t.routers.(src) ~nbr:dst ~cost in
         t.observer t;
         dispatch t ~from_:src outputs
@@ -554,13 +574,70 @@ module Make (R : ROUTER) = struct
         t.observer t
     end
 
+  (* Timers survive link flaps and damping reconfiguration; firing on a
+     trigger that was discarded must be a no-op, hence the
+     physical-identity guard (same device as [dead_check]). *)
+  let rec trigger_check t ~src ~dst tr =
+    match Hashtbl.find_opt t.triggers (src, dst) with
+    | Some tr' when tr' == tr ->
+      if t.alive.(src) && link_is_up t ~src ~dst && send_ok t ~src ~dst then
+        run_trigger_actions t ~src ~dst tr
+          (Cost_trigger.on_check tr ~now:(Engine.now t.engine))
+      else
+        (* The adjacency died while an update was pending; link-up will
+           re-announce the cost, so the damper state is moot. *)
+        Hashtbl.remove t.triggers (src, dst)
+    | Some _ | None -> ()
+
+  and run_trigger_actions t ~src ~dst tr actions =
+    List.iter
+      (function
+        | Cost_trigger.Apply c ->
+          t.cost_updates_applied <- t.cost_updates_applied + 1;
+          let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost:c in
+          t.observer t;
+          dispatch t ~from_:src outputs
+        | Cost_trigger.Arm delay ->
+          (* Deliberately a normal event: a pending cost update is
+             unfinished reconvergence business, so quiescence waits
+             for it. *)
+          ignore
+            (Engine.schedule t.engine ~delay (fun () ->
+                 trigger_check t ~src ~dst tr)))
+      actions
+
   let apply_link_cost t ~src ~dst ~cost =
     if link_is_up t ~src ~dst then begin
+      let prev =
+        match Hashtbl.find_opt t.cost_now (src, dst) with
+        | Some c -> c
+        | None -> cost
+      in
       Hashtbl.replace t.cost_now (src, dst) cost;
       if send_ok t ~src ~dst then begin
-        let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
-        t.observer t;
-        dispatch t ~from_:src outputs
+        t.cost_updates_offered <- t.cost_updates_offered + 1;
+        match t.cost_damping with
+        | None ->
+          t.cost_updates_applied <- t.cost_updates_applied + 1;
+          let outputs = R.handle_link_cost t.routers.(src) ~nbr:dst ~cost in
+          t.observer t;
+          dispatch t ~from_:src outputs
+        | Some params ->
+          let tr =
+            match Hashtbl.find_opt t.triggers (src, dst) with
+            | Some tr -> tr
+            | None ->
+              (* The routing process last heard [prev] (at link-up or
+                 through an earlier applied update). *)
+              let tr =
+                Cost_trigger.create ~params ~initial:prev
+                  ~now:(Engine.now t.engine) ()
+              in
+              Hashtbl.replace t.triggers (src, dst) tr;
+              tr
+          in
+          run_trigger_actions t ~src ~dst tr
+            (Cost_trigger.offer tr ~now:(Engine.now t.engine) ~cost)
       end
     end
 
@@ -672,6 +749,10 @@ module Make (R : ROUTER) = struct
         aux_pending = 0;
         trace_rev = [];
         channel = None;
+        cost_damping = None;
+        triggers = Hashtbl.create (Graph.link_count topo);
+        cost_updates_offered = 0;
+        cost_updates_applied = 0;
         tx = Hashtbl.create 16;
         rx = Hashtbl.create 16;
         rto_initial = 0.05;
@@ -700,6 +781,10 @@ module Make (R : ROUTER) = struct
     t.rto_initial <- rto_initial;
     t.rto_max <- rto_max;
     t.channel <- Some ch
+
+  let set_cost_damping t params =
+    Cost_trigger.validate params;
+    t.cost_damping <- Some params
 
   let require_duplex t ~fn ~a ~b =
     if a = b then invalid_arg (Printf.sprintf "%s: %d-%d is a self-loop" fn a b);

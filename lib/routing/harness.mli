@@ -139,10 +139,32 @@ module Make (R : ROUTER) : sig
       random factor in [1, 1.5) to avoid synchronized expiry. Install
       before running the network. *)
 
+  val set_cost_damping : t -> Cost_trigger.params -> unit
+  (** Put a {!Cost_trigger} damper in front of every directed link's
+      [handle_link_cost]: sub-threshold changes are absorbed, updates
+      are rate-limited by the hold-down, and a persistently flapping
+      cost is suppressed and batched (see {!Cost_trigger}). Dampers are
+      reset whenever the adjacency (re-)forms — link-up re-announces
+      the cost out of band. A pending (armed) update counts against
+      {!quiescent}.
+      @raise Invalid_argument on invalid parameters. *)
+
+  val cost_updates_offered : t -> int
+  (** Cost changes handed to live adjacencies so far (damped or not). *)
+
+  val cost_updates_applied : t -> int
+  (** Cost changes the routing processes actually saw. Equal to
+      {!cost_updates_offered} without damping. *)
+
+  val cost_suppressed : t -> src:int -> dst:int -> bool
+  (** Whether cost-flap damping currently suppresses updates of this
+      directed link. *)
+
   val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
   (** Change one directed link's cost at simulated time [at]. Under
       hello detection the routing process only hears about it once the
-      adjacency is Full. *)
+      adjacency is Full; with {!set_cost_damping} the change must also
+      clear the damper. *)
 
   val schedule_fail_duplex : t -> at:float -> a:int -> b:int -> unit
   (** Fail both directions between [a] and [b]. In-flight frames on

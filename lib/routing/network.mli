@@ -41,6 +41,15 @@ val set_channel :
     transport layer (sequencing, cumulative ACKs, capped exponential
     retransmission); see {!Harness.Make.set_channel}. *)
 
+val set_cost_damping : t -> Cost_trigger.params -> unit
+(** Put a {!Cost_trigger} damper in front of every directed link's cost
+    updates: significance threshold, hold-down, and cost-flap
+    suppression; see {!Harness.Make.set_cost_damping}. *)
+
+val cost_updates_offered : t -> int
+val cost_updates_applied : t -> int
+val cost_suppressed : t -> src:int -> dst:int -> bool
+
 val schedule_link_cost : t -> at:float -> src:int -> dst:int -> cost:float -> unit
 (** Change one directed link's cost at simulated time [at]. *)
 

@@ -117,6 +117,52 @@ let test_busy_period_includes_prop_delay () =
   let s = Estimator.sample e ~now:1.0 in
   check "prop delay added" true (s.marginal >= 0.5)
 
+(* --- Saturation-safe cost pipeline ------------------------------------ *)
+
+(* The overload contract: every exported cost form is total on
+   [0, 3c] — finite, positive, strictly increasing — even though the
+   raw M/M/1 expressions explode at f = c. *)
+let prop_cost_pipeline_total_past_knee =
+  QCheck.Test.make ~name:"delay model total/positive/monotone on [0, 3c]"
+    ~count:200
+    QCheck.(pair (float_range 10.0 1.0e6) (float_range 0.0 0.01))
+    (fun (capacity, prop_delay) ->
+      let m = Delay.create ~capacity ~prop_delay () in
+      let samples = List.init 61 (fun i -> float_of_int i /. 20.0 *. capacity) in
+      let pointwise f =
+        let c = Delay.cost m f
+        and c' = Delay.marginal m f
+        and c2 = Delay.second m f
+        and s = Delay.sojourn m f in
+        Float.is_finite c && Float.is_finite c' && Float.is_finite c2
+        && Float.is_finite s && c >= 0.0 && c' > 0.0 && c2 > 0.0 && s > 0.0
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+          Delay.cost m b > Delay.cost m a
+          && Delay.marginal m b > Delay.marginal m a
+          && monotone rest
+        | _ -> true
+      in
+      List.for_all pointwise samples
+      && monotone samples
+      && (not (Delay.saturated m 0.0))
+      && Delay.saturated m (3.0 *. capacity))
+
+(* The raw M/M/1 forms are still reachable only behind guards: negative
+   or non-finite flows must raise, never silently produce nan/inf. *)
+let test_delay_rejects_invalid_flow () =
+  let m = Delay.create ~capacity:1000.0 ~prop_delay:0.001 () in
+  let raises g f =
+    match g m f with _ -> false | exception Invalid_argument _ -> true
+  in
+  check "cost: negative flow" true (raises Delay.cost (-1.0));
+  check "cost: nan flow" true (raises Delay.cost Float.nan);
+  check "cost: infinite flow" true (raises Delay.cost Float.infinity);
+  check "marginal: negative flow" true (raises Delay.marginal (-1.0));
+  check "marginal: nan flow" true (raises Delay.marginal Float.nan);
+  check "second: infinite flow" true (raises Delay.second Float.infinity)
+
 let suite =
   [
     Alcotest.test_case "mm1: tracks arrival rate" `Quick test_mm1_estimator_tracks_rate;
@@ -128,4 +174,6 @@ let suite =
     Alcotest.test_case "busy-period: light load" `Quick test_busy_period_estimator_light_load;
     Alcotest.test_case "busy-period: heavy load" `Slow test_busy_period_estimator_heavy_load;
     Alcotest.test_case "busy-period: includes propagation delay" `Quick test_busy_period_includes_prop_delay;
+    QCheck_alcotest.to_alcotest prop_cost_pipeline_total_past_knee;
+    Alcotest.test_case "delay: rejects invalid flows" `Quick test_delay_rejects_invalid_flow;
   ]

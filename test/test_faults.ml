@@ -463,6 +463,151 @@ let test_hello_chaos_property () =
     check (tag "no permanent blackhole") false d.permanent_blackhole
   done
 
+(* --- Overload: demand surges and the watchdog ------------------------- *)
+
+module Overload = Mdr_faults.Overload
+module Traffic = Mdr_fluid.Traffic
+module Evaluate = Mdr_fluid.Evaluate
+module Feasibility = Mdr_fluid.Feasibility
+module Gallager = Mdr_gallager.Gallager
+
+let test_demand_surges_end_within_window () =
+  (* Every drawn demand surge must be a well-formed window that closes
+     strictly inside the churn window, so reconvergence is always
+     judged on restored demand. *)
+  let seen = ref 0 in
+  for seed = 1 to 25 do
+    let rng = Rng.create ~seed in
+    let topo = scenario_topo rng in
+    let plan = Campaign.random_plan ~rng ~topo churn_profile in
+    List.iter
+      (function
+        | Campaign.Demand_surge { src; dst; factor; at; until_ } ->
+          incr seen;
+          let tag what = Printf.sprintf "seed %d: %s" seed what in
+          check (tag "distinct endpoints") true (src <> dst);
+          check (tag "amplifying factor") true (factor > 1.0);
+          check (tag "window ordered") true (at < until_);
+          check (tag "window inside churn") true
+            (at > 0.0 && until_ < plan.Campaign.duration)
+        | Campaign.Flap _ | Campaign.Cost_surge _ | Campaign.Crash _
+        | Campaign.Partition _ -> ())
+      plan.Campaign.faults
+  done;
+  check "plans actually contained surges" true (!seen >= 25)
+
+let test_demand_surge_restores_and_reconverges () =
+  (* A lone demand surge: cost inflation along the commodity's path
+     during the window, restoration at its close, clean reconvergence —
+     and the surge must leave no residual state (the run ends quiescent
+     with zero violations). *)
+  let topo = Mdr_topology.Net1.topology () in
+  let plan =
+    {
+      Campaign.faults =
+        [
+          Campaign.Demand_surge
+            { src = 0; dst = 7; factor = 3.0; at = 2.0; until_ = 8.0 };
+        ];
+      channel = Channel.ideal;
+      duration = 10.0;
+    }
+  in
+  let m = Campaign.run_mpda ~topo ~seed:5 plan in
+  check_int "loop violations" 0 m.Campaign.loop_violations;
+  check_int "lfi violations" 0 m.Campaign.lfi_violations;
+  check "converged" true m.Campaign.converged;
+  check "bounded reconvergence" true
+    (Float.is_finite m.Campaign.reconvergence
+    && m.Campaign.reconvergence < 60.0);
+  check "surge generated protocol activity" true (m.Campaign.events > 0)
+
+let test_overload_watchdog_12_seeds () =
+  (* The full watchdog across 12 seeds on NET1 pushed well past its
+     envelope: zero invariant violations in every control run, finite
+     costs everywhere, Degraded (never divergent) fluid status, and
+     damping never increasing the successor-flap count. *)
+  let topo = Mdr_topology.Net1.topology () in
+  let pkt = 4096.0 in
+  let base =
+    Traffic.of_pairs_bits ~n:10 ~packet_size:pkt
+      ~rate_bits:(fun _ -> 2.0e6)
+      (Mdr_topology.Net1.flow_pairs topo)
+  in
+  let offered = Traffic.scale base 8.0 in
+  for seed = 1 to 12 do
+    let config =
+      {
+        Overload.default_config with
+        surge_from = 2.0;
+        surge_until = 8.0;
+        settle_grace = 60.0;
+        max_iters = 150;
+        seed;
+      }
+    in
+    let r = Overload.audit ~config ~topo ~packet_size:pkt ~base ~offered () in
+    let tag what = Printf.sprintf "seed %d: %s" seed what in
+    check_int (tag "undamped loop violations") 0
+      r.Overload.undamped.Overload.loop_violations;
+    check_int (tag "damped loop violations") 0
+      r.Overload.damped.Overload.loop_violations;
+    check_int (tag "undamped lfi violations") 0
+      r.Overload.undamped.Overload.lfi_violations;
+    check_int (tag "damped lfi violations") 0
+      r.Overload.damped.Overload.lfi_violations;
+    check (tag "costs finite") true r.Overload.fluid.Overload.costs_finite;
+    check (tag "degraded, not divergent") true r.Overload.fluid.Overload.degraded;
+    check (tag "shed reported") true
+      (r.Overload.fluid.Overload.shed_fraction > 0.0);
+    check (tag "both runs converged") true
+      (r.Overload.undamped.Overload.converged
+      && r.Overload.damped.Overload.converged);
+    check (tag "damping bounds successor flaps") true
+      (r.Overload.damped.Overload.successor_flaps
+      <= r.Overload.undamped.Overload.successor_flaps)
+  done
+
+let test_overload_surge_acceptance_100_seeds () =
+  (* Acceptance sweep: 100 seeded random (topology, demand) scenarios
+     through the fluid pipeline. Every cost stays finite, and every
+     infeasible matrix comes back Degraded — never a silent divergent
+     solve. *)
+  let degraded = ref 0 in
+  for seed = 1 to 100 do
+    let rng = Rng.create ~seed:(4000 + seed) in
+    let topo = scenario_topo rng in
+    let n = Graph.node_count topo in
+    let pkt = 1000.0 in
+    let model = Evaluate.model topo ~packet_size:pkt in
+    let commodities = 3 + Rng.int rng ~bound:4 in
+    let flows =
+      List.init commodities (fun _ ->
+          let src = Rng.int rng ~bound:n in
+          let dst = (src + 1 + Rng.int rng ~bound:(n - 1)) mod n in
+          (* Links carry 1e7 b/s = 10000 pkt/s: rates up to 30000 make
+             roughly half the matrices infeasible. *)
+          let rate = Rng.uniform rng ~lo:1000.0 ~hi:30000.0 in
+          { Traffic.src; dst; rate })
+    in
+    let traffic = Traffic.of_flows ~n flows in
+    let r = Gallager.solve ~max_iters:120 model topo traffic in
+    let tag what = Printf.sprintf "surge seed %d: %s" seed what in
+    check (tag "costs finite") true (Evaluate.costs_finite model r.Gallager.flows);
+    check (tag "delay finite") true (Float.is_finite r.Gallager.avg_delay);
+    let feas = Feasibility.report topo ~packet_size:pkt traffic in
+    if not (Feasibility.feasible feas) then begin
+      incr degraded;
+      check (tag "infeasible matrix degraded") true
+        (match r.Gallager.status with
+        | Gallager.Degraded d ->
+          d.Gallager.admitted_fraction > 0.0
+          && d.Gallager.admitted_fraction < 1.0
+        | Gallager.Feasible -> false)
+    end
+  done;
+  check "sweep actually exercised infeasible matrices" true (!degraded >= 20)
+
 let test_campaign_determinism () =
   let run () =
     let rng = Rng.create ~seed:77 in
@@ -502,4 +647,12 @@ let suite =
       test_hello_chaos_property;
     Alcotest.test_case "chaos: campaign is deterministic" `Quick
       test_campaign_determinism;
+    Alcotest.test_case "overload: surges end within the churn window" `Quick
+      test_demand_surges_end_within_window;
+    Alcotest.test_case "overload: demand surge restores and reconverges" `Quick
+      test_demand_surge_restores_and_reconverges;
+    Alcotest.test_case "overload: watchdog clean across 12 seeds" `Slow
+      test_overload_watchdog_12_seeds;
+    Alcotest.test_case "overload: 100-seed surge acceptance sweep" `Slow
+      test_overload_surge_acceptance_100_seeds;
   ]

@@ -350,6 +350,63 @@ let test_flow_delay_lower_bounded_by_empty_network () =
   let empty_sojourn = (1.0 /. 10000.0) +. 0.001 in
   check "bounded below" true (d >= 2.0 *. empty_sojourn)
 
+(* --- Feasibility ------------------------------------------------------ *)
+
+module Feasibility = Mdr_fluid.Feasibility
+
+let check_approx = Alcotest.(check (float 1e-6))
+
+let test_max_flow_uses_disjoint_paths () =
+  (* Each diamond link is 10e6 b/s = 10000 pkt/s at 1000-bit packets;
+     s->d has two disjoint paths, so the max flow must be 20000. *)
+  let g = diamond () in
+  let mf =
+    Feasibility.max_flow g ~packet_size:1000.0 ~sources:[ (0, 1.0e9) ] ~dst:3
+  in
+  check_approx "two disjoint paths" 20000.0 mf
+
+let test_feasibility_feasible_matrix () =
+  let g = diamond () in
+  (* 15000 pkt/s exceeds any single path (10000) but fits the 20000
+     min cut: feasible only because the check is multipath-aware. *)
+  let t = Traffic.of_flows ~n:4 [ { src = 0; dst = 3; rate = 15000.0 } ] in
+  let r = Feasibility.report g ~packet_size:1000.0 t in
+  check "feasible" true (Feasibility.feasible r);
+  check_approx "fraction capped at 1" 1.0 r.Feasibility.fraction;
+  check "no bottleneck" true (r.Feasibility.bottleneck = None)
+
+let test_feasibility_min_cut_fraction () =
+  let g = diamond () in
+  (* 40000 pkt/s offered into a 20000 pkt/s min cut: fraction 0.5 and
+     the bottleneck destination is reported. *)
+  let t = Traffic.of_flows ~n:4 [ { src = 0; dst = 3; rate = 40000.0 } ] in
+  let r = Feasibility.report g ~packet_size:1000.0 t in
+  check "infeasible" false (Feasibility.feasible r);
+  check_approx "fraction" 0.5 r.Feasibility.fraction;
+  check "bottleneck" true (r.Feasibility.bottleneck = Some 3);
+  check "per-destination entry" true
+    (match r.Feasibility.per_destination with
+    | [ (3, f) ] -> Float.abs (f -. 0.5) < 1e-6
+    | _ -> false)
+
+let test_feasibility_fraction_scales_inversely () =
+  let g = diamond () in
+  let t = Traffic.of_flows ~n:4 [ { src = 0; dst = 3; rate = 40000.0 } ] in
+  let f1 = (Feasibility.report g ~packet_size:1000.0 t).Feasibility.fraction in
+  let f2 =
+    (Feasibility.report g ~packet_size:1000.0 (Traffic.scale t 2.0))
+      .Feasibility.fraction
+  in
+  check_approx "doubling the load halves the fraction" (f1 /. 2.0) f2
+
+let test_feasibility_cap_headroom () =
+  let g = diamond () in
+  let t = Traffic.of_flows ~n:4 [ { src = 0; dst = 3; rate = 15000.0 } ] in
+  (* At cap 0.5 only 10000 pkt/s of the cut is usable: 15000 offered
+     admits 2/3. *)
+  let r = Feasibility.report ~cap:0.5 g ~packet_size:1000.0 t in
+  check_approx "capped fraction" (2.0 /. 3.0) r.Feasibility.fraction
+
 let suite =
   [
     Alcotest.test_case "delay: zero flow" `Quick test_delay_zero_flow;
@@ -386,4 +443,9 @@ let suite =
     Alcotest.test_case "evaluate: zero-flow lower bound" `Quick test_flow_delay_lower_bounded_by_empty_network;
     QCheck_alcotest.to_alcotest prop_flows_conserve_random_splits;
     QCheck_alcotest.to_alcotest prop_littles_law_random_splits;
+    Alcotest.test_case "feasibility: max-flow multipath" `Quick test_max_flow_uses_disjoint_paths;
+    Alcotest.test_case "feasibility: feasible matrix" `Quick test_feasibility_feasible_matrix;
+    Alcotest.test_case "feasibility: min-cut fraction" `Quick test_feasibility_min_cut_fraction;
+    Alcotest.test_case "feasibility: fraction scales inversely" `Quick test_feasibility_fraction_scales_inversely;
+    Alcotest.test_case "feasibility: capacity headroom cap" `Quick test_feasibility_cap_headroom;
   ]

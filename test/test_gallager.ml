@@ -239,6 +239,73 @@ let test_second_derivative_exposed () =
   check "increasing" true (Fluid.Delay.second dm 500.0 > Fluid.Delay.second dm 100.0);
   check "finite past capacity" true (Float.is_finite (Fluid.Delay.second dm 2000.0))
 
+(* --- Infeasible-demand degradation ------------------------------------ *)
+
+let test_feasible_load_not_degraded () =
+  let g, model, traffic = diamond_setup 4.0e6 in
+  let r = Gallager.solve model g traffic in
+  check "status feasible" true
+    (match r.Gallager.status with Gallager.Feasible -> true | Gallager.Degraded _ -> false);
+  check "admitted is the offered matrix" true
+    (Float.abs
+       (Fluid.Traffic.rate r.Gallager.admitted ~src:0 ~dst:3
+       -. Fluid.Traffic.rate traffic ~src:0 ~dst:3)
+    < 1e-9);
+  check "converged" true r.Gallager.converged
+
+let test_degrades_infeasible_demand () =
+  (* 40 Mb/s offered into a diamond whose two disjoint paths carry
+     20 Mb/s total: the solver must shed about half, never diverge. *)
+  let g, model, traffic = diamond_setup 40.0e6 in
+  let r = Gallager.solve ~max_iters:300 model g traffic in
+  (match r.Gallager.status with
+  | Gallager.Feasible -> check "must be degraded" true false
+  | Gallager.Degraded d ->
+    check "admitted fraction positive" true (d.Gallager.admitted_fraction > 0.0);
+    check "admitted fraction <= min cut" true
+      (d.Gallager.admitted_fraction <= 0.5 +. 1e-6);
+    check "shed covers every offered flow" true
+      (List.for_all
+         (fun ((_ : Fluid.Traffic.flow), s) ->
+           Float.abs (s +. d.Gallager.admitted_fraction -. 1.0) < 1e-9)
+         d.Gallager.shed
+      && d.Gallager.shed <> []);
+    check "per-destination fractions reported" true
+      (d.Gallager.per_destination <> []));
+  check "admitted matrix actually scaled" true
+    (Fluid.Traffic.rate r.Gallager.admitted ~src:0 ~dst:3
+    < Fluid.Traffic.rate traffic ~src:0 ~dst:3);
+  check "delay finite" true (Float.is_finite r.Gallager.avg_delay);
+  check "costs finite" true (Fluid.Evaluate.costs_finite model r.Gallager.flows)
+
+let test_degrade_opt_out_stays_finite () =
+  (* With degrade:false the caller gets the raw solve on the offered
+     matrix; the saturation-safe pipeline still keeps every cost and
+     the delay finite even though flows run past capacity. *)
+  let g, model, traffic = diamond_setup 40.0e6 in
+  let r = Gallager.solve ~degrade:false ~max_iters:200 model g traffic in
+  check "status reported feasible (unchecked)" true
+    (match r.Gallager.status with Gallager.Feasible -> true | Gallager.Degraded _ -> false);
+  check "costs finite past capacity" true
+    (Fluid.Evaluate.costs_finite model r.Gallager.flows);
+  check "delay finite" true (Float.is_finite r.Gallager.avg_delay)
+
+let test_degradation_on_jointly_infeasible_matrix () =
+  (* NET1 at 8x nominal load: multiple commodities compete for shared
+     links, exercising the min-cut pre-scale and (when that is only
+     jointly necessary) the non-convergence escalation. *)
+  let g, model, traffic = net1_setup 8.0 in
+  let r = Gallager.solve ~max_iters:150 model g traffic in
+  (match r.Gallager.status with
+  | Gallager.Feasible -> check "must be degraded" true false
+  | Gallager.Degraded d ->
+    check "fraction in (0,1)" true
+      (d.Gallager.admitted_fraction > 0.0 && d.Gallager.admitted_fraction < 1.0);
+    check "reason tagged" true
+      (match d.Gallager.reason with `Min_cut | `No_convergence -> true));
+  check "delay finite" true (Float.is_finite r.Gallager.avg_delay);
+  check "costs finite" true (Fluid.Evaluate.costs_finite model r.Gallager.flows)
+
 let suite =
   [
     Alcotest.test_case "spf_params: routes every pair" `Quick test_spf_params_route_everything;
@@ -256,4 +323,8 @@ let suite =
     Alcotest.test_case "opt: 2-flow brute force" `Slow test_opt_brute_force_two_flows;
     Alcotest.test_case "opt: second-order acceleration" `Quick test_second_order_faster;
     Alcotest.test_case "delay: second derivative" `Quick test_second_derivative_exposed;
+    Alcotest.test_case "degrade: feasible load untouched" `Quick test_feasible_load_not_degraded;
+    Alcotest.test_case "degrade: sheds infeasible demand" `Quick test_degrades_infeasible_demand;
+    Alcotest.test_case "degrade: opt-out stays finite" `Quick test_degrade_opt_out_stays_finite;
+    Alcotest.test_case "degrade: jointly infeasible matrix" `Slow test_degradation_on_jointly_infeasible_matrix;
   ]

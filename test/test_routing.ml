@@ -438,6 +438,157 @@ let test_router_message_stats () =
   Network.run net;
   check "messages flowed" true (Network.total_messages net > 0)
 
+(* --- Cost-change damping ---------------------------------------------- *)
+
+module Cost_trigger = Mdr_routing.Cost_trigger
+
+let trigger ?params () = Cost_trigger.create ?params ~initial:1.0 ~now:0.0 ()
+
+let test_trigger_absorbs_wobble () =
+  let tr = trigger () in
+  (* 5% change against a 10% threshold: nothing happens. *)
+  check "no action" true (Cost_trigger.offer tr ~now:0.0 ~cost:1.05 = []);
+  check_float "reported unchanged" 1.0 (Cost_trigger.reported tr);
+  check_int "offered" 1 (Cost_trigger.offers tr);
+  check_int "applied" 0 (Cost_trigger.applied tr)
+
+let test_trigger_first_change_immediate () =
+  let tr = trigger () in
+  (match Cost_trigger.offer tr ~now:0.0 ~cost:2.0 with
+  | [ Cost_trigger.Apply c ] -> check_float "applied cost" 2.0 c
+  | _ -> check "one Apply" true false);
+  check_float "reported" 2.0 (Cost_trigger.reported tr)
+
+let test_trigger_hold_down_batches_latest () =
+  let tr = trigger () in
+  ignore (Cost_trigger.offer tr ~now:0.0 ~cost:2.0);
+  (* Within the 1 s hold-down: armed for the remainder. *)
+  (match Cost_trigger.offer tr ~now:0.3 ~cost:3.0 with
+  | [ Cost_trigger.Arm d ] -> check "remaining hold" true (Float.abs (d -. 0.7) < 1e-6)
+  | _ -> check "one Arm" true false);
+  (* A later offer overwrites the pending value without re-arming. *)
+  check "already armed" true (Cost_trigger.offer tr ~now:0.5 ~cost:4.0 = []);
+  (match Cost_trigger.on_check tr ~now:1.0 with
+  | [ Cost_trigger.Apply c ] -> check_float "latest pending wins" 4.0 c
+  | _ -> check "applies on expiry" true false);
+  check_int "two applies total" 2 (Cost_trigger.applied tr)
+
+let test_trigger_wobble_back_cancels () =
+  let tr = trigger () in
+  ignore (Cost_trigger.offer tr ~now:0.0 ~cost:2.0);
+  (match Cost_trigger.offer tr ~now:0.3 ~cost:3.0 with
+  | [ Cost_trigger.Arm _ ] -> ()
+  | _ -> check "armed" true false);
+  (* The cost wobbles back under the threshold before the check. *)
+  ignore (Cost_trigger.offer tr ~now:0.6 ~cost:2.05);
+  check "expired check does nothing" true (Cost_trigger.on_check tr ~now:1.0 = []);
+  check_float "reported" 2.0 (Cost_trigger.reported tr);
+  check_int "one apply" 1 (Cost_trigger.applied tr)
+
+let test_trigger_flap_suppression_and_reuse () =
+  let tr = trigger () in
+  (* Alternate 1 <-> 2 once per second: with flap_penalty 1, half-life
+     10 s and suppress 2, the third applied update engages
+     suppression. *)
+  ignore (Cost_trigger.offer tr ~now:0.0 ~cost:2.0);
+  ignore (Cost_trigger.offer tr ~now:1.0 ~cost:1.0);
+  ignore (Cost_trigger.offer tr ~now:2.0 ~cost:2.0);
+  check "suppressed after three applies" true (Cost_trigger.suppressed tr);
+  check_int "three applies" 3 (Cost_trigger.applied tr);
+  (* Further changes are held; one reuse check is armed. *)
+  let d =
+    match Cost_trigger.offer tr ~now:3.0 ~cost:1.0 with
+    | [ Cost_trigger.Arm d ] -> d
+    | _ ->
+      check "armed for reuse" true false;
+      0.0
+  in
+  check "reuse wait is long" true (d > 5.0);
+  (* When the penalty has decayed to reuse, the latest pending cost
+     goes out as one batched update. *)
+  (match Cost_trigger.on_check tr ~now:(3.0 +. d +. 1e-6) with
+  | [ Cost_trigger.Apply c ] -> check_float "batched latest" 1.0 c
+  | _ -> check "batched apply" true false);
+  check "suppression lifted" false (Cost_trigger.suppressed tr);
+  check_int "four applies" 4 (Cost_trigger.applied tr)
+
+let test_trigger_sync_resets_without_penalty () =
+  let tr = trigger () in
+  ignore (Cost_trigger.offer tr ~now:0.0 ~cost:2.0);
+  let before = Cost_trigger.penalty tr ~now:0.5 in
+  Cost_trigger.sync tr ~now:0.5 ~cost:5.0;
+  check_float "reported realigned" 5.0 (Cost_trigger.reported tr);
+  check "no penalty charged" true (Cost_trigger.penalty tr ~now:0.5 <= before);
+  (* Sub-threshold relative to the synced value. *)
+  check "wobble vs synced cost absorbed" true
+    (Cost_trigger.offer tr ~now:2.0 ~cost:5.2 = [])
+
+let test_trigger_no_damping_never_suppresses () =
+  let params = { Cost_trigger.default_params with damping = None } in
+  let tr = trigger ~params () in
+  for k = 0 to 19 do
+    let cost = if k mod 2 = 0 then 2.0 else 1.0 in
+    ignore (Cost_trigger.offer tr ~now:(float_of_int k) ~cost)
+  done;
+  check "never suppressed" false (Cost_trigger.suppressed tr);
+  check_int "every flap applied" 20 (Cost_trigger.applied tr)
+
+let test_trigger_validate () =
+  let rejects p =
+    match Cost_trigger.validate p with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "negative threshold" true
+    (rejects { Cost_trigger.default_params with rel_threshold = -0.1 });
+  check "negative hold" true
+    (rejects { Cost_trigger.default_params with hold = -1.0 });
+  check "reuse above suppress" true
+    (rejects
+       {
+         Cost_trigger.default_params with
+         damping =
+           Some
+             {
+               Mdr_routing.Hello.flap_penalty = 1.0;
+               half_life = 10.0;
+               suppress = 1.0;
+               reuse = 2.0;
+             };
+       })
+
+let test_harness_cost_damping_cuts_churn () =
+  (* Flap one directed link's cost between 1 and 5 every 0.5 s over
+     [5 s, 15 s) on NET1, with and without damping. The damped run must
+     apply strictly fewer updates than it was offered, engage
+     suppression at some point, and still end quiescent and
+     invariant-clean. *)
+  let mk damped =
+    let topo = Mdr_topology.Net1.topology () in
+    let net = Network.create ~seed:7 ~topo ~cost:hop_cost () in
+    if damped then Network.set_cost_damping net Cost_trigger.default_params;
+    let l = List.hd (Graph.links topo) in
+    for k = 0 to 19 do
+      let cost = if k mod 2 = 0 then 5.0 else 1.0 in
+      Network.schedule_link_cost net
+        ~at:(5.0 +. (0.5 *. float_of_int k))
+        ~src:l.Graph.src ~dst:l.Graph.dst ~cost
+    done;
+    Network.run net;
+    net
+  in
+  let und = mk false in
+  let dmp = mk true in
+  check_int "undamped applies every offer"
+    (Network.cost_updates_offered und)
+    (Network.cost_updates_applied und);
+  check "damped applies fewer" true
+    (Network.cost_updates_applied dmp < Network.cost_updates_offered dmp);
+  check "same offers either way" true
+    (Network.cost_updates_offered dmp = Network.cost_updates_offered und);
+  check "damped run quiescent and clean" true
+    (Network.quiescent dmp && Network.check_loop_free dmp && Network.check_lfi dmp)
+
 let suite =
   [
     Alcotest.test_case "table: set/get/update" `Quick test_table_set_get;
@@ -471,4 +622,13 @@ let suite =
     Alcotest.test_case "router: link down clears state" `Quick test_router_link_down_clears_state;
     Alcotest.test_case "router: messages from down links dropped" `Quick test_router_drops_msgs_from_down_links;
     QCheck_alcotest.to_alcotest prop_mpda_storm_loop_free;
+    Alcotest.test_case "trigger: absorbs sub-threshold wobble" `Quick test_trigger_absorbs_wobble;
+    Alcotest.test_case "trigger: first change immediate" `Quick test_trigger_first_change_immediate;
+    Alcotest.test_case "trigger: hold-down batches latest" `Quick test_trigger_hold_down_batches_latest;
+    Alcotest.test_case "trigger: wobble back cancels" `Quick test_trigger_wobble_back_cancels;
+    Alcotest.test_case "trigger: flap suppression and reuse" `Quick test_trigger_flap_suppression_and_reuse;
+    Alcotest.test_case "trigger: sync resets without penalty" `Quick test_trigger_sync_resets_without_penalty;
+    Alcotest.test_case "trigger: no damping never suppresses" `Quick test_trigger_no_damping_never_suppresses;
+    Alcotest.test_case "trigger: parameter validation" `Quick test_trigger_validate;
+    Alcotest.test_case "harness: damping cuts cost churn" `Quick test_harness_cost_damping_cuts_churn;
   ]
