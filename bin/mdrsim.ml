@@ -264,6 +264,22 @@ let custom_cmd =
        ~doc:"Compare OPT/MP/SP on a user-supplied topology and flow set.")
     Term.(const run $ topo_file $ flow_file $ seeds_arg $ damping_arg)
 
+(* The chaos/perfbench scenario rotation: the paper's topologies
+   interleaved with generated structure, so campaigns cover both fixed
+   and random graphs. *)
+let rotating_topo i rng =
+  let module Rng = Mdr_util.Rng in
+  let module Generators = Mdr_topology.Generators in
+  match i mod 4 with
+  | 0 -> Mdr_topology.Cairn.topology ()
+  | 1 -> Mdr_topology.Net1.topology ()
+  | 2 ->
+    Generators.ring_with_chords ~rng ~n:(6 + Rng.int rng ~bound:7)
+      ~chords:(2 + Rng.int rng ~bound:3) ~capacity:1.0e7 ~prop_delay:0.002
+  | _ ->
+    Generators.random_connected ~rng ~n:(6 + Rng.int rng ~bound:7)
+      ~extra_links:(3 + Rng.int rng ~bound:4) ()
+
 let chaos_cmd =
   (* Randomized fault-injection campaign: every scenario draws a fault
      schedule (lossy channels, flaps, cost surges, crashes, one
@@ -271,8 +287,6 @@ let chaos_cmd =
      loop-freedom and the LFI conditions after every processed event.
      The whole campaign is a deterministic function of --seed. *)
   let module Campaign = Mdr_faults.Campaign in
-  let module Rng = Mdr_util.Rng in
-  let module Generators = Mdr_topology.Generators in
   let seed_arg =
     let doc = "Master seed; the campaign replays exactly from it." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -309,33 +323,18 @@ let chaos_cmd =
         | `Hello -> Mdr_routing.Harness.Hello Mdr_routing.Hello.default_params
       in
       let profile = { Campaign.default_profile with duration } in
-      (* Rotate through the paper's topologies and random ones so the
-         audit covers both fixed and generated structure. *)
-      let scenario_topo i rng =
-        match i mod 4 with
-        | 0 -> Mdr_topology.Cairn.topology ()
-        | 1 -> Mdr_topology.Net1.topology ()
-        | 2 ->
-          Generators.ring_with_chords ~rng ~n:(6 + Rng.int rng ~bound:7)
-            ~chords:(2 + Rng.int rng ~bound:3) ~capacity:1.0e7 ~prop_delay:0.002
-        | _ ->
-          Generators.random_connected ~rng ~n:(6 + Rng.int rng ~bound:7)
-            ~extra_links:(3 + Rng.int rng ~bound:4) ()
-      in
       Printf.printf
         "chaos: %d scenarios x {MPDA, DV}, %.0f s of churn each, seed %d, %s detection\n\n"
         scenarios duration seed
         (if hello then "hello" else "oracle");
-      let mpda = ref [] and dv = ref [] in
-      for i = 0 to scenarios - 1 do
-        let s = seed + i in
-        let rng = Rng.create ~seed:s in
-        let topo = scenario_topo i rng in
-        let plan = Campaign.random_plan ~rng ~topo profile in
-        mpda := Campaign.run_mpda ~detection ~topo ~seed:s plan :: !mpda;
-        dv := Campaign.run_dv ~detection ~topo ~seed:s plan :: !dv
-      done;
-      let mpda = List.rev !mpda and dv = List.rev !dv in
+      (* Scenario fan-out: MDR_JOBS > 1 spreads the grid over domains;
+         results come back in scenario order either way. *)
+      let results =
+        Campaign.run_campaign ~detection ~profile ~topo_of:rotating_topo ~seed
+          ~scenarios ()
+      in
+      let mpda = List.map fst (Array.to_list results)
+      and dv = List.map snd (Array.to_list results) in
       print_string (Campaign.summary_table [ ("MPDA", mpda); ("DV", dv) ]);
       print_newline ();
       if hello then begin
@@ -478,16 +477,12 @@ let overload_cmd =
         w.Workload.name envelope
         (String.concat ", " (List.map (fun m -> Printf.sprintf "%.2fx" m) loads));
       let config = { Overload.default_config with seed } in
+      let reports =
+        Overload.audit_batch ~config ~topo:w.Workload.topo ~packet_size ~base
+          (List.map (fun mult -> Traffic.scale base (mult *. envelope)) loads)
+      in
       let rows =
-        List.map
-          (fun mult ->
-            let offered = Traffic.scale base (mult *. envelope) in
-            let r =
-              Overload.audit ~config ~topo:w.Workload.topo ~packet_size ~base
-                ~offered ()
-            in
-            (Printf.sprintf "%.2fx" mult, r))
-          loads
+        List.map2 (fun mult r -> (Printf.sprintf "%.2fx" mult, r)) loads reports
       in
       print_string (Overload.table rows);
       print_newline ();
@@ -584,13 +579,11 @@ let verify_cmd =
   in
   let run max_states seed skip_det =
     print_endline "interleaving checker (all orderings of in-flight MPDA messages):";
-    let stats =
-      List.map Interleave.explore (Interleave.bundled ~max_states ())
-    in
+    let scenarios = Interleave.bundled ~max_states () in
+    let stats = Interleave.explore_all scenarios in
     List.iter (fun st -> print_endline ("  " ^ Interleave.render_stats st)) stats;
     let total = List.fold_left (fun acc st -> acc + st.Interleave.states) 0 stats in
     Printf.printf "  total: %d states\n" total;
-    let scenarios = Interleave.bundled ~max_states () in
     List.iter2
       (fun sc st ->
         match st.Interleave.violation with
@@ -618,6 +611,112 @@ let verify_cmd =
        ~doc:
          "Model-check MPDA message interleavings and sanitize experiment determinism.")
     Term.(const run $ max_states_arg $ seed_arg $ skip_det_arg)
+
+let perfbench_cmd =
+  (* Parallel-speedup benchmark: run the chaos-campaign grid and the
+     interleaving sweep once sequentially and once over a domain pool,
+     assert the trace digests match, and emit BENCH_perf.json. Digest
+     equality is the gate — bit-identical results at any job count;
+     the speedup itself is recorded, not gated, because it depends on
+     how many cores the machine actually has. *)
+  let module Campaign = Mdr_faults.Campaign in
+  let module Interleave = Mdr_analysis.Interleave in
+  let module Pool = Mdr_util.Pool in
+  let quick_arg =
+    let doc = "Small preset (6 scenarios, 8 s churn, 4000-state cap) for CI." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let jobs_arg =
+    let doc = "Domains for the parallel runs (default: MDR_JOBS, at least 2)." in
+    Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Master seed for the chaos campaign." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the JSON report." in
+    Arg.(value & opt string "BENCH_perf.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run quick jobs seed out =
+    if jobs < 0 then begin
+      prerr_endline "perfbench: --jobs must be >= 1";
+      2
+    end
+    else begin
+      let jobs = if jobs > 0 then jobs else Stdlib.max 2 (Pool.default_jobs ()) in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let scenarios = if quick then 6 else 24 in
+      let duration = if quick then 8.0 else 20.0 in
+      let max_states = if quick then 4_000 else 30_000 in
+      let profile = { Campaign.default_profile with Campaign.duration } in
+      let campaign j () =
+        Campaign.run_campaign ~jobs:j ~profile ~topo_of:rotating_topo ~seed
+          ~scenarios ()
+      in
+      let iscens = Interleave.bundled ~max_states () in
+      let sweep j () = Interleave.explore_all ~jobs:j iscens in
+      let idigest stats =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\n" (List.map Interleave.render_stats stats)))
+      in
+      Printf.printf
+        "perfbench: %d chaos scenarios x {MPDA, DV} (%.0f s churn) + %d \
+         interleave scenarios (cap %d); 1 vs %d domains\n\n"
+        scenarios duration (List.length iscens) max_states jobs;
+      let c_seq, ct_seq = time (campaign 1) in
+      let c_par, ct_par = time (campaign jobs) in
+      let i_seq, it_seq = time (sweep 1) in
+      let i_par, it_par = time (sweep jobs) in
+      let rows =
+        [
+          ("chaos-campaign", ct_seq, ct_par, Campaign.digest c_seq,
+           Campaign.digest c_par);
+          ("interleave-sweep", it_seq, it_par, idigest i_seq, idigest i_par);
+        ]
+      in
+      List.iter
+        (fun (name, ts, tp, ds, dp) ->
+          Printf.printf
+            "  %-17s seq %7.2f s  %d-domain %7.2f s  speedup x%.2f  md5 %s [%s]\n"
+            name ts jobs tp (ts /. tp) ds
+            (if String.equal ds dp then "match" else "MISMATCH: " ^ dp))
+        rows;
+      let json_row (name, ts, tp, ds, dp) =
+        Printf.sprintf
+          "    {\"workload\": %S, \"sequential_s\": %.6f, \"parallel_s\": %.6f, \
+           \"speedup\": %.4f, \"md5_sequential\": %S, \"md5_parallel\": %S, \
+           \"identical\": %b}"
+          name ts tp (ts /. tp) ds dp (String.equal ds dp)
+      in
+      let oc = open_out out in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"perf-parallel\",\n  \"jobs\": %d,\n  \
+         \"quick\": %b,\n  \"seed\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+        jobs quick seed
+        (String.concat ",\n" (List.map json_row rows));
+      close_out oc;
+      Printf.printf "\nwrote %s\n" out;
+      let ok =
+        List.for_all (fun (_, _, _, ds, dp) -> String.equal ds dp) rows
+      in
+      Printf.printf "\nperfbench: %s\n"
+        (if ok then "PASS (parallel digests match sequential)"
+         else "FAIL (parallel trace diverged from sequential)");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "perfbench"
+       ~doc:
+         "Time sequential vs multi-domain execution and assert bit-identical \
+          traces.")
+    Term.(const run $ quick_arg $ jobs_arg $ seed_arg $ out_arg)
 
 let dot_cmd =
   let topo_arg =
@@ -674,6 +773,7 @@ let cmds =
     overload_cmd;
     lint_cmd;
     verify_cmd;
+    perfbench_cmd;
     compare_cmd;
     routes_cmd;
     custom_cmd;

@@ -112,6 +112,35 @@ let netsim_trace ~seed () =
     [ (Sim.Mp, "MP"); (Sim.Sp, "SP") ];
   Buffer.contents b
 
+(* --- Parallel equivalence ---------------------------------------------- *)
+
+(* A fourth leak the double-run above cannot see: domain scheduling.
+   [Campaign.run_campaign] promises byte-identical results at any job
+   count; here hash1 is the sequential campaign digest and hash2 the
+   same campaign fanned out over [jobs] domains. Divergence means some
+   task read state owned by another — exactly what the pool's
+   index-pure contract forbids. *)
+
+let campaign_digest ~seed ~jobs =
+  let profile = { Campaign.default_profile with Campaign.duration = 8.0 } in
+  let topo_of i rng =
+    if i mod 2 = 0 then Mdr_topology.Cairn.topology ()
+    else
+      Mdr_topology.Generators.ring_with_chords ~rng ~n:8 ~chords:3
+        ~capacity:1.0e7 ~prop_delay:0.002
+  in
+  Campaign.digest (Campaign.run_campaign ~jobs ~profile ~topo_of ~seed ~scenarios:4 ())
+
+let parallel_equivalence ?(seed = 7) ?(jobs = 2) () =
+  let h1 = campaign_digest ~seed ~jobs:1 in
+  let h2 = campaign_digest ~seed ~jobs in
+  {
+    check_name = "chaos-seq-vs-par";
+    hash1 = h1;
+    hash2 = h2;
+    deterministic = String.equal h1 h2;
+  }
+
 (* --- Driver ------------------------------------------------------------ *)
 
 let checks ?(seed = 7) () =
@@ -126,7 +155,8 @@ let run_check (check_name, trace) =
   let h2 = hex (Digest.string (trace ())) in
   { check_name; hash1 = h1; hash2 = h2; deterministic = String.equal h1 h2 }
 
-let run_all ?seed () = List.map run_check (checks ?seed ())
+let run_all ?seed () =
+  List.map run_check (checks ?seed ()) @ [ parallel_equivalence ?seed () ]
 
 let all_deterministic outcomes = List.for_all (fun o -> o.deterministic) outcomes
 

@@ -30,7 +30,16 @@ val checks : ?seed:int -> unit -> (string * (unit -> string)) list
 (** The bundled check list: chaos campaign, fluid SP/OPT evaluation,
     packet simulator MP/SP. *)
 
+val parallel_equivalence : ?seed:int -> ?jobs:int -> unit -> outcome
+(** Scheduling-independence check: [hash1] is the digest of a small
+    chaos campaign run sequentially, [hash2] the identical campaign
+    fanned out over [jobs] (default 2) pool domains. [deterministic]
+    means parallel execution reproduced the sequential results
+    byte-for-byte. *)
+
 val run_check : string * (unit -> string) -> outcome
+
+(** All double-run checks plus {!parallel_equivalence}. *)
 val run_all : ?seed:int -> unit -> outcome list
 val all_deterministic : outcome list -> bool
 val render : outcome -> string

@@ -339,6 +339,12 @@ let ring5 () =
   mk_topo [ "a"; "b"; "c"; "d"; "e" ]
     [ ("a", "b"); ("b", "c"); ("c", "d"); ("d", "e"); ("e", "a") ]
 
+(* Each scenario owns its topology and the search owns every router and
+   channel it creates, so the sweep fans out on the pool; stats come
+   back in scenario order regardless of job count. *)
+let explore_all ?jobs ?invariants scenarios =
+  Mdr_util.Pool.map_list ?jobs (fun sc -> explore ?invariants sc) scenarios
+
 let bundled ?(max_states = 30_000) () =
   [
     {

@@ -70,6 +70,12 @@ val explore : ?invariants:invariant list -> scenario -> stats
     up (all initial full-table LSUs in flight). Defaults to
     {!standard_invariants}; stops at the first violation. *)
 
+val explore_all :
+  ?jobs:int -> ?invariants:invariant list -> scenario list -> stats list
+(** {!explore} over a scenario list, fanned out on an
+    {!Mdr_util.Pool} ([jobs] defaults to [MDR_JOBS]). Stats come back
+    in scenario order and are identical at any job count. *)
+
 val bundled : ?max_states:int -> unit -> scenario list
 (** The shipped 3-5-node scenario corpus (triangles, lines, diamonds
     and rings, with and without a cost change / a message loss). *)

@@ -65,11 +65,16 @@ let per_flow_fluid w (r : Fluid.Params.t) flows =
   in
   List.map (fun pair -> List.assoc pair by_pair) w.Workload.pairs
 
-(* Packet-simulator per-flow means, averaged over seeds. *)
+(* Packet-simulator per-flow means, averaged over seeds. Each seed's
+   run owns its entire simulator state (the shared topology is never
+   mutated), so the seed grid fans out on the pool; the fold below runs
+   after the barrier over the seed-ordered results. *)
 let sim_per_flow ?(burst = None) w cfg ~seeds =
   let flows = Workload.sim_flows ~burst w in
   let runs =
-    List.map (fun seed -> Sim.run ~config:{ cfg with Sim.seed } w.Workload.topo flows) seeds
+    Mdr_util.Pool.map_list
+      (fun seed -> Sim.run ~config:{ cfg with Sim.seed } w.Workload.topo flows)
+      seeds
   in
   let k = float_of_int (List.length seeds) in
   let per_flow =
@@ -558,7 +563,7 @@ let failover ?(seeds = [ 1; 2 ]) () =
   in
   let cfg = { Sim.default_config with sim_time = 100.0; warmup = 10.0 } in
   let runs scheme =
-    List.map
+    Mdr_util.Pool.map_list
       (fun seed ->
         Sim.run ~config:{ cfg with scheme; seed } ~events topo (Workload.sim_flows w))
       seeds
@@ -634,7 +639,7 @@ let generalization ?(graphs = 6) ?(seeds = [ 1; 2 ]) () =
     in
     let avg scheme =
       Stats.mean_of_list
-        (List.map
+        (Mdr_util.Pool.map_list
            (fun seed ->
              (Sim.run ~config:{ cfg with scheme; seed } topo flows).Sim.avg_delay)
            seeds)

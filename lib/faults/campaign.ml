@@ -116,7 +116,7 @@ let random_plan ~rng ~topo profile =
     Rng.shuffle rng members;
     let group = Array.to_list (Array.sub members 0 size) in
     let at, heal_at = window () in
-    faults := Partition { group = List.sort compare group; at; heal_at } :: !faults
+    faults := Partition { group = List.sort Int.compare group; at; heal_at } :: !faults
   end;
   let channel =
     Channel.all
@@ -137,7 +137,7 @@ let random_plan ~rng ~topo profile =
       ]
   in
   {
-    faults = List.sort (fun x y -> compare (fault_start x) (fault_start y)) !faults;
+    faults = List.sort (fun x y -> Float.compare (fault_start x) (fault_start y)) !faults;
     channel;
     duration = d;
   }
@@ -354,6 +354,46 @@ let run_dv ?(detection = Mdr_routing.Harness.Oracle) ?(cost = default_cost)
     ?(settle_grace = 600.0) ~topo ~seed plan =
   drive (module Dv_net) ~protocol:"DV" ~detection ~cost ~settle_grace ~topo ~seed plan
 
+(* Scenario fan-out. Each index is a closed world — its own rng stream
+   (seeded seed + i, so randomness depends only on the index, never on
+   domain scheduling), its own topology value, its own plan and
+   networks — so scenarios run on a [Mdr_util.Pool] without sharing any
+   mutable state. Accumulation happens after the barrier, in the
+   caller, over the index-ordered result array: byte-identical output
+   at any MDR_JOBS. *)
+let run_campaign ?jobs ?detection ?cost ?settle_grace ?(profile = default_profile)
+    ~topo_of ~seed ~scenarios () =
+  if scenarios < 0 then invalid_arg "Campaign.run_campaign: scenarios < 0";
+  Mdr_util.Pool.init ?jobs scenarios (fun i ->
+      let s = seed + i in
+      let rng = Rng.create ~seed:s in
+      let topo = topo_of i rng in
+      let plan = random_plan ~rng ~topo profile in
+      let mpda = run_mpda ?detection ?cost ?settle_grace ~topo ~seed:s plan in
+      let dv = run_dv ?detection ?cost ?settle_grace ~topo ~seed:s plan in
+      (mpda, dv))
+
+let fingerprint (m : metrics) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "%s events=%d loops=%d lfi=%d msgs=%d rexmit=%d acks=%d hellos=%d active=%d"
+    m.protocol m.events m.loop_violations m.lfi_violations m.messages
+    m.retransmissions m.transport_acks m.hellos m.active_phases;
+  List.iter (Printf.bprintf b " det=%h") m.detection_latencies;
+  Printf.bprintf b
+    " absorbed=%d falsepos=%d blackhole=%h permanent=%b reconv=%h conv=%b"
+    m.detection_absorbed m.detection_false_positives m.blackhole_time
+    m.permanent_blackhole m.reconvergence m.converged;
+  Buffer.contents b
+
+let digest results =
+  let b = Buffer.create 4096 in
+  Array.iteri
+    (fun i (mpda, dv) ->
+      Printf.bprintf b "%d %s\n%d %s\n" i (fingerprint mpda) i (fingerprint dv))
+    results;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let successor_agreement ?(cost = default_cost) ?channel ~topo ~seed () =
   let channel = match channel with Some c -> c | None -> Channel.drop ~p:0.2 () in
   let converge ch =
@@ -380,8 +420,8 @@ let successor_agreement ?(cost = default_cost) ?channel ~topo ~seed () =
   for dst = 0 to n - 1 do
     for node = 0 to n - 1 do
       if node <> dst then begin
-        let a = List.sort compare (Mpda_net.successor_sets ideal ~dst node) in
-        let b = List.sort compare (Mpda_net.successor_sets lossy ~dst node) in
+        let a = List.sort Int.compare (Mpda_net.successor_sets ideal ~dst node) in
+        let b = List.sort Int.compare (Mpda_net.successor_sets lossy ~dst node) in
         if a <> b then same := false
       end
     done

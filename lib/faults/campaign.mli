@@ -126,6 +126,35 @@ val run_dv :
   metrics
 (** Same plan, distance-vector network. *)
 
+val run_campaign :
+  ?jobs:int ->
+  ?detection:Mdr_routing.Harness.detection ->
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  ?settle_grace:float ->
+  ?profile:profile ->
+  topo_of:(int -> Mdr_util.Rng.t -> Mdr_topology.Graph.t) ->
+  seed:int ->
+  scenarios:int ->
+  unit ->
+  (metrics * metrics) array
+(** Run [scenarios] independent fault scenarios, each against MPDA and
+    DV, fanned out on an {!Mdr_util.Pool} ([jobs] defaults to
+    [MDR_JOBS]). Scenario [i] draws its plan from a fresh rng seeded
+    [seed + i] over the topology [topo_of i rng], so every result is a
+    pure function of its index: the returned array — MPDA metrics
+    paired with DV metrics, in scenario order — is byte-identical at
+    any job count. *)
+
+val fingerprint : metrics -> string
+(** Full-precision one-line serialization of a metrics record (floats
+    with [%h]); equal strings iff equal metrics. Feeds {!digest} and
+    the parallel-equivalence checks. *)
+
+val digest : (metrics * metrics) array -> string
+(** Hex MD5 over the fingerprints of a {!run_campaign} result, in
+    scenario order — the campaign's trace hash for sequential-vs-
+    parallel comparison. *)
+
 val successor_agreement :
   ?cost:(Mdr_topology.Graph.link -> float) ->
   ?channel:Channel.t ->

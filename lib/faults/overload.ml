@@ -248,6 +248,14 @@ let audit ?(config = default_config) ~topo ~packet_size ~base ~offered () =
   in
   { fluid; undamped; damped }
 
+(* Each scenario is a pure function of (config, topo, packet_size,
+   base, offered) and touches no shared mutable state — the watchdog's
+   multi-load sweep fans out on the pool, results in input order. *)
+let audit_batch ?jobs ?config ~topo ~packet_size ~base offered =
+  Mdr_util.Pool.map_list ?jobs
+    (fun offered -> audit ?config ~topo ~packet_size ~base ~offered ())
+    offered
+
 (* --- Rendering -------------------------------------------------------- *)
 
 let cell = Tab.float_cell ~decimals:3

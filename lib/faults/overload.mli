@@ -90,6 +90,19 @@ val audit :
     @raise Invalid_argument on a non-positive [t_l] or [max_iters], a
     degenerate surge window, or invalid damping parameters. *)
 
+val audit_batch :
+  ?jobs:int ->
+  ?config:config ->
+  topo:Mdr_topology.Graph.t ->
+  packet_size:float ->
+  base:Mdr_fluid.Traffic.t ->
+  Mdr_fluid.Traffic.t list ->
+  report list
+(** {!audit} over a list of offered matrices against one base, fanned
+    out on an {!Mdr_util.Pool} ([jobs] defaults to [MDR_JOBS]). Reports
+    come back in input order and are byte-identical at any job
+    count. *)
+
 val table : (string * report) list -> string
 (** One row per labelled scenario: feasibility, admission, shedding,
     degradation status, delay ratio, saturated-link and flap counts

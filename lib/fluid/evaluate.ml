@@ -65,9 +65,17 @@ let link_costs m flows =
    sojourn) and marginal distances (marginal link cost): values are
    computed in reverse topological order of SG_dst, so each router's
    successors are resolved before the router itself. *)
-let downstream_values m params ~dst ~link_value =
+let downstream_values ?into m params ~dst ~link_value =
   let n = Graph.node_count m.topo in
-  let values = Array.make n infinity in
+  let values =
+    match into with
+    | None -> Array.make n infinity
+    | Some a ->
+      if Array.length a < n then
+        invalid_arg "Evaluate: into buffer shorter than node count";
+      Array.fill a 0 n infinity;
+      a
+  in
   values.(dst) <- 0.0;
   let order =
     try Flows.topological_order params ~dst
@@ -116,9 +124,9 @@ let per_flow_delays m params flows traffic =
     (fun (flow : Traffic.flow) -> (flow, (array_for flow.dst).(flow.src)))
     (Traffic.flows traffic)
 
-let marginal_distances m params flows ~dst =
+let marginal_distances ?into m params flows ~dst =
   let link_value ~src ~dst =
     let f = Flows.link_flow flows ~src ~dst in
     Delay.marginal (delay_of_link m ~src ~dst) f
   in
-  downstream_values m params ~dst ~link_value
+  downstream_values ?into m params ~dst ~link_value

@@ -50,7 +50,11 @@ val expected_delay : model -> Params.t -> Flows.t -> src:int -> dst:int -> float
 (** Expected delay from one router to a destination; infinite when
     (src, dst) is unrouted. *)
 
-val marginal_distances : model -> Params.t -> Flows.t -> dst:int -> float array
+val marginal_distances :
+  ?into:float array -> model -> Params.t -> Flows.t -> dst:int -> float array
 (** The marginal distances dD_T/dr_i(dst) of every router for one
     destination (Eq. 4): delta_i = sum_k phi_ik (l_ik + delta_k).
-    Unrouted routers get [infinity]. *)
+    Unrouted routers get [infinity]. [into], when given, is fully
+    overwritten and returned instead of a fresh array (length >= node
+    count) — iteration loops pass one reusable buffer so the per-call
+    allocation disappears. *)

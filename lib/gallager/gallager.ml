@@ -34,8 +34,9 @@ let spf_params model topo =
   let zero_flow_cost (l : Graph.link) =
     Delay.marginal (Evaluate.delay_of_link model ~src:l.src ~dst:l.dst) 0.0
   in
+  let ws = Mdr_routing.Dijkstra.workspace () in
   for dst = 0 to n - 1 do
-    let dist = Mdr_routing.Dijkstra.distances_to topo ~dst ~cost:zero_flow_cost in
+    let dist = Mdr_routing.Dijkstra.distances_to ~ws topo ~dst ~cost:zero_flow_cost in
     for node = 0 to n - 1 do
       if node <> dst then begin
         (* Best next hop: the neighbor minimising link cost + its
@@ -78,10 +79,11 @@ let improper_nodes params delta ~dst ~n =
   List.iter mark (List.rev order);
   improper
 
-let update_destination ?(second_order = false) model params flows ~eta ~dst =
+let update_destination ?(second_order = false) ?delta_into model params flows
+    ~eta ~dst =
   let topo = Params.topology params in
   let n = Graph.node_count topo in
-  let delta = Evaluate.marginal_distances model params flows ~dst in
+  let delta = Evaluate.marginal_distances ?into:delta_into model params flows ~dst in
   let improper = improper_nodes params delta ~dst ~n in
   let max_change = ref 0.0 in
   for node = 0 to n - 1 do
@@ -181,11 +183,15 @@ let solve_admitted ~eta ~adaptive ~second_order ~max_iters ~tol ?init model topo
     let flows = Flows.compute ~iterative_fallback:true p traffic in
     (flows, Evaluate.total_cost model flows)
   in
+  (* One marginal-distance buffer serves every destination of every
+     iteration; [marginal_distances] overwrites it in full. *)
+  let delta_buf = Array.make n infinity in
   let apply p flows step =
     List.fold_left
       (fun acc dst ->
         Float.max acc
-          (update_destination ~second_order model p flows ~eta:step ~dst))
+          (update_destination ~second_order ~delta_into:delta_buf model p flows
+             ~eta:step ~dst))
       0.0 destinations
   in
   let eta_floor = eta *. 1e-12 in
@@ -303,8 +309,9 @@ let check_optimality model params flows traffic ~tolerance =
   let topo = Params.topology params in
   let n = Graph.node_count topo in
   let ok = ref true in
+  let delta_buf = Array.make n infinity in
   let check_destination dst =
-    let delta = Evaluate.marginal_distances model params flows ~dst in
+    let delta = Evaluate.marginal_distances ~into:delta_buf model params flows ~dst in
     for node = 0 to n - 1 do
       if node <> dst && flows.Flows.node_flows.(node).(dst) > 1e-9 then begin
         let through k =

@@ -175,7 +175,7 @@ let refresh_forwarding sim ns =
   in
   for dst = 0 to n - 1 do
     if dst <> ns.id then begin
-      let s = List.sort compare (Router.successors ns.router ~dst) in
+      let s = List.sort Int.compare (Router.successors ns.router ~dst) in
       let best_of candidates =
         List.fold_left
           (fun best k ->
@@ -291,7 +291,9 @@ let long_term_tick sim ns =
       let outputs = Router.handle_link_cost ns.router ~nbr:k ~cost in
       refresh_forwarding sim ns;
       dispatch sim ~from_:ns.id outputs)
-    (List.sort compare !updates)
+    (* One update per neighbor, so keys are distinct: compare them
+       alone, typed. *)
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) !updates)
 
 let short_term_tick sim ns =
   Sorted_tbl.iter
@@ -409,8 +411,17 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
     match events with
     | [] -> [||]
     | _ ->
-      let times = List.sort_uniq compare (List.map event_time events) in
-      Array.of_list (0.0 :: List.filter (fun t -> t > 0.0) times)
+      let times = Array.of_list (List.map event_time events) in
+      Array.sort Float.compare times;
+      let bounds = ref [] in
+      Array.iter
+        (fun t ->
+          if t > 0.0 then
+            match !bounds with
+            | prev :: _ when Float.equal prev t -> ()
+            | _ -> bounds := t :: !bounds)
+        times;
+      Array.of_list (0.0 :: List.rev !bounds)
   in
   let nepochs = Array.length epoch_bounds in
   let sim =
@@ -616,20 +627,29 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
       0.0 nodes
   in
   let links =
-    Array.to_list nodes
-    |> List.concat_map (fun ns ->
-           Sorted_tbl.fold
-             (fun dst ls acc ->
-               {
-                 src = ns.id;
-                 dst;
-                 utilization = Link.utilization ls.link;
-                 mean_queue = Link.mean_queue ls.link;
-                 packets = Link.packets_sent ls.link;
-               }
-               :: acc)
-             ns.out [])
-    |> List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
+    let rows =
+      Array.to_list nodes
+      |> List.concat_map (fun ns ->
+             Sorted_tbl.fold
+               (fun dst ls acc ->
+                 {
+                   src = ns.id;
+                   dst;
+                   utilization = Link.utilization ls.link;
+                   mean_queue = Link.mean_queue ls.link;
+                   packets = Link.packets_sent ls.link;
+                 }
+                 :: acc)
+               ns.out [])
+      |> Array.of_list
+    in
+    Array.sort
+      (fun a b ->
+        match Int.compare a.src b.src with
+        | 0 -> Int.compare a.dst b.dst
+        | c -> c)
+      rows;
+    Array.to_list rows
   in
   let delay_timeline =
     List.filter_map

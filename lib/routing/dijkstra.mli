@@ -13,10 +13,28 @@ type result = {
   parent : int array;  (** [parent.(j)]: predecessor on the canonical shortest path; [-1] for the root and unreachable nodes. *)
 }
 
-val on_table : n:int -> root:int -> Topo_table.t -> result
+type workspace
+(** Reusable scratch (settled bitmap, flat binary heap, discarded
+    parents). Passing one workspace to repeated runs eliminates the
+    per-run allocations; results are identical with or without it. A
+    workspace serves one domain at a time — parallel tasks own their
+    own. *)
+
+val workspace : unit -> workspace
+(** An empty workspace; grows to fit whatever [n] it is used with. *)
+
+val on_table : ?ws:workspace -> n:int -> root:int -> Topo_table.t -> result
 (** [n] bounds node ids (they are dense across the simulation). *)
 
+val on_table_into :
+  workspace ->
+  n:int -> root:int -> dist:float array -> parent:int array -> Topo_table.t -> unit
+(** Like {!on_table} but writing into caller-owned [dist]/[parent]
+    buffers (length >= [n]; fully overwritten) — the form the router's
+    hot loop uses so steady-state recomputation allocates nothing. *)
+
 val on_graph :
+  ?ws:workspace ->
   Mdr_topology.Graph.t -> root:int ->
   cost:(Mdr_topology.Graph.link -> float) -> result
 (** Costs must be non-negative; links with infinite cost are treated as
@@ -28,6 +46,7 @@ val tree_of_result : n:int -> root:int -> result -> cost:(head:int -> tail:int -
     costs (typically lookups in the merged table Dijkstra ran on). *)
 
 val distances_to :
+  ?ws:workspace ->
   Mdr_topology.Graph.t -> dst:int ->
   cost:(Mdr_topology.Graph.link -> float) -> float array
 (** Distance from every node *to* [dst] (runs Dijkstra on reversed

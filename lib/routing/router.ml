@@ -18,9 +18,14 @@ type t = {
   mutable main : Topo_table.t;
   nbr_tables : (int, Topo_table.t) Hashtbl.t;
   nbr_dist : (int, float array) Hashtbl.t;  (* D_jk: from nbr k to each dst *)
+  nbr_seen : (int, int) Hashtbl.t;
+      (* table version [nbr_dist] was computed at; when a neighbor's
+         table version still matches, its Dijkstra is skipped *)
+  ws : Dijkstra.workspace;  (* per-router scratch; never shared *)
+  parent_buf : int array;  (* Dijkstra parents for the last MTU run *)
   adjacent : (int, float) Hashtbl.t;  (* l_k; absent = down *)
-  mutable dist : float array;  (* D_j *)
-  mutable first_hop : int array;  (* preferred neighbor toward each dst; -1 *)
+  dist : float array;  (* D_j; updated in place *)
+  first_hop : int array;  (* preferred neighbor toward each dst; -1 *)
   fd : float array;  (* FD_j *)
   mutable succ : int list array;  (* S_j *)
   mutable active : bool;
@@ -48,6 +53,9 @@ let create ~mode ~id ~n =
     main = Topo_table.create ();
     nbr_tables = Hashtbl.create 8;
     nbr_dist = Hashtbl.create 8;
+    nbr_seen = Hashtbl.create 8;
+    ws = Dijkstra.workspace ();
+    parent_buf = Array.make n (-1);
     adjacent = Hashtbl.create 8;
     dist =
       (let d = Array.make n infinity in
@@ -104,8 +112,28 @@ let refresh_neighbor_distances t ~nbr =
       Hashtbl.replace t.nbr_tables nbr tab;
       tab
   in
-  let result = Dijkstra.on_table ~n:t.n ~root:nbr table in
-  Hashtbl.replace t.nbr_dist nbr result.Dijkstra.dist
+  let current = Topo_table.version table in
+  let clean =
+    Hashtbl.mem t.nbr_dist nbr
+    && (match Hashtbl.find_opt t.nbr_seen nbr with
+       | Some seen -> seen = current
+       | None -> false)
+  in
+  (* Duplicate LSUs, retransmissions, and no-op entries leave the
+     table version alone, so the (identical) recomputation is skipped
+     entirely. *)
+  if not clean then begin
+    let dist =
+      match Hashtbl.find_opt t.nbr_dist nbr with
+      | Some d -> d
+      | None ->
+        let d = Array.make t.n infinity in
+        Hashtbl.replace t.nbr_dist nbr d;
+        d
+    in
+    Dijkstra.on_table_into t.ws ~n:t.n ~root:nbr ~dist ~parent:t.parent_buf table;
+    Hashtbl.replace t.nbr_seen nbr current
+  end
 
 let apply_lsu t ~from_ ~reset entries =
   let table =
@@ -122,11 +150,11 @@ let apply_lsu t ~from_ ~reset entries =
 
 (* --- MTU: rebuild the main table ----------------------------------- *)
 
-let first_hop_of_parents t (res : Dijkstra.result) dst =
-  if dst = t.id || not (Float.is_finite res.dist.(dst)) then -1
+let first_hop_of_parents t ~dist ~parent dst =
+  if dst = t.id || not (Float.is_finite dist.(dst)) then -1
   else begin
     let rec walk node =
-      let p = res.parent.(node) in
+      let p = parent.(node) in
       if p = t.id then node else if p < 0 then -1 else walk p
     in
     walk dst
@@ -173,8 +201,12 @@ let mtu t =
   List.iter
     (fun k -> Topo_table.set merged ~head:t.id ~tail:k ~cost:(link_cost t ~nbr:k))
     nbrs;
-  (* Step 6: keep only the shortest-path tree. *)
-  let res = Dijkstra.on_table ~n:t.n ~root:t.id merged in
+  (* Step 6: keep only the shortest-path tree. Distances land directly
+     in [t.dist] and parents in the reusable scratch — steady-state
+     recomputation allocates nothing but the tree table. *)
+  Dijkstra.on_table_into t.ws ~n:t.n ~root:t.id ~dist:t.dist ~parent:t.parent_buf
+    merged;
+  let res = { Dijkstra.dist = t.dist; parent = t.parent_buf } in
   let tree =
     Dijkstra.tree_of_result ~n:t.n ~root:t.id res ~cost:(fun ~head ~tail ->
         match Topo_table.cost merged ~head ~tail with
@@ -183,9 +215,10 @@ let mtu t =
   in
   let changes = Topo_table.diff ~old_table:t.main ~new_table:tree in
   t.main <- tree;
-  t.dist <- res.Dijkstra.dist;
   t.dist.(t.id) <- 0.0;
-  t.first_hop <- Array.init t.n (first_hop_of_parents t res);
+  for j = 0 to t.n - 1 do
+    t.first_hop.(j) <- first_hop_of_parents t ~dist:t.dist ~parent:t.parent_buf j
+  done;
   changes
 
 (* --- Successor sets (Eq. 17 / line 4 of MPDA) ----------------------- *)
@@ -389,6 +422,12 @@ let copy t =
     main = Topo_table.copy t.main;
     nbr_tables = copy_tbl Topo_table.copy t.nbr_tables;
     nbr_dist = copy_tbl Array.copy t.nbr_dist;
+    (* Table copies keep their version counters, so the seen-versions
+       transfer verbatim: distances current in the original stay
+       current in the copy. *)
+    nbr_seen = copy_tbl Fun.id t.nbr_seen;
+    ws = Dijkstra.workspace ();
+    parent_buf = Array.copy t.parent_buf;
     adjacent = copy_tbl Fun.id t.adjacent;
     dist = Array.copy t.dist;
     first_hop = Array.copy t.first_hop;

@@ -2,47 +2,79 @@ module Sorted_tbl = Mdr_util.Sorted_tbl
 
 type entry = { head : int; tail : int; cost : float }
 
+type csr = { row : int array; dst : int array; cost : float array }
+
 type t = {
   links : (int * int, float) Hashtbl.t;
   adjacency : (int, (int, float) Hashtbl.t) Hashtbl.t;
+  mutable version : int;
+  mutable csr_cache : (int * int * csr) option;  (* (version, n, view) *)
 }
 
-let create () = { links = Hashtbl.create 32; adjacency = Hashtbl.create 16 }
+let create () =
+  {
+    links = Hashtbl.create 32;
+    adjacency = Hashtbl.create 16;
+    version = 0;
+    csr_cache = None;
+  }
 
+(* Every *actual* mutation bumps [version]; no-op writes (same cost,
+   absent removal, empty clear) leave it alone so readers keying off
+   the version — the CSR cache here, the per-neighbor Dijkstra skip in
+   Router — stay valid as long as the contents truly haven't moved. *)
+let touch t = t.version <- t.version + 1
+
+(* The copy keeps the original's version counter (same contents, same
+   version: readers' seen-versions stay valid across copies) and shares
+   its CSR snapshot — the snapshot arrays are write-once, so sharing is
+   safe and the copy's first shortest-path run skips the rebuild. *)
 let copy t =
   let fresh = create () in
   Sorted_tbl.iter (fun k v -> Hashtbl.replace fresh.links k v) t.links;
   Sorted_tbl.iter
     (fun h out -> Hashtbl.replace fresh.adjacency h (Hashtbl.copy out))
     t.adjacency;
+  fresh.version <- t.version;
+  fresh.csr_cache <- t.csr_cache;
   fresh
 
 let clear t =
-  Hashtbl.reset t.links;
-  Hashtbl.reset t.adjacency
+  if Hashtbl.length t.links > 0 then begin
+    Hashtbl.reset t.links;
+    Hashtbl.reset t.adjacency;
+    touch t
+  end
 
 let set t ~head ~tail ~cost =
   if not (Float.is_finite cost) || cost < 0.0 then
     invalid_arg "Topo_table.set: cost must be finite and non-negative";
   if head = tail then invalid_arg "Topo_table.set: self-loop";
-  Hashtbl.replace t.links (head, tail) cost;
-  let out =
-    match Hashtbl.find_opt t.adjacency head with
-    | Some out -> out
-    | None ->
-      let out = Hashtbl.create 4 in
-      Hashtbl.replace t.adjacency head out;
-      out
-  in
-  Hashtbl.replace out tail cost
+  match Hashtbl.find_opt t.links (head, tail) with
+  | Some old when Float.equal old cost -> ()
+  | Some _ | None ->
+    Hashtbl.replace t.links (head, tail) cost;
+    let out =
+      match Hashtbl.find_opt t.adjacency head with
+      | Some out -> out
+      | None ->
+        let out = Hashtbl.create 4 in
+        Hashtbl.replace t.adjacency head out;
+        out
+    in
+    Hashtbl.replace out tail cost;
+    touch t
 
 let remove t ~head ~tail =
-  Hashtbl.remove t.links (head, tail);
-  match Hashtbl.find_opt t.adjacency head with
-  | None -> ()
-  | Some out ->
-    Hashtbl.remove out tail;
-    if Hashtbl.length out = 0 then Hashtbl.remove t.adjacency head
+  if Hashtbl.mem t.links (head, tail) then begin
+    Hashtbl.remove t.links (head, tail);
+    (match Hashtbl.find_opt t.adjacency head with
+    | None -> ()
+    | Some out ->
+      Hashtbl.remove out tail;
+      if Hashtbl.length out = 0 then Hashtbl.remove t.adjacency head);
+    touch t
+  end
 
 let cost t ~head ~tail = Hashtbl.find_opt t.links (head, tail)
 
@@ -70,6 +102,37 @@ let nodes t =
 
 let size t = Hashtbl.length t.links
 
+let version t = t.version
+
+let csr t ~n =
+  match t.csr_cache with
+  | Some (v, cached_n, view) when v = t.version && cached_n = n -> view
+  | Some _ | None ->
+    (* [entries] is sorted by (head, tail), which is exactly CSR fill
+       order — and per-head sorted by tail, the same order [out_links]
+       yields, so algorithms see identical edge sequences either way. *)
+    let es = entries t in
+    let in_range e = e.head >= 0 && e.head < n in
+    let row = Array.make (n + 1) 0 in
+    List.iter (fun e -> if in_range e then row.(e.head + 1) <- row.(e.head + 1) + 1) es;
+    for i = 1 to n do
+      row.(i) <- row.(i) + row.(i - 1)
+    done;
+    let m = row.(n) in
+    let dst = Array.make m 0 and cost = Array.make m 0.0 in
+    let pos = ref 0 in
+    List.iter
+      (fun e ->
+        if in_range e then begin
+          dst.(!pos) <- e.tail;
+          cost.(!pos) <- e.cost;
+          incr pos
+        end)
+      es;
+    let view = { row; dst; cost } in
+    t.csr_cache <- Some (t.version, n, view);
+    view
+
 let diff ~old_table ~new_table =
   let changes = ref [] in
   Sorted_tbl.iter
@@ -83,7 +146,12 @@ let diff ~old_table ~new_table =
       if not (Hashtbl.mem new_table.links (head, tail)) then
         changes := { head; tail; cost = infinity } :: !changes)
     old_table.links;
-  List.sort (fun a b -> compare (a.head, a.tail) (b.head, b.tail)) !changes
+  List.sort
+    (fun a b ->
+      match Int.compare a.head b.head with
+      | 0 -> Int.compare a.tail b.tail
+      | c -> c)
+    !changes
 
 let equal a b =
   Hashtbl.length a.links = Hashtbl.length b.links

@@ -35,6 +35,27 @@ val nodes : t -> int list
 
 val size : t -> int
 
+val version : t -> int
+(** Monotonic change counter, bumped only by mutations that actually
+    alter the table (a [set] to the current cost, a [remove] of an
+    absent link, or a [clear] of an empty table leave it unchanged).
+    Readers cache derived state — the CSR view here, per-neighbor
+    shortest paths in the router — keyed on it. *)
+
+type csr = {
+  row : int array;  (** length n+1; edges of head [h] occupy [row.(h) .. row.(h+1)-1] *)
+  dst : int array;
+  cost : float array;
+}
+(** Flat adjacency view for hot loops: per-head edges sorted by tail,
+    the same order {!out_links} produces, without per-visit list
+    allocation or hashing. *)
+
+val csr : t -> n:int -> csr
+(** The CSR view restricted to heads in [0, n)]. Cached; rebuilt only
+    when {!version} (or [n]) changes. The returned arrays must not be
+    mutated and are valid snapshots only until the next mutation. *)
+
 val diff : old_table:t -> new_table:t -> entry list
 (** LSU entries that transform [old_table] into [new_table]:
     adds/changes carry the new cost, deletions carry [infinity]. *)

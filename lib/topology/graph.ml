@@ -7,6 +7,8 @@ type link = {
   prop_delay : float;
 }
 
+type csr = { row : int array; links : link array }
+
 type t = {
   names : string array;
   by_name : (string, node) Hashtbl.t;
@@ -14,6 +16,12 @@ type t = {
   order : (node, link list) Hashtbl.t;  (* per-src out-links, reversed insertion order *)
   mutable all_links_rev : link list;
   mutable link_count : int;
+  (* Lazily built flat adjacency, keyed by the link count at build time
+     (links are only ever added, never removed). Atomic so domains
+     sharing one topology publish a fully-initialised view; losing a
+     build race just wastes one rebuild of identical content. *)
+  out_cache : (int * csr) option Atomic.t;
+  in_cache : (int * csr) option Atomic.t;
 }
 
 let create ~names =
@@ -33,6 +41,8 @@ let create ~names =
     order = Hashtbl.create n;
     all_links_rev = [];
     link_count = 0;
+    out_cache = Atomic.make None;
+    in_cache = Atomic.make None;
   }
 
 let node_count t = Array.length t.names
@@ -92,6 +102,53 @@ let links t = List.rev t.all_links_rev
 let fold_links t ~init ~f = List.fold_left f init (links t)
 
 let nodes t = List.init (node_count t) Fun.id
+
+let pack_csr t per_node =
+  let n = node_count t in
+  let row = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row.(u + 1) <- row.(u) + List.length per_node.(u)
+  done;
+  let m = row.(n) in
+  if m = 0 then { row; links = [||] }
+  else begin
+    let seed =
+      let rec first i = match per_node.(i) with [] -> first (i + 1) | l :: _ -> l in
+      first 0
+    in
+    let arr = Array.make m seed in
+    for u = 0 to n - 1 do
+      let pos = ref row.(u) in
+      List.iter
+        (fun l ->
+          arr.(!pos) <- l;
+          incr pos)
+        per_node.(u)
+    done;
+    { row; links = arr }
+  end
+
+let cached cache t build =
+  let key = t.link_count in
+  match Atomic.get cache with
+  | Some (k, view) when k = key -> view
+  | Some _ | None ->
+    let view = build t in
+    Atomic.set cache (Some (key, view));
+    view
+
+let out_csr t =
+  cached t.out_cache t (fun t ->
+      pack_csr t (Array.init (node_count t) (fun u -> out_links t u)))
+
+let in_csr t =
+  cached t.in_cache t (fun t ->
+      (* Links *into* u, discovered through u's out-links exactly the
+         way the reverse Dijkstra historically probed them, so reversed
+         traversals see the same edge order as before. *)
+      pack_csr t
+        (Array.init (node_count t) (fun u ->
+             List.filter_map (fun l -> link t ~src:l.dst ~dst:u) (out_links t u))))
 
 let is_symmetric t =
   List.for_all (fun l -> link t ~src:l.dst ~dst:l.src <> None) (links t)

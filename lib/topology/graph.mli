@@ -51,6 +51,23 @@ val fold_links : t -> init:'a -> f:('a -> link -> 'a) -> 'a
 
 val nodes : t -> node list
 
+type csr = {
+  row : int array;  (** length [node_count + 1] *)
+  links : link array;  (** links of node [u] occupy [row.(u) .. row.(u+1)-1] *)
+}
+(** Flat adjacency for hot loops (no list or closure allocation per
+    traversal). Views are cached and rebuilt only when links are added;
+    the returned arrays must not be mutated. *)
+
+val out_csr : t -> csr
+(** Out-links per source, insertion order — the order {!out_links}
+    yields. *)
+
+val in_csr : t -> csr
+(** Links *into* each node, in the order the reverse traversal of
+    {!out_links} discovers them (the reverse link of each out-link,
+    when present). [links.(e).src] is the predecessor. *)
+
 val is_symmetric : t -> bool
 (** Every directed link has a reverse link (attributes may differ). *)
 

@@ -1,0 +1,195 @@
+(* Fixed domain pool. One batch runs at a time; tasks are claimed by
+   atomic fetch-and-add so claimed indices always form a prefix of the
+   input. That prefix property is what makes failure reporting
+   deterministic: when any task raises we stop claiming, let every
+   in-flight task finish, and the lowest recorded failing index is then
+   the lowest failing index of the whole input. *)
+
+exception Task_failed of { index : int; exn : exn }
+
+let default_jobs () =
+  match Sys.getenv_opt "MDR_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+let running_in_task () = Domain.DLS.get in_task_key
+
+type batch = {
+  gen : int;
+  jobs : int;
+  slots : int Atomic.t;  (* domains that took a processing slot *)
+  next : int Atomic.t;  (* next unclaimed task index *)
+  total : int;
+  abort : bool Atomic.t;
+  run_one : int -> unit;  (* must not raise; failures recorded inside *)
+  mutable finished : int;  (* domains done with this batch *)
+}
+
+type state = {
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable batch : batch option;
+  mutable gen : int;  (* generation of the most recently posted batch *)
+  mutable workers : unit Domain.t list;
+  mutable quit : bool;
+}
+
+let st =
+  {
+    m = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    batch = None;
+    gen = 0;
+    workers = [];
+    quit = false;
+  }
+
+(* Serialises whole batches: the pool never sees two at once. Pool
+   tasks cannot submit (nested parallel maps raise), so this can only
+   contend if independent client threads race, which the repo does not
+   do — but holding it keeps the invariant explicit. *)
+let submit_m = Mutex.create ()
+
+(* Claim and run tasks until none remain, an abort is flagged, or — if
+   this domain arrived after [jobs] others — immediately, so a pool
+   that once grew to N workers still runs narrower batches with only
+   [jobs]-way parallelism. *)
+let process b =
+  if Atomic.fetch_and_add b.slots 1 < b.jobs then begin
+    Domain.DLS.set in_task_key true;
+    let continue = ref true in
+    while !continue do
+      if Atomic.get b.abort then continue := false
+      else
+        let i = Atomic.fetch_and_add b.next 1 in
+        if i >= b.total then continue := false else b.run_one i
+    done;
+    Domain.DLS.set in_task_key false
+  end
+
+let rec worker_loop last_gen =
+  Mutex.lock st.m;
+  let rec await () =
+    match st.batch with
+    | Some b when b.gen > last_gen -> Some b
+    | _ ->
+        if st.quit then None
+        else begin
+          Condition.wait st.work_ready st.m;
+          await ()
+        end
+  in
+  match await () with
+  | None -> Mutex.unlock st.m
+  | Some b ->
+      Mutex.unlock st.m;
+      process b;
+      Mutex.lock st.m;
+      b.finished <- b.finished + 1;
+      Condition.broadcast st.work_done;
+      Mutex.unlock st.m;
+      worker_loop b.gen
+
+let shutdown () =
+  Mutex.lock st.m;
+  st.quit <- true;
+  Condition.broadcast st.work_ready;
+  let workers = st.workers in
+  Mutex.unlock st.m;
+  List.iter Domain.join workers
+
+let ensure_workers n =
+  Mutex.lock st.m;
+  let first = st.workers = [] in
+  while List.length st.workers < n do
+    let gen = st.gen in
+    st.workers <- Domain.spawn (fun () -> worker_loop gen) :: st.workers
+  done;
+  Mutex.unlock st.m;
+  if first then at_exit shutdown
+
+let run_batch ~jobs ~total ~abort run_one =
+  Mutex.lock submit_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock submit_m)
+    (fun () ->
+      ensure_workers (jobs - 1);
+      Mutex.lock st.m;
+      st.gen <- st.gen + 1;
+      let b =
+        {
+          gen = st.gen;
+          jobs;
+          slots = Atomic.make 0;
+          next = Atomic.make 0;
+          total;
+          abort;
+          run_one;
+          finished = 0;
+        }
+      in
+      let participants = List.length st.workers in
+      st.batch <- Some b;
+      Condition.broadcast st.work_ready;
+      Mutex.unlock st.m;
+      process b;
+      Mutex.lock st.m;
+      while b.finished < participants do
+        Condition.wait st.work_done st.m
+      done;
+      st.batch <- None;
+      Mutex.unlock st.m)
+
+let mapi_array ?jobs f arr =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let n = Array.length arr in
+  if jobs = 1 || n <= 1 then
+    (* Inline sequential path; wrap failures exactly like the parallel
+       path so callers handle one exception shape. *)
+    Array.mapi
+      (fun i x ->
+        match f i x with
+        | v -> v
+        | exception exn -> raise (Task_failed { index = i; exn }))
+      arr
+  else begin
+    if running_in_task () then
+      failwith
+        "Pool.map_array: parallel map nested inside a pool task; run the \
+         inner map with ~jobs:1 or restructure the fan-out";
+    let results = Array.make n None in
+    (* Lowest failing index so far; protected by st.m (failures are
+       rare, so a mutex beats a CAS loop for clarity). *)
+    let failure = ref None in
+    let abort = Atomic.make false in
+    let run_one i =
+      match f i arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception exn ->
+          Mutex.lock st.m;
+          (match !failure with
+          | Some (j, _) when j <= i -> ()
+          | Some _ | None -> failure := Some (i, exn));
+          Mutex.unlock st.m;
+          Atomic.set abort true
+    in
+    run_batch ~jobs ~total:n ~abort run_one;
+    match !failure with
+    | Some (index, exn) -> raise (Task_failed { index; exn })
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* all indices claimed *))
+          results
+  end
+
+let map_array ?jobs f arr = mapi_array ?jobs (fun _ x -> f x) arr
+let init ?jobs n f = mapi_array ?jobs (fun i () -> f i) (Array.make n ())
+
+let map_list ?jobs f l =
+  Array.to_list (map_array ?jobs f (Array.of_list l))

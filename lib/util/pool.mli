@@ -1,0 +1,52 @@
+(** A fixed pool of OCaml 5 domains for embarrassingly-parallel fan-out.
+
+    Built directly on [Domain] / [Mutex] / [Condition] — no external
+    scheduler — because every parallel site in this repo has the same
+    shape: N completely independent tasks (scenarios, seeds, grid
+    cells) whose results must come back in input order so that the
+    aggregate is bit-identical to the sequential run.
+
+    Determinism discipline: a task must derive all of its randomness
+    from its own index (e.g. [Rng.substream ~seed ~index]) and touch no
+    state shared with other tasks. Under that discipline, [map_array]
+    with any job count produces exactly the array the sequential loop
+    would, regardless of how the domains interleave — which is what the
+    determinism sanitizer's sequential-vs-parallel check enforces.
+
+    The pool is lazy and process-global: worker domains are spawned on
+    the first parallel call and reused for every later one. With
+    [jobs = 1] (the default when [MDR_JOBS] is unset) no domain is ever
+    created and every map runs inline on the caller's stack — the
+    sequential fallback used by tier-1 tests and the sanitizer
+    baseline. *)
+
+exception Task_failed of { index : int; exn : exn }
+(** Raised by the map functions (in both sequential and parallel mode)
+    when at least one task raised. [index] and [exn] are those of the
+    lowest-indexed failing task, which is deterministic: indices are
+    claimed in increasing order, so every task below [index] ran. *)
+
+val default_jobs : unit -> int
+(** The [MDR_JOBS] environment knob: a positive integer, or [1] when
+    unset or unparsable. [1] means pure sequential execution. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f arr] applies [f] to every element and returns
+    results in input order. [jobs] defaults to {!default_jobs}[ ()];
+    it is clamped to [max 1]. With [jobs = 1] this is [Array.map f]
+    run inline. Calling a parallel map ([jobs > 1]) from inside a pool
+    task raises [Failure] — nest sequentially or restructure. *)
+
+val mapi_array : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map_array}, with the input index passed to [f] — the usual
+    way a task derives its seed substream. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is an index-ordered parallel [Array.init]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list, preserving order. *)
+
+val running_in_task : unit -> bool
+(** True while executing inside a pool task (on any domain, including
+    the submitting one when it participates in its own batch). *)

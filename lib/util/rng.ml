@@ -16,6 +16,15 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let substream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.substream: index < 0";
+  (* Mix the index into the seeded state through a second SplitMix64
+     round so substreams of one seed are mutually independent and the
+     mapping depends only on the (seed, index) pair — never on how many
+     draws any other stream has made. *)
+  let base = mix (Int64.of_int seed) in
+  { state = mix (Int64.add base (Int64.mul (Int64.of_int (index + 1)) golden_gamma)) }
+
 let float t =
   (* Use the top 53 bits for a uniform double in [0,1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

@@ -12,6 +12,12 @@ val split : t -> t
 (** A statistically independent stream derived from [t]; both streams
     advance independently afterwards. *)
 
+val substream : seed:int -> index:int -> t
+(** The [index]-th independent stream of [seed], a pure function of the
+    pair. Parallel tasks use this so their randomness depends only on
+    their input index — never on scheduling order or on how many draws
+    other tasks have made. Requires [index >= 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

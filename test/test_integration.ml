@@ -160,6 +160,7 @@ let () =
   Alcotest.run "mdr"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("topology", Test_topology.suite);
       ("parser", Test_parser.suite);
       ("eventsim", Test_eventsim.suite);

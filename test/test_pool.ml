@@ -1,0 +1,153 @@
+(* Util.Pool: the domain pool must be invisible in results — same
+   output as the sequential loop regardless of job count, scheduling,
+   or task durations — and loud about misuse (nested parallel maps,
+   task exceptions). *)
+
+module Pool = Mdr_util.Pool
+module Rng = Mdr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Busy-wait so task durations differ without needing Unix. *)
+let spin iterations =
+  let s = ref 0 in
+  for i = 1 to iterations do
+    s := !s + i
+  done;
+  !s
+
+let test_ordering_adversarial () =
+  (* Early indices get the longest work, so with any parallelism later
+     tasks finish first; results must still come back in input order. *)
+  let n = 64 in
+  let out =
+    Pool.init ~jobs:4 n (fun i ->
+        ignore (spin ((n - i) * 20_000));
+        i * i)
+  in
+  Array.iteri (fun i v -> check_int "ordered" (i * i) v) out
+
+let test_map_matches_sequential () =
+  let input = Array.init 100 (fun i -> i) in
+  let f x = (x * 7) + 3 in
+  let seq = Array.map f input in
+  let par = Pool.map_array ~jobs:3 f input in
+  check "parallel = sequential" true (seq = par)
+
+let test_exception_lowest_index () =
+  (* Indices 5 and 17 both fail; the reported index must be the lowest
+     failing one no matter which task failed first in wall-clock. *)
+  match
+    Pool.init ~jobs:4 32 (fun i ->
+        ignore (spin ((32 - i) * 10_000));
+        if i = 5 || i = 17 then failwith "boom";
+        i)
+  with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Pool.Task_failed { index; exn } ->
+      check_int "lowest failing index" 5 index;
+      check "original exception" true (exn = Failure "boom")
+
+let test_sequential_path () =
+  (* jobs = 1 must run inline: no pool task context, caller's stack. *)
+  let saw_task = ref false in
+  let out =
+    Pool.map_array ~jobs:1
+      (fun x ->
+        if Pool.running_in_task () then saw_task := true;
+        x + 1)
+      [| 1; 2; 3 |]
+  in
+  check "inline, not a pool task" false !saw_task;
+  check "mapped" true (out = [| 2; 3; 4 |]);
+  (* ... and exceptions surface as Task_failed there too. *)
+  (match Pool.map_array ~jobs:1 (fun _ -> failwith "seq") [| 0; 1 |] with
+  | _ -> Alcotest.fail "expected Task_failed on the sequential path"
+  | exception Pool.Task_failed { index; _ } -> check_int "seq index" 0 index);
+  check_int "default jobs is a positive int" (max 1 (Pool.default_jobs ()))
+    (Pool.default_jobs ())
+
+let test_nested_raises () =
+  let outcomes =
+    Pool.init ~jobs:2 4 (fun _ ->
+        match Pool.map_array ~jobs:2 (fun x -> x) [| 1; 2 |] with
+        | _ -> `No_error
+        | exception Failure msg -> `Raised msg)
+  in
+  Array.iter
+    (fun o ->
+      match o with
+      | `Raised msg -> check "clear message" true (String.length msg > 10)
+      | `No_error -> Alcotest.fail "nested parallel map did not raise")
+    outcomes;
+  (* Nested *sequential* maps inside a task are fine. *)
+  let ok =
+    Pool.init ~jobs:2 4 (fun i ->
+        Pool.map_array ~jobs:1 (fun x -> x + i) [| 1; 2 |])
+  in
+  check "nested jobs:1 allowed" true (ok.(3) = [| 4; 5 |])
+
+let test_empty_and_singleton () =
+  check "empty" true (Pool.map_array ~jobs:4 (fun x -> x) [||] = [||]);
+  check "singleton" true (Pool.map_array ~jobs:4 string_of_int [| 9 |] = [| "9" |]);
+  check "map_list" true (Pool.map_list ~jobs:3 (fun x -> -x) [ 1; 2; 3 ] = [ -1; -2; -3 ])
+
+let test_substream_scheduling_independent () =
+  (* A task's stream depends only on (seed, index): drawing from one
+     substream must not perturb another, unlike sequential [split]. *)
+  let draw seed index =
+    let rng = Rng.substream ~seed ~index in
+    (Rng.float rng, Rng.float rng)
+  in
+  let a = draw 42 3 in
+  ignore (draw 42 0);
+  ignore (draw 42 7);
+  check "pure in (seed, index)" true (a = draw 42 3);
+  check "indices differ" true (draw 42 3 <> draw 42 4);
+  check "seeds differ" true (draw 42 3 <> draw 43 3)
+
+let prop_campaign_parallel_equals_sequential =
+  (* End to end through the chaos campaign: fanning the scenario grid
+     over domains must reproduce the sequential digest exactly, for
+     any master seed. This is the contract perfbench and the
+     determinism sanitizer gate on. *)
+  let module Campaign = Mdr_faults.Campaign in
+  let profile = { Campaign.default_profile with Campaign.duration = 3.0 } in
+  let topo_of _ rng =
+    Mdr_topology.Generators.ring_with_chords ~rng ~n:6 ~chords:2
+      ~capacity:1.0e7 ~prop_delay:0.002
+  in
+  let digest ~jobs ~seed =
+    Campaign.digest
+      (Campaign.run_campaign ~jobs ~profile ~topo_of ~seed ~scenarios:2 ())
+  in
+  QCheck.Test.make ~name:"campaign: parallel digest = sequential (20 seeds)"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed -> String.equal (digest ~jobs:1 ~seed) (digest ~jobs:2 ~seed))
+
+let test_reuse_across_batches () =
+  (* The pool persists; many batches of different widths must all work. *)
+  for round = 1 to 5 do
+    let jobs = 1 + (round mod 4) in
+    let out = Pool.init ~jobs 17 (fun i -> i + round) in
+    Array.iteri (fun i v -> check_int "batch result" (i + round) v) out
+  done
+
+let suite =
+  [
+    Alcotest.test_case "pool: order under adversarial durations" `Quick
+      test_ordering_adversarial;
+    Alcotest.test_case "pool: parallel equals sequential map" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "pool: lowest failing index propagates" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "pool: MDR_JOBS=1 runs inline" `Quick test_sequential_path;
+    Alcotest.test_case "pool: nested parallel map raises" `Quick test_nested_raises;
+    Alcotest.test_case "pool: empty/singleton/list" `Quick test_empty_and_singleton;
+    Alcotest.test_case "rng: substream pure in (seed, index)" `Quick
+      test_substream_scheduling_independent;
+    Alcotest.test_case "pool: reuse across batches" `Quick test_reuse_across_batches;
+    QCheck_alcotest.to_alcotest prop_campaign_parallel_equals_sequential;
+  ]
