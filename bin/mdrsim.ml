@@ -718,6 +718,349 @@ let perfbench_cmd =
           traces.")
     Term.(const run $ quick_arg $ jobs_arg $ seed_arg $ out_arg)
 
+(* ---- the route-server daemon and its crash-recovery audit ---------- *)
+
+module Server = Mdr_server.Server
+module Server_audit = Mdr_server.Audit
+module Procfault = Mdr_faults.Procfault
+
+let named_topo = function
+  | "cairn" -> Mdr_topology.Cairn.topology ()
+  | "net1" -> Mdr_topology.Net1.topology ()
+  | path -> Mdr_topology.Parser.topology_of_file path
+
+let server_update = function
+  | Procfault.Cost_change { src; dst; cost } ->
+      Mdr_server.Update.Set_cost { src; dst; cost }
+  | Procfault.Fail { a; b } -> Mdr_server.Update.Link_down { a; b }
+  | Procfault.Restore { a; b; cost } -> Mdr_server.Update.Link_up { a; b; cost }
+
+let serve_topo_arg =
+  let doc = "Topology: cairn, net1, or a file path." in
+  Arg.(value & opt string "cairn" & info [ "topo" ] ~docv:"TOPOLOGY" ~doc)
+
+let serve_cmd =
+  let dir_arg =
+    let doc = "State directory (journal + snapshot)." in
+    Arg.(value & opt string "mdr-server" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let resume_arg =
+    let doc = "Restore from $(b,--dir) (snapshot + journal replay) instead \
+               of starting fresh." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let updates_arg =
+    let doc = "Ingest this many seeded updates through the backpressure \
+               queue, then shut down cleanly." in
+    Arg.(value & opt int 40 & info [ "updates" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the update stream." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let snap_arg =
+    let doc = "Snapshot every $(docv) applied updates (0 = only at \
+               shutdown)." in
+    Arg.(value & opt int 16 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Ingest queue capacity." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let routes_arg =
+    let doc = "After shutdown, print routes and flow splits from node \
+               $(docv) (a router name or index)." in
+    Arg.(value & opt (some string) None & info [ "routes" ] ~docv:"SRC" ~doc)
+  in
+  let run topo_name dir resume updates seed snapshot_every queue routes_from =
+    if updates < 0 || snapshot_every < 0 || queue < 1 then begin
+      prerr_endline "serve: --updates/--snapshot-every must be >= 0, --queue >= 1";
+      2
+    end
+    else begin
+      let topo = named_topo topo_name in
+      let cost = Procfault.default_base_cost in
+      let config =
+        { Server.default_config with snapshot_every; queue_capacity = queue }
+      in
+      let srv =
+        if resume then Server.restore ~config ~now:0.0 ~dir ~topo ~cost ()
+        else Server.create ~config ~dir ~topo ~cost ()
+      in
+      (match (Server.health srv ~now:0.0).Server.last_restore with
+      | Some info ->
+          Printf.printf
+            "restored from %s: seq %d, %d journal records replayed%s, %.1f ms\n"
+            (if info.Server.from_snapshot then "snapshot" else "genesis")
+            (Server.seq srv) info.Server.replayed
+            (if info.Server.torn_skipped then ", torn tail skipped" else "")
+            (info.Server.duration *. 1e3)
+      | None -> Printf.printf "fresh server: seq 0\n");
+      let stream =
+        Procfault.stream
+          ~rng:(Mdr_util.Rng.create ~seed)
+          ~topo ~updates ()
+      in
+      List.iteri
+        (fun i u ->
+          let now = float_of_int (i + 1) in
+          Server.offer srv ~now (server_update u);
+          ignore (Server.poll srv ~now);
+          List.iter
+            (fun alarm ->
+              match alarm with
+              | Server.Stale { age; budget } ->
+                  Printf.printf "  alarm: stale %.1f s (budget %.1f s)\n" age
+                    budget
+              | Server.Replay_lag { records; budget } ->
+                  Printf.printf "  alarm: replay lag %d records (budget %d)\n"
+                    records budget
+              | Server.Shedding { shed } ->
+                  Printf.printf "  alarm: shed %d updates\n" shed)
+            (Server.heartbeat srv ~now:(now +. 0.5)))
+        stream;
+      let now = float_of_int (updates + 1) in
+      (* drain any held-down cost updates before shutting down *)
+      let guard = ref 0 in
+      let now = ref now in
+      let continue = ref true in
+      while !continue do
+        incr guard;
+        if !guard > 10_000 then failwith "serve: backlog failed to drain";
+        ignore (Server.poll srv ~now:!now);
+        let h = Server.health srv ~now:!now in
+        if h.Server.queue_depth = 0 && h.Server.pending_timers = 0 then
+          continue := false
+        else now := !now +. 1.0
+      done;
+      Server.checkpoint srv;
+      let h = Server.health srv ~now:!now in
+      let ok = Server.lfi_ok srv && Server.settled srv in
+      Printf.printf
+        "served %d updates: seq %d, snapshot at %d, %d shed, %d coalesced, %d \
+         absorbed\nfingerprint %s\n"
+        updates (Server.seq srv) h.Server.snap_seq h.Server.ingest.Mdr_server.Ingest.shed
+        h.Server.ingest.Mdr_server.Ingest.coalesced
+        h.Server.ingest.Mdr_server.Ingest.absorbed
+        (Server.fingerprint srv);
+      (match routes_from with
+      | None -> ()
+      | Some spec ->
+          let n = Mdr_topology.Graph.node_count topo in
+          let src =
+            match int_of_string_opt spec with
+            | Some i -> i
+            | None -> (
+                match Mdr_topology.Graph.node_of_name topo spec with
+                | i -> i
+                | exception _ -> -1)
+          in
+          if src < 0 || src >= n then
+            Printf.printf "routes: unknown node %S\n" spec
+          else
+            for dst = 0 to n - 1 do
+              if dst <> src then begin
+                let r = Server.route srv ~src ~dst in
+                let split = Server.split srv ~src ~dst in
+                Printf.printf "  %s -> %s: dist %.3f via [%s]\n"
+                  (Mdr_topology.Graph.name topo src)
+                  (Mdr_topology.Graph.name topo dst)
+                  r.Server.distance
+                  (String.concat "; "
+                     (List.map
+                        (fun (k, f) ->
+                          Printf.sprintf "%s %.0f%%"
+                            (Mdr_topology.Graph.name topo k)
+                            (100.0 *. f))
+                        split))
+              end
+            done);
+      Server.close srv;
+      Printf.printf "serve: %s\n" (if ok then "PASS (LFI clean, settled)" else "FAIL");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-safe route-server over a seeded update stream \
+          (journal + snapshots under --dir), then shut down cleanly; \
+          --resume restores and continues.")
+    Term.(
+      const run $ serve_topo_arg $ dir_arg $ resume_arg $ updates_arg
+      $ seed_arg $ snap_arg $ queue_arg $ routes_arg)
+
+let serve_audit_cmd =
+  let dir_arg =
+    let doc = "Scratch directory for the audit's server states." in
+    Arg.(value & opt string "_serve_audit" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let updates_arg =
+    let doc = "Updates per audit run." in
+    Arg.(value & opt int 60 & info [ "updates" ] ~docv:"N" ~doc)
+  in
+  let kills_arg =
+    let doc = "Process kills per audit run (kinds rotate between-update, \
+               mid-journal, mid-snapshot)." in
+    Arg.(value & opt int 6 & info [ "kills" ] ~docv:"N" ~doc)
+  in
+  let audit_seeds_arg =
+    let doc = "Comma-separated seeds; one full chaos audit per seed." in
+    Arg.(value & opt seeds_conv [ 1; 2; 3 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+  in
+  let intensities_arg =
+    let doc = "Comma-separated storm intensities (cost updates offered per \
+               tick) for the shed-rate bench." in
+    Arg.(value & opt (list int) [ 2; 8; 32 ] & info [ "intensities" ] ~docv:"LIST" ~doc)
+  in
+  let budget_arg =
+    let doc = "Updates the stormed server applies per tick." in
+    Arg.(value & opt int 8 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the JSON report." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run topo_name dir updates kills seeds intensities budget out =
+    if updates < kills + 2 || kills < 1 || budget < 1
+       || List.exists (fun i -> i < 1) intensities
+    then begin
+      prerr_endline
+        "serve-audit: need updates >= kills + 2, kills >= 1, budget >= 1, \
+         intensities >= 1";
+      2
+    end
+    else begin
+      let topo = named_topo topo_name in
+      Printf.printf
+        "serve-audit: %s, %d updates, %d kills per run, seeds {%s}\n\n"
+        topo_name updates kills
+        (String.concat ", " (List.map string_of_int seeds));
+      let audits =
+        List.map
+          (fun seed ->
+            let d = Filename.concat dir (Printf.sprintf "audit_seed_%d" seed) in
+            let r = Server_audit.run ~updates ~kills ~dir:d ~topo ~seed () in
+            Printf.printf "seed %d:\n%s\n" seed (Server_audit.report r);
+            (seed, r))
+          seeds
+      in
+      let storm_seed = match seeds with s :: _ -> s | [] -> 1 in
+      let storms =
+        List.map
+          (fun intensity ->
+            let d = Filename.concat dir (Printf.sprintf "storm_%d" intensity) in
+            Server_audit.storm ~intensity ~budget ~dir:d ~topo ~seed:storm_seed ())
+          intensities
+      in
+      Printf.printf "storm (budget %d/tick):\n%s\n" budget
+        (Mdr_util.Tab.render
+           ~header:
+             [
+               "intensity"; "offered"; "applied"; "coalesced"; "shed";
+               "shed rate"; "degraded ticks"; "lfi";
+             ]
+           (List.map
+              (fun (s : Server_audit.storm_report) ->
+                [
+                  string_of_int s.Server_audit.intensity;
+                  string_of_int s.Server_audit.offered;
+                  string_of_int s.Server_audit.applied;
+                  string_of_int s.Server_audit.coalesced;
+                  string_of_int s.Server_audit.shed;
+                  Printf.sprintf "%.3f" s.Server_audit.shed_rate;
+                  string_of_int s.Server_audit.degraded_ticks;
+                  (if s.Server_audit.storm_lfi_ok then "yes" else "NO");
+                ])
+              storms));
+      let sweep =
+        Server_audit.sweep_snapshot_interval
+          ~dir:(Filename.concat dir "sweep")
+          ~topo ~seed:storm_seed ()
+      in
+      Printf.printf "restore latency vs snapshot interval:\n%s\n"
+        (Mdr_util.Tab.render
+           ~header:[ "snapshot every"; "journal records"; "restore mean ms"; "restore max ms" ]
+           (List.map
+              (fun (p : Server_audit.sweep_point) ->
+                [
+                  (if p.Server_audit.snapshot_every = 0 then "never"
+                   else string_of_int p.Server_audit.snapshot_every);
+                  string_of_int p.Server_audit.journal_records;
+                  Printf.sprintf "%.2f" (p.Server_audit.restore_mean_s *. 1e3);
+                  Printf.sprintf "%.2f" (p.Server_audit.restore_max_s *. 1e3);
+                ])
+              sweep));
+      let audit_json (seed, (r : Server_audit.result)) =
+        let slo = r.Server_audit.restore_slo in
+        Printf.sprintf
+          "    {\"seed\": %d, \"ok\": %b, \"kills\": %d, \
+           \"final_fingerprint_ok\": %b, \"final_lfi_ok\": %b, \
+           \"restore_p50_ms\": %.3f, \"restore_p95_ms\": %.3f, \
+           \"restore_max_ms\": %.3f, \"apply_per_s\": %.1f, \
+           \"query_per_s\": %.1f}"
+          seed (Server_audit.ok r)
+          (List.length r.Server_audit.kills)
+          r.Server_audit.final_fingerprint_ok r.Server_audit.final_lfi_ok
+          (slo.Mdr_faults.Recovery.p50 *. 1e3)
+          (slo.Mdr_faults.Recovery.p95 *. 1e3)
+          (slo.Mdr_faults.Recovery.max_ *. 1e3)
+          r.Server_audit.apply_per_s r.Server_audit.query_per_s
+      in
+      let storm_json (s : Server_audit.storm_report) =
+        Printf.sprintf
+          "    {\"intensity\": %d, \"budget\": %d, \"ticks\": %d, \
+           \"offered\": %d, \"applied\": %d, \"coalesced\": %d, \"shed\": %d, \
+           \"shed_rate\": %.4f, \"degraded_ticks\": %d, \"lfi_ok\": %b}"
+          s.Server_audit.intensity s.Server_audit.budget s.Server_audit.ticks
+          s.Server_audit.offered s.Server_audit.applied
+          s.Server_audit.coalesced s.Server_audit.shed
+          s.Server_audit.shed_rate s.Server_audit.degraded_ticks
+          s.Server_audit.storm_lfi_ok
+      in
+      let sweep_json (p : Server_audit.sweep_point) =
+        Printf.sprintf
+          "    {\"snapshot_every\": %d, \"journal_records\": %d, \
+           \"restore_mean_ms\": %.4f, \"restore_max_ms\": %.4f}"
+          p.Server_audit.snapshot_every p.Server_audit.journal_records
+          (p.Server_audit.restore_mean_s *. 1e3)
+          (p.Server_audit.restore_max_s *. 1e3)
+      in
+      let oc = open_out out in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"serve-crash-recovery\",\n  \"topology\": %S,\n  \
+         \"updates\": %d,\n  \"kills\": %d,\n  \"audits\": [\n%s\n  ],\n  \
+         \"storm\": [\n%s\n  ],\n  \"snapshot_sweep\": [\n%s\n  ]\n}\n"
+        topo_name updates kills
+        (String.concat ",\n" (List.map audit_json audits))
+        (String.concat ",\n" (List.map storm_json storms))
+        (String.concat ",\n" (List.map sweep_json sweep));
+      close_out oc;
+      Printf.printf "wrote %s\n" out;
+      let ok =
+        List.for_all (fun (_, r) -> Server_audit.ok r) audits
+        && List.for_all
+             (fun (s : Server_audit.storm_report) -> s.Server_audit.storm_lfi_ok)
+             storms
+      in
+      Printf.printf "\nserve-audit: %s\n"
+        (if ok then
+           "PASS (every kill recovered fingerprint-identical, LFI clean)"
+         else "FAIL (crash recovery diverged or LFI violated)");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve-audit"
+       ~doc:
+         "Crash-recovery chaos audit: kill the route-server at seeded points \
+          (including mid-journal and mid-snapshot), restore, and assert \
+          byte-identical state; also bench storm shedding and \
+          restore-latency vs snapshot cadence into BENCH_serve.json.")
+    Term.(
+      const run $ serve_topo_arg $ dir_arg $ updates_arg $ kills_arg
+      $ audit_seeds_arg $ intensities_arg $ budget_arg $ out_arg)
+
 let dot_cmd =
   let topo_arg =
     let doc = "Topology: cairn, net1, or a file path." in
@@ -771,6 +1114,8 @@ let cmds =
       Experiments.scale_protocol;
     chaos_cmd;
     overload_cmd;
+    serve_cmd;
+    serve_audit_cmd;
     lint_cmd;
     verify_cmd;
     perfbench_cmd;
@@ -790,5 +1135,15 @@ let () =
   (* Exit-code contract: 0 = clean, 1 = a finding (failed check, lint
      violation, SLO breach), 2 = usage error — both cmdliner parse
      errors (via [~term_err]) and each subcommand's own argument
-     validation. *)
+     validation. A broken MDR_JOBS is a usage error too; check it
+     eagerly here rather than letting [Pool.default_jobs] raise deep
+     inside whichever subcommand first fans out. *)
+  (match Sys.getenv_opt "MDR_JOBS" with
+  | None -> ()
+  | Some s -> (
+      match Mdr_util.Pool.jobs_of_string s with
+      | Ok _ -> ()
+      | Error reason ->
+          Printf.eprintf "mdrsim: MDR_JOBS: %s\n" reason;
+          exit 2));
   exit (Cmd.eval' ~term_err:2 (Cmd.group info cmds))

@@ -437,6 +437,19 @@ let copy t =
     ghosts = copy_tbl Fun.id t.ghosts;
   }
 
+(* Marshal is safe here: [t] is hashtables, arrays and scalars — no
+   closures, no custom blocks. Canonical behaviour after a round-trip
+   does not depend on hashtable layout anyway: every protocol-visible
+   iteration goes through Sorted_tbl. *)
+let snapshot t = Marshal.to_string t []
+
+let restore s =
+  let t : t = (Marshal.from_string s 0 : t) in
+  (* The marshalled scratch is valid but may be stale-sized; a fresh
+     workspace keeps restore independent of how big the writer's last
+     Dijkstra run was. *)
+  { t with ws = Dijkstra.workspace () }
+
 let fingerprint t =
   let b = Buffer.create 512 in
   let flt v = Buffer.add_string b (Printf.sprintf "%h," v) in

@@ -115,3 +115,18 @@ val fingerprint : t -> string
     on all future inputs; statistics counters ([stats_messages_sent],
     [stats_events]) are excluded. Iteration order is deterministic, so
     the string is stable across runs. *)
+
+val snapshot : t -> string
+(** Opaque binary serialization of the complete router state, the
+    persistence hook used by the route-server's snapshot files. Unlike
+    {!fingerprint} it is exact and invertible — {!restore} yields a
+    router with an equal fingerprint and identical behaviour on all
+    future inputs — but it is only meaningful to the build that wrote
+    it; durable files must guard it with their own framing and
+    checksums (see [Mdr_server.Snapshot]). *)
+
+val restore : string -> t
+(** Inverse of {!snapshot}. The input must come from {!snapshot} of
+    the same binary; corrupt input raises [Failure]. The restored
+    router owns fresh scratch buffers and shares no state with any
+    other router. *)

@@ -1,0 +1,123 @@
+(** The crash-recovery chaos audit: prove, for a seeded schedule of
+    updates and process kills, that the route-server's durability story
+    holds.
+
+    {!run} executes the same update stream twice:
+
+    - a {b reference} run, never interrupted, recording the server's
+      {!Server.fingerprint} at every sequence number a kill will need
+      plus the final state;
+    - a {b chaos} run, killed at every scheduled point
+      ({!Mdr_faults.Procfault.where}: between updates, mid-journal-
+      append, mid-snapshot) and restored each time.
+
+    After every restore the audit asserts the restored fingerprint
+    equals the reference fingerprint {e at the same sequence number} —
+    byte-identical protocol state, not approximate recovery — and that
+    the LFI conditions hold, so recovery can never reintroduce the
+    loops the protocol exists to prevent. A kill mid-journal loses
+    exactly the torn update, which the audit (playing the client)
+    re-sends, exercising the resume-from-[seq] contract.
+
+    {!storm} and {!sweep_snapshot_interval} are the bench side:
+    shed-rate under offered-load storms and restore-latency as a
+    function of checkpoint cadence. *)
+
+type outcome = {
+  after : int;  (** the kill's 1-based update number *)
+  where : Mdr_faults.Procfault.where;
+  seq_at_restore : int;  (** sequence number the restored server reports *)
+  fingerprint_ok : bool;  (** restored state == reference state at that seq *)
+  lfi_ok : bool;  (** LFI + successor-graph acyclicity after restore *)
+  from_snapshot : bool;
+  torn_skipped : bool;  (** restore had to skip a torn journal tail *)
+  replayed : int;  (** journal records replayed by the restore *)
+  restore_s : float;  (** restore wall-clock seconds *)
+}
+
+type result = {
+  updates : int;
+  kills : outcome list;  (** in kill order *)
+  final_fingerprint_ok : bool;
+      (** chaos run's final state == uninterrupted run's final state *)
+  final_lfi_ok : bool;
+  apply_per_s : float;  (** reference-run update throughput *)
+  query_per_s : float;  (** route+split queries per second, converged state *)
+  restore_slo : Mdr_faults.Recovery.slo;  (** percentiles over restore_s *)
+}
+
+val run :
+  ?config:Server.config ->
+  ?updates:int ->
+  ?kills:int ->
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  result
+(** Defaults: 60 updates, 6 kills, cost [1 + 1000 * prop_delay],
+    {!Server.default_config} with a snapshot every 8 updates (so a
+    60-update run crosses several checkpoints). State lives under
+    [dir/ref] and [dir/chaos] (created; reused if present). *)
+
+val ok : result -> bool
+(** Every kill recovered fingerprint-identical and LFI-clean, and the
+    final states agree. *)
+
+val report : result -> string
+(** Human-readable per-kill table plus the restore-SLO summary,
+    rendered with {!Mdr_util.Tab}. *)
+
+type storm_report = {
+  ticks : int;
+  intensity : int;  (** cost updates offered per tick *)
+  budget : int;  (** updates the server applies per tick *)
+  offered : int;
+  applied : int;
+  coalesced : int;
+  shed : int;
+  degraded_ticks : int;  (** ticks the server reported [Degraded] *)
+  shed_rate : float;  (** shed / offered *)
+  storm_lfi_ok : bool;  (** LFI held once the storm drained *)
+}
+
+val storm :
+  ?config:Server.config ->
+  ?ticks:int ->
+  intensity:int ->
+  budget:int ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  storm_report
+(** Offer [intensity] random cost updates per tick while the server
+    only applies [budget] per tick, for [ticks] ticks; then let it
+    drain. Overload must surface as coalescing and counted shedding
+    with [Degraded] status — never a wrong answer: the final LFI check
+    is part of the report. The default config shrinks the queue to 16
+    (below a typical topology's directed-link count — coalescing bounds
+    queue depth by distinct links, so a bigger queue could never
+    shed). *)
+
+type sweep_point = {
+  snapshot_every : int;
+  restore_mean_s : float;
+  restore_max_s : float;
+  journal_records : int;  (** journal length at the moment of the kill *)
+}
+
+val sweep_snapshot_interval :
+  ?intervals:int list ->
+  ?updates:int ->
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  sweep_point list
+(** For each checkpoint cadence, ingest the same update stream, kill,
+    and time the restore (mean and max over several repeats): the
+    restore-latency / snapshot-frequency trade the operator tunes.
+    Default intervals: 1, 4, 16, 64, 0 (journal-only). *)

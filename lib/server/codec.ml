@@ -1,0 +1,82 @@
+(* Length-prefixed, CRC-guarded record framing shared by the journal
+   and snapshot files. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.equal (Int32.logand !c 1l) 1l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let header_len = 8
+
+let header ~magic ~version =
+  if String.length magic <> 4 then invalid_arg "Codec.header: magic must be 4 bytes";
+  if version < 0 then invalid_arg "Codec.header: negative version";
+  let b = Buffer.create header_len in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b (Int32.of_int version);
+  Buffer.contents b
+
+let check_header s ~magic =
+  if String.length s < header_len then Error "short header"
+  else if not (String.equal (String.sub s 0 4) magic) then
+    Error
+      (Printf.sprintf "bad magic %S (expected %S)" (String.sub s 0 4) magic)
+  else Ok (Int32.to_int (String.get_int32_be s 4))
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int32_be b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type read = Record of string | Torn of string | Eof
+
+(* Records are bounded well below this in practice; an implausible
+   length means we are reading garbage (e.g. a torn length word). *)
+let max_record_len = 1 lsl 30
+
+let really_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string b)
+    else
+      let k = input ic b off (n - off) in
+      if k = 0 then None else go (off + k)
+  in
+  if n = 0 then Some "" else go 0
+
+let read_record ic =
+  let start = pos_in ic in
+  match really_read ic 8 with
+  | None -> if pos_in ic = start then Eof else Torn "short record header"
+  | Some hdr -> (
+      let len = Int32.to_int (String.get_int32_be hdr 0) in
+      let crc = String.get_int32_be hdr 4 in
+      if len < 0 || len > max_record_len then
+        Torn (Printf.sprintf "implausible record length %d" len)
+      else
+        match really_read ic len with
+        | None -> Torn "short record payload"
+        | Some payload ->
+            if Int32.equal (crc32 payload) crc then Record payload
+            else Torn "checksum mismatch")

@@ -1,0 +1,41 @@
+(** Binary framing for the route-server's durable files.
+
+    Every file starts with an 8-byte header — a 4-character magic and a
+    big-endian u32 format version — followed by length-prefixed,
+    CRC-guarded records:
+
+    {v
+      record := len:u32be  crc:u32be  payload:len bytes
+    v}
+
+    where [crc] is the IEEE CRC-32 of the payload. The reader
+    classifies anything that does not parse cleanly as {e torn} rather
+    than raising: a record cut short by a crash (short header, short
+    payload, or a checksum mismatch from a partial overwrite) is the
+    expected end-state of a killed writer, and the journal/snapshot
+    layers decide how tolerant to be of it. *)
+
+val crc32 : string -> int32
+(** IEEE 802.3 CRC-32 (polynomial [0xEDB88320], reflected). *)
+
+val header_len : int
+(** 8 bytes: magic + version. *)
+
+val header : magic:string -> version:int -> string
+(** [magic] must be exactly 4 characters. *)
+
+val check_header : string -> magic:string -> (int, string) result
+(** Validate the first {!header_len} bytes of a file; [Ok version] or
+    a human-readable reason ([Error]). *)
+
+val frame : string -> string
+(** One complete record for the given payload. *)
+
+type read =
+  | Record of string  (** a complete, checksum-clean record *)
+  | Torn of string  (** truncated or corrupt tail; the reason *)
+  | Eof  (** clean end of file *)
+
+val read_record : in_channel -> read
+(** Read one record at the channel's current position. After [Torn] the
+    channel position is unspecified; callers stop reading. *)

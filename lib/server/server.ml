@@ -1,0 +1,586 @@
+module Graph = Mdr_topology.Graph
+module Router = Mdr_routing.Router
+module Lfi = Mdr_routing.Lfi
+module Cost_trigger = Mdr_routing.Cost_trigger
+
+type config = {
+  snapshot_every : int;
+  fsync : bool;
+  queue_capacity : int;
+  damping : Cost_trigger.params option;
+  degraded_hold : float;
+  max_staleness : float;
+  max_replay : int;
+}
+
+let default_config =
+  {
+    snapshot_every = 64;
+    fsync = false;
+    queue_capacity = 256;
+    damping = None;
+    degraded_hold = 5.0;
+    max_staleness = 30.0;
+    max_replay = 256;
+  }
+
+let validate_config c =
+  if c.snapshot_every < 0 then invalid_arg "Server: snapshot_every must be >= 0";
+  if c.queue_capacity < 1 then invalid_arg "Server: queue_capacity must be >= 1";
+  if not (Float.is_finite c.degraded_hold) || c.degraded_hold < 0.0 then
+    invalid_arg "Server: bad degraded_hold";
+  if not (Float.is_finite c.max_staleness) || c.max_staleness <= 0.0 then
+    invalid_arg "Server: bad max_staleness";
+  if c.max_replay < 1 then invalid_arg "Server: max_replay must be >= 1";
+  Option.iter Cost_trigger.validate c.damping
+
+type status = Ok | Degraded
+
+type restore_info = {
+  replayed : int;
+  torn_skipped : bool;
+  from_snapshot : bool;
+  duration : float;
+}
+
+type health = {
+  seq : int;
+  snap_seq : int;
+  journal_records : int;
+  queue_depth : int;
+  pending_timers : int;
+  status : status;
+  staleness : float;
+  heartbeats : int;
+  ingest : Ingest.stats;
+  last_restore : restore_info option;
+}
+
+type alarm =
+  | Stale of { age : float; budget : float }
+  | Replay_lag of { records : int; budget : int }
+  | Shedding of { shed : int }
+
+type t = {
+  topo : Graph.t;
+  dir : string;
+  config : config;
+  routers : Router.t array;
+  link_state : (int * int, float) Hashtbl.t;  (* directed link -> current cost *)
+  mutable seq : int;
+  mutable journal : Journal.t;
+  mutable snap_seq : int;
+  ingest : Ingest.t;
+  mutable last_applied : float;
+  mutable heartbeats : int;
+  mutable shed_seen : int;  (* sheds already reported by a heartbeat *)
+  mutable alive : bool;
+  mutable last_restore : restore_info option;
+}
+
+let journal_path dir = Filename.concat dir "journal.bin"
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+
+let rec ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Server: %s exists and is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then ensure_dir parent;
+    (* tolerate a concurrent mkdir of the same path *)
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let seq t = t.seq
+let alive t = t.alive
+let topology t = t.topo
+
+(* ---- the synchronous message pump ------------------------------------ *)
+
+(* Deliver control messages FIFO with zero delay until the plane is
+   quiescent. This is one valid schedule of the paper's oracle model, and
+   because it is a deterministic function of the seed messages, the whole
+   server state is a pure function of the accepted update sequence —
+   which is what lets snapshot + replay reproduce it bit-for-bit. *)
+let pump t seeds =
+  let q = Queue.create () in
+  let push from outs =
+    List.iter (fun (o : Router.output) -> Queue.push (from, o) q) outs
+  in
+  List.iter (fun (from, outs) -> push from outs) seeds;
+  let delivered = ref 0 in
+  while not (Queue.is_empty q) do
+    incr delivered;
+    if !delivered > 10_000_000 then
+      failwith "Server: control plane failed to quiesce";
+    let from, ({ dst; msg } : Router.output) = Queue.pop q in
+    (* A message only arrives if its link still exists; the receiver
+       additionally drops traffic from neighbors it considers down. *)
+    if Hashtbl.mem t.link_state (from, dst) then
+      push dst (Router.handle_msg t.routers.(dst) ~from_:from msg)
+  done
+
+(* ---- applying updates ------------------------------------------------ *)
+
+let apply_mem t (u : Update.t) =
+  match u with
+  | Update.Set_cost { src; dst; cost } ->
+      if Hashtbl.mem t.link_state (src, dst) then begin
+        Hashtbl.replace t.link_state (src, dst) cost;
+        pump t [ (src, Router.handle_link_cost t.routers.(src) ~nbr:dst ~cost) ]
+      end
+      (* cost news about a down link changes nothing until it comes up *)
+  | Update.Link_down { a; b } ->
+      if Hashtbl.mem t.link_state (a, b) then begin
+        Hashtbl.remove t.link_state (a, b);
+        Hashtbl.remove t.link_state (b, a);
+        let outs_a = Router.handle_link_down t.routers.(a) ~nbr:b in
+        let outs_b = Router.handle_link_down t.routers.(b) ~nbr:a in
+        pump t [ (a, outs_a); (b, outs_b) ]
+      end
+  | Update.Link_up { a; b; cost } ->
+      if Hashtbl.mem t.link_state (a, b) then begin
+        (* already up: take it as fresh cost news for both directions *)
+        Hashtbl.replace t.link_state (a, b) cost;
+        Hashtbl.replace t.link_state (b, a) cost;
+        let outs_a = Router.handle_link_cost t.routers.(a) ~nbr:b ~cost in
+        let outs_b = Router.handle_link_cost t.routers.(b) ~nbr:a ~cost in
+        pump t [ (a, outs_a); (b, outs_b) ]
+      end
+      else begin
+        Hashtbl.replace t.link_state (a, b) cost;
+        Hashtbl.replace t.link_state (b, a) cost;
+        let outs_a = Router.handle_link_up t.routers.(a) ~nbr:b ~cost in
+        let outs_b = Router.handle_link_up t.routers.(b) ~nbr:a ~cost in
+        pump t [ (a, outs_a); (b, outs_b) ]
+      end
+
+(* ---- snapshot payload ------------------------------------------------ *)
+
+(* A snapshot is only meaningful against the topology it was taken for;
+   the digest is over the canonical node-and-link listing. *)
+let topo_digest topo =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun node -> Buffer.add_string buf (Graph.name topo node ^ ";"))
+    (Graph.nodes topo);
+  List.iter
+    (fun (l : Graph.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d>%d:%h:%h;" l.src l.dst l.capacity l.prop_delay))
+    (Graph.links topo);
+  Digest.string (Buffer.contents buf)
+
+let sorted_links t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_state []
+  |> List.sort (fun ((a : int * int), _) (b, _) -> Stdlib.compare a b)
+
+let snapshot_payload t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (topo_digest t.topo);
+  Buffer.add_int64_be buf (Int64.of_int t.seq);
+  Buffer.add_int32_be buf (Int32.of_int (Array.length t.routers));
+  Array.iter
+    (fun r ->
+      let blob = Router.snapshot r in
+      Buffer.add_int32_be buf (Int32.of_int (String.length blob));
+      Buffer.add_string buf blob)
+    t.routers;
+  let links = sorted_links t in
+  Buffer.add_int32_be buf (Int32.of_int (List.length links));
+  List.iter
+    (fun ((src, dst), cost) ->
+      Buffer.add_int32_be buf (Int32.of_int src);
+      Buffer.add_int32_be buf (Int32.of_int dst);
+      Buffer.add_int64_be buf (Int64.bits_of_float cost))
+    links;
+  Buffer.contents buf
+
+exception Bad_snapshot of string
+
+let decode_snapshot ~topo payload =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length payload then
+      raise (Bad_snapshot "snapshot payload truncated")
+  in
+  let read_digest () =
+    need 16;
+    let d = String.sub payload !pos 16 in
+    pos := !pos + 16;
+    d
+  in
+  let read_i64 () =
+    need 8;
+    let v = Int64.to_int (String.get_int64_be payload !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let read_u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_be payload !pos) in
+    pos := !pos + 4;
+    if v < 0 then raise (Bad_snapshot "negative length field");
+    v
+  in
+  let read_f64 () =
+    need 8;
+    let v = Int64.float_of_bits (String.get_int64_be payload !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let digest = read_digest () in
+  if not (String.equal digest (topo_digest topo)) then
+    raise
+      (Bad_snapshot
+         "snapshot was taken for a different topology (digest mismatch)");
+  let snap_seq = read_i64 () in
+  let n = read_u32 () in
+  if n <> Graph.node_count topo then
+    raise (Bad_snapshot "snapshot router count does not match topology");
+  let routers =
+    Array.init n (fun _ ->
+        let len = read_u32 () in
+        need len;
+        let blob = String.sub payload !pos len in
+        pos := !pos + len;
+        Router.restore blob)
+  in
+  let n_links = read_u32 () in
+  let link_state = Hashtbl.create (max 16 (2 * n_links)) in
+  for _ = 1 to n_links do
+    let src = read_u32 () in
+    let dst = read_u32 () in
+    let cost = read_f64 () in
+    Hashtbl.replace link_state (src, dst) cost
+  done;
+  if !pos <> String.length payload then
+    raise (Bad_snapshot "trailing bytes in snapshot payload");
+  (snap_seq, routers, link_state)
+
+(* ---- construction ---------------------------------------------------- *)
+
+(* Deterministic bring-up of the whole network from nothing: every link
+   comes up in the topology's insertion order, each followed by a pump to
+   quiescence. Never journaled — it is recomputed, identically, by any
+   restore that lacks a snapshot. *)
+let genesis ~topo ~cost =
+  let n = Graph.node_count topo in
+  let routers =
+    Array.init n (fun id -> Router.create ~mode:Router.Mpda ~id ~n)
+  in
+  let link_state = Hashtbl.create (max 16 (2 * Graph.link_count topo)) in
+  let shell = (routers, link_state) in
+  let pump_shell seeds =
+    let q = Queue.create () in
+    let push from outs =
+      List.iter (fun (o : Router.output) -> Queue.push (from, o) q) outs
+    in
+    List.iter (fun (from, outs) -> push from outs) seeds;
+    while not (Queue.is_empty q) do
+      let from, ({ dst; msg } : Router.output) = Queue.pop q in
+      if Hashtbl.mem link_state (from, dst) then
+        push dst (Router.handle_msg routers.(dst) ~from_:from msg)
+    done
+  in
+  (* Links must come up duplex-atomically: a router's link-up LSU
+     demands an ACK, and the peer drops messages from neighbors it
+     still considers down — bringing the directions up one pump apart
+     would strand the first sender in ACTIVE forever. *)
+  List.iter
+    (fun (l : Graph.link) ->
+      match Graph.link topo ~src:l.dst ~dst:l.src with
+      | Some rev ->
+          if l.src < l.dst then begin
+            let c_fwd = cost l and c_rev = cost rev in
+            Hashtbl.replace link_state (l.src, l.dst) c_fwd;
+            Hashtbl.replace link_state (l.dst, l.src) c_rev;
+            pump_shell
+              [
+                (l.src, Router.handle_link_up routers.(l.src) ~nbr:l.dst ~cost:c_fwd);
+                (l.dst, Router.handle_link_up routers.(l.dst) ~nbr:l.src ~cost:c_rev);
+              ]
+          end
+          (* the reverse direction was handled with its partner *)
+      | None ->
+          let c = cost l in
+          Hashtbl.replace link_state (l.src, l.dst) c;
+          pump_shell
+            [ (l.src, Router.handle_link_up routers.(l.src) ~nbr:l.dst ~cost:c) ])
+    (Graph.links topo);
+  shell
+
+let make ~config ~dir ~topo ~routers ~link_state ~journal ~seq ~snap_seq ~now
+    ~last_restore =
+  let ingest =
+    Ingest.create ?damping:config.damping ~degraded_hold:config.degraded_hold
+      ~capacity:config.queue_capacity
+      ~initial_cost:(fun ~src ~dst ->
+        match Hashtbl.find_opt link_state (src, dst) with
+        | Some c -> c
+        | None -> infinity)
+      ()
+  in
+  {
+    topo;
+    dir;
+    config;
+    routers;
+    link_state;
+    seq;
+    journal;
+    snap_seq;
+    ingest;
+    last_applied = now;
+    heartbeats = 0;
+    shed_seen = 0;
+    alive = true;
+    last_restore;
+  }
+
+let create ?(config = default_config) ~dir ~topo ~cost () =
+  validate_config config;
+  ensure_dir dir;
+  Snapshot.remove_stale_tmp ~path:(snapshot_path dir);
+  if Sys.file_exists (snapshot_path dir) then Sys.remove (snapshot_path dir);
+  let routers, link_state = genesis ~topo ~cost in
+  let journal = Journal.create ~fsync:config.fsync ~path:(journal_path dir) () in
+  make ~config ~dir ~topo ~routers ~link_state ~journal ~seq:0 ~snap_seq:0
+    ~now:(Unix.gettimeofday ()) ~last_restore:None
+
+(* ---- checkpoint ------------------------------------------------------ *)
+
+let checkpoint ?torn_after t =
+  if not t.alive then invalid_arg "Server.checkpoint: server is not alive";
+  let payload = snapshot_payload t in
+  match Snapshot.write ?torn_after ~path:(snapshot_path t.dir) payload with
+  | `Torn ->
+      (* The simulated process died mid-snapshot: the old snapshot and
+         the journal are untouched on disk; this process is gone. *)
+      t.alive <- false;
+      Journal.close t.journal
+  | `Ok ->
+      t.snap_seq <- t.seq;
+      (* The snapshot now covers every journaled record; reset the
+         journal. A crash in between is safe: records whose seq the
+         snapshot already covers are skipped at replay. *)
+      Journal.close t.journal;
+      t.journal <- Journal.create ~fsync:t.config.fsync ~path:(journal_path t.dir) ()
+
+let apply ?torn_after t ~now (u : Update.t) =
+  if not t.alive then invalid_arg "Server.apply: server is not alive";
+  Update.validate t.topo u;
+  let next = t.seq + 1 in
+  Journal.append ?torn_after t.journal ~seq:next ~payload:(Update.encode u);
+  match torn_after with
+  | Some _ ->
+      (* Simulated kill mid-append: the update was never accepted —
+         neither applied in memory (we are dead) nor recoverable from
+         the torn record (replay skips it). The client retries it. *)
+      t.alive <- false
+  | None ->
+      apply_mem t u;
+      t.seq <- next;
+      t.last_applied <- now;
+      if t.config.snapshot_every > 0 && t.seq - t.snap_seq >= t.config.snapshot_every
+      then checkpoint t
+
+(* ---- restore --------------------------------------------------------- *)
+
+let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
+  validate_config config;
+  let t0 = Unix.gettimeofday () in
+  let now = match now with Some n -> n | None -> t0 in
+  ensure_dir dir;
+  Snapshot.remove_stale_tmp ~path:(snapshot_path dir);
+  let base =
+    match Snapshot.read ~path:(snapshot_path dir) with
+    | `Missing -> None
+    | `Corrupt reason ->
+        (* A snapshot that fails its checksum is treated as absent: the
+           state it held is recomputed from genesis + the journal. If the
+           journal alone cannot reach it, replay detects the gap below
+           and refuses, rather than silently losing accepted updates. *)
+        Printf.eprintf "snapshot %s: unreadable (%s); falling back to genesis\n%!"
+          (snapshot_path dir) reason;
+        None
+    | `Snapshot payload -> (
+        match decode_snapshot ~topo payload with
+        | base -> Some base
+        | exception Bad_snapshot reason -> failwith ("Server.restore: " ^ reason))
+  in
+  let from_snapshot = Option.is_some base in
+  let base_seq, routers, link_state =
+    match base with
+    | Some b -> b
+    | None ->
+        let routers, link_state = genesis ~topo ~cost in
+        (0, routers, link_state)
+  in
+  let journal, replay =
+    if Sys.file_exists (journal_path dir) then
+      Journal.open_append ~fsync:config.fsync ~path:(journal_path dir) ()
+    else
+      ( Journal.create ~fsync:config.fsync ~path:(journal_path dir) (),
+        { Journal.entries = []; torn = false; clean_bytes = Codec.header_len } )
+  in
+  let tmp =
+    make ~config ~dir ~topo ~routers ~link_state ~journal ~seq:base_seq
+      ~snap_seq:base_seq ~now ~last_restore:None
+  in
+  let replayed = ref 0 in
+  List.iter
+    (fun (rec_seq, payload) ->
+      if rec_seq > tmp.seq then begin
+        if rec_seq <> tmp.seq + 1 then
+          failwith
+            (Printf.sprintf
+               "Server.restore: journal gap (have seq %d, next record is %d)"
+               tmp.seq rec_seq);
+        let u =
+          try Update.decode payload
+          with Update.Corrupt reason ->
+            failwith ("Server.restore: corrupt journal payload: " ^ reason)
+        in
+        apply_mem tmp u;
+        tmp.seq <- rec_seq;
+        incr replayed
+      end)
+    replay.Journal.entries;
+  tmp.last_restore <-
+    Some
+      {
+        replayed = !replayed;
+        torn_skipped = replay.Journal.torn;
+        from_snapshot;
+        duration = Unix.gettimeofday () -. t0;
+      };
+  tmp
+
+(* ---- backpressure path ----------------------------------------------- *)
+
+let offer t ~now u =
+  if not t.alive then invalid_arg "Server.offer: server is not alive";
+  Update.validate t.topo u;
+  Ingest.offer t.ingest ~now u
+
+let poll ?max t ~now =
+  if not t.alive then invalid_arg "Server.poll: server is not alive";
+  let updates = Ingest.drain ?max t.ingest ~now in
+  List.iter (fun u -> apply t ~now u) updates;
+  List.length updates
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    Journal.close t.journal
+  end
+
+(* ---- queries --------------------------------------------------------- *)
+
+type route = { distance : float; best : int option; successors : int list }
+
+let check_node t name v =
+  if v < 0 || v >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Server.%s: node %d out of range" name v)
+
+let route t ~src ~dst =
+  check_node t "route" src;
+  check_node t "route" dst;
+  let r = t.routers.(src) in
+  {
+    distance = Router.distance r ~dst;
+    best = Router.best_successor r ~dst;
+    successors = Router.successors r ~dst;
+  }
+
+let split t ~src ~dst =
+  check_node t "split" src;
+  check_node t "split" dst;
+  let r = t.routers.(src) in
+  let succs = Router.successors r ~dst in
+  let weights =
+    List.map
+      (fun k ->
+        let through = Router.link_cost r ~nbr:k +. Router.neighbor_distance r ~nbr:k ~dst in
+        let w = if Float.is_finite through && through > 0.0 then 1.0 /. through else 0.0 in
+        (k, w))
+      succs
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weights in
+  if total > 0.0 then List.map (fun (k, w) -> (k, w /. total)) weights
+  else
+    (* all successor costs degenerate (should not happen with validated
+       positive costs): split evenly rather than divide by zero *)
+    let n = List.length succs in
+    List.map (fun k -> (k, 1.0 /. float_of_int n)) succs
+
+(* ---- health ---------------------------------------------------------- *)
+
+let health t ~now =
+  {
+    seq = t.seq;
+    snap_seq = t.snap_seq;
+    journal_records = Journal.records t.journal;
+    queue_depth = Ingest.depth t.ingest;
+    pending_timers = Ingest.pending_timers t.ingest;
+    status =
+      (match Ingest.status t.ingest ~now with `Ok -> Ok | `Degraded -> Degraded);
+    staleness = now -. t.last_applied;
+    heartbeats = t.heartbeats;
+    ingest = Ingest.stats t.ingest;
+    last_restore = t.last_restore;
+  }
+
+let heartbeat t ~now =
+  t.heartbeats <- t.heartbeats + 1;
+  let h = health t ~now in
+  let alarms = ref [] in
+  let shed_new = h.ingest.Ingest.shed - t.shed_seen in
+  if shed_new > 0 then begin
+    t.shed_seen <- h.ingest.Ingest.shed;
+    alarms := Shedding { shed = shed_new } :: !alarms
+  end;
+  if h.journal_records > t.config.max_replay then
+    alarms :=
+      Replay_lag { records = h.journal_records; budget = t.config.max_replay }
+      :: !alarms;
+  if h.staleness > t.config.max_staleness then
+    alarms := Stale { age = h.staleness; budget = t.config.max_staleness } :: !alarms;
+  !alarms
+
+(* ---- oracles --------------------------------------------------------- *)
+
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  Array.iter (fun r -> Buffer.add_string buf (Router.fingerprint r)) t.routers;
+  List.iter
+    (fun ((src, dst), cost) ->
+      Buffer.add_string buf (Printf.sprintf "L%d>%d=%h;" src dst cost))
+    (sorted_links t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let settled t = Array.for_all Router.is_passive t.routers
+
+let lfi_ok t =
+  let n = Array.length t.routers in
+  let neighbors i = Router.up_neighbors t.routers.(i) in
+  let feasible ~node ~dst = Router.feasible_distance t.routers.(node) ~dst in
+  let reported ~holder ~about ~dst =
+    Router.neighbor_distance t.routers.(holder) ~nbr:about ~dst
+  in
+  let ok = ref true in
+  for dst = 0 to n - 1 do
+    if not (Lfi.lfi_conditions_hold ~n ~neighbors ~feasible ~reported ~dst) then
+      ok := false;
+    if
+      not
+        (Lfi.successor_graph_acyclic ~n
+           ~successors:(fun ~node -> Router.successors t.routers.(node) ~dst)
+           ~dst)
+    then ok := false
+  done;
+  !ok

@@ -1,0 +1,25 @@
+(** Snapshot files: one {!Codec} record holding the server's complete
+    core state, written atomically.
+
+    {!write} builds the whole file in memory, writes it to
+    [path ^ ".tmp"], and [rename]s it over [path] — so the snapshot at
+    [path] is always either the previous complete snapshot or the new
+    complete snapshot, never a mixture. A process killed mid-snapshot
+    leaves only a stale temp file, which restore ignores and removes.
+
+    [torn_after] is the chaos harness's fault injector: stop after
+    writing that many bytes of the temp file and skip the rename — the
+    on-disk end-state of a kill mid-snapshot. *)
+
+val write : ?torn_after:int -> path:string -> string -> [ `Ok | `Torn ]
+(** Atomically replace the snapshot at [path] with one holding the
+    given payload. [`Torn] is only returned when [torn_after] asked
+    for a simulated kill. *)
+
+val read : path:string -> [ `Snapshot of string | `Missing | `Corrupt of string ]
+(** Read and checksum-verify the snapshot. [`Corrupt] carries the
+    reason (bad header, torn record, trailing garbage). *)
+
+val remove_stale_tmp : path:string -> unit
+(** Delete a leftover [path ^ ".tmp"] from an interrupted write, if
+    any. *)

@@ -1,0 +1,73 @@
+module Graph = Mdr_topology.Graph
+
+type t =
+  | Set_cost of { src : int; dst : int; cost : float }
+  | Link_down of { a : int; b : int }
+  | Link_up of { a : int; b : int; cost : float }
+
+exception Corrupt of string
+
+let encode u =
+  let b = Buffer.create 17 in
+  let node v = Buffer.add_int32_be b (Int32.of_int v) in
+  let cost c = Buffer.add_int64_be b (Int64.bits_of_float c) in
+  (match u with
+  | Set_cost { src; dst; cost = c } ->
+      Buffer.add_char b '\000';
+      node src;
+      node dst;
+      cost c
+  | Link_down { a; b = b' } ->
+      Buffer.add_char b '\001';
+      node a;
+      node b'
+  | Link_up { a; b = b'; cost = c } ->
+      Buffer.add_char b '\002';
+      node a;
+      node b';
+      cost c);
+  Buffer.contents b
+
+let decode s =
+  let need n = if String.length s < n then raise (Corrupt "short update payload") in
+  need 1;
+  let node off = Int32.to_int (String.get_int32_be s off) in
+  let cost off = Int64.float_of_bits (String.get_int64_be s off) in
+  match s.[0] with
+  | '\000' ->
+      need 17;
+      Set_cost { src = node 1; dst = node 5; cost = cost 9 }
+  | '\001' ->
+      need 9;
+      Link_down { a = node 1; b = node 5 }
+  | '\002' ->
+      need 17;
+      Link_up { a = node 1; b = node 5; cost = cost 9 }
+  | c -> raise (Corrupt (Printf.sprintf "unknown update tag %d" (Char.code c)))
+
+let check_cost what c =
+  if not (Float.is_finite c) || c <= 0.0 then
+    invalid_arg (Printf.sprintf "%s: cost must be finite and positive" what)
+
+let check_link topo what ~src ~dst =
+  if Graph.link topo ~src ~dst = None then
+    invalid_arg (Printf.sprintf "%s: topology has no link %d -> %d" what src dst)
+
+let validate topo = function
+  | Set_cost { src; dst; cost } ->
+      check_link topo "Update.Set_cost" ~src ~dst;
+      check_cost "Update.Set_cost" cost
+  | Link_down { a; b } ->
+      check_link topo "Update.Link_down" ~src:a ~dst:b;
+      check_link topo "Update.Link_down" ~src:b ~dst:a
+  | Link_up { a; b; cost } ->
+      check_link topo "Update.Link_up" ~src:a ~dst:b;
+      check_link topo "Update.Link_up" ~src:b ~dst:a;
+      check_cost "Update.Link_up" cost
+
+let describe topo u =
+  let n v = Graph.name topo v in
+  match u with
+  | Set_cost { src; dst; cost } -> Printf.sprintf "cost %s->%s %.4g" (n src) (n dst) cost
+  | Link_down { a; b } -> Printf.sprintf "down %s--%s" (n a) (n b)
+  | Link_up { a; b; cost } -> Printf.sprintf "up %s--%s %.4g" (n a) (n b) cost

@@ -1,0 +1,29 @@
+(** The route-server's incremental input language: the three topology
+    mutations a deployed router ingests continuously. Updates are what
+    the write-ahead journal records, so their encoding is a versioned,
+    hand-rolled binary format (tag byte + fixed-width big-endian
+    fields) rather than [Marshal] — a journal must stay readable across
+    builds. *)
+
+type t =
+  | Set_cost of { src : int; dst : int; cost : float }
+      (** the measured cost of the directed link [src -> dst] changed *)
+  | Link_down of { a : int; b : int }  (** duplex failure *)
+  | Link_up of { a : int; b : int; cost : float }
+      (** duplex restoration, both directions at [cost] *)
+
+exception Corrupt of string
+(** A payload that passed the journal's CRC but does not decode — a
+    format-version mismatch, not a torn write. *)
+
+val encode : t -> string
+
+val decode : string -> t
+(** @raise Corrupt on an unknown tag or a short payload. *)
+
+val validate : Mdr_topology.Graph.t -> t -> unit
+(** Updates must name links the topology actually has (both directions
+    for duplex events) and carry finite positive costs.
+    @raise Invalid_argument otherwise. *)
+
+val describe : Mdr_topology.Graph.t -> t -> string

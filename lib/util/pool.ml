@@ -7,13 +7,23 @@
 
 exception Task_failed of { index : int; exn : exn }
 
+let jobs_of_string s =
+  let s = String.trim s in
+  if String.length s = 0 then Error "empty value; expected a positive integer"
+  else
+    match int_of_string_opt s with
+    | None -> Error (Printf.sprintf "%S is not an integer" s)
+    | Some n when n < 1 ->
+        Error (Printf.sprintf "%d is not positive; need at least 1 job" n)
+    | Some n -> Ok n
+
 let default_jobs () =
   match Sys.getenv_opt "MDR_JOBS" with
   | None -> 1
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> 1)
+      match jobs_of_string s with
+      | Ok n -> n
+      | Error reason -> invalid_arg (Printf.sprintf "MDR_JOBS: %s" reason))
 
 let in_task_key = Domain.DLS.new_key (fun () -> false)
 let running_in_task () = Domain.DLS.get in_task_key

@@ -26,9 +26,18 @@ exception Task_failed of { index : int; exn : exn }
     lowest-indexed failing task, which is deterministic: indices are
     claimed in increasing order, so every task below [index] ran. *)
 
+val jobs_of_string : string -> (int, string) result
+(** Parse an [MDR_JOBS] value. Accepts a positive integer (surrounding
+    whitespace tolerated); [Error] carries the reason — empty,
+    non-numeric, zero or negative. *)
+
 val default_jobs : unit -> int
 (** The [MDR_JOBS] environment knob: a positive integer, or [1] when
-    unset or unparsable. [1] means pure sequential execution. *)
+    unset. [1] means pure sequential execution.
+    @raise Invalid_argument when [MDR_JOBS] is set but invalid — a
+    silently ignored typo ([MDR_JOBS=0], [MDR_JOBS=four]) would run an
+    experiment at the wrong parallelism, which is exactly the kind of
+    quiet misconfiguration this repo rejects. *)
 
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ~jobs f arr] applies [f] to every element and returns

@@ -173,6 +173,7 @@ let () =
       ("core", Test_core.suite);
       ("netsim", Test_netsim.suite);
       ("experiments", Test_experiments.suite);
+      ("server", Test_server.suite);
       ("analysis", Test_analysis.suite);
       ("integration", suite);
     ]

@@ -127,6 +127,55 @@ let prop_campaign_parallel_equals_sequential =
     QCheck.(int_range 0 10_000)
     (fun seed -> String.equal (digest ~jobs:1 ~seed) (digest ~jobs:2 ~seed))
 
+let test_jobs_validation () =
+  (* Every rejection class of the MDR_JOBS knob, with a usable reason. *)
+  let accepts s expected =
+    match Pool.jobs_of_string s with
+    | Ok n -> check_int (Printf.sprintf "accepts %S" s) expected n
+    | Error reason -> Alcotest.fail (Printf.sprintf "%S rejected: %s" s reason)
+  in
+  let rejects s =
+    match Pool.jobs_of_string s with
+    | Ok n -> Alcotest.fail (Printf.sprintf "%S accepted as %d" s n)
+    | Error reason ->
+        check (Printf.sprintf "%S gets a real reason" s) true
+          (String.length reason > 5)
+  in
+  accepts "4" 4;
+  accepts "  8 " 8 (* surrounding whitespace is tolerated *);
+  accepts "1" 1;
+  rejects "0";
+  rejects "-3";
+  rejects "four";
+  rejects "2.5";
+  rejects "";
+  rejects "  "
+
+let test_default_jobs_env () =
+  (* [default_jobs] must refuse to run with a broken MDR_JOBS rather
+     than silently falling back. There is no unsetenv, so restore the
+     variable to its old value (or "1", which means the same thing as
+     unset) when done. *)
+  let original = Sys.getenv_opt "MDR_JOBS" in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MDR_JOBS" (Option.value original ~default:"1"))
+    (fun () ->
+      Unix.putenv "MDR_JOBS" "3";
+      check_int "MDR_JOBS=3" 3 (Pool.default_jobs ());
+      let rejects v =
+        Unix.putenv "MDR_JOBS" v;
+        match Pool.default_jobs () with
+        | n -> Alcotest.fail (Printf.sprintf "MDR_JOBS=%S accepted as %d" v n)
+        | exception Invalid_argument msg ->
+            (* the error must name the knob so the operator can find it *)
+            check "error names MDR_JOBS" true
+              (String.length msg >= 8 && String.sub msg 0 8 = "MDR_JOBS")
+      in
+      rejects "0";
+      rejects "-2";
+      rejects "junk";
+      rejects "")
+
 let test_reuse_across_batches () =
   (* The pool persists; many batches of different widths must all work. *)
   for round = 1 to 5 do
@@ -148,6 +197,10 @@ let suite =
     Alcotest.test_case "pool: empty/singleton/list" `Quick test_empty_and_singleton;
     Alcotest.test_case "rng: substream pure in (seed, index)" `Quick
       test_substream_scheduling_independent;
+    Alcotest.test_case "pool: MDR_JOBS value validation" `Quick
+      test_jobs_validation;
+    Alcotest.test_case "pool: default_jobs rejects broken MDR_JOBS" `Quick
+      test_default_jobs_env;
     Alcotest.test_case "pool: reuse across batches" `Quick test_reuse_across_batches;
     QCheck_alcotest.to_alcotest prop_campaign_parallel_equals_sequential;
   ]
