@@ -1,23 +1,36 @@
-(* Standalone lint driver: `dune exec bin/lint.exe` (also wired as
-   `mdrsim lint`). Exits 0 when every rule passes over lib/ and bin/,
-   1 when there are unallowlisted violations, 2 on usage or parse
-   errors. *)
+(* Standalone static-analysis driver: `dune exec bin/lint.exe` (also
+   wired as `mdrsim lint` / `mdrsim check`). By default runs the
+   per-file lint rules; [--effects] runs the whole-program effect
+   rules (domain races, determinism taint, crash-safety) instead.
+   Exits 0 when every rule passes, 1 when there are unallowlisted
+   findings or stale allowlist entries, 2 on usage or parse errors. *)
 
 module Lint = Mdr_analysis.Lint_rules
+module Check = Mdr_analysis.Check_rules
+module Report = Mdr_analysis.Report
+module Source_walk = Mdr_analysis.Source_walk
 
-let rec find_root dir =
-  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
-  else
-    let parent = Filename.dirname dir in
-    if parent = dir then None else find_root parent
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 let main () =
   let json = ref false in
+  let sarif = ref None in
+  let effects = ref false in
   let root = ref None in
   let dirs = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " Emit the machine-readable JSON report");
+      ( "--sarif",
+        Arg.String (fun f -> sarif := Some f),
+        "FILE Also write a SARIF 2.1.0 report to FILE" );
+      ( "--effects",
+        Arg.Set effects,
+        " Run the whole-program effect rules (as `mdrsim check`) instead of \
+         the per-file lint" );
       ( "--root",
         Arg.String (fun s -> root := Some s),
         "DIR Repo root (default: nearest ancestor with dune-project)" );
@@ -25,23 +38,30 @@ let main () =
   in
   Arg.parse spec
     (fun d -> dirs := d :: !dirs)
-    "lint [--json] [--root DIR] [dir ...]  (default dirs: lib bin)";
+    "lint [--json] [--sarif FILE] [--effects] [--root DIR] [dir ...]  \
+     (default dirs: lib bin examples test)";
   let root =
     match !root with
     | Some r -> Some r
-    | None -> find_root (Sys.getcwd ())
+    | None -> Source_walk.find_root (Sys.getcwd ())
   in
   match root with
   | None ->
     prerr_endline "lint: cannot find the repo root (no dune-project upward of cwd)";
     2
   | Some root -> (
-    let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+    let dirs =
+      match List.rev !dirs with [] -> Source_walk.default_dirs | ds -> ds
+    in
     try
-      let report = Lint.run ~dirs ~root () in
-      print_string (if !json then Lint.to_json report else Lint.render report);
-      if report.Lint.violations = [] && report.Lint.stale_allow = [] then 0 else 1
-    with Lint.Parse_failure { file; message } ->
+      let report =
+        if !effects then Check.run ~dirs ~root ()
+        else Lint.to_report (Lint.run ~dirs ~root ())
+      in
+      Option.iter (fun f -> write_file f (Report.to_sarif report)) !sarif;
+      print_string (if !json then Report.to_json report else Report.render report);
+      if Report.clean report then 0 else 1
+    with Source_walk.Parse_failure { file; message } ->
       Printf.eprintf "lint: cannot parse %s: %s\n" file message;
       2)
 

@@ -522,42 +522,73 @@ let overload_cmd =
           stability past the feasible envelope.")
     Term.(const run $ topo_arg $ loads_arg $ seed_arg)
 
-let lint_cmd =
-  (* Static analysis over the repo's own sources: float equality,
-     nondeterministic Hashtbl iteration in protocol code, catch-all
-     handlers, Obj.magic, stdout printing in libraries. *)
-  let module Lint = Mdr_analysis.Lint_rules in
+(* Shared plumbing for the two static-analysis commands. Exit codes:
+   0 clean, 1 unallowlisted findings or stale allowlist entries, 2 on
+   usage/parse errors. *)
+let analysis_cmd ~name ~doc ~make_report =
+  let module Report = Mdr_analysis.Report in
+  let module Source_walk = Mdr_analysis.Source_walk in
   let json_arg =
     let doc = "Emit the machine-readable JSON report." in
     Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let sarif_arg =
+    let doc = "Also write a SARIF 2.1.0 report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
   in
   let root_arg =
     let doc = "Repo root (default: nearest ancestor with dune-project)." in
     Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR" ~doc)
   in
-  let rec find_root dir =
-    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
-    else
-      let parent = Filename.dirname dir in
-      if parent = dir then None else find_root parent
-  in
-  let run json root =
-    match (match root with Some r -> Some r | None -> find_root (Sys.getcwd ())) with
+  let run json sarif root =
+    match
+      match root with
+      | Some r -> Some r
+      | None -> Source_walk.find_root (Sys.getcwd ())
+    with
     | None ->
-      prerr_endline "lint: cannot find the repo root (no dune-project upward of cwd)";
+      Printf.eprintf "%s: cannot find the repo root (no dune-project upward of cwd)\n"
+        name;
       2
     | Some root -> (
       try
-        let report = Lint.run ~root () in
-        print_string (if json then Lint.to_json report else Lint.render report);
-        if report.Lint.violations = [] && report.Lint.stale_allow = [] then 0 else 1
-      with Lint.Parse_failure { file; message } ->
-        Printf.eprintf "lint: cannot parse %s: %s\n" file message;
+        let report : Report.t = make_report ~root in
+        Option.iter
+          (fun f ->
+            let oc = open_out f in
+            output_string oc (Report.to_sarif report);
+            close_out oc)
+          sarif;
+        print_string (if json then Report.to_json report else Report.render report);
+        if Report.clean report then 0 else 1
+      with Source_walk.Parse_failure { file; message } ->
+        Printf.eprintf "%s: cannot parse %s: %s\n" name file message;
         2)
   in
-  Cmd.v
-    (Cmd.info "lint" ~doc:"Run the repo's static-analysis rules over lib/ and bin/.")
-    Term.(const run $ json_arg $ root_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg $ sarif_arg $ root_arg)
+
+let lint_cmd =
+  (* Per-file static analysis over the repo's own sources: float
+     equality, nondeterministic Hashtbl iteration in protocol code,
+     catch-all handlers, Obj.magic, stdout printing in libraries. *)
+  let module Lint = Mdr_analysis.Lint_rules in
+  analysis_cmd ~name:"lint"
+    ~doc:
+      "Run the per-file static-analysis rules over lib/, bin/, examples/ and \
+       test/."
+    ~make_report:(fun ~root -> Lint.to_report (Lint.run ~root ()))
+
+let check_cmd =
+  (* Whole-program effect analysis: domain-race lint on Pool task
+     closures, determinism taint into fingerprint/digest/encode sinks,
+     crash-safety of the server journal/snapshot write paths. *)
+  let module Check = Mdr_analysis.Check_rules in
+  analysis_cmd ~name:"check"
+    ~doc:
+      "Run the whole-program effect rules: domain races in Pool tasks, \
+       determinism taint into fingerprints, crash-safety of server write \
+       paths."
+    ~make_report:(fun ~root -> Check.run ~root ())
 
 let verify_cmd =
   (* Model checking + determinism sanitizing: enumerate all MPDA
@@ -1117,6 +1148,7 @@ let cmds =
     serve_cmd;
     serve_audit_cmd;
     lint_cmd;
+    check_cmd;
     verify_cmd;
     perfbench_cmd;
     compare_cmd;

@@ -1,0 +1,193 @@
+(* Whole-program call-graph substrate for [Check_rules].
+
+   [Lint_rules] is deliberately per-file; the cross-module rules need
+   to know, for an identifier like [Pool.map_array] appearing in
+   [lib/faults/campaign.ml], *which function definition in the repo*
+   it denotes. This module parses every scanned source file, assigns
+   each top-level binding a canonical id ([Mdr_util.Pool.map_array]
+   for a module wrapped by a dune library, [Mdrsim.main] for an
+   executable module), and resolves [Longident]s against:
+
+   - file-local module aliases ([module Pool = Mdr_util.Pool]),
+   - sibling modules of the same dune library (inside [lib/util],
+     [Pool.x] means [Mdr_util.Pool.x]),
+   - library-qualified paths from anywhere,
+   - top-level [open]s,
+   - nested [module M = struct ... end] definitions (qualified as
+     [Lib.Mod.M.f]).
+
+   Anything that resolves to no definition in the scanned tree is
+   [External] — the stdlib and friends — and is interpreted by
+   [Effects]' primitive table. Resolution is name-based, not
+   type-based: functors, first-class modules and shadowing tricks are
+   out of scope (and absent from this codebase, which the fixture
+   tests pin down). *)
+
+open Parsetree
+
+type def = {
+  id : string;  (* canonical: "Mdr_util.Pool.map_array" *)
+  file : string;  (* root-relative *)
+  line : int;
+  col : int;
+  params : (Asttypes.arg_label * string option) list;
+      (* the peeled fun-chain: label and variable name (None for
+         non-variable patterns) *)
+  body : expression;  (* after peeling the fun chain *)
+  full : expression;  (* the whole bound expression *)
+}
+
+type file_ctx = {
+  file : string;
+  modpath : string;  (* canonical module path, e.g. "Mdr_util.Pool" *)
+  lib_prefix : string option;  (* "Mdr_util" for wrapped modules *)
+  aliases : (string * Longident.t) list;  (* module X = Path *)
+  opens : string list;  (* flattened top-level opens *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  def_order : string list;  (* deterministic iteration order *)
+  ctxs : (file_ctx * structure) list;
+  siblings : (string, unit) Hashtbl.t;  (* "Lib.Module" membership *)
+}
+
+let flatten li = String.concat "." (Longident.flatten li)
+
+let rec head_of = function
+  | Longident.Lident x -> Some x
+  | Longident.Ldot (l, _) -> head_of l
+  | Longident.Lapply _ -> None
+
+let rec replace_head li repl =
+  match li with
+  | Longident.Lident _ -> repl
+  | Longident.Ldot (l, s) -> Longident.Ldot (replace_head l repl, s)
+  | Longident.Lapply _ -> li
+
+let expand_aliases aliases li =
+  match head_of li with
+  | Some h -> (
+    match List.assoc_opt h aliases with
+    | Some repl -> replace_head li repl
+    | None -> li)
+  | None -> li
+
+(* --- Definition extraction --------------------------------------------- *)
+
+let rec var_of_pat p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> var_of_pat p
+  | Ppat_alias (p, _) -> var_of_pat p
+  | _ -> None
+
+let rec peel_params acc e =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, _, pat, body) -> peel_params ((lbl, var_of_pat pat) :: acc) body
+  | Pexp_newtype (_, body) -> peel_params acc body
+  | _ -> (List.rev acc, e)
+
+let loc_of (l : Location.t) =
+  (l.loc_start.pos_lnum, l.loc_start.pos_cnum - l.loc_start.pos_bol)
+
+(* Walk one structure, qualifying definitions under [prefix] and
+   accumulating aliases/opens into the file-level lists. Aliases from
+   nested modules are hoisted to file scope — collisions would need
+   two same-named aliases in one file, which the codebase doesn't
+   do. *)
+let rec collect_structure ~prefix ~add_def ~add_alias ~add_open structure =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+        List.iter
+          (fun vb ->
+            match var_of_pat vb.pvb_pat with
+            | Some name ->
+              let params, body = peel_params [] vb.pvb_expr in
+              let line, col = loc_of vb.pvb_loc in
+              add_def
+                ~id:(prefix ^ "." ^ name)
+                ~line ~col ~params ~body ~full:vb.pvb_expr
+            | None ->
+              (* [let () = ...] / [let _ = ...] driver code (examples,
+                 executables) still gets scanned by the rules: give it
+                 a synthetic id no identifier can resolve to. *)
+              let params, body = peel_params [] vb.pvb_expr in
+              let line, col = loc_of vb.pvb_loc in
+              add_def
+                ~id:(Printf.sprintf "%s.(unit:%d)" prefix line)
+                ~line ~col ~params ~body ~full:vb.pvb_expr)
+          bindings
+      | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } -> (
+        match pmb_expr.pmod_desc with
+        | Pmod_ident { txt; _ } -> add_alias (name, txt)
+        | Pmod_structure inner ->
+          collect_structure ~prefix:(prefix ^ "." ^ name) ~add_def ~add_alias
+            ~add_open inner
+        | _ -> ())
+      | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } ->
+        add_open (flatten txt)
+      | _ -> ())
+    structure
+
+let build ?(dirs = Source_walk.default_dirs) ~root () =
+  let files = Source_walk.files ~dirs ~root () in
+  let defs = Hashtbl.create 512 in
+  let def_order = ref [] in
+  let siblings = Hashtbl.create 64 in
+  let ctxs =
+    List.map
+      (fun (path, file) ->
+        let structure = Source_walk.parse_file path in
+        let modpath = Source_walk.canonical_module ~root path in
+        let lib_prefix =
+          match String.index_opt modpath '.' with
+          | Some i -> Some (String.sub modpath 0 i)
+          | None -> None
+        in
+        Hashtbl.replace siblings modpath ();
+        let aliases = ref [] and opens = ref [] in
+        collect_structure ~prefix:modpath
+          ~add_def:(fun ~id ~line ~col ~params ~body ~full ->
+            if not (Hashtbl.mem defs id) then def_order := id :: !def_order;
+            (* Later bindings shadow earlier ones of the same name;
+               keep the last, which is the one the rest of the module
+               sees. *)
+            Hashtbl.replace defs id { id; file; line; col; params; body; full })
+          ~add_alias:(fun a -> aliases := a :: !aliases)
+          ~add_open:(fun o -> opens := o :: !opens)
+          structure;
+        ( { file; modpath; lib_prefix; aliases = List.rev !aliases; opens = List.rev !opens },
+          structure ))
+      files
+  in
+  { defs; def_order = List.rev !def_order; ctxs; siblings }
+
+let find_def t id = Hashtbl.find_opt t.defs id
+
+(* --- Resolution -------------------------------------------------------- *)
+
+type resolved =
+  | Def of def
+  | External of string  (* flattened path after alias expansion *)
+
+let resolve ?(extra_aliases = []) t ~ctx li =
+  let li = expand_aliases (extra_aliases @ ctx.aliases) li in
+  let joined = flatten li in
+  let candidates =
+    (* Most-local first: same module, sibling module of the same
+       library, absolute path, then through each top-level open. *)
+    (ctx.modpath ^ "." ^ joined)
+    ::
+    (match (ctx.lib_prefix, head_of li) with
+    | Some lib, Some h when Hashtbl.mem t.siblings (lib ^ "." ^ h) ->
+      [ lib ^ "." ^ joined ]
+    | _ -> [])
+    @ [ joined ]
+    @ List.map (fun o -> o ^ "." ^ joined) ctx.opens
+  in
+  match List.find_map (fun c -> Hashtbl.find_opt t.defs c) candidates with
+  | Some d -> Def d
+  | None -> External joined

@@ -1,0 +1,55 @@
+(** Whole-program call-graph substrate for {!Check_rules}.
+
+    Parses every scanned source file, assigns each top-level binding a
+    canonical id ([Mdr_util.Pool.map_array] for a dune-library module,
+    [Mdrsim.main] for an executable module), and resolves [Longident]s
+    through file-local module aliases, same-library sibling modules,
+    absolute library paths and top-level [open]s. Resolution is
+    name-based, not type-based: functors and first-class modules are
+    out of scope. *)
+
+type def = {
+  id : string;
+  file : string;  (** root-relative *)
+  line : int;
+  col : int;
+  params : (Asttypes.arg_label * string option) list;
+      (** peeled fun-chain: label and variable name *)
+  body : Parsetree.expression;  (** after peeling the fun chain *)
+  full : Parsetree.expression;  (** the whole bound expression *)
+}
+
+type file_ctx = {
+  file : string;
+  modpath : string;
+  lib_prefix : string option;
+  aliases : (string * Longident.t) list;
+  opens : string list;
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  def_order : string list;  (** deterministic iteration order *)
+  ctxs : (file_ctx * Parsetree.structure) list;
+  siblings : (string, unit) Hashtbl.t;
+}
+
+val build : ?dirs:string list -> root:string -> unit -> t
+(** Parse and index everything under [root/dirs] (default
+    {!Source_walk.default_dirs}).
+    @raise Source_walk.Parse_failure if a file does not parse. *)
+
+val find_def : t -> string -> def option
+
+type resolved =
+  | Def of def
+  | External of string  (** flattened path after alias expansion *)
+
+val resolve :
+  ?extra_aliases:(string * Longident.t) list ->
+  t -> ctx:file_ctx -> Longident.t -> resolved
+(** Resolve an identifier as seen from [ctx]'s file, innermost scope
+    first. [extra_aliases] carries function-local [let module]
+    aliases discovered by the effects walker. *)
+
+val flatten : Longident.t -> string

@@ -1,0 +1,390 @@
+(* Cross-module rules on top of [Callgraph] + [Effects].
+
+   Three rule families, one finding stream, same allowlist convention
+   as [Lint_rules] ([lint/<rule>.allow]):
+
+   - [domain-race]: a closure handed to an [Mdr_util.Pool] fan-out
+     runs on another domain. It must not mutate anything it captured
+     (enclosing locals, module-level state) except through [Atomic],
+     must not hand captured values to callees that mutate their
+     parameters, and must not depend on process-global
+     nondeterminism ([Random], wall clocks) — per-index [Rng]
+     substreams exist for exactly that. Literal lambdas are analyzed
+     in place; a task that is a top-level function is checked via its
+     summary; a task that is a local binding or partial application
+     is skipped (documented limitation, pinned by fixtures).
+
+   - [determinism-taint]: no nondeterminism source may flow, through
+     any call chain, into the fingerprint/digest/encode functions
+     that define byte-stable outputs. The finding points at the
+     primitive use (so the allowlist entry sits next to the code that
+     earns it) and the message carries the witness chain.
+
+   - [crash-safety]: in [lib/server], write paths must not swallow
+     [Sys_error]/[Unix_error] (or everything) around I/O without
+     re-raising, and every [rename] publish must be preceded by an
+     [fsync] in traversal order — directly or through a callee whose
+     summary fsyncs. *)
+
+open Parsetree
+
+type config = {
+  pool_fns : (string * string) list;
+      (* fan-out entry point id -> name of its task parameter *)
+  sinks : string list;  (* determinism sink def ids *)
+  crash_scope : string list;  (* file prefixes for crash-safety *)
+}
+
+let default_config =
+  {
+    pool_fns =
+      [
+        ("Mdr_util.Pool.map_array", "f");
+        ("Mdr_util.Pool.mapi_array", "f");
+        ("Mdr_util.Pool.init", "f");
+        ("Mdr_util.Pool.map_list", "f");
+      ];
+    sinks =
+      [
+        "Mdr_routing.Router.fingerprint";
+        "Mdr_faults.Campaign.fingerprint";
+        "Mdr_faults.Campaign.digest";
+        "Mdr_server.Server.fingerprint";
+        "Mdr_server.Server.snapshot_payload";
+        "Mdr_server.Update.encode";
+        "Mdr_server.Journal.append";
+        "Mdr_server.Snapshot.write";
+        "Mdr_server.Codec.frame";
+        "Mdr_server.Codec.header";
+      ];
+    crash_scope = [ "lib/server/" ];
+  }
+
+let rules =
+  [
+    ( "domain-race",
+      "Pool task closures must not share mutable captured state across domains" );
+    ( "determinism-taint",
+      "no nondeterminism source may reach a fingerprint/digest/encode sink" );
+    ( "crash-safety",
+      "server write paths: no swallowed I/O errors, fsync before rename" );
+  ]
+
+let finding rule file line col message =
+  { Report.rule; file; line; col; message }
+
+(* --- Shared helpers ----------------------------------------------------- *)
+
+let rec pvars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pvars (txt :: acc) p
+  | Ppat_tuple ps -> List.fold_left pvars acc ps
+  | Ppat_constraint (p, _) -> pvars acc p
+  | _ -> acc
+
+let rec peel_fun vars e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) -> peel_fun (pvars vars pat) body
+  | Pexp_newtype (_, body) -> peel_fun vars body
+  | Pexp_constraint (e, _) -> peel_fun vars e
+  | _ -> (List.rev vars, e)
+
+let rec is_fun e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_constraint (e, _) -> is_fun e
+  | _ -> false
+
+let chain_str chain prim =
+  String.concat " -> " chain
+  ^
+  match prim with
+  | Some (p : Effects.prim_loc) ->
+    Printf.sprintf "; %s at %s:%d" p.p_name p.p_file p.p_line
+  | None -> ""
+
+let has_prefix prefixes file =
+  let file = Source_walk.normalize file in
+  List.exists
+    (fun p ->
+      String.length file >= String.length p
+      && String.sub file 0 (String.length p) = p)
+    prefixes
+
+(* --- Rule 1: domain-race ------------------------------------------------ *)
+
+let race_nondet_kinds = [ Effects.Random_state; Effects.Wall_clock ]
+
+let check_task_summary eff ~out ~file ~line ~col id =
+  (match Effects.summary_of eff id with
+  | None -> ()
+  | Some s ->
+    (match s.Effects.mutates_global with
+    | Some _ ->
+      let chain, prim = Effects.global_mut_chain eff id in
+      out :=
+        finding "domain-race" file line col
+          (Printf.sprintf
+             "Pool task calls %s, which mutates module-level state (%s); \
+              cross-domain state must go through Atomic or per-index workspaces"
+             id (chain_str chain prim))
+        :: !out
+    | None -> ());
+    List.iter
+      (fun k ->
+        match List.assoc_opt k s.Effects.nondet with
+        | Some _ ->
+          let chain, prim = Effects.nondet_chain eff id k in
+          out :=
+            finding "domain-race" file line col
+              (Printf.sprintf
+                 "Pool task calls %s, which depends on %s (%s); parallel runs \
+                  lose seed-determinism — use the per-index Rng substream"
+                 id (Effects.kind_name k) (chain_str chain prim))
+            :: !out
+        | None -> ())
+      race_nondet_kinds)
+
+let check_closure graph eff ~ctx ~out expr =
+  let params, body = peel_fun [] expr in
+  let cf = Effects.scan_expr graph ~ctx ~params body in
+  let file = cf.Effects.f_file in
+  (* Mutations of captured or module-level roots. *)
+  List.iter
+    (fun (m : Effects.mutation) ->
+      if not m.m_atomic then
+        match m.m_root with
+        | Effects.Free n ->
+          out :=
+            finding "domain-race" file m.m_line m.m_col
+              (Printf.sprintf
+                 "Pool task mutates captured %s (%s); cross-domain state must \
+                  go through Atomic or per-index workspaces"
+                 n m.m_what)
+            :: !out
+        | Effects.Global g ->
+          out :=
+            finding "domain-race" file m.m_line m.m_col
+              (Printf.sprintf
+                 "Pool task mutates module-level state %s (%s); cross-domain \
+                  state must go through Atomic or per-index workspaces"
+                 g m.m_what)
+            :: !out
+        | Effects.Local | Effects.Outer _ | Effects.Anon -> ())
+    (List.rev cf.Effects.mutations);
+  (* Nondeterminism used directly in the task body. *)
+  List.iter
+    (fun (k, (p : Effects.prim_loc)) ->
+      if List.mem k race_nondet_kinds then
+        out :=
+          finding "domain-race" file p.p_line p.p_col
+            (Printf.sprintf
+               "Pool task uses %s (%s); parallel runs lose seed-determinism — \
+                use the per-index Rng substream"
+               p.p_name (Effects.kind_name k))
+          :: !out)
+    (List.rev cf.Effects.nondet_prims);
+  (* Callees: inherited global mutation / nondeterminism, and captured
+     values handed to parameters the callee mutates. *)
+  List.iter
+    (fun (c : Effects.callsite) ->
+      check_task_summary eff ~out ~file ~line:c.c_line ~col:c.c_col c.c_callee;
+      match Effects.summary_of eff c.c_callee with
+      | None -> ()
+      | Some s ->
+        List.iter
+          (fun (pname, _) ->
+            List.iter
+              (fun (n, r, _) ->
+                if n = pname then
+                  match r with
+                  | Effects.Free a ->
+                    out :=
+                      finding "domain-race" file c.c_line c.c_col
+                        (Printf.sprintf
+                           "Pool task passes captured %s to parameter %s of \
+                            %s, which mutates it; copy it per index or use \
+                            Atomic"
+                           a pname c.c_callee)
+                      :: !out
+                  | Effects.Global g ->
+                    out :=
+                      finding "domain-race" file c.c_line c.c_col
+                        (Printf.sprintf
+                           "Pool task passes module-level %s to parameter %s \
+                            of %s, which mutates it"
+                           g pname c.c_callee)
+                      :: !out
+                  | _ -> ())
+              c.c_args)
+          s.Effects.mutated_params)
+    (List.rev cf.Effects.calls);
+  (* Top-level functions used as values inside the task. *)
+  List.iter
+    (fun (id, line, col) -> check_task_summary eff ~out ~file ~line ~col id)
+    (List.rev cf.Effects.refs)
+
+let domain_race graph eff ~ctx_of_file ~pool_fns =
+  let out = ref [] in
+  List.iter
+    (fun id ->
+      match (Callgraph.find_def graph id, Effects.facts_of eff id) with
+      | Some def, Some f ->
+        let ctx : Callgraph.file_ctx = Hashtbl.find ctx_of_file def.Callgraph.file in
+        List.iter
+          (fun (c : Effects.callsite) ->
+            match List.assoc_opt c.c_callee pool_fns with
+            | None -> ()
+            | Some task_param -> (
+              match
+                List.find_opt (fun (n, _, _) -> n = task_param) c.c_args
+              with
+              | None -> ()
+              | Some (_, root, expr) ->
+                if is_fun expr then check_closure graph eff ~ctx ~out expr
+                else (
+                  match root with
+                  | Effects.Global id ->
+                    check_task_summary eff ~out ~file:def.Callgraph.file
+                      ~line:c.c_line ~col:c.c_col id
+                  | _ ->
+                    (* Local bindings and partial applications are not
+                       traced to a summary: documented limitation. *)
+                    ())))
+          f.Effects.calls
+      | _ -> ())
+    graph.Callgraph.def_order;
+  List.rev !out
+
+(* --- Rule 2: determinism-taint ------------------------------------------ *)
+
+let determinism_taint graph eff ~sinks =
+  let out = ref [] in
+  List.iter
+    (fun sink ->
+      match (Callgraph.find_def graph sink, Effects.summary_of eff sink) with
+      | Some def, Some s ->
+        List.iter
+          (fun (k, _) ->
+            let chain, prim = Effects.nondet_chain eff sink k in
+            match prim with
+            | Some p ->
+              out :=
+                finding "determinism-taint" p.p_file p.p_line p.p_col
+                  (Printf.sprintf
+                     "%s (%s) flows into determinism sink %s (path: %s)"
+                     p.p_name (Effects.kind_name k) sink
+                     (String.concat " -> " chain))
+                :: !out
+            | None ->
+              out :=
+                finding "determinism-taint" def.Callgraph.file def.Callgraph.line
+                  def.Callgraph.col
+                  (Printf.sprintf
+                     "determinism sink %s is tainted by %s (partial path: %s)"
+                     sink (Effects.kind_name k) (String.concat " -> " chain))
+                :: !out)
+          s.Effects.nondet
+      | _ -> ())
+    sinks;
+  List.rev !out
+
+(* --- Rule 3: crash-safety ----------------------------------------------- *)
+
+let crash_safety graph eff ~crash_scope =
+  let out = ref [] in
+  List.iter
+    (fun id ->
+      match (Callgraph.find_def graph id, Effects.facts_of eff id) with
+      | Some def, Some f when has_prefix crash_scope def.Callgraph.file ->
+        let file = def.Callgraph.file in
+        (* 3a: swallowed I/O errors around write paths. *)
+        List.iter
+          (fun (t : Effects.try_site) ->
+            let body_does_io =
+              t.t_io_direct
+              || List.exists
+                   (fun callee ->
+                     match Effects.summary_of eff callee with
+                     | Some s -> s.Effects.io <> None
+                     | None -> false)
+                   t.t_callees
+            in
+            if body_does_io then
+              List.iter
+                (fun (desc, line, col) ->
+                  out :=
+                    finding "crash-safety" file line col
+                      (Printf.sprintf
+                         "%s handler swallows I/O errors on a write path; let \
+                          Sys_error/Unix_error propagate or escalate"
+                         desc)
+                    :: !out)
+                t.t_swallows)
+          (List.rev f.Effects.tries);
+        (* 3b: fsync-before-rename ordering. *)
+        let seen_fsync = ref false in
+        List.iter
+          (fun ev ->
+            match ev with
+            | Effects.E_fsync -> seen_fsync := true
+            | Effects.E_rename (line, col) ->
+              if not !seen_fsync then
+                out :=
+                  finding "crash-safety" file line col
+                    "rename without a preceding fsync; a crash can publish \
+                     unsynced data"
+                  :: !out
+            | Effects.E_call (callee, line, col) -> (
+              match Effects.summary_of eff callee with
+              | None -> ()
+              | Some s ->
+                if s.Effects.calls_fsync then seen_fsync := true
+                else if s.Effects.calls_rename && not !seen_fsync then
+                  out :=
+                    finding "crash-safety" file line col
+                      (Printf.sprintf
+                         "calls %s, which renames without a preceding fsync"
+                         callee)
+                    :: !out))
+          f.Effects.events
+      | _ -> ())
+    graph.Callgraph.def_order;
+  List.rev !out
+
+(* --- Driver ------------------------------------------------------------- *)
+
+let run ?dirs ?(allow_dir = "lint") ?(config = default_config) ~root () =
+  let graph = Callgraph.build ?dirs ~root () in
+  let eff = Effects.analyze graph in
+  let ctx_of_file = Hashtbl.create 64 in
+  List.iter
+    (fun ((c : Callgraph.file_ctx), _) -> Hashtbl.replace ctx_of_file c.file c)
+    graph.Callgraph.ctxs;
+  let all =
+    domain_race graph eff ~ctx_of_file ~pool_fns:config.pool_fns
+    @ determinism_taint graph eff ~sinks:config.sinks
+    @ crash_safety graph eff ~crash_scope:config.crash_scope
+  in
+  let cmp (a : Report.finding) (b : Report.finding) =
+    compare
+      (a.file, a.line, a.col, a.rule, a.message)
+      (b.file, b.line, b.col, b.rule, b.message)
+  in
+  let all = List.sort_uniq cmp all in
+  let findings, suppressed, stale_allow =
+    Report.apply_allowlists
+      ~allow_dir:(Filename.concat root allow_dir)
+      ~rule_names:(List.map fst rules)
+      all
+  in
+  {
+    Report.tool = "check";
+    files_scanned = List.length graph.Callgraph.ctxs;
+    findings;
+    suppressed;
+    stale_allow;
+    rule_infos =
+      List.map (fun (rule_id, about) -> { Report.rule_id; about }) rules;
+  }

@@ -1,0 +1,42 @@
+(** Cross-module rules over {!Callgraph} + {!Effects}: the
+    [mdrsim check] pass.
+
+    Three rule families — [domain-race] (closures handed to
+    [Mdr_util.Pool] fan-outs must not share mutable captured state
+    across domains or depend on process-global nondeterminism),
+    [determinism-taint] (no nondeterminism source may reach a
+    fingerprint/digest/encode sink through any call chain), and
+    [crash-safety] (server write paths must not swallow I/O errors
+    and must fsync before rename). Allowlists follow the
+    [lint/<rule>.allow] convention shared with {!Lint_rules}. *)
+
+type config = {
+  pool_fns : (string * string) list;
+      (** fan-out entry point id -> name of its task parameter *)
+  sinks : string list;  (** determinism sink def ids *)
+  crash_scope : string list;  (** file prefixes for crash-safety *)
+}
+
+val default_config : config
+(** [Mdr_util.Pool.{map_array,mapi_array,init,map_list}] with task
+    parameter [f]; the router/campaign/server fingerprint, digest and
+    encode functions as sinks; crash-safety scoped to [lib/server/]. *)
+
+val rules : (string * string) list
+(** (rule name, one-line description) — [domain-race],
+    [determinism-taint], [crash-safety]. *)
+
+val run :
+  ?dirs:string list ->
+  ?allow_dir:string ->
+  ?config:config ->
+  root:string ->
+  unit ->
+  Report.t
+(** Build the call graph over [root/dirs] (default
+    {!Source_walk.default_dirs}), run the effect analysis and all
+    three rule families, apply allowlists, and return the shared
+    report ([tool = "check"]). Findings are sorted by file, line,
+    column.
+    @raise Source_walk.Parse_failure if a scanned file does not
+    parse. *)

@@ -1,0 +1,747 @@
+(* Conservative per-function effect summaries over the whole program.
+
+   For every definition [Callgraph] knows about, one bottom-up pass
+   computes what the body does directly (the *facts*: primitive
+   effects, mutations, call sites in evaluation order), and a fixpoint
+   then propagates summaries over the call graph:
+
+   - nondeterminism sources, each with a witness chain back to the
+     primitive use: [Hashtbl.iter]/[fold] (bucket order), [Random]
+     (process-global PRNG), wall clocks ([Sys.time],
+     [Unix.gettimeofday]), physical equality ([==]/[!=]), [Marshal]
+     (representation-dependent bytes);
+   - [mutates_global]: writes module-level mutable state (a top-level
+     [ref]/[Hashtbl]/[Buffer]/array), directly or through a callee;
+   - [mutated_params]: which of the function's own parameters it
+     mutates — propagated through call sites by matching arguments to
+     parameters, which is what lets the domain-race rule see that a
+     closure handing a *captured* value to such a parameter shares
+     mutable state across domains;
+   - I/O, may-raise, and the [fsync]/[rename] markers the
+     crash-safety rule orders.
+
+   The analysis is name-based and unsound by design where OCaml is
+   hard: functions passed as values propagate their nondet/IO but not
+   their parameter mutations (the argument mapping is unknown), and
+   mutation through a value returned by a call is not tracked. The
+   fixture tests in [test/test_analysis.ml] pin down exactly which
+   patterns the rules do catch. [Mdr_util.Sorted_tbl] is the
+   sanctioned determinism barrier: it iterates hash tables internally
+   but sorts, so its summaries are scrubbed of the Hashtbl-order
+   source. [Atomic] operations are likewise exempt from the mutation
+   effects — they are the sanctioned cross-domain mechanism. *)
+
+open Parsetree
+
+type nondet_kind =
+  | Hashtbl_order
+  | Random_state
+  | Wall_clock
+  | Physical_eq
+  | Marshal_repr
+
+let kind_name = function
+  | Hashtbl_order -> "hashtbl-order"
+  | Random_state -> "random-state"
+  | Wall_clock -> "wall-clock"
+  | Physical_eq -> "physical-eq"
+  | Marshal_repr -> "marshal-repr"
+
+type prim_loc = { p_name : string; p_file : string; p_line : int; p_col : int }
+
+type origin = Prim of prim_loc | Via of string  (* callee def id *)
+
+type summary = {
+  mutable nondet : (nondet_kind * origin) list;  (* at most one origin per kind *)
+  mutable mutates_global : origin option;
+  mutable mutated_params : (string * origin) list;
+  mutable io : origin option;
+  mutable may_raise : bool;
+  mutable calls_fsync : bool;
+  mutable calls_rename : bool;
+}
+
+(* --- Primitive effect table -------------------------------------------- *)
+
+type prim_effect =
+  | P_nondet of nondet_kind
+  | P_io
+  | P_raise
+  | P_fsync
+  | P_rename
+  | P_mut of int * bool  (* index among Nolabel arguments; atomic? *)
+  | P_global_mut  (* mutates hidden process-global state *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let prims_of name =
+  let name =
+    if starts_with ~prefix:"Stdlib." name then
+      String.sub name 7 (String.length name - 7)
+    else name
+  in
+  match name with
+  | "Hashtbl.iter" | "Hashtbl.fold" | "Hashtbl.to_seq" | "Hashtbl.to_seq_keys"
+  | "Hashtbl.to_seq_values" ->
+    [ P_nondet Hashtbl_order ]
+  | "Sys.time" | "Unix.time" | "Unix.gettimeofday" | "Unix.times" ->
+    [ P_nondet Wall_clock ]
+  | "==" | "!=" -> [ P_nondet Physical_eq ]
+  | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit" -> [ P_raise ]
+  | "Unix.fsync" -> [ P_io; P_fsync ]
+  | "Sys.rename" | "Unix.rename" -> [ P_io; P_rename ]
+  | ":=" | "incr" | "decr" -> [ P_mut (0, false) ]
+  | "Array.set" | "Array.unsafe_set" | "Array.fill" | "Bytes.set"
+  | "Bytes.unsafe_set" | "Bytes.fill" ->
+    [ P_mut (0, false) ]
+  | "Array.blit" | "Bytes.blit" | "Bytes.blit_string" -> [ P_mut (2, false) ]
+  | "Array.sort" | "Array.stable_sort" | "Array.fast_sort" -> [ P_mut (1, false) ]
+  | "Hashtbl.add" | "Hashtbl.replace" | "Hashtbl.remove" | "Hashtbl.reset"
+  | "Hashtbl.clear" ->
+    [ P_mut (0, false) ]
+  | "Hashtbl.filter_map_inplace" -> [ P_mut (1, false) ]
+  | "Queue.add" | "Queue.push" | "Queue.pop" | "Queue.take" | "Queue.clear" ->
+    [ P_mut (0, false) ]
+  | "Queue.transfer" -> [ P_mut (0, false); P_mut (1, false) ]
+  | "Stack.push" -> [ P_mut (1, false) ]
+  | "Stack.pop" | "Stack.clear" -> [ P_mut (0, false) ]
+  | "Buffer.clear" | "Buffer.reset" | "Buffer.truncate" -> [ P_mut (0, false) ]
+  | "Printf.bprintf" -> [ P_mut (0, false) ]
+  | "Atomic.set" | "Atomic.exchange" | "Atomic.compare_and_set"
+  | "Atomic.fetch_and_add" | "Atomic.incr" | "Atomic.decr" ->
+    [ P_mut (0, true) ]
+  | "print_endline" | "print_string" | "print_newline" | "print_int"
+  | "print_float" | "print_char" | "prerr_endline" | "prerr_string"
+  | "prerr_newline" | "print_bytes" | "prerr_bytes" ->
+    [ P_io ]
+  | "Printf.printf" | "Printf.eprintf" | "Printf.fprintf" | "Format.printf"
+  | "Format.eprintf" | "Format.fprintf" | "Format.print_string"
+  | "Format.print_newline" ->
+    [ P_io ]
+  | "Sys.remove" | "Sys.command" | "Sys.readdir" | "Sys.mkdir" | "Sys.rmdir"
+  | "Sys.chdir" | "Sys.getcwd" | "Digest.file" | "Filename.temp_file" ->
+    [ P_io ]
+  | _ ->
+    if starts_with ~prefix:"Random." name then [ P_nondet Random_state; P_global_mut ]
+    else if starts_with ~prefix:"Marshal." name then [ P_nondet Marshal_repr ]
+    else if starts_with ~prefix:"Buffer.add" name then [ P_mut (0, false) ]
+    else if starts_with ~prefix:"Unix." name then [ P_io ]
+    else if
+      starts_with ~prefix:"open_in" name
+      || starts_with ~prefix:"open_out" name
+      || starts_with ~prefix:"close_in" name
+      || starts_with ~prefix:"close_out" name
+      || starts_with ~prefix:"output" name
+      || starts_with ~prefix:"input" name
+      || starts_with ~prefix:"really_input" name
+      || starts_with ~prefix:"read_line" name
+    then [ P_io ]
+    else []
+
+(* --- Facts: what one expression does directly --------------------------- *)
+
+module SSet = Set.Make (String)
+
+type root =
+  | Local  (* bound inside the walked expression *)
+  | Outer of string  (* one of the walk's starting parameters *)
+  | Global of string  (* module-level value: resolved def id or external path *)
+  | Free of string  (* unqualified, unbound, unresolved: captured from an
+                       enclosing scope (only closures have these) *)
+  | Anon  (* a complex expression; not tracked *)
+
+type mutation = {
+  m_root : root;
+  m_atomic : bool;
+  m_what : string;  (* the operator, for messages *)
+  m_line : int;
+  m_col : int;
+}
+
+type callsite = {
+  c_callee : string;  (* resolved def id *)
+  c_args : (string * root * expression) list;  (* callee param name, arg root, arg *)
+  c_line : int;
+  c_col : int;
+}
+
+type event = E_fsync | E_rename of int * int | E_call of string * int * int
+
+type try_site = {
+  t_io_direct : bool;
+  t_callees : string list;  (* called or referenced from the try body *)
+  t_swallows : (string * int * int) list;  (* pattern description, loc *)
+}
+
+type facts = {
+  f_file : string;
+  mutable nondet_prims : (nondet_kind * prim_loc) list;
+  mutable io_prims : prim_loc list;
+  mutable raises : bool;
+  mutable global_mut_prims : prim_loc list;
+  mutable mutations : mutation list;
+  mutable calls : callsite list;
+  mutable refs : (string * int * int) list;  (* def ids used as values *)
+  mutable events : event list;  (* reversed; evaluation-ish order *)
+  mutable tries : try_site list;
+}
+
+type env = { ctx : Callgraph.file_ctx; locals : SSet.t; outer : SSet.t }
+
+let loc_of (l : Location.t) =
+  (l.loc_start.pos_lnum, l.loc_start.pos_cnum - l.loc_start.pos_bol)
+
+let rec pat_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pat_vars (txt :: acc) p
+  | Ppat_tuple ps -> List.fold_left pat_vars acc ps
+  | Ppat_construct (_, Some (_, p)) -> pat_vars acc p
+  | Ppat_variant (_, Some p) -> pat_vars acc p
+  | Ppat_record (fields, _) -> List.fold_left (fun a (_, p) -> pat_vars a p) acc fields
+  | Ppat_array ps -> List.fold_left pat_vars acc ps
+  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_exception p | Ppat_open (_, p) ->
+    pat_vars acc p
+  | _ -> acc
+
+let bind env p = { env with locals = List.fold_left (fun s v -> SSet.add v s) env.locals (pat_vars [] p) }
+
+let longident_of e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+(* The storage root of an lvalue-ish expression: peel field accesses,
+   derefs, indexing and type constraints down to the base identifier. *)
+let rec root_of graph env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } ->
+    if SSet.mem x env.locals then Local
+    else if SSet.mem x env.outer then Outer x
+    else (
+      match Callgraph.resolve graph ~ctx:env.ctx (Longident.Lident x) with
+      | Callgraph.Def d -> Global d.id
+      | Callgraph.External _ -> Free x)
+  | Pexp_ident { txt; _ } -> (
+    match Callgraph.resolve graph ~ctx:env.ctx txt with
+    | Callgraph.Def d -> Global d.id
+    | Callgraph.External s -> Global s)
+  | Pexp_field (e, _) -> root_of graph env e
+  | Pexp_constraint (e, _) -> root_of graph env e
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "!"; _ }; _ },
+        [ (_, a) ] ) ->
+    root_of graph env a
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+        (Asttypes.Nolabel, a) :: _ )
+    when (match Callgraph.flatten txt with
+         | "Array.get" | "Array.unsafe_get" | "Bytes.get" | "Atomic.get" -> true
+         | _ -> false) ->
+    root_of graph env a
+  | _ -> Anon
+
+(* Map call-site arguments to callee parameter names: labelled args by
+   label, unlabelled args to the callee's Nolabel parameters in
+   order. Unnamed parameters are skipped. *)
+let map_args (callee : Callgraph.def) args =
+  let nolabels =
+    List.filter_map
+      (function Asttypes.Nolabel, n -> Some n | _ -> None)
+      callee.params
+  in
+  let labelled s =
+    List.find_map
+      (function
+        | (Asttypes.Labelled s' | Asttypes.Optional s'), n when s' = s -> n
+        | _ -> None)
+      callee.params
+  in
+  let rec go nolabels acc = function
+    | [] -> List.rev acc
+    | (Asttypes.Nolabel, e) :: rest -> (
+      match nolabels with
+      | n :: tl ->
+        (match n with
+        | Some name -> go tl ((name, e) :: acc) rest
+        | None -> go tl acc rest)
+      | [] -> go [] acc rest)
+    | ((Asttypes.Labelled s | Asttypes.Optional s), e) :: rest -> (
+      match labelled s with
+      | Some name -> go nolabels ((name, e) :: acc) rest
+      | None -> go nolabels acc rest)
+  in
+  go nolabels [] args
+
+let is_catch_all case =
+  (match case.pc_lhs.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_var _ -> true
+  | _ -> false)
+  && case.pc_guard = None
+
+let swallow_pattern case =
+  (* A case that intercepts I/O failures broadly: catch-all, a
+     [Sys_error] match, or [Unix_error] with a wildcard errno.
+     [Unix_error (EEXIST, _, _)]-style patterns name one specific
+     errno and are targeted handling, not a swallow. *)
+  if is_catch_all case then Some "catch-all"
+  else
+    let errno_is_specific arg =
+      let rec tuple_head p =
+        match p.ppat_desc with
+        | Ppat_tuple (hd :: _) -> tuple_head hd
+        | Ppat_constraint (p, _) | Ppat_alias (p, _) -> tuple_head p
+        | Ppat_construct _ -> true
+        | _ -> false
+      in
+      tuple_head arg
+    in
+    let rec of_pat p =
+      match p.ppat_desc with
+      | Ppat_construct ({ txt; _ }, arg) -> (
+        match Longident.last txt with
+        | "Sys_error" -> Some "Sys_error"
+        | "Unix_error" -> (
+          match arg with
+          | Some (_, a) when errno_is_specific a -> None
+          | _ -> Some "Unix_error")
+        | _ -> None)
+      | Ppat_or (a, b) -> ( match of_pat a with Some s -> Some s | None -> of_pat b)
+      | Ppat_alias (p, _) | Ppat_constraint (p, _) -> of_pat p
+      | _ -> None
+    in
+    of_pat case.pc_lhs
+
+(* Does the handler body re-raise (or escalate)? A handler that turns
+   the error into [failwith]/[raise]/[exit] has not swallowed it. *)
+let rec reraises e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match Longident.last txt with
+    | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit" -> true
+    | _ -> sub_reraises e)
+  | _ -> sub_reraises e
+
+and sub_reraises e =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+            match Longident.last txt with
+            | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit" ->
+              found := true
+            | _ -> ())
+          | _ -> ());
+          super.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let scan_expr graph ~(ctx : Callgraph.file_ctx) ~params expr =
+  let facts =
+    {
+      f_file = ctx.file;
+      nondet_prims = [];
+      io_prims = [];
+      raises = false;
+      global_mut_prims = [];
+      mutations = [];
+      calls = [];
+      refs = [];
+      events = [];
+      tries = [];
+    }
+  in
+  let add_prim_effects env name loc effects ~args =
+    let line, col = loc_of loc in
+    let ploc = { p_name = name; p_file = ctx.file; p_line = line; p_col = col } in
+    List.iter
+      (fun eff ->
+        match eff with
+        | P_nondet k ->
+          if not (List.mem_assoc k facts.nondet_prims) then
+            facts.nondet_prims <- (k, ploc) :: facts.nondet_prims
+        | P_io -> facts.io_prims <- ploc :: facts.io_prims
+        | P_raise -> facts.raises <- true
+        | P_fsync -> facts.events <- E_fsync :: facts.events
+        | P_rename -> facts.events <- E_rename (line, col) :: facts.events
+        | P_global_mut -> facts.global_mut_prims <- ploc :: facts.global_mut_prims
+        | P_mut (idx, atomic) -> (
+          match args with
+          | Some args -> (
+            let nolabel_args =
+              List.filter_map
+                (function Asttypes.Nolabel, a -> Some a | _ -> None)
+                args
+            in
+            match List.nth_opt nolabel_args idx with
+            | Some target ->
+              facts.mutations <-
+                {
+                  m_root = root_of graph env target;
+                  m_atomic = atomic;
+                  m_what = name;
+                  m_line = line;
+                  m_col = col;
+                }
+                :: facts.mutations
+            | None -> ())
+          | None -> ()))
+      effects
+  in
+  let rec walk env e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ }
+      when SSet.mem x env.locals || SSet.mem x env.outer ->
+      ()
+    | Pexp_ident { txt; _ } -> (
+      match Callgraph.resolve graph ~ctx:env.ctx txt with
+      | Callgraph.Def d ->
+        let line, col = loc_of e.pexp_loc in
+        facts.refs <- (d.id, line, col) :: facts.refs;
+        facts.events <- E_call (d.id, line, col) :: facts.events
+      | Callgraph.External name ->
+        (* A primitive used as a value (e.g. passed to an iterator):
+           its non-mutation effects still happen wherever it is
+           applied; attribute them here, conservatively. *)
+        add_prim_effects env name e.pexp_loc
+          (List.filter (function P_mut _ -> false | _ -> true) (prims_of name))
+          ~args:None)
+    | Pexp_apply (f, args) -> (
+      match longident_of f with
+      | Some (Longident.Lident x) when SSet.mem x env.locals || SSet.mem x env.outer
+        ->
+        (* Calling a locally bound function value: unknown summary. *)
+        List.iter (fun (_, a) -> walk env a) args
+      | Some txt -> (
+        (match Callgraph.resolve graph ~ctx:env.ctx txt with
+        | Callgraph.Def d ->
+          let line, col = loc_of e.pexp_loc in
+          facts.calls <-
+            {
+              c_callee = d.id;
+              c_args =
+                List.map (fun (n, a) -> (n, root_of graph env a, a)) (map_args d args);
+              c_line = line;
+              c_col = col;
+            }
+            :: facts.calls;
+          facts.events <- E_call (d.id, line, col) :: facts.events
+        | Callgraph.External name ->
+          add_prim_effects env name e.pexp_loc (prims_of name) ~args:(Some args));
+        List.iter (fun (_, a) -> walk env a) args)
+      | None ->
+        walk env f;
+        List.iter (fun (_, a) -> walk env a) args)
+    | Pexp_setfield (tgt, _, v) ->
+      let line, col = loc_of e.pexp_loc in
+      facts.mutations <-
+        {
+          m_root = root_of graph env tgt;
+          m_atomic = false;
+          m_what = "<- (field assignment)";
+          m_line = line;
+          m_col = col;
+        }
+        :: facts.mutations;
+      walk env tgt;
+      walk env v
+    | Pexp_let (rf, vbs, body) ->
+      let env_rhs =
+        match rf with
+        | Asttypes.Recursive ->
+          List.fold_left (fun acc vb -> bind acc vb.pvb_pat) env vbs
+        | Asttypes.Nonrecursive -> env
+      in
+      List.iter (fun vb -> walk env_rhs vb.pvb_expr) vbs;
+      let env' = List.fold_left (fun acc vb -> bind acc vb.pvb_pat) env vbs in
+      walk env' body
+    | Pexp_fun (_, default, pat, body) ->
+      Option.iter (walk env) default;
+      walk (bind env pat) body
+    | Pexp_function cases -> List.iter (walk_case env) cases
+    | Pexp_match (scrut, cases) ->
+      walk env scrut;
+      List.iter (walk_case env) cases
+    | Pexp_try (body, cases) ->
+      let io_before = List.length facts.io_prims in
+      let calls_before = List.length facts.calls in
+      let refs_before = List.length facts.refs in
+      walk env body;
+      let new_io = List.length facts.io_prims > io_before in
+      let take n l =
+        let rec go i = function
+          | x :: tl when i < n -> x :: go (i + 1) tl
+          | _ -> []
+        in
+        go 0 l
+      in
+      let body_callees =
+        List.map
+          (fun c -> c.c_callee)
+          (take (List.length facts.calls - calls_before) facts.calls)
+        @ List.map
+            (fun (id, _, _) -> id)
+            (take (List.length facts.refs - refs_before) facts.refs)
+      in
+      let swallows =
+        List.filter_map
+          (fun c ->
+            match swallow_pattern c with
+            | Some desc when not (reraises c.pc_rhs) ->
+              let line, col = loc_of c.pc_lhs.ppat_loc in
+              Some (desc, line, col)
+            | _ -> None)
+          cases
+      in
+      facts.tries <-
+        { t_io_direct = new_io; t_callees = body_callees; t_swallows = swallows }
+        :: facts.tries;
+      List.iter (walk_case env) cases
+    | Pexp_for (pat, e1, e2, _, body) ->
+      walk env e1;
+      walk env e2;
+      walk (bind env pat) body
+    | Pexp_while (cond, body) ->
+      walk env cond;
+      walk env body
+    | Pexp_letmodule
+        ( { txt = Some name; _ },
+          { pmod_desc = Pmod_ident { txt; _ }; _ },
+          body ) ->
+      walk
+        { env with ctx = { env.ctx with aliases = (name, txt) :: env.ctx.aliases } }
+        body
+    | Pexp_open
+        ({ popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }, body) ->
+      walk
+        {
+          env with
+          ctx = { env.ctx with opens = Callgraph.flatten txt :: env.ctx.opens };
+        }
+        body
+    | Pexp_assert inner ->
+      facts.raises <- true;
+      walk env inner
+    | _ ->
+      (* Every remaining construct binds nothing: recurse into the
+         immediate subexpressions with the same environment. *)
+      let super = Ast_iterator.default_iterator in
+      let it = { super with expr = (fun _ child -> walk env child) } in
+      super.expr it e
+  and walk_case env c =
+    let env' = bind env c.pc_lhs in
+    Option.iter (walk env') c.pc_guard;
+    walk env' c.pc_rhs
+  in
+  let outer = List.fold_left (fun s v -> SSet.add v s) SSet.empty params in
+  walk { ctx; locals = SSet.empty; outer } expr;
+  facts.events <- List.rev facts.events;
+  facts
+
+(* --- Whole-program analysis -------------------------------------------- *)
+
+type t = {
+  facts : (string, facts) Hashtbl.t;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+let default_sanitizers = [ "Mdr_util.Sorted_tbl." ]
+
+let summary_of t id = Hashtbl.find_opt t.summaries id
+let facts_of t id = Hashtbl.find_opt t.facts id
+
+let analyze ?(sanitizers = default_sanitizers) (graph : Callgraph.t) =
+  let ctx_of_file =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun ((c : Callgraph.file_ctx), _) -> Hashtbl.replace tbl c.file c) graph.Callgraph.ctxs;
+    tbl
+  in
+  let facts_tbl = Hashtbl.create 512 in
+  let summaries = Hashtbl.create 512 in
+  let sanitized id = List.exists (fun p -> starts_with ~prefix:p id) sanitizers in
+  (* Intraprocedural pass. *)
+  List.iter
+    (fun id ->
+      match Callgraph.find_def graph id with
+      | None -> ()
+      | Some d ->
+        let ctx = Hashtbl.find ctx_of_file d.Callgraph.file in
+        let params = List.filter_map (fun (_, n) -> n) d.Callgraph.params in
+        let f = scan_expr graph ~ctx ~params d.Callgraph.body in
+        Hashtbl.replace facts_tbl id f;
+        let s =
+          {
+            nondet = (if sanitized id then [] else List.map (fun (k, p) -> (k, Prim p)) f.nondet_prims);
+            mutates_global =
+              (match f.global_mut_prims with
+              | p :: _ -> Some (Prim p)
+              | [] -> (
+                match
+                  List.find_opt
+                    (fun m ->
+                      (not m.m_atomic)
+                      && match m.m_root with Global _ -> true | _ -> false)
+                    (List.rev f.mutations)
+                with
+                | Some m ->
+                  Some
+                    (Prim
+                       {
+                         p_name = m.m_what;
+                         p_file = f.f_file;
+                         p_line = m.m_line;
+                         p_col = m.m_col;
+                       })
+                | None -> None));
+            mutated_params =
+              List.filter_map
+                (fun m ->
+                  match m.m_root with
+                  | Outer p when not m.m_atomic ->
+                    Some
+                      ( p,
+                        Prim
+                          {
+                            p_name = m.m_what;
+                            p_file = f.f_file;
+                            p_line = m.m_line;
+                            p_col = m.m_col;
+                          } )
+                  | _ -> None)
+                (List.rev f.mutations)
+              |> List.sort_uniq compare;
+            io =
+              (match List.rev f.io_prims with p :: _ -> Some (Prim p) | [] -> None);
+            may_raise = f.raises;
+            calls_fsync = List.exists (function E_fsync -> true | _ -> false) f.events;
+            calls_rename =
+              List.exists (function E_rename _ -> true | _ -> false) f.events;
+          }
+        in
+        (* Keep at most one origin per mutated param. *)
+        let dedup =
+          List.fold_left
+            (fun acc (p, o) -> if List.mem_assoc p acc then acc else (p, o) :: acc)
+            [] s.mutated_params
+        in
+        s.mutated_params <- List.rev dedup;
+        Hashtbl.replace summaries id s)
+    graph.Callgraph.def_order;
+  (* Fixpoint propagation over the call graph. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        match (Hashtbl.find_opt facts_tbl id, Hashtbl.find_opt summaries id) with
+        | Some f, Some s ->
+          let merge_flags ~callee (cs : summary) =
+            if not (sanitized id) then
+              List.iter
+                (fun (k, _) ->
+                  if not (List.mem_assoc k s.nondet) then begin
+                    s.nondet <- (k, Via callee) :: s.nondet;
+                    changed := true
+                  end)
+                cs.nondet;
+            if cs.io <> None && s.io = None then begin
+              s.io <- Some (Via callee);
+              changed := true
+            end;
+            if cs.may_raise && not s.may_raise then begin
+              s.may_raise <- true;
+              changed := true
+            end;
+            if cs.calls_fsync && not s.calls_fsync then begin
+              s.calls_fsync <- true;
+              changed := true
+            end;
+            if cs.calls_rename && not s.calls_rename then begin
+              s.calls_rename <- true;
+              changed := true
+            end;
+            if cs.mutates_global <> None && s.mutates_global = None then begin
+              s.mutates_global <- Some (Via callee);
+              changed := true
+            end
+          in
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt summaries c.c_callee with
+              | None -> ()
+              | Some cs ->
+                merge_flags ~callee:c.c_callee cs;
+                List.iter
+                  (fun (p, _) ->
+                    let arg_root =
+                      List.find_map
+                        (fun (n, r, _) -> if n = p then Some r else None)
+                        c.c_args
+                    in
+                    match arg_root with
+                    | Some (Outer q) ->
+                      if not (List.mem_assoc q s.mutated_params) then begin
+                        s.mutated_params <-
+                          s.mutated_params @ [ (q, Via c.c_callee) ];
+                        changed := true
+                      end
+                    | Some (Global _) ->
+                      if s.mutates_global = None then begin
+                        s.mutates_global <- Some (Via c.c_callee);
+                        changed := true
+                      end
+                    | Some (Local | Free _ | Anon) | None -> ())
+                  cs.mutated_params)
+            f.calls;
+          List.iter
+            (fun (rid, _, _) ->
+              match Hashtbl.find_opt summaries rid with
+              | None -> ()
+              | Some cs ->
+                (* Function passed as a value: its nondet/IO/raise
+                   happen wherever it is applied; parameter mutations
+                   cannot be mapped and are dropped (documented
+                   unsoundness). *)
+                merge_flags ~callee:rid
+                  { cs with mutated_params = []; mutates_global = cs.mutates_global })
+            f.refs
+        | _ -> ())
+      graph.Callgraph.def_order
+  done;
+  { facts = facts_tbl; summaries }
+
+(* --- Witness chains ----------------------------------------------------- *)
+
+let rec nondet_chain t id kind acc =
+  if List.mem id acc then (List.rev acc, None)
+  else
+    match Hashtbl.find_opt t.summaries id with
+    | None -> (List.rev acc, None)
+    | Some s -> (
+      match List.assoc_opt kind s.nondet with
+      | Some (Prim p) -> (List.rev (id :: acc), Some p)
+      | Some (Via callee) -> nondet_chain t callee kind (id :: acc)
+      | None -> (List.rev (id :: acc), None))
+
+let rec global_mut_chain_acc t id acc =
+  if List.mem id acc then (List.rev acc, None)
+  else
+    match Hashtbl.find_opt t.summaries id with
+    | None -> (List.rev acc, None)
+    | Some s -> (
+      match s.mutates_global with
+      | Some (Prim p) -> (List.rev (id :: acc), Some p)
+      | Some (Via callee) -> global_mut_chain_acc t callee (id :: acc)
+      | None -> (List.rev (id :: acc), None))
+
+let nondet_chain t id kind = nondet_chain t id kind []
+let global_mut_chain t id = global_mut_chain_acc t id []

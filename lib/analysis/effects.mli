@@ -1,0 +1,121 @@
+(** Conservative per-function effect summaries and whole-program
+    propagation over {!Callgraph}.
+
+    Each definition gets *facts* (primitive effects, mutations and
+    call sites found in its body) and a *summary* (the facts plus
+    everything inherited from callees at a fixpoint). Summaries carry
+    witness origins so findings can point at the primitive use that
+    introduced an effect, however deep in the call graph.
+
+    Known unsoundness, pinned down by the fixture tests: functions
+    passed as values propagate nondeterminism/IO/raise but not
+    parameter mutations (the argument mapping is unknown), and
+    mutation through values returned by calls is not tracked.
+    [Mdr_util.Sorted_tbl] is the sanctioned determinism barrier and
+    is scrubbed of nondet sources; [Atomic] operations never count as
+    mutations. *)
+
+type nondet_kind =
+  | Hashtbl_order  (** [Hashtbl.iter]/[fold]/[to_seq*]: bucket order *)
+  | Random_state  (** [Random.*]: process-global PRNG *)
+  | Wall_clock  (** [Sys.time], [Unix.gettimeofday], ... *)
+  | Physical_eq  (** [==] / [!=] *)
+  | Marshal_repr  (** [Marshal.*]: representation-dependent bytes *)
+
+val kind_name : nondet_kind -> string
+
+type prim_loc = { p_name : string; p_file : string; p_line : int; p_col : int }
+
+type origin =
+  | Prim of prim_loc  (** the primitive use itself *)
+  | Via of string  (** inherited from this callee *)
+
+type summary = {
+  mutable nondet : (nondet_kind * origin) list;  (** one origin per kind *)
+  mutable mutates_global : origin option;
+  mutable mutated_params : (string * origin) list;
+      (** parameters (by name) this function mutates *)
+  mutable io : origin option;
+  mutable may_raise : bool;
+  mutable calls_fsync : bool;
+  mutable calls_rename : bool;
+}
+
+(** {2 Facts — what one expression does directly} *)
+
+type root =
+  | Local  (** bound inside the walked expression *)
+  | Outer of string  (** one of the walk's starting parameters *)
+  | Global of string  (** module-level value: def id or external path *)
+  | Free of string  (** captured from an enclosing scope *)
+  | Anon  (** complex expression; not tracked *)
+
+type mutation = {
+  m_root : root;
+  m_atomic : bool;
+  m_what : string;
+  m_line : int;
+  m_col : int;
+}
+
+type callsite = {
+  c_callee : string;
+  c_args : (string * root * Parsetree.expression) list;
+      (** callee parameter name, argument root, argument expression *)
+  c_line : int;
+  c_col : int;
+}
+
+type event = E_fsync | E_rename of int * int | E_call of string * int * int
+
+type try_site = {
+  t_io_direct : bool;
+  t_callees : string list;
+  t_swallows : (string * int * int) list;
+      (** pattern description ("catch-all" / "Sys_error" / "Unix_error")
+          and its location, for handlers that do not re-raise *)
+}
+
+type facts = {
+  f_file : string;
+  mutable nondet_prims : (nondet_kind * prim_loc) list;
+  mutable io_prims : prim_loc list;
+  mutable raises : bool;
+  mutable global_mut_prims : prim_loc list;
+  mutable mutations : mutation list;
+  mutable calls : callsite list;
+  mutable refs : (string * int * int) list;
+  mutable events : event list;  (** syntactic traversal order *)
+  mutable tries : try_site list;
+}
+
+val scan_expr :
+  Callgraph.t ->
+  ctx:Callgraph.file_ctx ->
+  params:string list ->
+  Parsetree.expression ->
+  facts
+(** One intraprocedural pass. [params] are the names bound at walk
+    start (a definition's parameters, or a closure's); identifiers
+    outside them that resolve to nothing are classified {!Free} —
+    captures, when the expression is a closure. *)
+
+(** {2 Whole-program analysis} *)
+
+type t
+
+val default_sanitizers : string list
+(** Id prefixes whose summaries are scrubbed of nondet sources
+    (default [Mdr_util.Sorted_tbl.]). *)
+
+val analyze : ?sanitizers:string list -> Callgraph.t -> t
+
+val summary_of : t -> string -> summary option
+val facts_of : t -> string -> facts option
+
+val nondet_chain : t -> string -> nondet_kind -> string list * prim_loc option
+(** [nondet_chain t id kind] follows [Via] origins from [id] down to
+    the primitive witness: the call chain walked, and the primitive if
+    the chain is complete. *)
+
+val global_mut_chain : t -> string -> string list * prim_loc option

@@ -1,4 +1,4 @@
-(* Repo-specific static analysis over our own OCaml sources.
+(* Repo-specific per-file static analysis over our own OCaml sources.
 
    The rules encode invariants the simulator's correctness depends on
    but the type checker cannot see:
@@ -27,9 +27,12 @@
 
    Every rule has an allowlist at [lint/<rule>.allow] ([path] or
    [path:line] lines, [#] comments) so deliberate exceptions are
-   recorded in-tree and reviewed like code. *)
+   recorded in-tree and reviewed like code. Cross-module rules —
+   domain races, determinism taint into fingerprints, crash-safety of
+   the journal/snapshot write paths — are [Check_rules], not here:
+   this pass is deliberately per-file and syntactic. *)
 
-type violation = {
+type violation = Report.finding = {
   rule : string;
   file : string;
   line : int;
@@ -72,16 +75,10 @@ let rules =
 
 let find_rule name = List.find (fun r -> r.name = name) rules
 
-(* --- Scoping and allowlists ----------------------------------------- *)
-
-let normalize path =
-  (* Strip a leading "./" so scopes and allowlists match either form. *)
-  if String.length path >= 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
+(* --- Scoping ---------------------------------------------------------- *)
 
 let in_scope rule ~file =
-  let file = normalize file in
+  let file = Source_walk.normalize file in
   rule.scope = []
   || List.exists
        (fun prefix ->
@@ -89,45 +86,6 @@ let in_scope rule ~file =
          String.length file >= String.length p
          && String.sub file 0 (String.length p) = p)
        rule.scope
-
-type allow = { allow_file : string; allow_line : int option }
-
-let parse_allow_line s =
-  let s = String.trim s in
-  if s = "" || s.[0] = '#' then None
-  else
-    match String.rindex_opt s ':' with
-    | Some i -> (
-      let path = String.sub s 0 i in
-      let tail = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt tail with
-      | Some line -> Some { allow_file = normalize path; allow_line = Some line }
-      | None -> Some { allow_file = normalize s; allow_line = None })
-    | None -> Some { allow_file = normalize s; allow_line = None }
-
-let load_allowlist ~allow_dir rule =
-  let path = Filename.concat allow_dir (rule.name ^ ".allow") in
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let entries = ref [] in
-    (try
-       while true do
-         match parse_allow_line (input_line ic) with
-         | Some a -> entries := a :: !entries
-         | None -> ()
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !entries
-  end
-
-let allowed allows v =
-  List.exists
-    (fun a ->
-      a.allow_file = normalize v.file
-      && match a.allow_line with None -> true | Some l -> l = v.line)
-    allows
 
 (* --- The AST walk ----------------------------------------------------- *)
 
@@ -196,7 +154,9 @@ let scan_structure ~file structure =
     let rule = find_rule rule_name in
     if in_scope rule ~file then begin
       let line, col = loc_of loc in
-      out := { rule = rule_name; file = normalize file; line; col; message } :: !out
+      out :=
+        { rule = rule_name; file = Source_walk.normalize file; line; col; message }
+        :: !out
     end
   in
   let check_expr e =
@@ -251,39 +211,13 @@ let scan_structure ~file structure =
 
 (* --- Driver ----------------------------------------------------------- *)
 
-exception Parse_failure of { file : string; message : string }
-
-let parse_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  try Parse.implementation lexbuf
-  with exn ->
-    raise
-      (Parse_failure
-         { file = path; message = Printexc.to_string exn })
-
 let scan_file ?path ~file () =
   (* [path]: where to read the source (defaults to [file]); [file]: the
      root-relative name used for scoping and reporting. *)
   let path = match path with Some p -> p | None -> file in
-  scan_structure ~file (parse_file path)
+  scan_structure ~file (Source_walk.parse_file path)
 
-let rec ml_files_under dir =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then []
-  else
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.concat_map (fun entry ->
-           let path = Filename.concat dir entry in
-           if Sys.is_directory path then
-             if entry = "_build" || entry.[0] = '.' then [] else ml_files_under path
-           else if Filename.check_suffix entry ".ml" then [ path ]
-           else [])
-
-type stale = {
+type stale = Report.stale = {
   stale_rule : string;
   stale_file : string;
   stale_line : int option;
@@ -296,121 +230,31 @@ type report = {
   stale_allow : stale list;  (* allowlist entries that matched nothing *)
 }
 
-let run ?(dirs = [ "lib"; "bin" ]) ?(allow_dir = "lint") ~root () =
-  let allows =
-    List.map (fun r -> (r.name, load_allowlist ~allow_dir:(Filename.concat root allow_dir) r)) rules
+let run ?(dirs = Source_walk.default_dirs) ?(allow_dir = "lint") ~root () =
+  let files = Source_walk.files ~dirs ~root () in
+  let all = List.concat_map (fun (path, file) -> scan_file ~path ~file ()) files in
+  let violations, suppressed, stale_allow =
+    Report.apply_allowlists
+      ~allow_dir:(Filename.concat root allow_dir)
+      ~rule_names:(List.map (fun r -> r.name) rules)
+      all
   in
-  let files =
-    List.concat_map (fun d -> ml_files_under (Filename.concat root d)) dirs
-  in
-  let strip file =
-    (* Report paths relative to the repo root. *)
-    let r = root ^ "/" in
-    if String.length file > String.length r && String.sub file 0 (String.length r) = r
-    then String.sub file (String.length r) (String.length file - String.length r)
-    else file
-  in
-  let all = List.concat_map (fun f -> scan_file ~path:f ~file:(strip f) ()) files in
-  let kept, suppressed =
-    List.partition (fun v -> not (allowed (List.assoc v.rule allows) v)) all
-  in
-  (* Allowlist hygiene: an entry that suppresses nothing is a stale
-     exception — the code it excused was fixed or moved, and keeping
-     the entry would silently excuse the *next* violation at that
-     spot. Fail on it like any other violation. *)
-  let stale_allow =
-    List.concat_map
-      (fun (rule_name, entries) ->
-        List.filter_map
-          (fun a ->
-            let matches v =
-              v.rule = rule_name
-              && a.allow_file = v.file
-              && match a.allow_line with None -> true | Some l -> l = v.line
-            in
-            if List.exists matches all then None
-            else
-              Some
-                {
-                  stale_rule = rule_name;
-                  stale_file = a.allow_file;
-                  stale_line = a.allow_line;
-                })
-          entries)
-      allows
-  in
-  {
-    files_scanned = List.length files;
-    violations = kept;
-    suppressed = List.length suppressed;
-    stale_allow;
-  }
+  { files_scanned = List.length files; violations; suppressed; stale_allow }
 
 (* --- Rendering --------------------------------------------------------- *)
 
-let render_violation v =
-  Printf.sprintf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+let to_report r =
+  {
+    Report.tool = "lint";
+    files_scanned = r.files_scanned;
+    findings = r.violations;
+    suppressed = r.suppressed;
+    stale_allow = r.stale_allow;
+    rule_infos =
+      List.map (fun ru -> { Report.rule_id = ru.name; about = ru.what }) rules;
+  }
 
-let render_stale s =
-  Printf.sprintf "lint/%s.allow: stale entry %s%s (suppresses nothing; remove it)"
-    s.stale_rule s.stale_file
-    (match s.stale_line with None -> "" | Some l -> Printf.sprintf ":%d" l)
-
-let render report =
-  let b = Buffer.create 256 in
-  List.iter
-    (fun v -> Buffer.add_string b (render_violation v ^ "\n"))
-    report.violations;
-  List.iter
-    (fun s -> Buffer.add_string b (render_stale s ^ "\n"))
-    report.stale_allow;
-  Buffer.add_string b
-    (Printf.sprintf
-       "lint: %d file(s), %d violation(s), %d allowlisted, %d stale allowlist \
-        entr%s\n"
-       report.files_scanned
-       (List.length report.violations)
-       report.suppressed
-       (List.length report.stale_allow)
-       (if List.length report.stale_allow = 1 then "y" else "ies"));
-  Buffer.contents b
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let to_json report =
-  let violation v =
-    Printf.sprintf
-      {|    {"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
-      (json_escape v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
-  in
-  let stale s =
-    Printf.sprintf {|    {"rule": "%s", "file": "%s", "line": %s}|}
-      (json_escape s.stale_rule) (json_escape s.stale_file)
-      (match s.stale_line with None -> "null" | Some l -> string_of_int l)
-  in
-  Printf.sprintf
-    "{\n\
-    \  \"files_scanned\": %d,\n\
-    \  \"suppressed\": %d,\n\
-    \  \"violations\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"stale_allow\": [\n\
-     %s\n\
-    \  ]\n\
-     }\n"
-    report.files_scanned report.suppressed
-    (String.concat ",\n" (List.map violation report.violations))
-    (String.concat ",\n" (List.map stale report.stale_allow))
+let render_violation = Report.render_finding
+let render r = Report.render (to_report r)
+let to_json r = Report.to_json (to_report r)
+let to_sarif r = Report.to_sarif (to_report r)

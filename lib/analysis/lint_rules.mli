@@ -1,4 +1,4 @@
-(** Custom static analysis over the repo's own sources.
+(** Custom per-file static analysis over the repo's own sources.
 
     Parses each [.ml] file with compiler-libs, walks the Parsetree, and
     enforces the repo-specific rules described in the implementation
@@ -7,13 +7,17 @@
     information is used, so the float rule is syntactic and
     deliberately conservative.
 
+    Cross-module rules (domain races, determinism taint, crash-safety)
+    are {!Check_rules}; file discovery and parsing are shared with it
+    through {!Source_walk}, and reports through {!Report}.
+
     Allowlists live at [<root>/lint/<rule>.allow]; each line is a
     [path] (whole file) or [path:line] entry relative to the root, [#]
     starts a comment. *)
 
-type violation = {
+type violation = Report.finding = {
   rule : string;
-  file : string;  (* relative to the scan root *)
+  file : string;  (** relative to the scan root *)
   line : int;
   col : int;
   message : string;
@@ -27,17 +31,15 @@ type rule = {
 
 val rules : rule list
 
-exception Parse_failure of { file : string; message : string }
-
 val scan_file : ?path:string -> file:string -> unit -> violation list
 (** Lint a single file. [path] is where the source is read (defaults
     to [file]); [file] is the root-relative name used for rule scoping
     and in reports. No allowlisting is applied. Raises
-    {!Parse_failure} if the file does not parse. *)
+    {!Source_walk.Parse_failure} if the file does not parse. *)
 
-type stale = {
+type stale = Report.stale = {
   stale_rule : string;
-  stale_file : string;  (* as written in the .allow file, normalized *)
+  stale_file : string;  (** as written in the .allow file, normalized *)
   stale_line : int option;
 }
 (** An allowlist entry that suppressed nothing in this scan: the code
@@ -53,12 +55,18 @@ type report = {
 }
 
 val run : ?dirs:string list -> ?allow_dir:string -> root:string -> unit -> report
-(** Scan every [.ml] file under [root/dirs] (default [lib] and [bin]),
-    apply allowlists from [root/allow_dir] (default [lint]), and
-    report violations with paths relative to [root]. *)
+(** Scan every [.ml] file under [root/dirs] (default
+    {!Source_walk.default_dirs}: lib, bin, examples, test), apply
+    allowlists from [root/allow_dir] (default [lint]), and report
+    violations with paths relative to [root]. *)
+
+val to_report : report -> Report.t
+(** The shared-report view ([tool = "lint"]), for SARIF emission and
+    uniform rendering. *)
 
 val render_violation : violation -> string
 (** [file:line:col: [rule] message] — one line, greppable. *)
 
 val render : report -> string
 val to_json : report -> string
+val to_sarif : report -> string

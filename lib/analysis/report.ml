@@ -1,0 +1,237 @@
+(* One report module for both static passes.
+
+   [Lint_rules] (syntactic, per-file) and [Check_rules] (whole-program
+   effect analysis) produce the same shape of result: findings with a
+   rule id and a location, plus allowlist bookkeeping. Rendering —
+   human text, the machine JSON report, and SARIF 2.1.0 for GitHub
+   code scanning — lives here once so the two passes cannot drift. *)
+
+type finding = {
+  rule : string;
+  file : string;  (* relative to the scan root *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+type stale = {
+  stale_rule : string;
+  stale_file : string;
+  stale_line : int option;
+}
+
+type rule_info = { rule_id : string; about : string }
+
+type t = {
+  tool : string;  (* "lint" or "check"; prefixes the summary line *)
+  files_scanned : int;
+  findings : finding list;  (* after allowlisting *)
+  suppressed : int;  (* allowlisted hits *)
+  stale_allow : stale list;  (* allowlist entries that matched nothing *)
+  rule_infos : rule_info list;  (* one per rule, for SARIF metadata *)
+}
+
+let clean t = t.findings = [] && t.stale_allow = []
+
+(* --- Allowlists -------------------------------------------------------- *)
+
+type allow = { allow_file : string; allow_line : int option }
+
+let parse_allow_line s =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then None
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let path = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt tail with
+      | Some line ->
+        Some { allow_file = Source_walk.normalize path; allow_line = Some line }
+      | None -> Some { allow_file = Source_walk.normalize s; allow_line = None })
+    | None -> Some { allow_file = Source_walk.normalize s; allow_line = None }
+
+let load_allowlist ~allow_dir rule_name =
+  let path = Filename.concat allow_dir (rule_name ^ ".allow") in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         match parse_allow_line (input_line ic) with
+         | Some a -> entries := a :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let allow_matches a (v : finding) =
+  a.allow_file = Source_walk.normalize v.file
+  && match a.allow_line with None -> true | Some l -> l = v.line
+
+(* Partition raw findings into kept and suppressed, and flag stale
+   allowlist entries. An entry that suppresses nothing is a failure
+   too: the code it excused was fixed or moved, and keeping the entry
+   would silently excuse the *next* violation at that spot. *)
+let apply_allowlists ~allow_dir ~rule_names all =
+  let allows = List.map (fun r -> (r, load_allowlist ~allow_dir r)) rule_names in
+  let allows_for rule = try List.assoc rule allows with Not_found -> [] in
+  let kept, suppressed =
+    List.partition
+      (fun v -> not (List.exists (fun a -> allow_matches a v) (allows_for v.rule)))
+      all
+  in
+  let stale_allow =
+    List.concat_map
+      (fun (rule_name, entries) ->
+        List.filter_map
+          (fun a ->
+            if List.exists (fun v -> v.rule = rule_name && allow_matches a v) all
+            then None
+            else
+              Some
+                {
+                  stale_rule = rule_name;
+                  stale_file = a.allow_file;
+                  stale_line = a.allow_line;
+                })
+          entries)
+      allows
+  in
+  (kept, List.length suppressed, stale_allow)
+
+(* --- Text rendering ---------------------------------------------------- *)
+
+let render_finding v =
+  Printf.sprintf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+
+let render_stale s =
+  Printf.sprintf "lint/%s.allow: stale entry %s%s (suppresses nothing; remove it)"
+    s.stale_rule s.stale_file
+    (match s.stale_line with None -> "" | Some l -> Printf.sprintf ":%d" l)
+
+let render t =
+  let b = Buffer.create 256 in
+  List.iter (fun v -> Buffer.add_string b (render_finding v ^ "\n")) t.findings;
+  List.iter (fun s -> Buffer.add_string b (render_stale s ^ "\n")) t.stale_allow;
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s: %d file(s), %d violation(s), %d allowlisted, %d stale allowlist entr%s\n"
+       t.tool t.files_scanned
+       (List.length t.findings)
+       t.suppressed
+       (List.length t.stale_allow)
+       (if List.length t.stale_allow = 1 then "y" else "ies"));
+  Buffer.contents b
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let finding v =
+    Printf.sprintf
+      {|    {"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
+      (json_escape v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
+  in
+  let stale s =
+    Printf.sprintf {|    {"rule": "%s", "file": "%s", "line": %s}|}
+      (json_escape s.stale_rule) (json_escape s.stale_file)
+      (match s.stale_line with None -> "null" | Some l -> string_of_int l)
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"tool\": \"%s\",\n\
+    \  \"files_scanned\": %d,\n\
+    \  \"suppressed\": %d,\n\
+    \  \"violations\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"stale_allow\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (json_escape t.tool) t.files_scanned t.suppressed
+    (String.concat ",\n" (List.map finding t.findings))
+    (String.concat ",\n" (List.map stale t.stale_allow))
+
+(* --- SARIF 2.1.0 ------------------------------------------------------- *)
+
+(* Minimal but valid SARIF for GitHub code scanning: one run, the
+   rules as reportingDescriptors, one result per finding. Stale
+   allowlist entries are reported as results of a synthetic
+   [stale-allowlist-entry] rule so a stale waiver fails the scan the
+   same way a violation does. *)
+let to_sarif t =
+  let rule_descriptor r =
+    Printf.sprintf
+      {|          {"id": "%s", "shortDescription": {"text": "%s"}}|}
+      (json_escape r.rule_id) (json_escape r.about)
+  in
+  let stale_rule =
+    {
+      rule_id = "stale-allowlist-entry";
+      about = "allowlist entry that no longer suppresses anything; remove it";
+    }
+  in
+  let result ~rule ~file ~line ~col ~message =
+    Printf.sprintf
+      {|        {"ruleId": "%s", "level": "error", "message": {"text": "%s"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "%s"}, "region": {"startLine": %d, "startColumn": %d}}}]}|}
+      (json_escape rule) (json_escape message) (json_escape file) (max 1 line)
+      (max 1 (col + 1))
+  in
+  let results =
+    List.map
+      (fun v -> result ~rule:v.rule ~file:v.file ~line:v.line ~col:v.col ~message:v.message)
+      t.findings
+    @ List.map
+        (fun s ->
+          result ~rule:stale_rule.rule_id
+            ~file:(Printf.sprintf "lint/%s.allow" s.stale_rule)
+            ~line:1 ~col:0
+            ~message:
+              (Printf.sprintf "stale entry %s%s suppresses nothing; remove it"
+                 s.stale_file
+                 (match s.stale_line with
+                 | None -> ""
+                 | Some l -> Printf.sprintf ":%d" l)))
+        t.stale_allow
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"mdrsim-%s\",\n\
+    \          \"informationUri\": \"https://github.com/\",\n\
+    \          \"rules\": [\n%s\n\
+    \          ]\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": [\n%s\n\
+    \      ]\n\
+    \    }\n\
+    \  ]\n\
+     }\n"
+    (json_escape t.tool)
+    (String.concat ",\n" (List.map rule_descriptor (t.rule_infos @ [ stale_rule ])))
+    (String.concat ",\n" results)

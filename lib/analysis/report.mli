@@ -1,0 +1,62 @@
+(** Shared findings report for the two static passes.
+
+    Both {!Lint_rules} and {!Check_rules} produce this shape: findings
+    with a rule id and a root-relative location, allowlist bookkeeping,
+    and three renderings — human text, the JSON report, and SARIF
+    2.1.0 for GitHub code scanning. *)
+
+type finding = {
+  rule : string;
+  file : string;  (** relative to the scan root *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+type stale = {
+  stale_rule : string;
+  stale_file : string;
+  stale_line : int option;
+}
+(** An allowlist entry that suppressed nothing in this scan. Stale
+    entries are failures too — left in place they would silently
+    excuse the next violation at that location. *)
+
+type rule_info = { rule_id : string; about : string }
+
+type t = {
+  tool : string;
+  files_scanned : int;
+  findings : finding list;
+  suppressed : int;
+  stale_allow : stale list;
+  rule_infos : rule_info list;
+}
+
+val clean : t -> bool
+(** No findings and no stale allowlist entries. *)
+
+type allow = { allow_file : string; allow_line : int option }
+
+val parse_allow_line : string -> allow option
+(** One [lint/<rule>.allow] line: [path] or [path:line], [#] comments
+    and blanks yield [None]. *)
+
+val load_allowlist : allow_dir:string -> string -> allow list
+(** The entries of [allow_dir/<rule>.allow] (empty if absent). *)
+
+val apply_allowlists :
+  allow_dir:string -> rule_names:string list -> finding list ->
+  finding list * int * stale list
+(** [(kept, suppressed_count, stale_entries)]. *)
+
+val render_finding : finding -> string
+(** [file:line:col: [rule] message] — one line, greppable. *)
+
+val render : t -> string
+val to_json : t -> string
+
+val to_sarif : t -> string
+(** SARIF 2.1.0: one run, rules as reportingDescriptors, one result
+    per finding; stale allowlist entries become results of a synthetic
+    [stale-allowlist-entry] rule so they fail a code scan too. *)

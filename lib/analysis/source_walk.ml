@@ -1,0 +1,119 @@
+(* The one source walker both static passes share.
+
+   [Lint_rules] (per-file syntactic rules) and [Check_rules] (the
+   whole-program effect analyzer) must agree on what "the repo's
+   sources" means: the same directories, the same file discovery
+   order, the same path normalization, the same parser. Centralizing
+   that here is what lets the allowlist convention ([lint/<rule>.allow]
+   with root-relative paths) work identically for both. *)
+
+exception Parse_failure of { file : string; message : string }
+
+(* lib and bin carry the product; examples and test are scanned too
+   because a nondeterministic example or a racy test fixture undermines
+   the same byte-identical claims the product rules guard. *)
+let default_dirs = [ "lib"; "bin"; "examples"; "test" ]
+
+let normalize path =
+  (* Strip a leading "./" so scopes and allowlists match either form. *)
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_root parent
+
+let rec ml_files_under dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           let path = Filename.concat dir entry in
+           if Sys.is_directory path then
+             if entry = "_build" || entry.[0] = '.' then [] else ml_files_under path
+           else if Filename.check_suffix entry ".ml" then [ path ]
+           else [])
+
+let strip ~root file =
+  (* Report paths relative to the repo root. *)
+  let r = root ^ "/" in
+  if String.length file > String.length r && String.sub file 0 (String.length r) = r
+  then String.sub file (String.length r) (String.length file - String.length r)
+  else file
+
+let files ?(dirs = default_dirs) ~root () =
+  List.concat_map (fun d -> ml_files_under (Filename.concat root d)) dirs
+  |> List.map (fun path -> (path, normalize (strip ~root path)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let parse_file path =
+  let src = read_file path in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  try Parse.implementation lexbuf
+  with exn -> raise (Parse_failure { file = path; message = Printexc.to_string exn })
+
+(* --- dune library discovery ------------------------------------------- *)
+
+(* A module's canonical name depends on the wrapping library: a file
+   under a dune [(library (name mdr_util))] is [Mdr_util.Pool] to the
+   rest of the repo, while executable modules (bin, examples, test)
+   stand alone. The parse here is deliberately crude — find "(library"
+   then the first "(name <token>)" after it — which is exactly the
+   shape every dune file in this repo uses. *)
+let library_name_of_dune path =
+  if not (Sys.file_exists path) then None
+  else
+    let src = read_file path in
+    let len = String.length src in
+    let rec find_sub pat i =
+      let pl = String.length pat in
+      if i + pl > len then None
+      else if String.sub src i pl = pat then Some (i + pl)
+      else find_sub pat (i + 1)
+    in
+    match find_sub "(library" 0 with
+    | None -> None
+    | Some i -> (
+      match find_sub "(name" i with
+      | None -> None
+      | Some j ->
+        let rec skip_ws k = if k < len && (src.[k] = ' ' || src.[k] = '\n' || src.[k] = '\t') then skip_ws (k + 1) else k in
+        let s = skip_ws j in
+        let rec tok k =
+          if k < len
+             && (match src.[k] with
+                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+                | _ -> false)
+          then tok (k + 1)
+          else k
+        in
+        let e = tok s in
+        if e > s then Some (String.sub src s (e - s)) else None)
+
+(* The library (if any) owning [dir]: the nearest dune file at [dir]
+   or above (but not above [root]) containing a library stanza. *)
+let rec library_of_dir ~root dir =
+  let dune = Filename.concat dir "dune" in
+  match library_name_of_dune dune with
+  | Some name -> Some name
+  | None ->
+    if dir = root || String.length dir <= String.length root then None
+    else library_of_dir ~root (Filename.dirname dir)
+
+let module_name_of_file path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let canonical_module ~root path =
+  match library_of_dir ~root (Filename.dirname path) with
+  | Some lib -> String.capitalize_ascii lib ^ "." ^ module_name_of_file path
+  | None -> module_name_of_file path

@@ -1,0 +1,46 @@
+(** Shared source discovery, parsing and module naming for the two
+    static passes ({!Lint_rules} and {!Check_rules}).
+
+    Both passes must agree on what "the repo's sources" means — same
+    directories, same discovery order, same path normalization, same
+    parser — or the [lint/<rule>.allow] convention (root-relative
+    paths) would mean different things to each. *)
+
+exception Parse_failure of { file : string; message : string }
+
+val default_dirs : string list
+(** [["lib"; "bin"; "examples"; "test"]] — examples and test are
+    scanned too: a nondeterministic example or racy test fixture
+    undermines the same byte-identical claims the product rules
+    guard. *)
+
+val normalize : string -> string
+(** Strip a leading ["./"] so scopes and allowlists match either
+    spelling. *)
+
+val find_root : string -> string option
+(** Nearest ancestor directory containing [dune-project]. *)
+
+val ml_files_under : string -> string list
+(** Every [.ml] file under a directory, sorted, skipping [_build] and
+    dot-directories. *)
+
+val strip : root:string -> string -> string
+(** Make an absolute path root-relative (identity if not under
+    [root]). *)
+
+val files : ?dirs:string list -> root:string -> unit -> (string * string) list
+(** [(path, relative)] pairs for every [.ml] under [root/dirs]. *)
+
+val parse_file : string -> Parsetree.structure
+(** Parse one file with compiler-libs.
+    @raise Parse_failure when the file does not parse. *)
+
+val library_name_of_dune : string -> string option
+(** The [(name ...)] of the first [(library ...)] stanza in a dune
+    file, if any. *)
+
+val canonical_module : root:string -> string -> string
+(** The repo-wide module path of a source file: a file in a dune
+    library is ["Mdr_util.Pool"]-shaped (wrapped), an executable
+    module (bin, examples, test) stands alone as ["Mdrsim"]. *)

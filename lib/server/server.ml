@@ -174,9 +174,7 @@ let topo_digest topo =
     (Graph.links topo);
   Digest.string (Buffer.contents buf)
 
-let sorted_links t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_state []
-  |> List.sort (fun ((a : int * int), _) (b, _) -> Stdlib.compare a b)
+let sorted_links t = (Mdr_util.Sorted_tbl.bindings t.link_state : ((int * int) * float) list)
 
 let snapshot_payload t =
   let buf = Buffer.create 4096 in

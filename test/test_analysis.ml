@@ -1,15 +1,26 @@
-(* The correctness-tooling layer: the lint rules, the bounded MPDA
+(* The correctness-tooling layer: the per-file lint rules, the
+   whole-program effect checker (mdrsim check), the bounded MPDA
    interleaving checker (plus the LFI oracle's edge cases), and the
    determinism sanitizer. *)
 
 module Lfi = Mdr_routing.Lfi
 module Lint = Mdr_analysis.Lint_rules
+module Check = Mdr_analysis.Check_rules
+module Report = Mdr_analysis.Report
+module Callgraph = Mdr_analysis.Callgraph
+module Effects = Mdr_analysis.Effects
+module Source_walk = Mdr_analysis.Source_walk
 module Interleave = Mdr_analysis.Interleave
 module Determinism = Mdr_analysis.Determinism
 module Graph = Mdr_topology.Graph
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+let contains_s needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 (* --- LFI oracle edge cases --------------------------------------------- *)
 
@@ -142,7 +153,7 @@ let with_temp_repo f =
   in
   List.iter
     (fun d -> Sys.mkdir (Filename.concat root d) 0o755)
-    [ "lib"; "lib/routing"; "bin"; "lint" ];
+    [ "lib"; "lib/routing"; "lib/util"; "lib/server"; "bin"; "lint" ];
   Fun.protect
     ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
     (fun () -> f root)
@@ -261,6 +272,302 @@ let test_lint_json () =
       check "json mentions rule" true (contains "\"obj-magic\"" json);
       check "json carries the location" true (contains "\"line\"" json))
 
+(* --- Whole-program effect checker (mdrsim check) ------------------------ *)
+
+(* A fixture Pool with the same canonical ids as the real one
+   ([lib/util] wrapped by a dune library named mdr_util), so the
+   default pool-fn and sanitizer configuration is exercised as-is. *)
+let write_fixture_util root =
+  write_file
+    (Filename.concat root "lib/util/dune")
+    "(library\n (name mdr_util))\n";
+  write_file
+    (Filename.concat root "lib/util/pool.ml")
+    "let map_array ?jobs f a =\n\
+    \  ignore jobs;\n\
+    \  Array.map f a\n\
+     let init ?jobs n f =\n\
+    \  ignore jobs;\n\
+    \  Array.init n f\n";
+  write_file
+    (Filename.concat root "lib/util/sorted_tbl.ml")
+    "let fold f t init = Hashtbl.fold f t init\n"
+
+let race_fixture_bad =
+  "let total = ref 0\n\
+   let bump_global () = total := !total + 1\n\
+   let fill (dst : float array) i = dst.(i) <- 1.0\n\n\
+   let bad_capture xs =\n\
+  \  let acc = ref 0 in\n\
+  \  Mdr_util.Pool.map_array\n\
+  \    (fun x ->\n\
+  \      acc := !acc + x;\n\
+  \      x)\n\
+  \    xs\n\n\
+   let bad_global xs =\n\
+  \  Mdr_util.Pool.map_array\n\
+  \    (fun x ->\n\
+  \      bump_global ();\n\
+  \      x)\n\
+  \    xs\n\n\
+   let bad_param out xs =\n\
+  \  Mdr_util.Pool.map_array\n\
+  \    (fun i ->\n\
+  \      fill out i;\n\
+  \      i)\n\
+  \    xs\n\n\
+   let bad_random xs = Mdr_util.Pool.map_array (fun x -> x + Random.int 3) xs\n"
+
+let race_fixture_good =
+  "let good_atomic xs =\n\
+  \  let n = Atomic.make 0 in\n\
+  \  let out =\n\
+  \    Mdr_util.Pool.map_array\n\
+  \      (fun x ->\n\
+  \        Atomic.incr n;\n\
+  \        x + 1)\n\
+  \      xs\n\
+  \  in\n\
+  \  (Atomic.get n, out)\n\n\
+   let good_readonly cfg xs = Mdr_util.Pool.map_array (fun x -> x + cfg) xs\n\n\
+   let good_local xs =\n\
+  \  Mdr_util.Pool.map_array\n\
+  \    (fun x ->\n\
+  \      let b = Buffer.create 8 in\n\
+  \      Buffer.add_string b (string_of_int x);\n\
+  \      Buffer.contents b)\n\
+  \    xs\n"
+
+let test_check_domain_race () =
+  with_temp_repo (fun root ->
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/race.ml") race_fixture_bad;
+      write_file (Filename.concat root "lib/good.ml") race_fixture_good;
+      let r = Check.run ~root () in
+      let race =
+        List.filter (fun f -> f.Report.rule = "domain-race") r.Report.findings
+      in
+      check_int "all findings are domain-race" (List.length r.Report.findings)
+        (List.length race);
+      check_int "exactly the four seeded races" 4 (List.length race);
+      List.iter
+        (fun f -> check "race findings point into race.ml" true
+            (String.equal f.Report.file "lib/race.ml"))
+        race;
+      let msgs = String.concat "\n" (List.map (fun f -> f.Report.message) race) in
+      check "captured ref mutation caught" true (contains_s "captured acc" msgs);
+      check "callee global mutation caught" true (contains_s "bump_global" msgs);
+      check "captured arg to mutating param caught" true
+        (contains_s "passes captured out" msgs);
+      check "Random in task caught" true (contains_s "Random.int" msgs))
+
+let taint_fixture =
+  "let helper tbl = Hashtbl.fold (fun k _ acc -> k + acc) tbl 0\n\
+   let fingerprint tbl = string_of_int (helper tbl)\n\n\
+   let sorted_fingerprint tbl =\n\
+  \  string_of_int (Mdr_util.Sorted_tbl.fold (fun k _ acc -> k + acc) tbl 0)\n\n\
+   let clean_fingerprint xs = String.concat \",\" (List.map string_of_int xs)\n"
+
+let test_check_determinism_taint () =
+  with_temp_repo (fun root ->
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/det.ml") taint_fixture;
+      let config =
+        {
+          Check.default_config with
+          sinks =
+            [ "Det.fingerprint"; "Det.sorted_fingerprint"; "Det.clean_fingerprint" ];
+        }
+      in
+      let r = Check.run ~config ~root () in
+      match r.Report.findings with
+      | [ f ] ->
+        check "rule" true (String.equal f.Report.rule "determinism-taint");
+        check "located at the Hashtbl.fold use" true
+          (String.equal f.Report.file "lib/det.ml" && f.Report.line = 1);
+        check "message names source and sink" true
+          (contains_s "Hashtbl.fold" f.Report.message
+          && contains_s "hashtbl-order" f.Report.message
+          && contains_s "Det.fingerprint" f.Report.message);
+        check "message carries the witness chain" true
+          (contains_s "Det.fingerprint -> Det.helper" f.Report.message)
+      | fs ->
+        Alcotest.fail
+          (Printf.sprintf "expected exactly the tainted sink, got %d findings:\n%s"
+             (List.length fs)
+             (String.concat "\n" (List.map Report.render_finding fs))))
+
+let crash_fixture =
+  "let bad_publish path payload =\n\
+  \  let tmp = path ^ \".tmp\" in\n\
+  \  let oc = open_out tmp in\n\
+  \  output_string oc payload;\n\
+  \  close_out oc;\n\
+  \  Sys.rename tmp path\n\n\
+   let good_publish path payload =\n\
+  \  let tmp = path ^ \".tmp\" in\n\
+  \  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in\n\
+  \  let oc = Unix.out_channel_of_descr fd in\n\
+  \  output_string oc payload;\n\
+  \  flush oc;\n\
+  \  Unix.fsync fd;\n\
+  \  close_out oc;\n\
+  \  Sys.rename tmp path\n\n\
+   let checkpoint path payload = good_publish path payload\n\n\
+   let bad_swallow path payload = try good_publish path payload with Sys_error _ -> ()\n\n\
+   let good_escalate path payload =\n\
+  \  try good_publish path payload with Sys_error msg -> failwith msg\n\n\
+   let good_targeted path =\n\
+  \  try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()\n\n\
+   let bad_broad path = try Unix.mkdir path 0o755 with Unix.Unix_error (_, _, _) -> ()\n"
+
+let test_check_crash_safety () =
+  with_temp_repo (fun root ->
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/server/store.ml") crash_fixture;
+      let r = Check.run ~root () in
+      let msgs = List.map Report.render_finding r.Report.findings in
+      check_int
+        (Printf.sprintf "exactly the three seeded violations:\n%s"
+           (String.concat "\n" msgs))
+        3 (List.length r.Report.findings);
+      List.iter
+        (fun f ->
+          check "rule" true (String.equal f.Report.rule "crash-safety");
+          check "file" true (String.equal f.Report.file "lib/server/store.ml"))
+        r.Report.findings;
+      let all = String.concat "\n" msgs in
+      check "rename without fsync caught" true
+        (contains_s "rename without a preceding fsync" all);
+      check "swallowed Sys_error caught" true (contains_s "Sys_error handler" all);
+      check "broad Unix_error caught" true (contains_s "Unix_error handler" all);
+      (* good_publish (fsync first, lines 8-16), checkpoint (fsync via
+         callee, 18), good_escalate (re-raises, 22-23) and
+         good_targeted (specific errno, 25-26) must not be flagged:
+         only the three bad_* lines may appear. *)
+      List.iter
+        (fun f ->
+          check "fsync-first / re-raise / targeted-errno accepted" true
+            (List.mem f.Report.line [ 6; 20; 28 ]))
+        r.Report.findings)
+
+let test_check_allowlist_and_stale () =
+  with_temp_repo (fun root ->
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/race.ml") race_fixture_bad;
+      write_file
+        (Filename.concat root "lint/domain-race.allow")
+        "# the seeded fixture, waived wholesale\n\
+         lib/race.ml\n\
+         lib/race.ml:99\n";
+      let r = Check.run ~root () in
+      check "whole-file entry suppresses all findings" true (r.Report.findings = []);
+      check_int "suppressed count" 4 r.Report.suppressed;
+      (match r.Report.stale_allow with
+      | [ s ] ->
+        check "stale line entry reported" true
+          (String.equal s.Report.stale_rule "domain-race"
+          && String.equal s.Report.stale_file "lib/race.ml"
+          && s.Report.stale_line = Some 99)
+      | ss -> Alcotest.fail (Printf.sprintf "expected 1 stale entry, got %d" (List.length ss)));
+      check "stale entry keeps the report dirty" false (Report.clean r))
+
+let test_effects_summaries () =
+  (* Unit-level checks on the effect lattice itself, through the same
+     fixture the rules see. *)
+  with_temp_repo (fun root ->
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/race.ml") race_fixture_bad;
+      write_file (Filename.concat root "lib/det.ml") taint_fixture;
+      write_file (Filename.concat root "lib/server/store.ml") crash_fixture;
+      let graph = Callgraph.build ~root () in
+      let eff = Effects.analyze graph in
+      let summary id =
+        match Effects.summary_of eff id with
+        | Some s -> s
+        | None -> Alcotest.fail ("no summary for " ^ id)
+      in
+      check "bump_global mutates module state" true
+        ((summary "Race.bump_global").Effects.mutates_global <> None);
+      check "fill mutates its dst parameter" true
+        (List.mem_assoc "dst" (summary "Race.fill").Effects.mutated_params);
+      let gp = summary "Store.good_publish" in
+      check "good_publish does I/O, fsyncs and renames" true
+        (gp.Effects.io <> None && gp.Effects.calls_fsync && gp.Effects.calls_rename);
+      check "checkpoint inherits fsync through the call" true
+        ((summary "Store.checkpoint").Effects.calls_fsync);
+      check "helper is hashtbl-order nondeterministic" true
+        (List.mem_assoc Effects.Hashtbl_order (summary "Det.helper").Effects.nondet);
+      check "fingerprint inherits the taint" true
+        (List.mem_assoc Effects.Hashtbl_order
+           (summary "Det.fingerprint").Effects.nondet);
+      (match Effects.nondet_chain eff "Det.fingerprint" Effects.Hashtbl_order with
+      | chain, Some prim ->
+        check "chain walks sink -> helper" true
+          (chain = [ "Det.fingerprint"; "Det.helper" ]);
+        check "witness is the primitive use" true
+          (String.equal prim.Effects.p_name "Hashtbl.fold"
+          && String.equal prim.Effects.p_file "lib/det.ml")
+      | _, None -> Alcotest.fail "no witness chain for the tainted sink");
+      check "Sorted_tbl is a determinism barrier" true
+        ((summary "Mdr_util.Sorted_tbl.fold").Effects.nondet = []))
+
+let test_sarif_output () =
+  with_temp_repo (fun root ->
+      write_file (Filename.concat root "lib/bad.ml") "let f x = Obj.magic x\n";
+      write_file
+        (Filename.concat root "lint/float-compare.allow")
+        "lib/deleted.ml\n";
+      let sarif = Lint.to_sarif (Lint.run ~root ()) in
+      check "SARIF version" true (contains_s "\"version\": \"2.1.0\"" sarif);
+      check "rule id present" true (contains_s "\"obj-magic\"" sarif);
+      check "finding location present" true (contains_s "lib/bad.ml" sarif);
+      check "stale entries become results" true
+        (contains_s "stale-allowlist-entry" sarif);
+      write_fixture_util root;
+      write_file (Filename.concat root "lib/race.ml") race_fixture_bad;
+      let sarif = Report.to_sarif (Check.run ~root ()) in
+      check "check SARIF names its tool" true (contains_s "mdrsim-check" sarif);
+      check "check SARIF carries domain-race" true (contains_s "domain-race" sarif))
+
+let test_self_scan_clean_and_allowlists_minimal () =
+  (* The repo must pass its own analyzers, and every allowlist entry
+     must still be earning its keep (no stale waivers, no .allow file
+     for a rule that does not exist). *)
+  let rec find_source_root dir =
+    if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir ".git")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_source_root parent
+  in
+  match find_source_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "cannot locate the source root from the test cwd"
+  | Some root ->
+    let lint = Lint.run ~root () in
+    check "lint: repo is clean" true (lint.Lint.violations = []);
+    check "lint: no stale allowlist entries" true (lint.Lint.stale_allow = []);
+    let r = Check.run ~root () in
+    check "check: repo is clean" true (r.Report.findings = []);
+    check "check: no stale allowlist entries" true (r.Report.stale_allow = []);
+    check "check: scanned the whole tree" true (r.Report.files_scanned > 60);
+    (* Every .allow file must belong to a rule some pass actually runs,
+       or a typo'd file would waive nothing forever without failing. *)
+    let known =
+      List.map (fun (ru : Lint.rule) -> ru.Lint.name) Lint.rules
+      @ List.map fst Check.rules
+    in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".allow" then
+          check
+            (Printf.sprintf "lint/%s names a live rule" f)
+            true
+            (List.mem (Filename.chop_suffix f ".allow") known))
+      (Sys.readdir (Filename.concat root "lint"))
+
 (* --- Determinism sanitizer --------------------------------------------- *)
 
 let test_determinism_harness_detects_divergence () =
@@ -312,6 +619,19 @@ let suite =
     Alcotest.test_case "lint: sanctioned float spellings pass" `Quick
       test_lint_clean_and_float_helpers;
     Alcotest.test_case "lint: JSON report" `Quick test_lint_json;
+    Alcotest.test_case "check: domain races in Pool tasks" `Quick
+      test_check_domain_race;
+    Alcotest.test_case "check: determinism taint into sinks" `Quick
+      test_check_determinism_taint;
+    Alcotest.test_case "check: crash-safety of write paths" `Quick
+      test_check_crash_safety;
+    Alcotest.test_case "check: allowlist suppresses, stale fails" `Quick
+      test_check_allowlist_and_stale;
+    Alcotest.test_case "effects: summaries and witness chains" `Quick
+      test_effects_summaries;
+    Alcotest.test_case "report: SARIF output" `Quick test_sarif_output;
+    Alcotest.test_case "self-scan: repo clean, allowlists minimal" `Quick
+      test_self_scan_clean_and_allowlists_minimal;
     Alcotest.test_case "determinism: harness detects divergence" `Quick
       test_determinism_harness_detects_divergence;
     Alcotest.test_case "determinism: fluid SP/OPT" `Slow test_determinism_fluid;

@@ -22,7 +22,7 @@ let converged_check net topo cost =
     let res = Dijkstra.on_graph topo ~root:src ~cost in
     for dst = 0 to n - 1 do
       let d = Dv_router.distance (DvNet.router net src) ~dst in
-      let both_inf = d = infinity && res.dist.(dst) = infinity in
+      let both_inf = Float.equal d infinity && Float.equal res.dist.(dst) infinity in
       if not (both_inf || Float.abs (d -. res.dist.(dst)) < 1e-9) then ok := false
     done
   done;
@@ -167,7 +167,7 @@ let test_horizon_caps_counting () =
   check "direct neighbor reachable" true
     (Float.is_finite (Dv_router.distance r ~dst:1));
   check "beyond-horizon node unreachable" true
-    (Dv_router.distance r ~dst:2 = infinity)
+    (Float.equal (Dv_router.distance r ~dst:2) infinity)
 
 let suite =
   [

@@ -42,9 +42,11 @@ let test_channel_semantics () =
   check "jitter delays within bound" true
     (match jittered with [ d ] -> d >= 0.0 && d <= 0.5 | _ -> false);
   check "quiet_after finds blackout end" true
-    (Channel.quiet_after
-       (Channel.all [ Channel.drop ~p:0.1 (); Channel.blackout ~from_:1.0 ~until_:7.5 ])
-    = 7.5);
+    (Float.equal
+       (Channel.quiet_after
+          (Channel.all
+             [ Channel.drop ~p:0.1 (); Channel.blackout ~from_:1.0 ~until_:7.5 ]))
+       7.5);
   check "bad probability rejected" true
     (try
        ignore (Channel.drop ~p:1.5 ());
@@ -381,8 +383,10 @@ let test_sim_crash_epochs () =
   (match r.epochs with
   | [ before; crashed; after ] ->
     check "epoch bounds cover the run" true
-      (before.Sim.from_ = 0.0 && crashed.Sim.from_ = 15.0 && after.Sim.from_ = 25.0
-      && after.Sim.until_ = 40.0);
+      (Float.equal before.Sim.from_ 0.0
+      && Float.equal crashed.Sim.from_ 15.0
+      && Float.equal after.Sim.from_ 25.0
+      && Float.equal after.Sim.until_ 40.0);
     check "traffic flows before the crash" true (before.Sim.delivered > 0);
     check "traffic flows after the restart" true (after.Sim.delivered > 0);
     check "the crash epoch shows losses" true (crashed.Sim.dropped > 0);

@@ -98,7 +98,7 @@ let test_dijkstra_unreachable () =
   let t = Topo_table.create () in
   Topo_table.set t ~head:0 ~tail:1 ~cost:1.0;
   let r = Dijkstra.on_table ~n:3 ~root:0 t in
-  check "unreachable" true (r.dist.(2) = infinity);
+  check "unreachable" true (Float.equal r.dist.(2) infinity);
   check_int "no parent" (-1) r.parent.(2)
 
 let test_dijkstra_vs_bellman_ford_random () =
@@ -172,7 +172,7 @@ let converged_check net topo cost =
     let res = Dijkstra.on_graph topo ~root:src ~cost in
     for dst = 0 to n - 1 do
       let d = Router.distance (Network.router net src) ~dst in
-      let both_inf = d = infinity && res.dist.(dst) = infinity in
+      let both_inf = Float.equal d infinity && Float.equal res.dist.(dst) infinity in
       if not (both_inf || Float.abs (d -. res.dist.(dst)) < 1e-9) then ok := false
     done
   done;
@@ -265,7 +265,8 @@ let test_router_link_up_sends_full_table () =
     check "needs ack" true (msg.Router.seq <> None);
     check "tree has adjacent link" true
       (List.exists
-         (fun (e : Topo_table.entry) -> e.head = 0 && e.tail = 1 && e.cost = 2.0)
+         (fun (e : Topo_table.entry) ->
+           e.head = 0 && e.tail = 1 && Float.equal e.cost 2.0)
          msg.Router.entries);
     check "now active" false (Router.is_passive r)
   | _ -> Alcotest.fail "expected exactly one full-table LSU"
@@ -342,9 +343,9 @@ let test_router_link_down_clears_state () =
        });
   ignore (Router.handle_link_down r ~nbr:1);
   check "neighbor gone" true (Router.up_neighbors r = []);
-  check "distance infinite" true (Router.distance r ~dst:1 = infinity);
+  check "distance infinite" true (Float.equal (Router.distance r ~dst:1) infinity);
   check "neighbor distance infinite" true
-    (Router.neighbor_distance r ~nbr:1 ~dst:2 = infinity)
+    (Float.equal (Router.neighbor_distance r ~nbr:1 ~dst:2) infinity)
 
 let test_router_drops_msgs_from_down_links () =
   let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in

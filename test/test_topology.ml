@@ -49,8 +49,8 @@ let test_neighbors_order () =
 let test_link_attrs () =
   let g = small () in
   let l = Graph.link_exn g ~src:1 ~dst:2 in
-  check "cap" true (l.capacity = 2e6);
-  check "delay" true (l.prop_delay = 0.002);
+  check "cap" true (Float.equal l.capacity 2e6);
+  check "delay" true (Float.equal l.prop_delay 0.002);
   check "missing" true (Graph.link g ~src:0 ~dst:2 = None)
 
 let test_symmetry () =
@@ -136,7 +136,7 @@ let test_net1_flow_pairs () =
 let test_net1_uniform_links () =
   let g = Net1.topology () in
   check "all 10Mb/s" true
-    (List.for_all (fun (l : Graph.link) -> l.capacity = 10.0e6) (Graph.links g))
+    (List.for_all (fun (l : Graph.link) -> Float.equal l.capacity 10.0e6) (Graph.links g))
 
 (* --- Generators ------------------------------------------------------ *)
 
