@@ -770,6 +770,112 @@ let serve_topo_arg =
   let doc = "Topology: cairn, net1, or a file path." in
   Arg.(value & opt string "cairn" & info [ "topo" ] ~docv:"TOPOLOGY" ~doc)
 
+let describe_alarm = function
+  | Server.Stale { age; budget } ->
+      Printf.sprintf "stale %.1f s (budget %.1f s)" age budget
+  | Server.Replay_lag { records; budget } ->
+      Printf.sprintf "replay lag %d records (budget %d)" records budget
+  | Server.Shedding { shed } -> Printf.sprintf "shed %d updates" shed
+  | Server.Survived_corruption { torn_tails; snapshot_fallbacks } ->
+      Printf.sprintf "survived corruption (%d torn journal tails, %d snapshot fallbacks)"
+        torn_tails snapshot_fallbacks
+
+(* ---- the wire front end: live daemon, client, chaos audit --------- *)
+
+module Wire_transport = Mdr_wire.Transport
+module Wire_server = Mdr_wire.Wire_server
+module Wire_client = Mdr_wire.Client
+module Wire_audit = Mdr_wire.Wire_audit
+
+let describe_wire_alarm = function
+  | Wire_server.Core a -> describe_alarm a
+  | Wire_server.Dead_session { id; idle } ->
+      Printf.sprintf "session %d reaped after %.1f s idle" id idle
+  | Wire_server.Malformed_frames { frames } ->
+      Printf.sprintf "%d corrupt frame stream(s) dropped" frames
+
+let parse_wire_addr spec =
+  let malformed = Error "ADDR must be unix:PATH or tcp:HOST:PORT" in
+  match String.index_opt spec ':' with
+  | None -> malformed
+  | Some i -> (
+      let scheme = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match scheme with
+      | "unix" ->
+          if String.equal rest "" then Error "unix:PATH needs a path"
+          else Ok (Unix.ADDR_UNIX rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error "tcp needs HOST:PORT"
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p >= 0 && p < 65536 -> (
+                  match Unix.inet_addr_of_string host with
+                  | a -> Ok (Unix.ADDR_INET (a, p))
+                  | exception Failure _ -> (
+                      match (Unix.gethostbyname host).Unix.h_addr_list with
+                      | [||] -> Error (Printf.sprintf "cannot resolve host %S" host)
+                      | addrs -> Ok (Unix.ADDR_INET (addrs.(0), p))
+                      | exception Not_found ->
+                          Error (Printf.sprintf "cannot resolve host %S" host)))
+              | _ -> Error (Printf.sprintf "bad port %S" port)))
+      | _ -> malformed)
+
+(* The daemon accept loop: nonblocking listener, one Transport.of_fd
+   per accepted connection, watchdog heartbeat roughly once a second.
+   Returns the wire stats and the logical time at shutdown. *)
+let listen_loop srv ~addr ~once ~max_seconds =
+  let wsrv = Wire_server.create srv in
+  let lsock =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  (match addr with
+  | Unix.ADDR_UNIX path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock addr;
+  Unix.listen lsock 16;
+  Unix.set_nonblock lsock;
+  (match Unix.getsockname lsock with
+  | Unix.ADDR_UNIX p -> Printf.printf "listening on unix:%s\n%!" p
+  | Unix.ADDR_INET (a, p) ->
+      Printf.printf "listening on tcp:%s:%d\n%!" (Unix.string_of_inet_addr a) p);
+  let t0 = Unix.gettimeofday () in
+  let last_beat = ref 0.0 in
+  let now = ref 0.0 in
+  let stop = ref false in
+  while not !stop do
+    now := Unix.gettimeofday () -. t0;
+    (match Unix.accept ~cloexec:true lsock with
+    | fd, _ ->
+        let id = Wire_server.attach wsrv ~now:!now (Wire_transport.of_fd fd) in
+        Printf.printf "session %d connected\n%!" id
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ());
+    ignore (Wire_server.step wsrv ~now:!now);
+    if !now -. !last_beat >= 1.0 then begin
+      last_beat := !now;
+      List.iter
+        (fun a -> Printf.printf "  alarm: %s\n%!" (describe_wire_alarm a))
+        (Wire_server.heartbeat wsrv ~now:!now)
+    end;
+    if once
+       && (Wire_server.stats wsrv).Wire_server.opened > 0
+       && Wire_server.sessions wsrv = 0
+    then stop := true;
+    if max_seconds > 0.0 && !now >= max_seconds then stop := true;
+    if not !stop then
+      try Unix.sleepf 0.002 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Unix.close lsock;
+  (match addr with
+  | Unix.ADDR_UNIX path -> ( try Sys.remove path with Sys_error _ -> ())
+  | _ -> ());
+  (Wire_server.stats wsrv, !now)
+
 let serve_cmd =
   let dir_arg =
     let doc = "State directory (journal + snapshot)." in
@@ -803,12 +909,42 @@ let serve_cmd =
                $(docv) (a router name or index)." in
     Arg.(value & opt (some string) None & info [ "routes" ] ~docv:"SRC" ~doc)
   in
-  let run topo_name dir resume updates seed snapshot_every queue routes_from =
-    if updates < 0 || snapshot_every < 0 || queue < 1 then begin
-      prerr_endline "serve: --updates/--snapshot-every must be >= 0, --queue >= 1";
-      2
-    end
-    else begin
+  let listen_arg =
+    let doc = "Serve the framed wire protocol on $(docv) (unix:PATH or \
+               tcp:HOST:PORT) instead of replaying a seeded stream; \
+               clients connect with $(b,mdrsim wire-client)." in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let once_arg =
+    let doc = "With $(b,--listen): shut down cleanly once at least one \
+               session has come and gone." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let max_seconds_arg =
+    let doc = "With $(b,--listen): hard wall-clock cap on the daemon \
+               (0 = run until $(b,--once) fires or the process is killed)." in
+    Arg.(value & opt float 0.0 & info [ "max-seconds" ] ~docv:"S" ~doc)
+  in
+  let run topo_name dir resume updates seed snapshot_every queue routes_from
+      listen once max_seconds =
+    let addr =
+      match listen with
+      | None -> Ok None
+      | Some spec -> Result.map Option.some (parse_wire_addr spec)
+    in
+    match addr with
+    | Error msg ->
+        prerr_endline ("serve: " ^ msg);
+        2
+    | Ok _
+      when updates < 0 || snapshot_every < 0 || queue < 1
+           || (not (Float.is_finite max_seconds))
+           || max_seconds < 0.0 ->
+        prerr_endline
+          "serve: --updates/--snapshot-every/--max-seconds must be >= 0, \
+           --queue >= 1";
+        2
+    | Ok addr -> begin
       let topo = named_topo topo_name in
       let cost = Procfault.default_base_cost in
       let config =
@@ -827,29 +963,29 @@ let serve_cmd =
             (if info.Server.torn_skipped then ", torn tail skipped" else "")
             (info.Server.duration *. 1e3)
       | None -> Printf.printf "fresh server: seq 0\n");
-      let stream =
-        Procfault.stream
-          ~rng:(Mdr_util.Rng.create ~seed)
-          ~topo ~updates ()
+      let wire_stats =
+        match addr with
+        | Some addr ->
+            let stats, _shutdown = listen_loop srv ~addr ~once ~max_seconds in
+            Some stats
+        | None ->
+            let stream =
+              Procfault.stream
+                ~rng:(Mdr_util.Rng.create ~seed)
+                ~topo ~updates ()
+            in
+            List.iteri
+              (fun i u ->
+                let now = float_of_int (i + 1) in
+                Server.offer srv ~now (server_update u);
+                ignore (Server.poll srv ~now);
+                List.iter
+                  (fun alarm ->
+                    Printf.printf "  alarm: %s\n" (describe_alarm alarm))
+                  (Server.heartbeat srv ~now:(now +. 0.5)))
+              stream;
+            None
       in
-      List.iteri
-        (fun i u ->
-          let now = float_of_int (i + 1) in
-          Server.offer srv ~now (server_update u);
-          ignore (Server.poll srv ~now);
-          List.iter
-            (fun alarm ->
-              match alarm with
-              | Server.Stale { age; budget } ->
-                  Printf.printf "  alarm: stale %.1f s (budget %.1f s)\n" age
-                    budget
-              | Server.Replay_lag { records; budget } ->
-                  Printf.printf "  alarm: replay lag %d records (budget %d)\n"
-                    records budget
-              | Server.Shedding { shed } ->
-                  Printf.printf "  alarm: shed %d updates\n" shed)
-            (Server.heartbeat srv ~now:(now +. 0.5)))
-        stream;
       let now = float_of_int (updates + 1) in
       (* drain any held-down cost updates before shutting down *)
       let guard = ref 0 in
@@ -867,13 +1003,26 @@ let serve_cmd =
       Server.checkpoint srv;
       let h = Server.health srv ~now:!now in
       let ok = Server.lfi_ok srv && Server.settled srv in
-      Printf.printf
-        "served %d updates: seq %d, snapshot at %d, %d shed, %d coalesced, %d \
-         absorbed\nfingerprint %s\n"
-        updates (Server.seq srv) h.Server.snap_seq h.Server.ingest.Mdr_server.Ingest.shed
-        h.Server.ingest.Mdr_server.Ingest.coalesced
-        h.Server.ingest.Mdr_server.Ingest.absorbed
-        (Server.fingerprint srv);
+      (match wire_stats with
+      | Some st ->
+          Printf.printf
+            "wire: %d sessions (%d reaped, %d closed), %d frames, %d applied, \
+             %d duplicates, %d rejects, %d malformed\n\
+             served to seq %d, snapshot at %d\nfingerprint %s\n"
+            st.Wire_server.opened st.Wire_server.reaped st.Wire_server.closed
+            st.Wire_server.frames st.Wire_server.applied
+            st.Wire_server.duplicates st.Wire_server.rejects
+            st.Wire_server.malformed (Server.seq srv) h.Server.snap_seq
+            (Server.fingerprint srv)
+      | None ->
+          Printf.printf
+            "served %d updates: seq %d, snapshot at %d, %d shed, %d coalesced, \
+             %d absorbed\nfingerprint %s\n"
+            updates (Server.seq srv) h.Server.snap_seq
+            h.Server.ingest.Mdr_server.Ingest.shed
+            h.Server.ingest.Mdr_server.Ingest.coalesced
+            h.Server.ingest.Mdr_server.Ingest.absorbed
+            (Server.fingerprint srv));
       (match routes_from with
       | None -> ()
       | Some spec ->
@@ -916,10 +1065,12 @@ let serve_cmd =
        ~doc:
          "Run the crash-safe route-server over a seeded update stream \
           (journal + snapshots under --dir), then shut down cleanly; \
-          --resume restores and continues.")
+          --resume restores and continues; --listen serves the framed \
+          wire protocol on a Unix-domain or TCP socket instead.")
     Term.(
       const run $ serve_topo_arg $ dir_arg $ resume_arg $ updates_arg
-      $ seed_arg $ snap_arg $ queue_arg $ routes_arg)
+      $ seed_arg $ snap_arg $ queue_arg $ routes_arg $ listen_arg $ once_arg
+      $ max_seconds_arg)
 
 let serve_audit_cmd =
   let dir_arg =
@@ -1092,6 +1243,255 @@ let serve_audit_cmd =
       const run $ serve_topo_arg $ dir_arg $ updates_arg $ kills_arg
       $ audit_seeds_arg $ intensities_arg $ budget_arg $ out_arg)
 
+let wire_client_cmd =
+  let connect_arg =
+    let doc = "Server address (unix:PATH or tcp:HOST:PORT)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let updates_arg =
+    let doc = "Stream this many seeded updates, then fetch the server \
+               fingerprint and disconnect." in
+    Arg.(value & opt int 20 & info [ "updates" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the update stream (and backoff jitter)." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let max_seconds_arg =
+    let doc = "Give up after this much wall-clock time." in
+    Arg.(value & opt float 60.0 & info [ "max-seconds" ] ~docv:"S" ~doc)
+  in
+  let run topo_name connect updates seed max_seconds =
+    if updates < 1 || (not (Float.is_finite max_seconds)) || max_seconds <= 0.0
+    then begin
+      prerr_endline "wire-client: need --updates >= 1, --max-seconds > 0";
+      2
+    end
+    else
+      match parse_wire_addr connect with
+      | Error msg ->
+          prerr_endline ("wire-client: " ^ msg);
+          2
+      | Ok addr ->
+          (* The stream must be built against the same --topo the server
+             runs, or submits are rejected as referencing unknown nodes. *)
+          let topo = named_topo topo_name in
+          let stream =
+            Array.of_list
+              (List.map server_update
+                 (Procfault.stream
+                    ~rng:(Mdr_util.Rng.create ~seed)
+                    ~topo ~updates ()))
+          in
+          let dial ~now:_ =
+            let fd =
+              Unix.socket ~cloexec:true
+                (Unix.domain_of_sockaddr addr)
+                Unix.SOCK_STREAM 0
+            in
+            match Unix.connect fd addr with
+            | () -> Some (Wire_transport.of_fd fd)
+            | exception
+                Unix.Unix_error
+                  ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT
+                    | Unix.ETIMEDOUT | Unix.EHOSTUNREACH | Unix.ENETUNREACH
+                    | Unix.EAGAIN | Unix.EINTR ),
+                    _,
+                    _ ) ->
+                Unix.close fd;
+                None
+          in
+          let client =
+            Wire_client.create
+              ~rng:(Mdr_util.Rng.create ~seed)
+              ~dial ~updates:stream ()
+          in
+          let t0 = Unix.gettimeofday () in
+          let timed_out = ref false in
+          while (not (Wire_client.finished client)) && not !timed_out do
+            let now = Unix.gettimeofday () -. t0 in
+            if now > max_seconds then timed_out := true
+            else begin
+              Wire_client.step client ~now;
+              try Unix.sleepf 0.002
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            end
+          done;
+          let st = Wire_client.stats client in
+          Printf.printf
+            "client: %d sent (+%d retries), %d acked, %d fast-forwarded, %d \
+             reconnects, %d dial failures\n"
+            st.Wire_client.sent st.Wire_client.retries st.Wire_client.acked
+            st.Wire_client.fast_forwarded st.Wire_client.reconnects
+            st.Wire_client.dial_failures;
+          (match Wire_client.fingerprint client with
+          | Some fp -> Printf.printf "server fingerprint %s\n" fp
+          | None -> ());
+          let ok =
+            match Wire_client.phase client with
+            | Wire_client.Done -> true
+            | _ -> false
+          in
+          (match Wire_client.phase client with
+          | Wire_client.Failed msg ->
+              Printf.printf "wire-client: FAIL (%s)\n" msg
+          | _ ->
+              Printf.printf "wire-client: %s\n"
+                (if ok then "PASS (stream durable, fingerprint fetched)"
+                 else "FAIL (timed out)"));
+          exit_of_ok ok
+  in
+  Cmd.v
+    (Cmd.info "wire-client"
+       ~doc:
+         "Stream seeded updates into a running $(b,mdrsim serve --listen) \
+          daemon over the resumable wire protocol: timeouts, retries, \
+          reconnects and resume are automatic.")
+    Term.(
+      const run $ serve_topo_arg $ connect_arg $ updates_arg $ seed_arg
+      $ max_seconds_arg)
+
+let serve_wire_audit_cmd =
+  let dir_arg =
+    let doc = "Scratch directory for the audit's server states." in
+    Arg.(
+      value & opt string "_serve_wire_audit" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let updates_arg =
+    let doc = "Updates per audit run." in
+    Arg.(value & opt int 60 & info [ "updates" ] ~docv:"N" ~doc)
+  in
+  let audit_seeds_arg =
+    let doc = "Comma-separated seeds; one reference-vs-chaos session per \
+               (seed, intensity) cell." in
+    Arg.(
+      value
+      & opt seeds_conv [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+  in
+  let intensities_arg =
+    let doc = "Comma-separated chaos intensities scaling the fault-line \
+               probabilities (0 = clean wire)." in
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 1.0; 2.0 ]
+      & info [ "intensities" ] ~docv:"LIST" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the JSON report." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run topo_name dir updates seeds intensities out =
+    if updates < 1 || seeds = [] || intensities = []
+       || List.exists
+            (fun i -> (not (Float.is_finite i)) || i < 0.0)
+            intensities
+    then begin
+      prerr_endline
+        "serve-wire-audit: need --updates >= 1, non-empty seeds, finite \
+         intensities >= 0";
+      2
+    end
+    else begin
+      let topo = named_topo topo_name in
+      Printf.printf
+        "serve-wire-audit: %s, %d updates per run, seeds {%s}, intensities \
+         {%s}\n\n"
+        topo_name updates
+        (String.concat ", " (List.map string_of_int seeds))
+        (String.concat ", " (List.map (Printf.sprintf "%g") intensities));
+      let results =
+        Wire_audit.run_grid ~updates ~dir ~topo ~seeds ~intensities ()
+      in
+      print_string (Wire_audit.report results);
+      let slo = Wire_audit.slo_by_intensity results in
+      Printf.printf "\nreconnect SLO by intensity (pooled):\n%s"
+        (Mdr_util.Tab.render
+           ~header:[ "intensity"; "samples"; "p50 s"; "p95 s"; "max s" ]
+           (List.map
+              (fun (i, (s : Mdr_faults.Recovery.slo)) ->
+                [
+                  Printf.sprintf "%g" i;
+                  string_of_int s.Mdr_faults.Recovery.count;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.p50;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.p95;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.max_;
+                ])
+              slo));
+      let run_json (r : Wire_audit.result) =
+        Printf.sprintf
+          "    {\"seed\": %d, \"intensity\": %g, \"ok\": %b, \
+           \"client_done\": %b, \"fingerprint_ok\": %b, \
+           \"exactly_once\": %b, \"lfi_ok\": %b, \"settled\": %b, \
+           \"reconnects\": %d, \"dial_failures\": %d, \"retries\": %d, \
+           \"fast_forwarded\": %d, \"duplicates\": %d, \"malformed\": %d, \
+           \"reaped\": %d, \"chaos_chunks\": %d, \"chaos_flips\": %d, \
+           \"chaos_truncations\": %d, \"chaos_duplicates\": %d, \
+           \"chaos_delays\": %d, \"chaos_stalls\": %d, \
+           \"chaos_disconnects\": %d, \"reconnect_count\": %d, \
+           \"reconnect_p50_s\": %.4f, \"reconnect_p95_s\": %.4f, \
+           \"reconnect_max_s\": %.4f, \"wall_s\": %.2f}"
+          r.Wire_audit.seed r.Wire_audit.intensity r.Wire_audit.ok
+          r.Wire_audit.client_done r.Wire_audit.fingerprint_ok
+          r.Wire_audit.exactly_once r.Wire_audit.lfi r.Wire_audit.settled
+          r.Wire_audit.reconnects r.Wire_audit.dial_failures
+          r.Wire_audit.retries r.Wire_audit.fast_forwarded
+          r.Wire_audit.duplicates r.Wire_audit.malformed r.Wire_audit.reaped
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.chunks
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.flips
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.truncations
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.duplicates
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.delays
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.stalls
+          r.Wire_audit.chaos.Mdr_faults.Wirefault.disconnects
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.count
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p50
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p95
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.max_
+          r.Wire_audit.wall_s
+      in
+      let slo_json (i, (s : Mdr_faults.Recovery.slo)) =
+        Printf.sprintf
+          "    {\"intensity\": %g, \"count\": %d, \"p50_s\": %.4f, \
+           \"p95_s\": %.4f, \"max_s\": %.4f}"
+          i s.Mdr_faults.Recovery.count s.Mdr_faults.Recovery.p50
+          s.Mdr_faults.Recovery.p95 s.Mdr_faults.Recovery.max_
+      in
+      let oc = open_out out in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"serve-wire-chaos\",\n  \"topology\": %S,\n  \
+         \"updates\": %d,\n  \"runs\": [\n%s\n  ],\n  \
+         \"reconnect_slo_by_intensity\": [\n%s\n  ]\n}\n"
+        topo_name updates
+        (String.concat ",\n" (List.map run_json results))
+        (String.concat ",\n" (List.map slo_json slo));
+      close_out oc;
+      Printf.printf "\nwrote %s\n" out;
+      let ok = List.for_all (fun (r : Wire_audit.result) -> r.Wire_audit.ok) results in
+      Printf.printf "\nserve-wire-audit: %s\n"
+        (if ok then
+           "PASS (every session recovered, fingerprints byte-identical, \
+            exactly-once, LFI clean)"
+         else "FAIL (a chaos session diverged, stalled, or violated LFI)");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve-wire-audit"
+       ~doc:
+         "Wire-chaos audit: stream seeded updates through the framed \
+          protocol over fault-injected transports (flips, truncation, \
+          duplication, delay, stalls, mid-frame disconnects), assert the \
+          final state is byte-identical to a chaos-free reference with \
+          exactly-once applies, and bench reconnect SLOs into \
+          BENCH_serve.json.")
+    Term.(
+      const run $ serve_topo_arg $ dir_arg $ updates_arg $ audit_seeds_arg
+      $ intensities_arg $ out_arg)
+
 let dot_cmd =
   let topo_arg =
     let doc = "Topology: cairn, net1, or a file path." in
@@ -1147,6 +1547,8 @@ let cmds =
     overload_cmd;
     serve_cmd;
     serve_audit_cmd;
+    wire_client_cmd;
+    serve_wire_audit_cmd;
     lint_cmd;
     check_cmd;
     verify_cmd;

@@ -57,7 +57,7 @@ let default_config =
         "Mdr_server.Codec.frame";
         "Mdr_server.Codec.header";
       ];
-    crash_scope = [ "lib/server/" ];
+    crash_scope = [ "lib/server/"; "lib/wire/" ];
   }
 
 let rules =

@@ -20,7 +20,8 @@ type config = {
 val default_config : config
 (** [Mdr_util.Pool.{map_array,mapi_array,init,map_list}] with task
     parameter [f]; the router/campaign/server fingerprint, digest and
-    encode functions as sinks; crash-safety scoped to [lib/server/]. *)
+    encode functions as sinks; crash-safety scoped to [lib/server/]
+    and [lib/wire/]. *)
 
 val rules : (string * string) list
 (** (rule name, one-line description) — [domain-race],

@@ -1,0 +1,148 @@
+(* Seeded byte-stream chaos for the wire protocol. Pure function of
+   the Rng stream: no wall clock, no transport types. *)
+
+module Rng = Mdr_util.Rng
+
+type params = {
+  flip : float;
+  truncate : float;
+  duplicate : float;
+  delay : float;
+  max_delay : float;
+  stall : float;
+  max_stall : float;
+  disconnect : float;
+}
+
+let default_params =
+  {
+    flip = 0.03;
+    truncate = 0.02;
+    duplicate = 0.03;
+    delay = 0.08;
+    max_delay = 0.3;
+    stall = 0.015;
+    max_stall = 1.0;
+    disconnect = 0.02;
+  }
+
+let scale p ~intensity =
+  if not (Float.is_finite intensity) || intensity < 0.0 then
+    invalid_arg "Wirefault.scale: intensity must be finite and >= 0";
+  let s x = Float.min 0.95 (x *. intensity) in
+  {
+    p with
+    flip = s p.flip;
+    truncate = s p.truncate;
+    duplicate = s p.duplicate;
+    delay = s p.delay;
+    stall = s p.stall;
+    disconnect = s p.disconnect;
+  }
+
+type counts = {
+  chunks : int;
+  flips : int;
+  truncations : int;
+  duplicates : int;
+  delays : int;
+  stalls : int;
+  disconnects : int;
+}
+
+let zero_counts =
+  {
+    chunks = 0;
+    flips = 0;
+    truncations = 0;
+    duplicates = 0;
+    delays = 0;
+    stalls = 0;
+    disconnects = 0;
+  }
+
+let add_counts a b =
+  {
+    chunks = a.chunks + b.chunks;
+    flips = a.flips + b.flips;
+    truncations = a.truncations + b.truncations;
+    duplicates = a.duplicates + b.duplicates;
+    delays = a.delays + b.delays;
+    stalls = a.stalls + b.stalls;
+    disconnects = a.disconnects + b.disconnects;
+  }
+
+type t = {
+  rng : Rng.t;
+  params : params;
+  mutable stall_until : float;
+  mutable dead : bool;
+  mutable counts : counts;
+}
+
+let create ?(params = default_params) ~rng () =
+  { rng; params; stall_until = neg_infinity; dead = false; counts = zero_counts }
+
+let dead t = t.dead
+let counts t = t.counts
+let hit t p = p > 0.0 && Rng.float t.rng < p
+
+(* Flip one random bit of [s]. *)
+let flip_bit t s =
+  let b = Bytes.of_string s in
+  let i = Rng.int t.rng ~bound:(Bytes.length b) in
+  let bit = Rng.int t.rng ~bound:8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+  Bytes.unsafe_to_string b
+
+(* A strict non-empty prefix of [s] when its length allows one. *)
+let prefix t s =
+  let n = String.length s in
+  if n < 2 then s else String.sub s 0 (1 + Rng.int t.rng ~bound:(n - 1))
+
+let transform t ~now chunk =
+  if String.length chunk = 0 then invalid_arg "Wirefault.transform: empty chunk";
+  if t.dead then []
+  else begin
+    let c = t.counts in
+    t.counts <- { c with chunks = c.chunks + 1 };
+    let p = t.params in
+    (* Disconnect wins over everything: a strict prefix (possibly
+       nothing) gets out, then the line is dead. *)
+    if hit t p.disconnect then begin
+      t.counts <- { t.counts with disconnects = t.counts.disconnects + 1 };
+      t.dead <- true;
+      let keep = Rng.int t.rng ~bound:(String.length chunk) in
+      if keep = 0 then [] else [ (Float.max now t.stall_until, String.sub chunk 0 keep) ]
+    end
+    else begin
+      let body = ref chunk in
+      if hit t p.flip then begin
+        t.counts <- { t.counts with flips = t.counts.flips + 1 };
+        body := flip_bit t !body
+      end;
+      if hit t p.truncate then begin
+        t.counts <- { t.counts with truncations = t.counts.truncations + 1 };
+        body := prefix t !body
+      end;
+      if hit t p.stall then begin
+        t.counts <- { t.counts with stalls = t.counts.stalls + 1 };
+        t.stall_until <-
+          Float.max t.stall_until (now +. Rng.uniform t.rng ~lo:(0.25 *. p.max_stall) ~hi:p.max_stall)
+      end;
+      let base = Float.max now t.stall_until in
+      let at =
+        if hit t p.delay then begin
+          t.counts <- { t.counts with delays = t.counts.delays + 1 };
+          base +. Rng.uniform t.rng ~lo:0.0 ~hi:p.max_delay
+        end
+        else base
+      in
+      let out = [ (at, !body) ] in
+      if hit t p.duplicate then begin
+        t.counts <- { t.counts with duplicates = t.counts.duplicates + 1 };
+        out @ [ (base +. Rng.uniform t.rng ~lo:0.0 ~hi:p.max_delay, !body) ]
+      end
+      else out
+    end
+  end

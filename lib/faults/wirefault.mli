@@ -1,0 +1,66 @@
+(** Seeded byte-stream chaos for the route-server wire protocol.
+
+    A {!t} ("line") sits on one direction of a connection and decides,
+    per transmitted chunk, which transport-level misfortunes strike it:
+    single-bit flips, tail truncation, duplication, delivery delay
+    (which opens reordering windows against undelayed later chunks),
+    stalls that hold {e every} subsequent delivery, and mid-chunk
+    disconnects that cut the connection after a strict prefix.
+
+    Like every fault model in this library the line is a pure function
+    of its {!Mdr_util.Rng} stream: the same seed reproduces the same
+    carnage byte for byte, which is what lets the wire audit compare a
+    chaos run against a chaos-free reference. The line knows nothing
+    about transports or frames — it maps [(now, chunk)] to a list of
+    [(deliver_at, bytes)]; the wire layer wires it under its transport
+    abstraction. *)
+
+type params = {
+  flip : float;  (** P(flip one random bit of a chunk) *)
+  truncate : float;  (** P(cut a chunk to a strict non-empty prefix) *)
+  duplicate : float;  (** P(deliver a chunk a second time, delayed) *)
+  delay : float;  (** P(hold a chunk up to [max_delay]) *)
+  max_delay : float;
+  stall : float;
+      (** P(open a stall window: this and every later chunk delivered
+          no earlier than the window's end) *)
+  max_stall : float;
+  disconnect : float;  (** P(deliver a strict prefix, then cut the line) *)
+}
+
+val default_params : params
+(** Modest rates (a few percent per chunk) sized so a 60-update session
+    sees every fault kind across a 12-seed grid. *)
+
+val scale : params -> intensity:float -> params
+(** Multiply every probability by [intensity] (clamped to [0, 0.95];
+    durations unchanged). [intensity = 0] is a transparent line.
+    Requires [intensity >= 0]. *)
+
+type counts = {
+  chunks : int;
+  flips : int;
+  truncations : int;
+  duplicates : int;
+  delays : int;
+  stalls : int;
+  disconnects : int;
+}
+
+val zero_counts : counts
+val add_counts : counts -> counts -> counts
+
+type t
+
+val create : ?params:params -> rng:Mdr_util.Rng.t -> unit -> t
+
+val transform : t -> now:float -> string -> (float * string) list
+(** The deliveries for one sent chunk: [(deliver_at, bytes)] with
+    [deliver_at >= now], possibly mutated, duplicated or empty. After
+    the line draws a disconnect it is {!dead} and every later chunk
+    yields []. Requires a non-empty chunk. *)
+
+val dead : t -> bool
+(** The line drew a disconnect; the caller should close the transport. *)
+
+val counts : t -> counts

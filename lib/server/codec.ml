@@ -72,8 +72,14 @@ let read_record ic =
   | Some hdr -> (
       let len = Int32.to_int (String.get_int32_be hdr 0) in
       let crc = String.get_int32_be hdr 4 in
+      (* A hostile or torn length word must not drive Bytes.create: cap
+         it both absolutely and by the bytes actually left in the file,
+         so a flipped high bit costs a Torn, not a giant allocation. *)
+      let remaining = in_channel_length ic - pos_in ic in
       if len < 0 || len > max_record_len then
         Torn (Printf.sprintf "implausible record length %d" len)
+      else if len > remaining then
+        Torn (Printf.sprintf "record length %d exceeds remaining %d bytes" len remaining)
       else
         match really_read ic len with
         | None -> Torn "short record payload"

@@ -38,4 +38,7 @@ type read =
 
 val read_record : in_channel -> read
 (** Read one record at the channel's current position. After [Torn] the
-    channel position is unspecified; callers stop reading. *)
+    channel position is unspecified; callers stop reading. A declared
+    length that is implausible or exceeds the bytes remaining in the
+    file is classified [Torn] {e before} any allocation, so a hostile
+    or bit-flipped length word cannot drive a giant [Bytes.create]. *)

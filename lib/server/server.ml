@@ -43,6 +43,11 @@ type restore_info = {
   duration : float;
 }
 
+type corruption = { torn_tails : int; snapshot_fallbacks : int }
+
+let zero_corruption = { torn_tails = 0; snapshot_fallbacks = 0 }
+let corruption_events c = c.torn_tails + c.snapshot_fallbacks
+
 type health = {
   seq : int;
   snap_seq : int;
@@ -54,12 +59,14 @@ type health = {
   heartbeats : int;
   ingest : Ingest.stats;
   last_restore : restore_info option;
+  corruption : corruption;
 }
 
 type alarm =
   | Stale of { age : float; budget : float }
   | Replay_lag of { records : int; budget : int }
   | Shedding of { shed : int }
+  | Survived_corruption of corruption
 
 type t = {
   topo : Graph.t;
@@ -76,6 +83,8 @@ type t = {
   mutable shed_seen : int;  (* sheds already reported by a heartbeat *)
   mutable alive : bool;
   mutable last_restore : restore_info option;
+  mutable corruption : corruption;
+  mutable corruption_seen : int;  (* events already reported by a heartbeat *)
 }
 
 let journal_path dir = Filename.concat dir "journal.bin"
@@ -337,6 +346,8 @@ let make ~config ~dir ~topo ~routers ~link_state ~journal ~seq ~snap_seq ~now
     shed_seen = 0;
     alive = true;
     last_restore;
+    corruption = zero_corruption;
+    corruption_seen = 0;
   }
 
 let create ?(config = default_config) ~dir ~topo ~cost () =
@@ -394,10 +405,12 @@ let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
   let now = match now with Some n -> n | None -> t0 in
   ensure_dir dir;
   Snapshot.remove_stale_tmp ~path:(snapshot_path dir);
+  let snapshot_fallbacks = ref 0 in
   let base =
     match Snapshot.read ~path:(snapshot_path dir) with
     | `Missing -> None
     | `Corrupt reason ->
+        incr snapshot_fallbacks;
         (* A snapshot that fails its checksum is treated as absent: the
            state it held is recomputed from genesis + the journal. If the
            journal alone cannot reach it, replay detects the gap below
@@ -456,6 +469,11 @@ let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
         from_snapshot;
         duration = Unix.gettimeofday () -. t0;
       };
+  tmp.corruption <-
+    {
+      torn_tails = (if replay.Journal.torn then 1 else 0);
+      snapshot_fallbacks = !snapshot_fallbacks;
+    };
   tmp
 
 (* ---- backpressure path ----------------------------------------------- *)
@@ -531,12 +549,20 @@ let health t ~now =
     heartbeats = t.heartbeats;
     ingest = Ingest.stats t.ingest;
     last_restore = t.last_restore;
+    corruption = t.corruption;
   }
 
 let heartbeat t ~now =
   t.heartbeats <- t.heartbeats + 1;
   let h = health t ~now in
   let alarms = ref [] in
+  (* Corruption the server survived (torn tails, snapshot fallbacks) is
+     reported exactly once, on the first heartbeat after the event —
+     the same delta pattern as shedding. *)
+  if corruption_events t.corruption > t.corruption_seen then begin
+    t.corruption_seen <- corruption_events t.corruption;
+    alarms := Survived_corruption t.corruption :: !alarms
+  end;
   let shed_new = h.ingest.Ingest.shed - t.shed_seen in
   if shed_new > 0 then begin
     t.shed_seen <- h.ingest.Ingest.shed;

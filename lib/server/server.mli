@@ -140,6 +140,16 @@ type restore_info = {
   duration : float;  (** restore wall-clock seconds *)
 }
 
+type corruption = {
+  torn_tails : int;  (** torn journal tails skipped at restore *)
+  snapshot_fallbacks : int;
+      (** unreadable snapshots abandoned for genesis + replay *)
+}
+(** Corruption this server instance detected and survived. The
+    recoveries themselves are the journal/snapshot layers' job; the
+    counters exist so an operator can tell "clean" from "survived
+    corruption" without reading stderr. *)
+
 type health = {
   seq : int;
   snap_seq : int;  (** sequence number covered by the on-disk snapshot *)
@@ -151,6 +161,7 @@ type health = {
   heartbeats : int;
   ingest : Ingest.stats;
   last_restore : restore_info option;
+  corruption : corruption;
 }
 
 val health : t -> now:float -> health
@@ -162,6 +173,9 @@ type alarm =
       (** the journal has outgrown the replay SLO — snapshots are not
           keeping up *)
   | Shedding of { shed : int }  (** the ingest queue dropped updates *)
+  | Survived_corruption of corruption
+      (** raised once, on the first heartbeat after a restore that
+          skipped a torn tail or abandoned an unreadable snapshot *)
 
 val heartbeat : t -> now:float -> alarm list
 (** The watchdog tick: bump the heartbeat counter and report every SLO

@@ -29,19 +29,26 @@ let encode u =
   Buffer.contents b
 
 let decode s =
-  let need n = if String.length s < n then raise (Corrupt "short update payload") in
-  need 1;
+  (* Exact-length per tag: trailing garbage is as much a framing error
+     as a short payload, and a flipped byte must never decode to a
+     different-but-plausible update silently. *)
+  let exactly n =
+    if String.length s <> n then
+      raise
+        (Corrupt (Printf.sprintf "update payload is %d bytes (expected %d)" (String.length s) n))
+  in
+  if String.length s = 0 then raise (Corrupt "empty update payload");
   let node off = Int32.to_int (String.get_int32_be s off) in
   let cost off = Int64.float_of_bits (String.get_int64_be s off) in
   match s.[0] with
   | '\000' ->
-      need 17;
+      exactly 17;
       Set_cost { src = node 1; dst = node 5; cost = cost 9 }
   | '\001' ->
-      need 9;
+      exactly 9;
       Link_down { a = node 1; b = node 5 }
   | '\002' ->
-      need 17;
+      exactly 17;
       Link_up { a = node 1; b = node 5; cost = cost 9 }
   | c -> raise (Corrupt (Printf.sprintf "unknown update tag %d" (Char.code c)))
 

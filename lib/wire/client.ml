@@ -1,0 +1,299 @@
+module Rng = Mdr_util.Rng
+module Update = Mdr_server.Update
+
+type config = {
+  request_timeout : float;
+  max_retries : int;
+  backoff_base : float;
+  backoff_max : float;
+  max_reconnects : int;
+  keepalive : float;
+}
+
+let default_config =
+  {
+    request_timeout = 0.25;
+    max_retries = 4;
+    backoff_base = 0.1;
+    backoff_max = 2.0;
+    max_reconnects = 40;
+    keepalive = 2.0;
+  }
+
+let validate_config c =
+  let pos what v =
+    if not (Float.is_finite v) || v <= 0.0 then
+      invalid_arg (Printf.sprintf "Client: %s must be finite and positive" what)
+  in
+  pos "request_timeout" c.request_timeout;
+  pos "backoff_base" c.backoff_base;
+  pos "backoff_max" c.backoff_max;
+  pos "keepalive" c.keepalive;
+  if c.max_retries < 0 then invalid_arg "Client: max_retries must be >= 0";
+  if c.max_reconnects < 1 then invalid_arg "Client: max_reconnects must be >= 1"
+
+type phase = Dialing | Greeting | Streaming | Fingerprinting | Done | Failed of string
+
+type stats = {
+  sent : int;
+  retries : int;
+  acked : int;
+  reconnects : int;
+  dial_failures : int;
+  fast_forwarded : int;
+  corrupt_streams : int;
+  reconnect_latencies : float list;
+}
+
+let zero_stats =
+  {
+    sent = 0;
+    retries = 0;
+    acked = 0;
+    reconnects = 0;
+    dial_failures = 0;
+    fast_forwarded = 0;
+    corrupt_streams = 0;
+    reconnect_latencies = [];
+  }
+
+(* The one request allowed in flight, with its retry budget. *)
+type pending = { msg : Proto.client_msg; mutable sent_at : float; mutable tries : int }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  dial : now:float -> Transport.t option;
+  updates : Update.t array;
+  client_id : int;
+  mutable transport : Transport.t option;
+  mutable dec : Frame.decoder;
+  mutable phase : phase;
+  mutable acked_seq : int;  (* highest seq the server has acknowledged *)
+  mutable pending : pending option;
+  mutable attempts : int;  (* consecutive dial/connection failures *)
+  mutable next_dial : float;  (* no dial before this time *)
+  mutable lost_at : float option;  (* when connectivity was last lost *)
+  mutable last_send : float;
+  mutable connections : int;
+  mutable fingerprint : string option;
+  mutable stats : stats;
+}
+
+let create ?(config = default_config) ?(client_id = 1) ~rng ~dial ~updates () =
+  validate_config config;
+  {
+    config;
+    rng;
+    dial;
+    updates;
+    client_id;
+    transport = None;
+    dec = Frame.decoder ();
+    phase = Dialing;
+    acked_seq = 0;
+    pending = None;
+    attempts = 0;
+    next_dial = neg_infinity;
+    lost_at = None;
+    last_send = neg_infinity;
+    connections = 0;
+    fingerprint = None;
+    stats = zero_stats;
+  }
+
+let phase t = t.phase
+let stats t = t.stats
+let fingerprint t = t.fingerprint
+
+let finished t = match t.phase with Done | Failed _ -> true | _ -> false
+
+let pending_seq t =
+  match t.pending with
+  | Some { msg = Proto.Submit { seq; _ }; _ } -> Some seq
+  | _ -> None
+
+(* Exponential backoff with multiplicative SplitMix64 jitter in
+   [0.5, 1.5): retries from many clients decorrelate instead of
+   thundering back in lockstep. *)
+let backoff t =
+  let exp2 = Float.min 30.0 (float_of_int (max 0 (t.attempts - 1))) in
+  let base = Float.min t.config.backoff_max (t.config.backoff_base *. Float.pow 2.0 exp2) in
+  base *. (0.5 +. Rng.float t.rng)
+
+let total_updates t = Array.length t.updates
+
+let send_msg t ~now msg =
+  match t.transport with
+  | None -> ()
+  | Some tr ->
+      Transport.send tr ~now (Frame.encode (Proto.encode_client msg));
+      t.last_send <- now
+
+let send_request t ~now msg =
+  t.pending <- Some { msg; sent_at = now; tries = 1 };
+  send_msg t ~now msg
+
+(* Drop the current connection and schedule a redial (or give up). *)
+let disconnect t ~now ~reason =
+  (match t.transport with Some tr -> tr.Transport.close () | None -> ());
+  t.transport <- None;
+  t.pending <- None;
+  if Option.is_none t.lost_at then t.lost_at <- Some now;
+  t.attempts <- t.attempts + 1;
+  if t.attempts > t.config.max_reconnects then
+    t.phase <- Failed (Printf.sprintf "gave up after %d attempts (%s)" t.attempts reason)
+  else begin
+    t.next_dial <- now +. backoff t;
+    t.phase <- Dialing
+  end
+
+(* What to ask for next once the line is established and idle. *)
+let advance t ~now =
+  if Option.is_none t.pending then
+    if t.acked_seq < total_updates t then begin
+      let seq = t.acked_seq + 1 in
+      t.stats <- { t.stats with sent = t.stats.sent + 1 };
+      t.phase <- Streaming;
+      send_request t ~now (Proto.Submit { seq; update = t.updates.(seq - 1) })
+    end
+    else if Option.is_none t.fingerprint then begin
+      t.phase <- Fingerprinting;
+      send_request t ~now Proto.Get_fingerprint
+    end
+    else begin
+      send_msg t ~now Proto.Bye;
+      (match t.transport with Some tr -> tr.Transport.close () | None -> ());
+      t.transport <- None;
+      t.phase <- Done
+    end
+
+let on_msg t ~now msg =
+  match msg with
+  | Proto.Welcome { session = _; seq } ->
+      (* The resume contract: [seq] is durable, so everything up to it
+         must never be re-sent. A Welcome during a steady connection
+         (we only Hello when connecting) is impossible; treat any
+         Welcome as authoritative. *)
+      t.attempts <- 0;
+      (match t.lost_at with
+      | Some lost ->
+          t.stats <-
+            {
+              t.stats with
+              reconnect_latencies = (now -. lost) :: t.stats.reconnect_latencies;
+            };
+          t.lost_at <- None
+      | None -> ());
+      if seq > t.acked_seq then begin
+        t.stats <-
+          {
+            t.stats with
+            fast_forwarded = t.stats.fast_forwarded + (seq - t.acked_seq);
+            acked = Stdlib.min (total_updates t) seq;
+          };
+        t.acked_seq <- seq
+      end;
+      t.pending <- None;
+      advance t ~now
+  | Proto.Ack { seq } ->
+      if seq = t.acked_seq + 1 then begin
+        t.acked_seq <- seq;
+        t.stats <- { t.stats with acked = t.stats.acked + 1 };
+        t.pending <- None;
+        advance t ~now
+      end
+      (* an ack at or below acked_seq is a duplicate from a retried or
+         chaos-duplicated submit — nothing to do *)
+  | Proto.Reject { seq; reason } ->
+      (* The server refused the update itself (validation) or our
+         stream is out of step. Neither resolves by retrying the same
+         bytes; re-Hello to re-learn the durable seq. *)
+      disconnect t ~now ~reason:(Printf.sprintf "seq %d rejected: %s" seq reason)
+  | Proto.Pong _ -> ()
+  | Proto.Fingerprint fp ->
+      t.fingerprint <- Some fp;
+      t.pending <- None;
+      advance t ~now
+
+let pump_recv t ~now =
+  match t.transport with
+  | None -> ()
+  | Some tr ->
+      let rec pull () =
+        match tr.Transport.recv ~now with
+        | Some chunk ->
+            Frame.feed t.dec chunk;
+            pull ()
+        | None -> ()
+      in
+      pull ();
+      let continue = ref true in
+      while !continue && not (finished t) && Option.is_some t.transport do
+        match Frame.next t.dec with
+        | `Need_more -> continue := false
+        | `Corrupt reason ->
+            t.stats <- { t.stats with corrupt_streams = t.stats.corrupt_streams + 1 };
+            disconnect t ~now ~reason:("corrupt reply stream: " ^ reason);
+            continue := false
+        | `Frame payload -> (
+            match Proto.decode_server payload with
+            | msg -> on_msg t ~now msg
+            | exception Proto.Corrupt reason ->
+                t.stats <- { t.stats with corrupt_streams = t.stats.corrupt_streams + 1 };
+                disconnect t ~now ~reason:("corrupt reply: " ^ reason);
+                continue := false)
+      done
+
+let step t ~now =
+  if not (finished t) then begin
+    (match t.transport with
+    | Some tr when (match tr.Transport.status () with `Closed -> true | `Open -> false)
+      ->
+        disconnect t ~now ~reason:"connection closed"
+    | _ -> ());
+    (match t.transport with
+    | None ->
+        if now >= t.next_dial then begin
+          match t.dial ~now with
+          | Some tr ->
+              t.transport <- Some tr;
+              t.dec <- Frame.decoder ();
+              t.connections <- t.connections + 1;
+              if t.connections > 1 then
+                t.stats <- { t.stats with reconnects = t.stats.reconnects + 1 };
+              t.phase <- Greeting;
+              Transport.send tr ~now Frame.greeting;
+              t.last_send <- now;
+              send_request t ~now
+                (Proto.Hello { client = t.client_id; last_acked = t.acked_seq })
+          | None ->
+              t.stats <- { t.stats with dial_failures = t.stats.dial_failures + 1 };
+              t.attempts <- t.attempts + 1;
+              if t.attempts > t.config.max_reconnects then
+                t.phase <- Failed (Printf.sprintf "gave up after %d attempts (dial)" t.attempts)
+              else t.next_dial <- now +. backoff t
+        end
+    | Some _ -> ());
+    pump_recv t ~now;
+    (* Time out the in-flight request. *)
+    (match (t.transport, t.pending) with
+    | Some _, Some p when now -. p.sent_at >= t.config.request_timeout ->
+        if p.tries > t.config.max_retries then
+          disconnect t ~now
+            ~reason:
+              (Printf.sprintf "%s: no reply after %d tries"
+                 (Proto.describe_client p.msg) p.tries)
+        else begin
+          p.tries <- p.tries + 1;
+          p.sent_at <- now;
+          t.stats <- { t.stats with retries = t.stats.retries + 1 };
+          send_msg t ~now p.msg
+        end
+    | _ -> ());
+    (* Keepalive when connected and idle. *)
+    (match (t.transport, t.pending) with
+    | Some _, None when now -. t.last_send >= t.config.keepalive ->
+        send_msg t ~now (Proto.Ping { nonce = t.connections land 0x3FFFFFFF })
+    | _ -> ())
+  end

@@ -1,0 +1,97 @@
+(** The resumable client: push an update stream through a hostile
+    transport until every update is durably acknowledged.
+
+    The client is a polled state machine ({!step}) with no internal
+    clock or I/O of its own: the caller supplies [~now] and a [dial]
+    function, so the same machine runs against in-memory chaos pipes
+    on a logical clock (the audit) and real sockets on the wall clock
+    (the CLI).
+
+    {2 Protocol discipline}
+
+    At most one request is in flight. Each gets [request_timeout] to
+    produce its reply; a timeout re-sends (up to [max_retries] per
+    request), and exhausting retries — or a corrupt reply stream, or
+    the transport closing — drops the connection. Redials back off
+    exponentially from [backoff_base] to [backoff_max] with SplitMix64
+    jitter, and give up for good after [max_reconnects] consecutive
+    failures.
+
+    On every (re)connection the client sends [Hello] and the server's
+    [Welcome { seq }] names the last durable update: the client
+    resumes from [seq + 1], skipping updates that were journaled
+    before the cut. Together with the server's duplicate re-ack this
+    makes applies exactly-once across any disconnect pattern — which
+    the audit proves by fingerprint.
+
+    When idle longer than [keepalive] the client pings, so the
+    server's dead-session reaper only fires on genuinely dead
+    peers. *)
+
+type config = {
+  request_timeout : float;
+  max_retries : int;  (** re-sends of one request before redialing *)
+  backoff_base : float;
+  backoff_max : float;
+  max_reconnects : int;  (** consecutive failed dials before giving up *)
+  keepalive : float;  (** ping after this much idle time *)
+}
+
+val default_config : config
+(** 0.25 s timeout, 4 retries, 0.1 → 2 s backoff, 40 reconnects,
+    2 s keepalive. *)
+
+type phase =
+  | Dialing
+  | Greeting  (** connected, waiting for [Welcome] *)
+  | Streaming  (** submitting updates *)
+  | Fingerprinting  (** all acked, fetching the server fingerprint *)
+  | Done
+  | Failed of string
+
+type stats = {
+  sent : int;  (** first-time [Submit] sends *)
+  retries : int;  (** timeout re-sends (any request kind) *)
+  acked : int;  (** updates durably acknowledged *)
+  reconnects : int;  (** successful dials after the first *)
+  dial_failures : int;
+  fast_forwarded : int;
+      (** updates skipped because a [Welcome] proved them durable *)
+  corrupt_streams : int;  (** connections dropped on reply corruption *)
+  reconnect_latencies : float list;
+      (** seconds from each connection loss to the next [Welcome],
+          newest first — the recovery samples behind the SLO table *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?client_id:int ->
+  rng:Mdr_util.Rng.t ->
+  dial:(now:float -> Transport.t option) ->
+  updates:Mdr_server.Update.t array ->
+  unit ->
+  t
+(** [rng] drives only backoff jitter. [dial] returns a fresh
+    connected transport or [None] (connection refused — retried with
+    backoff). Update [i] of [updates] is submitted as seq [i + 1]. *)
+
+val step : t -> now:float -> unit
+(** Advance the machine: dial when due, pump received bytes, time out
+    and re-send, submit the next update. Call repeatedly with
+    non-decreasing [now]. *)
+
+val phase : t -> phase
+
+val finished : t -> bool
+(** [Done] or [Failed]. *)
+
+val stats : t -> stats
+
+val fingerprint : t -> string option
+(** The server fingerprint fetched after the last ack. *)
+
+val pending_seq : t -> int option
+(** Seq of the in-flight [Submit], if the outstanding request is one
+    (test hook for kill-at-frame-boundary coverage). *)

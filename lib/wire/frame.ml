@@ -1,0 +1,66 @@
+module Codec = Mdr_server.Codec
+
+let magic = "MDRW"
+let version = 1
+let max_payload = 65536
+let greeting = Codec.header ~magic ~version
+
+let encode payload =
+  let n = String.length payload in
+  if n = 0 then invalid_arg "Frame.encode: empty payload";
+  if n > max_payload then
+    invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes exceeds %d" n max_payload);
+  Codec.frame payload
+
+type decoder = {
+  mutable acc : string;  (* received, not yet decoded *)
+  mutable greeted : bool;
+  mutable failure : string option;  (* sticky *)
+}
+
+let decoder () = { acc = ""; greeted = false; failure = None }
+
+let feed d chunk =
+  if Option.is_none d.failure && String.length chunk > 0 then d.acc <- d.acc ^ chunk
+
+let buffered d = String.length d.acc
+
+let fail d reason =
+  d.failure <- Some reason;
+  d.acc <- "";
+  `Corrupt reason
+
+let rec next d =
+  match d.failure with
+  | Some reason -> `Corrupt reason
+  | None ->
+      if not d.greeted then
+        if String.length d.acc < Codec.header_len then `Need_more
+        else begin
+          match Codec.check_header d.acc ~magic with
+          | Error reason -> fail d reason
+          | Ok v when v <> version ->
+              fail d (Printf.sprintf "unsupported wire version %d" v)
+          | Ok _ ->
+              d.greeted <- true;
+              d.acc <- String.sub d.acc Codec.header_len (String.length d.acc - Codec.header_len);
+              next d
+        end
+      else if String.length d.acc < 8 then `Need_more
+      else begin
+        (* Cap the declared length before trusting it with any
+           allocation or buffering decision. *)
+        let len = Int32.to_int (String.get_int32_be d.acc 0) in
+        let crc = String.get_int32_be d.acc 4 in
+        if len <= 0 || len > max_payload then
+          fail d (Printf.sprintf "implausible frame length %d" len)
+        else if String.length d.acc < 8 + len then `Need_more
+        else begin
+          let payload = String.sub d.acc 8 len in
+          if not (Int32.equal (Codec.crc32 payload) crc) then fail d "frame checksum mismatch"
+          else begin
+            d.acc <- String.sub d.acc (8 + len) (String.length d.acc - 8 - len);
+            `Frame payload
+          end
+        end
+      end

@@ -1,0 +1,167 @@
+module Update = Mdr_server.Update
+
+exception Corrupt of string
+
+type client_msg =
+  | Hello of { client : int; last_acked : int }
+  | Submit of { seq : int; update : Update.t }
+  | Ping of { nonce : int }
+  | Get_fingerprint
+  | Bye
+
+type server_msg =
+  | Welcome of { session : int; seq : int }
+  | Ack of { seq : int }
+  | Reject of { seq : int; reason : string }
+  | Pong of { nonce : int }
+  | Fingerprint of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let check_u31 what v =
+  if v < 0 || v > 0x3FFFFFFF then invalid_arg (Printf.sprintf "Proto: %s out of range" what)
+
+let check_str what s =
+  if String.length s > 0xFFFF then invalid_arg (Printf.sprintf "Proto: %s too long" what)
+
+let with_buf n f =
+  let b = Buffer.create n in
+  f b;
+  Buffer.contents b
+
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let add_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let add_str b s =
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let encode_client = function
+  | Hello { client; last_acked } ->
+      check_u31 "Hello.client" client;
+      if last_acked < 0 then invalid_arg "Proto: Hello.last_acked out of range";
+      with_buf 13 (fun b ->
+          Buffer.add_char b '\x01';
+          add_u32 b client;
+          add_u64 b last_acked)
+  | Submit { seq; update } ->
+      if seq < 1 then invalid_arg "Proto: Submit.seq out of range";
+      with_buf 26 (fun b ->
+          Buffer.add_char b '\x02';
+          add_u64 b seq;
+          Buffer.add_string b (Update.encode update))
+  | Ping { nonce } ->
+      check_u31 "Ping.nonce" nonce;
+      with_buf 5 (fun b ->
+          Buffer.add_char b '\x03';
+          add_u32 b nonce)
+  | Get_fingerprint -> "\x04"
+  | Bye -> "\x05"
+
+let encode_server = function
+  | Welcome { session; seq } ->
+      check_u31 "Welcome.session" session;
+      if seq < 0 then invalid_arg "Proto: Welcome.seq out of range";
+      with_buf 13 (fun b ->
+          Buffer.add_char b '\x41';
+          add_u32 b session;
+          add_u64 b seq)
+  | Ack { seq } ->
+      if seq < 1 then invalid_arg "Proto: Ack.seq out of range";
+      with_buf 9 (fun b ->
+          Buffer.add_char b '\x42';
+          add_u64 b seq)
+  | Reject { seq; reason } ->
+      if seq < 1 then invalid_arg "Proto: Reject.seq out of range";
+      check_str "Reject.reason" reason;
+      with_buf (11 + String.length reason) (fun b ->
+          Buffer.add_char b '\x43';
+          add_u64 b seq;
+          add_str b reason)
+  | Pong { nonce } ->
+      check_u31 "Pong.nonce" nonce;
+      with_buf 5 (fun b ->
+          Buffer.add_char b '\x44';
+          add_u32 b nonce)
+  | Fingerprint fp ->
+      check_str "Fingerprint" fp;
+      with_buf (3 + String.length fp) (fun b ->
+          Buffer.add_char b '\x45';
+          add_str b fp)
+
+(* Exact-length decoding: the frame layer hands us whole payloads, so
+   any length disagreement is corruption, including trailing bytes. *)
+
+let get_u32 s off = Int32.to_int (String.get_int32_be s off)
+
+let get_u64 what s off =
+  let v = Int64.to_int (String.get_int64_be s off) in
+  if v < 0 then corrupt "%s is negative" what;
+  v
+
+let exactly what s n =
+  if String.length s <> n then
+    corrupt "%s payload is %d bytes (expected %d)" what (String.length s) n
+
+let get_str what s off =
+  if String.length s < off + 2 then corrupt "%s: short string header" what;
+  let n = String.get_uint16_be s off in
+  if String.length s <> off + 2 + n then
+    corrupt "%s: string length %d does not match payload" what n;
+  String.sub s (off + 2) n
+
+let decode_client s =
+  if String.length s = 0 then corrupt "empty message";
+  match s.[0] with
+  | '\x01' ->
+      exactly "Hello" s 13;
+      Hello { client = get_u32 s 1; last_acked = get_u64 "Hello.last_acked" s 5 }
+  | '\x02' ->
+      if String.length s < 10 then corrupt "Submit: short payload";
+      let update =
+        try Update.decode (String.sub s 9 (String.length s - 9))
+        with Update.Corrupt reason -> corrupt "Submit: %s" reason
+      in
+      Submit { seq = get_u64 "Submit.seq" s 1; update }
+  | '\x03' ->
+      exactly "Ping" s 5;
+      Ping { nonce = get_u32 s 1 }
+  | '\x04' ->
+      exactly "Get_fingerprint" s 1;
+      Get_fingerprint
+  | '\x05' ->
+      exactly "Bye" s 1;
+      Bye
+  | c -> corrupt "unknown client tag 0x%02x" (Char.code c)
+
+let decode_server s =
+  if String.length s = 0 then corrupt "empty message";
+  match s.[0] with
+  | '\x41' ->
+      exactly "Welcome" s 13;
+      Welcome { session = get_u32 s 1; seq = get_u64 "Welcome.seq" s 5 }
+  | '\x42' ->
+      exactly "Ack" s 9;
+      Ack { seq = get_u64 "Ack.seq" s 1 }
+  | '\x43' ->
+      if String.length s < 11 then corrupt "Reject: short payload";
+      Reject { seq = get_u64 "Reject.seq" s 1; reason = get_str "Reject" s 9 }
+  | '\x44' ->
+      exactly "Pong" s 5;
+      Pong { nonce = get_u32 s 1 }
+  | '\x45' -> Fingerprint (get_str "Fingerprint" s 1)
+  | c -> corrupt "unknown server tag 0x%02x" (Char.code c)
+
+let describe_client = function
+  | Hello { client; last_acked } -> Printf.sprintf "hello client=%d last_acked=%d" client last_acked
+  | Submit { seq; _ } -> Printf.sprintf "submit seq=%d" seq
+  | Ping { nonce } -> Printf.sprintf "ping %d" nonce
+  | Get_fingerprint -> "get-fingerprint"
+  | Bye -> "bye"
+
+let describe_server = function
+  | Welcome { session; seq } -> Printf.sprintf "welcome session=%d seq=%d" session seq
+  | Ack { seq } -> Printf.sprintf "ack seq=%d" seq
+  | Reject { seq; reason } -> Printf.sprintf "reject seq=%d (%s)" seq reason
+  | Pong { nonce } -> Printf.sprintf "pong %d" nonce
+  | Fingerprint fp -> Printf.sprintf "fingerprint %s" fp

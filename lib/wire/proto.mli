@@ -1,0 +1,40 @@
+(** The wire protocol's message vocabulary, one message per frame.
+
+    Hand-rolled fixed-layout binary like {!Mdr_server.Update} (which
+    it embeds for [Submit]): a tag byte, then big-endian fields.
+    Client tags live in [0x01 ..]; server tags in [0x41 ..] so a
+    misdirected frame can never decode as the other side's message.
+
+    Decoding is exact-length and total: any payload that is not
+    precisely one well-formed message raises {!Corrupt} — never any
+    other exception, and never a silent partial parse. *)
+
+exception Corrupt of string
+
+type client_msg =
+  | Hello of { client : int; last_acked : int }
+      (** open/resume a session; [last_acked] is the highest update
+          seq this client has seen acknowledged *)
+  | Submit of { seq : int; update : Mdr_server.Update.t }
+  | Ping of { nonce : int }  (** keepalive; answered with [Pong] *)
+  | Get_fingerprint
+  | Bye  (** orderly close *)
+
+type server_msg =
+  | Welcome of { session : int; seq : int }
+      (** reply to [Hello]: the server's last durable update seq — the
+          client resumes from [seq + 1] (the PR-6 resume contract) *)
+  | Ack of { seq : int }
+      (** update [seq] is durable; re-sent verbatim for duplicates *)
+  | Reject of { seq : int; reason : string }
+      (** update [seq] is invalid or out of order; not applied *)
+  | Pong of { nonce : int }
+  | Fingerprint of string  (** reply to [Get_fingerprint] *)
+
+val encode_client : client_msg -> string
+val decode_client : string -> client_msg
+val encode_server : server_msg -> string
+val decode_server : string -> server_msg
+
+val describe_client : client_msg -> string
+val describe_server : server_msg -> string

@@ -1,0 +1,130 @@
+(* Byte-stream transports: an in-memory pipe on a logical clock, a
+   non-blocking socket wrapper, and the chaos composition. *)
+
+module Wirefault = Mdr_faults.Wirefault
+
+type t = {
+  send_at : now:float -> at:float -> string -> unit;
+  recv : now:float -> string option;
+  close : unit -> unit;
+  status : unit -> [ `Open | `Closed ];
+}
+
+let send t ~now chunk = t.send_at ~now ~at:now chunk
+
+(* ---- in-memory pipe -------------------------------------------------- *)
+
+(* Each direction is a list of (deliver_at, send_seq, chunk) kept
+   sorted by (deliver_at, send_seq): a delayed chunk reorders against
+   later undelayed ones, but ties deliver in send order. *)
+let pipe () =
+  let closed = ref false in
+  let seqno = ref 0 in
+  let q_ab = ref [] and q_ba = ref [] in
+  let insert q ~at chunk =
+    incr seqno;
+    let s = !seqno in
+    let rec go = function
+      | [] -> [ (at, s, chunk) ]
+      | ((at', s', _) as hd) :: tl ->
+          if at < at' || (Float.equal at at' && s < s') then (at, s, chunk) :: hd :: tl
+          else hd :: go tl
+    in
+    q := go !q
+  in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      q_ab := [];
+      q_ba := []
+    end
+  in
+  let endpoint out inbox =
+    {
+      send_at =
+        (fun ~now ~at chunk ->
+          if not !closed then insert out ~at:(Float.max now at) chunk);
+      recv =
+        (fun ~now ->
+          if !closed then None
+          else
+            match !inbox with
+            | (at, _, chunk) :: tl when at <= now ->
+                inbox := tl;
+                Some chunk
+            | _ -> None);
+      close;
+      status = (fun () -> if !closed then `Closed else `Open);
+    }
+  in
+  (endpoint q_ab q_ba, endpoint q_ba q_ab)
+
+(* ---- real sockets ---------------------------------------------------- *)
+
+let of_fd fd =
+  Unix.set_nonblock fd;
+  let open_ = ref true in
+  let out = ref "" in
+  let close () =
+    if !open_ then begin
+      open_ := false;
+      try Unix.close fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    end
+  in
+  let flush_out () =
+    if !open_ && String.length !out > 0 then begin
+      let s = !out in
+      match Unix.single_write_substring fd s 0 (String.length s) with
+      | n -> out := String.sub s n (String.length s - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN | Unix.EBADF), _, _)
+        ->
+          close ()
+    end
+  in
+  let rbuf = Bytes.create 65536 in
+  {
+    send_at =
+      (fun ~now:_ ~at:_ chunk ->
+        if !open_ then begin
+          out := !out ^ chunk;
+          flush_out ()
+        end);
+    recv =
+      (fun ~now:_ ->
+        flush_out ();
+        if not !open_ then None
+        else
+          match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+          | 0 ->
+              close ();
+              None
+          | n -> Some (Bytes.sub_string rbuf 0 n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              None
+          | exception
+              Unix.Unix_error
+                ((Unix.ECONNRESET | Unix.EPIPE | Unix.ENOTCONN | Unix.EBADF), _, _)
+            ->
+              close ();
+              None);
+    close;
+    status = (fun () -> if !open_ then `Open else `Closed);
+  }
+
+(* ---- chaos composition ----------------------------------------------- *)
+
+let with_chaos ~line t =
+  {
+    t with
+    send_at =
+      (fun ~now ~at chunk ->
+        if String.length chunk > 0 && not (Wirefault.dead line) then begin
+          List.iter
+            (fun (at', chunk') -> t.send_at ~now ~at:at' chunk')
+            (Wirefault.transform line ~now:(Float.max now at) chunk);
+          if Wirefault.dead line then t.close ()
+        end);
+  }

@@ -1,0 +1,47 @@
+(** The socket-like byte-stream abstraction under the wire protocol.
+
+    A transport moves opaque byte chunks in one direction per call and
+    knows nothing about frames: framing is {!Frame}'s job, chaos is
+    {!Mdr_faults.Wirefault}'s, and both compose over any transport.
+    Time is explicit ([~now]) so the in-memory pipe, the chaos wrapper
+    and the deterministic audit all run on logical clocks; the real
+    socket transport simply ignores scheduling hints it cannot honor.
+
+    A transport is {e fail-stop}: after [close] (or a peer/kernel
+    event that amounts to one) [status] is [`Closed], sends are
+    dropped and recv returns [None] forever. Callers react by
+    redialing, never by retrying on a dead handle. *)
+
+type t = {
+  send_at : now:float -> at:float -> string -> unit;
+      (** queue [chunk] for delivery no earlier than [at]
+          ([at >= now]; the real socket transport sends immediately) *)
+  recv : now:float -> string option;
+      (** next delivered chunk, if one is due at [now] *)
+  close : unit -> unit;
+  status : unit -> [ `Open | `Closed ];
+}
+
+val send : t -> now:float -> string -> unit
+(** [send_at ~at:now]. *)
+
+val pipe : unit -> t * t
+(** A connected in-memory duplex pair on a logical clock. Chunks
+    become visible to the peer's [recv] once [now] reaches their
+    delivery time, in [(deliver_at, send order)] order — so delayed
+    chunks genuinely reorder against later undelayed ones. Closing
+    either end closes both and drops everything still queued. *)
+
+val of_fd : Unix.file_descr -> t
+(** A transport over a connected socket, switched to non-blocking
+    mode. Sends buffer internally and flush opportunistically on every
+    [send]/[recv]; EOF and connection-reset errors close the
+    transport. [at] hints are ignored — the kernel owns delivery
+    timing. *)
+
+val with_chaos : line:Mdr_faults.Wirefault.t -> t -> t
+(** Route every send through the fault [line] (flips, truncation,
+    duplication, delay, stalls, disconnects); receives pass through
+    untouched, so wrap each direction's sender with its own line. When
+    the line draws a disconnect the underlying transport is closed —
+    both peers observe the line cut, as with a real connection. *)

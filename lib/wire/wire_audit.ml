@@ -1,0 +1,205 @@
+module Rng = Mdr_util.Rng
+module Pool = Mdr_util.Pool
+module Tab = Mdr_util.Tab
+module Server = Mdr_server.Server
+module Update = Mdr_server.Update
+module Procfault = Mdr_faults.Procfault
+module Wirefault = Mdr_faults.Wirefault
+module Recovery = Mdr_faults.Recovery
+
+type result = {
+  seed : int;
+  intensity : float;
+  updates : int;
+  ok : bool;
+  client_done : bool;
+  fingerprint_ok : bool;
+  exactly_once : bool;
+  lfi : bool;
+  settled : bool;
+  reconnects : int;
+  dial_failures : int;
+  retries : int;
+  fast_forwarded : int;
+  duplicates : int;
+  malformed : int;
+  reaped : int;
+  chaos : Wirefault.counts;
+  reconnect_latencies : float list;
+  reconnect_slo : Recovery.slo;
+  wall_s : float;
+}
+
+let default_audit_config = { Server.default_config with snapshot_every = 16 }
+
+let to_update = function
+  | Procfault.Cost_change { src; dst; cost } -> Update.Set_cost { src; dst; cost }
+  | Procfault.Fail { a; b } -> Update.Link_down { a; b }
+  | Procfault.Restore { a; b; cost } -> Update.Link_up { a; b; cost }
+
+(* Rng.substream index namespace within one run: 0 = update stream,
+   1 = client backoff jitter, 2 + 2c / 3 + 2c = connection c's
+   client->server / server->client fault lines. *)
+
+let dt = 0.02
+let max_steps = 400_000
+let heartbeat_every = 25 (* steps: one watchdog tick per 0.5 logical s *)
+
+let run ?(config = default_audit_config) ?wire_config ?client_config ?(updates = 60)
+    ?(cost = Procfault.default_base_cost) ~intensity ~dir ~topo ~seed () =
+  if updates < 1 then invalid_arg "Wire_audit.run: updates must be >= 1";
+  if not (Float.is_finite intensity) || intensity < 0.0 then
+    invalid_arg "Wire_audit.run: intensity must be finite and >= 0";
+  let stream =
+    Array.of_list
+      (List.map to_update
+         (Procfault.stream ~rng:(Rng.substream ~seed ~index:0) ~topo ~updates ()))
+  in
+  (* Reference: the same stream applied directly, no wire in the way. *)
+  let ref_srv =
+    Server.create ~config ~dir:(Filename.concat dir "ref") ~topo ~cost ()
+  in
+  Array.iteri (fun i u -> Server.apply ref_srv ~now:(float_of_int (i + 1)) u) stream;
+  let fp_ref = Server.fingerprint ref_srv in
+  Server.close ref_srv;
+  (* Chaos: the wire session on a logical clock. *)
+  let srv = Server.create ~config ~dir:(Filename.concat dir "chaos") ~topo ~cost () in
+  let wsrv = Wire_server.create ?config:wire_config srv in
+  let params = Wirefault.scale Wirefault.default_params ~intensity in
+  let lines = ref [] in
+  let conns = ref 0 in
+  let dial ~now =
+    let c = !conns in
+    incr conns;
+    (* Refuse every seventh dial outright: connection backoff must be
+       exercised even on seeds whose lines rarely die. *)
+    if c mod 7 = 6 then None
+    else begin
+      let line idx = Wirefault.create ~params ~rng:(Rng.substream ~seed ~index:idx) () in
+      let to_server = line (2 + (2 * c)) in
+      let to_client = line (3 + (2 * c)) in
+      lines := to_server :: to_client :: !lines;
+      let client_end, server_end = Transport.pipe () in
+      ignore
+        (Wire_server.attach wsrv ~now (Transport.with_chaos ~line:to_client server_end));
+      Some (Transport.with_chaos ~line:to_server client_end)
+    end
+  in
+  let client =
+    Client.create ?config:client_config ~rng:(Rng.substream ~seed ~index:1) ~dial
+      ~updates:stream ()
+  in
+  let now = ref 0.0 in
+  let steps = ref 0 in
+  while (not (Client.finished client)) && !steps < max_steps do
+    incr steps;
+    now := float_of_int !steps *. dt;
+    Client.step client ~now:!now;
+    ignore (Wire_server.step wsrv ~now:!now);
+    if !steps mod heartbeat_every = 0 then ignore (Wire_server.heartbeat wsrv ~now:!now)
+  done;
+  let cstats = Client.stats client in
+  let wstats = Wire_server.stats wsrv in
+  let fp_chaos = Server.fingerprint srv in
+  let client_done = match Client.phase client with Client.Done -> true | _ -> false in
+  let fingerprint_ok =
+    String.equal fp_chaos fp_ref
+    && (match Client.fingerprint client with
+       | Some fp -> String.equal fp fp_ref
+       | None -> false)
+  in
+  let exactly_once =
+    wstats.Wire_server.applied = updates && Server.seq srv = updates
+  in
+  let lfi = Server.lfi_ok srv in
+  let settled = Server.settled srv in
+  Server.close srv;
+  let chaos =
+    List.fold_left
+      (fun acc l -> Wirefault.add_counts acc (Wirefault.counts l))
+      Wirefault.zero_counts !lines
+  in
+  {
+    seed;
+    intensity;
+    updates;
+    ok = client_done && fingerprint_ok && exactly_once && lfi && settled;
+    client_done;
+    fingerprint_ok;
+    exactly_once;
+    lfi;
+    settled;
+    reconnects = cstats.Client.reconnects;
+    dial_failures = cstats.Client.dial_failures;
+    retries = cstats.Client.retries;
+    fast_forwarded = cstats.Client.fast_forwarded;
+    duplicates = wstats.Wire_server.duplicates;
+    malformed = wstats.Wire_server.malformed;
+    reaped = wstats.Wire_server.reaped;
+    chaos;
+    reconnect_latencies = cstats.Client.reconnect_latencies;
+    reconnect_slo = Recovery.slo cstats.Client.reconnect_latencies;
+    wall_s = !now;
+  }
+
+(* Allowlisted for [domain-race]: the wall-clock the checker traces
+   through Server.create only times restore duration (health
+   telemetry). Everything the audit asserts — fingerprints, apply
+   counts, LFI — flows from the per-cell seed substreams, so parallel
+   cells stay bit-deterministic. *)
+let run_grid ?jobs ?updates ~dir ~topo ~seeds ~intensities () =
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun seed -> List.map (fun intensity -> (seed, intensity)) intensities)
+         seeds)
+  in
+  Array.to_list
+    (Pool.map_array ?jobs
+       (fun (seed, intensity) ->
+         let cell_dir =
+           Filename.concat dir (Printf.sprintf "seed_%d_i%g" seed intensity)
+         in
+         run ?updates ~intensity ~dir:cell_dir ~topo ~seed ())
+       cells)
+
+let slo_by_intensity results =
+  let intensities =
+    List.sort_uniq Float.compare (List.map (fun r -> r.intensity) results)
+  in
+  List.map
+    (fun i ->
+      let samples =
+        List.concat_map
+          (fun r -> if Float.equal r.intensity i then r.reconnect_latencies else [])
+          results
+      in
+      (i, Recovery.slo samples))
+    intensities
+
+let report results =
+  Tab.render
+    ~header:
+      [
+        "seed"; "intensity"; "ok"; "reconnects"; "dial fails"; "retries"; "dups";
+        "malformed"; "reaped"; "flips"; "trunc"; "disc"; "reconnect p95 s"; "wall s";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.seed;
+           Printf.sprintf "%g" r.intensity;
+           (if r.ok then "yes" else "NO");
+           string_of_int r.reconnects;
+           string_of_int r.dial_failures;
+           string_of_int r.retries;
+           string_of_int r.duplicates;
+           string_of_int r.malformed;
+           string_of_int r.reaped;
+           string_of_int r.chaos.Wirefault.flips;
+           string_of_int r.chaos.Wirefault.truncations;
+           string_of_int r.chaos.Wirefault.disconnects;
+           Printf.sprintf "%.3f" r.reconnect_slo.Recovery.p95;
+           Printf.sprintf "%.1f" r.wall_s;
+         ])
+       results)

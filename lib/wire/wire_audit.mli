@@ -1,0 +1,83 @@
+(** The wire-chaos audit: prove the framed protocol end-to-end against
+    a seeded hostile transport.
+
+    One {!run} drives the same seeded update stream twice:
+
+    - a {b reference} server fed directly through {!Mdr_server.Server.apply}
+      — no wire, no chaos — recording the final fingerprint;
+    - a {b chaos} session: a {!Client} streaming the updates to a
+      {!Wire_server} over in-memory pipes whose send directions are
+      wrapped in independent {!Mdr_faults.Wirefault} lines (byte
+      flips, truncation, duplication, delay, stalls, mid-frame
+      disconnects), on a deterministic logical clock. Every redial
+      builds a fresh pipe with fresh fault lines, and a fraction of
+      dials are refused outright to exercise dial backoff.
+
+    The run passes when the client finishes, the chaos server's final
+    fingerprint is byte-identical to the reference (and to the
+    fingerprint the client itself fetched over the wire), exactly
+    [updates] applies reached the journal (exactly-once across every
+    retry, duplicate and reconnect), the control plane is settled, and
+    the LFI conditions hold. Reconnect latencies feed the recovery
+    SLO. *)
+
+type result = {
+  seed : int;
+  intensity : float;
+  updates : int;
+  ok : bool;
+  client_done : bool;
+  fingerprint_ok : bool;
+      (** chaos == reference, and the client's wire-fetched copy agrees *)
+  exactly_once : bool;  (** wire applies == updates, server seq == updates *)
+  lfi : bool;
+  settled : bool;
+  reconnects : int;
+  dial_failures : int;
+  retries : int;
+  fast_forwarded : int;
+  duplicates : int;  (** submits the server re-acked without applying *)
+  malformed : int;  (** corrupt frame streams the server dropped *)
+  reaped : int;
+  chaos : Mdr_faults.Wirefault.counts;  (** both directions, all connections *)
+  reconnect_latencies : float list;  (** raw samples, newest first *)
+  reconnect_slo : Mdr_faults.Recovery.slo;
+  wall_s : float;  (** logical seconds the session took *)
+}
+
+val run :
+  ?config:Mdr_server.Server.config ->
+  ?wire_config:Wire_server.config ->
+  ?client_config:Client.config ->
+  ?updates:int ->
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  intensity:float ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  result
+(** Defaults: 60 updates, cost [1 + 1000 * prop_delay],
+    {!Mdr_server.Server.default_config} with a snapshot every 16
+    updates. [intensity] scales {!Mdr_faults.Wirefault.default_params}
+    (0 = clean wire). State lives under [dir/ref] and [dir/chaos]. *)
+
+val run_grid :
+  ?jobs:int ->
+  ?updates:int ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seeds:int list ->
+  intensities:float list ->
+  unit ->
+  result list
+(** One {!run} per (seed, intensity) cell, fanned out over the domain
+    pool ({!Mdr_util.Pool}) with per-cell state directories; results
+    in grid order (seeds major). *)
+
+val slo_by_intensity : result list -> (float * Mdr_faults.Recovery.slo) list
+(** Pool the reconnect latencies of all runs at each intensity —
+    the EXPERIMENTS.md recovery table. *)
+
+val report : result list -> string
+(** Per-run table rendered with {!Mdr_util.Tab}. *)

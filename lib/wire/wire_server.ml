@@ -1,0 +1,196 @@
+module Server = Mdr_server.Server
+
+type config = { dead_after : float }
+
+let default_config = { dead_after = 10.0 }
+
+type stats = {
+  opened : int;
+  reaped : int;
+  closed : int;
+  frames : int;
+  malformed : int;
+  duplicates : int;
+  rejects : int;
+  applied : int;
+}
+
+let zero_stats =
+  {
+    opened = 0;
+    reaped = 0;
+    closed = 0;
+    frames = 0;
+    malformed = 0;
+    duplicates = 0;
+    rejects = 0;
+    applied = 0;
+  }
+
+type session = {
+  id : int;
+  transport : Transport.t;
+  dec : Frame.decoder;
+  mutable last_activity : float;
+}
+
+type t = {
+  server : Server.t;
+  config : config;
+  mutable sessions : session list;  (* newest first *)
+  mutable next_id : int;
+  mutable stats : stats;
+  mutable malformed_seen : int;  (* reported by a previous heartbeat *)
+}
+
+let create ?(config = default_config) server =
+  if not (Float.is_finite config.dead_after) || config.dead_after <= 0.0 then
+    invalid_arg "Wire_server: dead_after must be finite and positive";
+  { server; config; sessions = []; next_id = 0; stats = zero_stats; malformed_seen = 0 }
+
+let core t = t.server
+let stats t = t.stats
+let sessions t = List.length t.sessions
+
+let attach t ~now transport =
+  t.next_id <- t.next_id + 1;
+  let s = { id = t.next_id; transport; dec = Frame.decoder (); last_activity = now } in
+  Transport.send transport ~now Frame.greeting;
+  t.sessions <- s :: t.sessions;
+  t.stats <- { t.stats with opened = t.stats.opened + 1 };
+  s.id
+
+let drop t s =
+  s.transport.Transport.close ();
+  t.sessions <- List.filter (fun s' -> s'.id <> s.id) t.sessions
+
+let reply s ~now msg =
+  Transport.send s.transport ~now (Frame.encode (Proto.encode_server msg))
+
+(* Execute one well-formed message; returns false when the session
+   should close (Bye). *)
+let execute t s ~now msg =
+  match msg with
+  | Proto.Hello { client = _; last_acked = _ } ->
+      (* The server's durable seq is the resume point regardless of
+         what the client believes it has seen acked. *)
+      reply s ~now (Proto.Welcome { session = s.id; seq = Server.seq t.server });
+      true
+  | Proto.Submit { seq; update } ->
+      let sseq = Server.seq t.server in
+      if seq <= sseq then begin
+        (* Already durable: a client retry or a chaos-duplicated
+           frame. Re-ack; never re-apply. *)
+        t.stats <- { t.stats with duplicates = t.stats.duplicates + 1 };
+        reply s ~now (Proto.Ack { seq })
+      end
+      else if seq = sseq + 1 then begin
+        match Server.apply t.server ~now update with
+        | () ->
+            t.stats <- { t.stats with applied = t.stats.applied + 1 };
+            reply s ~now (Proto.Ack { seq })
+        | exception Invalid_argument reason ->
+            (* Validation failure: nothing was journaled, the server
+               is still clean — the update alone is refused. *)
+            t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+            reply s ~now (Proto.Reject { seq; reason })
+      end
+      else begin
+        t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+        reply s ~now
+          (Proto.Reject
+             { seq; reason = Printf.sprintf "sequence gap (durable seq is %d)" sseq })
+      end;
+      true
+  | Proto.Ping { nonce } ->
+      reply s ~now (Proto.Pong { nonce });
+      true
+  | Proto.Get_fingerprint ->
+      reply s ~now (Proto.Fingerprint (Server.fingerprint t.server));
+      true
+  | Proto.Bye -> false
+
+let step_session t s ~now =
+  let executed = ref 0 in
+  (* Pull everything the transport has for us before decoding. *)
+  let rec pull () =
+    match s.transport.Transport.recv ~now with
+    | Some chunk ->
+        Frame.feed s.dec chunk;
+        pull ()
+    | None -> ()
+  in
+  pull ();
+  let closing = ref false in
+  let continue = ref true in
+  while !continue do
+    match Frame.next s.dec with
+    | `Need_more -> continue := false
+    | `Corrupt _reason ->
+        (* After a corrupt stream there is no frame boundary to trust;
+           drop the session and let the client reconnect. *)
+        t.stats <-
+          {
+            t.stats with
+            malformed = t.stats.malformed + 1;
+            closed = t.stats.closed + 1;
+          };
+        closing := true;
+        continue := false
+    | `Frame payload -> (
+        s.last_activity <- now;
+        match Proto.decode_client payload with
+        | msg ->
+            t.stats <- { t.stats with frames = t.stats.frames + 1 };
+            incr executed;
+            if not (execute t s ~now msg) then begin
+              t.stats <- { t.stats with closed = t.stats.closed + 1 };
+              closing := true;
+              continue := false
+            end
+        | exception Proto.Corrupt _reason ->
+            t.stats <-
+              {
+                t.stats with
+                malformed = t.stats.malformed + 1;
+                closed = t.stats.closed + 1;
+              };
+            closing := true;
+            continue := false)
+  done;
+  (match s.transport.Transport.status () with
+  | `Closed when not !closing ->
+      t.stats <- { t.stats with closed = t.stats.closed + 1 };
+      closing := true
+  | `Closed | `Open -> ());
+  if !closing then drop t s;
+  !executed
+
+let step t ~now =
+  List.fold_left (fun acc s -> acc + step_session t s ~now) 0 t.sessions
+
+type alarm =
+  | Core of Server.alarm
+  | Dead_session of { id : int; idle : float }
+  | Malformed_frames of { frames : int }
+
+let heartbeat t ~now =
+  let alarms = ref [] in
+  List.iter
+    (fun s ->
+      let idle = now -. s.last_activity in
+      if idle > t.config.dead_after then begin
+        t.stats <- { t.stats with reaped = t.stats.reaped + 1 };
+        drop t s;
+        alarms := Dead_session { id = s.id; idle } :: !alarms
+      end)
+    t.sessions;
+  let malformed_new = t.stats.malformed - t.malformed_seen in
+  if malformed_new > 0 then begin
+    t.malformed_seen <- t.stats.malformed;
+    alarms := Malformed_frames { frames = malformed_new } :: !alarms
+  end;
+  List.iter
+    (fun a -> alarms := Core a :: !alarms)
+    (Server.heartbeat t.server ~now);
+  !alarms

@@ -1,0 +1,67 @@
+(** The route-server's wire front end: sessions, dedup, liveness.
+
+    One {!t} fronts one {!Mdr_server.Server.t}. Transports are handed
+    in by whoever owns the accept loop ({!attach}); {!step} drains
+    them, decodes frames and executes messages. The server side is
+    deliberately almost stateless per session — the dedup that makes
+    retries safe is a single comparison against the core's durable
+    sequence number:
+
+    - [Submit seq <= Server.seq] — already durable (a retry or a
+      chaos-duplicated frame): re-ack without applying, so applies are
+      exactly-once no matter how many times the frame arrives;
+    - [seq = Server.seq + 1] — journal + apply, then ack;
+    - anything else is a gap the client must resolve by re-Hello-ing —
+      rejected, never applied out of order.
+
+    A corrupt frame stream (sticky {!Frame} failure) closes the
+    session; the client reconnects and resumes. {!heartbeat} extends
+    the core watchdog with wire liveness: sessions idle past
+    [dead_after] are reaped, and malformed-frame counts are reported
+    as alarms alongside the core's. *)
+
+type config = {
+  dead_after : float;  (** reap a session idle this long (seconds) *)
+}
+
+val default_config : config
+(** 10 s — five client keepalive intervals. *)
+
+type stats = {
+  opened : int;
+  reaped : int;  (** closed by the watchdog for idleness *)
+  closed : int;  (** closed by [Bye], peer close, or corruption *)
+  frames : int;  (** well-formed frames executed *)
+  malformed : int;  (** corrupt frame streams (each closes a session) *)
+  duplicates : int;  (** [Submit]s re-acked without applying *)
+  rejects : int;
+  applied : int;  (** [Submit]s journaled and applied *)
+}
+
+type t
+
+val create : ?config:config -> Mdr_server.Server.t -> t
+val core : t -> Mdr_server.Server.t
+
+val attach : t -> now:float -> Transport.t -> int
+(** Adopt a connected transport as a new session (sends the
+    {!Frame.greeting}); returns the session id. *)
+
+val step : t -> now:float -> int
+(** Drain every session's transport and execute complete frames;
+    returns how many frames were executed. Cheap when idle. *)
+
+val sessions : t -> int
+(** Sessions currently open. *)
+
+val stats : t -> stats
+
+type alarm =
+  | Core of Mdr_server.Server.alarm
+  | Dead_session of { id : int; idle : float }
+  | Malformed_frames of { frames : int }
+      (** corrupt streams seen since the last heartbeat *)
+
+val heartbeat : t -> now:float -> alarm list
+(** The wire watchdog tick: reap dead sessions, report new malformed
+    traffic, and relay the core server's own heartbeat alarms. *)

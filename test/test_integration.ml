@@ -174,6 +174,7 @@ let () =
       ("netsim", Test_netsim.suite);
       ("experiments", Test_experiments.suite);
       ("server", Test_server.suite);
+      ("wire", Test_wire.suite);
       ("analysis", Test_analysis.suite);
       ("integration", suite);
     ]

@@ -460,6 +460,65 @@ let test_server_rejects_bad_input () =
       | () -> Alcotest.fail "apply after close accepted"
       | exception Invalid_argument _ -> ())
 
+(* Satellite: corruption survivals are counted and alarmed, not just
+   logged — "clean" and "survived corruption" must be telling apart
+   from the health record alone. *)
+let test_corruption_counters_torn_tail () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      Server.apply s ~now:1.0 (Update.Set_cost { src = 0; dst = 1; cost = 2.0 });
+      Server.apply s ~now:2.0 (Update.Set_cost { src = 1; dst = 2; cost = 3.0 });
+      Server.apply s ~torn_after:6 ~now:3.0
+        (Update.Set_cost { src = 2; dst = 3; cost = 4.0 });
+      let s = Server.restore ~now:4.0 ~dir:d ~topo ~cost () in
+      let h = Server.health s ~now:4.0 in
+      check_int "torn tail counted" 1 h.Server.corruption.Server.torn_tails;
+      check_int "no snapshot fallback" 0 h.Server.corruption.Server.snapshot_fallbacks;
+      let alarms = Server.heartbeat s ~now:4.1 in
+      check "survived-corruption alarm" true
+        (List.exists
+           (function
+             | Server.Survived_corruption { torn_tails = 1; snapshot_fallbacks = 0 } ->
+                 true
+             | _ -> false)
+           alarms);
+      check "alarm fires once" false
+        (List.exists
+           (function Server.Survived_corruption _ -> true | _ -> false)
+           (Server.heartbeat s ~now:4.2));
+      Server.close s)
+
+let test_corruption_counters_snapshot_fallback () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      Server.apply s ~now:1.0 (Update.Set_cost { src = 0; dst = 1; cost = 2.0 });
+      Server.apply s ~now:2.0 (Update.Link_down { a = 1; b = 2 });
+      let fp = Server.fingerprint s in
+      Server.close s;
+      (* a snapshot file of garbage: unreadable, abandoned for genesis
+         + journal replay, and counted *)
+      write_file (Filename.concat d "snapshot.bin") "not a snapshot at all";
+      let s = Server.restore ~now:3.0 ~dir:d ~topo ~cost () in
+      check_str "state rebuilt from journal" fp (Server.fingerprint s);
+      let h = Server.health s ~now:3.0 in
+      check_int "fallback counted" 1 h.Server.corruption.Server.snapshot_fallbacks;
+      check "alarmed" true
+        (List.exists
+           (function Server.Survived_corruption _ -> true | _ -> false)
+           (Server.heartbeat s ~now:3.1));
+      (* a checkpoint replaces the garbage; the next restore is clean *)
+      Server.checkpoint s;
+      Server.close s;
+      let s2 = Server.restore ~now:5.0 ~dir:d ~topo ~cost () in
+      let h2 = Server.health s2 ~now:5.0 in
+      check "clean restore reports clean" true
+        (h2.Server.corruption.Server.torn_tails = 0
+        && h2.Server.corruption.Server.snapshot_fallbacks = 0);
+      check_str "still the same state" fp (Server.fingerprint s2);
+      Server.close s2)
+
 (* ---- audit ----------------------------------------------------------- *)
 
 let test_audit_small () =
@@ -535,6 +594,10 @@ let suite =
     Alcotest.test_case "server: watchdog alarms" `Quick test_server_watchdog;
     Alcotest.test_case "server: input validation" `Quick
       test_server_rejects_bad_input;
+    Alcotest.test_case "server: torn-tail corruption counted and alarmed" `Quick
+      test_corruption_counters_torn_tail;
+    Alcotest.test_case "server: snapshot-fallback corruption counted" `Quick
+      test_corruption_counters_snapshot_fallback;
     Alcotest.test_case "audit: small end-to-end run" `Quick test_audit_small;
     Alcotest.test_case "audit: storm accounting" `Quick
       test_audit_storm_accounting;

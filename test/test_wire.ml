@@ -1,0 +1,513 @@
+(* The wire protocol: framing against hostile bytes, the message
+   codec, chaos transports, exactly-once resume across kills at every
+   frame boundary, liveness reaping, and the end-to-end chaos audit. *)
+
+module Codec = Mdr_server.Codec
+module Update = Mdr_server.Update
+module Server = Mdr_server.Server
+module Transport = Mdr_wire.Transport
+module Frame = Mdr_wire.Frame
+module Proto = Mdr_wire.Proto
+module Wire_server = Mdr_wire.Wire_server
+module Client = Mdr_wire.Client
+module Wire_audit = Mdr_wire.Wire_audit
+module Wirefault = Mdr_faults.Wirefault
+module Procfault = Mdr_faults.Procfault
+module Graph = Mdr_topology.Graph
+module Rng = Mdr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Reuse the server suite's scratch-dir and topology fixtures. *)
+let with_dir = Test_server.with_dir
+let small_topo = Test_server.small_topo
+let cost = Procfault.default_base_cost
+
+let stream topo ~seed ~updates =
+  Array.of_list (Test_server.stream topo ~seed ~updates)
+
+(* ---- framing --------------------------------------------------------- *)
+
+let drain_decoder dec =
+  let rec go acc =
+    match Frame.next dec with
+    | `Frame p -> go (p :: acc)
+    | `Need_more -> (List.rev acc, `Ok)
+    | `Corrupt reason -> (List.rev acc, `Corrupt reason)
+  in
+  go []
+
+let test_frame_roundtrip_chunked () =
+  let payloads =
+    List.init 40 (fun i -> String.init (1 + (i * 7 mod 300)) (fun j -> Char.chr ((i + j) land 0xFF)))
+  in
+  let blob =
+    Frame.greeting ^ String.concat "" (List.map Frame.encode payloads)
+  in
+  let rng = Rng.create ~seed:11 in
+  (* Feed in random-size chunks: frame boundaries never align. *)
+  let dec = Frame.decoder () in
+  let got = ref [] in
+  let pos = ref 0 in
+  while !pos < String.length blob do
+    let k = min (String.length blob - !pos) (1 + Rng.int rng ~bound:13) in
+    Frame.feed dec (String.sub blob !pos k);
+    pos := !pos + k;
+    let frames, status = drain_decoder dec in
+    (match status with `Ok -> () | `Corrupt r -> Alcotest.fail r);
+    got := !got @ frames
+  done;
+  check_int "all frames decoded" (List.length payloads) (List.length !got);
+  List.iter2 (fun a b -> check_str "payload intact" a b) payloads !got
+
+let test_frame_corruption_sticky () =
+  let blob = Frame.greeting ^ Frame.encode "hello" ^ Frame.encode "world" in
+  (* Flip every byte position in turn; the decoder must either reject
+     the stream or (for flips past the surviving prefix) still decode
+     the clean frames — and must never raise. *)
+  for i = 0 to String.length blob - 1 do
+    let b = Bytes.of_string blob in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+    let dec = Frame.decoder () in
+    Frame.feed dec (Bytes.to_string b);
+    let frames, status = drain_decoder dec in
+    (match status with
+    | `Corrupt _ ->
+        (* sticky: more input must not revive it *)
+        Frame.feed dec (Frame.encode "again");
+        let more, status2 = drain_decoder dec in
+        check "no frames after corruption" true (more = []);
+        check "still corrupt" true (match status2 with `Corrupt _ -> true | `Ok -> false)
+    | `Ok -> check "flip lost at most both frames" true (List.length frames <= 2));
+    check "decoded frames are a prefix" true
+      (List.for_all (fun p -> String.equal p "hello" || String.equal p "world") frames)
+  done
+
+let test_frame_length_cap () =
+  (* A hostile length word must be rejected before any buffering
+     decision, without waiting for the declared bytes. *)
+  let dec = Frame.decoder () in
+  Frame.feed dec Frame.greeting;
+  let b = Buffer.create 8 in
+  Buffer.add_int32_be b 0x3FFFFFFFl;
+  Buffer.add_int32_be b 0l;
+  Frame.feed dec (Buffer.contents b);
+  (match Frame.next dec with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "oversized length accepted");
+  check_int "hostile bytes were not buffered" 0 (Frame.buffered dec);
+  (* encode refuses to produce such a frame in the first place *)
+  (match Frame.encode (String.make (Frame.max_payload + 1) 'x') with
+  | _ -> Alcotest.fail "encode accepted oversized payload"
+  | exception Invalid_argument _ -> ())
+
+let test_codec_hostile_length_prefix () =
+  (* The on-disk reader: a declared record length far beyond the bytes
+     in the file must come back Torn immediately (no allocation of the
+     declared size, no hang). *)
+  with_dir (fun d ->
+      let path = Filename.concat d "hostile.bin" in
+      let oc = open_out_bin path in
+      output_string oc (Codec.header ~magic:"MDRJ" ~version:1);
+      let b = Buffer.create 12 in
+      Buffer.add_int32_be b 0x20000000l;
+      (* 512 MiB declared *)
+      Buffer.add_int32_be b 0l;
+      Buffer.add_string b "tiny";
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      let ic = open_in_bin path in
+      seek_in ic Codec.header_len;
+      (match Codec.read_record ic with
+      | Codec.Torn _ -> ()
+      | Codec.Record _ | Codec.Eof -> Alcotest.fail "hostile length not classified Torn");
+      close_in ic)
+
+(* ---- the message codec ----------------------------------------------- *)
+
+let client_msgs =
+  [
+    Proto.Hello { client = 7; last_acked = 0 };
+    Proto.Hello { client = 0x3FFFFFFF; last_acked = 123456789 };
+    Proto.Submit { seq = 1; update = Update.Set_cost { src = 0; dst = 1; cost = 2.5 } };
+    Proto.Submit { seq = 999; update = Update.Link_down { a = 3; b = 4 } };
+    Proto.Submit { seq = 1000; update = Update.Link_up { a = 3; b = 4; cost = 1.25 } };
+    Proto.Ping { nonce = 42 };
+    Proto.Get_fingerprint;
+    Proto.Bye;
+  ]
+
+let server_msgs =
+  [
+    Proto.Welcome { session = 1; seq = 0 };
+    Proto.Welcome { session = 77; seq = 50 };
+    Proto.Ack { seq = 1 };
+    Proto.Reject { seq = 12; reason = "sequence gap (durable seq is 3)" };
+    Proto.Reject { seq = 1; reason = "" };
+    Proto.Pong { nonce = 42 };
+    Proto.Fingerprint (String.make 32 'a');
+  ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun m ->
+      check "client msg roundtrips" true (Proto.decode_client (Proto.encode_client m) = m))
+    client_msgs;
+  List.iter
+    (fun m ->
+      check "server msg roundtrips" true (Proto.decode_server (Proto.encode_server m) = m))
+    server_msgs;
+  (* trailing garbage is corruption, not tolerated slack *)
+  List.iter
+    (fun m ->
+      match Proto.decode_client (Proto.encode_client m ^ "\000") with
+      | _ -> Alcotest.fail "trailing byte accepted"
+      | exception Proto.Corrupt _ -> ())
+    client_msgs
+
+let proto_fuzz =
+  QCheck.Test.make ~name:"proto decode: total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      let total decode =
+        match decode s with _ -> true | exception Proto.Corrupt _ -> true
+        (* any other exception fails the property by escaping *)
+      in
+      total Proto.decode_client && total Proto.decode_server)
+
+let update_fuzz_random =
+  QCheck.Test.make ~name:"update decode: total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 40))
+    (fun s ->
+      match Update.decode s with _ -> true | exception Update.Corrupt _ -> true)
+
+let update_fuzz_bitflip =
+  (* Single-byte-flipped valid encodings: decode must return a value
+     or raise the typed exception — never crash, loop or
+     over-allocate. (Catching semantic flips is the CRC layer's job.) *)
+  QCheck.Test.make ~name:"update decode: total on bit-flipped valid frames" ~count:500
+    QCheck.(triple (int_bound 2) (int_bound 16) (int_bound 7))
+    (fun (which, pos, bit) ->
+      let u =
+        match which with
+        | 0 -> Update.Set_cost { src = 1; dst = 2; cost = 3.5 }
+        | 1 -> Update.Link_down { a = 1; b = 2 }
+        | _ -> Update.Link_up { a = 1; b = 2; cost = 0.5 }
+      in
+      let enc = Bytes.of_string (Update.encode u) in
+      let pos = pos mod Bytes.length enc in
+      Bytes.set enc pos (Char.chr (Char.code (Bytes.get enc pos) lxor (1 lsl bit)));
+      match Update.decode (Bytes.to_string enc) with
+      | _ -> true
+      | exception Update.Corrupt _ -> true)
+
+let test_update_exact_length () =
+  let enc = Update.encode (Update.Link_down { a = 1; b = 2 }) in
+  (match Update.decode (enc ^ "x") with
+  | _ -> Alcotest.fail "trailing byte accepted"
+  | exception Update.Corrupt _ -> ());
+  match Update.decode (String.sub enc 0 (String.length enc - 1)) with
+  | _ -> Alcotest.fail "short payload accepted"
+  | exception Update.Corrupt _ -> ()
+
+(* ---- transports ------------------------------------------------------ *)
+
+let test_pipe_ordering_and_close () =
+  let a, b = Transport.pipe () in
+  Transport.send a ~now:0.0 "one";
+  a.Transport.send_at ~now:0.0 ~at:1.0 "late";
+  Transport.send a ~now:0.5 "two";
+  check "nothing before due" true (b.Transport.recv ~now:(-1.0) = None);
+  check "in order" true (b.Transport.recv ~now:0.5 = Some "one");
+  check "undelayed overtakes delayed" true (b.Transport.recv ~now:0.5 = Some "two");
+  check "delayed arrives at its time" true (b.Transport.recv ~now:1.0 = Some "late");
+  Transport.send b ~now:1.0 "reply";
+  b.Transport.close ();
+  check "close drops queues" true (a.Transport.recv ~now:2.0 = None);
+  check "both ends closed" true
+    (a.Transport.status () = `Closed && b.Transport.status () = `Closed)
+
+let test_wirefault_deterministic_and_transparent () =
+  let mk seed =
+    Wirefault.create ~rng:(Rng.substream ~seed ~index:0)
+      ~params:(Wirefault.scale Wirefault.default_params ~intensity:3.0) ()
+  in
+  let run line =
+    List.concat_map (fun i -> Wirefault.transform line ~now:(float_of_int i) (String.make 20 'p'))
+      (List.init 50 (fun i -> i))
+  in
+  check "same seed, same chaos" true (run (mk 5) = run (mk 5));
+  check "different seed, different chaos" true (run (mk 5) <> run (mk 6));
+  (* intensity 0 is a transparent line *)
+  let clean =
+    Wirefault.create ~rng:(Rng.create ~seed:1)
+      ~params:(Wirefault.scale Wirefault.default_params ~intensity:0.0) ()
+  in
+  check "transparent" true (Wirefault.transform clean ~now:4.0 "abc" = [ (4.0, "abc") ]);
+  (* a line that draws a disconnect goes dead and stays dead *)
+  let all_cut = { Wirefault.default_params with disconnect = 0.95 } in
+  let line = Wirefault.create ~rng:(Rng.create ~seed:2) ~params:all_cut () in
+  let rec until_dead n = if Wirefault.dead line || n = 0 then n else begin
+      ignore (Wirefault.transform line ~now:0.0 "xyz"); until_dead (n - 1) end
+  in
+  ignore (until_dead 100);
+  check "line died" true (Wirefault.dead line);
+  check "dead line delivers nothing" true (Wirefault.transform line ~now:9.0 "x" = [])
+
+(* ---- a wired session, no chaos --------------------------------------- *)
+
+let run_session ?(updates = 20) ?(seed = 3) ?(dt = 0.02) ?(max_steps = 50_000)
+    ?(on_step = fun ~kill:_ _ -> ()) ~dial_chaos topo dir =
+  let upd = stream topo ~seed ~updates in
+  let config = { Server.default_config with snapshot_every = 8 } in
+  let ref_srv = Server.create ~config ~dir:(Filename.concat dir "ref") ~topo ~cost () in
+  Array.iteri (fun i u -> Server.apply ref_srv ~now:(float_of_int i) u) upd;
+  let fp_ref = Server.fingerprint ref_srv in
+  Server.close ref_srv;
+  let srv = Server.create ~config ~dir:(Filename.concat dir "wire") ~topo ~cost () in
+  let wsrv = Wire_server.create srv in
+  let current = ref None in
+  let conns = ref 0 in
+  let dial ~now =
+    incr conns;
+    let client_end, server_end = Transport.pipe () in
+    let client_end, server_end = dial_chaos ~conn:!conns client_end server_end in
+    ignore (Wire_server.attach wsrv ~now server_end);
+    current := Some client_end;
+    Some client_end
+  in
+  let client = Client.create ~rng:(Rng.substream ~seed ~index:1) ~dial ~updates:upd () in
+  let kill () =
+    match !current with Some tr -> tr.Transport.close () | None -> ()
+  in
+  let steps = ref 0 in
+  while (not (Client.finished client)) && !steps < max_steps do
+    incr steps;
+    let now = float_of_int !steps *. dt in
+    Client.step client ~now;
+    on_step ~kill (`Before_server (client, now));
+    ignore (Wire_server.step wsrv ~now);
+    on_step ~kill (`After_server (client, now));
+    if !steps mod 25 = 0 then ignore (Wire_server.heartbeat wsrv ~now)
+  done;
+  (client, wsrv, srv, fp_ref)
+
+let no_chaos ~conn:_ c s = (c, s)
+
+let test_session_happy_path () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let client, wsrv, srv, fp_ref = run_session ~dial_chaos:no_chaos topo dir in
+      check "client done" true (Client.phase client = Client.Done);
+      let cs = Client.stats client in
+      let ws = Wire_server.stats wsrv in
+      check_int "all acked" 20 cs.Client.acked;
+      check_int "no retries on a clean wire" 0 cs.Client.retries;
+      check_int "no reconnects" 0 cs.Client.reconnects;
+      check_int "every update applied once" 20 ws.Wire_server.applied;
+      check_int "server at seq" 20 (Server.seq srv);
+      check_str "fingerprint matches direct run" fp_ref (Server.fingerprint srv);
+      check "client fetched the same fingerprint" true
+        (Client.fingerprint client = Some fp_ref);
+      check "lfi clean" true (Server.lfi_ok srv);
+      Server.close srv)
+
+(* Satellite: the client killed at every frame boundary of a 50-update
+   stream. Odd seqs are cut before the server ever sees the submit
+   (the retry path); even seqs after the server applied it but before
+   the ack returns (the fast-forward path). Either way the stream must
+   converge to the reference fingerprint with no double apply. *)
+let test_kill_every_frame_boundary () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let killed = ref 0 in
+      let kill_after = ref false in
+      let on_step ~kill = function
+        | `Before_server (client, _) -> (
+            match Client.pending_seq client with
+            | Some k when k > !killed && k <= 50 ->
+                killed := k;
+                if k mod 2 = 1 then kill () else kill_after := true
+            | _ -> ())
+        | `After_server (_, _) ->
+            if !kill_after then begin
+              kill_after := false;
+              kill ()
+            end
+      in
+      let client, wsrv, srv, fp_ref =
+        run_session ~updates:50 ~seed:9 ~on_step ~dial_chaos:no_chaos topo dir
+      in
+      check_int "every boundary was cut" 50 !killed;
+      check "client done" true (Client.phase client = Client.Done);
+      let cs = Client.stats client in
+      let ws = Wire_server.stats wsrv in
+      check "reconnected across every cut" true (cs.Client.reconnects >= 50);
+      check "fast-forward path exercised" true (cs.Client.fast_forwarded > 0);
+      check_int "exactly-once: applied" 50 ws.Wire_server.applied;
+      check_int "exactly-once: seq" 50 (Server.seq srv);
+      check_str "converged to reference" fp_ref (Server.fingerprint srv);
+      check "wire fingerprint agrees" true (Client.fingerprint client = Some fp_ref);
+      check "lfi clean" true (Server.lfi_ok srv);
+      Server.close srv)
+
+(* ---- liveness and hostile peers -------------------------------------- *)
+
+let test_dead_session_reaped () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let wsrv = Wire_server.create ~config:{ Wire_server.dead_after = 5.0 } srv in
+      let _, server_end = Transport.pipe () in
+      let id = Wire_server.attach wsrv ~now:0.0 server_end in
+      check_int "session open" 1 (Wire_server.sessions wsrv);
+      check "quiet before the deadline" true (Wire_server.heartbeat wsrv ~now:4.0 = []);
+      let alarms = Wire_server.heartbeat wsrv ~now:6.0 in
+      check "reap alarm" true
+        (List.exists
+           (function Wire_server.Dead_session { id = i; _ } -> i = id | _ -> false)
+           alarms);
+      check_int "session gone" 0 (Wire_server.sessions wsrv);
+      check_int "counted" 1 (Wire_server.stats wsrv).Wire_server.reaped;
+      Server.close srv)
+
+let test_malformed_stream_closes_session () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let wsrv = Wire_server.create srv in
+      let client_end, server_end = Transport.pipe () in
+      ignore (Wire_server.attach wsrv ~now:0.0 server_end);
+      Transport.send client_end ~now:0.0 "this is not a greeting";
+      ignore (Wire_server.step wsrv ~now:0.1);
+      check_int "session dropped" 0 (Wire_server.sessions wsrv);
+      check_int "malformed counted" 1 (Wire_server.stats wsrv).Wire_server.malformed;
+      let alarms = Wire_server.heartbeat wsrv ~now:0.2 in
+      check "malformed alarm" true
+        (List.exists
+           (function Wire_server.Malformed_frames { frames = 1 } -> true | _ -> false)
+           alarms);
+      check "alarm fires once" true
+        (not
+           (List.exists
+              (function Wire_server.Malformed_frames _ -> true | _ -> false)
+              (Wire_server.heartbeat wsrv ~now:0.3)));
+      Server.close srv)
+
+let test_duplicate_submit_reacked_not_reapplied () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let wsrv = Wire_server.create srv in
+      let client_end, server_end = Transport.pipe () in
+      ignore (Wire_server.attach wsrv ~now:0.0 server_end);
+      let send msg =
+        Transport.send client_end ~now:0.0 (Frame.encode (Proto.encode_client msg))
+      in
+      Transport.send client_end ~now:0.0 Frame.greeting;
+      let u = Update.Set_cost { src = 0; dst = 1; cost = 9.0 } in
+      send (Proto.Submit { seq = 1; update = u });
+      send (Proto.Submit { seq = 1; update = u });
+      send (Proto.Submit { seq = 5; update = u });
+      ignore (Wire_server.step wsrv ~now:0.1);
+      let ws = Wire_server.stats wsrv in
+      check_int "applied once" 1 ws.Wire_server.applied;
+      check_int "duplicate re-acked" 1 ws.Wire_server.duplicates;
+      check_int "gap rejected" 1 ws.Wire_server.rejects;
+      check_int "server seq" 1 (Server.seq srv);
+      (* two acks for seq 1, one reject for seq 5 *)
+      let dec = Frame.decoder () in
+      let rec pull () =
+        match client_end.Transport.recv ~now:0.2 with
+        | Some c -> Frame.feed dec c; pull ()
+        | None -> ()
+      in
+      pull ();
+      let rec msgs acc =
+        match Frame.next dec with
+        | `Frame p -> msgs (Proto.decode_server p :: acc)
+        | `Need_more -> List.rev acc
+        | `Corrupt r -> Alcotest.fail r
+      in
+      (match msgs [] with
+      | [ Proto.Ack { seq = 1 }; Proto.Ack { seq = 1 }; Proto.Reject { seq = 5; _ } ] -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "unexpected replies: %s"
+               (String.concat ", " (List.map Proto.describe_server other))));
+      Server.close srv)
+
+let test_client_gives_up () =
+  let topo = small_topo () in
+  let upd = stream topo ~seed:3 ~updates:5 in
+  let config = { Client.default_config with max_reconnects = 5 } in
+  let client =
+    Client.create ~config ~rng:(Rng.create ~seed:1) ~dial:(fun ~now:_ -> None)
+      ~updates:upd ()
+  in
+  let steps = ref 0 in
+  while (not (Client.finished client)) && !steps < 10_000 do
+    incr steps;
+    Client.step client ~now:(float_of_int !steps *. 0.05)
+  done;
+  check "failed, not hung" true
+    (match Client.phase client with Client.Failed _ -> true | _ -> false);
+  check_int "counted the refused dials" 6 (Client.stats client).Client.dial_failures
+
+(* ---- the chaos audit ------------------------------------------------- *)
+
+let test_wire_audit_clean_wire () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let r = Wire_audit.run ~updates:20 ~intensity:0.0 ~dir ~topo ~seed:4 () in
+      check "clean wire passes" true r.Wire_audit.ok;
+      check_int "no reconnects without chaos" 0 r.Wire_audit.reconnects;
+      check_int "no retries without chaos" 0 r.Wire_audit.retries)
+
+let test_wire_audit_chaos () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let r = Wire_audit.run ~updates:40 ~intensity:2.0 ~dir ~topo ~seed:1 () in
+      check "chaos run converges" true r.Wire_audit.ok;
+      check "chaos actually struck" true
+        (r.Wire_audit.chaos.Wirefault.flips
+         + r.Wire_audit.chaos.Wirefault.truncations
+         + r.Wire_audit.chaos.Wirefault.disconnects
+         > 0);
+      check "sessions were cut and resumed" true (r.Wire_audit.reconnects > 0))
+
+let wire_audit_property =
+  QCheck.Test.make ~name:"wire audit: exactly-once fingerprint equality under chaos"
+    ~count:10
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      with_dir (fun dir ->
+          let topo = small_topo () in
+          let r = Wire_audit.run ~updates:25 ~intensity:1.5 ~dir ~topo ~seed () in
+          r.Wire_audit.ok))
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip under random chunking" `Quick test_frame_roundtrip_chunked;
+    Alcotest.test_case "frame corruption is detected and sticky" `Quick test_frame_corruption_sticky;
+    Alcotest.test_case "frame length cap before buffering" `Quick test_frame_length_cap;
+    Alcotest.test_case "codec: hostile length prefix reads as Torn" `Quick test_codec_hostile_length_prefix;
+    Alcotest.test_case "proto roundtrip, exact length" `Quick test_proto_roundtrip;
+    QCheck_alcotest.to_alcotest proto_fuzz;
+    QCheck_alcotest.to_alcotest update_fuzz_random;
+    QCheck_alcotest.to_alcotest update_fuzz_bitflip;
+    Alcotest.test_case "update decode rejects trailing bytes" `Quick test_update_exact_length;
+    Alcotest.test_case "pipe ordering, delay, close" `Quick test_pipe_ordering_and_close;
+    Alcotest.test_case "wirefault determinism and intensity" `Quick test_wirefault_deterministic_and_transparent;
+    Alcotest.test_case "session happy path" `Quick test_session_happy_path;
+    Alcotest.test_case "kill at every frame boundary of 50 updates" `Quick test_kill_every_frame_boundary;
+    Alcotest.test_case "dead sessions are reaped" `Quick test_dead_session_reaped;
+    Alcotest.test_case "malformed stream closes the session" `Quick test_malformed_stream_closes_session;
+    Alcotest.test_case "duplicate submit re-acked, never re-applied" `Quick test_duplicate_submit_reacked_not_reapplied;
+    Alcotest.test_case "client gives up after max reconnects" `Quick test_client_gives_up;
+    Alcotest.test_case "wire audit: clean wire" `Quick test_wire_audit_clean_wire;
+    Alcotest.test_case "wire audit: chaos converges" `Quick test_wire_audit_chaos;
+    QCheck_alcotest.to_alcotest wire_audit_property;
+  ]
