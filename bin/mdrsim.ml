@@ -793,6 +793,8 @@ let describe_wire_alarm = function
       Printf.sprintf "session %d reaped after %.1f s idle" id idle
   | Wire_server.Malformed_frames { frames } ->
       Printf.sprintf "%d corrupt frame stream(s) dropped" frames
+  | Wire_server.Quarantined { client; strikes } ->
+      Printf.sprintf "client %d quarantined after %d strikes" client strikes
 
 let parse_wire_addr spec =
   let malformed = Error "ADDR must be unix:PATH or tcp:HOST:PORT" in
@@ -824,11 +826,32 @@ let parse_wire_addr spec =
               | _ -> Error (Printf.sprintf "bad port %S" port)))
       | _ -> malformed)
 
+(* Atomic metrics exposition: write the whole page to a temp file in
+   the target's directory, then rename over it, so a scraper never
+   reads a torn page. *)
+let write_metrics ~path text =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".metrics" ".tmp" in
+  let oc = open_out tmp in
+  output_string oc text;
+  close_out oc;
+  Sys.rename tmp path
+
 (* The daemon accept loop: nonblocking listener, one Transport.of_fd
    per accepted connection, watchdog heartbeat roughly once a second.
-   Returns the wire stats and the logical time at shutdown. *)
-let listen_loop srv ~addr ~once ~max_seconds =
+   SIGTERM/SIGINT request a graceful shutdown: stop accepting, send
+   Shutdown to every live session, and return so the caller can flush
+   the journal and write the final snapshot. Returns the wire stats
+   and the logical time at shutdown. *)
+let listen_loop srv ~addr ~once ~max_seconds ~metrics =
   let wsrv = Wire_server.create srv in
+  let sig_stop = ref false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> sig_stop := true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> sig_stop := true))
+  in
   let lsock =
     Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
   in
@@ -850,9 +873,10 @@ let listen_loop srv ~addr ~once ~max_seconds =
   while not !stop do
     now := Unix.gettimeofday () -. t0;
     (match Unix.accept ~cloexec:true lsock with
-    | fd, _ ->
-        let id = Wire_server.attach wsrv ~now:!now (Wire_transport.of_fd fd) in
-        Printf.printf "session %d connected\n%!" id
+    | fd, _ -> (
+        match Wire_server.attach wsrv ~now:!now (Wire_transport.of_fd fd) with
+        | Some id -> Printf.printf "session %d connected\n%!" id
+        | None -> Printf.printf "session rejected (table full)\n%!")
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       -> ());
     ignore (Wire_server.step wsrv ~now:!now);
@@ -860,16 +884,30 @@ let listen_loop srv ~addr ~once ~max_seconds =
       last_beat := !now;
       List.iter
         (fun a -> Printf.printf "  alarm: %s\n%!" (describe_wire_alarm a))
-        (Wire_server.heartbeat wsrv ~now:!now)
+        (Wire_server.heartbeat wsrv ~now:!now);
+      match metrics with
+      | Some path -> write_metrics ~path (Wire_server.metrics wsrv ~now:!now)
+      | None -> ()
     end;
     if once
        && (Wire_server.stats wsrv).Wire_server.opened > 0
        && Wire_server.sessions wsrv = 0
     then stop := true;
     if max_seconds > 0.0 && !now >= max_seconds then stop := true;
+    if !sig_stop then stop := true;
     if not !stop then
       try Unix.sleepf 0.002 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
+  if !sig_stop then begin
+    let said_bye = Wire_server.shutdown wsrv ~now:!now in
+    Printf.printf "signal: shutting down, told %d session(s) goodbye\n%!"
+      said_bye
+  end;
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  (match metrics with
+  | Some path -> write_metrics ~path (Wire_server.metrics wsrv ~now:!now)
+  | None -> ());
   Unix.close lsock;
   (match addr with
   | Unix.ADDR_UNIX path -> ( try Sys.remove path with Sys_error _ -> ())
@@ -925,8 +963,14 @@ let serve_cmd =
                (0 = run until $(b,--once) fires or the process is killed)." in
     Arg.(value & opt float 0.0 & info [ "max-seconds" ] ~docv:"S" ~doc)
   in
+  let metrics_arg =
+    let doc = "With $(b,--listen): write a Prometheus-style text \
+               exposition of the daemon's counters to $(docv) on every \
+               heartbeat (atomic tmp+rename)." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
   let run topo_name dir resume updates seed snapshot_every queue routes_from
-      listen once max_seconds =
+      listen once max_seconds metrics =
     let addr =
       match listen with
       | None -> Ok None
@@ -966,7 +1010,9 @@ let serve_cmd =
       let wire_stats =
         match addr with
         | Some addr ->
-            let stats, _shutdown = listen_loop srv ~addr ~once ~max_seconds in
+            let stats, _shutdown =
+              listen_loop srv ~addr ~once ~max_seconds ~metrics
+            in
             Some stats
         | None ->
             let stream =
@@ -1070,7 +1116,7 @@ let serve_cmd =
     Term.(
       const run $ serve_topo_arg $ dir_arg $ resume_arg $ updates_arg
       $ seed_arg $ snap_arg $ queue_arg $ routes_arg $ listen_arg $ once_arg
-      $ max_seconds_arg)
+      $ max_seconds_arg $ metrics_arg)
 
 let serve_audit_cmd =
   let dir_arg =
@@ -1264,10 +1310,24 @@ let wire_client_cmd =
     let doc = "Give up after this much wall-clock time." in
     Arg.(value & opt float 60.0 & info [ "max-seconds" ] ~docv:"S" ~doc)
   in
-  let run topo_name connect updates seed max_seconds =
+  let client_id_arg =
+    let doc = "Client identity: names this writer's durable sequence \
+               space on the server, so concurrent clients (and resumed \
+               ones) must each pick a distinct stable id >= 1." in
+    Arg.(value & opt int 1 & info [ "client-id" ] ~docv:"ID" ~doc)
+  in
+  let claim_arg =
+    let doc = "Claim exclusive ownership of the whole topology under a \
+               fresh fencing epoch before streaming; a stale writer for \
+               the same links is then fenced instead of racing us." in
+    Arg.(value & flag & info [ "claim" ] ~doc)
+  in
+  let run topo_name connect updates seed max_seconds client_id claim =
     if updates < 1 || (not (Float.is_finite max_seconds)) || max_seconds <= 0.0
+       || client_id < 1
     then begin
-      prerr_endline "wire-client: need --updates >= 1, --max-seconds > 0";
+      prerr_endline
+        "wire-client: need --updates >= 1, --max-seconds > 0, --client-id >= 1";
       2
     end
     else
@@ -1305,7 +1365,8 @@ let wire_client_cmd =
                 None
           in
           let client =
-            Wire_client.create
+            Wire_client.create ~client_id
+              ?claim:(if claim then Some Mdr_wire.Proto.All else None)
               ~rng:(Mdr_util.Rng.create ~seed)
               ~dial ~updates:stream ()
           in
@@ -1352,7 +1413,7 @@ let wire_client_cmd =
           reconnects and resume are automatic.")
     Term.(
       const run $ serve_topo_arg $ connect_arg $ updates_arg $ seed_arg
-      $ max_seconds_arg)
+      $ max_seconds_arg $ client_id_arg $ claim_arg)
 
 let serve_wire_audit_cmd =
   let dir_arg =
@@ -1492,6 +1553,181 @@ let serve_wire_audit_cmd =
       const run $ serve_topo_arg $ dir_arg $ updates_arg $ audit_seeds_arg
       $ intensities_arg $ out_arg)
 
+let serve_multi_audit_cmd =
+  let dir_arg =
+    let doc = "Scratch directory for the audit's server states." in
+    Arg.(
+      value & opt string "_serve_multi_audit" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let updates_arg =
+    let doc = "Updates per client per run." in
+    Arg.(value & opt int 30 & info [ "updates" ] ~docv:"N" ~doc)
+  in
+  let audit_seeds_arg =
+    let doc = "Comma-separated seeds; one concurrent-chaos run per \
+               (seed, client count) cell." in
+    Arg.(
+      value
+      & opt seeds_conv [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+  in
+  let clients_arg =
+    let doc = "Comma-separated concurrent writer counts (each >= 2)." in
+    Arg.(
+      value & opt seeds_conv [ 2; 4; 8 ] & info [ "clients" ] ~docv:"LIST" ~doc)
+  in
+  let intensity_arg =
+    let doc = "Chaos intensity scaling the fault-line probabilities \
+               (0 = clean wire)." in
+    Arg.(value & opt float 1.0 & info [ "intensity" ] ~docv:"X" ~doc)
+  in
+  let server_kills_arg =
+    let doc = "Server kills (between updates, mid journal append, mid \
+               snapshot) per run." in
+    Arg.(value & opt int 3 & info [ "server-kills" ] ~docv:"N" ~doc)
+  in
+  let client_kills_arg =
+    let doc = "Client kills (fresh machine resumes through Welcome) per \
+               run." in
+    Arg.(value & opt int 2 & info [ "client-kills" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the JSON report." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run topo_name dir updates seeds clients intensity server_kills
+      client_kills out =
+    if updates < 1 || seeds = [] || clients = []
+       || List.exists (fun c -> c < 2) clients
+       || (not (Float.is_finite intensity))
+       || intensity < 0.0 || server_kills < 0 || client_kills < 0
+    then begin
+      prerr_endline
+        "serve-multi-audit: need --updates >= 1, non-empty seeds, client \
+         counts >= 2, finite --intensity >= 0, kill counts >= 0";
+      2
+    end
+    else begin
+      let topo = named_topo topo_name in
+      Printf.printf
+        "serve-multi-audit: %s, %d updates per client, seeds {%s}, clients \
+         {%s}, intensity %g\n\n"
+        topo_name updates
+        (String.concat ", " (List.map string_of_int seeds))
+        (String.concat ", " (List.map string_of_int clients))
+        intensity;
+      let results =
+        Wire_audit.run_multi_grid ~updates ~server_kills ~client_kills
+          ~intensity ~dir ~topo ~seeds ~client_counts:clients ()
+      in
+      print_string (Wire_audit.report_multi results);
+      let slo = Wire_audit.multi_slo_by_clients results in
+      Printf.printf "\nreconnect SLO by client count (pooled per-client):\n%s"
+        (Mdr_util.Tab.render
+           ~header:[ "clients"; "samples"; "p50 s"; "p95 s"; "max s" ]
+           (List.map
+              (fun (c, (s : Mdr_faults.Recovery.slo)) ->
+                [
+                  string_of_int c;
+                  string_of_int s.Mdr_faults.Recovery.count;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.p50;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.p95;
+                  Printf.sprintf "%.3f" s.Mdr_faults.Recovery.max_;
+                ])
+              slo));
+      let client_json (c : Wire_audit.client_report) =
+        Printf.sprintf
+          "{\"client\": %d, \"done\": %b, \"acked\": %d, \"resumes\": %d, \
+           \"reconnects\": %d, \"dial_failures\": %d, \"retries\": %d, \
+           \"fast_forwarded\": %d, \"throttled\": %d, \"shed\": %d, \
+           \"reconnect_count\": %d, \"reconnect_p50_s\": %.4f, \
+           \"reconnect_p95_s\": %.4f, \"reconnect_max_s\": %.4f}"
+          c.Wire_audit.client c.Wire_audit.client_done c.Wire_audit.acked
+          c.Wire_audit.resumes c.Wire_audit.reconnects
+          c.Wire_audit.dial_failures c.Wire_audit.retries
+          c.Wire_audit.fast_forwarded c.Wire_audit.throttled c.Wire_audit.shed
+          c.Wire_audit.reconnect_slo.Mdr_faults.Recovery.count
+          c.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p50
+          c.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p95
+          c.Wire_audit.reconnect_slo.Mdr_faults.Recovery.max_
+      in
+      let run_json (r : Wire_audit.multi_result) =
+        Printf.sprintf
+          "    {\"seed\": %d, \"clients\": %d, \"intensity\": %g, \
+           \"updates_per_client\": %d, \"ok\": %b, \"all_done\": %b, \
+           \"fingerprint_ok\": %b, \"replay_ok\": %b, \"exactly_once\": %b, \
+           \"marks_ok\": %b, \"no_stale_applies\": %b, \"lfi_ok\": %b, \
+           \"settled\": %b, \"server_kills\": %d, \"client_kills\": %d, \
+           \"grants\": %d, \"fenced\": %d, \"throttled\": %d, \
+           \"quarantines\": %d, \"evicted\": %d, \"duplicates\": %d, \
+           \"malformed\": %d, \"reconnect_count\": %d, \
+           \"reconnect_p50_s\": %.4f, \"reconnect_p95_s\": %.4f, \
+           \"reconnect_max_s\": %.4f, \"wall_s\": %.2f,\n     \
+           \"per_client\": [%s]}"
+          r.Wire_audit.seed r.Wire_audit.clients r.Wire_audit.intensity
+          r.Wire_audit.updates_per_client r.Wire_audit.ok r.Wire_audit.all_done
+          r.Wire_audit.fingerprint_ok r.Wire_audit.replay_ok
+          r.Wire_audit.exactly_once r.Wire_audit.marks_ok
+          r.Wire_audit.no_stale_applies r.Wire_audit.lfi r.Wire_audit.settled
+          r.Wire_audit.server_kills r.Wire_audit.client_kills
+          r.Wire_audit.grants r.Wire_audit.fenced r.Wire_audit.throttled
+          r.Wire_audit.quarantines r.Wire_audit.evicted r.Wire_audit.duplicates
+          r.Wire_audit.malformed
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.count
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p50
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.p95
+          r.Wire_audit.reconnect_slo.Mdr_faults.Recovery.max_
+          r.Wire_audit.wall_s
+          (String.concat ", " (List.map client_json r.Wire_audit.per_client))
+      in
+      let slo_json (c, (s : Mdr_faults.Recovery.slo)) =
+        Printf.sprintf
+          "    {\"clients\": %d, \"count\": %d, \"p50_s\": %.4f, \
+           \"p95_s\": %.4f, \"max_s\": %.4f}"
+          c s.Mdr_faults.Recovery.count s.Mdr_faults.Recovery.p50
+          s.Mdr_faults.Recovery.p95 s.Mdr_faults.Recovery.max_
+      in
+      let oc = open_out out in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"serve-multi-chaos\",\n  \"topology\": %S,\n  \
+         \"updates_per_client\": %d,\n  \"intensity\": %g,\n  \
+         \"runs\": [\n%s\n  ],\n  \
+         \"reconnect_slo_by_clients\": [\n%s\n  ]\n}\n"
+        topo_name updates intensity
+        (String.concat ",\n" (List.map run_json results))
+        (String.concat ",\n" (List.map slo_json slo));
+      close_out oc;
+      Printf.printf "\nwrote %s\n" out;
+      let ok =
+        List.for_all
+          (fun (r : Wire_audit.multi_result) -> r.Wire_audit.ok)
+          results
+      in
+      Printf.printf "\nserve-multi-audit: %s\n"
+        (if ok then
+           "PASS (every cell byte-identical to its sequential reference, \
+            exactly-once per client, zero stale-epoch applies, LFI clean)"
+         else
+           "FAIL (a cell diverged, lost or double-applied a client's \
+            update, or let a fenced write through)");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve-multi-audit"
+       ~doc:
+         "Concurrent-chaos audit of the multi-writer server: N seeded \
+          clients claim disjoint link shares and push interleaved \
+          chaos-wrapped streams while the server and clients are killed \
+          and resumed at adversarial points; assert the final state is \
+          byte-identical to a sequential replay of the accepted order, \
+          exactly-once per client, zero stale-epoch applies, and bench \
+          per-client reconnect/shed SLOs into BENCH_serve.json.")
+    Term.(
+      const run $ serve_topo_arg $ dir_arg $ updates_arg $ audit_seeds_arg
+      $ clients_arg $ intensity_arg $ server_kills_arg $ client_kills_arg
+      $ out_arg)
+
 let dot_cmd =
   let topo_arg =
     let doc = "Topology: cairn, net1, or a file path." in
@@ -1549,6 +1785,7 @@ let cmds =
     serve_audit_cmd;
     wire_client_cmd;
     serve_wire_audit_cmd;
+    serve_multi_audit_cmd;
     lint_cmd;
     check_cmd;
     verify_cmd;

@@ -20,9 +20,36 @@ let duplex_pairs topo =
       else None)
     (Graph.links topo)
 
-let stream_gen ~rng ~base_cost ~topo ~updates ~topology_events () =
+let partition_pairs ~clients topo =
+  if clients < 1 then invalid_arg "Procfault.partition_pairs: clients must be >= 1";
+  let pairs = duplex_pairs topo in
+  if List.length pairs < clients then
+    invalid_arg
+      (Printf.sprintf
+         "Procfault.partition_pairs: %d clients but only %d duplex pairs"
+         clients (List.length pairs));
+  let buckets = Array.make clients [] in
+  List.iteri (fun i p -> buckets.(i mod clients) <- p :: buckets.(i mod clients)) pairs;
+  Array.to_list (Array.map List.rev buckets)
+
+let stream_gen ~rng ~base_cost ~topo ~updates ~topology_events ?only_pairs () =
   if updates < 0 then invalid_arg "Procfault.stream: negative update count";
-  let pairs = Array.of_list (duplex_pairs topo) in
+  let all = duplex_pairs topo in
+  let chosen =
+    match only_pairs with
+    | None -> all
+    | Some subset ->
+        List.iter
+          (fun (a, b) ->
+            if a >= b then
+              invalid_arg "Procfault.stream: pairs must be normalized (a < b)";
+            if not (List.mem (a, b) all) then
+              invalid_arg
+                (Printf.sprintf "Procfault.stream: (%d, %d) is not a duplex pair" a b))
+          subset;
+        subset
+  in
+  let pairs = Array.of_list chosen in
   let n_pairs = Array.length pairs in
   if n_pairs = 0 then invalid_arg "Procfault.stream: topology has no duplex link";
   let up = Array.make n_pairs true in
@@ -91,6 +118,9 @@ let stream_gen ~rng ~base_cost ~topo ~updates ~topology_events () =
 
 let stream ~rng ?(base_cost = default_base_cost) ~topo ~updates () =
   stream_gen ~rng ~base_cost ~topo ~updates ~topology_events:true ()
+
+let stream_on ~rng ?(base_cost = default_base_cost) ~topo ~pairs ~updates () =
+  stream_gen ~rng ~base_cost ~topo ~updates ~topology_events:true ~only_pairs:pairs ()
 
 let cost_storm ~rng ?(base_cost = default_base_cost) ~topo ~updates () =
   stream_gen ~rng ~base_cost ~topo ~updates ~topology_events:false ()

@@ -38,6 +38,19 @@ val default_base_cost : Mdr_topology.Graph.link -> float
 (** [1 + 1000 * prop_delay] — the CLI's static link cost, shared here
     so streams and servers agree on what a link "normally" costs. *)
 
+val duplex_pairs : Mdr_topology.Graph.t -> (int * int) list
+(** The topology's duplex link pairs, normalized [(a, b)] with [a < b],
+    in link insertion order. This is the unit of ownership the
+    multi-writer server fences on, and the universe {!stream} draws
+    from. *)
+
+val partition_pairs : clients:int -> Mdr_topology.Graph.t -> (int * int) list list
+(** Round-robin the duplex pairs across [clients] non-empty disjoint
+    buckets (bucket [k] gets pairs [k], [k + clients], ...). The
+    multi-writer audit hands bucket [k] to client [k + 1] as its claimed
+    scope. @raise Invalid_argument if [clients < 1] or the topology has
+    fewer duplex pairs than clients. *)
+
 val stream :
   rng:Mdr_util.Rng.t ->
   ?base_cost:(Mdr_topology.Graph.link -> float) ->
@@ -52,6 +65,21 @@ val stream :
     cannot apply (nothing down to restore, one link left) fall back to
     cost changes, so the length is always exactly [updates].
     @raise Invalid_argument if [topo] has no duplex link. *)
+
+val stream_on :
+  rng:Mdr_util.Rng.t ->
+  ?base_cost:(Mdr_topology.Graph.link -> float) ->
+  topo:Mdr_topology.Graph.t ->
+  pairs:(int * int) list ->
+  updates:int ->
+  unit ->
+  update list
+(** {!stream} restricted to a subset of the topology's duplex pairs —
+    one writer's world in a multi-writer run. The "never fail the last
+    up link" guard applies within [pairs], so a client that owns a
+    single pair only ever re-costs it. @raise Invalid_argument if
+    [pairs] is empty, not normalized, or not a subset of
+    {!duplex_pairs}. *)
 
 val cost_storm :
   rng:Mdr_util.Rng.t ->

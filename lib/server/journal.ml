@@ -1,5 +1,5 @@
 let magic = "MDRJ"
-let version = 1
+let version = 2
 
 type t = {
   fd : Unix.file_descr;

@@ -68,6 +68,15 @@ type alarm =
   | Shedding of { shed : int }
   | Survived_corruption of corruption
 
+type claim_scope = All | Pairs of (int * int) list
+
+type submit_result =
+  | Applied
+  | Duplicate
+  | Seq_gap of { expected : int }
+  | Fenced of { owner : int; current : int }
+  | Died
+
 type t = {
   topo : Graph.t;
   dir : string;
@@ -85,6 +94,11 @@ type t = {
   mutable last_restore : restore_info option;
   mutable corruption : corruption;
   mutable corruption_seen : int;  (* events already reported by a heartbeat *)
+  marks : (int, int) Hashtbl.t;  (* client -> durable per-client seq *)
+  grants : (int, int) Hashtbl.t;  (* client -> last granted epoch *)
+  claim_tbl : (int * int, int * int) Hashtbl.t;  (* duplex pair -> owner, epoch *)
+  mutable epoch : int;  (* last granted epoch, monotone across restarts *)
+  mutable torn_next : int option;  (* one-shot: tear the next journal append *)
 }
 
 let journal_path dir = Filename.concat dir "journal.bin"
@@ -106,6 +120,22 @@ let rec ensure_dir dir =
 let seq t = t.seq
 let alive t = t.alive
 let topology t = t.topo
+let epoch t = t.epoch
+
+let client_seq t ~client =
+  match Hashtbl.find_opt t.marks client with Some s -> s | None -> 0
+
+let client_epoch t ~client =
+  match Hashtbl.find_opt t.grants client with Some e -> e | None -> 0
+
+let marks t = (Mdr_util.Sorted_tbl.bindings t.marks : (int * int) list)
+
+let claims t =
+  (Mdr_util.Sorted_tbl.bindings t.claim_tbl : ((int * int) * (int * int)) list)
+
+let arm_torn t ~torn_at =
+  if torn_at < 1 then invalid_arg "Server.arm_torn: torn_at must be >= 1";
+  t.torn_next <- Some torn_at
 
 (* ---- the synchronous message pump ------------------------------------ *)
 
@@ -204,6 +234,31 @@ let snapshot_payload t =
       Buffer.add_int32_be buf (Int32.of_int dst);
       Buffer.add_int64_be buf (Int64.bits_of_float cost))
     links;
+  (* v2: the writer tables, sorted so the payload is canonical. *)
+  let mks = marks t in
+  Buffer.add_int32_be buf (Int32.of_int (List.length mks));
+  List.iter
+    (fun (client, s) ->
+      Buffer.add_int32_be buf (Int32.of_int client);
+      Buffer.add_int64_be buf (Int64.of_int s))
+    mks;
+  let gts = (Mdr_util.Sorted_tbl.bindings t.grants : (int * int) list) in
+  Buffer.add_int32_be buf (Int32.of_int (List.length gts));
+  List.iter
+    (fun (client, e) ->
+      Buffer.add_int32_be buf (Int32.of_int client);
+      Buffer.add_int32_be buf (Int32.of_int e))
+    gts;
+  let cls = claims t in
+  Buffer.add_int32_be buf (Int32.of_int (List.length cls));
+  List.iter
+    (fun ((a, b), (owner, e)) ->
+      Buffer.add_int32_be buf (Int32.of_int a);
+      Buffer.add_int32_be buf (Int32.of_int b);
+      Buffer.add_int32_be buf (Int32.of_int owner);
+      Buffer.add_int32_be buf (Int32.of_int e))
+    cls;
+  Buffer.add_int32_be buf (Int32.of_int t.epoch);
   Buffer.contents buf
 
 exception Bad_snapshot of string
@@ -264,9 +319,33 @@ let decode_snapshot ~topo payload =
     let cost = read_f64 () in
     Hashtbl.replace link_state (src, dst) cost
   done;
+  let marks = Hashtbl.create 16 in
+  let n_marks = read_u32 () in
+  for _ = 1 to n_marks do
+    let client = read_u32 () in
+    let s = read_i64 () in
+    Hashtbl.replace marks client s
+  done;
+  let grants = Hashtbl.create 16 in
+  let n_grants = read_u32 () in
+  for _ = 1 to n_grants do
+    let client = read_u32 () in
+    let e = read_u32 () in
+    Hashtbl.replace grants client e
+  done;
+  let claim_tbl = Hashtbl.create 32 in
+  let n_claims = read_u32 () in
+  for _ = 1 to n_claims do
+    let a = read_u32 () in
+    let b = read_u32 () in
+    let owner = read_u32 () in
+    let e = read_u32 () in
+    Hashtbl.replace claim_tbl (a, b) (owner, e)
+  done;
+  let epoch = read_u32 () in
   if !pos <> String.length payload then
     raise (Bad_snapshot "trailing bytes in snapshot payload");
-  (snap_seq, routers, link_state)
+  (snap_seq, routers, link_state, marks, grants, claim_tbl, epoch)
 
 (* ---- construction ---------------------------------------------------- *)
 
@@ -320,8 +399,9 @@ let genesis ~topo ~cost =
     (Graph.links topo);
   shell
 
-let make ~config ~dir ~topo ~routers ~link_state ~journal ~seq ~snap_seq ~now
-    ~last_restore =
+let make ?(marks = Hashtbl.create 16) ?(grants = Hashtbl.create 16)
+    ?(claim_tbl = Hashtbl.create 32) ?(epoch = 0) ~config ~dir ~topo ~routers
+    ~link_state ~journal ~seq ~snap_seq ~now ~last_restore () =
   let ingest =
     Ingest.create ?damping:config.damping ~degraded_hold:config.degraded_hold
       ~capacity:config.queue_capacity
@@ -348,6 +428,11 @@ let make ~config ~dir ~topo ~routers ~link_state ~journal ~seq ~snap_seq ~now
     last_restore;
     corruption = zero_corruption;
     corruption_seen = 0;
+    marks;
+    grants;
+    claim_tbl;
+    epoch;
+    torn_next = None;
   }
 
 let create ?(config = default_config) ~dir ~topo ~cost () =
@@ -358,7 +443,7 @@ let create ?(config = default_config) ~dir ~topo ~cost () =
   let routers, link_state = genesis ~topo ~cost in
   let journal = Journal.create ~fsync:config.fsync ~path:(journal_path dir) () in
   make ~config ~dir ~topo ~routers ~link_state ~journal ~seq:0 ~snap_seq:0
-    ~now:(Unix.gettimeofday ()) ~last_restore:None
+    ~now:(Unix.gettimeofday ()) ~last_restore:None ()
 
 (* ---- checkpoint ------------------------------------------------------ *)
 
@@ -379,23 +464,123 @@ let checkpoint ?torn_after t =
       Journal.close t.journal;
       t.journal <- Journal.create ~fsync:t.config.fsync ~path:(journal_path t.dir) ()
 
-let apply ?torn_after t ~now (u : Update.t) =
-  if not t.alive then invalid_arg "Server.apply: server is not alive";
-  Update.validate t.topo u;
+(* Replaying an entry against memory: the routing side effect plus the
+   writer-table side effect. Used identically on the accept path and at
+   restore, which is what makes the marks rebuild byte-identical. *)
+let apply_entry_mem t (e : Update.entry) =
+  match e with
+  | Update.Apply { client; seq; epoch = _; update } ->
+      apply_mem t update;
+      Hashtbl.replace t.marks client seq
+  | Update.Claim { client; epoch; pairs } ->
+      List.iter (fun p -> Hashtbl.replace t.claim_tbl p (client, epoch)) pairs;
+      Hashtbl.replace t.grants client epoch;
+      if epoch > t.epoch then t.epoch <- epoch
+
+(* Durably accept one entry: journal first (append-before-apply), then
+   mutate memory. A torn append — explicit [torn_after] or the armed
+   one-shot — kills the server with the entry unaccepted. Returns
+   whether the server survived. *)
+let accept_entry ?torn_after t ~now (e : Update.entry) =
+  let torn_after =
+    match torn_after with
+    | Some _ -> torn_after
+    | None ->
+        let armed = t.torn_next in
+        t.torn_next <- None;
+        armed
+  in
   let next = t.seq + 1 in
-  Journal.append ?torn_after t.journal ~seq:next ~payload:(Update.encode u);
+  Journal.append ?torn_after t.journal ~seq:next
+    ~payload:(Update.encode_entry e);
   match torn_after with
   | Some _ ->
-      (* Simulated kill mid-append: the update was never accepted —
+      (* Simulated kill mid-append: the entry was never accepted —
          neither applied in memory (we are dead) nor recoverable from
          the torn record (replay skips it). The client retries it. *)
-      t.alive <- false
+      t.alive <- false;
+      false
   | None ->
-      apply_mem t u;
+      apply_entry_mem t e;
       t.seq <- next;
       t.last_applied <- now;
       if t.config.snapshot_every > 0 && t.seq - t.snap_seq >= t.config.snapshot_every
-      then checkpoint t
+      then checkpoint t;
+      true
+
+(* The local path: trusted, unfenced, client id 0. *)
+let apply ?torn_after t ~now (u : Update.t) =
+  if not t.alive then invalid_arg "Server.apply: server is not alive";
+  Update.validate t.topo u;
+  let seq = client_seq t ~client:0 + 1 in
+  ignore
+    (accept_entry ?torn_after t ~now
+       (Update.Apply { client = 0; seq; epoch = 0; update = u }))
+
+let check_client what client =
+  if client < 1 then
+    invalid_arg (Printf.sprintf "Server.%s: client ids start at 1" what)
+
+let submit t ~now ~client ~seq ~epoch (u : Update.t) =
+  if not t.alive then invalid_arg "Server.submit: server is not alive";
+  check_client "submit" client;
+  if seq < 1 then invalid_arg "Server.submit: seq must be >= 1";
+  Update.validate t.topo u;
+  let cur = client_seq t ~client in
+  if seq <= cur then Duplicate
+  else if seq > cur + 1 then Seq_gap { expected = cur + 1 }
+  else
+    let fence =
+      match Hashtbl.find_opt t.claim_tbl (Update.touched u) with
+      | None -> None
+      | Some (owner, held) ->
+          if owner = client && epoch >= held then None else Some (owner, held)
+    in
+    match fence with
+    | Some (owner, current) -> Fenced { owner; current }
+    | None ->
+        if accept_entry t ~now (Update.Apply { client; seq; epoch; update = u })
+        then Applied
+        else Died
+
+let claim t ~now ~client ~scope =
+  if not t.alive then invalid_arg "Server.claim: server is not alive";
+  check_client "claim" client;
+  let all = Mdr_faults.Procfault.duplex_pairs t.topo in
+  let pairs =
+    match scope with
+    | All -> all
+    | Pairs l ->
+        if l = [] then invalid_arg "Server.claim: empty pair list";
+        let norm = List.sort_uniq compare (List.map (fun (a, b) -> (min a b, max a b)) l) in
+        List.iter
+          (fun p ->
+            if not (List.mem p all) then
+              invalid_arg
+                (Printf.sprintf "Server.claim: (%d, %d) is not a duplex pair"
+                   (fst p) (snd p)))
+          norm;
+        norm
+  in
+  let already_owned =
+    List.for_all
+      (fun p ->
+        match Hashtbl.find_opt t.claim_tbl p with
+        | Some (owner, _) -> owner = client
+        | None -> false)
+      pairs
+  in
+  if already_owned then
+    (* Idempotent re-grant: a retried or chaos-duplicated Claim must
+       not mint a fresh epoch, or it would fence its own sender's
+       in-flight submits. The client's standing grant covers every
+       requested pair (grants are monotone per client). *)
+    client_epoch t ~client
+  else begin
+    let epoch = t.epoch + 1 in
+    ignore (accept_entry t ~now (Update.Claim { client; epoch; pairs }));
+    epoch
+  end
 
 (* ---- restore --------------------------------------------------------- *)
 
@@ -424,12 +609,13 @@ let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
         | exception Bad_snapshot reason -> failwith ("Server.restore: " ^ reason))
   in
   let from_snapshot = Option.is_some base in
-  let base_seq, routers, link_state =
+  let base_seq, routers, link_state, marks, grants, claim_tbl, epoch =
     match base with
     | Some b -> b
     | None ->
         let routers, link_state = genesis ~topo ~cost in
-        (0, routers, link_state)
+        (0, routers, link_state, Hashtbl.create 16, Hashtbl.create 16,
+         Hashtbl.create 32, 0)
   in
   let journal, replay =
     if Sys.file_exists (journal_path dir) then
@@ -439,8 +625,9 @@ let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
         { Journal.entries = []; torn = false; clean_bytes = Codec.header_len } )
   in
   let tmp =
-    make ~config ~dir ~topo ~routers ~link_state ~journal ~seq:base_seq
-      ~snap_seq:base_seq ~now ~last_restore:None
+    make ~marks ~grants ~claim_tbl ~epoch ~config ~dir ~topo ~routers
+      ~link_state ~journal ~seq:base_seq ~snap_seq:base_seq ~now
+      ~last_restore:None ()
   in
   let replayed = ref 0 in
   List.iter
@@ -451,12 +638,21 @@ let restore ?(config = default_config) ?now ~dir ~topo ~cost () =
             (Printf.sprintf
                "Server.restore: journal gap (have seq %d, next record is %d)"
                tmp.seq rec_seq);
-        let u =
-          try Update.decode payload
+        let e =
+          try Update.decode_entry payload
           with Update.Corrupt reason ->
             failwith ("Server.restore: corrupt journal payload: " ^ reason)
         in
-        apply_mem tmp u;
+        let e =
+          (* a v1 payload decodes with seq 0: renumber it as the local
+             writer's next accepted update *)
+          match e with
+          | Update.Apply { client = 0; seq = 0; epoch = 0; update } ->
+              Update.Apply
+                { client = 0; seq = client_seq tmp ~client:0 + 1; epoch = 0; update }
+          | e -> e
+        in
+        apply_entry_mem tmp e;
         tmp.seq <- rec_seq;
         incr replayed
       end)

@@ -80,22 +80,93 @@ val restore :
     updates. *)
 
 val seq : t -> int
-(** Sequence number of the last applied update; 0 at genesis. A client
-    that saw [seq = k] before a crash resumes sending from [k + 1]. *)
+(** Global sequence number of the last accepted journal entry (updates
+    and claims alike); 0 at genesis. *)
 
 val alive : t -> bool
 (** False once closed or killed by a simulated fault. *)
 
 val topology : t -> Mdr_topology.Graph.t
 
+(** {2 Multi-writer state}
+
+    Every accepted entry carries its writer (journal format v2), so the
+    server keeps one durable sequence space per client plus an epoch-
+    fenced ownership table over duplex link pairs. Client id 0 is the
+    trusted local path ({!apply}); wire clients are [>= 1]. *)
+
+val client_seq : t -> client:int -> int
+(** [client]'s durable high-water mark: the per-client sequence number
+    of its last accepted update; 0 if it never wrote. A client that saw
+    [client_seq = k] resumes submitting from [k + 1]. *)
+
+val client_epoch : t -> client:int -> int
+(** The epoch [client] last claimed under; 0 if it never claimed. *)
+
+val epoch : t -> int
+(** The last granted epoch, monotone across restarts (persisted in
+    snapshot and journal). *)
+
+val marks : t -> (int * int) list
+(** All [(client, durable seq)] pairs, sorted by client — the table a
+    restore must rebuild byte-identically. *)
+
+val claims : t -> ((int * int) * (int * int)) list
+(** The ownership table, sorted: [((a, b), (owner, epoch))] for every
+    claimed duplex pair. *)
+
 (** {2 Ingestion} *)
 
 val apply : ?torn_after:int -> t -> now:float -> Update.t -> unit
 (** Journal, then apply one update and run the control plane to
-    quiescence. [torn_after] simulates a kill mid-journal-append: the
-    record is cut short, nothing is applied in memory, and the server
-    is dead. @raise Invalid_argument on an update that does not fit
-    the topology (never journaled). *)
+    quiescence — the trusted local path (client 0, no fencing).
+    [torn_after] simulates a kill mid-journal-append: the record is cut
+    short, nothing is applied in memory, and the server is dead.
+    @raise Invalid_argument on an update that does not fit the topology
+    (never journaled). *)
+
+type claim_scope = All | Pairs of (int * int) list
+(** What a client claims: the whole topology, or specific duplex pairs
+    (normalized or not; claims are stored normalized [(min, max)]). *)
+
+val claim : t -> now:float -> client:int -> scope:claim_scope -> int
+(** Grant [client] ownership of [scope] under a fresh epoch (returned),
+    strictly greater than every epoch ever granted. The grant is
+    journaled (consuming a global sequence number) before it takes
+    effect, so it survives restarts. Re-claiming pairs owned by another
+    client is the takeover path: the new epoch fences the old owner.
+    Idempotence: if [client] already owns every requested pair, the
+    standing grant is returned and nothing is journaled — a retried or
+    duplicated Claim must not fence its own sender.
+    @raise Invalid_argument on a dead server, [client < 1], an empty
+    scope, or pairs the topology does not have duplex. *)
+
+type submit_result =
+  | Applied  (** durably accepted and applied *)
+  | Duplicate
+      (** at or below the client's durable mark — already accepted,
+          safe to re-ack *)
+  | Seq_gap of { expected : int }
+      (** out-of-order submit; nothing journaled *)
+  | Fenced of { owner : int; current : int }
+      (** the touched pair is owned by [owner] under epoch [current],
+          which the presented epoch does not meet — a zombie writer *)
+  | Died  (** a simulated kill tore the append; the entry was lost *)
+
+val submit :
+  t -> now:float -> client:int -> seq:int -> epoch:int -> Update.t -> submit_result
+(** The fenced multi-writer path: accept [client]'s update number [seq]
+    (per-client, contiguous from 1) presented under [epoch]. Dedup is
+    per-(client, seq); an update touching a claimed pair must present
+    the owning client's current epoch. Unclaimed pairs are open to any
+    client. @raise Invalid_argument on a dead server, [client < 1],
+    [seq < 1], or an update that does not fit the topology. *)
+
+val arm_torn : t -> torn_at:int -> unit
+(** Arm a one-shot simulated kill: the next journal append (whatever
+    path triggers it) tears at byte [torn_at] and the server dies. This
+    is how the wire audit plants mid-journal kills on entries that
+    arrive through {!submit}. *)
 
 val offer : t -> now:float -> Update.t -> unit
 (** Feed the backpressure queue; see {!Ingest.offer}. *)

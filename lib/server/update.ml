@@ -52,6 +52,63 @@ let decode s =
       Link_up { a = node 1; b = node 5; cost = cost 9 }
   | c -> raise (Corrupt (Printf.sprintf "unknown update tag %d" (Char.code c)))
 
+type entry =
+  | Apply of { client : int; seq : int; epoch : int; update : t }
+  | Claim of { client : int; epoch : int; pairs : (int * int) list }
+
+let touched = function
+  | Set_cost { src; dst; _ } -> (min src dst, max src dst)
+  | Link_down { a; b } | Link_up { a; b; _ } -> (min a b, max a b)
+
+let encode_entry e =
+  let b = Buffer.create 32 in
+  let u32 v = Buffer.add_int32_be b (Int32.of_int v) in
+  (match e with
+  | Apply { client; seq; epoch; update } ->
+      Buffer.add_char b '\x10';
+      u32 client;
+      Buffer.add_int64_be b (Int64.of_int seq);
+      u32 epoch;
+      Buffer.add_string b (encode update)
+  | Claim { client; epoch; pairs } ->
+      Buffer.add_char b '\x11';
+      u32 client;
+      u32 epoch;
+      u32 (List.length pairs);
+      List.iter
+        (fun (x, y) ->
+          u32 x;
+          u32 y)
+        pairs);
+  Buffer.contents b
+
+let decode_entry s =
+  let len = String.length s in
+  if len = 0 then raise (Corrupt "empty entry payload");
+  let u32 off = Int32.to_int (String.get_int32_be s off) in
+  match s.[0] with
+  | '\x10' ->
+      if len < 18 then raise (Corrupt "short Apply entry");
+      let client = u32 1 in
+      let seq = Int64.to_int (String.get_int64_be s 5) in
+      let epoch = u32 13 in
+      let update = decode (String.sub s 17 (len - 17)) in
+      Apply { client; seq; epoch; update }
+  | '\x11' ->
+      if len < 13 then raise (Corrupt "short Claim entry");
+      let client = u32 1 in
+      let epoch = u32 5 in
+      let n = u32 9 in
+      if n < 0 || len <> 13 + (8 * n) then
+        raise
+          (Corrupt
+             (Printf.sprintf "Claim entry is %d bytes (expected %d pairs)" len n));
+      let pairs = List.init n (fun i -> (u32 (13 + (8 * i)), u32 (17 + (8 * i)))) in
+      Claim { client; epoch; pairs }
+  (* Version-1 journals framed a bare update; accept them so a server
+     upgraded in place replays its old journal as local writes. *)
+  | _ -> Apply { client = 0; seq = 0; epoch = 0; update = decode s }
+
 let check_cost what c =
   if not (Float.is_finite c) || c <= 0.0 then
     invalid_arg (Printf.sprintf "%s: cost must be finite and positive" what)

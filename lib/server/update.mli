@@ -26,4 +26,30 @@ val validate : Mdr_topology.Graph.t -> t -> unit
     for duplex events) and carry finite positive costs.
     @raise Invalid_argument otherwise. *)
 
+(** {1 Journal entries}
+
+    Since journal format v2 every record carries its writer: which
+    client submitted it, at which per-client sequence number, under
+    which ownership epoch. Restore rebuilds every client's durable
+    high-water mark and the claim table from these envelopes alone. *)
+
+type entry =
+  | Apply of { client : int; seq : int; epoch : int; update : t }
+      (** [client]'s [seq]-th accepted update, admitted under [epoch]
+          (0 = the unfenced local path) *)
+  | Claim of { client : int; epoch : int; pairs : (int * int) list }
+      (** [client] took ownership of the normalized duplex [pairs]
+          under the new [epoch] *)
+
+val touched : t -> int * int
+(** The normalized duplex pair [(min, max)] an update writes — the unit
+    of ownership epoch fencing is checked against. *)
+
+val encode_entry : entry -> string
+
+val decode_entry : string -> entry
+(** @raise Corrupt on an unknown tag or malformed envelope. A bare v1
+    update payload decodes as [Apply { client = 0; seq = 0; epoch = 0 }]
+    (the local-path writer); replay normalizes the sequence number. *)
+
 val describe : Mdr_topology.Graph.t -> t -> string

@@ -32,12 +32,21 @@ let validate_config c =
   if c.max_retries < 0 then invalid_arg "Client: max_retries must be >= 0";
   if c.max_reconnects < 1 then invalid_arg "Client: max_reconnects must be >= 1"
 
-type phase = Dialing | Greeting | Streaming | Fingerprinting | Done | Failed of string
+type phase =
+  | Dialing
+  | Greeting
+  | Claiming
+  | Streaming
+  | Fingerprinting
+  | Done
+  | Failed of string
 
 type stats = {
   sent : int;
   retries : int;
   acked : int;
+  claims : int;
+  throttled : int;
   reconnects : int;
   dial_failures : int;
   fast_forwarded : int;
@@ -50,6 +59,8 @@ let zero_stats =
     sent = 0;
     retries = 0;
     acked = 0;
+    claims = 0;
+    throttled = 0;
     reconnects = 0;
     dial_failures = 0;
     fast_forwarded = 0;
@@ -66,6 +77,8 @@ type t = {
   dial : now:float -> Transport.t option;
   updates : Update.t array;
   client_id : int;
+  claim : Proto.scope option;
+  mutable epoch : int;  (* last granted ownership epoch; 0 = none *)
   mutable transport : Transport.t option;
   mutable dec : Frame.decoder;
   mutable phase : phase;
@@ -80,14 +93,17 @@ type t = {
   mutable stats : stats;
 }
 
-let create ?(config = default_config) ?(client_id = 1) ~rng ~dial ~updates () =
+let create ?(config = default_config) ?(client_id = 1) ?claim ~rng ~dial ~updates () =
   validate_config config;
+  if client_id < 1 then invalid_arg "Client: client ids start at 1";
   {
     config;
     rng;
     dial;
     updates;
     client_id;
+    claim;
+    epoch = 0;
     transport = None;
     dec = Frame.decoder ();
     phase = Dialing;
@@ -105,6 +121,7 @@ let create ?(config = default_config) ?(client_id = 1) ~rng ~dial ~updates () =
 let phase t = t.phase
 let stats t = t.stats
 let fingerprint t = t.fingerprint
+let epoch t = t.epoch
 
 let finished t = match t.phase with Done | Failed _ -> true | _ -> false
 
@@ -151,11 +168,19 @@ let disconnect t ~now ~reason =
 (* What to ask for next once the line is established and idle. *)
 let advance t ~now =
   if Option.is_none t.pending then
+    match t.claim with
+    | Some scope when t.epoch = 0 ->
+        (* Claim before writing. A resumed client skips this: the
+           Welcome already reported its durable epoch. *)
+        t.phase <- Claiming;
+        send_request t ~now (Proto.Claim { scope })
+    | _ ->
     if t.acked_seq < total_updates t then begin
       let seq = t.acked_seq + 1 in
       t.stats <- { t.stats with sent = t.stats.sent + 1 };
       t.phase <- Streaming;
-      send_request t ~now (Proto.Submit { seq; update = t.updates.(seq - 1) })
+      send_request t ~now
+        (Proto.Submit { seq; epoch = t.epoch; update = t.updates.(seq - 1) })
     end
     else if Option.is_none t.fingerprint then begin
       t.phase <- Fingerprinting;
@@ -170,11 +195,18 @@ let advance t ~now =
 
 let on_msg t ~now msg =
   match msg with
-  | Proto.Welcome { session = _; seq } ->
-      (* The resume contract: [seq] is durable, so everything up to it
-         must never be re-sent. A Welcome during a steady connection
-         (we only Hello when connecting) is impossible; treat any
-         Welcome as authoritative. *)
+  | Proto.Welcome { session = _; client; seq; epoch } ->
+      if client <> t.client_id then
+        disconnect t ~now
+          ~reason:(Printf.sprintf "welcome for client %d (we are %d)" client t.client_id)
+      else begin
+      (* The resume contract: [seq] is our durable mark, so everything
+         up to it must never be re-sent; [epoch] is our last granted
+         epoch, so a resumed writer keeps fencing rights without
+         re-claiming. A Welcome during a steady connection (we only
+         Hello when connecting) is impossible; treat any Welcome as
+         authoritative. *)
+      if epoch > t.epoch then t.epoch <- epoch;
       t.attempts <- 0;
       (match t.lost_at with
       | Some lost ->
@@ -196,8 +228,22 @@ let on_msg t ~now msg =
       end;
       t.pending <- None;
       advance t ~now
-  | Proto.Ack { seq } ->
-      if seq = t.acked_seq + 1 then begin
+      end
+  | Proto.Granted { epoch } ->
+      (* A duplicated Claim frame can produce a second Granted while a
+         Submit is already in flight: adopt the epoch, but only a
+         pending Claim is answered by it. *)
+      if epoch > t.epoch then t.epoch <- epoch;
+      (match t.pending with
+      | Some { msg = Proto.Claim _; _ } ->
+          t.stats <- { t.stats with claims = t.stats.claims + 1 };
+          t.pending <- None;
+          advance t ~now
+      | _ -> ())
+  | Proto.Ack { client; seq } ->
+      if client <> t.client_id then
+        disconnect t ~now ~reason:(Printf.sprintf "ack for client %d" client)
+      else if seq = t.acked_seq + 1 then begin
         t.acked_seq <- seq;
         t.stats <- { t.stats with acked = t.stats.acked + 1 };
         t.pending <- None;
@@ -210,11 +256,37 @@ let on_msg t ~now msg =
          stream is out of step. Neither resolves by retrying the same
          bytes; re-Hello to re-learn the durable seq. *)
       disconnect t ~now ~reason:(Printf.sprintf "seq %d rejected: %s" seq reason)
-  | Proto.Pong _ -> ()
-  | Proto.Fingerprint fp ->
-      t.fingerprint <- Some fp;
+  | Proto.Fenced { seq; held; current } ->
+      (* We are the zombie: someone claimed our links under a newer
+         epoch while we were away. Retrying cannot help and resuming
+         would clobber the new writer — stop for good. *)
+      (match t.transport with Some tr -> tr.Transport.close () | None -> ());
+      t.transport <- None;
       t.pending <- None;
-      advance t ~now
+      t.phase <-
+        Failed
+          (Printf.sprintf "fenced: seq %d under epoch %d, current epoch is %d" seq
+             held current)
+  | Proto.Throttled { seq; retry_after } -> (
+      (* The server shed the submit; hold it back so the timeout path
+         re-sends no sooner than [retry_after] from now. *)
+      match t.pending with
+      | Some ({ msg = Proto.Submit { seq = s; _ }; _ } as p) when s = seq ->
+          t.stats <- { t.stats with throttled = t.stats.throttled + 1 };
+          p.sent_at <- now +. retry_after -. t.config.request_timeout
+      | _ -> ())
+  | Proto.Busy { retry_after; reason } ->
+      disconnect t ~now ~reason:("server busy: " ^ reason);
+      t.next_dial <- Float.max t.next_dial (now +. retry_after)
+  | Proto.Shutdown -> disconnect t ~now ~reason:"server shutting down"
+  | Proto.Pong _ -> ()
+  | Proto.Fingerprint fp -> (
+      t.fingerprint <- Some fp;
+      match t.pending with
+      | Some { msg = Proto.Get_fingerprint; _ } ->
+          t.pending <- None;
+          advance t ~now
+      | _ -> ())
 
 let pump_recv t ~now =
   match t.transport with

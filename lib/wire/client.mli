@@ -18,11 +18,22 @@
     failures.
 
     On every (re)connection the client sends [Hello] and the server's
-    [Welcome { seq }] names the last durable update: the client
-    resumes from [seq + 1], skipping updates that were journaled
-    before the cut. Together with the server's duplicate re-ack this
-    makes applies exactly-once across any disconnect pattern — which
-    the audit proves by fingerprint.
+    [Welcome { seq; epoch }] names the client's own durable high-water
+    mark and last granted ownership epoch: the client resumes from
+    [seq + 1], skipping updates that were journaled before the cut,
+    and keeps writing under its epoch without re-claiming. Together
+    with the server's per-client duplicate re-ack this makes applies
+    exactly-once across any disconnect pattern — which the audit
+    proves by fingerprint.
+
+    A client created with [?claim] sends [Claim] before its first
+    submit (unless a Welcome already reported a granted epoch) and
+    then stamps every [Submit] with the epoch. A [Fenced] reply is
+    terminal: a newer writer owns our links, so the machine fails
+    rather than redialing — exactly the zombie behavior fencing
+    exists to stop. [Throttled] delays the pending submit by the
+    advertised [retry_after]; [Busy] and [Shutdown] drop the
+    connection (honoring [retry_after] before the next dial).
 
     When idle longer than [keepalive] the client pings, so the
     server's dead-session reaper only fires on genuinely dead
@@ -44,6 +55,7 @@ val default_config : config
 type phase =
   | Dialing
   | Greeting  (** connected, waiting for [Welcome] *)
+  | Claiming  (** waiting for [Granted] *)
   | Streaming  (** submitting updates *)
   | Fingerprinting  (** all acked, fetching the server fingerprint *)
   | Done
@@ -53,6 +65,8 @@ type stats = {
   sent : int;  (** first-time [Submit] sends *)
   retries : int;  (** timeout re-sends (any request kind) *)
   acked : int;  (** updates durably acknowledged *)
+  claims : int;  (** ownership grants received *)
+  throttled : int;  (** submits delayed by a [Throttled] reply *)
   reconnects : int;  (** successful dials after the first *)
   dial_failures : int;
   fast_forwarded : int;
@@ -68,6 +82,7 @@ type t
 val create :
   ?config:config ->
   ?client_id:int ->
+  ?claim:Proto.scope ->
   rng:Mdr_util.Rng.t ->
   dial:(now:float -> Transport.t option) ->
   updates:Mdr_server.Update.t array ->
@@ -75,7 +90,9 @@ val create :
   t
 (** [rng] drives only backoff jitter. [dial] returns a fresh
     connected transport or [None] (connection refused — retried with
-    backoff). Update [i] of [updates] is submitted as seq [i + 1]. *)
+    backoff). Update [i] of [updates] is submitted as the client's own
+    seq [i + 1]. [client_id] must be [>= 1] (default 1). [claim] makes
+    the client take ownership of the scope before writing. *)
 
 val step : t -> now:float -> unit
 (** Advance the machine: dial when due, pump received bytes, time out
@@ -91,6 +108,10 @@ val stats : t -> stats
 
 val fingerprint : t -> string option
 (** The server fingerprint fetched after the last ack. *)
+
+val epoch : t -> int
+(** The ownership epoch the client currently writes under; 0 before
+    any grant. *)
 
 val pending_seq : t -> int option
 (** Seq of the in-flight [Submit], if the outstanding request is one

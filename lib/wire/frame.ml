@@ -1,7 +1,7 @@
 module Codec = Mdr_server.Codec
 
 let magic = "MDRW"
-let version = 1
+let version = 2
 let max_payload = 65536
 let greeting = Codec.header ~magic ~version
 

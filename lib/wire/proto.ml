@@ -2,17 +2,25 @@ module Update = Mdr_server.Update
 
 exception Corrupt of string
 
+type scope = All | Pairs of (int * int) list
+
 type client_msg =
   | Hello of { client : int; last_acked : int }
-  | Submit of { seq : int; update : Update.t }
+  | Claim of { scope : scope }
+  | Submit of { seq : int; epoch : int; update : Update.t }
   | Ping of { nonce : int }
   | Get_fingerprint
   | Bye
 
 type server_msg =
-  | Welcome of { session : int; seq : int }
-  | Ack of { seq : int }
+  | Welcome of { session : int; client : int; seq : int; epoch : int }
+  | Granted of { epoch : int }
+  | Ack of { client : int; seq : int }
   | Reject of { seq : int; reason : string }
+  | Fenced of { seq : int; held : int; current : int }
+  | Throttled of { seq : int; retry_after : float }
+  | Busy of { retry_after : float; reason : string }
+  | Shutdown
   | Pong of { nonce : int }
   | Fingerprint of string
 
@@ -24,6 +32,10 @@ let check_u31 what v =
 let check_str what s =
   if String.length s > 0xFFFF then invalid_arg (Printf.sprintf "Proto: %s too long" what)
 
+let check_delay what v =
+  if not (Float.is_finite v) || v < 0.0 then
+    invalid_arg (Printf.sprintf "Proto: %s must be finite and >= 0" what)
+
 let with_buf n f =
   let b = Buffer.create n in
   f b;
@@ -31,6 +43,7 @@ let with_buf n f =
 
 let add_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
 let add_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let add_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
 
 let add_str b s =
   Buffer.add_uint16_be b (String.length s);
@@ -39,16 +52,37 @@ let add_str b s =
 let encode_client = function
   | Hello { client; last_acked } ->
       check_u31 "Hello.client" client;
+      if client < 1 then invalid_arg "Proto: Hello.client ids start at 1";
       if last_acked < 0 then invalid_arg "Proto: Hello.last_acked out of range";
       with_buf 13 (fun b ->
           Buffer.add_char b '\x01';
           add_u32 b client;
           add_u64 b last_acked)
-  | Submit { seq; update } ->
+  | Claim { scope } ->
+      with_buf 16 (fun b ->
+          Buffer.add_char b '\x06';
+          match scope with
+          | All -> Buffer.add_char b '\x00'
+          | Pairs l ->
+              let n = List.length l in
+              if n = 0 then invalid_arg "Proto: Claim with empty pair list";
+              if n > 0xFFFF then invalid_arg "Proto: Claim pair list too long";
+              Buffer.add_char b '\x01';
+              Buffer.add_uint16_be b n;
+              List.iter
+                (fun (x, y) ->
+                  check_u31 "Claim.pair" x;
+                  check_u31 "Claim.pair" y;
+                  add_u32 b x;
+                  add_u32 b y)
+                l)
+  | Submit { seq; epoch; update } ->
       if seq < 1 then invalid_arg "Proto: Submit.seq out of range";
-      with_buf 26 (fun b ->
+      check_u31 "Submit.epoch" epoch;
+      with_buf 30 (fun b ->
           Buffer.add_char b '\x02';
           add_u64 b seq;
+          add_u32 b epoch;
           Buffer.add_string b (Update.encode update))
   | Ping { nonce } ->
       check_u31 "Ping.nonce" nonce;
@@ -59,25 +93,60 @@ let encode_client = function
   | Bye -> "\x05"
 
 let encode_server = function
-  | Welcome { session; seq } ->
+  | Welcome { session; client; seq; epoch } ->
       check_u31 "Welcome.session" session;
+      check_u31 "Welcome.client" client;
+      check_u31 "Welcome.epoch" epoch;
       if seq < 0 then invalid_arg "Proto: Welcome.seq out of range";
-      with_buf 13 (fun b ->
+      with_buf 21 (fun b ->
           Buffer.add_char b '\x41';
           add_u32 b session;
-          add_u64 b seq)
-  | Ack { seq } ->
+          add_u32 b client;
+          add_u64 b seq;
+          add_u32 b epoch)
+  | Granted { epoch } ->
+      check_u31 "Granted.epoch" epoch;
+      with_buf 5 (fun b ->
+          Buffer.add_char b '\x46';
+          add_u32 b epoch)
+  | Ack { client; seq } ->
+      check_u31 "Ack.client" client;
       if seq < 1 then invalid_arg "Proto: Ack.seq out of range";
-      with_buf 9 (fun b ->
+      with_buf 13 (fun b ->
           Buffer.add_char b '\x42';
+          add_u32 b client;
           add_u64 b seq)
   | Reject { seq; reason } ->
-      if seq < 1 then invalid_arg "Proto: Reject.seq out of range";
+      if seq < 0 then invalid_arg "Proto: Reject.seq out of range";
       check_str "Reject.reason" reason;
       with_buf (11 + String.length reason) (fun b ->
           Buffer.add_char b '\x43';
           add_u64 b seq;
           add_str b reason)
+  | Fenced { seq; held; current } ->
+      if seq < 1 then invalid_arg "Proto: Fenced.seq out of range";
+      check_u31 "Fenced.held" held;
+      check_u31 "Fenced.current" current;
+      with_buf 17 (fun b ->
+          Buffer.add_char b '\x47';
+          add_u64 b seq;
+          add_u32 b held;
+          add_u32 b current)
+  | Throttled { seq; retry_after } ->
+      if seq < 1 then invalid_arg "Proto: Throttled.seq out of range";
+      check_delay "Throttled.retry_after" retry_after;
+      with_buf 17 (fun b ->
+          Buffer.add_char b '\x48';
+          add_u64 b seq;
+          add_f64 b retry_after)
+  | Busy { retry_after; reason } ->
+      check_delay "Busy.retry_after" retry_after;
+      check_str "Busy.reason" reason;
+      with_buf (11 + String.length reason) (fun b ->
+          Buffer.add_char b '\x49';
+          add_f64 b retry_after;
+          add_str b reason)
+  | Shutdown -> "\x4A"
   | Pong { nonce } ->
       check_u31 "Pong.nonce" nonce;
       with_buf 5 (fun b ->
@@ -99,6 +168,11 @@ let get_u64 what s off =
   if v < 0 then corrupt "%s is negative" what;
   v
 
+let get_f64 what s off =
+  let v = Int64.float_of_bits (String.get_int64_be s off) in
+  if not (Float.is_finite v) || v < 0.0 then corrupt "%s is not a delay" what;
+  v
+
 let exactly what s n =
   if String.length s <> n then
     corrupt "%s payload is %d bytes (expected %d)" what (String.length s) n
@@ -115,14 +189,34 @@ let decode_client s =
   match s.[0] with
   | '\x01' ->
       exactly "Hello" s 13;
-      Hello { client = get_u32 s 1; last_acked = get_u64 "Hello.last_acked" s 5 }
+      let client = get_u32 s 1 in
+      if client < 1 then corrupt "Hello.client %d is reserved" client;
+      Hello { client; last_acked = get_u64 "Hello.last_acked" s 5 }
+  | '\x06' -> (
+      if String.length s < 2 then corrupt "Claim: short payload";
+      match s.[1] with
+      | '\x00' ->
+          exactly "Claim" s 2;
+          Claim { scope = All }
+      | '\x01' ->
+          if String.length s < 4 then corrupt "Claim: short pair count";
+          let n = String.get_uint16_be s 2 in
+          if n = 0 then corrupt "Claim: empty pair list";
+          exactly "Claim" s (4 + (8 * n));
+          let pairs =
+            List.init n (fun i -> (get_u32 s (4 + (8 * i)), get_u32 s (8 + (8 * i))))
+          in
+          Claim { scope = Pairs pairs }
+      | c -> corrupt "Claim: unknown scope kind 0x%02x" (Char.code c))
   | '\x02' ->
-      if String.length s < 10 then corrupt "Submit: short payload";
+      if String.length s < 14 then corrupt "Submit: short payload";
       let update =
-        try Update.decode (String.sub s 9 (String.length s - 9))
+        try Update.decode (String.sub s 13 (String.length s - 13))
         with Update.Corrupt reason -> corrupt "Submit: %s" reason
       in
-      Submit { seq = get_u64 "Submit.seq" s 1; update }
+      let epoch = get_u32 s 9 in
+      if epoch < 0 then corrupt "Submit.epoch is negative";
+      Submit { seq = get_u64 "Submit.seq" s 1; epoch; update }
   | '\x03' ->
       exactly "Ping" s 5;
       Ping { nonce = get_u32 s 1 }
@@ -138,14 +232,46 @@ let decode_server s =
   if String.length s = 0 then corrupt "empty message";
   match s.[0] with
   | '\x41' ->
-      exactly "Welcome" s 13;
-      Welcome { session = get_u32 s 1; seq = get_u64 "Welcome.seq" s 5 }
+      exactly "Welcome" s 21;
+      let epoch = get_u32 s 17 in
+      if epoch < 0 then corrupt "Welcome.epoch is negative";
+      Welcome
+        {
+          session = get_u32 s 1;
+          client = get_u32 s 5;
+          seq = get_u64 "Welcome.seq" s 9;
+          epoch;
+        }
+  | '\x46' ->
+      exactly "Granted" s 5;
+      let epoch = get_u32 s 1 in
+      if epoch < 1 then corrupt "Granted.epoch %d out of range" epoch;
+      Granted { epoch }
   | '\x42' ->
-      exactly "Ack" s 9;
-      Ack { seq = get_u64 "Ack.seq" s 1 }
+      exactly "Ack" s 13;
+      Ack { client = get_u32 s 1; seq = get_u64 "Ack.seq" s 5 }
   | '\x43' ->
       if String.length s < 11 then corrupt "Reject: short payload";
       Reject { seq = get_u64 "Reject.seq" s 1; reason = get_str "Reject" s 9 }
+  | '\x47' ->
+      exactly "Fenced" s 17;
+      let held = get_u32 s 9 and current = get_u32 s 13 in
+      if held < 0 || current < 0 then corrupt "Fenced: negative epoch";
+      Fenced { seq = get_u64 "Fenced.seq" s 1; held; current }
+  | '\x48' ->
+      exactly "Throttled" s 17;
+      Throttled
+        {
+          seq = get_u64 "Throttled.seq" s 1;
+          retry_after = get_f64 "Throttled.retry_after" s 9;
+        }
+  | '\x49' ->
+      if String.length s < 11 then corrupt "Busy: short payload";
+      Busy
+        { retry_after = get_f64 "Busy.retry_after" s 1; reason = get_str "Busy" s 9 }
+  | '\x4A' ->
+      exactly "Shutdown" s 1;
+      Shutdown
   | '\x44' ->
       exactly "Pong" s 5;
       Pong { nonce = get_u32 s 1 }
@@ -153,15 +279,28 @@ let decode_server s =
   | c -> corrupt "unknown server tag 0x%02x" (Char.code c)
 
 let describe_client = function
-  | Hello { client; last_acked } -> Printf.sprintf "hello client=%d last_acked=%d" client last_acked
-  | Submit { seq; _ } -> Printf.sprintf "submit seq=%d" seq
+  | Hello { client; last_acked } ->
+      Printf.sprintf "hello client=%d last_acked=%d" client last_acked
+  | Claim { scope = All } -> "claim all"
+  | Claim { scope = Pairs l } -> Printf.sprintf "claim %d pairs" (List.length l)
+  | Submit { seq; epoch; _ } -> Printf.sprintf "submit seq=%d epoch=%d" seq epoch
   | Ping { nonce } -> Printf.sprintf "ping %d" nonce
   | Get_fingerprint -> "get-fingerprint"
   | Bye -> "bye"
 
 let describe_server = function
-  | Welcome { session; seq } -> Printf.sprintf "welcome session=%d seq=%d" session seq
-  | Ack { seq } -> Printf.sprintf "ack seq=%d" seq
+  | Welcome { session; client; seq; epoch } ->
+      Printf.sprintf "welcome session=%d client=%d seq=%d epoch=%d" session client
+        seq epoch
+  | Granted { epoch } -> Printf.sprintf "granted epoch=%d" epoch
+  | Ack { client; seq } -> Printf.sprintf "ack client=%d seq=%d" client seq
   | Reject { seq; reason } -> Printf.sprintf "reject seq=%d (%s)" seq reason
+  | Fenced { seq; held; current } ->
+      Printf.sprintf "fenced seq=%d held=%d current=%d" seq held current
+  | Throttled { seq; retry_after } ->
+      Printf.sprintf "throttled seq=%d retry_after=%.3f" seq retry_after
+  | Busy { retry_after; reason } ->
+      Printf.sprintf "busy retry_after=%.3f (%s)" retry_after reason
+  | Shutdown -> "shutdown"
   | Pong { nonce } -> Printf.sprintf "pong %d" nonce
   | Fingerprint fp -> Printf.sprintf "fingerprint %s" fp

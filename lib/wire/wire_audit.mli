@@ -81,3 +81,120 @@ val slo_by_intensity : result list -> (float * Mdr_faults.Recovery.slo) list
 
 val report : result list -> string
 (** Per-run table rendered with {!Mdr_util.Tab}. *)
+
+(** {1 The multi-writer audit}
+
+    {!run_multi} is the concurrent-chaos version of {!run}: [clients]
+    seeded writers, each owning a disjoint round-robin share of the
+    duplex pairs ({!Mdr_faults.Procfault.partition_pairs}), claim their
+    links and push interleaved chaos-wrapped streams at one server.
+    The server is killed at adversarial points (between updates, mid
+    journal append via {!Mdr_server.Server.arm_torn}, mid snapshot) and
+    restored; clients are killed and replaced by fresh machines that
+    resume through the Welcome contract.
+
+    Because router state is path-dependent (per-router LSU counters),
+    the sequential reference replays the {e recorded accepted order} —
+    harvested from every server incarnation's
+    {!Wire_server.applied_log} — through the fenced submit path. The
+    run passes when every client finishes, the final fingerprint is
+    byte-identical to that reference, every entry replays cleanly
+    (which is also the zero-stale-epoch-applies proof), applies are
+    exactly-once per client, every restore rebuilt the per-client
+    durable marks / claim table / epoch byte-identically, the control
+    plane settled, and LFI holds. *)
+
+type client_report = {
+  client : int;
+  client_done : bool;
+  updates : int;
+  acked : int;
+  resumes : int;  (** times the client process was killed and restarted *)
+  reconnects : int;
+  dial_failures : int;
+  retries : int;
+  fast_forwarded : int;
+  throttled : int;  (** submits delayed by a [Throttled] reply *)
+  shed : int;  (** server-side token-bucket sheds for this client *)
+  reconnect_latencies : float list;
+  reconnect_slo : Mdr_faults.Recovery.slo;
+}
+
+type multi_result = {
+  seed : int;
+  intensity : float;
+  clients : int;
+  updates_per_client : int;
+  ok : bool;
+  all_done : bool;
+  fingerprint_ok : bool;  (** final chaos state == sequential reference *)
+  replay_ok : bool;
+      (** every accepted entry replayed cleanly, in order, through the
+          fenced path *)
+  exactly_once : bool;
+      (** per client: exactly [updates] applies, no (client, seq)
+          duplicates, durable mark == updates *)
+  marks_ok : bool;
+      (** every restore rebuilt marks/claims/epoch byte-identically *)
+  no_stale_applies : bool;  (** [replay_ok] and zero [Fenced] replies *)
+  lfi : bool;
+  settled : bool;
+  server_kills : int;
+  client_kills : int;
+  grants : int;  (** ownership grants journaled *)
+  fenced : int;
+  throttled : int;
+  quarantines : int;
+  evicted : int;
+  duplicates : int;
+  malformed : int;
+  chaos : Mdr_faults.Wirefault.counts;
+  per_client : client_report list;
+  reconnect_slo : Mdr_faults.Recovery.slo;  (** pooled over all clients *)
+  wall_s : float;
+}
+
+val run_multi :
+  ?config:Mdr_server.Server.config ->
+  ?wire_config:Wire_server.config ->
+  ?client_config:Client.config ->
+  ?clients:int ->
+  ?updates:int ->
+  ?server_kills:int ->
+  ?client_kills:int ->
+  ?cost:(Mdr_topology.Graph.link -> float) ->
+  intensity:float ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seed:int ->
+  unit ->
+  multi_result
+(** Defaults: 4 clients, 30 updates each, 3 server kills, 2 client
+    kills. [record_applies] is forced on whatever [wire_config] is
+    given. Requires [clients >= 2] and a topology with at least
+    [clients] duplex pairs. State lives under [dir/chaos] and
+    [dir/ref]. *)
+
+val run_multi_grid :
+  ?jobs:int ->
+  ?updates:int ->
+  ?server_kills:int ->
+  ?client_kills:int ->
+  ?intensity:float ->
+  dir:string ->
+  topo:Mdr_topology.Graph.t ->
+  seeds:int list ->
+  client_counts:int list ->
+  unit ->
+  multi_result list
+(** One {!run_multi} per (seed, client count) cell at [intensity]
+    (default 1.0), fanned out over the domain pool with per-cell state
+    directories; results in grid order (seeds major). *)
+
+val multi_slo_by_clients :
+  multi_result list -> (int * Mdr_faults.Recovery.slo) list
+(** Pool the per-client reconnect latencies of all runs at each client
+    count — the EXPERIMENTS.md multi-writer SLO table. *)
+
+val report_multi : multi_result list -> string
+(** Per-run table rendered with {!Mdr_util.Tab}. *)

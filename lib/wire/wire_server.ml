@@ -1,17 +1,43 @@
 module Server = Mdr_server.Server
+module Update = Mdr_server.Update
 
-type config = { dead_after : float }
+type config = {
+  dead_after : float;
+  max_sessions : int;
+  rate : float;
+  burst : float;
+  max_strikes : int;
+  quarantine_for : float;
+  busy_retry : float;
+  record_applies : bool;
+}
 
-let default_config = { dead_after = 10.0 }
+let default_config =
+  {
+    dead_after = 10.0;
+    max_sessions = 64;
+    rate = 100.0;
+    burst = 50.0;
+    max_strikes = 5;
+    quarantine_for = 30.0;
+    busy_retry = 5.0;
+    record_applies = false;
+  }
 
 type stats = {
   opened : int;
   reaped : int;
   closed : int;
+  evicted : int;
+  busy_rejected : int;
   frames : int;
   malformed : int;
   duplicates : int;
   rejects : int;
+  fenced : int;
+  throttled : int;
+  quarantines : int;
+  claims : int;
   applied : int;
 }
 
@@ -20,10 +46,16 @@ let zero_stats =
     opened = 0;
     reaped = 0;
     closed = 0;
+    evicted = 0;
+    busy_rejected = 0;
     frames = 0;
     malformed = 0;
     duplicates = 0;
     rejects = 0;
+    fenced = 0;
+    throttled = 0;
+    quarantines = 0;
+    claims = 0;
     applied = 0;
   }
 
@@ -31,7 +63,19 @@ type session = {
   id : int;
   transport : Transport.t;
   dec : Frame.decoder;
+  mutable client : int option;  (* None until a Hello binds it *)
   mutable last_activity : float;
+}
+
+(* Per-client admission state. Runtime-only by design: strikes and
+   quarantines are about the live peer's behavior, not about the
+   durable routing state, so they reset with the process. *)
+type astate = {
+  mutable tokens : float;
+  mutable refilled : float;
+  mutable strikes : int;
+  mutable quarantined_until : float;
+  mutable shed : int;  (* submits refused by this client's bucket *)
 }
 
 type t = {
@@ -41,67 +85,269 @@ type t = {
   mutable next_id : int;
   mutable stats : stats;
   mutable malformed_seen : int;  (* reported by a previous heartbeat *)
+  admission : (int, astate) Hashtbl.t;
+  mutable quarantine_alarms : (int * int) list;  (* client, strikes; drained by heartbeat *)
+  mutable log_rev : Update.entry list;  (* accepted entries, newest first *)
 }
 
 let create ?(config = default_config) server =
   if not (Float.is_finite config.dead_after) || config.dead_after <= 0.0 then
     invalid_arg "Wire_server: dead_after must be finite and positive";
-  { server; config; sessions = []; next_id = 0; stats = zero_stats; malformed_seen = 0 }
+  if config.max_sessions < 1 then
+    invalid_arg "Wire_server: max_sessions must be >= 1";
+  if not (Float.is_finite config.rate) || config.rate <= 0.0 then
+    invalid_arg "Wire_server: rate must be finite and positive";
+  if not (Float.is_finite config.burst) || config.burst < 1.0 then
+    invalid_arg "Wire_server: burst must be >= 1";
+  if config.max_strikes < 1 then
+    invalid_arg "Wire_server: max_strikes must be >= 1";
+  if not (Float.is_finite config.quarantine_for) || config.quarantine_for <= 0.0
+  then invalid_arg "Wire_server: quarantine_for must be finite and positive";
+  if not (Float.is_finite config.busy_retry) || config.busy_retry < 0.0 then
+    invalid_arg "Wire_server: busy_retry must be finite and >= 0";
+  {
+    server;
+    config;
+    sessions = [];
+    next_id = 0;
+    stats = zero_stats;
+    malformed_seen = 0;
+    admission = Hashtbl.create 16;
+    quarantine_alarms = [];
+    log_rev = [];
+  }
 
 let core t = t.server
 let stats t = t.stats
 let sessions t = List.length t.sessions
+let applied_log t = List.rev t.log_rev
 
-let attach t ~now transport =
-  t.next_id <- t.next_id + 1;
-  let s = { id = t.next_id; transport; dec = Frame.decoder (); last_activity = now } in
-  Transport.send transport ~now Frame.greeting;
-  t.sessions <- s :: t.sessions;
-  t.stats <- { t.stats with opened = t.stats.opened + 1 };
-  s.id
+let astate t ~now client =
+  match Hashtbl.find_opt t.admission client with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          tokens = t.config.burst;
+          refilled = now;
+          strikes = 0;
+          quarantined_until = neg_infinity;
+          shed = 0;
+        }
+      in
+      Hashtbl.replace t.admission client a;
+      a
+
+let shed_of t ~client =
+  match Hashtbl.find_opt t.admission client with Some a -> a.shed | None -> 0
+
+let quarantined t ~now ~client =
+  match Hashtbl.find_opt t.admission client with
+  | Some a -> now < a.quarantined_until
+  | None -> false
+
+let reply s ~now msg =
+  Transport.send s.transport ~now (Frame.encode (Proto.encode_server msg))
 
 let drop t s =
   s.transport.Transport.close ();
   t.sessions <- List.filter (fun s' -> s'.id <> s.id) t.sessions
 
-let reply s ~now msg =
-  Transport.send s.transport ~now (Frame.encode (Proto.encode_server msg))
+(* Admission point one: the session table is a bounded resource. A
+   redial storm parks half-open (Greeting-stage) sessions; those are
+   the ones we may evict, least-recently-active first. Sessions a
+   Hello has bound are never evicted — only reaped for idleness. *)
+let attach t ~now transport =
+  if List.length t.sessions >= t.config.max_sessions then begin
+    let idle_greeting =
+      List.fold_left
+        (fun acc s ->
+          match (s.client, acc) with
+          | Some _, _ -> acc
+          | None, None -> Some s
+          | None, Some best ->
+              if s.last_activity < best.last_activity then Some s else acc)
+        None t.sessions
+    in
+    match idle_greeting with
+    | Some victim ->
+        t.stats <- { t.stats with evicted = t.stats.evicted + 1 };
+        drop t victim
+    | None -> ()
+  end;
+  if List.length t.sessions >= t.config.max_sessions then begin
+    (* Every slot is a bound session: refuse politely and hang up. *)
+    Transport.send transport ~now Frame.greeting;
+    Transport.send transport ~now
+      (Frame.encode
+         (Proto.encode_server
+            (Proto.Busy
+               { retry_after = t.config.busy_retry; reason = "session table full" })));
+    transport.Transport.close ();
+    t.stats <- { t.stats with busy_rejected = t.stats.busy_rejected + 1 };
+    None
+  end
+  else begin
+    t.next_id <- t.next_id + 1;
+    let s =
+      {
+        id = t.next_id;
+        transport;
+        dec = Frame.decoder ();
+        client = None;
+        last_activity = now;
+      }
+    in
+    Transport.send transport ~now Frame.greeting;
+    t.sessions <- s :: t.sessions;
+    t.stats <- { t.stats with opened = t.stats.opened + 1 };
+    Some s.id
+  end
+
+(* A strike against a bound client: gap/fenced submits and malformed
+   frames are each evidence of a broken or hostile peer. Enough of
+   them quarantines the client — all its sessions close, and new
+   Hellos are refused until the quarantine lapses. *)
+let strike t ~now client =
+  let a = astate t ~now client in
+  a.strikes <- a.strikes + 1;
+  if a.strikes >= t.config.max_strikes && now >= a.quarantined_until then begin
+    a.quarantined_until <- now +. t.config.quarantine_for;
+    t.stats <- { t.stats with quarantines = t.stats.quarantines + 1 };
+    t.quarantine_alarms <- (client, a.strikes) :: t.quarantine_alarms;
+    a.strikes <- 0;
+    let victims = List.filter (fun s -> s.client = Some client) t.sessions in
+    List.iter
+      (fun s ->
+        t.stats <- { t.stats with closed = t.stats.closed + 1 };
+        drop t s)
+      victims
+  end
+
+(* Admission point two: the per-client token bucket. Returns the delay
+   to advertise when the bucket is empty. *)
+let take_token t ~now client =
+  let a = astate t ~now client in
+  a.tokens <-
+    Float.min t.config.burst (a.tokens +. ((now -. a.refilled) *. t.config.rate));
+  a.refilled <- now;
+  if a.tokens >= 1.0 then begin
+    a.tokens <- a.tokens -. 1.0;
+    Ok ()
+  end
+  else begin
+    a.shed <- a.shed + 1;
+    Error ((1.0 -. a.tokens) /. t.config.rate)
+  end
+
+let record t entry = if t.config.record_applies then t.log_rev <- entry :: t.log_rev
 
 (* Execute one well-formed message; returns false when the session
-   should close (Bye). *)
+   should close (Bye, quarantine, protocol violation). *)
 let execute t s ~now msg =
   match msg with
-  | Proto.Hello { client = _; last_acked = _ } ->
-      (* The server's durable seq is the resume point regardless of
-         what the client believes it has seen acked. *)
-      reply s ~now (Proto.Welcome { session = s.id; seq = Server.seq t.server });
-      true
-  | Proto.Submit { seq; update } ->
-      let sseq = Server.seq t.server in
-      if seq <= sseq then begin
-        (* Already durable: a client retry or a chaos-duplicated
-           frame. Re-ack; never re-apply. *)
-        t.stats <- { t.stats with duplicates = t.stats.duplicates + 1 };
-        reply s ~now (Proto.Ack { seq })
-      end
-      else if seq = sseq + 1 then begin
-        match Server.apply t.server ~now update with
-        | () ->
-            t.stats <- { t.stats with applied = t.stats.applied + 1 };
-            reply s ~now (Proto.Ack { seq })
-        | exception Invalid_argument reason ->
-            (* Validation failure: nothing was journaled, the server
-               is still clean — the update alone is refused. *)
-            t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
-            reply s ~now (Proto.Reject { seq; reason })
+  | Proto.Hello { client; last_acked = _ } ->
+      if quarantined t ~now ~client then begin
+        reply s ~now
+          (Proto.Busy { retry_after = t.config.busy_retry; reason = "quarantined" });
+        t.stats <- { t.stats with busy_rejected = t.stats.busy_rejected + 1 };
+        false
       end
       else begin
-        t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+        s.client <- Some client;
+        (* The client's durable mark is the resume point regardless of
+           what it believes it has seen acked. *)
         reply s ~now
-          (Proto.Reject
-             { seq; reason = Printf.sprintf "sequence gap (durable seq is %d)" sseq })
-      end;
-      true
+          (Proto.Welcome
+             {
+               session = s.id;
+               client;
+               seq = Server.client_seq t.server ~client;
+               epoch = Server.client_epoch t.server ~client;
+             });
+        true
+      end
+  | Proto.Claim { scope } -> (
+      match s.client with
+      | None -> false (* protocol violation: Claim before Hello *)
+      | Some client -> (
+          let sscope =
+            match scope with
+            | Proto.All -> Server.All
+            | Proto.Pairs l -> Server.Pairs l
+          in
+          let seq_before = Server.seq t.server in
+          match Server.claim t.server ~now ~client ~scope:sscope with
+          | epoch ->
+              if Server.alive t.server then begin
+                (* Only a grant that consumed a journal sequence number is
+                   a new entry; an idempotent re-grant journaled nothing
+                   and must not be recorded, or the harvested log would
+                   diverge from the durable order. *)
+                if Server.seq t.server > seq_before then begin
+                  t.stats <- { t.stats with claims = t.stats.claims + 1 };
+                  let pairs =
+                    List.filter_map
+                      (fun (p, (owner, e)) ->
+                        if owner = client && e = epoch then Some p else None)
+                      (Server.claims t.server)
+                  in
+                  record t (Update.Claim { client; epoch; pairs })
+                end;
+                reply s ~now (Proto.Granted { epoch });
+                true
+              end
+              else true (* the append tore: the server is dead, no reply *)
+          | exception Invalid_argument reason ->
+              t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+              reply s ~now (Proto.Reject { seq = 0; reason });
+              true))
+  | Proto.Submit { seq; epoch; update } -> (
+      match s.client with
+      | None -> false (* protocol violation: Submit before Hello *)
+      | Some client -> (
+          match take_token t ~now client with
+          | Error retry_after ->
+              t.stats <- { t.stats with throttled = t.stats.throttled + 1 };
+              reply s ~now (Proto.Throttled { seq; retry_after });
+              true
+          | Ok () -> (
+              match Server.submit t.server ~now ~client ~seq ~epoch update with
+              | Server.Applied ->
+                  t.stats <- { t.stats with applied = t.stats.applied + 1 };
+                  record t (Update.Apply { client; seq; epoch; update });
+                  reply s ~now (Proto.Ack { client; seq });
+                  true
+              | Server.Duplicate ->
+                  (* Already durable: a client retry or a chaos-
+                     duplicated frame. Re-ack; never re-apply. *)
+                  t.stats <- { t.stats with duplicates = t.stats.duplicates + 1 };
+                  reply s ~now (Proto.Ack { client; seq });
+                  true
+              | Server.Seq_gap { expected } ->
+                  t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+                  reply s ~now
+                    (Proto.Reject
+                       {
+                         seq;
+                         reason =
+                           Printf.sprintf "sequence gap (expected seq %d)" expected;
+                       });
+                  strike t ~now client;
+                  true
+              | Server.Fenced { owner = _; current } ->
+                  t.stats <- { t.stats with fenced = t.stats.fenced + 1 };
+                  reply s ~now (Proto.Fenced { seq; held = epoch; current });
+                  strike t ~now client;
+                  true
+              | Server.Died -> true (* torn append: the server is dead, no reply *)
+              | exception Invalid_argument reason ->
+                  (* Validation failure: nothing was journaled, the
+                     server is still clean — the update alone is
+                     refused. *)
+                  t.stats <- { t.stats with rejects = t.stats.rejects + 1 };
+                  reply s ~now (Proto.Reject { seq; reason });
+                  true)))
   | Proto.Ping { nonce } ->
       reply s ~now (Proto.Pong { nonce });
       true
@@ -124,55 +370,71 @@ let step_session t s ~now =
   let closing = ref false in
   let continue = ref true in
   while !continue do
-    match Frame.next s.dec with
-    | `Need_more -> continue := false
-    | `Corrupt _reason ->
-        (* After a corrupt stream there is no frame boundary to trust;
-           drop the session and let the client reconnect. *)
-        t.stats <-
-          {
-            t.stats with
-            malformed = t.stats.malformed + 1;
-            closed = t.stats.closed + 1;
-          };
-        closing := true;
-        continue := false
-    | `Frame payload -> (
-        s.last_activity <- now;
-        match Proto.decode_client payload with
-        | msg ->
-            t.stats <- { t.stats with frames = t.stats.frames + 1 };
-            incr executed;
-            if not (execute t s ~now msg) then begin
-              t.stats <- { t.stats with closed = t.stats.closed + 1 };
+    if not (Server.alive t.server) then continue := false
+    else
+      match Frame.next s.dec with
+      | `Need_more -> continue := false
+      | `Corrupt _reason ->
+          (* After a corrupt stream there is no frame boundary to trust;
+             drop the session and let the client reconnect. *)
+          t.stats <-
+            {
+              t.stats with
+              malformed = t.stats.malformed + 1;
+              closed = t.stats.closed + 1;
+            };
+          Option.iter (fun c -> strike t ~now c) s.client;
+          closing := true;
+          continue := false
+      | `Frame payload -> (
+          s.last_activity <- now;
+          match Proto.decode_client payload with
+          | msg ->
+              t.stats <- { t.stats with frames = t.stats.frames + 1 };
+              incr executed;
+              if not (execute t s ~now msg) then begin
+                t.stats <- { t.stats with closed = t.stats.closed + 1 };
+                closing := true;
+                continue := false
+              end
+          | exception Proto.Corrupt _reason ->
+              t.stats <-
+                {
+                  t.stats with
+                  malformed = t.stats.malformed + 1;
+                  closed = t.stats.closed + 1;
+                };
+              Option.iter (fun c -> strike t ~now c) s.client;
               closing := true;
-              continue := false
-            end
-        | exception Proto.Corrupt _reason ->
-            t.stats <-
-              {
-                t.stats with
-                malformed = t.stats.malformed + 1;
-                closed = t.stats.closed + 1;
-              };
-            closing := true;
-            continue := false)
+              continue := false)
   done;
   (match s.transport.Transport.status () with
   | `Closed when not !closing ->
       t.stats <- { t.stats with closed = t.stats.closed + 1 };
       closing := true
   | `Closed | `Open -> ());
+  (* A strike may already have dropped the session; drop is idempotent. *)
   if !closing then drop t s;
   !executed
 
 let step t ~now =
   List.fold_left (fun acc s -> acc + step_session t s ~now) 0 t.sessions
 
+let shutdown t ~now =
+  let n = List.length t.sessions in
+  List.iter
+    (fun s ->
+      reply s ~now Proto.Shutdown;
+      t.stats <- { t.stats with closed = t.stats.closed + 1 };
+      drop t s)
+    t.sessions;
+  n
+
 type alarm =
   | Core of Server.alarm
   | Dead_session of { id : int; idle : float }
   | Malformed_frames of { frames : int }
+  | Quarantined of { client : int; strikes : int }
 
 let heartbeat t ~now =
   let alarms = ref [] in
@@ -185,6 +447,10 @@ let heartbeat t ~now =
         alarms := Dead_session { id = s.id; idle } :: !alarms
       end)
     t.sessions;
+  List.iter
+    (fun (client, strikes) -> alarms := Quarantined { client; strikes } :: !alarms)
+    t.quarantine_alarms;
+  t.quarantine_alarms <- [];
   let malformed_new = t.stats.malformed - t.malformed_seen in
   if malformed_new > 0 then begin
     t.malformed_seen <- t.stats.malformed;
@@ -194,3 +460,38 @@ let heartbeat t ~now =
     (fun a -> alarms := Core a :: !alarms)
     (Server.heartbeat t.server ~now);
   !alarms
+
+let metrics t ~now =
+  let b = Buffer.create 1024 in
+  let gauge name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" name name v)
+  in
+  let counter name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v)
+  in
+  let h = Server.health t.server ~now in
+  gauge "mdr_sessions" (sessions t);
+  gauge "mdr_seq" h.Server.seq;
+  gauge "mdr_epoch" (Server.epoch t.server);
+  gauge "mdr_journal_records" h.Server.journal_records;
+  gauge "mdr_queue_depth" h.Server.queue_depth;
+  Buffer.add_string b
+    (Printf.sprintf "# TYPE mdr_staleness_seconds gauge\nmdr_staleness_seconds %.3f\n"
+       h.Server.staleness);
+  counter "mdr_heartbeats_total" h.Server.heartbeats;
+  counter "mdr_applied_total" t.stats.applied;
+  counter "mdr_claims_total" t.stats.claims;
+  counter "mdr_duplicates_total" t.stats.duplicates;
+  counter "mdr_rejects_total" t.stats.rejects;
+  counter "mdr_fenced_total" t.stats.fenced;
+  counter "mdr_throttled_total" t.stats.throttled;
+  counter "mdr_quarantines_total" t.stats.quarantines;
+  counter "mdr_malformed_total" t.stats.malformed;
+  counter "mdr_sessions_opened_total" t.stats.opened;
+  counter "mdr_sessions_reaped_total" t.stats.reaped;
+  counter "mdr_sessions_evicted_total" t.stats.evicted;
+  counter "mdr_busy_rejected_total" t.stats.busy_rejected;
+  counter "mdr_ingest_shed_total" h.Server.ingest.Mdr_server.Ingest.shed;
+  counter "mdr_torn_tails_total" h.Server.corruption.Server.torn_tails;
+  counter "mdr_snapshot_fallbacks_total" h.Server.corruption.Server.snapshot_fallbacks;
+  Buffer.contents b

@@ -1,40 +1,65 @@
-(** The route-server's wire front end: sessions, dedup, liveness.
+(** The route-server's wire front end: sessions, per-client dedup,
+    epoch fencing, admission control, liveness.
 
     One {!t} fronts one {!Mdr_server.Server.t}. Transports are handed
     in by whoever owns the accept loop ({!attach}); {!step} drains
-    them, decodes frames and executes messages. The server side is
-    deliberately almost stateless per session — the dedup that makes
-    retries safe is a single comparison against the core's durable
-    sequence number:
+    them, decodes frames and executes messages. A Hello binds each
+    session to a client id, and everything after that is per-client:
 
-    - [Submit seq <= Server.seq] — already durable (a retry or a
-      chaos-duplicated frame): re-ack without applying, so applies are
-      exactly-once no matter how many times the frame arrives;
-    - [seq = Server.seq + 1] — journal + apply, then ack;
-    - anything else is a gap the client must resolve by re-Hello-ing —
-      rejected, never applied out of order.
+    - dedup is a comparison against the client's own durable mark
+      ({!Mdr_server.Server.client_seq}) — a retried or chaos-duplicated
+      [Submit] re-acks without applying, exactly-once per client no
+      matter how the streams interleave;
+    - [Submit]s pass through the core's epoch fence: a stale-epoch
+      write gets a typed [Fenced] reply and is never applied;
+    - misbehavior (gap and fenced submits, malformed frames) accrues
+      strikes; enough strikes quarantine the client — its sessions
+      close and new Hellos get [Busy] until the quarantine lapses;
+    - each client has a token bucket; an empty bucket sheds the
+      [Submit] with [Throttled] (no strike — load is not misbehavior).
 
-    A corrupt frame stream (sticky {!Frame} failure) closes the
-    session; the client reconnects and resumes. {!heartbeat} extends
-    the core watchdog with wire liveness: sessions idle past
-    [dead_after] are reaped, and malformed-frame counts are reported
-    as alarms alongside the core's. *)
+    The session table is bounded: when full, {!attach} first evicts the
+    least-recently-active Greeting-stage session (a redial storm parks
+    half-open sessions; they are the safe victims), and if every slot
+    is Hello-bound it refuses the transport with [Busy]. A corrupt
+    frame stream (sticky {!Frame} failure) closes the session; the
+    client reconnects and resumes. {!heartbeat} extends the core
+    watchdog with wire liveness: idle sessions are reaped, malformed
+    traffic and quarantines are reported as alarms alongside the
+    core's. *)
 
 type config = {
   dead_after : float;  (** reap a session idle this long (seconds) *)
+  max_sessions : int;  (** hard session-table cap *)
+  rate : float;  (** per-client token refill, submits/second *)
+  burst : float;  (** per-client bucket depth *)
+  max_strikes : int;  (** strikes before a client is quarantined *)
+  quarantine_for : float;  (** quarantine length (seconds) *)
+  busy_retry : float;  (** retry-after advertised on [Busy] *)
+  record_applies : bool;
+      (** keep an in-order log of accepted entries ({!applied_log}) —
+          the multi-writer audit's raw material; off in production *)
 }
 
 val default_config : config
-(** 10 s — five client keepalive intervals. *)
+(** 10 s dead-after (five client keepalive intervals), 64 sessions,
+    100/s rate with burst 50, 5 strikes, 30 s quarantine, 5 s busy
+    retry, no apply recording. *)
 
 type stats = {
   opened : int;
   reaped : int;  (** closed by the watchdog for idleness *)
-  closed : int;  (** closed by [Bye], peer close, or corruption *)
+  closed : int;  (** closed by [Bye], peer close, corruption, quarantine *)
+  evicted : int;  (** Greeting-stage sessions evicted by a full table *)
+  busy_rejected : int;  (** transports/Hellos refused with [Busy] *)
   frames : int;  (** well-formed frames executed *)
   malformed : int;  (** corrupt frame streams (each closes a session) *)
   duplicates : int;  (** [Submit]s re-acked without applying *)
   rejects : int;
+  fenced : int;  (** stale-epoch [Submit]s refused *)
+  throttled : int;  (** [Submit]s shed by a client's token bucket *)
+  quarantines : int;
+  claims : int;  (** ownership grants *)
   applied : int;  (** [Submit]s journaled and applied *)
 }
 
@@ -43,25 +68,50 @@ type t
 val create : ?config:config -> Mdr_server.Server.t -> t
 val core : t -> Mdr_server.Server.t
 
-val attach : t -> now:float -> Transport.t -> int
+val attach : t -> now:float -> Transport.t -> int option
 (** Adopt a connected transport as a new session (sends the
-    {!Frame.greeting}); returns the session id. *)
+    {!Frame.greeting}); returns the session id, or [None] if the table
+    is full of bound sessions — the transport then got a [Busy] reply
+    and was closed. *)
 
 val step : t -> now:float -> int
 (** Drain every session's transport and execute complete frames;
-    returns how many frames were executed. Cheap when idle. *)
+    returns how many frames were executed. Cheap when idle. A no-op
+    once the core is dead (a simulated torn append mid-drain). *)
 
 val sessions : t -> int
 (** Sessions currently open. *)
 
 val stats : t -> stats
 
+val shed_of : t -> client:int -> int
+(** Submits shed by [client]'s token bucket so far. *)
+
+val applied_log : t -> Mdr_server.Update.entry list
+(** The accepted entries (applies and claims), oldest first — exactly
+    the order the core journaled them. Empty unless [record_applies]
+    is set. The multi-writer audit harvests this before discarding a
+    killed server to build its sequential reference. *)
+
+val shutdown : t -> now:float -> int
+(** Graceful shutdown of the wire layer: send [Shutdown] to every live
+    session, close them all, and return how many there were. The core
+    server is untouched (checkpoint/close it separately). *)
+
+val metrics : t -> now:float -> string
+(** Prometheus text exposition of the wire and core counters —
+    sessions, applies, sheds, torn tails, quarantines and friends. *)
+
 type alarm =
   | Core of Mdr_server.Server.alarm
   | Dead_session of { id : int; idle : float }
   | Malformed_frames of { frames : int }
       (** corrupt streams seen since the last heartbeat *)
+  | Quarantined of { client : int; strikes : int }
+      (** a client crossed the strike threshold since the last
+          heartbeat; its sessions were closed *)
 
 val heartbeat : t -> now:float -> alarm list
 (** The wire watchdog tick: reap dead sessions, report new malformed
-    traffic, and relay the core server's own heartbeat alarms. *)
+    traffic and quarantines, and relay the core server's own heartbeat
+    alarms. *)

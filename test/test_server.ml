@@ -546,6 +546,126 @@ let test_audit_storm_accounting () =
       check_int "offered = ticks * intensity" 80 s.Audit.offered;
       check "lfi survives the storm" true s.Audit.storm_lfi_ok)
 
+(* ---- multi-writer: per-client sequence spaces and epoch fencing ------ *)
+
+let set01 cost = Update.Set_cost { src = 0; dst = 1; cost }
+let set34 cost = Update.Set_cost { src = 3; dst = 4; cost }
+
+let test_fencing_stale_epoch_rejected () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      (* unclaimed pairs are open to any client *)
+      check "open pair applies" true
+        (Server.submit s ~now:1.0 ~client:1 ~seq:1 ~epoch:0 (set01 2.0)
+        = Server.Applied);
+      (* client 2 takes ownership of (0, 1) *)
+      let e = Server.claim s ~now:2.0 ~client:2 ~scope:(Server.Pairs [ (1, 0) ]) in
+      check_int "first epoch" 1 e;
+      (* client 1's next write to the pair is fenced, not applied *)
+      (match Server.submit s ~now:3.0 ~client:1 ~seq:2 ~epoch:0 (set01 3.0) with
+      | Server.Fenced { owner = 2; current = 1 } -> ()
+      | _ -> Alcotest.fail "stale write not fenced");
+      check_int "fenced write consumed no seq" 2 (Server.seq s);
+      check_int "client 1 mark unchanged" 1 (Server.client_seq s ~client:1);
+      (* the owner writes under its epoch *)
+      check "owner applies" true
+        (Server.submit s ~now:4.0 ~client:2 ~seq:1 ~epoch:e (set01 4.0)
+        = Server.Applied);
+      (* a pair nobody claimed stays open *)
+      check "other pair still open" true
+        (Server.submit s ~now:5.0 ~client:1 ~seq:2 ~epoch:0 (set34 1.5)
+        = Server.Applied);
+      Server.close s)
+
+let test_fencing_new_epoch_wins () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      let e1 = Server.claim s ~now:1.0 ~client:1 ~scope:Server.All in
+      check "old owner writes" true
+        (Server.submit s ~now:2.0 ~client:1 ~seq:1 ~epoch:e1 (set01 2.0)
+        = Server.Applied);
+      (* client 2 takes over the whole topology under a newer epoch *)
+      let e2 = Server.claim s ~now:3.0 ~client:2 ~scope:Server.All in
+      check "takeover epoch is newer" true (e2 > e1);
+      (match Server.submit s ~now:4.0 ~client:1 ~seq:2 ~epoch:e1 (set01 3.0) with
+      | Server.Fenced { owner = 2; current } -> check_int "fence names e2" e2 current
+      | _ -> Alcotest.fail "zombie writer not fenced");
+      check "new owner writes" true
+        (Server.submit s ~now:5.0 ~client:2 ~seq:1 ~epoch:e2 (set01 5.0)
+        = Server.Applied);
+      (* re-claiming what it already owns is idempotent: same epoch,
+         no journal entry — a duplicated Claim frame must not fence
+         its own sender's in-flight submits *)
+      let before = Server.seq s in
+      check_int "re-claim returns standing grant" e2
+        (Server.claim s ~now:6.0 ~client:2 ~scope:Server.All);
+      check_int "re-claim journaled nothing" before (Server.seq s);
+      Server.close s)
+
+let test_fencing_epoch_persists_across_restart () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      let e1 = Server.claim s ~now:1.0 ~client:1 ~scope:(Server.Pairs [ (0, 1) ]) in
+      check "owner writes" true
+        (Server.submit s ~now:2.0 ~client:1 ~seq:1 ~epoch:e1 (set01 2.0)
+        = Server.Applied);
+      let claims = Server.claims s in
+      let epoch = Server.epoch s in
+      Server.close s;
+      let s' = Server.restore ~dir:d ~topo ~cost () in
+      check "claim table restored" true (Server.claims s' = claims);
+      check_int "epoch counter restored" epoch (Server.epoch s');
+      check_int "client epoch restored" e1 (Server.client_epoch s' ~client:1);
+      (* the fence survives the restart *)
+      (match Server.submit s' ~now:3.0 ~client:2 ~seq:1 ~epoch:0 (set01 9.0) with
+      | Server.Fenced { owner = 1; current } -> check_int "old epoch fences" e1 current
+      | _ -> Alcotest.fail "fence lost across restart");
+      (* and a post-restart claim is strictly newer than anything granted *)
+      let e2 = Server.claim s' ~now:4.0 ~client:2 ~scope:(Server.Pairs [ (0, 1) ]) in
+      check "monotone across restart" true (e2 > e1);
+      Server.close s')
+
+let test_per_client_marks_restored () =
+  let topo = small_topo () in
+  with_dir (fun d ->
+      let s = Server.create ~dir:d ~topo ~cost () in
+      (* three writers interleaved, distinct per-client seq spaces *)
+      check "c1/1" true
+        (Server.submit s ~now:1.0 ~client:1 ~seq:1 ~epoch:0 (set01 2.0)
+        = Server.Applied);
+      check "c2/1" true
+        (Server.submit s ~now:2.0 ~client:2 ~seq:1 ~epoch:0 (set34 1.0)
+        = Server.Applied);
+      check "c1/2" true
+        (Server.submit s ~now:3.0 ~client:1 ~seq:2 ~epoch:0 (set01 2.5)
+        = Server.Applied);
+      check "c3/1" true
+        (Server.submit s ~now:4.0 ~client:3 ~seq:1 ~epoch:0 (set34 0.5)
+        = Server.Applied);
+      (* dedup and gap detection are per-client *)
+      check "c2 duplicate" true
+        (Server.submit s ~now:5.0 ~client:2 ~seq:1 ~epoch:0 (set34 1.0)
+        = Server.Duplicate);
+      (match Server.submit s ~now:6.0 ~client:3 ~seq:3 ~epoch:0 (set34 2.0) with
+      | Server.Seq_gap { expected = 2 } -> ()
+      | _ -> Alcotest.fail "per-client gap not detected");
+      let marks = Server.marks s in
+      check "marks table" true (marks = [ (1, 2); (2, 1); (3, 1) ]);
+      let fp = Server.fingerprint s in
+      Server.close s;
+      let s' = Server.restore ~dir:d ~topo ~cost () in
+      check "marks restored byte-identically" true (Server.marks s' = marks);
+      check_str "fingerprint restored" fp (Server.fingerprint s');
+      check_int "c1 resumes from 3" 2 (Server.client_seq s' ~client:1);
+      (* a resumed duplicate is still a duplicate after restore *)
+      check "restored dedup" true
+        (Server.submit s' ~now:7.0 ~client:1 ~seq:2 ~epoch:0 (set01 2.5)
+        = Server.Duplicate);
+      Server.close s')
+
 (* ---- the headline property (satellite: >= 50 seeded cases) ----------- *)
 
 let prop_crash_recovery =
@@ -598,6 +718,14 @@ let suite =
       test_corruption_counters_torn_tail;
     Alcotest.test_case "server: snapshot-fallback corruption counted" `Quick
       test_corruption_counters_snapshot_fallback;
+    Alcotest.test_case "fencing: stale epoch rejected" `Quick
+      test_fencing_stale_epoch_rejected;
+    Alcotest.test_case "fencing: new epoch wins, re-claim idempotent" `Quick
+      test_fencing_new_epoch_wins;
+    Alcotest.test_case "fencing: epoch persists across restart" `Quick
+      test_fencing_epoch_persists_across_restart;
+    Alcotest.test_case "multi-writer: per-client marks restored" `Quick
+      test_per_client_marks_restored;
     Alcotest.test_case "audit: small end-to-end run" `Quick test_audit_small;
     Alcotest.test_case "audit: storm accounting" `Quick
       test_audit_storm_accounting;

@@ -131,9 +131,14 @@ let client_msgs =
   [
     Proto.Hello { client = 7; last_acked = 0 };
     Proto.Hello { client = 0x3FFFFFFF; last_acked = 123456789 };
-    Proto.Submit { seq = 1; update = Update.Set_cost { src = 0; dst = 1; cost = 2.5 } };
-    Proto.Submit { seq = 999; update = Update.Link_down { a = 3; b = 4 } };
-    Proto.Submit { seq = 1000; update = Update.Link_up { a = 3; b = 4; cost = 1.25 } };
+    Proto.Claim { scope = Proto.All };
+    Proto.Claim { scope = Proto.Pairs [ (0, 1) ] };
+    Proto.Claim { scope = Proto.Pairs [ (0, 1); (2, 5); (3, 4) ] };
+    Proto.Submit
+      { seq = 1; epoch = 0; update = Update.Set_cost { src = 0; dst = 1; cost = 2.5 } };
+    Proto.Submit { seq = 999; epoch = 3; update = Update.Link_down { a = 3; b = 4 } };
+    Proto.Submit
+      { seq = 1000; epoch = 77; update = Update.Link_up { a = 3; b = 4; cost = 1.25 } };
     Proto.Ping { nonce = 42 };
     Proto.Get_fingerprint;
     Proto.Bye;
@@ -141,11 +146,17 @@ let client_msgs =
 
 let server_msgs =
   [
-    Proto.Welcome { session = 1; seq = 0 };
-    Proto.Welcome { session = 77; seq = 50 };
-    Proto.Ack { seq = 1 };
+    Proto.Welcome { session = 1; client = 1; seq = 0; epoch = 0 };
+    Proto.Welcome { session = 77; client = 9; seq = 50; epoch = 4 };
+    Proto.Granted { epoch = 1 };
+    Proto.Ack { client = 1; seq = 1 };
+    Proto.Ack { client = 12; seq = 345678 };
     Proto.Reject { seq = 12; reason = "sequence gap (durable seq is 3)" };
-    Proto.Reject { seq = 1; reason = "" };
+    Proto.Reject { seq = 0; reason = "" };
+    Proto.Fenced { seq = 4; held = 1; current = 2 };
+    Proto.Throttled { seq = 9; retry_after = 0.25 };
+    Proto.Busy { retry_after = 5.0; reason = "session table full" };
+    Proto.Shutdown;
     Proto.Pong { nonce = 42 };
     Proto.Fingerprint (String.make 32 'a');
   ]
@@ -359,9 +370,13 @@ let test_dead_session_reaped () =
   with_dir (fun dir ->
       let topo = small_topo () in
       let srv = Server.create ~dir ~topo ~cost () in
-      let wsrv = Wire_server.create ~config:{ Wire_server.dead_after = 5.0 } srv in
+      let wsrv =
+        Wire_server.create
+          ~config:{ Wire_server.default_config with dead_after = 5.0 }
+          srv
+      in
       let _, server_end = Transport.pipe () in
-      let id = Wire_server.attach wsrv ~now:0.0 server_end in
+      let id = Option.get (Wire_server.attach wsrv ~now:0.0 server_end) in
       check_int "session open" 1 (Wire_server.sessions wsrv);
       check "quiet before the deadline" true (Wire_server.heartbeat wsrv ~now:4.0 = []);
       let alarms = Wire_server.heartbeat wsrv ~now:6.0 in
@@ -408,16 +423,18 @@ let test_duplicate_submit_reacked_not_reapplied () =
       in
       Transport.send client_end ~now:0.0 Frame.greeting;
       let u = Update.Set_cost { src = 0; dst = 1; cost = 9.0 } in
-      send (Proto.Submit { seq = 1; update = u });
-      send (Proto.Submit { seq = 1; update = u });
-      send (Proto.Submit { seq = 5; update = u });
+      send (Proto.Hello { client = 3; last_acked = 0 });
+      send (Proto.Submit { seq = 1; epoch = 0; update = u });
+      send (Proto.Submit { seq = 1; epoch = 0; update = u });
+      send (Proto.Submit { seq = 5; epoch = 0; update = u });
       ignore (Wire_server.step wsrv ~now:0.1);
       let ws = Wire_server.stats wsrv in
       check_int "applied once" 1 ws.Wire_server.applied;
       check_int "duplicate re-acked" 1 ws.Wire_server.duplicates;
       check_int "gap rejected" 1 ws.Wire_server.rejects;
       check_int "server seq" 1 (Server.seq srv);
-      (* two acks for seq 1, one reject for seq 5 *)
+      check_int "client mark" 1 (Server.client_seq srv ~client:3);
+      (* welcome, two acks for seq 1, one reject for seq 5 *)
       let dec = Frame.decoder () in
       let rec pull () =
         match client_end.Transport.recv ~now:0.2 with
@@ -432,7 +449,12 @@ let test_duplicate_submit_reacked_not_reapplied () =
         | `Corrupt r -> Alcotest.fail r
       in
       (match msgs [] with
-      | [ Proto.Ack { seq = 1 }; Proto.Ack { seq = 1 }; Proto.Reject { seq = 5; _ } ] -> ()
+      | [
+          Proto.Welcome { client = 3; seq = 0; epoch = 0; _ };
+          Proto.Ack { client = 3; seq = 1 };
+          Proto.Ack { client = 3; seq = 1 };
+          Proto.Reject { seq = 5; _ };
+        ] -> ()
       | other ->
           Alcotest.fail
             (Printf.sprintf "unexpected replies: %s"
@@ -455,6 +477,181 @@ let test_client_gives_up () =
   check "failed, not hung" true
     (match Client.phase client with Client.Failed _ -> true | _ -> false);
   check_int "counted the refused dials" 6 (Client.stats client).Client.dial_failures
+
+(* ---- admission control ----------------------------------------------- *)
+
+(* A raw protocol endpoint: pipe in, greeting sent, with helpers to
+   push client messages and drain decoded server replies. *)
+let raw_endpoint wsrv ~now =
+  let client_end, server_end = Transport.pipe () in
+  let attached = Wire_server.attach wsrv ~now server_end in
+  (match attached with
+  | Some _ -> Transport.send client_end ~now Frame.greeting
+  | None -> ());
+  let dec = Frame.decoder () in
+  let send ~now msg =
+    Transport.send client_end ~now (Frame.encode (Proto.encode_client msg))
+  in
+  let recv ~now =
+    let rec pull () =
+      match client_end.Transport.recv ~now with
+      | Some c -> Frame.feed dec c; pull ()
+      | None -> ()
+    in
+    pull ();
+    let rec msgs acc =
+      match Frame.next dec with
+      | `Frame p -> msgs (Proto.decode_server p :: acc)
+      | `Need_more -> List.rev acc
+      | `Corrupt r -> Alcotest.fail r
+    in
+    msgs []
+  in
+  (attached, send, recv)
+
+let test_session_cap_lru_eviction () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let wsrv =
+        Wire_server.create
+          ~config:{ Wire_server.default_config with max_sessions = 3 }
+          srv
+      in
+      (* two parked Greeting-stage sessions, one Hello-bound *)
+      let a1, _, _ = raw_endpoint wsrv ~now:0.0 in
+      let a2, _, _ = raw_endpoint wsrv ~now:0.1 in
+      let a3, send3, recv3 = raw_endpoint wsrv ~now:0.2 in
+      check "table fills" true (a1 <> None && a2 <> None && a3 <> None);
+      send3 ~now:0.3 (Proto.Hello { client = 1; last_acked = 0 });
+      ignore (Wire_server.step wsrv ~now:0.3);
+      check "bound" true
+        (match recv3 ~now:0.3 with Proto.Welcome _ :: _ -> true | _ -> false);
+      (* a fourth transport evicts the oldest idle Greeting session *)
+      let a4, _, _ = raw_endpoint wsrv ~now:1.0 in
+      check "redial storm victim is the parked session" true (a4 <> None);
+      check_int "evicted one" 1 (Wire_server.stats wsrv).Wire_server.evicted;
+      check_int "table still at cap" 3 (Wire_server.sessions wsrv);
+      (* bind every slot, and the next transport is refused with Busy *)
+      let bind (att, send, recv) ~now client =
+        check "slot" true (att <> None);
+        send ~now (Proto.Hello { client; last_acked = 0 });
+        ignore (Wire_server.step wsrv ~now);
+        check "welcomed" true
+          (match recv ~now with Proto.Welcome _ :: _ -> true | _ -> false)
+      in
+      let e5 = raw_endpoint wsrv ~now:2.0 in
+      let e6 = raw_endpoint wsrv ~now:2.1 in
+      bind e5 ~now:2.2 2;
+      bind e6 ~now:2.3 3;
+      let a7, _, _ = raw_endpoint wsrv ~now:3.0 in
+      check "full of bound sessions refuses" true (a7 = None);
+      check_int "busy counted" 1 (Wire_server.stats wsrv).Wire_server.busy_rejected;
+      (* e5 and e6 each displaced one of the remaining parked sessions
+         before binding: every victim was Greeting-stage, never a
+         bound client *)
+      check_int "only parked sessions were evicted" 3
+        (Wire_server.stats wsrv).Wire_server.evicted;
+      check_int "bound sessions survived" 3 (Wire_server.sessions wsrv);
+      Server.close srv)
+
+let test_quarantine_after_strikes () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let config =
+        {
+          Wire_server.default_config with
+          max_strikes = 2;
+          quarantine_for = 30.0;
+        }
+      in
+      let wsrv = Wire_server.create ~config srv in
+      let _, send, recv = raw_endpoint wsrv ~now:0.0 in
+      send ~now:0.0 (Proto.Hello { client = 9; last_acked = 0 });
+      let u = Update.Set_cost { src = 0; dst = 1; cost = 2.0 } in
+      (* two gap submits = two strikes = quarantine *)
+      send ~now:0.1 (Proto.Submit { seq = 5; epoch = 0; update = u });
+      send ~now:0.2 (Proto.Submit { seq = 7; epoch = 0; update = u });
+      ignore (Wire_server.step wsrv ~now:0.3);
+      check_int "quarantined" 1 (Wire_server.stats wsrv).Wire_server.quarantines;
+      check_int "its session was closed" 0 (Wire_server.sessions wsrv);
+      ignore (recv ~now:0.3);
+      let alarms = Wire_server.heartbeat wsrv ~now:0.4 in
+      check "alarm raised" true
+        (List.exists
+           (function
+             | Wire_server.Quarantined { client = 9; strikes = 2 } -> true
+             | _ -> false)
+           alarms);
+      (* a quarantined client's Hello is refused (Busy, then the
+         session closes; a pipe drops the queued frame with it, so
+         assert via the counters rather than the reply) *)
+      let _, send2, _ = raw_endpoint wsrv ~now:1.0 in
+      send2 ~now:1.0 (Proto.Hello { client = 9; last_acked = 0 });
+      ignore (Wire_server.step wsrv ~now:1.1);
+      check_int "hello refused" 1
+        (Wire_server.stats wsrv).Wire_server.busy_rejected;
+      check_int "refused session closed" 0 (Wire_server.sessions wsrv);
+      (* an innocent client is untouched *)
+      let _, send3, recv3 = raw_endpoint wsrv ~now:2.0 in
+      send3 ~now:2.0 (Proto.Hello { client = 4; last_acked = 0 });
+      send3 ~now:2.1 (Proto.Submit { seq = 1; epoch = 0; update = u });
+      ignore (Wire_server.step wsrv ~now:2.2);
+      (match recv3 ~now:2.2 with
+      | [ Proto.Welcome _; Proto.Ack { client = 4; seq = 1 } ] -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "innocent client degraded: %s"
+               (String.concat ", " (List.map Proto.describe_server other))));
+      (* after the quarantine lapses the offender is allowed back *)
+      let _, send4, recv4 = raw_endpoint wsrv ~now:40.0 in
+      send4 ~now:40.0 (Proto.Hello { client = 9; last_acked = 0 });
+      ignore (Wire_server.step wsrv ~now:40.1);
+      check "back after quarantine" true
+        (match recv4 ~now:40.1 with Proto.Welcome _ :: _ -> true | _ -> false);
+      Server.close srv)
+
+let test_token_bucket_throttles () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let srv = Server.create ~dir ~topo ~cost () in
+      let config =
+        { Wire_server.default_config with rate = 1.0; burst = 2.0 }
+      in
+      let wsrv = Wire_server.create ~config srv in
+      let _, send, recv = raw_endpoint wsrv ~now:0.0 in
+      send ~now:0.0 (Proto.Hello { client = 5; last_acked = 0 });
+      let u i = Update.Set_cost { src = 0; dst = 1; cost = float_of_int i } in
+      (* burst of 3 at t=0: bucket holds 2, the third is shed *)
+      send ~now:0.0 (Proto.Submit { seq = 1; epoch = 0; update = u 1 });
+      send ~now:0.0 (Proto.Submit { seq = 2; epoch = 0; update = u 2 });
+      send ~now:0.0 (Proto.Submit { seq = 3; epoch = 0; update = u 3 });
+      ignore (Wire_server.step wsrv ~now:0.0);
+      let ws = Wire_server.stats wsrv in
+      check_int "two applied" 2 ws.Wire_server.applied;
+      check_int "one throttled" 1 ws.Wire_server.throttled;
+      check_int "shed counter per client" 1 (Wire_server.shed_of wsrv ~client:5);
+      (match recv ~now:0.0 with
+      | [
+          Proto.Welcome _;
+          Proto.Ack { client = 5; seq = 1 };
+          Proto.Ack { client = 5; seq = 2 };
+          Proto.Throttled { seq = 3; retry_after };
+        ] ->
+          check "retry hint positive" true (retry_after > 0.0)
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "unexpected replies: %s"
+               (String.concat ", " (List.map Proto.describe_server other))));
+      (* shedding is not misbehavior: no strike, no quarantine *)
+      check_int "no quarantine" 0 (Wire_server.stats wsrv).Wire_server.quarantines;
+      (* after refill the retried submit goes through *)
+      send ~now:2.5 (Proto.Submit { seq = 3; epoch = 0; update = u 3 });
+      ignore (Wire_server.step wsrv ~now:2.5);
+      check_int "applied after refill" 3 (Wire_server.stats wsrv).Wire_server.applied;
+      check_int "durable mark" 3 (Server.client_seq srv ~client:5);
+      Server.close srv)
 
 (* ---- the chaos audit ------------------------------------------------- *)
 
@@ -488,6 +685,68 @@ let wire_audit_property =
           let r = Wire_audit.run ~updates:25 ~intensity:1.5 ~dir ~topo ~seed () in
           r.Wire_audit.ok))
 
+(* ---- the multi-writer audit ------------------------------------------ *)
+
+let test_multi_audit_clean_wire () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let r =
+        Wire_audit.run_multi ~clients:3 ~updates:12 ~server_kills:0
+          ~client_kills:0 ~intensity:0.0 ~dir ~topo ~seed:5 ()
+      in
+      check "clean multi run passes" true r.Wire_audit.ok;
+      check_int "one grant per client" 3 r.Wire_audit.grants;
+      check_int "no fencing on disjoint shares" 0 r.Wire_audit.fenced;
+      check_int "three client reports" 3 (List.length r.Wire_audit.per_client);
+      List.iter
+        (fun (c : Wire_audit.client_report) ->
+          check "client finished" true c.Wire_audit.client_done;
+          check_int "all acked" 12 c.Wire_audit.acked)
+        r.Wire_audit.per_client)
+
+let test_multi_audit_chaos_with_kills () =
+  with_dir (fun dir ->
+      let topo = small_topo () in
+      let r =
+        Wire_audit.run_multi ~clients:4 ~updates:20 ~server_kills:3
+          ~client_kills:2 ~intensity:1.5 ~dir ~topo ~seed:2 ()
+      in
+      check "chaos multi run passes" true r.Wire_audit.ok;
+      check "fingerprint equals sequential reference" true r.Wire_audit.fingerprint_ok;
+      check "every entry replayed through the fence" true r.Wire_audit.replay_ok;
+      check "exactly-once per client" true r.Wire_audit.exactly_once;
+      check "restores rebuilt marks byte-identically" true r.Wire_audit.marks_ok;
+      check_int "all server kills landed" 3 r.Wire_audit.server_kills;
+      check_int "all client kills landed" 2 r.Wire_audit.client_kills;
+      check "chaos actually struck" true
+        (r.Wire_audit.chaos.Wirefault.flips
+         + r.Wire_audit.chaos.Wirefault.truncations
+         + r.Wire_audit.chaos.Wirefault.disconnects
+         > 0);
+      check "report renders" true
+        (String.length (Wire_audit.report_multi [ r ]) > 0))
+
+(* Satellite: K clients' random streams interleaved with random
+   server/client kills and resumes; per-client durable seqs and the
+   fingerprint must match the sequential reference every time. *)
+let multi_audit_property =
+  QCheck.Test.make
+    ~name:"multi audit: per-client exactly-once + fingerprint equality under kills"
+    ~count:8
+    QCheck.(
+      triple
+        (make Gen.(int_range 1 10_000))
+        (make Gen.(int_range 2 4))
+        (make Gen.(int_range 0 3)))
+    (fun (seed, clients, server_kills) ->
+      with_dir (fun dir ->
+          let topo = small_topo () in
+          let r =
+            Wire_audit.run_multi ~clients ~updates:12 ~server_kills
+              ~client_kills:(clients / 2) ~intensity:1.0 ~dir ~topo ~seed ()
+          in
+          r.Wire_audit.ok))
+
 let suite =
   [
     Alcotest.test_case "frame roundtrip under random chunking" `Quick test_frame_roundtrip_chunked;
@@ -507,7 +766,18 @@ let suite =
     Alcotest.test_case "malformed stream closes the session" `Quick test_malformed_stream_closes_session;
     Alcotest.test_case "duplicate submit re-acked, never re-applied" `Quick test_duplicate_submit_reacked_not_reapplied;
     Alcotest.test_case "client gives up after max reconnects" `Quick test_client_gives_up;
+    Alcotest.test_case "admission: session cap with LRU eviction" `Quick
+      test_session_cap_lru_eviction;
+    Alcotest.test_case "admission: strikes quarantine a misbehaving client" `Quick
+      test_quarantine_after_strikes;
+    Alcotest.test_case "admission: token bucket throttles, no strike" `Quick
+      test_token_bucket_throttles;
     Alcotest.test_case "wire audit: clean wire" `Quick test_wire_audit_clean_wire;
     Alcotest.test_case "wire audit: chaos converges" `Quick test_wire_audit_chaos;
     QCheck_alcotest.to_alcotest wire_audit_property;
+    Alcotest.test_case "multi audit: clean wire, disjoint claims" `Quick
+      test_multi_audit_clean_wire;
+    Alcotest.test_case "multi audit: chaos with kills converges" `Quick
+      test_multi_audit_chaos_with_kills;
+    QCheck_alcotest.to_alcotest multi_audit_property;
   ]
