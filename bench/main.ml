@@ -175,6 +175,35 @@ let bench_packet_sim =
   Test.make ~name:"netsim: 2 simulated seconds of NET1"
     (Staged.stage (fun () -> ignore (Mdr_netsim.Sim.run ~config:cfg topo flows)))
 
+let bench_incr_spf =
+  (* Steady-state single-link repair on a warm 1000-node BA table —
+     the per-LSU hot path `mdrsim scale` sweeps at larger n. *)
+  let module T = Mdr_routing.Topo_table in
+  let module I = Mdr_routing.Incr_spf in
+  let rng = Mdr_util.Rng.substream ~seed:1 ~index:0 in
+  let topo = Mdr_topology.Generators.barabasi_albert ~rng ~n:1000 ~m:2 () in
+  let table = T.create () in
+  List.iter
+    (fun (l : Mdr_topology.Graph.link) ->
+      T.set table ~head:l.src ~tail:l.dst
+        ~cost:(0.25 *. float_of_int (1 + Mdr_util.Rng.int rng ~bound:32)))
+    (Mdr_topology.Graph.links topo);
+  let iws = I.workspace () in
+  let st = I.create ~n:1000 ~root:0 in
+  I.full iws st table;
+  ignore (T.csr table ~n:1000);
+  ignore (T.csr_in table ~n:1000);
+  let l = List.hd (Mdr_topology.Graph.links topo) in
+  let flip = ref false in
+  Test.make ~name:"incr_spf: BA-1000 single-link repair"
+    (Staged.stage (fun () ->
+         flip := not !flip;
+         let cost = if !flip then 4.0 else 4.25 in
+         T.set table ~head:l.src ~tail:l.dst ~cost;
+         ignore
+           (I.update iws st table
+              ~changes:[ { T.head = l.src; tail = l.dst; cost } ])))
+
 let bench_estimator =
   Test.make ~name:"estimator: busy-period sample"
     (Staged.stage (fun () ->
@@ -196,6 +225,7 @@ let micro_benchmarks () =
       bench_opt_iteration;
       bench_ah_step;
       bench_packet_sim;
+      bench_incr_spf;
       bench_estimator;
     ]
   in

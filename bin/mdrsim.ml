@@ -749,6 +749,362 @@ let perfbench_cmd =
           traces.")
     Term.(const run $ quick_arg $ jobs_arg $ seed_arg $ out_arg)
 
+(* ---- internet-scale SPF benchmark --------------------------------- *)
+
+(* One benchmark cell = (generator, target size, seed). The row keeps
+   the correctness fields (bit-equality vs full Dijkstra, convergence
+   exactness, message counts) separate from the timings so that a
+   Pool-parallel rerun — which must not read the wall clock inside a
+   task — can reproduce the sequential correctness digest bit for
+   bit. *)
+type scale_row = {
+  sr_gen : string;
+  sr_target : int;
+  sr_n : int;  (* actual node count (hierarchical rounds down) *)
+  sr_seed : int;
+  sr_changes : int;
+  sr_incr_s : float;  (* summed per-LSU incremental repair time *)
+  sr_full_s : float;  (* summed per-LSU from-scratch Dijkstra time *)
+  sr_repairs : int;
+  sr_fallbacks : int;
+  sr_equal : bool;  (* every repair bit-identical to full recompute *)
+  (* (messages, seconds, exact, reconverge messages, spf repairs) *)
+  sr_conv : (int * float * bool * int * int) option;
+  sr_digest : string;  (* md5 over the correctness fields only *)
+}
+
+let scale_cmd =
+  (* Per-LSU incremental-repair cost vs from-scratch Dijkstra on
+     BA / Waxman / hierarchical topologies up to 10k nodes, plus full
+     MPDA convergence (message counts, exact distance check) on the
+     sizes where n from-scratch Dijkstras per check are still cheap.
+     Every repair is bit-compared against a full recompute; the
+     Pool-parallel rerun must reproduce the sequential digest. *)
+  let module Pool = Mdr_util.Pool in
+  let module Rng = Mdr_util.Rng in
+  let module Graph = Mdr_topology.Graph in
+  let module Generators = Mdr_topology.Generators in
+  let module Topo_table = Mdr_routing.Topo_table in
+  let module Dijkstra = Mdr_routing.Dijkstra in
+  let module Incr_spf = Mdr_routing.Incr_spf in
+  let module Syncnet = Mdr_routing.Syncnet in
+  (* Dyadic cost grid (multiples of 0.25 in [0.25, 8]): distinct path
+     costs are exactly equal or well separated, so the incremental
+     equivalence contract applies with no tolerance caveats. *)
+  let draw_cost rng = 0.25 *. float_of_int (1 + Rng.int rng ~bound:32) in
+  let make_topo gen n rng =
+    match gen with
+    | "ba" -> Generators.barabasi_albert ~rng ~n ~m:2 ()
+    | "waxman" ->
+        (* Shrink the reach radius with n to keep mean degree ~7
+           instead of letting density grow linearly with n. *)
+        let alpha = Float.sqrt (1.5 /. float_of_int n) in
+        Generators.waxman ~rng ~n ~alpha ()
+    | "hier" ->
+        let b = int_of_float (Float.sqrt (float_of_int n)) in
+        let areas = Stdlib.max 1 ((n - b) / b) in
+        Generators.hierarchical ~rng ~areas ~area_size:b ~backbone:b ()
+    | _ -> invalid_arg "scale: unknown generator"
+  in
+  (* [now] is the only impurity: Unix.gettimeofday sequentially, a
+     constant inside pool tasks, so timing never leaks into the digest
+     and the parallel pass stays wall-clock-free. *)
+  let run_cell ~now ~conv_max (gen, target, seed, index) =
+    let rng = Rng.substream ~seed ~index in
+    let topo = make_topo gen target rng in
+    let n = Graph.node_count topo in
+    let costs = Hashtbl.create (4 * n) in
+    let table = Topo_table.create () in
+    List.iter
+      (fun (l : Graph.link) ->
+        let c = draw_cost rng in
+        Hashtbl.replace costs (l.Graph.src, l.Graph.dst) c;
+        Topo_table.set table ~head:l.Graph.src ~tail:l.Graph.dst ~cost:c)
+      (Graph.links topo);
+    let conv_table = Topo_table.copy table in
+    let links = Array.of_list (Graph.links topo) in
+    let redraw rng cur =
+      let c = ref (draw_cost rng) in
+      while Float.equal !c cur do c := draw_cost rng done;
+      !c
+    in
+    (* Engine bench: k single-link cost changes, each repaired
+       incrementally and cross-checked against a from-scratch run. *)
+    let k = if target >= 5000 then 20 else 50 in
+    let iws = Incr_spf.workspace () in
+    let st = Incr_spf.create ~n ~root:0 in
+    Incr_spf.full iws st table;
+    (* Warm both CSR views: the router builds them once per topology
+       and cost-only changes patch them in place, so view construction
+       is setup cost, not per-LSU cost. *)
+    ignore (Topo_table.csr table ~n);
+    ignore (Topo_table.csr_in table ~n);
+    let dws = Dijkstra.workspace () in
+    let sdist = Array.make n infinity and sparent = Array.make n (-1) in
+    let incr_s = ref 0.0 and full_s = ref 0.0 in
+    let equal = ref true in
+    for _i = 1 to k do
+      let l = links.(Rng.int rng ~bound:(Array.length links)) in
+      let head = l.Graph.src and tail = l.Graph.dst in
+      let cur =
+        match Topo_table.cost table ~head ~tail with
+        | Some c -> c
+        | None -> infinity
+      in
+      let cost = redraw rng cur in
+      Topo_table.set table ~head ~tail ~cost;
+      let t0 = now () in
+      (match
+         Incr_spf.update iws st table
+           ~changes:[ { Topo_table.head; tail; cost } ]
+       with
+      | Incr_spf.Repaired _ | Incr_spf.Recomputed -> ());
+      incr_s := !incr_s +. (now () -. t0);
+      let t1 = now () in
+      Dijkstra.on_table_into dws ~n ~root:0 ~dist:sdist ~parent:sparent table;
+      full_s := !full_s +. (now () -. t1);
+      for j = 0 to n - 1 do
+        if
+          (not (Float.equal st.Incr_spf.dist.(j) sdist.(j)))
+          || st.Incr_spf.parent.(j) <> sparent.(j)
+        then equal := false
+      done
+    done;
+    let s = Incr_spf.stats iws in
+    (* Convergence bench: bring up a full MPDA network, pump to
+       quiescence, check every router's distances exactly, then
+       reconverge after one link-cost change. *)
+    let conv =
+      if n > conv_max then None
+      else begin
+        let cost_fn (l : Graph.link) =
+          Hashtbl.find costs (l.Graph.src, l.Graph.dst)
+        in
+        let t0 = now () in
+        let net = Syncnet.create ~topo ~cost:cost_fn () in
+        let completed = Syncnet.run ~max_messages:5_000_000 net in
+        let secs = now () -. t0 in
+        let msgs = Syncnet.messages_delivered net in
+        let exact0 =
+          completed && Syncnet.quiescent net
+          && Syncnet.check_distances net conv_table
+        in
+        let l = links.(Rng.int rng ~bound:(Array.length links)) in
+        let head = l.Graph.src and tail = l.Graph.dst in
+        let c = redraw rng (Hashtbl.find costs (head, tail)) in
+        Hashtbl.replace costs (head, tail) c;
+        Topo_table.set conv_table ~head ~tail ~cost:c;
+        Syncnet.change_link_cost net ~src:head ~dst:tail ~cost:c;
+        let completed2 = Syncnet.run ~max_messages:5_000_000 net in
+        let reconv = Syncnet.messages_delivered net - msgs in
+        let exact =
+          exact0 && completed2 && Syncnet.quiescent net
+          && Syncnet.check_distances net conv_table
+        in
+        let _, conv_repairs, _ = Syncnet.spf_totals net in
+        Some (msgs, secs, exact, reconv, conv_repairs)
+      end
+    in
+    let digest =
+      let b = Buffer.create (32 * n) in
+      Printf.bprintf b "%s/%d/%d k=%d rep=%d fb=%d eq=%b|" gen n seed k
+        s.Incr_spf.repairs s.Incr_spf.fallbacks !equal;
+      for j = 0 to n - 1 do
+        Printf.bprintf b "%h,%d;" st.Incr_spf.dist.(j) st.Incr_spf.parent.(j)
+      done;
+      (match conv with
+      | None -> Buffer.add_string b "|noconv"
+      | Some (m, _, ex, rc, rp) ->
+          Printf.bprintf b "|conv=%d,%b,%d,%d" m ex rc rp);
+      Digest.to_hex (Digest.string (Buffer.contents b))
+    in
+    {
+      sr_gen = gen;
+      sr_target = target;
+      sr_n = n;
+      sr_seed = seed;
+      sr_changes = k;
+      sr_incr_s = !incr_s;
+      sr_full_s = !full_s;
+      sr_repairs = s.Incr_spf.repairs;
+      sr_fallbacks = s.Incr_spf.fallbacks;
+      sr_equal = !equal;
+      sr_conv = conv;
+      sr_digest = digest;
+    }
+  in
+  let quick_arg =
+    let doc = "Small preset (n in {100, 1000}) for CI." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let jobs_arg =
+    let doc = "Domains for the parallel digest-gate rerun." in
+    Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let conv_max_arg =
+    let doc =
+      "Run the MPDA convergence bench only on cells with at most $(docv) \
+       routers (the exact check costs n from-scratch Dijkstras)."
+    in
+    Arg.(value & opt int 1000 & info [ "conv-max" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the JSON report." in
+    Arg.(value & opt string "BENCH_perf.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let perfbench_arg =
+    let doc =
+      "Embed a previously written $(b,perfbench) JSON report into the output \
+       file, so one artifact carries both benchmark suites."
+    in
+    Arg.(value & opt (some string) None & info [ "perfbench" ] ~docv:"FILE" ~doc)
+  in
+  let run quick jobs seeds conv_max out perfbench_file =
+    if jobs < 0 then begin
+      prerr_endline "scale: --jobs must be >= 1";
+      2
+    end
+    else begin
+      let jobs = if jobs > 0 then jobs else Stdlib.max 2 (Pool.default_jobs ()) in
+      let sizes = if quick then [ 100; 1000 ] else [ 100; 1000; 5000; 10000 ] in
+      let gens = [ "ba"; "waxman"; "hier" ] in
+      let cells =
+        List.concat_map (fun g -> List.map (fun n -> (g, n)) sizes) gens
+      in
+      let tasks =
+        Array.of_list
+          (List.concat_map
+             (fun seed ->
+               List.mapi (fun i (g, n) -> (g, n, seed, i)) cells)
+             seeds)
+      in
+      Printf.printf
+        "scale: %d cells (%s x n in {%s}) x %d seed(s); conv bench at n <= %d\n\n"
+        (Array.length tasks)
+        (String.concat ", " gens)
+        (String.concat ", " (List.map string_of_int sizes))
+        (List.length seeds) conv_max;
+      (* Timed sequential pass: the only place the wall clock is read.
+         Rows print as they land — the big cells take a while. *)
+      let rows =
+        Array.map
+          (fun c ->
+            let r = run_cell ~now:Unix.gettimeofday ~conv_max c in
+            let per_incr = r.sr_incr_s /. float_of_int r.sr_changes *. 1e6 in
+            let per_full = r.sr_full_s /. float_of_int r.sr_changes *. 1e6 in
+            Printf.printf
+              "  %-6s n=%5d seed=%d  per-LSU incr %9.1f us  full %9.1f us  \
+               speedup x%7.1f  rep/fb %3d/%d  [%s]\n%!"
+              r.sr_gen r.sr_n r.sr_seed per_incr per_full
+              (per_full /. per_incr) r.sr_repairs r.sr_fallbacks
+              (if r.sr_equal then "exact" else "MISMATCH");
+            (match r.sr_conv with
+            | None -> ()
+            | Some (m, s, ex, rc, rp) ->
+                Printf.printf
+                  "         converge %7d msgs %6.2f s  reconverge %5d msgs  \
+                   %d repairs  [%s]\n%!"
+                  m s rc rp
+                  (if ex then "exact" else "NOT CONVERGED"));
+            r)
+          tasks
+      in
+      (* Pure parallel rerun: same cells over a domain pool, constant
+         clock, digest equality gates determinism across domains. *)
+      let digest_of rs =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\n" (List.map (fun r -> r.sr_digest) rs)))
+      in
+      let md5_seq = digest_of (Array.to_list rows) in
+      let par =
+        Pool.map_array ~jobs
+          (fun c -> run_cell ~now:(fun () -> 0.0) ~conv_max c)
+          tasks
+      in
+      let md5_par = digest_of (Array.to_list par) in
+      let identical = String.equal md5_seq md5_par in
+      Printf.printf "\n  digest seq %s  %d-domain %s [%s]\n" md5_seq jobs
+        md5_par
+        (if identical then "match" else "MISMATCH");
+      (* The acceptance gate: at n >= 5000 a single-link change must
+         repair at least 5x faster than recomputing from scratch. *)
+      let big = Array.to_list rows |> List.filter (fun r -> r.sr_target >= 5000) in
+      let speedup_ok =
+        List.for_all
+          (fun r -> r.sr_incr_s > 0.0 && r.sr_full_s /. r.sr_incr_s >= 5.0)
+          big
+      in
+      if big <> [] then
+        Printf.printf "  n>=5000 speedup gate (>= x5 per LSU): %s\n"
+          (if speedup_ok then "PASS" else "FAIL");
+      let all_equal = Array.for_all (fun r -> r.sr_equal) rows in
+      let all_conv =
+        Array.for_all
+          (fun r -> match r.sr_conv with Some (_, _, ex, _, _) -> ex | None -> true)
+          rows
+      in
+      let json_row r =
+        let conv_json =
+          match r.sr_conv with
+          | None -> "null"
+          | Some (m, s, ex, rc, rp) ->
+              Printf.sprintf
+                "{\"messages\": %d, \"seconds\": %.6f, \"exact\": %b, \
+                 \"reconverge_messages\": %d, \"spf_repairs\": %d}"
+                m s ex rc rp
+        in
+        let per_incr = r.sr_incr_s /. float_of_int r.sr_changes *. 1e6 in
+        let per_full = r.sr_full_s /. float_of_int r.sr_changes *. 1e6 in
+        Printf.sprintf
+          "    {\"gen\": %S, \"n\": %d, \"seed\": %d, \"changes\": %d, \
+           \"per_lsu_incr_us\": %.3f, \"per_lsu_full_us\": %.3f, \
+           \"speedup\": %.2f, \"repairs\": %d, \"fallbacks\": %d, \
+           \"engine_equal\": %b, \"convergence\": %s}"
+          r.sr_gen r.sr_n r.sr_seed r.sr_changes per_incr per_full
+          (per_full /. per_incr) r.sr_repairs r.sr_fallbacks r.sr_equal
+          conv_json
+      in
+      let perfbench_json =
+        match perfbench_file with
+        | None -> "null"
+        | Some f ->
+            let ic = open_in f in
+            let len = in_channel_length ic in
+            let s = really_input_string ic len in
+            close_in ic;
+            String.trim s
+      in
+      let oc = open_out out in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"scaling-spf\",\n  \"jobs\": %d,\n  \
+         \"quick\": %b,\n  \"seeds\": [%s],\n  \"md5_sequential\": %S,\n  \
+         \"md5_parallel\": %S,\n  \"identical\": %b,\n  \"rows\": [\n%s\n  \
+         ],\n  \"perfbench\": %s\n}\n"
+        jobs quick
+        (String.concat ", " (List.map string_of_int seeds))
+        md5_seq md5_par identical
+        (String.concat ",\n" (Array.to_list (Array.map json_row rows)))
+        perfbench_json;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" out;
+      let ok = all_equal && all_conv && identical && speedup_ok in
+      Printf.printf "\nscale: %s\n"
+        (if ok then
+           "PASS (repairs bit-identical, convergence exact, domains agree)"
+         else "FAIL");
+      exit_of_ok ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Benchmark incremental vs full SPF and MPDA convergence on \
+          internet-like topologies up to 10k nodes.")
+    Term.(
+      const run $ quick_arg $ jobs_arg $ seeds_arg $ conv_max_arg $ out_arg
+      $ perfbench_arg)
+
 (* ---- the route-server daemon and its crash-recovery audit ---------- *)
 
 module Server = Mdr_server.Server
@@ -1069,6 +1425,8 @@ let serve_cmd =
             h.Server.ingest.Mdr_server.Ingest.coalesced
             h.Server.ingest.Mdr_server.Ingest.absorbed
             (Server.fingerprint srv));
+      Printf.printf "spf: %d full runs, %d incremental repairs, %d fallbacks\n"
+        h.Server.spf_full_runs h.Server.spf_repairs h.Server.spf_fallbacks;
       (match routes_from with
       | None -> ()
       | Some spec ->
@@ -1777,8 +2135,7 @@ let cmds =
       (fun () -> Experiments.failover ());
     simple_cmd "gen" ~doc:"MP vs SP across random topologies."
       (fun () -> Experiments.generalization ());
-    simple_cmd "scale" ~doc:"Protocol convergence cost vs network size."
-      Experiments.scale_protocol;
+    scale_cmd;
     chaos_cmd;
     overload_cmd;
     serve_cmd;

@@ -46,6 +46,11 @@ let default_config =
       ];
     sinks =
       [
+        (* The incremental SPF engine's outputs are protocol state that
+           feeds Router.fingerprint bit-for-bit; its repair order must
+           not depend on any nondeterminism source. *)
+        "Mdr_routing.Incr_spf.update";
+        "Mdr_routing.Incr_spf.full";
         "Mdr_routing.Router.fingerprint";
         "Mdr_faults.Campaign.fingerprint";
         "Mdr_faults.Campaign.digest";

@@ -147,7 +147,7 @@ let initial_state scenario =
   let n = Graph.node_count scenario.topo in
   let st =
     {
-      routers = Array.init n (fun id -> Router.create ~mode:Router.Mpda ~id ~n);
+      routers = Array.init n (fun id -> Router.create ~mode:Router.Mpda ~id ~n ());
       queues = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
       changes_left =
         (match scenario.change with

@@ -398,7 +398,7 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
     Array.init n (fun id ->
         {
           id;
-          router = Router.create ~mode:Router.Mpda ~id ~n;
+          router = Router.create ~mode:Router.Mpda ~id ~n ();
           alive = true;
           out = Hashtbl.create 4;
           forwarding = Hashtbl.create 16;
@@ -538,7 +538,7 @@ let run ?(config = default_config) ?(events = []) topo flow_specs =
       Sorted_tbl.iter (fun _ ls -> Link.fail ls.link) ns.out;
       List.iter (fun k -> fail_direction ~src:k ~dst:node) (Graph.neighbors topo node);
       (* The node loses all routing state. *)
-      ns.router <- Router.create ~mode:Router.Mpda ~id:node ~n;
+      ns.router <- Router.create ~mode:Router.Mpda ~id:node ~n ();
       Hashtbl.reset ns.forwarding;
       Hashtbl.reset ns.succ_used
     end

@@ -13,6 +13,11 @@ type result = {
   parent : int array;  (** [parent.(j)]: predecessor on the canonical shortest path; [-1] for the root and unreachable nodes. *)
 }
 
+val close : float -> float -> bool
+(** The relative-tolerance equality (1e-12) under which two path costs
+    count as tied. Exposed so the incremental-SPF repair and the tests
+    apply exactly the predicate the full run applies. *)
+
 type workspace
 (** Reusable scratch (settled bitmap, flat binary heap, discarded
     parents). Passing one workspace to repeated runs eliminates the

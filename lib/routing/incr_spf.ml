@@ -1,0 +1,517 @@
+(* Incremental single-source shortest-path-tree maintenance over the
+   CSR topology views, in the Ramalingam–Reps style: given the edge
+   changes since the last run, repair only the affected region.
+
+   The repair has five phases:
+
+   1. Classify each change against the current tree: a change to the
+      tree edge feeding [tail] that no longer supports its distance
+      orphans [tail]; a change that offers a significantly shorter path
+      seeds a decrease.
+   2. Orphan collection: the tree subtree under every orphan seed loses
+      its distance (walk tree children via the forward CSR). If the
+      orphaned region exceeds [max_dirty_frac] of the graph, repairing
+      costs as much as recomputing — fall back to a full run.
+   3. Boundary re-initialization: each orphan's best re-entry from the
+      intact region (minimum over in-edges from non-orphans, via the
+      transpose CSR) primes the heap; decrease seeds join it.
+   4. Heap repair: the same (distance, id)-ordered flat heap discipline
+      as the full run — pop, settle, relax out-edges accepting only
+      significant improvements. Distances propagate as the same
+      [dist u +. w] float expressions the full run evaluates, so
+      repaired distances are bit-identical to a from-scratch run.
+   5. Parent canonicalization: the full run's parent of [v] is the
+      smallest-id in-neighbor [u] achieving [close (dist u +. w)
+      (dist v)] — valid because with strictly positive costs every
+      achiever settles strictly before [v]. Re-derive the parent from
+      that rule for every node whose achiever set may have moved:
+      orphans, distance-changed nodes, their out-neighbors, and the
+      tails of changed edges.
+
+   Two situations break the canonical-parent characterization and force
+   a full-run fallback: a zero-cost edge anywhere in the table (settle
+   order inside an equal-distance plateau then depends on plateau
+   structure the local rule cannot see), detected by scanning the cost
+   column at every full run and every change batch; and an achiever
+   whose own distance is within tolerance of its target's (a
+   sub-tolerance edge), detected during canonicalization. Inputs whose
+   distinct path costs collide within the 1e-12 relative tolerance
+   without being exactly equal are outside the equivalence contract —
+   there even two full runs relaxing in different orders disagree in
+   the last bits. Exact ties (bit-identical sums) are fully handled.
+
+   Steady-state repairs allocate nothing: marks are stamp arrays (no
+   clearing), worklists are growable int/float vectors reused across
+   calls, and the undo log doubles as the changed-node report. *)
+
+type stats = {
+  mutable full_runs : int;
+  mutable repairs : int;
+  mutable fallbacks : int;
+  mutable repaired_nodes : int;
+}
+
+type state = {
+  dist : float array;
+  parent : int array;
+  n : int;
+  root : int;
+  mutable version : int;
+  mutable has_zero : bool;
+}
+
+type outcome = Repaired of int | Recomputed
+
+let create ~n ~root =
+  if n <= 0 then invalid_arg "Incr_spf.create: n must be positive";
+  if root < 0 || root >= n then invalid_arg "Incr_spf.create: root out of range";
+  {
+    dist = Array.make n infinity;
+    parent = Array.make n (-1);
+    n;
+    root;
+    version = -1;
+    has_zero = false;
+  }
+
+let create_into ~dist ~parent ~n ~root =
+  if n <= 0 then invalid_arg "Incr_spf.create_into: n must be positive";
+  if root < 0 || root >= n then invalid_arg "Incr_spf.create_into: root out of range";
+  if Array.length dist < n || Array.length parent < n then
+    invalid_arg "Incr_spf.create_into: buffers shorter than n";
+  { dist; parent; n; root; version = -1; has_zero = false }
+
+type ws = {
+  dj : Dijkstra.workspace;
+  (* Flat binary heap ordered by (distance, id), as in Dijkstra. *)
+  mutable heap_d : float array;
+  mutable heap_n : int array;
+  mutable heap_len : int;
+  (* Stamp marks: a cell equals [stamp] iff marked this update. *)
+  mutable stamp : int;
+  mutable orphan_at : int array;
+  mutable settled_at : int array;
+  mutable logged_at : int array;
+  mutable recheck_at : int array;
+  (* Orphan worklist; the BFS reads it back as its own queue. *)
+  mutable orphans : int array;
+  mutable orphans_len : int;
+  (* Decrease seeds (u, v, new cost of edge u->v). *)
+  mutable dec_u : int array;
+  mutable dec_v : int array;
+  mutable dec_c : float array;
+  mutable dec_len : int;
+  (* Undo log: pre-update (dist, parent) of every written node. *)
+  mutable log_node : int array;
+  mutable log_dist : float array;
+  mutable log_parent : int array;
+  mutable log_len : int;
+  (* Parent-canonicalization worklist. *)
+  mutable recheck : int array;
+  mutable recheck_len : int;
+  (* Changed-node report, sorted ascending before emission. *)
+  mutable changed : int array;
+  mutable changed_len : int;
+  stats : stats;
+}
+
+let workspace () =
+  {
+    dj = Dijkstra.workspace ();
+    heap_d = Array.make 64 0.0;
+    heap_n = Array.make 64 0;
+    heap_len = 0;
+    stamp = 0;
+    orphan_at = [||];
+    settled_at = [||];
+    logged_at = [||];
+    recheck_at = [||];
+    orphans = Array.make 16 0;
+    orphans_len = 0;
+    dec_u = Array.make 16 0;
+    dec_v = Array.make 16 0;
+    dec_c = Array.make 16 0.0;
+    dec_len = 0;
+    log_node = Array.make 16 0;
+    log_dist = Array.make 16 0.0;
+    log_parent = Array.make 16 0;
+    log_len = 0;
+    recheck = Array.make 16 0;
+    recheck_len = 0;
+    changed = Array.make 16 0;
+    changed_len = 0;
+    stats = { full_runs = 0; repairs = 0; fallbacks = 0; repaired_nodes = 0 };
+  }
+
+let stats ws = ws.stats
+
+let grow_int a needed =
+  if Array.length a >= needed then a
+  else begin
+    let b = Array.make (max needed (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_float a needed =
+  if Array.length a >= needed then a
+  else begin
+    let b = Array.make (max needed (2 * Array.length a)) 0.0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let prepare ws n =
+  if Array.length ws.orphan_at < n then begin
+    ws.orphan_at <- grow_int ws.orphan_at n;
+    ws.settled_at <- grow_int ws.settled_at n;
+    ws.logged_at <- grow_int ws.logged_at n;
+    ws.recheck_at <- grow_int ws.recheck_at n
+  end;
+  (* Stale stamps from before a growth are <= the old stamp, so simply
+     advancing the stamp unmarks everything, grown cells included. *)
+  ws.stamp <- ws.stamp + 1;
+  ws.heap_len <- 0;
+  ws.orphans_len <- 0;
+  ws.dec_len <- 0;
+  ws.log_len <- 0;
+  ws.recheck_len <- 0;
+  ws.changed_len <- 0
+
+(* Heap push/pop: identical (d, id)-lexicographic discipline to
+   Dijkstra's, on this workspace's arrays. *)
+let heap_push ws d v =
+  if ws.heap_len = Array.length ws.heap_d then begin
+    ws.heap_d <- grow_float ws.heap_d (ws.heap_len + 1);
+    ws.heap_n <- grow_int ws.heap_n (ws.heap_len + 1)
+  end;
+  let hd = ws.heap_d and hn = ws.heap_n in
+  let i = ref ws.heap_len in
+  ws.heap_len <- ws.heap_len + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if d < hd.(p) || (d = hd.(p) && v < hn.(p)) then begin
+      hd.(!i) <- hd.(p);
+      hn.(!i) <- hn.(p);
+      i := p
+    end
+    else sifting := false
+  done;
+  hd.(!i) <- d;
+  hn.(!i) <- v
+
+(* Pops the minimum into (heap_pop_d, heap_pop_n) via the returned
+   pair-free protocol: caller reads hd.(0)/hn.(0) first. *)
+let heap_drop ws =
+  let hd = ws.heap_d and hn = ws.heap_n in
+  ws.heap_len <- ws.heap_len - 1;
+  let len = ws.heap_len in
+  if len > 0 then begin
+    let ld = hd.(len) and lv = hn.(len) in
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= len then sifting := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < len && (hd.(r) < hd.(l) || (hd.(r) = hd.(l) && hn.(r) < hn.(l)))
+          then r
+          else l
+        in
+        if hd.(c) < ld || (hd.(c) = ld && hn.(c) < lv) then begin
+          hd.(!i) <- hd.(c);
+          hn.(!i) <- hn.(c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    hd.(!i) <- ld;
+    hn.(!i) <- lv
+  end
+
+let push_orphan ws v =
+  if ws.orphan_at.(v) <> ws.stamp then begin
+    ws.orphan_at.(v) <- ws.stamp;
+    ws.orphans <- grow_int ws.orphans (ws.orphans_len + 1);
+    ws.orphans.(ws.orphans_len) <- v;
+    ws.orphans_len <- ws.orphans_len + 1
+  end
+
+let push_dec ws u v c =
+  ws.dec_u <- grow_int ws.dec_u (ws.dec_len + 1);
+  ws.dec_v <- grow_int ws.dec_v (ws.dec_len + 1);
+  ws.dec_c <- grow_float ws.dec_c (ws.dec_len + 1);
+  ws.dec_u.(ws.dec_len) <- u;
+  ws.dec_v.(ws.dec_len) <- v;
+  ws.dec_c.(ws.dec_len) <- c;
+  ws.dec_len <- ws.dec_len + 1
+
+let ensure_logged ws st v =
+  if ws.logged_at.(v) <> ws.stamp then begin
+    ws.logged_at.(v) <- ws.stamp;
+    ws.log_node <- grow_int ws.log_node (ws.log_len + 1);
+    ws.log_dist <- grow_float ws.log_dist (ws.log_len + 1);
+    ws.log_parent <- grow_int ws.log_parent (ws.log_len + 1);
+    ws.log_node.(ws.log_len) <- v;
+    ws.log_dist.(ws.log_len) <- st.dist.(v);
+    ws.log_parent.(ws.log_len) <- st.parent.(v);
+    ws.log_len <- ws.log_len + 1
+  end
+
+let push_recheck ws v =
+  if ws.recheck_at.(v) <> ws.stamp then begin
+    ws.recheck_at.(v) <- ws.stamp;
+    ws.recheck <- grow_int ws.recheck (ws.recheck_len + 1);
+    ws.recheck.(ws.recheck_len) <- v;
+    ws.recheck_len <- ws.recheck_len + 1
+  end
+
+(* In-place shellsort of the vector prefix — keeps steady state
+   allocation-free where sorting a copy would not. *)
+let sort_vec a len =
+  let gap = ref 1 in
+  while !gap < len / 3 do
+    gap := (3 * !gap) + 1
+  done;
+  while !gap >= 1 do
+    let g = !gap in
+    for i = g to len - 1 do
+      let x = a.(i) in
+      let j = ref i in
+      while !j >= g && a.(!j - g) > x do
+        a.(!j) <- a.(!j - g);
+        j := !j - g
+      done;
+      a.(!j) <- x
+    done;
+    gap := g / 3
+  done
+
+let scan_zero (view : Topo_table.csr) =
+  let zero = ref false in
+  let cost = view.Topo_table.cost in
+  for i = 0 to Array.length cost - 1 do
+    if Float.equal cost.(i) 0.0 then zero := true
+  done;
+  !zero
+
+let full ws st table =
+  Dijkstra.on_table_into ws.dj ~n:st.n ~root:st.root ~dist:st.dist ~parent:st.parent
+    table;
+  st.has_zero <- scan_zero (Topo_table.csr table ~n:st.n);
+  st.version <- Topo_table.version table;
+  ws.stats.full_runs <- ws.stats.full_runs + 1
+
+exception Fallback
+
+let default_max_dirty_frac = 0.25
+
+let update ?(max_dirty_frac = default_max_dirty_frac) ?on_changed ws st table
+    ~(changes : Topo_table.entry list) =
+  let n = st.n and root = st.root in
+  let dist = st.dist and parent = st.parent in
+  let table_version = Topo_table.version table in
+  if st.version < 0 then begin
+    full ws st table;
+    Recomputed
+  end
+  else if changes = [] then begin
+    st.version <- table_version;
+    Repaired 0
+  end
+  else begin
+    let introduces_zero =
+      List.exists (fun (e : Topo_table.entry) -> Float.equal e.cost 0.0) changes
+    in
+    if introduces_zero then st.has_zero <- true;
+    if st.has_zero then begin
+      ws.stats.fallbacks <- ws.stats.fallbacks + 1;
+      full ws st table;
+      Recomputed
+    end
+    else begin
+      prepare ws n;
+      match
+        let view = Topo_table.csr table ~n in
+        let inview = Topo_table.csr_in table ~n in
+        let row = view.Topo_table.row
+        and dst = view.Topo_table.dst
+        and cost = view.Topo_table.cost in
+        (* Phase 1: classify changes. *)
+        List.iter
+          (fun { Topo_table.head = u; tail = v; cost = c } ->
+            if u >= 0 && u < n && v >= 0 && v < n && v <> root then begin
+              push_recheck ws v;
+              let du = dist.(u) in
+              if Float.is_finite c && Float.is_finite du then begin
+                let nd = du +. c in
+                if nd < dist.(v) && not (Dijkstra.close nd dist.(v)) then
+                  push_dec ws u v c
+                else if
+                  parent.(v) = u
+                  && nd > dist.(v)
+                  && not (Dijkstra.close nd dist.(v))
+                then push_orphan ws v
+              end
+              else if parent.(v) = u then
+                (* Removed edge (or unreachable head) was the support. *)
+                push_orphan ws v
+            end)
+          changes;
+        (* Phase 2: collect orphaned subtrees (tree children via the
+           forward view; the orphan vector doubles as the BFS queue). *)
+        let i = ref 0 in
+        while !i < ws.orphans_len do
+          let v = ws.orphans.(!i) in
+          incr i;
+          for e = row.(v) to row.(v + 1) - 1 do
+            let c = dst.(e) in
+            if c >= 0 && c < n && parent.(c) = v then push_orphan ws c
+          done
+        done;
+        if float_of_int ws.orphans_len > max_dirty_frac *. float_of_int n then
+          raise Fallback;
+        (* Phase 3a: void the orphan region. *)
+        for k = 0 to ws.orphans_len - 1 do
+          let v = ws.orphans.(k) in
+          ensure_logged ws st v;
+          dist.(v) <- infinity;
+          parent.(v) <- -1
+        done;
+        (* Phase 3b: re-enter each orphan from the intact region. *)
+        let irow = inview.Topo_table.row
+        and isrc = inview.Topo_table.dst
+        and icost = inview.Topo_table.cost in
+        for k = 0 to ws.orphans_len - 1 do
+          let v = ws.orphans.(k) in
+          for e = irow.(v) to irow.(v + 1) - 1 do
+            let u = isrc.(e) in
+            if ws.orphan_at.(u) <> ws.stamp && Float.is_finite dist.(u) then begin
+              let nd = dist.(u) +. icost.(e) in
+              if nd < dist.(v) && not (Dijkstra.close nd dist.(v)) then begin
+                dist.(v) <- nd;
+                parent.(v) <- u
+              end
+            end
+          done;
+          if Float.is_finite dist.(v) then heap_push ws dist.(v) v
+        done;
+        (* Phase 3c: decrease seeds (skipping sources that were
+           orphaned after classification saw them — their distances
+           are void and will relax properly from within the heap). *)
+        for k = 0 to ws.dec_len - 1 do
+          let u = ws.dec_u.(k) and v = ws.dec_v.(k) and c = ws.dec_c.(k) in
+          if ws.orphan_at.(u) <> ws.stamp && Float.is_finite dist.(u) then begin
+            let nd = dist.(u) +. c in
+            if nd < dist.(v) && not (Dijkstra.close nd dist.(v)) then begin
+              ensure_logged ws st v;
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              heap_push ws nd v
+            end
+          end
+        done;
+        (* Phase 4: heap repair, the full run's settle/relax discipline
+           restricted to the affected region. Parents written here are
+           provisional; phase 5 canonicalizes them. *)
+        while ws.heap_len > 0 do
+          let d = ws.heap_d.(0) and u = ws.heap_n.(0) in
+          heap_drop ws;
+          if ws.settled_at.(u) <> ws.stamp && Dijkstra.close d dist.(u) then begin
+            ws.settled_at.(u) <- ws.stamp;
+            for e = row.(u) to row.(u + 1) - 1 do
+              let v = dst.(e) in
+              if v >= 0 && v < n && ws.settled_at.(v) <> ws.stamp then begin
+                let nd = d +. cost.(e) in
+                if nd < dist.(v) && not (Dijkstra.close nd dist.(v)) then begin
+                  ensure_logged ws st v;
+                  dist.(v) <- nd;
+                  parent.(v) <- u;
+                  heap_push ws nd v
+                end
+              end
+            done
+          end
+        done;
+        (* Phase 5: canonicalize parents wherever the achiever set may
+           have moved — every written node, every out-neighbor of a
+           distance-changed node, every changed-edge tail. *)
+        for k = 0 to ws.log_len - 1 do
+          let v = ws.log_node.(k) in
+          push_recheck ws v;
+          if not (Float.equal ws.log_dist.(k) dist.(v)) then
+            for e = row.(v) to row.(v + 1) - 1 do
+              let t = dst.(e) in
+              if t >= 0 && t < n then push_recheck ws t
+            done
+        done;
+        sort_vec ws.recheck ws.recheck_len;
+        for k = 0 to ws.recheck_len - 1 do
+          let v = ws.recheck.(k) in
+          if v = root || not (Float.is_finite dist.(v)) then begin
+            if parent.(v) <> -1 then begin
+              ensure_logged ws st v;
+              parent.(v) <- -1
+            end
+          end
+          else begin
+            let best = ref (-1) in
+            for e = irow.(v) to irow.(v + 1) - 1 do
+              let u = isrc.(e) in
+              let du = dist.(u) in
+              if Float.is_finite du then begin
+                let nd = du +. icost.(e) in
+                if Dijkstra.close nd dist.(v) then begin
+                  if Dijkstra.close du dist.(v) then
+                    (* Sub-tolerance in-edge: the achiever is not
+                       strictly below its target, so settle order — not
+                       this local rule — decides the full run's parent. *)
+                    raise Fallback;
+                  if !best < 0 then best := u
+                end
+              end
+            done;
+            (* A finite distance must have a supporting in-edge. *)
+            if !best < 0 then raise Fallback;
+            if parent.(v) <> !best then begin
+              ensure_logged ws st v;
+              parent.(v) <- !best
+            end
+          end
+        done;
+        (* Report: every logged node whose (dist, parent) actually
+           moved, in ascending id order. *)
+        for k = 0 to ws.log_len - 1 do
+          let v = ws.log_node.(k) in
+          if
+            (not (Float.equal ws.log_dist.(k) dist.(v)))
+            || ws.log_parent.(k) <> parent.(v)
+          then begin
+            ws.changed <- grow_int ws.changed (ws.changed_len + 1);
+            ws.changed.(ws.changed_len) <- v;
+            ws.changed_len <- ws.changed_len + 1
+          end
+        done;
+        sort_vec ws.changed ws.changed_len;
+        (match on_changed with
+        | None -> ()
+        | Some f ->
+          for k = 0 to ws.changed_len - 1 do
+            f ws.changed.(k)
+          done);
+        st.version <- table_version;
+        ws.stats.repairs <- ws.stats.repairs + 1;
+        ws.stats.repaired_nodes <- ws.stats.repaired_nodes + ws.changed_len;
+        ws.changed_len
+      with
+      | count -> Repaired count
+      | exception Fallback ->
+        ws.stats.fallbacks <- ws.stats.fallbacks + 1;
+        full ws st table;
+        Recomputed
+    end
+  end

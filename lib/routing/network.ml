@@ -8,7 +8,7 @@ module H = Harness.Make (struct
   type msg = Router.msg
 
   let outputs l = List.map (fun o -> (o.Router.dst, o.Router.msg)) l
-  let create ~id ~n = Router.create ~mode:Router.Mpda ~id ~n
+  let create ~id ~n = Router.create ~mode:Router.Mpda ~id ~n ()
   let handle_link_up t ~nbr ~cost = outputs (Router.handle_link_up t ~nbr ~cost)
   let handle_link_down t ~nbr = outputs (Router.handle_link_down t ~nbr)
 
@@ -30,7 +30,7 @@ end)
 
 include H
 
-let create ?(mode = Router.Mpda) ?detection ?seed ?observer ~topo ~cost () =
+let create ?(mode = Router.Mpda) ?spf ?detection ?seed ?observer ~topo ~cost () =
   H.create
-    ~make_router:(fun ~id ~n -> Router.create ~mode ~id ~n)
+    ~make_router:(fun ~id ~n -> Router.create ?spf ~mode ~id ~n ())
     ?detection ?seed ?observer ~topo ~cost ()

@@ -1,6 +1,7 @@
 module Sorted_tbl = Mdr_util.Sorted_tbl
 
 type mode = Pda | Mpda
+type spf = Full | Incremental
 
 type msg = {
   entries : Topo_table.entry list;
@@ -13,21 +14,40 @@ type output = { dst : int; msg : msg }
 
 type t = {
   mode : mode;
+  spf : spf;
   id : int;
   n : int;
   mutable main : Topo_table.t;
   nbr_tables : (int, Topo_table.t) Hashtbl.t;
   nbr_dist : (int, float array) Hashtbl.t;  (* D_jk: from nbr k to each dst *)
-  nbr_seen : (int, int) Hashtbl.t;
-      (* table version [nbr_dist] was computed at; when a neighbor's
-         table version still matches, its Dijkstra is skipped *)
-  ws : Dijkstra.workspace;  (* per-router scratch; never shared *)
-  parent_buf : int array;  (* Dijkstra parents for the last MTU run *)
+  nbr_spf : (int, Incr_spf.state) Hashtbl.t;
+      (* per-neighbor maintained SPF tree; its [dist] aliases the
+         [nbr_dist] entry, so every reader of D_jk sees the repaired
+         values with no copying. The state's version against the
+         neighbor table's version replaces the old seen-version skip. *)
+  iws : Incr_spf.ws;  (* per-router repair/SPF scratch; never shared *)
+  parent_buf : int array;  (* main-table SPF parents, maintained in place *)
+  prev_parent : int array;  (* parents before the last repair, for tree deltas *)
+  mutable merged : Topo_table.t;
+      (* the MTU's merged topology (steps 2-5), kept across events so a
+         small LSU only rewrites the rows whose preferred source moved *)
+  mutable merged_valid : bool;
+      (* false when continuity was lost (link events, resets, fallback
+         recomputes) — the next MTU rebuilds [merged] from scratch *)
+  dirty : (int, unit) Hashtbl.t;
+      (* destinations whose merged row must be re-derived at the next
+         MTU: nodes whose D_k changed plus heads of LSU entries;
+         accumulates across LSUs while an MPDA ACTIVE phase defers the
+         table update *)
+  main_spf : Incr_spf.state;  (* aliases [dist] and [parent_buf] *)
   adjacent : (int, float) Hashtbl.t;  (* l_k; absent = down *)
   dist : float array;  (* D_j; updated in place *)
   first_hop : int array;  (* preferred neighbor toward each dst; -1 *)
   fd : float array;  (* FD_j *)
   mutable succ : int list array;  (* S_j *)
+  mutable succ_dirty : bool;
+      (* successor sets are recomputed on first read after an event
+         rather than eagerly per event; forced before any observation *)
   mutable active : bool;
   mutable active_phases : int;  (* PASSIVE -> ACTIVE transitions *)
   pending : (int, int) Hashtbl.t;  (* nbr -> seq awaited *)
@@ -44,29 +64,36 @@ type t = {
   mutable events : int;
 }
 
-let create ~mode ~id ~n =
+let create ?(spf = Incremental) ~mode ~id ~n () =
   if id < 0 || id >= n then invalid_arg "Router.create: id out of range";
+  let dist = Array.make n infinity in
+  dist.(id) <- 0.0;
+  let parent_buf = Array.make n (-1) in
   {
     mode;
+    spf;
     id;
     n;
     main = Topo_table.create ();
     nbr_tables = Hashtbl.create 8;
     nbr_dist = Hashtbl.create 8;
-    nbr_seen = Hashtbl.create 8;
-    ws = Dijkstra.workspace ();
-    parent_buf = Array.make n (-1);
+    nbr_spf = Hashtbl.create 8;
+    iws = Incr_spf.workspace ();
+    parent_buf;
+    prev_parent = Array.make n (-1);
+    merged = Topo_table.create ();
+    merged_valid = false;
+    dirty = Hashtbl.create 16;
+    main_spf = Incr_spf.create_into ~dist ~parent:parent_buf ~n ~root:id;
     adjacent = Hashtbl.create 8;
-    dist =
-      (let d = Array.make n infinity in
-       d.(id) <- 0.0;
-       d);
+    dist;
     first_hop = Array.make n (-1);
     fd =
       (let d = Array.make n infinity in
        d.(id) <- 0.0;
        d);
     succ = Array.make n [];
+    succ_dirty = false;
     active = false;
     active_phases = 0;
     pending = Hashtbl.create 8;
@@ -79,11 +106,12 @@ let create ~mode ~id ~n =
 
 let id t = t.id
 let mode t = t.mode
+let spf_mode t = t.spf
 let is_passive t = not t.active
 let distance t ~dst = t.dist.(dst)
 let feasible_distance t ~dst = t.fd.(dst)
-let successors t ~dst = t.succ.(dst)
-let best_successor t ~dst = if t.first_hop.(dst) < 0 then None else Some t.first_hop.(dst)
+
+(* --- Successor sets (Eq. 17 / line 4 of MPDA), computed lazily ------- *)
 
 let neighbor_distance t ~nbr ~dst =
   match Hashtbl.find_opt t.nbr_dist nbr with
@@ -95,34 +123,44 @@ let link_cost t ~nbr =
 
 let up_neighbors t = Sorted_tbl.keys t.adjacent
 
+let force_successors t =
+  if t.succ_dirty then begin
+    t.succ_dirty <- false;
+    let bound j = match t.mode with Mpda -> t.fd.(j) | Pda -> t.dist.(j) in
+    let nbrs = up_neighbors t in
+    t.succ <-
+      Array.init t.n (fun j ->
+          if j = t.id then []
+          else
+            List.filter (fun k -> neighbor_distance t ~nbr:k ~dst:j < bound j) nbrs)
+  end
+
+let successors t ~dst =
+  force_successors t;
+  t.succ.(dst)
+
+let best_successor t ~dst = if t.first_hop.(dst) < 0 then None else Some t.first_hop.(dst)
 let main_table t = Topo_table.copy t.main
 
 let stats_messages_sent t = t.sent
 let stats_events t = t.events
 let stats_active_phases t = t.active_phases
+let spf_stats t = Incr_spf.stats t.iws
 
 (* --- NTU: neighbor-table maintenance ------------------------------- *)
 
-let refresh_neighbor_distances t ~nbr =
-  let table =
-    match Hashtbl.find_opt t.nbr_tables nbr with
-    | Some tab -> tab
-    | None ->
-      let tab = Topo_table.create () in
-      Hashtbl.replace t.nbr_tables nbr tab;
-      tab
-  in
-  let current = Topo_table.version table in
-  let clean =
-    Hashtbl.mem t.nbr_dist nbr
-    && (match Hashtbl.find_opt t.nbr_seen nbr with
-       | Some seen -> seen = current
-       | None -> false)
-  in
-  (* Duplicate LSUs, retransmissions, and no-op entries leave the
-     table version alone, so the (identical) recomputation is skipped
-     entirely. *)
-  if not clean then begin
+let nbr_table t ~nbr =
+  match Hashtbl.find_opt t.nbr_tables nbr with
+  | Some tab -> tab
+  | None ->
+    let tab = Topo_table.create () in
+    Hashtbl.replace t.nbr_tables nbr tab;
+    tab
+
+let nbr_state t ~nbr =
+  match Hashtbl.find_opt t.nbr_spf nbr with
+  | Some st -> st
+  | None ->
     let dist =
       match Hashtbl.find_opt t.nbr_dist nbr with
       | Some d -> d
@@ -131,40 +169,121 @@ let refresh_neighbor_distances t ~nbr =
         Hashtbl.replace t.nbr_dist nbr d;
         d
     in
-    Dijkstra.on_table_into t.ws ~n:t.n ~root:nbr ~dist ~parent:t.parent_buf table;
-    Hashtbl.replace t.nbr_seen nbr current
+    let st = Incr_spf.create_into ~dist ~parent:(Array.make t.n (-1)) ~n:t.n ~root:nbr in
+    Hashtbl.replace t.nbr_spf nbr st;
+    st
+
+(* [changes]: Some (pre_version, entries) when the caller mutated the
+   neighbor table from [pre_version] by exactly [entries] — the repair
+   contract. Anything else (resets, link events, version gaps) takes
+   the full recompute, which also invalidates the merged topology
+   since the incremental MTU can no longer tell what moved. *)
+let refresh_neighbor_distances ?changes t ~nbr =
+  let table = nbr_table t ~nbr in
+  let st = nbr_state t ~nbr in
+  let current = Topo_table.version table in
+  if st.Incr_spf.version <> current || st.Incr_spf.version < 0 then begin
+    match (t.spf, changes) with
+    | Incremental, Some (pre, cs) when st.Incr_spf.version = pre -> (
+      match
+        Incr_spf.update t.iws st table ~changes:cs ~on_changed:(fun j ->
+            Hashtbl.replace t.dirty j ())
+      with
+      | Incr_spf.Repaired _ -> ()
+      | Incr_spf.Recomputed -> t.merged_valid <- false)
+    | _ ->
+      Incr_spf.full t.iws st table;
+      t.merged_valid <- false
   end
 
 let apply_lsu t ~from_ ~reset entries =
-  let table =
-    match Hashtbl.find_opt t.nbr_tables from_ with
-    | Some tab -> tab
-    | None ->
-      let tab = Topo_table.create () in
-      Hashtbl.replace t.nbr_tables from_ tab;
-      tab
-  in
-  if reset then Topo_table.clear table;
-  List.iter (Topo_table.apply_entry table) entries;
-  refresh_neighbor_distances t ~nbr:from_
-
-(* --- MTU: rebuild the main table ----------------------------------- *)
-
-let first_hop_of_parents t ~dist ~parent dst =
-  if dst = t.id || not (Float.is_finite dist.(dst)) then -1
+  let table = nbr_table t ~nbr:from_ in
+  if reset then begin
+    Topo_table.clear table;
+    List.iter (Topo_table.apply_entry table) entries;
+    refresh_neighbor_distances t ~nbr:from_
+  end
   else begin
-    let rec walk node =
-      let p = parent.(node) in
-      if p = t.id then node else if p < 0 then -1 else walk p
+    let pre = Topo_table.version table in
+    (* Record each touched edge's original cost so the net changes —
+       and only the net changes — drive the repair. *)
+    let orig = ref [] in
+    List.iter
+      (fun (e : Topo_table.entry) ->
+        let key = (e.head, e.tail) in
+        if not (List.mem_assoc key !orig) then
+          orig := (key, Topo_table.cost table ~head:e.head ~tail:e.tail) :: !orig;
+        Topo_table.apply_entry table e)
+      entries;
+    let changes =
+      List.fold_left
+        (fun acc ((head, tail), old) ->
+          let now = Topo_table.cost table ~head ~tail in
+          let same =
+            match (old, now) with
+            | None, None -> true
+            | Some a, Some b -> Float.equal a b
+            | Some _, None | None, Some _ -> false
+          in
+          if same then acc
+          else
+            { Topo_table.head; tail; cost = Option.value now ~default:infinity }
+            :: acc)
+        [] !orig
     in
-    walk dst
+    let changes =
+      List.sort
+        (fun (a : Topo_table.entry) (b : Topo_table.entry) ->
+          match Int.compare a.head b.head with
+          | 0 -> Int.compare a.tail b.tail
+          | c -> c)
+        changes
+    in
+    (* The merged rows of entry heads may copy from this neighbor. *)
+    List.iter (fun (c : Topo_table.entry) -> Hashtbl.replace t.dirty c.head ()) changes;
+    refresh_neighbor_distances t ~nbr:from_ ~changes:(pre, changes)
   end
 
-let mtu t =
+(* --- MTU: rebuild or repair the main table -------------------------- *)
+
+(* First hops for all destinations in one memoized pass over the parent
+   forest (the old per-destination walk was quadratic on path-shaped
+   trees). *)
+let refresh_first_hops t =
+  let fh = t.first_hop and parent = t.parent_buf and dist = t.dist in
+  Array.fill fh 0 t.n (-2);
+  fh.(t.id) <- -1;
+  let rec resolve v =
+    if fh.(v) <> -2 then fh.(v)
+    else begin
+      let r =
+        if not (Float.is_finite dist.(v)) then -1
+        else begin
+          let p = parent.(v) in
+          if p = t.id then v else if p < 0 then -1 else resolve p
+        end
+      in
+      fh.(v) <- r;
+      r
+    end
+  in
+  for j = 0 to t.n - 1 do
+    ignore (resolve j)
+  done
+
+let preferred_for t nbrs j =
+  List.fold_left
+    (fun best k ->
+      let d = neighbor_distance t ~nbr:k ~dst:j +. link_cost t ~nbr:k in
+      match best with
+      | Some (_, bd) when bd <= d -> best
+      | _ -> if Float.is_finite d then Some (k, d) else best)
+    None nbrs
+
+(* Steps 2-5 from scratch: the fallback (and Full-mode) path. *)
+let rebuild_merged t =
   let merged = Topo_table.create () in
   let nbrs = up_neighbors t in
-  (* Steps 2-4: for every known node j, copy j's out-links from the
-     neighbor offering the least distance to j (ties to lower id). *)
   let known = Hashtbl.create 32 in
   List.iter
     (fun k ->
@@ -173,64 +292,164 @@ let mtu t =
       | None -> ()
       | Some tab -> List.iter (fun v -> Hashtbl.replace known v ()) (Topo_table.nodes tab))
     nbrs;
-  let preferred_for j =
-    List.fold_left
-      (fun best k ->
-        let d = neighbor_distance t ~nbr:k ~dst:j +. link_cost t ~nbr:k in
-        match best with
-        | Some (_, bd) when bd <= d -> best
-        | _ -> if Float.is_finite d then Some (k, d) else best)
-      None nbrs
-  in
   Sorted_tbl.iter
     (fun j () ->
       if j <> t.id then
-        match preferred_for j with
+        match preferred_for t nbrs j with
         | None -> ()
         | Some (p, _) ->
           let tab = Hashtbl.find t.nbr_tables p in
           List.iter
-            (fun (tail, cost) ->
-              if j <> t.id then Topo_table.set merged ~head:j ~tail ~cost)
+            (fun (tail, cost) -> Topo_table.set merged ~head:j ~tail ~cost)
             (Topo_table.out_links tab ~head:j))
     known;
   (* Step 5: adjacent links override anything neighbors said about
      links headed at this router. *)
-  List.iter (fun (tail, _) -> Topo_table.remove merged ~head:t.id ~tail)
-    (Topo_table.out_links merged ~head:t.id);
   List.iter
     (fun k -> Topo_table.set merged ~head:t.id ~tail:k ~cost:(link_cost t ~nbr:k))
     nbrs;
-  (* Step 6: keep only the shortest-path tree. Distances land directly
-     in [t.dist] and parents in the reusable scratch — steady-state
-     recomputation allocates nothing but the tree table. *)
-  Dijkstra.on_table_into t.ws ~n:t.n ~root:t.id ~dist:t.dist ~parent:t.parent_buf
-    merged;
+  t.merged <- merged
+
+let entry_compare (a : Topo_table.entry) (b : Topo_table.entry) =
+  match Int.compare a.head b.head with
+  | 0 -> Int.compare a.tail b.tail
+  | c -> c
+
+(* Re-derive the merged rows of the dirty destinations in place,
+   returning the net merged changes sorted by (head, tail) — the input
+   the incremental SPF repair requires. *)
+let repair_merged t =
+  let nbrs = up_neighbors t in
+  let acc = ref [] in
+  let set_merged ~head ~tail ~cost =
+    match Topo_table.cost t.merged ~head ~tail with
+    | Some old when Float.equal old cost -> ()
+    | Some _ | None ->
+      Topo_table.set t.merged ~head ~tail ~cost;
+      acc := { Topo_table.head; tail; cost } :: !acc
+  in
+  let remove_merged ~head ~tail =
+    if Topo_table.cost t.merged ~head ~tail <> None then begin
+      Topo_table.remove t.merged ~head ~tail;
+      acc := { Topo_table.head; tail; cost = infinity } :: !acc
+    end
+  in
+  let dirty = Sorted_tbl.keys t.dirty in
+  Hashtbl.reset t.dirty;
+  List.iter
+    (fun j ->
+      if j <> t.id then begin
+        let old_row = Topo_table.out_links t.merged ~head:j in
+        match preferred_for t nbrs j with
+        | None -> List.iter (fun (tail, _) -> remove_merged ~head:j ~tail) old_row
+        | Some (p, _) ->
+          let tab = Hashtbl.find t.nbr_tables p in
+          let new_row = Topo_table.out_links tab ~head:j in
+          List.iter
+            (fun (tail, _) ->
+              if not (List.mem_assoc tail new_row) then remove_merged ~head:j ~tail)
+            old_row;
+          List.iter (fun (tail, cost) -> set_merged ~head:j ~tail ~cost) new_row
+      end)
+    dirty;
+  (* Keep the adjacency-owned row in sync (step 5); on the pure data
+     path this is all no-ops. *)
+  List.iter
+    (fun (tail, _) ->
+      if not (Hashtbl.mem t.adjacent tail) then remove_merged ~head:t.id ~tail)
+    (Topo_table.out_links t.merged ~head:t.id);
+  List.iter (fun k -> set_merged ~head:t.id ~tail:k ~cost:(link_cost t ~nbr:k)) nbrs;
+  List.sort entry_compare !acc
+
+(* Full tree cut (step 6) from the current dist/parent arrays: rebuild
+   t.main as the shortest-path tree and diff against the old one. *)
+let cut_tree_full t =
   let res = { Dijkstra.dist = t.dist; parent = t.parent_buf } in
   let tree =
     Dijkstra.tree_of_result ~n:t.n ~root:t.id res ~cost:(fun ~head ~tail ->
-        match Topo_table.cost merged ~head ~tail with
+        match Topo_table.cost t.merged ~head ~tail with
         | Some c -> c
         | None -> assert false)
   in
   let changes = Topo_table.diff ~old_table:t.main ~new_table:tree in
   t.main <- tree;
-  t.dist.(t.id) <- 0.0;
-  for j = 0 to t.n - 1 do
-    t.first_hop.(j) <- first_hop_of_parents t ~dist:t.dist ~parent:t.parent_buf j
-  done;
   changes
 
-(* --- Successor sets (Eq. 17 / line 4 of MPDA) ----------------------- *)
-
-let recompute_successors t =
-  let bound j = match t.mode with Mpda -> t.fd.(j) | Pda -> t.dist.(j) in
-  let nbrs = up_neighbors t in
-  t.succ <-
-    Array.init t.n (fun j ->
-        if j = t.id then []
-        else
-          List.filter (fun k -> neighbor_distance t ~nbr:k ~dst:j < bound j) nbrs)
+let mtu t =
+  let changes =
+    if t.spf = Incremental && t.merged_valid then begin
+      let merged_changes = repair_merged t in
+      if merged_changes = [] then begin
+        (* Nothing moved in the merged topology: tree, distances and
+           first hops are already current. *)
+        t.main_spf.Incr_spf.version <- Topo_table.version t.merged;
+        []
+      end
+      else begin
+        Array.blit t.parent_buf 0 t.prev_parent 0 t.n;
+        let changed = ref [] in
+        match
+          Incr_spf.update t.iws t.main_spf t.merged ~changes:merged_changes
+            ~on_changed:(fun v -> changed := v :: !changed)
+        with
+        | Incr_spf.Recomputed ->
+          let changes = cut_tree_full t in
+          refresh_first_hops t;
+          changes
+        | Incr_spf.Repaired _ ->
+          (* Maintain the tree table: per changed node, move its tree
+             edge; per merged cost change, refresh the edge cost if it
+             is (still) a tree edge. Captured net mutations double as
+             the outgoing LSU. *)
+          let acc = ref [] in
+          let set_main ~head ~tail ~cost =
+            match Topo_table.cost t.main ~head ~tail with
+            | Some old when Float.equal old cost -> ()
+            | Some _ | None ->
+              Topo_table.set t.main ~head ~tail ~cost;
+              acc := { Topo_table.head; tail; cost } :: !acc
+          in
+          let remove_main ~head ~tail =
+            if Topo_table.cost t.main ~head ~tail <> None then begin
+              Topo_table.remove t.main ~head ~tail;
+              acc := { Topo_table.head; tail; cost = infinity } :: !acc
+            end
+          in
+          List.iter
+            (fun v ->
+              let po = t.prev_parent.(v) and pn = t.parent_buf.(v) in
+              if po >= 0 && po <> pn then remove_main ~head:po ~tail:v;
+              if v <> t.id && pn >= 0 && Float.is_finite t.dist.(v) then begin
+                match Topo_table.cost t.merged ~head:pn ~tail:v with
+                | Some c -> set_main ~head:pn ~tail:v ~cost:c
+                | None -> assert false
+              end)
+            (List.rev !changed);
+          List.iter
+            (fun (e : Topo_table.entry) ->
+              if
+                Float.is_finite e.cost
+                && e.tail <> t.id
+                && t.parent_buf.(e.tail) = e.head
+                && Float.is_finite t.dist.(e.tail)
+              then set_main ~head:e.head ~tail:e.tail ~cost:e.cost)
+            merged_changes;
+          refresh_first_hops t;
+          List.sort entry_compare !acc
+      end
+    end
+    else begin
+      Hashtbl.reset t.dirty;
+      rebuild_merged t;
+      Incr_spf.full t.iws t.main_spf t.merged;
+      t.merged_valid <- t.spf = Incremental;
+      let changes = cut_tree_full t in
+      refresh_first_hops t;
+      changes
+    end
+  in
+  t.dist.(t.id) <- 0.0;
+  changes
 
 (* --- Output composition --------------------------------------------- *)
 
@@ -326,7 +545,7 @@ let process t ~ack_to ~ack_received =
       end
       else []
   in
-  recompute_successors t;
+  t.succ_dirty <- true;
   compose_outputs t ~changes ~ack_to
 
 (* --- Event handlers -------------------------------------------------- *)
@@ -335,6 +554,7 @@ let handle_link_up t ~nbr ~cost =
   if not (Float.is_finite cost) || cost < 0.0 then
     invalid_arg "Router.handle_link_up: bad cost";
   Hashtbl.replace t.adjacent nbr cost;
+  t.merged_valid <- false;
   if not (Hashtbl.mem t.nbr_tables nbr) then begin
     Hashtbl.replace t.nbr_tables nbr (Topo_table.create ());
     refresh_neighbor_distances t ~nbr
@@ -345,6 +565,7 @@ let handle_link_up t ~nbr ~cost =
 let handle_link_down ?(unconfirmed = false) t ~nbr =
   if Hashtbl.mem t.adjacent nbr then begin
     Hashtbl.remove t.adjacent nbr;
+    t.merged_valid <- false;
     (* A bilateral (oracle-announced) failure means the peer forgot us
        in the same instant; an inferred one means the peer may still
        hold — and route on — its old view of us, so it keeps a claim on
@@ -397,6 +618,9 @@ let handle_link_cost t ~nbr ~cost =
   if not (Hashtbl.mem t.adjacent nbr) then []
   else begin
     Hashtbl.replace t.adjacent nbr cost;
+    (* l_k shifts the preferred distance of *every* destination via k,
+       so the dirty-row bookkeeping cannot bound what moved. *)
+    t.merged_valid <- false;
     process t ~ack_to:None ~ack_received:None
   end
 
@@ -412,24 +636,51 @@ let handle_msg t ~from_ msg =
 (* --- Deep copy and canonical state (for the model checker) ----------- *)
 
 let copy t =
+  force_successors t;
   let copy_tbl copy_v src =
     let fresh = Hashtbl.create (Hashtbl.length src) in
     Sorted_tbl.iter (fun k v -> Hashtbl.replace fresh k (copy_v v)) src;
     fresh
   in
+  let nbr_dist = copy_tbl Array.copy t.nbr_dist in
+  (* Rebuild the per-neighbor states over the *copied* distance arrays,
+     carrying the sync versions so current trees stay current. *)
+  let nbr_spf = Hashtbl.create (Hashtbl.length t.nbr_spf) in
+  Sorted_tbl.iter
+    (fun k (st : Incr_spf.state) ->
+      match Hashtbl.find_opt nbr_dist k with
+      | None -> ()
+      | Some dist ->
+        let fresh =
+          Incr_spf.create_into ~dist
+            ~parent:(Array.copy st.Incr_spf.parent)
+            ~n:t.n ~root:k
+        in
+        fresh.Incr_spf.version <- st.Incr_spf.version;
+        fresh.Incr_spf.has_zero <- st.Incr_spf.has_zero;
+        Hashtbl.replace nbr_spf k fresh)
+    t.nbr_spf;
+  let dist = Array.copy t.dist in
+  let parent_buf = Array.copy t.parent_buf in
+  let main_spf = Incr_spf.create_into ~dist ~parent:parent_buf ~n:t.n ~root:t.id in
   {
     t with
     main = Topo_table.copy t.main;
     nbr_tables = copy_tbl Topo_table.copy t.nbr_tables;
-    nbr_dist = copy_tbl Array.copy t.nbr_dist;
-    (* Table copies keep their version counters, so the seen-versions
-       transfer verbatim: distances current in the original stay
-       current in the copy. *)
-    nbr_seen = copy_tbl Fun.id t.nbr_seen;
-    ws = Dijkstra.workspace ();
-    parent_buf = Array.copy t.parent_buf;
+    nbr_dist;
+    nbr_spf;
+    iws = Incr_spf.workspace ();
+    parent_buf;
+    prev_parent = Array.copy t.prev_parent;
+    (* The copy drops merged-topology continuity rather than deep-copy
+       it: its first MTU rebuilds from scratch, which the equivalence
+       contract guarantees is behaviorally identical. *)
+    merged = Topo_table.create ();
+    merged_valid = false;
+    dirty = Hashtbl.create 16;
+    main_spf;
     adjacent = copy_tbl Fun.id t.adjacent;
-    dist = Array.copy t.dist;
+    dist;
     first_hop = Array.copy t.first_hop;
     fd = Array.copy t.fd;
     succ = Array.copy t.succ;
@@ -440,17 +691,21 @@ let copy t =
 (* Marshal is safe here: [t] is hashtables, arrays and scalars — no
    closures, no custom blocks. Canonical behaviour after a round-trip
    does not depend on hashtable layout anyway: every protocol-visible
-   iteration goes through Sorted_tbl. *)
-let snapshot t = Marshal.to_string t []
+   iteration goes through Sorted_tbl. Sharing is preserved, so the
+   SPF states still alias the distance arrays after a round-trip. *)
+let snapshot t =
+  force_successors t;
+  Marshal.to_string t []
 
 let restore s =
   let t : t = (Marshal.from_string s 0 : t) in
   (* The marshalled scratch is valid but may be stale-sized; a fresh
      workspace keeps restore independent of how big the writer's last
-     Dijkstra run was. *)
-  { t with ws = Dijkstra.workspace () }
+     runs were. *)
+  { t with iws = Incr_spf.workspace () }
 
 let fingerprint t =
+  force_successors t;
   let b = Buffer.create 512 in
   let flt v = Buffer.add_string b (Printf.sprintf "%h," v) in
   let int v = Buffer.add_string b (string_of_int v ^ ",") in

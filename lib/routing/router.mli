@@ -22,6 +22,15 @@
 
 type mode = Pda | Mpda
 
+type spf = Full | Incremental
+(** SPF engine selection: [Full] recomputes every shortest-path tree
+    from scratch at each event (the pre-incremental behaviour, kept as
+    the equivalence oracle); [Incremental] (the default) repairs the
+    per-neighbor trees and the merged-table tree in place with
+    {!Incr_spf}, falling back to full recomputation whenever continuity
+    is lost. The two modes are behaviorally identical — equal
+    {!fingerprint}s on every event sequence — differing only in cost. *)
+
 type msg = {
   entries : Topo_table.entry list;  (** topology changes; empty for a pure ACK *)
   reset : bool;  (** full-table LSU: clear the stored neighbor table first *)
@@ -33,13 +42,14 @@ type output = { dst : int; msg : msg }
 
 type t
 
-val create : mode:mode -> id:int -> n:int -> t
+val create : ?spf:spf -> mode:mode -> id:int -> n:int -> unit -> t
 (** [n] is the number of node ids in play (ids are dense). The router
     starts with every adjacent link down; bring links up with
-    {!handle_link_up}. *)
+    {!handle_link_up}. [spf] defaults to [Incremental]. *)
 
 val id : t -> int
 val mode : t -> mode
+val spf_mode : t -> spf
 
 val handle_link_up : t -> nbr:int -> cost:float -> output list
 (** An adjacent link to [nbr] came up with the given cost. Sends the
@@ -103,6 +113,11 @@ val stats_events : t -> int
 val stats_active_phases : t -> int
 (** PASSIVE -> ACTIVE transitions so far — each one is a diffusing
     computation holding the FD frozen until all neighbors ACK. *)
+
+val spf_stats : t -> Incr_spf.stats
+(** Live counters of the router's SPF engine: full runs vs incremental
+    repairs vs fallbacks, and total repaired nodes. In [Full] mode only
+    [full_runs] moves. *)
 
 val copy : t -> t
 (** Deep copy: the clone shares no mutable state with the original.

@@ -9,6 +9,12 @@ type t = {
   adjacency : (int, (int, float) Hashtbl.t) Hashtbl.t;
   mutable version : int;
   mutable csr_cache : (int * int * csr) option;  (* (version, n, view) *)
+  mutable csr_in_cache : (int * int * csr) option;  (* transpose view *)
+  mutable cache_owned : bool;
+      (* false after [copy]: the cached views are shared with another
+         table, so an in-place cost patch must clone the cost arrays
+         first (the row/dst structure is immutable while a view is
+         valid, so only costs need copy-on-write) *)
 }
 
 let create () =
@@ -17,6 +23,8 @@ let create () =
     adjacency = Hashtbl.create 16;
     version = 0;
     csr_cache = None;
+    csr_in_cache = None;
+    cache_owned = true;
   }
 
 (* Every *actual* mutation bumps [version]; no-op writes (same cost,
@@ -37,13 +45,66 @@ let copy t =
     t.adjacency;
   fresh.version <- t.version;
   fresh.csr_cache <- t.csr_cache;
+  fresh.csr_in_cache <- t.csr_in_cache;
+  (* Both tables now point at the same view arrays; neither may patch
+     them in place without cloning the cost columns first. *)
+  fresh.cache_owned <- false;
+  t.cache_owned <- false;
   fresh
 
 let clear t =
   if Hashtbl.length t.links > 0 then begin
     Hashtbl.reset t.links;
     Hashtbl.reset t.adjacency;
+    t.csr_cache <- None;
+    t.csr_in_cache <- None;
     touch t
+  end
+
+(* In-place CSR patch for a pure cost change: the edge set is
+   unchanged, so a fresh view would have identical row/dst arrays —
+   only one cost cell moves. Finding it is a binary search over the
+   (sorted) destination slice of [head]'s row. *)
+let patch_cost view ~key ~other ~cost =
+  let lo = ref view.row.(key) and hi = ref (view.row.(key + 1) - 1) in
+  let idx = ref (-1) in
+  while !idx < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = view.dst.(mid) in
+    if d = other then idx := mid
+    else if d < other then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !idx >= 0 then view.cost.(!idx) <- cost
+
+let patch_cache t cache ~key ~other ~cost =
+  match cache with
+  | Some (v, n, view) when v = t.version - 1 ->
+    (* The view was current before this mutation bumped the version.
+       Edges whose key endpoint is outside [0, n) are not in the view;
+       an absent edge makes the binary search miss harmlessly. *)
+    if key >= 0 && key < n then patch_cost view ~key ~other ~cost;
+    Some (t.version, n, view)
+  | Some _ | None -> None
+
+let own_caches t =
+  if not t.cache_owned then begin
+    (* Clone the mutable cost columns once; the row/dst structure
+       arrays stay shared (immutable while any view is valid). *)
+    let clone = function
+      | Some (v, n, view) -> Some (v, n, { view with cost = Array.copy view.cost })
+      | None -> None
+    in
+    t.csr_cache <- clone t.csr_cache;
+    t.csr_in_cache <- clone t.csr_in_cache;
+    t.cache_owned <- true
+  end
+
+let patch_caches t ~head ~tail ~cost =
+  if t.csr_cache <> None || t.csr_in_cache <> None then begin
+    own_caches t;
+    t.csr_cache <- patch_cache t t.csr_cache ~key:head ~other:tail ~cost;
+    t.csr_in_cache <- patch_cache t t.csr_in_cache ~key:tail ~other:head ~cost
   end
 
 let set t ~head ~tail ~cost =
@@ -52,7 +113,15 @@ let set t ~head ~tail ~cost =
   if head = tail then invalid_arg "Topo_table.set: self-loop";
   match Hashtbl.find_opt t.links (head, tail) with
   | Some old when Float.equal old cost -> ()
-  | Some _ | None ->
+  | Some _ ->
+    Hashtbl.replace t.links (head, tail) cost;
+    (match Hashtbl.find_opt t.adjacency head with
+    | Some out -> Hashtbl.replace out tail cost
+    | None -> assert false);
+    touch t;
+    (* Same edge set, one cost moved: keep the CSR views hot. *)
+    patch_caches t ~head ~tail ~cost
+  | None ->
     Hashtbl.replace t.links (head, tail) cost;
     let out =
       match Hashtbl.find_opt t.adjacency head with
@@ -63,6 +132,8 @@ let set t ~head ~tail ~cost =
         out
     in
     Hashtbl.replace out tail cost;
+    t.csr_cache <- None;
+    t.csr_in_cache <- None;
     touch t
 
 let remove t ~head ~tail =
@@ -73,6 +144,8 @@ let remove t ~head ~tail =
     | Some out ->
       Hashtbl.remove out tail;
       if Hashtbl.length out = 0 then Hashtbl.remove t.adjacency head);
+    t.csr_cache <- None;
+    t.csr_in_cache <- None;
     touch t
   end
 
@@ -81,9 +154,15 @@ let cost t ~head ~tail = Hashtbl.find_opt t.links (head, tail)
 let apply_entry t { head; tail; cost } =
   if Float.is_finite cost then set t ~head ~tail ~cost else remove t ~head ~tail
 
+(* Monomorphic (head, tail) order: [entries] feeds both CSR builders,
+   so this sort is the dominant cost of a view rebuild at scale. *)
+let link_key_compare (h1, t1) (h2, t2) =
+  if h1 = h2 then Int.compare t1 t2 else Int.compare (h1 : int) h2
+
 let entries t =
-  Sorted_tbl.fold (fun (head, tail) cost acc -> { head; tail; cost } :: acc) t.links []
-  |> List.rev
+  List.map
+    (fun ((head, tail), cost) -> { head; tail; cost })
+    (Sorted_tbl.bindings_by link_key_compare t.links)
 
 let out_links t ~head =
   match Hashtbl.find_opt t.adjacency head with
@@ -131,6 +210,40 @@ let csr t ~n =
       es;
     let view = { row; dst; cost } in
     t.csr_cache <- Some (t.version, n, view);
+    view
+
+let csr_in t ~n =
+  match t.csr_in_cache with
+  | Some (v, cached_n, view) when v = t.version && cached_n = n -> view
+  | Some _ | None ->
+    (* Transpose view: rows indexed by tail, entries are in-edges.
+       Only edges with both endpoints in [0, n) are kept — an in-edge
+       from an out-of-range head would be useless to a shortest-path
+       repair over nodes [0, n). Scanning [entries] (sorted by
+       (head, tail)) and bucketing by tail yields each row's heads in
+       ascending order, matching the forward view's per-row sort. *)
+    let es = entries t in
+    let in_range e = e.head >= 0 && e.head < n && e.tail >= 0 && e.tail < n in
+    let row = Array.make (n + 1) 0 in
+    List.iter (fun e -> if in_range e then row.(e.tail + 1) <- row.(e.tail + 1) + 1) es;
+    for i = 1 to n do
+      row.(i) <- row.(i) + row.(i - 1)
+    done;
+    let m = row.(n) in
+    let dst = Array.make m 0 and cost = Array.make m 0.0 in
+    let pos = Array.make n 0 in
+    Array.blit row 0 pos 0 n;
+    List.iter
+      (fun e ->
+        if in_range e then begin
+          let p = pos.(e.tail) in
+          dst.(p) <- e.head;
+          cost.(p) <- e.cost;
+          pos.(e.tail) <- p + 1
+        end)
+      es;
+    let view = { row; dst; cost } in
+    t.csr_in_cache <- Some (t.version, n, view);
     view
 
 let diff ~old_table ~new_table =

@@ -54,7 +54,17 @@ type csr = {
 val csr : t -> n:int -> csr
 (** The CSR view restricted to heads in [0, n)]. Cached; rebuilt only
     when {!version} (or [n]) changes. The returned arrays must not be
-    mutated and are valid snapshots only until the next mutation. *)
+    mutated by callers and are valid snapshots only until the next
+    mutation. A pure cost change ({!set} on an existing link) patches
+    the cached view's cost cell in place instead of invalidating it, so
+    per-LSU shortest-path repair never pays a CSR rebuild; structural
+    changes (add/remove) still invalidate. *)
+
+val csr_in : t -> n:int -> csr
+(** The transpose of {!csr}: [row] is indexed by tail and each row
+    lists the in-edges' heads (ascending) with their costs. Only edges
+    with both endpoints in [0, n)] appear. Cached and cost-patched in
+    place exactly like the forward view. *)
 
 val diff : old_table:t -> new_table:t -> entry list
 (** LSU entries that transform [old_table] into [new_table]:

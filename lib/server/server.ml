@@ -60,6 +60,9 @@ type health = {
   ingest : Ingest.stats;
   last_restore : restore_info option;
   corruption : corruption;
+  spf_full_runs : int;
+  spf_repairs : int;
+  spf_fallbacks : int;
 }
 
 type alarm =
@@ -356,7 +359,7 @@ let decode_snapshot ~topo payload =
 let genesis ~topo ~cost =
   let n = Graph.node_count topo in
   let routers =
-    Array.init n (fun id -> Router.create ~mode:Router.Mpda ~id ~n)
+    Array.init n (fun id -> Router.create ~mode:Router.Mpda ~id ~n ())
   in
   let link_state = Hashtbl.create (max 16 (2 * Graph.link_count topo)) in
   let shell = (routers, link_state) in
@@ -733,6 +736,15 @@ let split t ~src ~dst =
 (* ---- health ---------------------------------------------------------- *)
 
 let health t ~now =
+  let spf_full, spf_rep, spf_fb =
+    Array.fold_left
+      (fun (f, r, b) router ->
+        let s = Router.spf_stats router in
+        ( f + s.Mdr_routing.Incr_spf.full_runs,
+          r + s.Mdr_routing.Incr_spf.repairs,
+          b + s.Mdr_routing.Incr_spf.fallbacks ))
+      (0, 0, 0) t.routers
+  in
   {
     seq = t.seq;
     snap_seq = t.snap_seq;
@@ -746,6 +758,9 @@ let health t ~now =
     ingest = Ingest.stats t.ingest;
     last_restore = t.last_restore;
     corruption = t.corruption;
+    spf_full_runs = spf_full;
+    spf_repairs = spf_rep;
+    spf_fallbacks = spf_fb;
   }
 
 let heartbeat t ~now =

@@ -233,6 +233,9 @@ type health = {
   ingest : Ingest.stats;
   last_restore : restore_info option;
   corruption : corruption;
+  spf_full_runs : int;  (** full Dijkstra runs, summed over all routers *)
+  spf_repairs : int;  (** incremental SPF repairs, summed over all routers *)
+  spf_fallbacks : int;  (** repairs that fell back to a full run *)
 }
 
 val health : t -> now:float -> health

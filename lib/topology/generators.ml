@@ -20,44 +20,236 @@ let add_duplex_if_absent g a b ~capacity ~prop_delay =
   end
   else false
 
-let ring_with_chords ~rng ~n ~chords ~capacity ~prop_delay =
-  let g = ring ~n ~capacity ~prop_delay in
+(* Add exactly [count] random absent duplex links among nodes [0, n).
+   Sparse requests rejection-sample; dense requests (or a sampler that
+   runs out of luck) switch to enumerating the absent pairs and
+   shuffling — exact and guaranteed to terminate, where the old
+   rejection-only loop silently stopped short at dense settings. *)
+let add_absent_links g ~rng ~n ~count ~attrs ~what =
+  if count < 0 then invalid_arg (what ^ ": negative link count");
+  let duplex_present = List.length (Graph.links g) / 2 in
+  let slots = (n * (n - 1) / 2) - duplex_present in
+  if count > slots then
+    invalid_arg
+      (Printf.sprintf "%s: %d links requested but only %d absent pairs" what
+         count slots);
   let added = ref 0 in
-  let attempts = ref 0 in
-  (* A complete graph bounds the number of chords we can place. *)
-  let max_chords = (n * (n - 1) / 2) - n in
-  let target = min chords max_chords in
-  while !added < target && !attempts < 100 * (target + 1) do
-    incr attempts;
-    let a = Rng.int rng ~bound:n and b = Rng.int rng ~bound:n in
-    if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
-  done;
+  if count * 3 < slots then begin
+    (* Sparse: rejection sampling, bounded attempts. *)
+    let attempts = ref 0 in
+    while !added < count && !attempts < 100 * (count + 1) do
+      incr attempts;
+      let a = Rng.int rng ~bound:n and b = Rng.int rng ~bound:n in
+      let capacity, prop_delay = attrs () in
+      if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
+    done
+  end;
+  if !added < count then begin
+    (* Dense (or the sampler hit its attempt cap): exact fill. *)
+    let absent = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if Graph.link g ~src:a ~dst:b = None then absent := (a, b) :: !absent
+      done
+    done;
+    let absent = Array.of_list !absent in
+    Rng.shuffle rng absent;
+    let i = ref 0 in
+    while !added < count do
+      let a, b = absent.(!i) in
+      incr i;
+      let capacity, prop_delay = attrs () in
+      if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
+    done
+  end
+
+let ring_with_chords ~rng ~n ~chords ~capacity ~prop_delay =
+  if chords < 0 then invalid_arg "Generators.ring_with_chords: chords < 0";
+  let g = ring ~n ~capacity ~prop_delay in
+  add_absent_links g ~rng ~n ~count:chords
+    ~attrs:(fun () -> (capacity, prop_delay))
+    ~what:"Generators.ring_with_chords";
   g
+
+let check_range what (lo, hi) =
+  if (not (Float.is_finite lo)) || (not (Float.is_finite hi)) || lo <= 0.0 || hi < lo
+  then invalid_arg (what ^ ": range must satisfy 0 < lo <= hi")
+
+let uniform_attrs rng ~capacity_range ~delay_range =
+  let lo_c, hi_c = capacity_range and lo_d, hi_d = delay_range in
+  fun () -> (Rng.uniform rng ~lo:lo_c ~hi:hi_c, Rng.uniform rng ~lo:lo_d ~hi:hi_d)
+
+(* Random spanning tree over [nodes]: attach each node to a uniformly
+   chosen earlier node in a shuffled order (random recursive tree). *)
+let span_tree g ~rng ~nodes ~attrs =
+  let order = Array.copy nodes in
+  Rng.shuffle rng order;
+  for k = 1 to Array.length order - 1 do
+    let parent = order.(Rng.int rng ~bound:k) in
+    let capacity, prop_delay = attrs () in
+    ignore (add_duplex_if_absent g order.(k) parent ~capacity ~prop_delay)
+  done
 
 let random_connected ~rng ~n ~extra_links ?(capacity_range = (5.0e6, 10.0e6))
     ?(delay_range = (0.001, 0.010)) () =
   if n < 2 then invalid_arg "Generators.random_connected: n < 2";
+  check_range "Generators.random_connected: capacity_range" capacity_range;
+  check_range "Generators.random_connected: delay_range" delay_range;
   let g = Graph.create ~names:(node_names n) in
-  let lo_c, hi_c = capacity_range and lo_d, hi_d = delay_range in
-  let attrs () =
-    (Rng.uniform rng ~lo:lo_c ~hi:hi_c, Rng.uniform rng ~lo:lo_d ~hi:hi_d)
+  let attrs = uniform_attrs rng ~capacity_range ~delay_range in
+  span_tree g ~rng ~nodes:(Array.init n Fun.id) ~attrs;
+  add_absent_links g ~rng ~n ~count:extra_links ~attrs
+    ~what:"Generators.random_connected";
+  g
+
+(* --- Internet-like generators for the scaling benchmarks ------------- *)
+
+let barabasi_albert ~rng ~n ~m ?(capacity_range = (5.0e6, 10.0e6))
+    ?(delay_range = (0.001, 0.010)) () =
+  if m < 1 then invalid_arg "Generators.barabasi_albert: m < 1";
+  if n <= m then invalid_arg "Generators.barabasi_albert: n <= m";
+  check_range "Generators.barabasi_albert: capacity_range" capacity_range;
+  check_range "Generators.barabasi_albert: delay_range" delay_range;
+  let g = Graph.create ~names:(node_names n) in
+  let attrs = uniform_attrs rng ~capacity_range ~delay_range in
+  (* Endpoint multiset: every duplex link contributes both ends, so
+     uniform draws from it are degree-proportional — preferential
+     attachment without per-step degree scans. *)
+  let endpoints = ref (Array.make (4 * n * m) 0) in
+  let len = ref 0 in
+  let push v =
+    if !len = Array.length !endpoints then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !endpoints 0 bigger 0 !len;
+      endpoints := bigger
+    end;
+    !endpoints.(!len) <- v;
+    incr len
   in
-  (* Random spanning tree: attach each new node to a uniformly chosen
-     earlier node (random recursive tree). *)
-  let order = Array.init n Fun.id in
-  Rng.shuffle rng order;
-  for k = 1 to n - 1 do
-    let parent = order.(Rng.int rng ~bound:k) in
+  let connect a b =
     let capacity, prop_delay = attrs () in
-    ignore (add_duplex_if_absent g order.(k) parent ~capacity ~prop_delay)
+    if add_duplex_if_absent g a b ~capacity ~prop_delay then begin
+      push a;
+      push b;
+      true
+    end
+    else false
+  in
+  (* Seed clique on the first m+1 nodes. *)
+  for a = 0 to m do
+    for b = a + 1 to m do
+      ignore (connect a b)
+    done
   done;
-  let added = ref 0 in
-  let attempts = ref 0 in
-  while !added < extra_links && !attempts < 100 * (extra_links + 1) do
-    incr attempts;
-    let a = Rng.int rng ~bound:n and b = Rng.int rng ~bound:n in
-    let capacity, prop_delay = attrs () in
-    if add_duplex_if_absent g a b ~capacity ~prop_delay then incr added
+  for v = m + 1 to n - 1 do
+    let attached = ref 0 in
+    while !attached < m do
+      let target = !endpoints.(Rng.int rng ~bound:!len) in
+      if connect v target then incr attached
+    done
+  done;
+  g
+
+let waxman ~rng ~n ?(alpha = 0.15) ?(beta = 0.4)
+    ?(capacity_range = (5.0e6, 10.0e6)) ?(delay_range = (0.001, 0.010)) () =
+  if n < 2 then invalid_arg "Generators.waxman: n < 2";
+  if alpha <= 0.0 || not (Float.is_finite alpha) then
+    invalid_arg "Generators.waxman: alpha <= 0";
+  if beta <= 0.0 || beta > 1.0 then
+    invalid_arg "Generators.waxman: beta outside (0, 1]";
+  check_range "Generators.waxman: capacity_range" capacity_range;
+  check_range "Generators.waxman: delay_range" delay_range;
+  let g = Graph.create ~names:(node_names n) in
+  let xs = Array.init n (fun _ -> Rng.float rng)
+  and ys = Array.init n (fun _ -> Rng.float rng) in
+  let scale = alpha *. Float.sqrt 2.0 in
+  let lo_c, hi_c = capacity_range and lo_d, hi_d = delay_range in
+  let dist a b = Float.hypot (xs.(a) -. xs.(b)) (ys.(a) -. ys.(b)) in
+  (* Propagation delay tracks euclidean distance — geographically long
+     links are slow, as in the real internet. *)
+  let connect a b =
+    let d = dist a b in
+    let capacity = Rng.uniform rng ~lo:lo_c ~hi:hi_c in
+    let prop_delay = lo_d +. ((hi_d -. lo_d) *. d /. Float.sqrt 2.0) in
+    ignore (add_duplex_if_absent g a b ~capacity ~prop_delay)
+  in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Rng.float rng < beta *. Float.exp (-.dist a b /. scale) then connect a b
+    done
+  done;
+  (* The Waxman process alone can leave islands; stitch components
+     together (each to a random node of the first one) so the result is
+     connected like every other generator here. *)
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let members0 = ref [] in
+  let c = ref 0 in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      stack := [ s ];
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          if comp.(v) < 0 then begin
+            comp.(v) <- !c;
+            if !c = 0 then members0 := v :: !members0;
+            List.iter
+              (fun (l : Graph.link) ->
+                if comp.(l.dst) < 0 then stack := l.dst :: !stack)
+              (Graph.out_links g v)
+          end
+      done;
+      if !c > 0 then begin
+        let anchor =
+          List.nth !members0 (Rng.int rng ~bound:(List.length !members0))
+        in
+        connect s anchor
+      end;
+      incr c
+    end
+  done;
+  g
+
+let hierarchical ~rng ~areas ~area_size ~backbone
+    ?(capacity_range = (5.0e6, 10.0e6)) ?(delay_range = (0.001, 0.010)) () =
+  if backbone < 2 then invalid_arg "Generators.hierarchical: backbone < 2";
+  if areas < 1 then invalid_arg "Generators.hierarchical: areas < 1";
+  if area_size < 1 then invalid_arg "Generators.hierarchical: area_size < 1";
+  check_range "Generators.hierarchical: capacity_range" capacity_range;
+  check_range "Generators.hierarchical: delay_range" delay_range;
+  let n = backbone + (areas * area_size) in
+  let g = Graph.create ~names:(node_names n) in
+  let attrs = uniform_attrs rng ~capacity_range ~delay_range in
+  (* Backbone: spanning tree plus ~backbone/2 chords for multipath. *)
+  span_tree g ~rng ~nodes:(Array.init backbone Fun.id) ~attrs;
+  add_absent_links g ~rng ~n:backbone ~count:(min (backbone / 2) ((backbone * (backbone - 1) / 2) - (backbone - 1)))
+    ~attrs ~what:"Generators.hierarchical";
+  (* Each area: an internal spanning tree (plus a chord when it fits),
+     dual-homed to two distinct backbone routers. Area nodes never link
+     to other areas directly — all inter-area paths cross the
+     backbone. *)
+  for a = 0 to areas - 1 do
+    let base = backbone + (a * area_size) in
+    let nodes = Array.init area_size (fun i -> base + i) in
+    span_tree g ~rng ~nodes ~attrs;
+    if area_size >= 4 then begin
+      let u = base + Rng.int rng ~bound:area_size
+      and v = base + Rng.int rng ~bound:area_size in
+      let capacity, prop_delay = attrs () in
+      ignore (add_duplex_if_absent g u v ~capacity ~prop_delay)
+    end;
+    let g1 = Rng.int rng ~bound:backbone in
+    let g2 = (g1 + 1 + Rng.int rng ~bound:(backbone - 1)) mod backbone in
+    let home gw =
+      let node = base + Rng.int rng ~bound:area_size in
+      let capacity, prop_delay = attrs () in
+      ignore (add_duplex_if_absent g gw node ~capacity ~prop_delay)
+    in
+    home g1;
+    home g2
   done;
   g
 

@@ -22,3 +22,37 @@ val random_connected :
 val grid : rows:int -> cols:int -> capacity:float -> prop_delay:float -> Graph.t
 (** [rows] x [cols] mesh; rich multipath structure, used by scaling
     benchmarks. *)
+
+val barabasi_albert :
+  rng:Mdr_util.Rng.t -> n:int -> m:int ->
+  ?capacity_range:float * float -> ?delay_range:float * float -> unit -> Graph.t
+(** Preferential-attachment scale-free graph: a clique on the first
+    [m + 1] nodes, then each new node attaches [m] duplex links to
+    existing nodes with probability proportional to degree. Connected
+    by construction; degree distribution is heavy-tailed like AS-level
+    internet maps. Requires [1 <= m < n].
+    @raise Invalid_argument on bad [n], [m], or attribute ranges. *)
+
+val waxman :
+  rng:Mdr_util.Rng.t -> n:int -> ?alpha:float -> ?beta:float ->
+  ?capacity_range:float * float -> ?delay_range:float * float -> unit -> Graph.t
+(** Waxman random geometric graph: nodes placed uniformly on the unit
+    square, each pair linked with probability
+    [beta * exp (-d / (alpha * sqrt 2))]. Defaults [alpha = 0.15],
+    [beta = 0.4]. Propagation delay grows with euclidean distance
+    across [delay_range]. Isolated components are stitched to the
+    first one with extra links, so the result is always connected.
+    @raise Invalid_argument unless [n >= 2], [alpha > 0] and
+    [0 < beta <= 1]. *)
+
+val hierarchical :
+  rng:Mdr_util.Rng.t -> areas:int -> area_size:int -> backbone:int ->
+  ?capacity_range:float * float -> ?delay_range:float * float -> unit -> Graph.t
+(** Two-level ISP-style topology with [backbone + areas * area_size]
+    nodes. Ids [0, backbone) form a randomly meshed core; area [a]
+    occupies [backbone + a * area_size, backbone + (a+1) * area_size),
+    is internally connected, and is dual-homed to two distinct backbone
+    routers. Area nodes never link to other areas directly — all
+    inter-area traffic crosses the backbone.
+    @raise Invalid_argument unless [backbone >= 2], [areas >= 1] and
+    [area_size >= 1]. *)

@@ -1,0 +1,433 @@
+(* Equivalence tests for the incremental SPF engine: random delta
+   streams on random tables, the incremental result must be
+   bit-identical to a from-scratch Dijkstra — distances, parents,
+   first-hop sets, and the reported changed-node list.
+
+   Costs are drawn from the dyadic grid (multiples of 0.25), so
+   equal-cost paths collide *exactly* — the regime where tie-breaking
+   must agree — while staying inside the engine's generic-position
+   contract (no sub-tolerance near-ties). *)
+
+module Rng = Mdr_util.Rng
+module Topo_table = Mdr_routing.Topo_table
+module Dijkstra = Mdr_routing.Dijkstra
+module Incr_spf = Mdr_routing.Incr_spf
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dyadic rng = float_of_int (1 + Rng.int rng ~bound:40) *. 0.25
+
+let random_table rng ~n =
+  let t = Topo_table.create () in
+  (* A ring base keeps most of the graph reachable, then random extra
+     edges create shortcuts, multipath ties and asymmetry. *)
+  for i = 0 to n - 1 do
+    Topo_table.set t ~head:i ~tail:((i + 1) mod n) ~cost:(dyadic rng)
+  done;
+  let extra = n + Rng.int rng ~bound:(2 * n) in
+  for _ = 1 to extra do
+    let h = Rng.int rng ~bound:n and tl = Rng.int rng ~bound:n in
+    if h <> tl then Topo_table.set t ~head:h ~tail:tl ~cost:(dyadic rng)
+  done;
+  t
+
+(* Apply one random mutation; return the actual-change entries (empty
+   when the mutation was a no-op), in the Topo_table.diff convention. *)
+let random_delta rng table ~n =
+  let entries = Topo_table.entries table in
+  let m = List.length entries in
+  let pick_existing () = List.nth entries (Rng.int rng ~bound:m) in
+  match Rng.int rng ~bound:10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 when m > 0 ->
+    (* Cost change on an existing edge. *)
+    let e = pick_existing () in
+    let c = dyadic rng in
+    if Float.equal c e.Topo_table.cost then []
+    else begin
+      Topo_table.set table ~head:e.Topo_table.head ~tail:e.Topo_table.tail ~cost:c;
+      [ { e with Topo_table.cost = c } ]
+    end
+  | 6 | 7 when m > 1 ->
+    let e = pick_existing () in
+    Topo_table.remove table ~head:e.Topo_table.head ~tail:e.Topo_table.tail;
+    [ { e with Topo_table.cost = infinity } ]
+  | _ ->
+    let h = Rng.int rng ~bound:n and tl = Rng.int rng ~bound:n in
+    if h = tl then []
+    else begin
+      let c = dyadic rng in
+      match Topo_table.cost table ~head:h ~tail:tl with
+      | Some old when Float.equal old c -> []
+      | _ ->
+        Topo_table.set table ~head:h ~tail:tl ~cost:c;
+        [ { Topo_table.head = h; tail = tl; cost = c } ]
+    end
+
+let first_hop parent ~root v =
+  let rec walk v = if parent.(v) = root || parent.(v) < 0 then v else walk parent.(v) in
+  if v = root || parent.(v) < 0 then -1 else walk v
+
+(* Compare the maintained state against a from-scratch run; returns an
+   error description or None. *)
+let mismatch ws_full scratch_dist scratch_parent (st : Incr_spf.state) table =
+  let n = st.n in
+  Dijkstra.on_table_into ws_full ~n ~root:st.root ~dist:scratch_dist
+    ~parent:scratch_parent table;
+  let bad = ref None in
+  for v = 0 to n - 1 do
+    if !bad = None then begin
+      if not (Float.equal st.dist.(v) scratch_dist.(v)) then
+        bad :=
+          Some
+            (Printf.sprintf "dist %d: incr %.17g full %.17g" v st.dist.(v)
+               scratch_dist.(v))
+      else if st.parent.(v) <> scratch_parent.(v) then
+        bad :=
+          Some
+            (Printf.sprintf "parent %d: incr %d full %d" v st.parent.(v)
+               scratch_parent.(v))
+      else if
+        first_hop st.parent ~root:st.root v
+        <> first_hop scratch_parent ~root:st.root v
+      then bad := Some (Printf.sprintf "first hop %d" v)
+    end
+  done;
+  !bad
+
+(* The main property: a random table, a stream of random delta batches,
+   incremental == from-scratch after every batch, and the changed-node
+   report is exactly the set of nodes whose (dist, parent) moved. *)
+let prop_incremental_equals_full =
+  QCheck.Test.make ~name:"incr SPF == full Dijkstra (random delta streams)"
+    ~count:220
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 6 + Rng.int rng ~bound:30 in
+      let table = random_table rng ~n in
+      let root = Rng.int rng ~bound:n in
+      let st = Incr_spf.create ~n ~root in
+      let ws = Incr_spf.workspace () in
+      let ws_full = Dijkstra.workspace () in
+      let sd = Array.make n infinity and sp = Array.make n (-1) in
+      Incr_spf.full ws st table;
+      (match mismatch ws_full sd sp st table with
+      | Some m -> QCheck.Test.fail_reportf "after full: %s" m
+      | None -> ());
+      let repaired = ref 0 in
+      for _batch = 1 to 15 do
+        let ops = 1 + Rng.int rng ~bound:3 in
+        let changes = ref [] in
+        for _ = 1 to ops do
+          changes := !changes @ random_delta rng table ~n
+        done;
+        let pre_dist = Array.copy st.dist and pre_parent = Array.copy st.parent in
+        let reported = ref [] in
+        let outcome =
+          Incr_spf.update ws st table ~changes:!changes
+            ~on_changed:(fun v -> reported := v :: !reported)
+        in
+        (match mismatch ws_full sd sp st table with
+        | Some m -> QCheck.Test.fail_reportf "after update: %s" m
+        | None -> ());
+        (match outcome with
+        | Incr_spf.Recomputed -> ()
+        | Incr_spf.Repaired k ->
+          incr repaired;
+          let actual = ref [] in
+          for v = n - 1 downto 0 do
+            if
+              (not (Float.equal pre_dist.(v) st.dist.(v)))
+              || pre_parent.(v) <> st.parent.(v)
+            then actual := v :: !actual
+          done;
+          let reported = List.rev !reported in
+          if reported <> !actual then
+            QCheck.Test.fail_reportf "changed report mismatch: [%s] vs [%s]"
+              (String.concat ";" (List.map string_of_int reported))
+              (String.concat ";" (List.map string_of_int !actual));
+          if k <> List.length reported then
+            QCheck.Test.fail_reportf "Repaired count %d <> %d" k
+              (List.length reported))
+      done;
+      (* The stream must actually exercise the repair path, not just
+         fall back every time. *)
+      ignore !repaired;
+      true)
+
+(* Kill-at-every-delta: for one deterministic stream, start incremental
+   maintenance at every prefix point and verify equality after every
+   subsequent delta — no starting point may diverge. *)
+let test_kill_at_every_delta () =
+  List.iter
+    (fun seed ->
+      let deltas = 12 in
+      for start = 0 to deltas do
+        let rng = Rng.create ~seed in
+        let n = 6 + Rng.int rng ~bound:20 in
+        let table = random_table rng ~n in
+        let root = Rng.int rng ~bound:n in
+        let st = Incr_spf.create ~n ~root in
+        let ws = Incr_spf.workspace () in
+        let ws_full = Dijkstra.workspace () in
+        let sd = Array.make n infinity and sp = Array.make n (-1) in
+        for step = 1 to deltas do
+          let changes = random_delta rng table ~n in
+          if step = start then Incr_spf.full ws st table
+          else if step > start then begin
+            ignore (Incr_spf.update ws st table ~changes);
+            match mismatch ws_full sd sp st table with
+            | Some m ->
+              Alcotest.failf "seed %d start %d step %d: %s" seed start step m
+            | None -> ()
+          end
+        done;
+        if start = 0 then begin
+          (* start=0 means the state bootstraps itself via the first
+             update (version = -1 path). *)
+          match mismatch ws_full sd sp st table with
+          | Some m -> Alcotest.failf "seed %d bootstrap: %s" seed m
+          | None -> ()
+        end
+      done)
+    [ 11; 42; 97 ]
+
+let test_empty_changes_noop () =
+  let table = random_table (Rng.create ~seed:5) ~n:10 in
+  let st = Incr_spf.create ~n:10 ~root:0 in
+  let ws = Incr_spf.workspace () in
+  Incr_spf.full ws st table;
+  match Incr_spf.update ws st table ~changes:[] with
+  | Incr_spf.Repaired 0 -> ()
+  | _ -> Alcotest.fail "empty changes should be Repaired 0"
+
+let test_zero_cost_falls_back () =
+  let table = Topo_table.create () in
+  Topo_table.set table ~head:0 ~tail:1 ~cost:1.0;
+  Topo_table.set table ~head:1 ~tail:2 ~cost:0.0;
+  Topo_table.set table ~head:0 ~tail:2 ~cost:1.0;
+  Topo_table.set table ~head:2 ~tail:3 ~cost:2.0;
+  let st = Incr_spf.create ~n:4 ~root:0 in
+  let ws = Incr_spf.workspace () in
+  Incr_spf.full ws st table;
+  check "zero flagged" true st.Incr_spf.has_zero;
+  Topo_table.set table ~head:2 ~tail:3 ~cost:1.5;
+  let outcome =
+    Incr_spf.update ws st table
+      ~changes:[ { Topo_table.head = 2; tail = 3; cost = 1.5 } ]
+  in
+  check "recomputed" true (outcome = Incr_spf.Recomputed);
+  let ws_full = Dijkstra.workspace () in
+  let sd = Array.make 4 infinity and sp = Array.make 4 (-1) in
+  (match mismatch ws_full sd sp st table with
+  | Some m -> Alcotest.fail m
+  | None -> ());
+  check "fallback counted" true ((Incr_spf.stats ws).Incr_spf.fallbacks >= 1)
+
+let test_large_orphan_region_falls_back () =
+  (* A pure path: cutting the first edge orphans everything downstream,
+     far past the dirty threshold. *)
+  let n = 40 in
+  let table = Topo_table.create () in
+  for i = 0 to n - 2 do
+    Topo_table.set table ~head:i ~tail:(i + 1) ~cost:1.0
+  done;
+  let st = Incr_spf.create ~n ~root:0 in
+  let ws = Incr_spf.workspace () in
+  Incr_spf.full ws st table;
+  Topo_table.remove table ~head:0 ~tail:1;
+  let outcome =
+    Incr_spf.update ws st table
+      ~changes:[ { Topo_table.head = 0; tail = 1; cost = infinity } ]
+  in
+  check "recomputed" true (outcome = Incr_spf.Recomputed);
+  for v = 1 to n - 1 do
+    check "unreachable" true (Float.equal st.Incr_spf.dist.(v) infinity)
+  done
+
+let test_single_change_is_repaired () =
+  (* A small cost bump deep in a big ring-with-shortcuts graph must take
+     the repair path, and the trees must still agree. *)
+  let rng = Rng.create ~seed:1234 in
+  let n = 60 in
+  let table = random_table rng ~n in
+  let st = Incr_spf.create ~n ~root:0 in
+  let ws = Incr_spf.workspace () in
+  Incr_spf.full ws st table;
+  let repaired = ref 0 in
+  for _ = 1 to 40 do
+    let changes = random_delta rng table ~n in
+    (* Only count genuine cost changes on existing edges. *)
+    match Incr_spf.update ws st table ~changes with
+    | Incr_spf.Repaired _ -> incr repaired
+    | Incr_spf.Recomputed -> ()
+  done;
+  check "some repairs happened" true (!repaired > 25);
+  let ws_full = Dijkstra.workspace () in
+  let sd = Array.make n infinity and sp = Array.make n (-1) in
+  (match mismatch ws_full sd sp st table with
+  | Some m -> Alcotest.fail m
+  | None -> ());
+  let s = Incr_spf.stats ws in
+  check_int "repairs counted" !repaired s.Incr_spf.repairs
+
+let test_tree_of_result_agrees () =
+  let rng = Rng.create ~seed:77 in
+  let n = 20 in
+  let table = random_table rng ~n in
+  let st = Incr_spf.create ~n ~root:3 in
+  let ws = Incr_spf.workspace () in
+  Incr_spf.full ws st table;
+  for _ = 1 to 10 do
+    let changes = random_delta rng table ~n in
+    ignore (Incr_spf.update ws st table ~changes)
+  done;
+  let full = Dijkstra.on_table ~n ~root:3 table in
+  let cost ~head ~tail =
+    match Topo_table.cost table ~head ~tail with
+    | Some c -> c
+    | None -> Alcotest.fail "tree edge not in table"
+  in
+  let t_incr =
+    Dijkstra.tree_of_result ~n ~root:3
+      { Dijkstra.dist = st.Incr_spf.dist; parent = st.Incr_spf.parent }
+      ~cost
+  in
+  let t_full = Dijkstra.tree_of_result ~n ~root:3 full ~cost in
+  check "trees equal" true (Topo_table.equal t_incr t_full)
+
+(* --- Router-level equivalence: Full vs Incremental SPF --------------- *)
+
+module Network = Mdr_routing.Network
+module Router = Mdr_routing.Router
+module Graph = Mdr_topology.Graph
+module Generators = Mdr_topology.Generators
+
+(* Run the same deterministic event storm twice — once with from-scratch
+   SPF, once with incremental repair — and demand bit-identical protocol
+   state on every router. The fingerprint covers tables, distances, FD,
+   successors, first hops, pending ACKs and sequence counters, so any
+   divergence anywhere in the event history surfaces here. *)
+let storm_fingerprints ~mode ~spf ~seed =
+  let rng = Rng.create ~seed in
+  let n = 6 + Rng.int rng ~bound:8 in
+  let topo =
+    Generators.random_connected ~rng ~n ~extra_links:(3 + Rng.int rng ~bound:6) ()
+  in
+  let cost (l : Graph.link) = 1.0 +. (l.prop_delay *. 1000.0) in
+  let net = Network.create ~mode ~spf ~seed ~topo ~cost () in
+  let links = Array.of_list (Graph.links topo) in
+  for _ = 1 to 30 do
+    let l = links.(Rng.int rng ~bound:(Array.length links)) in
+    Network.schedule_link_cost net
+      ~at:(Rng.uniform rng ~lo:0.0 ~hi:0.15)
+      ~src:l.Graph.src ~dst:l.Graph.dst
+      ~cost:(float_of_int (1 + Rng.int rng ~bound:40) *. 0.5)
+  done;
+  for _ = 1 to 2 do
+    let l = links.(Rng.int rng ~bound:(Array.length links)) in
+    let at = Rng.uniform rng ~lo:0.0 ~hi:0.08 in
+    Network.schedule_fail_duplex net ~at ~a:l.Graph.src ~b:l.Graph.dst;
+    Network.schedule_restore_duplex net ~at:(at +. 0.04) ~a:l.Graph.src
+      ~b:l.Graph.dst
+      ~cost:(float_of_int (1 + Rng.int rng ~bound:40) *. 0.5)
+  done;
+  Network.run net;
+  let repairs = ref 0 in
+  let fps =
+    List.init n (fun i ->
+        let r = Network.router net i in
+        repairs := !repairs + (Router.spf_stats r).Incr_spf.repairs;
+        Router.fingerprint r)
+  in
+  (fps, !repairs)
+
+let prop_router_full_incremental_equal =
+  QCheck.Test.make
+    ~name:"router: Full and Incremental SPF are fingerprint-identical" ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let mode = if seed mod 3 = 0 then Router.Pda else Router.Mpda in
+      let full_fps, full_repairs = storm_fingerprints ~mode ~spf:Router.Full ~seed in
+      let incr_fps, _ = storm_fingerprints ~mode ~spf:Router.Incremental ~seed in
+      if full_repairs <> 0 then
+        QCheck.Test.fail_reportf "Full mode took the repair path";
+      List.iteri
+        (fun i (f, g) ->
+          if not (String.equal f g) then
+            QCheck.Test.fail_reportf "router %d diverged (seed %d)" i seed)
+        (List.combine full_fps incr_fps);
+      true)
+
+let test_router_incremental_repairs_happen () =
+  (* The equivalence property is vacuous if the incremental path never
+     engages; check that storms actually exercise it. *)
+  let _, repairs =
+    storm_fingerprints ~mode:Router.Mpda ~spf:Router.Incremental ~seed:7
+  in
+  check "storms exercise the repair path" true (repairs > 0)
+
+(* --- Syncnet: the large-n convergence pump --------------------------- *)
+
+module Syncnet = Mdr_routing.Syncnet
+
+let reference_table topo ~cost =
+  let t = Topo_table.create () in
+  List.iter
+    (fun (l : Graph.link) ->
+      Topo_table.set t ~head:l.Graph.src ~tail:l.Graph.dst ~cost:(cost l))
+    (Graph.links topo);
+  t
+
+let test_syncnet_converges_to_shortest_paths () =
+  let rng = Rng.create ~seed:21 in
+  let topo = Generators.barabasi_albert ~rng ~n:60 ~m:2 () in
+  (* Dyadic costs keep ties exact, matching the engine's contract. *)
+  let costs = Hashtbl.create 256 in
+  let cost (l : Graph.link) =
+    match Hashtbl.find_opt costs (l.Graph.src, l.Graph.dst) with
+    | Some c -> c
+    | None ->
+      let c = dyadic rng in
+      Hashtbl.replace costs (l.Graph.src, l.Graph.dst) c;
+      c
+  in
+  let net = Syncnet.create ~topo ~cost () in
+  check "drained" true (Syncnet.run net);
+  check "quiescent" true (Syncnet.quiescent net);
+  check "exact shortest paths" true
+    (Syncnet.check_distances net (reference_table topo ~cost));
+  let before = Syncnet.messages_delivered net in
+  check "messages flowed" true (before > 0);
+  (* One link-cost change reconverges, and mostly via repairs. *)
+  let l = List.hd (Graph.links topo) in
+  let c' = cost l +. 0.5 in
+  Hashtbl.replace costs (l.Graph.src, l.Graph.dst) c';
+  Syncnet.change_link_cost net ~src:l.Graph.src ~dst:l.Graph.dst ~cost:c';
+  check "drained again" true (Syncnet.run net);
+  check "still exact" true
+    (Syncnet.check_distances net (reference_table topo ~cost));
+  let _, repairs, _ = Syncnet.spf_totals net in
+  check "repairs engaged" true (repairs > 0)
+
+let suite =
+  [
+    Alcotest.test_case "incr_spf: empty changes noop" `Quick test_empty_changes_noop;
+    Alcotest.test_case "incr_spf: zero-cost edges force full runs" `Quick
+      test_zero_cost_falls_back;
+    Alcotest.test_case "incr_spf: big orphan region falls back" `Quick
+      test_large_orphan_region_falls_back;
+    Alcotest.test_case "incr_spf: cost changes take the repair path" `Quick
+      test_single_change_is_repaired;
+    Alcotest.test_case "incr_spf: tree_of_result agrees" `Quick
+      test_tree_of_result_agrees;
+    Alcotest.test_case "incr_spf: kill-at-every-delta sweep" `Slow
+      test_kill_at_every_delta;
+    Alcotest.test_case "router: incremental repairs engage in storms" `Quick
+      test_router_incremental_repairs_happen;
+    Alcotest.test_case "syncnet: converges to exact shortest paths" `Quick
+      test_syncnet_converges_to_shortest_paths;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+    QCheck_alcotest.to_alcotest prop_router_full_incremental_equal;
+  ]

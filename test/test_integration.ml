@@ -167,6 +167,7 @@ let () =
       ("fluid", Test_fluid.suite);
       ("costs", Test_costs.suite);
       ("routing", Test_routing.suite);
+      ("incr_spf", Test_incr_spf.suite);
       ("dv", Test_dv.suite);
       ("faults", Test_faults.suite);
       ("gallager", Test_gallager.suite);

@@ -258,7 +258,7 @@ let test_mpda_multiple_unequal_paths () =
 (* --- Router state-machine unit tests ---------------------------------- *)
 
 let test_router_link_up_sends_full_table () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   match Router.handle_link_up r ~nbr:1 ~cost:2.0 with
   | [ { Router.dst = 1; msg } ] ->
     check "reset flag" true msg.Router.reset;
@@ -272,7 +272,7 @@ let test_router_link_up_sends_full_table () =
   | _ -> Alcotest.fail "expected exactly one full-table LSU"
 
 let test_router_ack_releases_active () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
   let seq =
     match outputs with
@@ -288,7 +288,7 @@ let test_router_ack_releases_active () =
   check "pure ack needs no reply" true (replies = [])
 
 let test_router_stale_ack_ignored () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
   let seq =
     match outputs with
@@ -307,7 +307,7 @@ let test_router_stale_ack_ignored () =
   check "released by the right ack" true (Router.is_passive r)
 
 let test_router_data_lsu_is_acked () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   let outputs = Router.handle_link_up r ~nbr:1 ~cost:2.0 in
   let seq0 =
     match outputs with
@@ -331,7 +331,7 @@ let test_router_data_lsu_is_acked () =
        replies)
 
 let test_router_link_down_clears_state () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   ignore (Router.handle_link_up r ~nbr:1 ~cost:2.0);
   ignore
     (Router.handle_msg r ~from_:1
@@ -348,7 +348,7 @@ let test_router_link_down_clears_state () =
     (Float.equal (Router.neighbor_distance r ~nbr:1 ~dst:2) infinity)
 
 let test_router_drops_msgs_from_down_links () =
-  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 in
+  let r = Router.create ~mode:Router.Mpda ~id:0 ~n:3 () in
   let replies =
     Router.handle_msg r ~from_:2
       { Router.entries = []; reset = false; seq = Some 0; ack_of = None }

@@ -175,8 +175,127 @@ let prop_random_connected_always_connected =
     QCheck.(pair (int_range 2 30) (int_range 0 20))
     (fun (n, extra) ->
       let rng = Rng.create ~seed:(n + (31 * extra)) in
+      (* Requests past the complete graph now raise; stay in contract. *)
+      let extra = min extra ((n * (n - 1) / 2) - (n - 1)) in
       let g = Generators.random_connected ~rng ~n ~extra_links:extra () in
       Metrics.is_strongly_connected g && Graph.is_symmetric g)
+
+(* --- Internet-like generators (scaling benchmarks) ------------------- *)
+
+let test_generator_validation () =
+  let rng = Rng.create ~seed:3 in
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "chords < 0" (fun () ->
+      Generators.ring_with_chords ~rng ~n:5 ~chords:(-1) ~capacity:1e6
+        ~prop_delay:0.001);
+  raises "chords > complete" (fun () ->
+      Generators.ring_with_chords ~rng ~n:5 ~chords:100 ~capacity:1e6
+        ~prop_delay:0.001);
+  raises "extra_links < 0" (fun () ->
+      Generators.random_connected ~rng ~n:5 ~extra_links:(-2) ());
+  raises "extra_links > complete" (fun () ->
+      Generators.random_connected ~rng ~n:4 ~extra_links:50 ());
+  raises "bad capacity range" (fun () ->
+      Generators.random_connected ~rng ~n:5 ~extra_links:1
+        ~capacity_range:(2.0, 1.0) ());
+  raises "ba m < 1" (fun () -> Generators.barabasi_albert ~rng ~n:10 ~m:0 ());
+  raises "ba n <= m" (fun () -> Generators.barabasi_albert ~rng ~n:3 ~m:3 ());
+  raises "waxman beta" (fun () -> Generators.waxman ~rng ~n:10 ~beta:1.5 ());
+  raises "waxman alpha" (fun () -> Generators.waxman ~rng ~n:10 ~alpha:0.0 ());
+  raises "hier backbone" (fun () ->
+      Generators.hierarchical ~rng ~areas:2 ~area_size:3 ~backbone:1 ())
+
+let test_dense_chords_exact () =
+  (* At full density the old rejection sampler looped forever or
+     silently under-filled; the exact path must deliver the complete
+     graph. *)
+  let rng = Rng.create ~seed:9 in
+  let n = 8 in
+  let max_chords = (n * (n - 1) / 2) - n in
+  let g =
+    Generators.ring_with_chords ~rng ~n ~chords:max_chords ~capacity:1e6
+      ~prop_delay:0.001
+  in
+  check_int "complete graph" (n * (n - 1)) (Graph.link_count g);
+  check "connected" true (Metrics.is_strongly_connected g)
+
+let prop_ba_connected_and_scale_free =
+  QCheck.Test.make ~name:"barabasi_albert: connected, symmetric, heavy-tailed"
+    ~count:30
+    QCheck.(pair (int_range 10 80) (int_range 1 4))
+    (fun (n, m) ->
+      let rng = Rng.create ~seed:(n + (97 * m)) in
+      let g = Generators.barabasi_albert ~rng ~n ~m () in
+      let degree = Array.make n 0 in
+      List.iter (fun (l : Graph.link) -> degree.(l.src) <- degree.(l.src) + 1)
+        (Graph.links g);
+      (* Preferential attachment concentrates degree: the max degree
+         must clearly exceed the mean (no Erdos-Renyi flatness), and
+         every node keeps at least its m attachment links. *)
+      let dmax = Array.fold_left max 0 degree in
+      let mean = float_of_int (2 * Graph.link_count g / 2) /. float_of_int n in
+      Metrics.is_strongly_connected g && Graph.is_symmetric g
+      && Array.for_all (fun d -> d >= min m (n - 1)) degree
+      && (n < 30 || float_of_int dmax >= 1.5 *. mean))
+
+let prop_waxman_connected =
+  QCheck.Test.make ~name:"waxman: connected and symmetric" ~count:30
+    QCheck.(int_range 2 120)
+    (fun n ->
+      let rng = Rng.create ~seed:(7 * n) in
+      let g = Generators.waxman ~rng ~n () in
+      Metrics.is_strongly_connected g && Graph.is_symmetric g)
+
+let prop_hierarchical_structure =
+  QCheck.Test.make
+    ~name:"hierarchical: connected, symmetric, area-local (no inter-area links)"
+    ~count:30
+    QCheck.(triple (int_range 1 6) (int_range 1 8) (int_range 2 8))
+    (fun (areas, area_size, backbone) ->
+      let rng = Rng.create ~seed:(areas + (13 * area_size) + (131 * backbone)) in
+      let g = Generators.hierarchical ~rng ~areas ~area_size ~backbone () in
+      let area_of v = if v < backbone then -1 else (v - backbone) / area_size in
+      (* Area-locality: links stay within one area, within the
+         backbone, or between an area and the backbone — never between
+         two distinct areas. *)
+      let local =
+        List.for_all
+          (fun (l : Graph.link) ->
+            let a = area_of l.src and b = area_of l.dst in
+            a = -1 || b = -1 || a = b)
+          (Graph.links g)
+      in
+      (* Intra-area connectivity: each area's induced subgraph is
+         connected on its own (BFS inside the area). *)
+      let area_connected a =
+        let base = backbone + (a * area_size) in
+        let seen = Array.make area_size false in
+        let q = Queue.create () in
+        Queue.add base q;
+        seen.(0) <- true;
+        let count = ref 1 in
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          List.iter
+            (fun (l : Graph.link) ->
+              if area_of l.dst = a && not (seen.(l.dst - base)) then begin
+                seen.(l.dst - base) <- true;
+                incr count;
+                Queue.add l.dst q
+              end)
+            (Graph.out_links g v)
+        done;
+        !count = area_size
+      in
+      let all_areas_connected =
+        List.for_all area_connected (List.init areas Fun.id)
+      in
+      Metrics.is_strongly_connected g && Graph.is_symmetric g && local
+      && all_areas_connected)
 
 let suite =
   [
@@ -201,5 +320,12 @@ let suite =
     Alcotest.test_case "generators: ring with chords" `Quick test_ring_with_chords;
     Alcotest.test_case "generators: random connected" `Quick test_random_connected;
     Alcotest.test_case "generators: grid" `Quick test_grid;
+    Alcotest.test_case "generators: argument validation" `Quick
+      test_generator_validation;
+    Alcotest.test_case "generators: dense chords fill exactly" `Quick
+      test_dense_chords_exact;
     QCheck_alcotest.to_alcotest prop_random_connected_always_connected;
+    QCheck_alcotest.to_alcotest prop_ba_connected_and_scale_free;
+    QCheck_alcotest.to_alcotest prop_waxman_connected;
+    QCheck_alcotest.to_alcotest prop_hierarchical_structure;
   ]
